@@ -1,0 +1,66 @@
+// Ablation — weight precision W4 vs. W8 vs. FP16 (§IV.A: AWQ W4A16), and the
+// AWQ scale search itself on a synthetic salient-channel layer.
+#include <cstdio>
+
+#include "accel/cycle_model.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "quant/awq.hpp"
+#include "runtime/memory_planner.hpp"
+
+using namespace efld;
+
+int main() {
+    std::printf("=== Ablation: weight precision on the KV260 ===\n\n");
+    std::printf("%8s | %12s | %10s | %9s\n", "weights", "weights MiB", "fits 4GiB",
+                "token/s*");
+    std::printf("------------------------------------------------\n");
+    struct Variant {
+        const char* name;
+        model::QuantScheme scheme;
+    };
+    const Variant variants[] = {
+        {"W4A16", model::QuantScheme::w4a16_kv8()},
+        {"W8A16", model::QuantScheme::w8a16_kv8()},
+        {"FP16", model::QuantScheme::fp16_baseline()},
+    };
+    for (const auto& v : variants) {
+        const auto plan = runtime::MemoryPlanner::plan_kv260(
+            model::ModelConfig::llama2_7b(), v.scheme);
+        double rate = 0.0;
+        if (plan.fits) {
+            accel::DecodeCycleModel m(model::ModelConfig::llama2_7b(), v.scheme,
+                                      accel::AccelConfig{});
+            rate = m.token_timing(512).tokens_per_s();
+        } else {
+            // Rate if capacity were not the constraint (bandwidth arithmetic).
+            rate = 19.2e9 / static_cast<double>(plan.weight_bytes);
+        }
+        std::printf("%8s | %12.0f | %10s | %8.2f%s\n", v.name,
+                    static_cast<double>(plan.weight_bytes) / double(kMiB),
+                    plan.fits ? "yes" : "NO", rate, plan.fits ? "" : " (hypothetical)");
+    }
+    std::printf("  (*ctx=512; non-fitting variants show the pure bandwidth bound)\n\n");
+
+    // AWQ scale search on a layer with salient channels (the algorithmic
+    // half of §IV.A, run end to end).
+    std::printf("=== AWQ activation-aware scaling (16x512 layer, salient channels) "
+                "===\n\n");
+    Xoshiro256 rng(123);
+    const std::size_t rows = 16, cols = 512, samples = 8;
+    std::vector<float> w(rows * cols), calib(samples * cols);
+    for (auto& x : w) x = static_cast<float>(rng.gaussian(0.0, 0.05));
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            calib[s * cols + j] = static_cast<float>(
+                rng.gaussian(0.0, (j % 32 == 0) ? 10.0 : 0.5));
+        }
+    }
+    quant::AwqConfig acfg;
+    const quant::AwqResult r = quant::awq_quantize(w, rows, cols, calib, samples, acfg);
+    std::printf("  plain W4 group-128 output MSE : %.3e\n", r.baseline_mse);
+    std::printf("  AWQ-scaled (alpha=%.2f)        : %.3e  (%.1fx lower)\n",
+                static_cast<double>(r.best_alpha), r.best_mse,
+                r.baseline_mse / r.best_mse);
+    return 0;
+}

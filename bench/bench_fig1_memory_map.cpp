@@ -1,0 +1,57 @@
+// Fig. 1 — memory capacity utilization on the KV260.
+//
+// Paper: LLaMA2-7B AWQ-4bit weights 3556 MB + KV cache (1024 tokens) 264 MB
+// occupy 93.3% of the 4 GB DDR4, leaving no room for an OS.
+#include <cstdio>
+
+#include "common/mathutil.hpp"
+#include "model/config.hpp"
+#include "runtime/memory_planner.hpp"
+
+using namespace efld;
+
+namespace {
+
+void print_plan(const char* title, const runtime::MemoryPlan& p) {
+    std::printf("%s\n", title);
+    std::printf("  %-34s %12s %8s\n", "region", "MiB", "% of 4GB");
+    for (const auto& r : p.regions) {
+        std::printf("  %-34s %12.1f %7.2f%%\n", r.name.c_str(),
+                    static_cast<double>(r.bytes) / static_cast<double>(kMiB),
+                    r.pct_of_total);
+    }
+    std::printf("  weights total: %.0f MiB   kv total: %.0f MiB\n",
+                static_cast<double>(p.weight_bytes) / static_cast<double>(kMiB),
+                static_cast<double>(p.kv_bytes) / static_cast<double>(kMiB));
+    std::printf("  capacity utilization: %.1f%%  (paper: 93.3%%)   fits: %s\n\n",
+                100.0 * p.utilization, p.fits ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Fig. 1: LLaMA2-7B memory map on KV260 (4 GiB DDR4) ===\n\n");
+
+    const auto cfg = model::ModelConfig::llama2_7b();
+    print_plan("W4A16 (AWQ) + KV8, 1024-token context  [deployed configuration]",
+               runtime::MemoryPlanner::plan_kv260(cfg, model::QuantScheme::w4a16_kv8()));
+
+    print_plan("W8A16 + KV8 (does not fit -> why 4-bit weights are required)",
+               runtime::MemoryPlanner::plan_kv260(cfg, model::QuantScheme::w8a16_kv8()));
+
+    print_plan("FP16 baseline (hopeless on 4 GiB)",
+               runtime::MemoryPlanner::plan_kv260(cfg, model::QuantScheme::fp16_baseline()));
+
+    const std::uint64_t max_ctx = runtime::MemoryPlanner::max_context(
+        cfg, model::QuantScheme::w4a16_kv8(), 4 * kGiB, 1 * kMiB);
+    std::printf("max context that fits beside the W4 weights: %llu tokens "
+                "(paper reserves 1024)\n",
+                static_cast<unsigned long long>(max_ctx));
+    std::printf("fits with a ~512 MiB Linux resident set? %s  "
+                "(paper: bare-metal required)\n",
+                runtime::MemoryPlanner::fits_with_os(cfg, model::QuantScheme::w4a16_kv8(),
+                                                     4 * kGiB, 512 * kMiB)
+                    ? "yes"
+                    : "no");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 4 — bus-width aligned data arrangement.
+//
+// A) Model weights: the interleaved zero/scale/weight stream turns every
+//    fetch into one long sequential burst; the naive layout (separate scale
+//    and zero-point side tables read group by group) fragments the traffic.
+// B) KV cache scalars: the scale-zero FIFO packs 16 tokens of (scale, zero)
+//    into one 512-bit word before writing; the naive path writes 4 bytes per
+//    head per token.
+#include <cstdio>
+
+#include "common/bitpack.hpp"
+#include "memsim/memory_system.hpp"
+#include "quant/weight_format.hpp"
+
+using namespace efld;
+using memsim::Dir;
+using memsim::MemorySystem;
+using memsim::MemorySystemConfig;
+using memsim::Transaction;
+using memsim::TransactionStream;
+
+namespace {
+
+struct Result {
+    double ns;
+    double efficiency;
+    std::uint64_t transactions;
+};
+
+Result run(const TransactionStream& stream) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    const auto stats = mem.run(stream);
+    return {stats.busy_ns, stats.achieved_bw() / mem.peak_bytes_per_s(),
+            stats.transactions};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Fig. 4A: interleaved weight arrangement vs. separate side tables "
+                "===\n\n");
+
+    // One LLaMA2-7B projection layer: 4096 x 4096, group 128.
+    const std::size_t rows = 4096, cols = 4096;
+    const std::size_t groups = rows * cols / quant::kFormatGroupSize;
+    const std::uint64_t weight_bytes = groups * kBusBytes;
+    const std::uint64_t interleaved_bytes = quant::stream_words(groups) * kBusBytes;
+
+    // Interleaved (ours): one sequential stream, scales/zeros inline.
+    TransactionStream interleaved{{0, interleaved_bytes, Dir::kRead}};
+
+    // Naive: weights sequential, but each group needs a 2-byte scale and a
+    // half-byte zero from separate regions (padded to minimum transfer).
+    TransactionStream naive;
+    const std::uint64_t scale_base = 1ull << 31;
+    const std::uint64_t zero_base = (1ull << 31) + (1ull << 28);
+    for (std::size_t g = 0; g < groups; ++g) {
+        naive.push_back({g * kBusBytes, kBusBytes, Dir::kRead});      // weights
+        naive.push_back({scale_base + g * 2, 2, Dir::kRead});         // fp16 scale
+        naive.push_back({zero_base + g, 1, Dir::kRead});              // zero point
+    }
+
+    const Result ri = run(interleaved);
+    const Result rn = run(naive);
+    std::printf("  layout        transactions   payload MiB   time ms   bus efficiency\n");
+    std::printf("  interleaved   %12llu   %11.1f   %7.2f   %13.1f%%\n",
+                static_cast<unsigned long long>(ri.transactions),
+                static_cast<double>(interleaved_bytes) / 1048576.0, ri.ns / 1e6,
+                100 * ri.efficiency);
+    std::printf("  side tables   %12llu   %11.1f   %7.2f   %13.1f%%\n",
+                static_cast<unsigned long long>(rn.transactions),
+                static_cast<double>(weight_bytes + groups * 3) / 1048576.0, rn.ns / 1e6,
+                100 * rn.efficiency);
+    std::printf("  -> interleaving is %.2fx faster; stream overhead is only %.2f%%\n\n",
+                rn.ns / ri.ns, 100 * quant::stream_overhead(groups));
+
+    std::printf("=== Fig. 4B: KV scale-zero FIFO packing vs. scalar writes ===\n\n");
+    // 32 layers x 32 heads x K/V over 1024 tokens.
+    const std::size_t streams = 2 * 32 * 32;
+    const std::size_t tokens = 1024;
+    const std::uint64_t kv_base = 3ull << 30;
+
+    TransactionStream packed;   // one 64 B word per stream per 16 tokens
+    TransactionStream scalar;   // 4 B per stream per token
+    for (std::size_t t = 0; t < tokens; ++t) {
+        for (std::size_t s = 0; s < streams; ++s) {
+            const std::uint64_t base = kv_base + s * tokens * 4;
+            if (t % 16 == 15) {
+                packed.push_back({base + (t / 16) * kBusBytes, kBusBytes, Dir::kWrite});
+            }
+            scalar.push_back({base + t * 4, 4, Dir::kWrite});
+        }
+    }
+    const Result rp = run(packed);
+    const Result rs = run(scalar);
+    std::printf("  scheme        transactions   bytes moved   time ms   bus efficiency\n");
+    std::printf("  FIFO-packed   %12llu   %11.2f MiB %7.2f   %13.1f%%\n",
+                static_cast<unsigned long long>(rp.transactions),
+                static_cast<double>(streams * (tokens / 16) * kBusBytes) / 1048576.0,
+                rp.ns / 1e6, 100 * rp.efficiency);
+    std::printf("  per-scalar    %12llu   %11.2f MiB %7.2f   %13.1f%%\n",
+                static_cast<unsigned long long>(rs.transactions),
+                static_cast<double>(streams * tokens * 4) / 1048576.0, rs.ns / 1e6,
+                100 * rs.efficiency);
+    std::printf("  -> packing is %.1fx faster for KV scalar writeback\n", rs.ns / rp.ns);
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Extension — roofline view of the §VIII discussion: decode is memory-bound
+// on every edge device; the 128-lane VPU puts the KV260 ridge exactly at the
+// decode intensity (bandwidth-area balance); prefill crosses the ridge.
+#include <cstdio>
+
+#include "analytic/roofline.hpp"
+
+using namespace efld;
+using analytic::DeviceRoofline;
+using analytic::Roofline;
+using analytic::RooflinePoint;
+
+int main() {
+    std::printf("=== Roofline: 4-bit LLaMA2-7B across edge devices ===\n\n");
+    const auto cfg = model::ModelConfig::llama2_7b();
+    const auto scheme = model::QuantScheme::w4a16_kv8();
+    const double macs_per_token =
+        static_cast<double>(cfg.layer_params() + cfg.lm_head_params());
+
+    std::printf("decode intensity: %.2f MACs/byte (one use per quantized weight)\n\n",
+                1.0 / scheme.bytes_per_weight());
+    std::printf("%-20s | %10s | %12s | %12s | %10s\n", "device", "ridge", "decode bound",
+                "decode t/s", "crossover");
+    std::printf("------------------------------------------------------------------------\n");
+    for (const DeviceRoofline& dev :
+         {DeviceRoofline::kv260_accelerator(), DeviceRoofline::jetson_orin_nano(),
+          DeviceRoofline::jetson_agx_orin()}) {
+        const RooflinePoint pt = Roofline::decode(dev, cfg, scheme);
+        std::printf("%-20s | %10.2f | %12s | %12.2f | %7.1f tok\n", dev.name.c_str(),
+                    dev.ridge_intensity(), pt.memory_bound ? "memory" : "compute",
+                    pt.tokens_per_s(macs_per_token),
+                    Roofline::crossover_prompt_len(dev, cfg, scheme));
+    }
+
+    std::printf("\nprefill on the KV260 accelerator:\n");
+    for (const std::size_t n : {1u, 2u, 4u, 16u, 64u}) {
+        const RooflinePoint pt =
+            Roofline::prefill(DeviceRoofline::kv260_accelerator(), cfg, scheme, n);
+        std::printf("  prompt %3zu: intensity %7.2f MACs/byte -> %s-bound\n", n,
+                    pt.intensity, pt.memory_bound ? "memory" : "compute");
+    }
+    std::printf("\nreading: the KV260 ridge (2.0) sits exactly at the decode intensity "
+                "(1.92) — the VPU is\nsized to the stream, wasting neither area nor "
+                "bandwidth (§VI.B). GPUs have ridges 100x\nhigher: their decode "
+                "utilization suffers (Table III), their prefill shines.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Table I — resource consumption breakdown of the accelerator.
+//
+// Regenerated from the parameterized resource model (calibrated to the
+// published Vivado 2022.2 results) plus the power model.
+#include <cstdio>
+
+#include "analytic/power_model.hpp"
+#include "analytic/resource_model.hpp"
+
+using namespace efld::analytic;
+
+namespace {
+
+void row(const char* name, const ResourceVector& v, const ResourceVector& cap) {
+    std::printf("  %-7s %7.1fK/%2.0f%% %8.1fK/%2.0f%% %7.1fK/%2.0f%% %6.0f/%2.0f%% "
+                "%5.0f/%2.0f%% %6.1f/%2.0f%%\n",
+                name, v.lut / 1e3, 100 * v.lut / cap.lut, v.ff / 1e3,
+                100 * v.ff / cap.ff, v.carry / 1e3, 100 * v.carry / cap.carry, v.dsp,
+                100 * v.dsp / cap.dsp, v.uram, 100 * v.uram / cap.uram, v.bram,
+                100 * v.bram / cap.bram);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Table I: resource consumption breakdown (KV260 / XCK26, 300 MHz) "
+                "===\n\n");
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const FpgaDevice dev = FpgaDevice::kv260();
+
+    std::printf("  %-7s %12s %13s %12s %10s %9s %11s\n", "", "LUTs", "FFs", "CARRY",
+                "DSP", "URAM", "BRAM");
+    row("Total", r.total(), dev.capacity);
+    row("MemCtrl", r.mem_ctrl, dev.capacity);
+    row("VPU", r.vpu, dev.capacity);
+    row("SPU", r.spu, dev.capacity);
+
+    std::printf("\n  paper Table I: Total 78K/67%% LUT, 105K/45%% FF, 3.8K/26%% CARRY, "
+                "291/24%% DSP, 10/16%% URAM, 36.5/25%% BRAM\n");
+
+    const PowerEstimate p = PowerModel::estimate(r, 300.0);
+    std::printf("\n  power estimate: %.2f W (PS %.2f + PL static %.2f + DDR %.2f + "
+                "dynamic %.2f)   [paper: 6.57 W]\n",
+                p.total_w(), p.ps_static_w, p.pl_static_w, p.ddr_w, p.dynamic_w);
+    std::printf("  energy at 4.9 token/s: %.2f J/token\n",
+                PowerModel::joules_per_token(p, 4.9));
+
+    std::printf("\n  fits KV260 under the 75%% routability ceiling: %s\n",
+                ResourceModel::fits(r, dev, 0.25) ? "yes" : "NO");
+
+    // The PPA argument of §VI.B: a wider VPU neither fits nor helps.
+    ArchParams wide;
+    wide.vpu_lanes = 256;
+    std::printf("  256-lane variant fits: %s  (bandwidth-bound -> extra lanes idle)\n",
+                ResourceModel::fits(ResourceModel::estimate(wide), dev, 0.25) ? "yes"
+                                                                              : "no");
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Table III — comparison with embedded CPUs and GPUs on 4-bit LLaMA2-7B
+// decoding. Framework rows use the rates published for those devices; the
+// KV260 row comes from the live cycle simulator.
+#include <cstdio>
+#include <iostream>
+
+#include "accel/cycle_model.hpp"
+#include "analytic/comparison.hpp"
+
+using namespace efld;
+
+int main() {
+    std::printf("=== Table III: comparison with embedded CPU/GPUs (4-bit LLaMA2-7B) "
+                "===\n\n");
+
+    accel::DecodeCycleModel sim(model::ModelConfig::llama2_7b(),
+                                model::QuantScheme::w4a16_kv8(), accel::AccelConfig{});
+    const double ours = sim.token_timing(512).tokens_per_s();
+    std::printf("simulated KV260 decode rate (ctx=512): %.2f token/s "
+                "[paper reports 4.9]\n\n",
+                ours);
+
+    const auto rows = analytic::build_table3(ours);
+    analytic::print_table3(std::cout, rows);
+
+    // The headline claim: highest bandwidth utilization despite the smallest
+    // memory system — ~6% above Orin Nano + NanoLLM.
+    double nano = 0, mine = 0;
+    for (const auto& r : rows) {
+        if (r.row.device == "JetsonOrinNano") nano = r.perf.utilization_pct();
+        if (r.row.work == "Ours") mine = r.perf.utilization_pct();
+    }
+    std::printf("\nutilization gap vs. Jetson Orin Nano + NanoLLM: +%.1f%% "
+                "(paper: ~6%% higher)\n",
+                mine - nano);
+    return 0;
+}

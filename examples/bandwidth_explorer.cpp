@@ -1,0 +1,71 @@
+// Bandwidth explorer: what decode rate would this model get on that memory
+// system? — the §VIII design-space question ("it is timely for FPGA vendors
+// to integrate advanced memory support").
+//
+// Sweeps models x memory systems with the full cycle model and prints
+// token/s and bandwidth utilization for each point.
+#include <cstdio>
+
+#include "accel/cycle_model.hpp"
+
+using namespace efld;
+
+namespace {
+
+struct MemPoint {
+    const char* name;
+    memsim::MemorySystemConfig cfg;
+    accel::AccelConfig accel;  // PL clock scaled with the stream rate
+};
+
+MemPoint scaled(const char* name, double mtps, unsigned ports, double port_mhz) {
+    MemPoint p;
+    p.name = name;
+    p.cfg = memsim::MemorySystemConfig::kv260();
+    p.cfg.ddr.data_rate_mtps = mtps;
+    p.cfg.axi.num_ports = ports;
+    p.cfg.axi.port.clock_mhz = port_mhz;
+    // The VPU must consume one 512-bit word per clock at the stream rate,
+    // so the PL clock scales with the port clock (the paper's 300 MHz pairs
+    // with DDR4-2400 exactly this way).
+    p.accel.clock_mhz = port_mhz;
+    return p;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Bandwidth explorer: decode rate across memory systems ===\n\n");
+
+    const MemPoint mems[] = {
+        scaled("KV260 DDR4-2400 x64 (19.2 GB/s)", 2400, 4, 300),
+        scaled("ZCU104-class DDR4-2133 (17.1 GB/s)", 2133, 4, 267),
+        scaled("hypothetical DDR5-4800 (38.4 GB/s)", 4800, 4, 600),
+        scaled("hypothetical LPDDR5x (68 GB/s)", 8533, 4, 1066),
+    };
+    const model::ModelConfig models[] = {model::ModelConfig::tinyllama_1_1b(),
+                                         model::ModelConfig::llama2_7b()};
+
+    for (const auto& mc : models) {
+        std::printf("model: %s (%.2fB params, W4A16+KV8)\n", mc.name.c_str(),
+                    static_cast<double>(mc.total_params()) / 1e9);
+        const double wbytes =
+            static_cast<double>(mc.layer_params() + mc.lm_head_params()) * 0.5;
+        std::printf("  %-38s %9s %9s %7s\n", "memory system", "theo t/s", "sim t/s",
+                    "util%");
+        for (const auto& mp : mems) {
+            accel::DecodeCycleModel m(mc, model::QuantScheme::w4a16_kv8(), mp.accel,
+                                      mp.cfg);
+            const double theo = mp.cfg.peak_bytes_per_s() / wbytes;
+            const double sim = m.token_timing(256).tokens_per_s();
+            std::printf("  %-38s %9.2f %9.2f %6.1f%%\n", mp.name, theo, sim,
+                        100.0 * sim / theo);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("reading: decode speed tracks bandwidth almost linearly — the paper's "
+                "core claim.\nCapacity note: 7B W4 weights + 1024-token KV need ~3.8 GiB "
+                "regardless of speed grade.\n");
+    return 0;
+}

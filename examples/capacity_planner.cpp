@@ -1,0 +1,56 @@
+// Capacity planner: which (model, quantization, context) combinations fit
+// which embedded device? — the Fig. 1 / §VIII deployment-feasibility tool.
+//
+//   $ ./capacity_planner            # the standard matrix
+//   $ ./capacity_planner 8          # plan for an 8 GiB device instead
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/mathutil.hpp"
+#include "runtime/memory_planner.hpp"
+
+using namespace efld;
+
+int main(int argc, char** argv) {
+    std::uint64_t device_gib = 4;
+    if (argc > 1) {
+        device_gib = static_cast<std::uint64_t>(std::strtoull(argv[1], nullptr, 10));
+        if (device_gib == 0) device_gib = 4;
+    }
+    const std::uint64_t device = device_gib * kGiB;
+
+    std::printf("=== Capacity planner: %llu GiB embedded device, 1 MiB bare-metal "
+                "reservation ===\n\n",
+                static_cast<unsigned long long>(device_gib));
+
+    const model::ModelConfig models[] = {model::ModelConfig::tinyllama_1_1b(),
+                                         model::ModelConfig::llama2_7b()};
+    struct Scheme {
+        const char* name;
+        model::QuantScheme s;
+    };
+    const Scheme schemes[] = {{"W4A16+KV8", model::QuantScheme::w4a16_kv8()},
+                              {"W8A16+KV8", model::QuantScheme::w8a16_kv8()},
+                              {"FP16", model::QuantScheme::fp16_baseline()}};
+
+    for (const auto& mc : models) {
+        std::printf("%s:\n", mc.name.c_str());
+        std::printf("  %-10s %12s %10s %12s %14s\n", "scheme", "weights MiB",
+                    "fits@1024", "util@1024", "max ctx (tok)");
+        for (const auto& sc : schemes) {
+            const auto plan = runtime::MemoryPlanner::plan(mc, sc.s, device, kMiB);
+            const auto max_ctx =
+                runtime::MemoryPlanner::max_context(mc, sc.s, device, kMiB);
+            std::printf("  %-10s %12.0f %10s %11.1f%% %14llu\n", sc.name,
+                        static_cast<double>(plan.weight_bytes) / double(kMiB),
+                        plan.fits ? "yes" : "NO", 100.0 * plan.utilization,
+                        static_cast<unsigned long long>(max_ctx));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("the paper's deployment point: LLaMA2-7B, W4A16+KV8, 4 GiB -> fits with "
+                "~93%% utilization,\nbut only bare-metal: a usable Linux resident set "
+                "(~512 MiB) no longer fits beside it.\n");
+    return 0;
+}

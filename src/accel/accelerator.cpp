@@ -1,0 +1,177 @@
+#include "accel/accelerator.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+Accelerator::Accelerator(const PackedModel& m, AcceleratorOptions opts)
+    : model_(&m),
+      opts_(opts),
+      timing_(m.config, model::QuantScheme::w4a16_kv8(), opts.accel, opts.mem),
+      rope_(m.config.rope_theta),
+      softmax_(exp_),
+      silu_(exp_),
+      sz_fifo_(m.config.n_layers, m.config.n_kv_heads),
+      k_cache_(m.config.n_layers * m.config.max_seq_len * m.config.n_kv_heads),
+      v_cache_(k_cache_.size()) {}
+
+void Accelerator::reset() {
+    pos_ = 0;
+    sz_fifo_ = quant::ScaleZeroFifo(model_->config.n_layers, model_->config.n_kv_heads);
+    for (auto& e : k_cache_) e = KvEntry{};
+    for (auto& e : v_cache_) e = KvEntry{};
+}
+
+std::size_t Accelerator::kv_slot(std::size_t layer, std::size_t token,
+                                 std::size_t kv_head) const noexcept {
+    return (layer * model_->config.max_seq_len + token) * model_->config.n_kv_heads +
+           kv_head;
+}
+
+void Accelerator::attention(std::size_t layer, std::vector<Fp16>& x) {
+    const model::ModelConfig& cfg = model_->config;
+    const PackedLayer& lw = model_->layers[layer];
+    const std::size_t hd = cfg.head_dim();
+    const std::size_t heads_per_kv = cfg.n_heads / cfg.n_kv_heads;
+
+    // Layer-entry RMSNorm (square sum computed by the DOT engine side-path).
+    std::vector<Fp16> xn(cfg.dim);
+    rms_.run(x, lw.attn_norm, cfg.rms_eps, xn, SpuRmsNorm::square_sum(x));
+
+    // Projections from the interleaved weight streams.
+    std::vector<Fp16> q(cfg.dim), k(cfg.kv_dim()), v(cfg.kv_dim());
+    DotEngine::gemv(lw.wq.stream, cfg.dim, cfg.dim, xn, q);
+    DotEngine::gemv(lw.wk.stream, cfg.kv_dim(), cfg.dim, xn, k);
+    DotEngine::gemv(lw.wv.stream, cfg.kv_dim(), cfg.dim, xn, v);
+
+    // On-the-fly RoPE.
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+        rope_.run(std::span<Fp16>(q).subspan(h * hd, hd), pos_);
+    }
+    for (std::size_t h = 0; h < cfg.n_kv_heads; ++h) {
+        rope_.run(std::span<Fp16>(k).subspan(h * hd, hd), pos_);
+    }
+
+    // Online KV8 quantization; packs go through the Fig. 4B FIFO, codes
+    // through the serial-to-parallel unit (to DDR on the real device).
+    for (std::size_t h = 0; h < cfg.n_kv_heads; ++h) {
+        SpuQuant::Result qk = kv_quant_.run(std::span<const Fp16>(k).subspan(h * hd, hd));
+        SpuQuant::Result qv = kv_quant_.run(std::span<const Fp16>(v).subspan(h * hd, hd));
+        for (const std::uint8_t c : qk.codes) (void)s2p_.push_byte(c);
+        for (const std::uint8_t c : qv.codes) (void)s2p_.push_byte(c);
+        (void)sz_fifo_.append(layer, h, false, pos_, qk.params);
+        (void)sz_fifo_.append(layer, h, true, pos_, qv.params);
+        k_cache_[kv_slot(layer, pos_, h)] = {std::move(qk.codes), qk.params};
+        v_cache_[kv_slot(layer, pos_, h)] = {std::move(qv.codes), qv.params};
+    }
+
+    // Head-wise attention: history from the quantized cache, the current
+    // token's K/V used pre-quantization (they are still on chip — §V.A).
+    const Fp16 inv_sqrt_d = Fp16::from_float(1.0f / std::sqrt(static_cast<float>(hd)));
+    std::vector<Fp16> att_out(cfg.dim);
+    std::vector<Fp16> scores(pos_ + 1);
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+        const std::size_t kvh = h / heads_per_kv;
+        const std::span<const Fp16> qh(q.data() + h * hd, hd);
+
+        for (std::size_t t = 0; t < pos_; ++t) {
+            const KvEntry& e = k_cache_[kv_slot(layer, t, kvh)];
+            const std::vector<Fp16> kt = DequantUnit::run_kv(e.codes, e.params);
+            scores[t] = DotEngine::dot(qh, kt) * inv_sqrt_d;
+        }
+        scores[pos_] =
+            DotEngine::dot(qh, std::span<const Fp16>(k).subspan(kvh * hd, hd)) *
+            inv_sqrt_d;
+
+        std::vector<Fp16> probs(pos_ + 1);
+        softmax_.run(scores, probs);
+
+        // Scaled-dot accumulation of values (fp16 MACs, one value row at a
+        // time as the history streams in).
+        std::span<Fp16> out(att_out.data() + h * hd, hd);
+        for (auto& o : out) o = Fp16::zero();
+        for (std::size_t t = 0; t < pos_; ++t) {
+            const KvEntry& e = v_cache_[kv_slot(layer, t, kvh)];
+            const std::vector<Fp16> vt = DequantUnit::run_kv(e.codes, e.params);
+            for (std::size_t i = 0; i < hd; ++i) out[i] = out[i] + probs[t] * vt[i];
+        }
+        for (std::size_t i = 0; i < hd; ++i) {
+            out[i] = out[i] + probs[pos_] * v[kvh * hd + i];
+        }
+    }
+
+    // Output projection + residual add (fused with the square-sum pass).
+    std::vector<Fp16> o(cfg.dim);
+    DotEngine::gemv(lw.wo.stream, cfg.dim, cfg.dim, att_out, o);
+    for (std::size_t i = 0; i < cfg.dim; ++i) x[i] = x[i] + o[i];
+}
+
+void Accelerator::mlp(std::size_t layer, std::vector<Fp16>& x) {
+    const model::ModelConfig& cfg = model_->config;
+    const PackedLayer& lw = model_->layers[layer];
+
+    std::vector<Fp16> xn(cfg.dim);
+    rms_.run(x, lw.mlp_norm, cfg.rms_eps, xn, SpuRmsNorm::square_sum(x));
+
+    std::vector<Fp16> gate(cfg.hidden_dim), up(cfg.hidden_dim), hidden(cfg.hidden_dim);
+    DotEngine::gemv(lw.w_gate.stream, cfg.hidden_dim, cfg.dim, xn, gate);
+    DotEngine::gemv(lw.w_up.stream, cfg.hidden_dim, cfg.dim, xn, up);
+    silu_.run(gate, up, hidden);
+
+    std::vector<Fp16> down(cfg.dim);
+    DotEngine::gemv(lw.w_down.stream, cfg.dim, cfg.hidden_dim, hidden, down);
+    for (std::size_t i = 0; i < cfg.dim; ++i) x[i] = x[i] + down[i];
+}
+
+StepResult Accelerator::step(std::int32_t token) {
+    const model::ModelConfig& cfg = model_->config;
+    check(token >= 0 && static_cast<std::uint64_t>(token) < cfg.vocab_size,
+          "Accelerator: token out of range");
+    check(pos_ < cfg.max_seq_len, "Accelerator: KV reservation exhausted");
+
+    // Embedding row (fp16 in DDR).
+    std::vector<Fp16> x(cfg.dim);
+    const std::size_t base = static_cast<std::size_t>(token) * cfg.dim;
+    for (std::size_t i = 0; i < cfg.dim; ++i) x[i] = model_->embedding[base + i];
+
+    for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+        attention(layer, x);
+        mlp(layer, x);
+    }
+
+    std::vector<Fp16> xn(cfg.dim);
+    rms_.run(x, model_->final_norm, cfg.rms_eps, xn, SpuRmsNorm::square_sum(x));
+    std::vector<Fp16> logits_h(cfg.vocab_size);
+    DotEngine::gemv(model_->lm_head.stream, cfg.vocab_size, cfg.dim, xn, logits_h);
+
+    StepResult r;
+    r.logits = to_float(logits_h);
+    if (opts_.collect_timing) {
+        r.timing = timing_.token_timing(pos_);
+    }
+    ++pos_;
+    return r;
+}
+
+GenerationResult Accelerator::generate(std::span<const std::int32_t> prompt,
+                                       std::size_t max_new, model::Sampler& sampler,
+                                       std::int32_t eos) {
+    check(!prompt.empty(), "Accelerator: empty prompt");
+    GenerationResult g;
+
+    StepResult last;
+    for (const std::int32_t t : prompt) last = step(t);
+
+    for (std::size_t i = 0; i < max_new && pos_ < model_->config.max_seq_len; ++i) {
+        const std::int32_t next = sampler.sample(last.logits);
+        g.tokens.push_back(next);
+        g.total_ns += last.timing.total_ns;
+        if (next == eos) break;
+        last = step(next);
+    }
+    return g;
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,105 @@
+// Top-level accelerator simulator: the full functional datapath (fp16 VPU,
+// SPU submodules, KV8 cache, Fig. 4 formats) plus the cycle model.
+//
+// step() executes one decode step exactly as the hardware would — weights
+// dequantized from the interleaved bus stream, activations in fp16, RoPE from
+// the quarter-wave ROM, three-pass softmax, online KV quantization with the
+// scale-zero FIFO — and simultaneously reports the token's simulated latency
+// on the KV260 memory system. Functional results are therefore validated
+// against the float reference while timing reproduces the paper's
+// decode-speed numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/cycle_model.hpp"
+#include "accel/hw_exp.hpp"
+#include "accel/packed_model.hpp"
+#include "accel/serial_to_parallel.hpp"
+#include "accel/spu_quant.hpp"
+#include "accel/spu_rmsnorm.hpp"
+#include "accel/spu_rope.hpp"
+#include "accel/spu_silu.hpp"
+#include "accel/spu_softmax.hpp"
+#include "accel/vpu.hpp"
+#include "model/sampler.hpp"
+#include "quant/scale_zero_pack.hpp"
+
+namespace efld::accel {
+
+struct AcceleratorOptions {
+    AccelConfig accel{};
+    memsim::MemorySystemConfig mem = memsim::MemorySystemConfig::kv260();
+    bool collect_timing = true;  // disable to run functional-only (faster)
+};
+
+struct StepResult {
+    std::vector<float> logits;
+    TokenTiming timing;  // zeroed when collect_timing is off
+};
+
+struct GenerationResult {
+    std::vector<std::int32_t> tokens;
+    double total_ns = 0.0;
+
+    [[nodiscard]] double tokens_per_s() const noexcept {
+        return total_ns > 0.0
+                   ? static_cast<double>(tokens.size()) * 1e9 / total_ns
+                   : 0.0;
+    }
+};
+
+class Accelerator {
+public:
+    // Non-owning: `m` must outlive the accelerator.
+    explicit Accelerator(const PackedModel& m, AcceleratorOptions opts = {});
+
+    StepResult step(std::int32_t token);
+
+    // Prefills `prompt`, then decodes up to `max_new` tokens (stops at EOS id
+    // if `eos` >= 0). Returns generated tokens and simulated decode time.
+    GenerationResult generate(std::span<const std::int32_t> prompt, std::size_t max_new,
+                              model::Sampler& sampler, std::int32_t eos = -1);
+
+    void reset();
+
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+    [[nodiscard]] const model::ModelConfig& config() const noexcept { return model_->config; }
+    [[nodiscard]] const quant::ScaleZeroFifo& scale_zero_fifo() const noexcept {
+        return sz_fifo_;
+    }
+    [[nodiscard]] DecodeCycleModel& cycle_model() noexcept { return timing_; }
+
+private:
+    struct KvEntry {
+        std::vector<std::uint8_t> codes;
+        quant::KvQuantParams params;
+    };
+
+    [[nodiscard]] std::size_t kv_slot(std::size_t layer, std::size_t token,
+                                      std::size_t kv_head) const noexcept;
+
+    void attention(std::size_t layer, std::vector<Fp16>& x);
+    void mlp(std::size_t layer, std::vector<Fp16>& x);
+
+    const PackedModel* model_;
+    AcceleratorOptions opts_;
+    DecodeCycleModel timing_;
+
+    HwExp exp_;
+    SpuRope rope_;
+    SpuRmsNorm rms_;
+    SpuSoftmax softmax_;
+    SpuSilu silu_;
+    SpuQuant kv_quant_;
+    SerialToParallel s2p_;
+    quant::ScaleZeroFifo sz_fifo_;
+
+    std::size_t pos_ = 0;
+    std::vector<KvEntry> k_cache_;  // [layer][token][kv_head]
+    std::vector<KvEntry> v_cache_;
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,37 @@
+#include "accel/hw_exp.hpp"
+
+#include <cmath>
+
+namespace efld::accel {
+
+HwExp::HwExp() {
+    for (std::size_t i = 0; i < kRomEntries; ++i) {
+        const double f = static_cast<double>(i) / static_cast<double>(kRomEntries);
+        rom_[i] = Fp16::from_float(static_cast<float>(std::pow(2.0, f)));
+    }
+}
+
+Fp16 HwExp::exp(Fp16 x) const noexcept {
+    const float xf = x.to_float();
+    constexpr float kLog2e = 1.4426950408889634f;
+    const float t = xf * kLog2e;
+    // fp16 exp underflows below ~-17.3 and overflows above ~11.1.
+    if (t < -25.0f) return Fp16::zero();
+    if (t > 16.0f) return Fp16::infinity();
+
+    const float kf = std::floor(t);
+    const int k = static_cast<int>(kf);
+    const float f = t - kf;  // [0, 1)
+    const std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(f * static_cast<float>(kRomEntries)), kRomEntries - 1);
+    // 2^k is exact in fp16 within range; the multiply rounds once.
+    const float two_k = std::ldexp(1.0f, k);
+    return Fp16::from_float(rom_[idx].to_float() * two_k);
+}
+
+Fp16 HwExp::sigmoid(Fp16 x) const noexcept {
+    const Fp16 e = exp(-x);
+    return Fp16::one() / (Fp16::one() + e);
+}
+
+}  // namespace efld::accel

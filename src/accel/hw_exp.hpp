@@ -1,0 +1,39 @@
+// Hardware-style exponential: e^x via range reduction + 2^f lookup table.
+//
+// The SPU's softmax and SiLU pipelines need e^x. FPGA implementations avoid
+// a full polynomial FPU path; the standard trick is
+//   e^x = 2^(x * log2(e)) = 2^k * 2^f,  k integer, f in [0, 1)
+// with 2^f read from a ROM. We model a 1024-entry fp16-valued ROM (max
+// relative error ~2^-10, well inside fp16 resolution).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/fp16.hpp"
+
+namespace efld::accel {
+
+class HwExp {
+public:
+    static constexpr std::size_t kRomEntries = 1024;
+
+    HwExp();
+
+    // e^x with LUT-based range reduction; saturates to 0 below the fp16
+    // subnormal range and to +inf above fp16 max.
+    [[nodiscard]] Fp16 exp(Fp16 x) const noexcept;
+
+    // Sigmoid built from the same ROM: 1 / (1 + e^-x).
+    [[nodiscard]] Fp16 sigmoid(Fp16 x) const noexcept;
+
+    // ROM footprint in bits (resource-model input).
+    [[nodiscard]] static constexpr std::size_t rom_bits() noexcept {
+        return kRomEntries * 16;
+    }
+
+private:
+    std::array<Fp16, kRomEntries> rom_;  // 2^f for f = i / kRomEntries
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,204 @@
+#include "accel/mcu.hpp"
+
+#include "common/bitpack.hpp"
+#include "common/check.hpp"
+#include "quant/weight_format.hpp"
+
+namespace efld::accel {
+
+using memsim::Dir;
+using memsim::Transaction;
+
+namespace {
+// The paper keeps the KV regions of the first 16 layers in the high window.
+constexpr std::size_t kHighKvLayers = 16;
+}  // namespace
+
+Mcu::Mcu(const model::ModelConfig& cfg, const model::QuantScheme& scheme,
+         memsim::AddressMap map)
+    : cfg_(cfg), scheme_(scheme), map_(std::move(map)) {
+    check(cfg_.dim % kNibblesPerWord == 0, "Mcu: dim must be a multiple of 128");
+
+    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
+    const std::uint64_t kv_code_region =
+        2 * cfg_.kv_dim() * cfg_.max_seq_len * kv_elem;
+    const std::uint64_t kv_pack_region =
+        scheme_.kv_bits < 16
+            ? 2 * cfg_.n_kv_heads * div_ceil(cfg_.max_seq_len, 16) * kBusBytes
+            : 0;
+
+    // Allocation mirrors the paper's layout: embedding + early-layer KV into
+    // the high window first, then the weight streams fill whatever remains.
+    embedding_addr_ =
+        map_.allocate("embedding",
+                      cfg_.embedding_params() * (scheme_.embedding_fp16 ? 2 : 1),
+                      memsim::AddressMap::Placement::kHigh)
+            .base;
+
+    kv_code_addr_.resize(cfg_.n_layers);
+    kv_pack_addr_.resize(cfg_.n_layers);
+    const std::size_t high_kv = std::min<std::size_t>(kHighKvLayers, cfg_.n_layers);
+    for (std::size_t l = 0; l < high_kv; ++l) {
+        kv_code_addr_[l] = map_.allocate("kv_codes_L" + std::to_string(l), kv_code_region,
+                                         memsim::AddressMap::Placement::kHigh)
+                               .base;
+        if (kv_pack_region > 0) {
+            kv_pack_addr_[l] = map_.allocate("kv_packs_L" + std::to_string(l),
+                                             kv_pack_region,
+                                             memsim::AddressMap::Placement::kHigh)
+                                   .base;
+        }
+    }
+
+    std::uint64_t layer_bytes = 0;
+    for (const MatrixId m : {MatrixId::kWq, MatrixId::kWk, MatrixId::kWv, MatrixId::kWo,
+                             MatrixId::kWGate, MatrixId::kWUp, MatrixId::kWDown}) {
+        layer_bytes += geom(m).stream_bytes;
+    }
+    layer_weight_addr_.resize(cfg_.n_layers);
+    norms_addr_.resize(cfg_.n_layers);
+    for (std::size_t l = 0; l < cfg_.n_layers; ++l) {
+        layer_weight_addr_[l] =
+            map_.allocate("weights_L" + std::to_string(l), layer_bytes).base;
+        norms_addr_[l] = map_.allocate("norms_L" + std::to_string(l), 2 * cfg_.dim * 2).base;
+    }
+
+    for (std::size_t l = high_kv; l < cfg_.n_layers; ++l) {
+        kv_code_addr_[l] =
+            map_.allocate("kv_codes_L" + std::to_string(l), kv_code_region).base;
+        if (kv_pack_region > 0) {
+            kv_pack_addr_[l] =
+                map_.allocate("kv_packs_L" + std::to_string(l), kv_pack_region).base;
+        }
+    }
+
+    if (scheme_.lm_head_quantized) {
+        const std::uint64_t groups = cfg_.lm_head_params() / kNibblesPerWord;
+        lm_head_bytes_ = quant::stream_words(groups) * kBusBytes;
+    } else {
+        lm_head_bytes_ = cfg_.lm_head_params() * 2;
+    }
+    lm_head_addr_ = map_.allocate("lm_head", lm_head_bytes_).base;
+    map_.allocate("final_norm", cfg_.dim * 2);
+}
+
+Mcu::MatrixGeom Mcu::geom(MatrixId m) const {
+    MatrixGeom g;
+    switch (m) {
+        case MatrixId::kWq: g.rows = cfg_.dim; g.cols = cfg_.dim; break;
+        case MatrixId::kWk: g.rows = cfg_.kv_dim(); g.cols = cfg_.dim; break;
+        case MatrixId::kWv: g.rows = cfg_.kv_dim(); g.cols = cfg_.dim; break;
+        case MatrixId::kWo: g.rows = cfg_.dim; g.cols = cfg_.dim; break;
+        case MatrixId::kWGate: g.rows = cfg_.hidden_dim; g.cols = cfg_.dim; break;
+        case MatrixId::kWUp: g.rows = cfg_.hidden_dim; g.cols = cfg_.dim; break;
+        case MatrixId::kWDown: g.rows = cfg_.dim; g.cols = cfg_.hidden_dim; break;
+    }
+    if (scheme_.weight_bits >= 16) {
+        g.stream_bytes = g.rows * g.cols * 2;
+    } else {
+        // cols may not divide 128 exactly for exotic configs; round groups up.
+        const std::uint64_t groups = g.rows * div_ceil(g.cols, kNibblesPerWord);
+        g.stream_bytes = quant::stream_words(groups) * kBusBytes;
+        if (scheme_.weight_bits == 8) g.stream_bytes *= 2;  // W8 doubles code width
+    }
+    return g;
+}
+
+std::uint64_t Mcu::matrix_stream_bytes(MatrixId m) const { return geom(m).stream_bytes; }
+
+std::uint64_t Mcu::matrix_addr(std::size_t layer, MatrixId m) const {
+    check(layer < cfg_.n_layers, "Mcu: layer out of range");
+    std::uint64_t off = 0;
+    for (const MatrixId mm : {MatrixId::kWq, MatrixId::kWk, MatrixId::kWv, MatrixId::kWo,
+                              MatrixId::kWGate, MatrixId::kWUp, MatrixId::kWDown}) {
+        if (mm == m) break;
+        off += geom(mm).stream_bytes;
+    }
+    return layer_weight_addr_[layer] + off;
+}
+
+Transaction Mcu::embedding_read(std::int32_t token) const {
+    check(token >= 0 && static_cast<std::uint64_t>(token) < cfg_.vocab_size,
+          "Mcu: token out of range");
+    const std::uint64_t row_bytes = cfg_.dim * (scheme_.embedding_fp16 ? 2 : 1);
+    return {embedding_addr_ + static_cast<std::uint64_t>(token) * row_bytes, row_bytes,
+            Dir::kRead};
+}
+
+Transaction Mcu::weight_stream_read(std::size_t layer, MatrixId m) const {
+    return {matrix_addr(layer, m), geom(m).stream_bytes, Dir::kRead};
+}
+
+Transaction Mcu::weight_rows_read(std::size_t layer, MatrixId m, std::size_t row_begin,
+                                  std::size_t row_end) const {
+    const MatrixGeom g = geom(m);
+    check(row_begin < row_end && row_end <= g.rows, "Mcu: bad row range");
+    // Rows map proportionally onto the interleaved stream; align to bus words.
+    const std::uint64_t begin_off =
+        g.stream_bytes * row_begin / g.rows / kBusBytes * kBusBytes;
+    const std::uint64_t end_off =
+        align_up(g.stream_bytes * row_end / g.rows, kBusBytes);
+    return {matrix_addr(layer, m) + begin_off, end_off - begin_off, Dir::kRead};
+}
+
+Transaction Mcu::lm_head_read() const {
+    return {lm_head_addr_, lm_head_bytes_, Dir::kRead};
+}
+
+Transaction Mcu::norms_read(std::size_t layer) const {
+    check(layer < cfg_.n_layers, "Mcu: layer out of range");
+    return {norms_addr_[layer], 2 * cfg_.dim * 2, Dir::kRead};
+}
+
+std::uint64_t Mcu::kv_code_base(std::size_t layer, std::size_t kv_head,
+                                bool is_value) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "Mcu: bad KV slot");
+    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
+    const std::uint64_t per_stream = cfg_.max_seq_len * cfg_.head_dim() * kv_elem;
+    const std::uint64_t stream =
+        (is_value ? cfg_.n_kv_heads : 0) + kv_head;
+    return kv_code_addr_[layer] + stream * per_stream;
+}
+
+std::uint64_t Mcu::kv_pack_base(std::size_t layer, std::size_t kv_head,
+                                bool is_value) const {
+    const std::uint64_t words = div_ceil(cfg_.max_seq_len, 16);
+    const std::uint64_t stream = (is_value ? cfg_.n_kv_heads : 0) + kv_head;
+    return kv_pack_addr_[layer] + stream * words * kBusBytes;
+}
+
+Transaction Mcu::kv_code_read(std::size_t layer, std::size_t kv_head, bool is_value,
+                              std::size_t ctx) const {
+    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
+    return {kv_code_base(layer, kv_head, is_value), ctx * cfg_.head_dim() * kv_elem,
+            Dir::kRead};
+}
+
+Transaction Mcu::kv_pack_read(std::size_t layer, std::size_t kv_head, bool is_value,
+                              std::size_t ctx) const {
+    const std::uint64_t bytes =
+        scheme_.kv_bits < 16 ? div_ceil(ctx, 16) * kBusBytes : 0;
+    return {kv_pack_base(layer, kv_head, is_value), bytes, Dir::kRead};
+}
+
+Transaction Mcu::kv_code_write(std::size_t layer, std::size_t kv_head, bool is_value,
+                               std::size_t token) const {
+    check(token < cfg_.max_seq_len, "Mcu: token beyond KV reservation");
+    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
+    const std::uint64_t row = cfg_.head_dim() * kv_elem;
+    return {kv_code_base(layer, kv_head, is_value) + token * row, row, Dir::kWrite};
+}
+
+bool Mcu::pack_write_due(std::size_t token) const noexcept {
+    return scheme_.kv_bits < 16 && (token % 16 == 15);
+}
+
+Transaction Mcu::kv_pack_write(std::size_t layer, std::size_t kv_head, bool is_value,
+                               std::size_t token) const {
+    check(pack_write_due(token), "Mcu: pack write not due at this token");
+    const std::uint64_t word = token / 16;
+    return {kv_pack_base(layer, kv_head, is_value) + word * kBusBytes, kBusBytes,
+            Dir::kWrite};
+}
+
+}  // namespace efld::accel

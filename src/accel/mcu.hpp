@@ -1,0 +1,90 @@
+// Memory Control Unit (Fig. 5A): address planning + descriptor generation.
+//
+// The MCU owns the bare-metal address map (where each weight stream and each
+// KV region lives) and turns the inference schedule into MM2S/S2MM
+// descriptors. The KV cache is laid out head-major —
+// [layer][K|V][head][token][head_dim] — so that the per-head history scans of
+// the fused attention pipeline are single sequential bursts; scale-zero packs
+// live in a parallel region with the same ordering, written one bus word per
+// 16 tokens (the Fig. 4B FIFO flush schedule).
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/address_map.hpp"
+#include "memsim/traffic.hpp"
+#include "model/config.hpp"
+
+namespace efld::accel {
+
+enum class MatrixId : std::uint8_t { kWq, kWk, kWv, kWo, kWGate, kWUp, kWDown };
+
+// AXI-Lite command word from the PS (token index + phase flag).
+struct TokenCommand {
+    std::int32_t token_index = 0;
+    bool is_prefill = false;
+};
+
+class Mcu {
+public:
+    Mcu(const model::ModelConfig& cfg, const model::QuantScheme& scheme,
+        memsim::AddressMap map = memsim::AddressMap::kv260_bare_metal());
+
+    // --- weight-side descriptors (MM2S) ---------------------------------
+    [[nodiscard]] memsim::Transaction embedding_read(std::int32_t token) const;
+    // The full interleaved stream of one projection matrix.
+    [[nodiscard]] memsim::Transaction weight_stream_read(std::size_t layer, MatrixId m) const;
+    // Contiguous sub-stream covering rows [row_begin, row_end) — the per-head
+    // segment of the fine-grained pipeline.
+    [[nodiscard]] memsim::Transaction weight_rows_read(std::size_t layer, MatrixId m,
+                                                       std::size_t row_begin,
+                                                       std::size_t row_end) const;
+    [[nodiscard]] memsim::Transaction lm_head_read() const;
+    [[nodiscard]] memsim::Transaction norms_read(std::size_t layer) const;
+
+    // --- KV-side descriptors ---------------------------------------------
+    [[nodiscard]] memsim::Transaction kv_code_read(std::size_t layer, std::size_t kv_head,
+                                                   bool is_value, std::size_t ctx) const;
+    [[nodiscard]] memsim::Transaction kv_pack_read(std::size_t layer, std::size_t kv_head,
+                                                   bool is_value, std::size_t ctx) const;
+    [[nodiscard]] memsim::Transaction kv_code_write(std::size_t layer, std::size_t kv_head,
+                                                    bool is_value, std::size_t token) const;
+    // Pack write happens only when the FIFO word fills (token % 16 == 15).
+    [[nodiscard]] bool pack_write_due(std::size_t token) const noexcept;
+    [[nodiscard]] memsim::Transaction kv_pack_write(std::size_t layer, std::size_t kv_head,
+                                                    bool is_value, std::size_t token) const;
+
+    // --- geometry --------------------------------------------------------
+    [[nodiscard]] std::uint64_t matrix_stream_bytes(MatrixId m) const;
+    [[nodiscard]] std::uint64_t lm_head_stream_bytes() const noexcept { return lm_head_bytes_; }
+    [[nodiscard]] const memsim::AddressMap& map() const noexcept { return map_; }
+    [[nodiscard]] const model::ModelConfig& config() const noexcept { return cfg_; }
+
+private:
+    struct MatrixGeom {
+        std::uint64_t rows = 0;
+        std::uint64_t cols = 0;
+        std::uint64_t stream_bytes = 0;
+    };
+
+    [[nodiscard]] MatrixGeom geom(MatrixId m) const;
+    [[nodiscard]] std::uint64_t matrix_addr(std::size_t layer, MatrixId m) const;
+    [[nodiscard]] std::uint64_t kv_code_base(std::size_t layer, std::size_t kv_head,
+                                             bool is_value) const;
+    [[nodiscard]] std::uint64_t kv_pack_base(std::size_t layer, std::size_t kv_head,
+                                             bool is_value) const;
+
+    model::ModelConfig cfg_;
+    model::QuantScheme scheme_;
+    memsim::AddressMap map_;
+
+    std::uint64_t embedding_addr_ = 0;
+    std::vector<std::uint64_t> layer_weight_addr_;  // base of each layer's streams
+    std::uint64_t lm_head_addr_ = 0;
+    std::uint64_t lm_head_bytes_ = 0;
+    std::vector<std::uint64_t> norms_addr_;
+    std::vector<std::uint64_t> kv_code_addr_;  // per layer
+    std::vector<std::uint64_t> kv_pack_addr_;  // per layer
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,64 @@
+#include "accel/packed_model.hpp"
+
+#include "common/check.hpp"
+#include "quant/weight_format.hpp"
+
+namespace efld::accel {
+
+namespace {
+
+PackedMatrix pack_matrix(const quant::QuantizedLinear& q) {
+    PackedMatrix m;
+    m.rows = q.rows();
+    m.cols = q.cols();
+    m.stream = quant::pack_weight_stream(q);
+    return m;
+}
+
+std::vector<Fp16> to_fp16_vec(std::span<const float> x) {
+    std::vector<Fp16> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = Fp16::from_float(x[i]);
+    return out;
+}
+
+}  // namespace
+
+PackedModel PackedModel::build(const model::QuantizedModelWeights& qw) {
+    check(qw.quant_config.group_size == kNibblesPerWord,
+          "PackedModel: bus format requires group_size 128");
+    PackedModel p;
+    p.config = qw.config;
+    p.embedding = to_fp16_vec(qw.embedding.flat());
+    p.layers.reserve(qw.layers.size());
+    for (const auto& l : qw.layers) {
+        PackedLayer pl;
+        pl.wq = pack_matrix(l.wq);
+        pl.wk = pack_matrix(l.wk);
+        pl.wv = pack_matrix(l.wv);
+        pl.wo = pack_matrix(l.wo);
+        pl.w_gate = pack_matrix(l.w_gate);
+        pl.w_up = pack_matrix(l.w_up);
+        pl.w_down = pack_matrix(l.w_down);
+        pl.attn_norm = to_fp16_vec(l.attn_norm);
+        pl.mlp_norm = to_fp16_vec(l.mlp_norm);
+        p.layers.push_back(std::move(pl));
+    }
+    p.final_norm = to_fp16_vec(qw.final_norm);
+    p.lm_head = pack_matrix(qw.lm_head);
+    return p;
+}
+
+std::uint64_t PackedModel::weight_stream_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& l : layers) {
+        total += l.wq.stream_bytes() + l.wk.stream_bytes() + l.wv.stream_bytes() +
+                 l.wo.stream_bytes() + l.w_gate.stream_bytes() + l.w_up.stream_bytes() +
+                 l.w_down.stream_bytes();
+        total += (l.attn_norm.size() + l.mlp_norm.size()) * 2;
+    }
+    total += lm_head.stream_bytes();
+    total += final_norm.size() * 2;
+    return total;
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,50 @@
+// The DDR-resident model image the accelerator consumes.
+//
+// Every projection matrix is stored as a Fig. 4A interleaved bus-word stream
+// (ready for sequential burst transfer); the embedding table and norm vectors
+// stay fp16. This is what the offline converter produces from an AWQ
+// checkpoint and what the bare-metal loader copies from the SD card.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitpack.hpp"
+#include "model/weights.hpp"
+
+namespace efld::accel {
+
+struct PackedMatrix {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<Word512> stream;
+
+    [[nodiscard]] std::uint64_t stream_bytes() const noexcept {
+        return static_cast<std::uint64_t>(stream.size()) * kBusBytes;
+    }
+    [[nodiscard]] std::size_t num_groups() const noexcept {
+        return rows * (cols / kNibblesPerWord);
+    }
+};
+
+struct PackedLayer {
+    PackedMatrix wq, wk, wv, wo, w_gate, w_up, w_down;
+    std::vector<Fp16> attn_norm, mlp_norm;
+};
+
+struct PackedModel {
+    model::ModelConfig config;
+    std::vector<Fp16> embedding;  // row-major [vocab, dim]
+    std::vector<PackedLayer> layers;
+    std::vector<Fp16> final_norm;
+    PackedMatrix lm_head;
+
+    [[nodiscard]] static PackedModel build(const model::QuantizedModelWeights& qw);
+
+    [[nodiscard]] std::uint64_t weight_stream_bytes() const noexcept;
+    [[nodiscard]] std::uint64_t embedding_bytes() const noexcept {
+        return static_cast<std::uint64_t>(embedding.size()) * 2;
+    }
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,43 @@
+#include "accel/serial_to_parallel.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+std::optional<Word512> SerialToParallel::push_byte(std::uint8_t b) {
+    word_.set_byte(fill_bytes_, b);
+    ++fill_bytes_;
+    if (fill_bytes_ == kBusBytes) {
+        Word512 full = word_;
+        word_ = Word512{};
+        fill_bytes_ = 0;
+        ++words_emitted_;
+        return full;
+    }
+    return std::nullopt;
+}
+
+std::optional<Word512> SerialToParallel::push_half(Fp16 h) {
+    check(fill_bytes_ % 2 == 0, "SerialToParallel: mixing byte and half lanes mid-word");
+    word_.set_half_bits(fill_bytes_ / 2, h.bits());
+    fill_bytes_ += 2;
+    if (fill_bytes_ == kBusBytes) {
+        Word512 full = word_;
+        word_ = Word512{};
+        fill_bytes_ = 0;
+        ++words_emitted_;
+        return full;
+    }
+    return std::nullopt;
+}
+
+std::optional<Word512> SerialToParallel::drain() {
+    if (fill_bytes_ == 0) return std::nullopt;
+    Word512 partial = word_;
+    word_ = Word512{};
+    fill_bytes_ = 0;
+    ++words_emitted_;
+    return partial;
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,37 @@
+// Serial-to-parallel adapter (Fig. 5C3).
+//
+// Scalar streams (quantized KV codes, hidden states headed for the DOT
+// operand FIFO) are collected into 512-bit bus words so every S2MM write is
+// bus-width aligned. Two in/out FSM counters guarantee words are only
+// released when full (or explicitly drained at end of stream).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitpack.hpp"
+
+namespace efld::accel {
+
+class SerialToParallel {
+public:
+    // Feed one byte lane; returns a full word every 64 bytes.
+    std::optional<Word512> push_byte(std::uint8_t b);
+
+    // Feed one fp16 lane; returns a full word every 32 halves.
+    std::optional<Word512> push_half(Fp16 h);
+
+    // Drain a partially filled word (zero-padded); nullopt when empty.
+    std::optional<Word512> drain();
+
+    [[nodiscard]] std::size_t fill_bytes() const noexcept { return fill_bytes_; }
+    [[nodiscard]] std::uint64_t words_emitted() const noexcept { return words_emitted_; }
+
+private:
+    Word512 word_{};
+    std::size_t fill_bytes_ = 0;
+    std::uint64_t words_emitted_ = 0;
+};
+
+}  // namespace efld::accel

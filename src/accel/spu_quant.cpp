@@ -1,0 +1,43 @@
+#include "accel/spu_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+SpuQuant::Result SpuQuant::run(std::span<const Fp16> x) const {
+    check(!x.empty(), "SpuQuant: empty input");
+
+    // Pass 1: min/max trackers (two comparators on the stream).
+    float lo = x[0].to_float();
+    float hi = lo;
+    for (const Fp16 v : x) {
+        const float f = v.to_float();
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+
+    float scale = (hi - lo) / 255.0f;
+    if (scale <= 0.0f) scale = 1.0f;
+    const Fp16 scale_h = Fp16::from_float(scale);
+    const float s = scale_h.to_float();
+    const std::uint8_t z = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(std::lround(-lo / s)), 0, 255));
+
+    // Pass 2: quantize against the fp16-stored scale.
+    Result r;
+    r.params = {scale_h, z};
+    r.codes.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const int q = static_cast<int>(std::lround(x[i].to_float() / s)) + z;
+        r.codes[i] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+    }
+    r.cycles.cycles = 2 * x.size() + 8;  // two passes + divider latency
+    return r;
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,47 @@
+#include "accel/spu_rmsnorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+float SpuRmsNorm::square_sum(std::span<const Fp16> x) noexcept {
+    // The accumulator is wider than fp16 in hardware (DSP cascade); float32
+    // accumulation models that.
+    float acc = 0.0f;
+    for (const Fp16 v : x) {
+        const float f = v.to_float();
+        acc += f * f;
+    }
+    return acc;
+}
+
+SpuCycles SpuRmsNorm::run(std::span<const Fp16> x, std::span<const Fp16> weight, float eps,
+                          std::span<Fp16> out,
+                          std::optional<float> precomputed_square_sum) const {
+    check(x.size() == weight.size() && x.size() == out.size(), "SpuRmsNorm: size mismatch");
+    check(!x.empty(), "SpuRmsNorm: empty input");
+
+    std::uint64_t cycles = 0;
+    float sq;
+    if (precomputed_square_sum) {
+        sq = *precomputed_square_sum;
+    } else {
+        sq = square_sum(x);
+        cycles += x.size();  // pass 1
+    }
+
+    const float mean_sq = sq / static_cast<float>(x.size());
+    const float inv_rms = 1.0f / std::sqrt(mean_sq + eps);
+    const Fp16 inv_rms_h = Fp16::from_float(inv_rms);
+
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = x[i] * inv_rms_h * weight[i];
+    }
+    cycles += x.size();  // pass 2
+    cycles += 16;        // rsqrt pipeline latency between the passes
+    return SpuCycles{cycles};
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,27 @@
+// RMSNorm submodule (Fig. 5C2): two sequential passes, with an optional
+// square-sum bypass when the DOT engine already produced it (the fused
+// pipeline computes the square sum concurrently with the residual add as the
+// output projection streams out — §V.A).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/fp16.hpp"
+#include "accel/spu_rope.hpp"  // SpuCycles
+
+namespace efld::accel {
+
+class SpuRmsNorm {
+public:
+    // out_i = x_i / rms * w_i. If `precomputed_square_sum` is provided the
+    // first pass is skipped (cycle count halves) — the bypass path.
+    SpuCycles run(std::span<const Fp16> x, std::span<const Fp16> weight, float eps,
+                  std::span<Fp16> out,
+                  std::optional<float> precomputed_square_sum = std::nullopt) const;
+
+    // The square-sum the DOT engine can compute on the side.
+    [[nodiscard]] static float square_sum(std::span<const Fp16> x) noexcept;
+};
+
+}  // namespace efld::accel

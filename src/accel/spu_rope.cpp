@@ -1,0 +1,82 @@
+#include "accel/spu_rope.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kHalfPi = 1.5707963267948966192313216916398;
+}  // namespace
+
+SinCosRom::SinCosRom() : rom_(kPoints) {
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        const double a = kHalfPi * static_cast<double>(i) / static_cast<double>(kPoints);
+        rom_[i] = Fp16::from_float(static_cast<float>(std::sin(a)));
+    }
+}
+
+Fp16 SinCosRom::folded(double angle, bool as_cos) const noexcept {
+    // Phase accumulator: reduce to [0, 2pi), then fold into the first
+    // quadrant. cos(x) = sin(x + pi/2) is one extra quadrant of offset.
+    double a = std::fmod(angle, kTwoPi);
+    if (a < 0) a += kTwoPi;
+    double phase = a / kTwoPi * 4.0;  // [0, 4) quadrants
+    if (as_cos) phase += 1.0;
+    const int quadrant = static_cast<int>(phase) % 4;
+    const double frac = phase - std::floor(phase);
+
+    std::size_t idx = static_cast<std::size_t>(frac * static_cast<double>(kPoints));
+    if (idx >= kPoints) idx = kPoints - 1;
+
+    switch (quadrant) {
+        case 0: return lookup_quarter(idx);
+        case 1: return lookup_quarter(kPoints - 1 - idx);
+        case 2: return -lookup_quarter(idx);
+        default: return -lookup_quarter(kPoints - 1 - idx);
+    }
+}
+
+Fp16 SinCosRom::sin(double angle) const noexcept { return folded(angle, false); }
+Fp16 SinCosRom::cos(double angle) const noexcept { return folded(angle, true); }
+
+InvFreqRom::InvFreqRom(float theta_base) : theta_base_(theta_base), rom_(kTable / 2) {
+    for (std::size_t half = 0; half < kTable / 2; ++half) {
+        const double i = static_cast<double>(2 * half);
+        rom_[half] = std::pow(static_cast<double>(theta_base_),
+                              -i / static_cast<double>(kTable));
+    }
+}
+
+double InvFreqRom::freq(std::size_t pair_index, std::size_t head_dim) const {
+    // theta^(-2j/d) == ROM entry at i = 2j * (kTable / d), even by
+    // construction when d divides kTable.
+    check(head_dim > 0 && head_dim <= kTable, "InvFreqRom: head_dim out of range");
+    check(kTable % head_dim == 0, "InvFreqRom: head_dim must divide the table");
+    const std::size_t i = 2 * pair_index * (kTable / head_dim);
+    check(i / 2 < rom_.size(), "InvFreqRom: pair index out of range");
+    return rom_[i / 2];
+}
+
+SpuRope::SpuRope(float theta_base) : invfreq_(theta_base) {}
+
+SpuCycles SpuRope::run(std::span<Fp16> head_vec, std::size_t pos) const {
+    const std::size_t d = head_vec.size();
+    check(d % 2 == 0, "SpuRope: head_dim must be even");
+    const std::size_t half = d / 2;
+    for (std::size_t j = 0; j < half; ++j) {
+        const double angle = static_cast<double>(pos) * invfreq_.freq(j, d);
+        const Fp16 c = sincos_.cos(angle);
+        const Fp16 s = sincos_.sin(angle);
+        const Fp16 x0 = head_vec[j];
+        const Fp16 x1 = head_vec[j + half];
+        head_vec[j] = x0 * c - x1 * s;
+        head_vec[j + half] = x1 * c + x0 * s;
+    }
+    // One rotated pair per clock once the first half is cached.
+    return SpuCycles{d};
+}
+
+}  // namespace efld::accel

@@ -1,0 +1,81 @@
+// RoPE submodule (Fig. 5C1): rotator + sin/cos generator + address generator.
+//
+// The sin/cos generator stores 4096 points of one quarter cycle of a sine
+// wave in ROM; full-circle values come from quadrant folding. The address
+// generator holds an inverse-frequency ROM (10000^(-i/4096) for even i) and
+// multiplies by the token position to produce the rotation angle. The
+// rotator caches the first half of the head vector and emits rotated pairs
+// on the fly as the second half streams past — which is why RoPE costs no
+// extra cycles in the fused pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/fp16.hpp"
+
+namespace efld::accel {
+
+// Quarter-wave sine ROM with quadrant folding.
+class SinCosRom {
+public:
+    static constexpr std::size_t kPoints = 4096;  // quarter-cycle samples
+
+    SinCosRom();
+
+    // sin/cos of `angle` (radians, any magnitude) via table lookup.
+    [[nodiscard]] Fp16 sin(double angle) const noexcept;
+    [[nodiscard]] Fp16 cos(double angle) const noexcept;
+
+    [[nodiscard]] static constexpr std::size_t rom_bits() noexcept { return kPoints * 16; }
+
+private:
+    [[nodiscard]] Fp16 lookup_quarter(std::size_t idx) const noexcept { return rom_[idx]; }
+    [[nodiscard]] Fp16 folded(double angle, bool as_cos) const noexcept;
+
+    std::vector<Fp16> rom_;
+};
+
+// Inverse-frequency ROM: theta_base^(-i/kTable) for even i — the generic
+// table covering any head_dim up to kTable.
+class InvFreqRom {
+public:
+    static constexpr std::size_t kTable = 4096;
+
+    explicit InvFreqRom(float theta_base = 10000.0f);
+
+    // Frequency for rotation pair j of a head of dimension `head_dim`:
+    // theta_base^(-2j/head_dim).
+    [[nodiscard]] double freq(std::size_t pair_index, std::size_t head_dim) const;
+
+    [[nodiscard]] static constexpr std::size_t rom_bits() noexcept {
+        return (kTable / 2) * 32;  // fp32 resolution entries
+    }
+
+private:
+    float theta_base_;
+    std::vector<double> rom_;  // index i/2 -> theta^(-i/kTable), even i
+};
+
+struct SpuCycles {
+    std::uint64_t cycles = 0;
+};
+
+// The rotator: applies RoPE to one head vector in place (rotate-half
+// pairing, matching model::rope_rotate).
+class SpuRope {
+public:
+    explicit SpuRope(float theta_base = 10000.0f);
+
+    SpuCycles run(std::span<Fp16> head_vec, std::size_t pos) const;
+
+    [[nodiscard]] const SinCosRom& sincos() const noexcept { return sincos_; }
+    [[nodiscard]] const InvFreqRom& invfreq() const noexcept { return invfreq_; }
+
+private:
+    SinCosRom sincos_;
+    InvFreqRom invfreq_;
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,17 @@
+#include "accel/spu_silu.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+SpuCycles SpuSilu::run(std::span<const Fp16> gate, std::span<const Fp16> up,
+                       std::span<Fp16> out) const {
+    check(gate.size() == up.size() && gate.size() == out.size(), "SpuSilu: size mismatch");
+    for (std::size_t i = 0; i < gate.size(); ++i) {
+        const Fp16 sig = exp_.sigmoid(gate[i]);
+        out[i] = gate[i] * sig * up[i];
+    }
+    return SpuCycles{gate.size()};  // one element per clock, pipelined
+}
+
+}  // namespace efld::accel

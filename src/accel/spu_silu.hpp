@@ -1,0 +1,24 @@
+// SiLU submodule (Fig. 5C5): x / (1 + e^-x), fused with the up-projection
+// multiply that produces the down-projection input (§VI.C).
+#pragma once
+
+#include <span>
+
+#include "accel/hw_exp.hpp"
+#include "accel/spu_rope.hpp"  // SpuCycles
+
+namespace efld::accel {
+
+class SpuSilu {
+public:
+    explicit SpuSilu(const HwExp& exp_unit) : exp_(exp_unit) {}
+
+    // out_i = silu(gate_i) * up_i  — the "Act Mul" box of Fig. 2C.
+    SpuCycles run(std::span<const Fp16> gate, std::span<const Fp16> up,
+                  std::span<Fp16> out) const;
+
+private:
+    const HwExp& exp_;
+};
+
+}  // namespace efld::accel

@@ -1,0 +1,35 @@
+#include "accel/spu_softmax.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+SpuCycles SpuSoftmax::run(std::span<const Fp16> x, std::span<Fp16> out) const {
+    check(x.size() == out.size(), "SpuSoftmax: size mismatch");
+    check(!x.empty(), "SpuSoftmax: empty input");
+
+    // Pass 1: maximum.
+    Fp16 m = x[0];
+    for (const Fp16 v : x) {
+        if (m < v) m = v;
+    }
+
+    // Pass 2: exponentials and their sum. The sum accumulates in fp32-width
+    // hardware (DSP cascade) to avoid saturating fp16 at long contexts.
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = exp_.exp(x[i] - m);
+        denom += out[i].to_float();
+    }
+    check(denom > 0.0f, "SpuSoftmax: zero denominator");
+
+    // Pass 3: normalize.
+    const Fp16 inv = Fp16::from_float(1.0f / denom);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = out[i] * inv;
+    }
+
+    return SpuCycles{3 * x.size() + 16};  // three passes + divider latency
+}
+
+}  // namespace efld::accel

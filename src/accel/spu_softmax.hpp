@@ -1,0 +1,26 @@
+// Softmax submodule (Fig. 5C4): numerically stable three-pass variant.
+//
+// Pass 1 finds the running maximum m, pass 2 accumulates d = sum(e^(x_i - m)),
+// pass 3 emits s_i = e^(x_i - m) / d. The exponential uses the shared
+// HwExp ROM. In the fused attention pipeline the three passes hide behind the
+// value projection (§V.A), so they cost no wall-clock cycles there.
+#pragma once
+
+#include <span>
+
+#include "accel/hw_exp.hpp"
+#include "accel/spu_rope.hpp"  // SpuCycles
+
+namespace efld::accel {
+
+class SpuSoftmax {
+public:
+    explicit SpuSoftmax(const HwExp& exp_unit) : exp_(exp_unit) {}
+
+    SpuCycles run(std::span<const Fp16> x, std::span<Fp16> out) const;
+
+private:
+    const HwExp& exp_;
+};
+
+}  // namespace efld::accel

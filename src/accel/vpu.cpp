@@ -1,0 +1,119 @@
+#include "accel/vpu.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::accel {
+
+std::array<Fp16, kVpuLanes> DequantUnit::run(const Word512& word, Fp16 scale,
+                                             std::uint8_t zero) noexcept {
+    std::array<Fp16, kVpuLanes> out;
+    const float s = scale.to_float();
+    const int z = zero;
+    for (std::size_t i = 0; i < kVpuLanes; ++i) {
+        // (code - zero) * scale, rounded once to fp16 — the hardware computes
+        // this as a small integer subtract feeding an fp16 multiply.
+        const int code = word.nibble(i);
+        out[i] = Fp16::from_float(static_cast<float>(code - z) * s);
+    }
+    return out;
+}
+
+std::array<Fp16, kVpuLanes> DequantUnit::run(std::span<const std::uint8_t> codes,
+                                             Fp16 scale, std::uint8_t zero) noexcept {
+    std::array<Fp16, kVpuLanes> out{};
+    const float s = scale.to_float();
+    const int z = zero;
+    const std::size_t n = std::min(codes.size(), kVpuLanes);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = Fp16::from_float(static_cast<float>(static_cast<int>(codes[i]) - z) * s);
+    }
+    return out;
+}
+
+std::vector<Fp16> DequantUnit::run_kv(std::span<const std::uint8_t> codes,
+                                      quant::KvQuantParams params) {
+    std::vector<Fp16> out(codes.size());
+    const float s = params.scale.to_float();
+    const int z = params.zero;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        out[i] = Fp16::from_float(static_cast<float>(static_cast<int>(codes[i]) - z) * s);
+    }
+    return out;
+}
+
+Fp16 DotEngine::tree_sum(std::span<const Fp16> vals) noexcept {
+    if (vals.empty()) return Fp16::zero();
+    // Iterative binary tree: each stage halves the vector, rounding each
+    // partial sum to fp16 (one adder per tree node).
+    std::vector<Fp16> stage(vals.begin(), vals.end());
+    while (stage.size() > 1) {
+        std::vector<Fp16> next;
+        next.reserve((stage.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < stage.size(); i += 2) {
+            next.push_back(stage[i] + stage[i + 1]);
+        }
+        if (stage.size() % 2 == 1) next.push_back(stage.back());
+        stage = std::move(next);
+    }
+    return stage[0];
+}
+
+Fp16 DotEngine::dot128(std::span<const Fp16> a, std::span<const Fp16> b) noexcept {
+    const std::size_t n = std::min(a.size(), b.size());
+    std::array<Fp16, kVpuLanes> prod{};
+    for (std::size_t i = 0; i < n; ++i) prod[i] = a[i] * b[i];
+    return tree_sum(std::span<const Fp16>(prod.data(), n));
+}
+
+Fp16 DotEngine::dot(std::span<const Fp16> a, std::span<const Fp16> b) noexcept {
+    Fp16 acc = Fp16::zero();
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t base = 0; base < n; base += kVpuLanes) {
+        const std::size_t len = std::min(kVpuLanes, n - base);
+        acc = acc + dot128(a.subspan(base, len), b.subspan(base, len));
+    }
+    return acc;
+}
+
+void DotEngine::gemv(std::span<const Word512> stream, std::size_t rows, std::size_t cols,
+                     std::span<const Fp16> x, std::span<Fp16> y) {
+    check(cols % kVpuLanes == 0, "DotEngine::gemv: cols must be a multiple of 128");
+    check(x.size() == cols, "DotEngine::gemv: x size mismatch");
+    check(y.size() == rows, "DotEngine::gemv: y size mismatch");
+
+    const std::size_t groups_per_row = cols / kVpuLanes;
+    quant::WeightStreamDecoder dec(rows * groups_per_row);
+
+    std::size_t group_index = 0;
+    Fp16 acc = Fp16::zero();
+    for (const Word512& word : stream) {
+        const auto decoded = dec.consume(word);
+        if (!decoded) continue;
+        const auto lanes = DequantUnit::run(decoded->codes, decoded->scale, decoded->zero);
+
+        const std::size_t col_base = (group_index % groups_per_row) * kVpuLanes;
+        const Fp16 partial = dot128(lanes, x.subspan(col_base, kVpuLanes));
+        acc = acc + partial;
+
+        if ((group_index + 1) % groups_per_row == 0) {
+            y[group_index / groups_per_row] = acc;
+            acc = Fp16::zero();
+        }
+        ++group_index;
+    }
+    check(group_index == rows * groups_per_row, "DotEngine::gemv: stream too short");
+}
+
+std::vector<Fp16> to_fp16(std::span<const float> x) {
+    std::vector<Fp16> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = Fp16::from_float(x[i]);
+    return out;
+}
+
+std::vector<float> to_float(std::span<const Fp16> x) {
+    std::vector<float> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i].to_float();
+    return out;
+}
+
+}  // namespace efld::accel

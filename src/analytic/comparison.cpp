@@ -1,0 +1,78 @@
+#include "analytic/comparison.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace efld::analytic {
+
+namespace {
+
+const char* class_name(PlatformClass c) {
+    switch (c) {
+        case PlatformClass::kCloudHbmFpga: return "Cloud HBM";
+        case PlatformClass::kEdgeDdrFpga: return "Edge DDR";
+        case PlatformClass::kEmbeddedCpu: return "Edge CPU";
+        case PlatformClass::kEmbeddedGpu: return "Edge GPU";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::vector<RenderedRow> build_table2(double ours_token_s) {
+    std::vector<RenderedRow> out;
+    for (const auto& row : table2_fpga_rows()) {
+        out.push_back({row, PerfModel::evaluate(row)});
+    }
+    ComparisonRow ours = ours_row_template();
+    out.push_back({ours, PerfModel::evaluate(ours, ours_token_s)});
+    return out;
+}
+
+std::vector<RenderedRow> build_table3(double ours_token_s) {
+    std::vector<RenderedRow> out;
+    for (const auto& row : table3_edge_rows()) {
+        out.push_back({row, PerfModel::evaluate(row)});
+    }
+    ComparisonRow ours = ours_row_template();
+    out.push_back({ours, PerfModel::evaluate(ours, ours_token_s)});
+    return out;
+}
+
+void print_table2(std::ostream& os, const std::vector<RenderedRow>& rows) {
+    os << std::left << std::setw(10) << "Class" << std::setw(11) << "Work"
+       << std::setw(9) << "Device" << std::setw(11) << "GB/s" << std::setw(13) << "Task"
+       << std::setw(5) << "W" << std::setw(11) << "token/s^1" << std::setw(11)
+       << "token/s^2" << std::setw(8) << "Util.%" << '\n';
+    os << std::string(89, '-') << '\n';
+    for (const auto& r : rows) {
+        os << std::left << std::setw(10) << class_name(r.row.cls) << std::setw(11)
+           << r.row.work << std::setw(9) << r.row.device << std::setw(11) << std::fixed
+           << std::setprecision(1) << r.row.bandwidth_gb_s << std::setw(13) << r.row.task
+           << "W" << std::setw(4) << r.row.weight_bits << std::setw(11)
+           << std::setprecision(1) << r.perf.theoretical_token_s << std::setw(11)
+           << std::setprecision(2) << r.perf.measured_token_s << std::setprecision(1)
+           << r.perf.utilization_pct();
+        if (r.row.self_reported_util_pct) {
+            os << " (self-rep " << *r.row.self_reported_util_pct << ")";
+        }
+        os << '\n';
+    }
+}
+
+void print_table3(std::ostream& os, const std::vector<RenderedRow>& rows) {
+    os << std::left << std::setw(16) << "Device" << std::setw(8) << "GB/s"
+       << std::setw(12) << "Framework" << std::setw(11) << "token/s^1" << std::setw(11)
+       << "token/s^2" << std::setw(8) << "Util.%" << '\n';
+    os << std::string(66, '-') << '\n';
+    for (const auto& r : rows) {
+        os << std::left << std::setw(16) << r.row.device << std::setw(8) << std::fixed
+           << std::setprecision(1) << r.row.bandwidth_gb_s << std::setw(12)
+           << r.row.framework << std::setw(11) << std::setprecision(1)
+           << r.perf.theoretical_token_s << std::setw(11) << std::setprecision(2)
+           << r.perf.measured_token_s << std::setprecision(1)
+           << r.perf.utilization_pct() << '\n';
+    }
+}
+
+}  // namespace efld::analytic

@@ -1,0 +1,29 @@
+// Comparison-table generators: render Tables II and III with the Ours row
+// produced by the live simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analytic/perf_model.hpp"
+
+namespace efld::analytic {
+
+struct RenderedRow {
+    ComparisonRow row;
+    PerfPoint perf;
+};
+
+// Builds the full Table II (FPGA comparison) given the simulated decode rate
+// of our KV260 accelerator.
+[[nodiscard]] std::vector<RenderedRow> build_table2(double ours_token_s);
+
+// Builds the full Table III (embedded CPU/GPU comparison).
+[[nodiscard]] std::vector<RenderedRow> build_table3(double ours_token_s);
+
+// Pretty-printers (paper-style columns).
+void print_table2(std::ostream& os, const std::vector<RenderedRow>& rows);
+void print_table3(std::ostream& os, const std::vector<RenderedRow>& rows);
+
+}  // namespace efld::analytic

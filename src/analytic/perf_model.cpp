@@ -1,0 +1,21 @@
+#include "analytic/perf_model.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::analytic {
+
+PerfPoint PerfModel::evaluate(const ComparisonRow& row, double measured_token_s) {
+    PerfPoint p;
+    p.theoretical_token_s =
+        theoretical_token_s(row.bandwidth_gb_s, row.model_params, row.weight_bits);
+    p.measured_token_s = measured_token_s;
+    return p;
+}
+
+PerfPoint PerfModel::evaluate(const ComparisonRow& row) {
+    check(row.reported_token_s.has_value(),
+          "PerfModel: row '" + row.work + "' has no reported rate");
+    return evaluate(row, *row.reported_token_s);
+}
+
+}  // namespace efld::analytic

@@ -1,0 +1,41 @@
+// Bandwidth-limit performance model (the paper's Table II/III arithmetic).
+//
+// Single-batch LLM decoding is bandwidth-bound, so the theoretical peak
+// decode rate of any platform is
+//     token/s = bandwidth / (model_params * weight_bits / 8)
+// (Table II footnote 1: "the number of model weight transfers possible
+// within one second"), and bandwidth utilization is measured/theoretical.
+#pragma once
+
+#include "analytic/platformdb.hpp"
+
+namespace efld::analytic {
+
+struct PerfPoint {
+    double theoretical_token_s = 0;
+    double measured_token_s = 0;
+
+    [[nodiscard]] double utilization_pct() const noexcept {
+        return theoretical_token_s > 0
+                   ? 100.0 * measured_token_s / theoretical_token_s
+                   : 0.0;
+    }
+};
+
+class PerfModel {
+public:
+    [[nodiscard]] static double theoretical_token_s(double bandwidth_gb_s,
+                                                    double model_params,
+                                                    unsigned weight_bits) noexcept {
+        const double bytes = model_params * static_cast<double>(weight_bits) / 8.0;
+        return bandwidth_gb_s * 1e9 / bytes;
+    }
+
+    [[nodiscard]] static PerfPoint evaluate(const ComparisonRow& row,
+                                            double measured_token_s);
+
+    // For rows with published results.
+    [[nodiscard]] static PerfPoint evaluate(const ComparisonRow& row);
+};
+
+}  // namespace efld::analytic

@@ -1,0 +1,47 @@
+// Platform database for the comparison tables (Tables II and III).
+//
+// Every row of the paper's comparisons is a (platform, framework, model,
+// quantization, published-token/s) tuple. Published decode rates for other
+// systems are *inputs* (they were measured on hardware we do not have); the
+// "Ours" row is produced live by the cycle-accurate simulator. Keeping the
+// whole table data-driven lets benches regenerate the paper tables and also
+// extend them (different models, hypothetical bandwidths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efld::analytic {
+
+enum class PlatformClass { kCloudHbmFpga, kEdgeDdrFpga, kEmbeddedCpu, kEmbeddedGpu };
+
+struct ComparisonRow {
+    std::string work;        // DFX, FlightLLM, ..., Ours
+    std::string device;      // U280, KV260, Jetson AGX Orin, ...
+    PlatformClass cls = PlatformClass::kEdgeDdrFpga;
+    std::string framework;   // for Table III (llama.cpp, TinyChat, NanoLLM)
+    std::string task;        // model name
+    double model_params = 0; // parameters of the deployed model
+    unsigned weight_bits = 16;
+    double bandwidth_gb_s = 0;
+
+    // Published implementation details (Table II columns; 0 = not reported).
+    double lut = 0, ff = 0, bram = 0, dsp = 0;
+    double clock_mhz = 0, power_w = 0;
+
+    // Published measured decode rate; the Ours row computes this instead.
+    std::optional<double> reported_token_s;
+    // Self-reported utilization when it differs from the recomputed one.
+    std::optional<double> self_reported_util_pct;
+};
+
+// Rows exactly as printed in the paper (minus Ours, which is simulated).
+[[nodiscard]] std::vector<ComparisonRow> table2_fpga_rows();
+[[nodiscard]] std::vector<ComparisonRow> table3_edge_rows();
+
+// The Ours row template (filled with simulated token/s by the caller).
+[[nodiscard]] ComparisonRow ours_row_template();
+
+}  // namespace efld::analytic

@@ -1,0 +1,21 @@
+#include "analytic/power_model.hpp"
+
+namespace efld::analytic {
+
+PowerEstimate PowerModel::estimate(const ResourceBreakdown& res, double clock_mhz) {
+    PowerEstimate p;
+    p.ps_static_w = 2.00;  // APU + PS peripherals (bare-metal, one core busy)
+    p.pl_static_w = 0.60;
+    p.ddr_w = 1.00;        // DDR4 PHY + DRAM activity at full streaming
+
+    const ResourceVector t = res.total();
+    const double f = clock_mhz / 300.0;  // coefficients calibrated at 300 MHz
+    const double dsp_w = t.dsp * 3.3e-3;
+    const double lut_w = t.lut * 0.017e-3;  // includes companion FF toggling
+    const double bram_w = t.bram * 12e-3;
+    const double uram_w = t.uram * 25e-3;
+    p.dynamic_w = f * (dsp_w + lut_w + bram_w + uram_w);
+    return p;
+}
+
+}  // namespace efld::analytic

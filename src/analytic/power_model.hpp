@@ -1,0 +1,36 @@
+// Power model (substitutes for the Vivado power report).
+//
+// Linear activity model over the resource vector: PS static + ARM cores,
+// PL static, DDR interface, and per-primitive dynamic power scaled by clock
+// frequency. Coefficients calibrated so the deployed configuration
+// (Table I totals @ 300 MHz) reports the paper's 6.57 W.
+#pragma once
+
+#include "analytic/resource_model.hpp"
+
+namespace efld::analytic {
+
+struct PowerEstimate {
+    double ps_static_w = 0;
+    double pl_static_w = 0;
+    double ddr_w = 0;
+    double dynamic_w = 0;
+
+    [[nodiscard]] double total_w() const noexcept {
+        return ps_static_w + pl_static_w + ddr_w + dynamic_w;
+    }
+};
+
+class PowerModel {
+public:
+    [[nodiscard]] static PowerEstimate estimate(const ResourceBreakdown& res,
+                                                double clock_mhz);
+
+    // Energy per decoded token (J) at a given decode rate.
+    [[nodiscard]] static double joules_per_token(const PowerEstimate& p,
+                                                 double tokens_per_s) {
+        return tokens_per_s > 0 ? p.total_w() / tokens_per_s : 0.0;
+    }
+};
+
+}  // namespace efld::analytic

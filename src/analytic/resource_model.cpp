@@ -1,0 +1,87 @@
+#include "analytic/resource_model.hpp"
+
+#include <cmath>
+
+namespace efld::analytic {
+
+FpgaDevice FpgaDevice::kv260() {
+    // Zynq UltraScale+ XCK26 (Kria K26 SOM). CARRY8 count = LUT/8.
+    return {"KV260", {117120, 234240, 14640, 1248, 64, 144}};
+}
+
+FpgaDevice FpgaDevice::zcu102() {
+    return {"ZCU102", {274080, 548160, 34260, 2520, 0, 912}};
+}
+
+FpgaDevice FpgaDevice::u280() {
+    return {"U280", {1303680, 2607360, 162960, 9024, 960, 2016}};
+}
+
+namespace {
+
+// Per-primitive cost constants, calibrated against the paper's Table I
+// (Vivado 2022.2 results for the deployed 128-lane / 4-port configuration).
+// FP16 operators on UltraScale+ fabric: one DSP48E2 plus LUT glue each.
+constexpr double kFp16MulLut = 80, kFp16MulFf = 120, kFp16MulCarry = 6;
+constexpr double kFp16AddLut = 180, kFp16AddFf = 220, kFp16AddCarry = 10;
+constexpr double kUramBits = 294912;  // 4K x 72
+constexpr double kBramBits = 36864;   // BRAM36
+
+}  // namespace
+
+ResourceBreakdown ResourceModel::estimate(const ArchParams& p) {
+    ResourceBreakdown r;
+
+    // ---- Memory Control Unit: per-port datamover + sync/demux/cmdgen ----
+    const double ports = p.axi_ports;
+    const double stream_words = ports * p.axi_port_bits / 512.0;  // 512b streams formed
+    r.mem_ctrl.lut = ports * 2500 + 4000;
+    r.mem_ctrl.ff = ports * 3800 + 5800;
+    r.mem_ctrl.carry = ports * 120 + 120;
+    r.mem_ctrl.dsp = 1;  // address arithmetic
+    r.mem_ctrl.uram = 7.0 * stream_words;       // stream reorder buffers
+    r.mem_ctrl.bram = ports * 6.5 + 4;          // datamover FIFOs + cmd queues
+
+    // ---- Vector Processing Unit: lanes multipliers + (lanes-1) tree adders
+    //      + scaling multiplier/accumulator + dequant stage ----
+    const double lanes = static_cast<double>(p.vpu_lanes);
+    const double adders = lanes - 1;
+    r.vpu.lut = lanes * kFp16MulLut + adders * kFp16AddLut + 900;
+    r.vpu.ff = lanes * kFp16MulFf + adders * kFp16AddFf + 700;
+    r.vpu.carry = lanes * kFp16MulCarry + adders * kFp16AddCarry + 62;
+    r.vpu.dsp = lanes + adders + 11;  // + scaler, accumulator, dequant muls
+    r.vpu.uram = 0;
+    r.vpu.bram = 0;
+
+    // ---- Scalar Processing Unit: fixed submodules + parameterized ROMs ----
+    const double sincos_bram =
+        std::ceil(static_cast<double>(p.sincos_rom_points) * 16 / kBramBits * 2) / 2;
+    const double exp_bram =
+        std::ceil(static_cast<double>(p.exp_rom_entries) * 16 / kBramBits * 2) / 2;
+    // The FIFO stores 16 packs per slot at 24 real bits each (the 8-bit bus
+    // alignment dummy is not kept on chip).
+    const double fifo_uram = std::ceil(
+        static_cast<double>(p.scale_zero_fifo_slots) * 16 * 24 / kUramBits);
+
+    r.spu.lut = 3000 /*rope*/ + 4500 /*softmax*/ + 3500 /*rmsnorm*/ + 3000 /*silu*/ +
+                3000 /*quant*/ + 4000 /*s2p+FIFOs*/ + 8000 /*FSMs*/;
+    r.spu.ff = 4000 + 6000 + 5000 + 4000 + 4500 + 6000 + 10500;
+    r.spu.carry = 1000;
+    r.spu.dsp = 6 /*rotator*/ + 4 /*softmax*/ + 4 /*rsqrt path*/ + 4 /*silu*/ +
+                2 /*quant*/ + 4 /*misc*/;
+    r.spu.uram = fifo_uram;
+    r.spu.bram = sincos_bram + exp_bram + 0.5 /*rmsnorm*/ + 0.5 /*quant*/ +
+                 2.0 /*operand FIFOs*/ + 1.0 /*score buffer*/;
+    return r;
+}
+
+bool ResourceModel::fits(const ResourceBreakdown& est, const FpgaDevice& dev,
+                         double margin) {
+    const ResourceVector t = est.total();
+    const double k = 1.0 - margin;
+    return t.lut <= dev.capacity.lut * k && t.ff <= dev.capacity.ff * k &&
+           t.carry <= dev.capacity.carry * k && t.dsp <= dev.capacity.dsp * k &&
+           t.uram <= dev.capacity.uram * k && t.bram <= dev.capacity.bram * k;
+}
+
+}  // namespace efld::analytic

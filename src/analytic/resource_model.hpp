@@ -1,0 +1,81 @@
+// FPGA resource model (substitutes for the Vivado utilization report).
+//
+// Estimates LUT/FF/CARRY/DSP/URAM/BRAM for each unit of the accelerator from
+// its architectural parameters (VPU lane count, AXI port count, ROM and FIFO
+// depths). Per-primitive cost constants are calibrated against the paper's
+// Table I so the *structure* of the breakdown is preserved: the VPU dominates
+// LUT/DSP (dense fp16 datapath), the MCU dominates BRAM/URAM (datamover and
+// stream buffers), the SPU sits in between with its ROMs and the scale-zero
+// FIFO. The model then answers "does a variant fit the device?" for
+// ablations (more lanes, more ports, wider buses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efld::analytic {
+
+struct ResourceVector {
+    double lut = 0;
+    double ff = 0;
+    double carry = 0;
+    double dsp = 0;
+    double uram = 0;
+    double bram = 0;  // BRAM36 equivalents
+
+    ResourceVector& operator+=(const ResourceVector& o) noexcept {
+        lut += o.lut; ff += o.ff; carry += o.carry;
+        dsp += o.dsp; uram += o.uram; bram += o.bram;
+        return *this;
+    }
+    friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) noexcept {
+        a += b;
+        return a;
+    }
+};
+
+// Device capacity (for utilization percentages).
+struct FpgaDevice {
+    std::string name;
+    ResourceVector capacity;
+
+    [[nodiscard]] static FpgaDevice kv260();    // Zynq UltraScale+ XCK26
+    [[nodiscard]] static FpgaDevice zcu102();   // XCZU9EG
+    [[nodiscard]] static FpgaDevice u280();     // Alveo U280
+};
+
+// Architecture parameters that drive the estimate.
+struct ArchParams {
+    std::size_t vpu_lanes = 128;
+    unsigned axi_ports = 4;
+    unsigned axi_port_bits = 128;
+    std::size_t sincos_rom_points = 4096;
+    std::size_t exp_rom_entries = 1024;
+    std::size_t scale_zero_fifo_slots = 2 * 32 * 32;  // 2 * layers * kv_heads
+    double clock_mhz = 300.0;
+};
+
+struct ResourceBreakdown {
+    ResourceVector mem_ctrl;
+    ResourceVector vpu;
+    ResourceVector spu;
+
+    [[nodiscard]] ResourceVector total() const noexcept { return mem_ctrl + vpu + spu; }
+};
+
+class ResourceModel {
+public:
+    [[nodiscard]] static ResourceBreakdown estimate(const ArchParams& params);
+
+    // True when the estimate fits the device with `margin` headroom
+    // (routing/closure reserve; 70 % LUT is the paper's practical ceiling).
+    [[nodiscard]] static bool fits(const ResourceBreakdown& est, const FpgaDevice& dev,
+                                   double margin = 0.05);
+
+    [[nodiscard]] static double utilization_pct(double used, double capacity) noexcept {
+        return capacity > 0 ? 100.0 * used / capacity : 0.0;
+    }
+};
+
+}  // namespace efld::analytic

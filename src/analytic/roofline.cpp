@@ -1,0 +1,75 @@
+#include "analytic/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace efld::analytic {
+
+DeviceRoofline DeviceRoofline::kv260_accelerator() {
+    // 128 MACs per clock at 300 MHz; 19.2 GB/s DDR4.
+    return {"KV260 (this work)", 128.0 * 300e6, 19.2e9};
+}
+
+DeviceRoofline DeviceRoofline::jetson_agx_orin() {
+    // ~85 int8 sparse TOPS marketing -> ~40e12 dense MACs class; 204.8 GB/s.
+    return {"Jetson AGX Orin", 40e12, 204.8e9};
+}
+
+DeviceRoofline DeviceRoofline::jetson_orin_nano() {
+    return {"Jetson Orin Nano", 10e12, 68e9};
+}
+
+namespace {
+
+// MACs and moved bytes for one full pass over the projection weights.
+struct PassCost {
+    double macs = 0;
+    double bytes = 0;
+};
+
+PassCost weight_pass(const model::ModelConfig& cfg, const model::QuantScheme& scheme) {
+    PassCost p;
+    const double params =
+        static_cast<double>(cfg.layer_params() + cfg.lm_head_params());
+    p.macs = params;  // one MAC per weight per token
+    p.bytes = params * scheme.bytes_per_weight();
+    return p;
+}
+
+RooflinePoint evaluate(const DeviceRoofline& dev, double macs, double bytes) {
+    check(bytes > 0, "Roofline: zero traffic");
+    RooflinePoint pt;
+    pt.intensity = macs / bytes;
+    const double mem_limited = pt.intensity * dev.peak_bytes_per_s;
+    pt.attainable_macs = std::min(dev.peak_macs_per_s, mem_limited);
+    pt.memory_bound = mem_limited <= dev.peak_macs_per_s;
+    return pt;
+}
+
+}  // namespace
+
+RooflinePoint Roofline::decode(const DeviceRoofline& dev, const model::ModelConfig& cfg,
+                               const model::QuantScheme& scheme) {
+    const PassCost p = weight_pass(cfg, scheme);
+    return evaluate(dev, p.macs, p.bytes);
+}
+
+RooflinePoint Roofline::prefill(const DeviceRoofline& dev, const model::ModelConfig& cfg,
+                                const model::QuantScheme& scheme,
+                                std::size_t prompt_len) {
+    check(prompt_len > 0, "Roofline: empty prompt");
+    const PassCost p = weight_pass(cfg, scheme);
+    // Weights cross the bus once; every prompt token multiplies against them.
+    return evaluate(dev, p.macs * static_cast<double>(prompt_len), p.bytes);
+}
+
+double Roofline::crossover_prompt_len(const DeviceRoofline& dev,
+                                      const model::ModelConfig& cfg,
+                                      const model::QuantScheme& scheme) {
+    const PassCost p = weight_pass(cfg, scheme);
+    const double decode_intensity = p.macs / p.bytes;
+    return dev.ridge_intensity() / decode_intensity;
+}
+
+}  // namespace efld::analytic

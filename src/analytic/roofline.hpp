@@ -1,0 +1,66 @@
+// Roofline analysis for LLM inference phases (§VIII discussion support).
+//
+// Decode and prefill sit on opposite sides of the roofline ridge: decode has
+// an operational intensity of ~2 MACs per quantized weight byte (every weight
+// used once), far below any device's ridge point, so it is bandwidth-bound
+// everywhere; prefill multiplies intensity by the prompt length and crosses
+// into the compute-bound region. This module quantifies that for arbitrary
+// (device, model, phase) combinations — the analysis behind the paper's
+// "decode speed is entirely bandwidth-bound" premise and its advice to FPGA
+// vendors about memory systems.
+#pragma once
+
+#include <string>
+
+#include "model/config.hpp"
+
+namespace efld::analytic {
+
+struct DeviceRoofline {
+    std::string name;
+    double peak_macs_per_s = 0;   // compute ceiling
+    double peak_bytes_per_s = 0;  // memory ceiling
+
+    // Operational intensity (MACs/byte) where the two ceilings meet.
+    [[nodiscard]] double ridge_intensity() const noexcept {
+        return peak_bytes_per_s > 0 ? peak_macs_per_s / peak_bytes_per_s : 0.0;
+    }
+
+    // Our accelerator: 128 fp16 MACs/clk at 300 MHz over 19.2 GB/s.
+    [[nodiscard]] static DeviceRoofline kv260_accelerator();
+    // Jetson-class comparators (dense fp16/int8 tensor-core peaks).
+    [[nodiscard]] static DeviceRoofline jetson_agx_orin();
+    [[nodiscard]] static DeviceRoofline jetson_orin_nano();
+};
+
+struct RooflinePoint {
+    double intensity = 0;        // MACs per byte moved
+    double attainable_macs = 0;  // min(compute, intensity * bandwidth)
+    bool memory_bound = false;
+
+    // Decode rate implied by the attainable throughput.
+    [[nodiscard]] double tokens_per_s(double macs_per_token) const noexcept {
+        return macs_per_token > 0 ? attainable_macs / macs_per_token : 0.0;
+    }
+};
+
+class Roofline {
+public:
+    // Decode phase: one token, every weight byte read once.
+    [[nodiscard]] static RooflinePoint decode(const DeviceRoofline& dev,
+                                              const model::ModelConfig& cfg,
+                                              const model::QuantScheme& scheme);
+
+    // Prefill phase processing `prompt_len` tokens per weight pass.
+    [[nodiscard]] static RooflinePoint prefill(const DeviceRoofline& dev,
+                                               const model::ModelConfig& cfg,
+                                               const model::QuantScheme& scheme,
+                                               std::size_t prompt_len);
+
+    // Prompt length at which prefill crosses from memory- to compute-bound.
+    [[nodiscard]] static double crossover_prompt_len(const DeviceRoofline& dev,
+                                                     const model::ModelConfig& cfg,
+                                                     const model::QuantScheme& scheme);
+};
+
+}  // namespace efld::analytic

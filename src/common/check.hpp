@@ -1,0 +1,22 @@
+// Lightweight precondition checking.
+//
+// Library code throws efld::Error on contract violations; this keeps the
+// simulator honest about format invariants (bus alignment, group sizes,
+// address-window fits) without scattering asserts that vanish in release.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace efld {
+
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline void check(bool cond, const std::string& msg) {
+    if (!cond) throw Error(msg);
+}
+
+}  // namespace efld

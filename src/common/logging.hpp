@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is a library first; logging defaults to warnings-only so
+// benches and tests stay quiet, and examples can turn on info/debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace efld {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log_fmt(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log_fmt(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { detail::log_fmt(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log_fmt(LogLevel::kError, args...); }
+
+}  // namespace efld

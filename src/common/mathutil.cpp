@@ -1,0 +1,44 @@
+#include "common/mathutil.hpp"
+
+#include <algorithm>
+
+namespace efld {
+
+void softmax_inplace(std::span<float> x) {
+    if (x.empty()) return;
+    const float m = *std::max_element(x.begin(), x.end());
+    float denom = 0.0f;
+    for (float& v : x) {
+        v = std::exp(v - m);
+        denom += v;
+    }
+    for (float& v : x) v /= denom;
+}
+
+float root_mean_square(std::span<const float> x, float eps) {
+    double acc = 0.0;
+    for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+    return std::sqrt(static_cast<float>(acc / static_cast<double>(x.size())) + eps);
+}
+
+float silu(float x) noexcept { return x / (1.0f + std::exp(-x)); }
+
+float dot_f32(std::span<const float> a, std::span<const float> b) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+    double num = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+        nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+    }
+    if (na == 0.0 && nb == 0.0) return 1.0;
+    if (na == 0.0 || nb == 0.0) return 0.0;
+    return num / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace efld

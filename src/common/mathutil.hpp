@@ -1,0 +1,35 @@
+// Scalar math helpers shared by the reference model and the analytic models.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace efld {
+
+// Numerically stable softmax over `x`, written in place.
+void softmax_inplace(std::span<float> x);
+
+// Root mean square of a vector (RMSNorm denominator before epsilon).
+[[nodiscard]] float root_mean_square(std::span<const float> x, float eps);
+
+// SiLU (sigmoid-weighted linear unit): x * sigmoid(x).
+[[nodiscard]] float silu(float x) noexcept;
+
+// Dot product in float32 (golden reference for the VPU).
+[[nodiscard]] float dot_f32(std::span<const float> a, std::span<const float> b);
+
+// Cosine similarity; returns 1 for two zero vectors.
+[[nodiscard]] double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+// Bytes with binary prefixes.
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+// Memory-vendor units (the "4GB" on the box and "19.2 GB/s" bandwidth are
+// decimal in DDR datasheets for rates, binary for capacity; we keep both and
+// name them explicitly to avoid the classic 7% confusion).
+inline constexpr double kGB = 1e9;
+
+}  // namespace efld

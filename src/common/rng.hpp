@@ -1,0 +1,79 @@
+// Deterministic pseudo-random generation for synthetic weights and workloads.
+//
+// Everything in the repository that needs randomness takes an explicit seed so
+// experiments are reproducible run-to-run; no global state, no std::rand.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace efld {
+
+// SplitMix64: used to expand a user seed into stream state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality stream generator.
+class Xoshiro256 {
+public:
+    explicit Xoshiro256(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    // Uniform in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    // Uniform in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    // Uniform integer in [0, n).
+    std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+    // Standard normal via Box-Muller (stateless variant; discards the pair).
+    double gaussian() noexcept {
+        double u1 = uniform();
+        while (u1 <= 1e-300) u1 = uniform();
+        const double u2 = uniform();
+        constexpr double kTwoPi = 6.283185307179586476925286766559;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+    }
+
+    double gaussian(double mean, double stddev) noexcept {
+        return mean + stddev * gaussian();
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace efld

@@ -1,0 +1,91 @@
+#include "memsim/address_map.hpp"
+
+#include "common/bitpack.hpp"
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace efld::memsim {
+
+namespace {
+constexpr std::uint64_t kLowBase = 0x0000'0000ull;
+constexpr std::uint64_t kLowLimit = 0x7FF0'0000ull;
+constexpr std::uint64_t kHighBase = 0x8000'0000ull;
+constexpr std::uint64_t kHighLimit = 0x1'0000'0000ull;
+constexpr std::uint64_t kFirmwareReserve = 1 * kMiB;
+}  // namespace
+
+AddressMap::AddressMap(Window low, Window high, std::uint64_t reserved)
+    : low_(low), high_(high), reserved_(reserved) {}
+
+AddressMap AddressMap::kv260_bare_metal() {
+    Window low{kLowBase, kLowLimit, kLowBase + kFirmwareReserve};
+    Window high{kHighBase, kHighLimit, kHighBase};
+    return AddressMap(low, high, kFirmwareReserve);
+}
+
+AddressMap AddressMap::generic(std::uint64_t total_bytes, std::uint64_t reserved_bytes) {
+    check(total_bytes > reserved_bytes, "AddressMap: reservation exceeds capacity");
+    const std::uint64_t half = total_bytes / 2;
+    Window low{0, half, reserved_bytes};
+    Window high{half, total_bytes, half};
+    return AddressMap(low, high, reserved_bytes);
+}
+
+Region AddressMap::allocate(const std::string& name, std::uint64_t bytes,
+                            Placement placement) {
+    check(bytes > 0, "AddressMap: zero-size region '" + name + "'");
+    const std::uint64_t aligned = align_up(bytes, 64);
+
+    auto try_window = [&](Window& w) -> std::optional<Region> {
+        if (w.free_bytes() < aligned) return std::nullopt;
+        Region r{name, w.cursor, aligned};
+        w.cursor += aligned;
+        return r;
+    };
+
+    std::optional<Region> placed;
+    switch (placement) {
+        case Placement::kLow:
+            placed = try_window(low_);
+            break;
+        case Placement::kHigh:
+            placed = try_window(high_);
+            break;
+        case Placement::kAny:
+            // Prefer the high window (the paper fills it first with the
+            // embedding table and early-layer weights/KV).
+            placed = try_window(high_);
+            if (!placed) placed = try_window(low_);
+            break;
+    }
+    check(placed.has_value(),
+          "AddressMap: out of memory placing '" + name + "' (" +
+              std::to_string(bytes) + " bytes)");
+    regions_.push_back(*placed);
+    return *placed;
+}
+
+std::optional<Region> AddressMap::find(const std::string& name) const {
+    for (const auto& r : regions_) {
+        if (r.name == name) return r;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t AddressMap::total_capacity() const noexcept {
+    return low_.capacity() + high_.capacity();
+}
+
+std::uint64_t AddressMap::allocated_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& r : regions_) total += r.bytes;
+    return total;
+}
+
+double AddressMap::utilization() const noexcept {
+    const std::uint64_t cap = total_capacity();
+    if (cap == 0) return 0.0;
+    return static_cast<double>(allocated_bytes()) / static_cast<double>(cap);
+}
+
+}  // namespace efld::memsim

@@ -1,0 +1,74 @@
+// Bare-metal address map of the KV260 (Fig. 1 / §VII.A).
+//
+// The Zynq UltraScale+ exposes its 4 GiB of PS DDR as two windows:
+//   low  window: 0x0000'0000 .. 0x7FF0'0000   (2047 MiB; the first 1 MiB
+//                holds the bare-metal program and stack)
+//   high window: 0x8000'0000 .. 0x1'0000'0000 (2048 MiB)
+// The paper places the embedding table, part of the weights, and the KV cache
+// of the first 16 layers in the high window and the rest in the low window.
+// AddressMap allocates named regions inside the two windows and reports
+// capacity utilization — the 93.3 % headline number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efld::memsim {
+
+struct Region {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+
+    [[nodiscard]] std::uint64_t end() const noexcept { return base + bytes; }
+};
+
+struct Window {
+    std::uint64_t base = 0;
+    std::uint64_t limit = 0;  // exclusive
+    std::uint64_t cursor = 0;
+
+    [[nodiscard]] std::uint64_t free_bytes() const noexcept { return limit - cursor; }
+    [[nodiscard]] std::uint64_t capacity() const noexcept { return limit - base; }
+};
+
+class AddressMap {
+public:
+    enum class Placement { kLow, kHigh, kAny };
+
+    // KV260 bare-metal layout: 1 MiB reserved at the bottom of the low window.
+    [[nodiscard]] static AddressMap kv260_bare_metal();
+
+    // Generic device with `total_bytes` DDR split into equal low/high windows
+    // and `reserved_bytes` taken by firmware/OS.
+    [[nodiscard]] static AddressMap generic(std::uint64_t total_bytes,
+                                            std::uint64_t reserved_bytes);
+
+    // Allocates a 64-byte aligned region; throws Error when neither window
+    // fits. Returns the placed region.
+    Region allocate(const std::string& name, std::uint64_t bytes,
+                    Placement placement = Placement::kAny);
+
+    [[nodiscard]] std::optional<Region> find(const std::string& name) const;
+
+    [[nodiscard]] const std::vector<Region>& regions() const noexcept { return regions_; }
+    [[nodiscard]] std::uint64_t total_capacity() const noexcept;
+    [[nodiscard]] std::uint64_t allocated_bytes() const noexcept;
+    [[nodiscard]] std::uint64_t reserved_bytes() const noexcept { return reserved_; }
+
+    // Allocated / total DDR bytes — the paper's capacity-utilization metric
+    // (reserved firmware space counts against utilization).
+    [[nodiscard]] double utilization() const noexcept;
+
+private:
+    AddressMap(Window low, Window high, std::uint64_t reserved);
+
+    Window low_;
+    Window high_;
+    std::uint64_t reserved_ = 0;
+    std::vector<Region> regions_;
+};
+
+}  // namespace efld::memsim

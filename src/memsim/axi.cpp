@@ -1,0 +1,78 @@
+#include "memsim/axi.hpp"
+
+#include <algorithm>
+
+#include "common/bitpack.hpp"
+#include "common/check.hpp"
+
+namespace efld::memsim {
+
+AxiPort::AxiPort(AxiPortConfig cfg) : cfg_(cfg) {
+    check(cfg_.data_bits % 8 == 0 && cfg_.data_bits > 0, "AxiPortConfig: bad data width");
+    check(cfg_.max_burst_beats > 0, "AxiPortConfig: max_burst_beats must be positive");
+    check(cfg_.outstanding > 0, "AxiPortConfig: outstanding must be positive");
+}
+
+std::vector<AxiBurst> AxiPort::frame(const Transaction& txn) const {
+    std::vector<AxiBurst> bursts;
+    std::uint64_t addr = txn.addr;
+    std::uint64_t remaining = txn.bytes;
+    const std::uint64_t max_bytes = cfg_.max_burst_bytes();
+    while (remaining > 0) {
+        // AXI bursts must not cross a 4 KiB boundary.
+        const std::uint64_t to_boundary = 4096 - (addr % 4096);
+        const std::uint64_t len = std::min({remaining, max_bytes, to_boundary});
+        bursts.push_back({addr, len, txn.dir});
+        addr += len;
+        remaining -= len;
+    }
+    return bursts;
+}
+
+double AxiPort::busy_ns(const std::vector<AxiBurst>& bursts) const noexcept {
+    if (bursts.empty()) return 0.0;
+    double clocks = 0.0;
+    for (const auto& b : bursts) {
+        clocks += static_cast<double>(div_ceil(b.bytes, cfg_.bytes_per_beat()));
+    }
+    // With N outstanding transactions the issue overhead of all but every
+    // N-th burst overlaps data transfer.
+    const double exposed_issues =
+        static_cast<double>(bursts.size()) / static_cast<double>(cfg_.outstanding);
+    clocks += exposed_issues * static_cast<double>(cfg_.issue_overhead_clk);
+    return clocks * cfg_.clock_ns();
+}
+
+AxiBundle::AxiBundle(AxiBundleConfig cfg) : cfg_(cfg), port_(cfg.port) {
+    check(cfg_.num_ports > 0, "AxiBundleConfig: num_ports must be positive");
+}
+
+std::vector<Transaction> AxiBundle::split(const Transaction& txn) const {
+    std::vector<Transaction> parts;
+    parts.reserve(cfg_.num_ports);
+    const std::uint64_t beat = cfg_.port.bytes_per_beat();
+    // Contiguous quarters, rounded to beat size so each port sees aligned
+    // bursts; the final part absorbs the remainder.
+    const std::uint64_t base_share =
+        (txn.bytes / cfg_.num_ports) / beat * beat;
+    std::uint64_t addr = txn.addr;
+    std::uint64_t remaining = txn.bytes;
+    for (unsigned p = 0; p < cfg_.num_ports; ++p) {
+        const bool last = (p + 1 == cfg_.num_ports);
+        const std::uint64_t share = last ? remaining : std::min(base_share, remaining);
+        if (share > 0) parts.push_back({addr, share, txn.dir});
+        addr += share;
+        remaining -= share;
+    }
+    return parts;
+}
+
+double AxiBundle::busy_ns(const Transaction& txn) const {
+    double worst = 0.0;
+    for (const auto& part : split(txn)) {
+        worst = std::max(worst, port_.busy_ns(port_.frame(part)));
+    }
+    return worst;
+}
+
+}  // namespace efld::memsim

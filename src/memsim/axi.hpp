@@ -1,0 +1,97 @@
+// AXI high-performance port model (Zynq UltraScale+ S_AXI_HP).
+//
+// The paper's MCU attaches four 128-bit HP ports at 300 MHz so the PL can
+// consume the full 19.2 GB/s of the PS DDR. This model frames logical
+// transactions into AXI bursts (max 256 beats, never crossing a 4 KiB
+// boundary), charges per-burst issue overhead that pipelining mostly hides
+// when several transactions are outstanding, and reports port busy time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/traffic.hpp"
+
+namespace efld::memsim {
+
+struct AxiPortConfig {
+    unsigned data_bits = 128;       // HP port width
+    double clock_mhz = 300.0;       // PL clock
+    unsigned max_burst_beats = 256; // AXI4 INCR limit
+    unsigned outstanding = 8;       // accepted-but-unfinished transactions
+    unsigned issue_overhead_clk = 8;  // AR/AW handshake + first-data latency
+
+    [[nodiscard]] double clock_ns() const noexcept { return 1000.0 / clock_mhz; }
+    [[nodiscard]] std::uint64_t bytes_per_beat() const noexcept { return data_bits / 8; }
+    [[nodiscard]] double peak_bytes_per_s() const noexcept {
+        return clock_mhz * 1e6 * static_cast<double>(bytes_per_beat());
+    }
+    [[nodiscard]] std::uint64_t max_burst_bytes() const noexcept {
+        return std::min<std::uint64_t>(bytes_per_beat() * max_burst_beats, 4096);
+    }
+};
+
+// One framed AXI burst, ready for the DDR model.
+struct AxiBurst {
+    std::uint64_t addr = 0;
+    std::uint64_t bytes = 0;
+    Dir dir = Dir::kRead;
+};
+
+class AxiPort {
+public:
+    explicit AxiPort(AxiPortConfig cfg);
+
+    // Splits a logical transaction into AXI-legal bursts.
+    [[nodiscard]] std::vector<AxiBurst> frame(const Transaction& txn) const;
+
+    // Port-side busy time for a stream of bursts: data beats plus the
+    // fraction of issue overhead that outstanding-transaction pipelining
+    // cannot hide.
+    [[nodiscard]] double busy_ns(const std::vector<AxiBurst>& bursts) const noexcept;
+
+    [[nodiscard]] const AxiPortConfig& config() const noexcept { return cfg_; }
+
+private:
+    AxiPortConfig cfg_;
+};
+
+// Four HP ports operated in lock-step to form one 512-bit stream.
+//
+// The datamover splits every command four ways (contiguous quarters); the
+// "Data Synchronize" stage reassembles 512-bit words. The bundle's effective
+// throughput is limited by the slowest port (they run in lock-step) and by
+// the DDR behind them.
+struct AxiBundleConfig {
+    AxiPortConfig port;
+    unsigned num_ports = 4;
+
+    [[nodiscard]] double peak_bytes_per_s() const noexcept {
+        return port.peak_bytes_per_s() * num_ports;
+    }
+    [[nodiscard]] std::uint64_t stream_bytes_per_clk() const noexcept {
+        return port.bytes_per_beat() * num_ports;  // 64 B => 512-bit words
+    }
+};
+
+class AxiBundle {
+public:
+    explicit AxiBundle(AxiBundleConfig cfg);
+
+    // Splits a logical transaction into per-port sub-transactions
+    // (contiguous quarters, bus-word aligned where possible).
+    [[nodiscard]] std::vector<Transaction> split(const Transaction& txn) const;
+
+    // Busy time of the bundle for one logical transaction (lock-step: the
+    // max over ports of per-port busy time).
+    [[nodiscard]] double busy_ns(const Transaction& txn) const;
+
+    [[nodiscard]] const AxiBundleConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] const AxiPort& port() const noexcept { return port_; }
+
+private:
+    AxiBundleConfig cfg_;
+    AxiPort port_;
+};
+
+}  // namespace efld::memsim

@@ -1,0 +1,32 @@
+#include "memsim/datamover.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::memsim {
+
+void Datamover::queue_mm2s(std::uint64_t addr, std::uint64_t bytes) {
+    check(bytes > 0, "Datamover: zero-length MM2S descriptor");
+    queue_.push_back({addr, bytes, Dir::kRead});
+    ++issued_reads_;
+}
+
+void Datamover::queue_s2mm(std::uint64_t addr, std::uint64_t bytes) {
+    check(bytes > 0, "Datamover: zero-length S2MM descriptor");
+    queue_.push_back({addr, bytes, Dir::kWrite});
+    ++issued_writes_;
+}
+
+Transaction Datamover::pop() {
+    check(!queue_.empty(), "Datamover: pop from empty queue");
+    Transaction t = queue_.front();
+    queue_.pop_front();
+    return t;
+}
+
+TransactionStream Datamover::drain() {
+    TransactionStream stream(queue_.begin(), queue_.end());
+    queue_.clear();
+    return stream;
+}
+
+}  // namespace efld::memsim

@@ -1,0 +1,43 @@
+// MM2S / S2MM datamover command generation.
+//
+// Models the AXI DataMover inside the MCU: the PS writes a token index over
+// AXI-Lite, the command generator walks the weight/KV layout and emits
+// memory-to-stream (MM2S) and stream-to-memory (S2MM) descriptors. Here a
+// descriptor is a Transaction; the queue preserves issue order, which is what
+// the DDR model consumes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "memsim/traffic.hpp"
+
+namespace efld::memsim {
+
+class Datamover {
+public:
+    // Queue a memory-to-stream (read) descriptor.
+    void queue_mm2s(std::uint64_t addr, std::uint64_t bytes);
+    // Queue a stream-to-memory (write) descriptor.
+    void queue_s2mm(std::uint64_t addr, std::uint64_t bytes);
+
+    [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+    // Pops the oldest descriptor.
+    [[nodiscard]] Transaction pop();
+
+    // Drains the queue into a stream (issue order preserved).
+    [[nodiscard]] TransactionStream drain();
+
+    // Descriptor counters (for tests and the Fig. 4 experiment).
+    [[nodiscard]] std::uint64_t issued_reads() const noexcept { return issued_reads_; }
+    [[nodiscard]] std::uint64_t issued_writes() const noexcept { return issued_writes_; }
+
+private:
+    std::deque<Transaction> queue_;
+    std::uint64_t issued_reads_ = 0;
+    std::uint64_t issued_writes_ = 0;
+};
+
+}  // namespace efld::memsim

@@ -1,0 +1,102 @@
+// Cycle-approximate DDR4 timing model.
+//
+// Substitutes for the KV260's PS-side 64-bit DDR4-2400 (19.2 GB/s peak). The
+// decode-speed experiments in the paper are entirely about how close a
+// transaction stream gets to that peak, which is governed by:
+//   - row-buffer locality  (sequential bursts hit open rows; jumps pay
+//     precharge + activate),
+//   - command/bus overheads per burst (short bursts amortize poorly),
+//   - refresh (tRFC every tREFI steals a fixed fraction).
+// The model tracks open rows per bank, charges JEDEC-style penalties in
+// memory-clock cycles, and reports busy time in nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/traffic.hpp"
+
+namespace efld::memsim {
+
+struct DdrConfig {
+    double data_rate_mtps = 2400.0;  // MT/s (two beats per memory clock)
+    unsigned bus_bits = 64;          // data bus width
+    unsigned burst_length = 8;       // BL8: one DRAM burst = 8 beats
+    unsigned banks = 16;             // bank count (4 bank groups x 4)
+    std::uint64_t row_bytes = 8192;  // effective row-buffer footprint per bank
+
+    // Core timings in memory-clock cycles (DDR4-2400 CL17 grade, rounded).
+    unsigned t_rcd = 17;  // activate -> read/write
+    unsigned t_rp = 17;   // precharge
+    unsigned t_cl = 17;   // CAS latency (pipelined away on back-to-back reads)
+    unsigned t_rtw = 8;   // read -> write bus turnaround
+    unsigned t_wtr = 10;  // write -> read turnaround
+
+    // Per-AXI-burst command overhead that cannot be pipelined away by the
+    // controller (arbitration, command bus contention). Charged once per
+    // burst; dominant for short scattered transfers.
+    unsigned cmd_overhead_clk = 2;
+
+    // Fraction of time lost to refresh: tRFC(350ns)/tREFI(7.8us) ~= 4.5%,
+    // partially hidden by bank parallelism in real controllers.
+    double refresh_overhead = 0.032;
+
+    [[nodiscard]] double clock_ghz() const noexcept { return data_rate_mtps / 2.0 / 1000.0; }
+    [[nodiscard]] double clock_ns() const noexcept { return 1.0 / clock_ghz(); }
+    [[nodiscard]] double peak_bytes_per_s() const noexcept {
+        return data_rate_mtps * 1e6 * (bus_bits / 8.0);
+    }
+    [[nodiscard]] std::uint64_t bytes_per_beat() const noexcept { return bus_bits / 8; }
+    [[nodiscard]] std::uint64_t bytes_per_dram_burst() const noexcept {
+        return bytes_per_beat() * burst_length;
+    }
+
+    // Presets used across the experiment suite.
+    [[nodiscard]] static DdrConfig kv260_ddr4_2400();
+    [[nodiscard]] static DdrConfig zcu102_ddr4_2666();
+    [[nodiscard]] static DdrConfig pynq_z2_ddr3();
+};
+
+// Result of pushing one transaction through the model.
+struct DdrAccessResult {
+    double busy_ns = 0.0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+};
+
+class Ddr4Model {
+public:
+    explicit Ddr4Model(DdrConfig cfg);
+
+    // Services one AXI-burst-sized transaction; updates open-row state.
+    DdrAccessResult access(const Transaction& txn);
+
+    // Services a whole stream in order and accumulates statistics.
+    BandwidthStats run(const TransactionStream& stream);
+
+    void reset() noexcept;
+
+    [[nodiscard]] const DdrConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] double peak_bytes_per_s() const noexcept { return cfg_.peak_bytes_per_s(); }
+
+    // Efficiency of a stream relative to the data-sheet peak.
+    [[nodiscard]] static double efficiency(const BandwidthStats& s, const DdrConfig& cfg) noexcept {
+        if (s.busy_ns <= 0.0) return 0.0;
+        return s.achieved_bw() / cfg.peak_bytes_per_s();
+    }
+
+private:
+    struct BankState {
+        std::int64_t open_row = -1;
+    };
+
+    [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const noexcept;
+    [[nodiscard]] std::int64_t row_of(std::uint64_t addr) const noexcept;
+
+    DdrConfig cfg_;
+    std::vector<BankState> banks_;
+    Dir last_dir_ = Dir::kRead;
+    bool has_last_dir_ = false;
+};
+
+}  // namespace efld::memsim

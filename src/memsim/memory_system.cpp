@@ -1,0 +1,79 @@
+#include "memsim/memory_system.hpp"
+
+#include <algorithm>
+
+namespace efld::memsim {
+
+MemorySystemConfig MemorySystemConfig::kv260() { return MemorySystemConfig{}; }
+
+double MemorySystemConfig::peak_bytes_per_s() const noexcept {
+    return std::min(ddr.peak_bytes_per_s(), axi.peak_bytes_per_s());
+}
+
+MemorySystem::MemorySystem(MemorySystemConfig cfg)
+    : cfg_(cfg), bundle_(cfg.axi), ddr_(cfg.ddr) {}
+
+void MemorySystem::reset() noexcept {
+    ddr_.reset();
+    lifetime_ = BandwidthStats{};
+}
+
+double MemorySystem::service(const Transaction& txn) {
+    if (txn.bytes == 0) return 0.0;
+
+    // AXI side: lock-step bundle busy time.
+    const double axi_ns = bundle_.busy_ns(txn);
+
+    // DDR side: the bundle's per-port framing determines the burst stream the
+    // controller sees; run each port's bursts through the DDR model.
+    double ddr_ns = 0.0;
+    std::uint64_t hits = 0, misses = 0, bursts = 0;
+    for (const auto& part : bundle_.split(txn)) {
+        for (const auto& b : bundle_.port().frame(part)) {
+            const DdrAccessResult r = ddr_.access({b.addr, b.bytes, b.dir});
+            ddr_ns += r.busy_ns;
+            hits += r.row_hits;
+            misses += r.row_misses;
+            ++bursts;
+        }
+    }
+
+    const double ns = std::max(axi_ns, ddr_ns);
+    lifetime_.busy_ns += ns;
+    lifetime_.row_hits += hits;
+    lifetime_.row_misses += misses;
+    lifetime_.axi_bursts += bursts;
+    ++lifetime_.transactions;
+    if (txn.dir == Dir::kRead) {
+        lifetime_.read_bytes += txn.bytes;
+    } else {
+        lifetime_.write_bytes += txn.bytes;
+    }
+    return ns;
+}
+
+BandwidthStats MemorySystem::run(const TransactionStream& stream) {
+    BandwidthStats stats;
+    for (const auto& txn : stream) {
+        const std::uint64_t before_hits = lifetime_.row_hits;
+        const std::uint64_t before_misses = lifetime_.row_misses;
+        const std::uint64_t before_bursts = lifetime_.axi_bursts;
+        stats.busy_ns += service(txn);
+        stats.row_hits += lifetime_.row_hits - before_hits;
+        stats.row_misses += lifetime_.row_misses - before_misses;
+        stats.axi_bursts += lifetime_.axi_bursts - before_bursts;
+        ++stats.transactions;
+        if (txn.dir == Dir::kRead) {
+            stats.read_bytes += txn.bytes;
+        } else {
+            stats.write_bytes += txn.bytes;
+        }
+    }
+    return stats;
+}
+
+double MemorySystem::sequential_read_ns(std::uint64_t addr, std::uint64_t bytes) {
+    return service({addr, bytes, Dir::kRead});
+}
+
+}  // namespace efld::memsim

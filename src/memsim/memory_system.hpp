@@ -1,0 +1,54 @@
+// End-to-end memory system: datamover descriptors -> AXI bundle -> DDR4.
+//
+// This is the substrate the accelerator's cycle model queries: "how long does
+// this transaction stream take?" Both sides run at ~19.2 GB/s peak on the
+// KV260, so the service time of a descriptor is the max of the AXI-side and
+// DDR-side busy times (they pipeline against each other).
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/axi.hpp"
+#include "memsim/ddr4_model.hpp"
+#include "memsim/traffic.hpp"
+
+namespace efld::memsim {
+
+struct MemorySystemConfig {
+    DdrConfig ddr = DdrConfig::kv260_ddr4_2400();
+    AxiBundleConfig axi{};  // 4 x 128-bit @ 300 MHz by default
+
+    [[nodiscard]] static MemorySystemConfig kv260();
+    // Peak of the narrower side (on KV260 both are 19.2 GB/s).
+    [[nodiscard]] double peak_bytes_per_s() const noexcept;
+};
+
+class MemorySystem {
+public:
+    explicit MemorySystem(MemorySystemConfig cfg);
+
+    // Services one logical transaction; returns busy nanoseconds.
+    double service(const Transaction& txn);
+
+    // Services a whole stream, accumulating statistics.
+    BandwidthStats run(const TransactionStream& stream);
+
+    // Convenience: time to stream `bytes` sequentially from `addr`.
+    double sequential_read_ns(std::uint64_t addr, std::uint64_t bytes);
+
+    void reset() noexcept;
+
+    [[nodiscard]] const MemorySystemConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] double peak_bytes_per_s() const noexcept { return cfg_.peak_bytes_per_s(); }
+
+    // Lifetime statistics across all service() / run() calls.
+    [[nodiscard]] const BandwidthStats& lifetime_stats() const noexcept { return lifetime_; }
+
+private:
+    MemorySystemConfig cfg_;
+    AxiBundle bundle_;
+    Ddr4Model ddr_;
+    BandwidthStats lifetime_;
+};
+
+}  // namespace efld::memsim

@@ -1,0 +1,51 @@
+// Transaction records and bandwidth statistics shared by the memory models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace efld::memsim {
+
+enum class Dir : std::uint8_t { kRead, kWrite };
+
+// One logical memory transaction as issued by the datamover (before AXI burst
+// framing and DDR command scheduling).
+struct Transaction {
+    std::uint64_t addr = 0;
+    std::uint64_t bytes = 0;
+    Dir dir = Dir::kRead;
+};
+
+// Accumulated traffic statistics for a simulated interval.
+struct BandwidthStats {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t axi_bursts = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    double busy_ns = 0.0;  // time the memory system spent servicing traffic
+
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+        return read_bytes + write_bytes;
+    }
+    // Achieved bandwidth over the busy interval, bytes/second.
+    [[nodiscard]] double achieved_bw() const noexcept {
+        return busy_ns > 0.0 ? static_cast<double>(total_bytes()) / (busy_ns * 1e-9) : 0.0;
+    }
+
+    BandwidthStats& operator+=(const BandwidthStats& o) noexcept {
+        read_bytes += o.read_bytes;
+        write_bytes += o.write_bytes;
+        transactions += o.transactions;
+        axi_bursts += o.axi_bursts;
+        row_hits += o.row_hits;
+        row_misses += o.row_misses;
+        busy_ns += o.busy_ns;
+        return *this;
+    }
+};
+
+using TransactionStream = std::vector<Transaction>;
+
+}  // namespace efld::memsim

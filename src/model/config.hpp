@@ -1,0 +1,130 @@
+// LLaMA-family model geometry and storage footprints.
+//
+// Bandwidth and capacity — the two quantities the paper pushes to the limit —
+// are pure functions of model geometry and quantization scheme. This header
+// is the single source of truth for both, used by the memory planner
+// (Fig. 1), the cycle model (decode time), and the analytic comparison
+// tables (Tables II and III).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace efld::model {
+
+struct ModelConfig {
+    std::string name;
+    std::uint64_t dim = 0;         // hidden size
+    std::uint64_t n_layers = 0;
+    std::uint64_t n_heads = 0;
+    std::uint64_t n_kv_heads = 0;  // < n_heads => grouped-query attention
+    std::uint64_t hidden_dim = 0;  // MLP intermediate size
+    std::uint64_t vocab_size = 0;
+    std::uint64_t max_seq_len = 1024;  // KV-cache reservation (paper: 1024)
+    float rope_theta = 10000.0f;
+    float rms_eps = 1e-5f;
+
+    [[nodiscard]] std::uint64_t head_dim() const noexcept { return dim / n_heads; }
+    [[nodiscard]] std::uint64_t kv_dim() const noexcept { return n_kv_heads * head_dim(); }
+
+    // Parameter counts ------------------------------------------------------
+    [[nodiscard]] std::uint64_t attn_params_per_layer() const noexcept;
+    [[nodiscard]] std::uint64_t mlp_params_per_layer() const noexcept;
+    [[nodiscard]] std::uint64_t norm_params() const noexcept;
+    [[nodiscard]] std::uint64_t embedding_params() const noexcept { return vocab_size * dim; }
+    [[nodiscard]] std::uint64_t lm_head_params() const noexcept { return vocab_size * dim; }
+    [[nodiscard]] std::uint64_t layer_params() const noexcept {
+        return n_layers * (attn_params_per_layer() + mlp_params_per_layer());
+    }
+    [[nodiscard]] std::uint64_t total_params() const noexcept;
+
+    // Presets ---------------------------------------------------------------
+    [[nodiscard]] static ModelConfig llama2_7b();
+    [[nodiscard]] static ModelConfig tinyllama_1_1b();
+    [[nodiscard]] static ModelConfig gpt2_1_5b_geometry();   // byte-count stand-in
+    [[nodiscard]] static ModelConfig chatglm_6b_geometry();  // byte-count stand-in
+    // Small configs for functional tests (bus-format compatible: dim % 128 == 0).
+    [[nodiscard]] static ModelConfig tiny_512();   // dim 512, 4 layers
+    [[nodiscard]] static ModelConfig micro_256();  // dim 256, 2 layers
+};
+
+// Storage scheme mirroring the deployed model (§IV, §VII.A):
+// projections W4 group-128 (AWQ), lm_head W4, embedding table fp16,
+// norm vectors fp16, KV cache 8-bit with 32-bit scale-zero packs.
+struct QuantScheme {
+    unsigned weight_bits = 4;
+    std::uint64_t group_size = 128;
+    unsigned kv_bits = 8;
+    bool embedding_fp16 = true;  // embedding table kept at fp16
+    bool lm_head_quantized = true;
+
+    [[nodiscard]] static QuantScheme w4a16_kv8() { return QuantScheme{}; }
+    [[nodiscard]] static QuantScheme w8a16_kv8() {
+        QuantScheme s;
+        s.weight_bits = 8;
+        return s;
+    }
+    [[nodiscard]] static QuantScheme fp16_baseline() {
+        QuantScheme s;
+        s.weight_bits = 16;
+        s.kv_bits = 16;
+        return s;
+    }
+
+    // Bytes per quantized weight including per-group scale (fp16) and packed
+    // zero point.
+    [[nodiscard]] double bytes_per_weight() const noexcept {
+        if (weight_bits >= 16) return 2.0;
+        return static_cast<double>(weight_bits) / 8.0 +
+               (2.0 + static_cast<double>(weight_bits) / 8.0) /
+                   static_cast<double>(group_size);
+    }
+};
+
+// Byte footprints of a (config, scheme) pair.
+struct ModelFootprint {
+    std::uint64_t embedding_bytes = 0;
+    std::uint64_t layer_weight_bytes = 0;  // all transformer projections
+    std::uint64_t lm_head_bytes = 0;
+    std::uint64_t norm_bytes = 0;
+    std::uint64_t kv_cache_bytes = 0;      // codes for max_seq_len tokens
+    std::uint64_t kv_pack_bytes = 0;       // scale-zero packs
+
+    [[nodiscard]] std::uint64_t weight_bytes() const noexcept {
+        return embedding_bytes + layer_weight_bytes + lm_head_bytes + norm_bytes;
+    }
+    [[nodiscard]] std::uint64_t kv_total_bytes() const noexcept {
+        return kv_cache_bytes + kv_pack_bytes;
+    }
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+        return weight_bytes() + kv_total_bytes();
+    }
+};
+
+[[nodiscard]] ModelFootprint compute_footprint(const ModelConfig& cfg,
+                                               const QuantScheme& scheme);
+
+// Bytes that must cross the memory bus to decode ONE token at context length
+// `ctx`: every weight once (decoding is GEMV — zero reuse), the KV cache of
+// all previous tokens read once, and the new token's KV written once.
+struct DecodeTraffic {
+    std::uint64_t weight_read_bytes = 0;
+    std::uint64_t kv_read_bytes = 0;
+    std::uint64_t kv_write_bytes = 0;
+    std::uint64_t embedding_read_bytes = 0;  // one row of the table
+
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+        return weight_read_bytes + kv_read_bytes + kv_write_bytes + embedding_read_bytes;
+    }
+};
+
+[[nodiscard]] DecodeTraffic decode_traffic(const ModelConfig& cfg,
+                                           const QuantScheme& scheme, std::uint64_t ctx);
+
+// The paper's "theoretical peak decoding speed": bandwidth divided by the
+// model-weight bytes per token (Table II/III footnote 1).
+[[nodiscard]] double theoretical_tokens_per_s(const ModelConfig& cfg,
+                                              const QuantScheme& scheme,
+                                              double bandwidth_bytes_per_s);
+
+}  // namespace efld::model

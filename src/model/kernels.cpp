@@ -1,0 +1,83 @@
+#include "model/kernels.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace efld::model {
+
+void rmsnorm(std::span<const float> x, std::span<const float> weight, float eps,
+             std::span<float> out) {
+    check(x.size() == weight.size() && x.size() == out.size(), "rmsnorm: size mismatch");
+    const float rms = root_mean_square(x, eps);
+    const float inv = 1.0f / rms;
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * inv * weight[i];
+}
+
+void rope_rotate(std::span<float> head_vec, std::size_t pos, float theta_base) {
+    const std::size_t d = head_vec.size();
+    check(d % 2 == 0, "rope_rotate: head_dim must be even");
+    const std::size_t half = d / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        const float freq = std::pow(theta_base,
+                                    -2.0f * static_cast<float>(i) / static_cast<float>(d));
+        const float angle = static_cast<float>(pos) * freq;
+        const float c = std::cos(angle);
+        const float s = std::sin(angle);
+        const float x0 = head_vec[i];
+        const float x1 = head_vec[i + half];
+        head_vec[i] = x0 * c - x1 * s;
+        head_vec[i + half] = x1 * c + x0 * s;
+    }
+}
+
+void softmax(std::span<const float> x, std::span<float> out) {
+    check(x.size() == out.size(), "softmax: size mismatch");
+    if (x.empty()) return;
+    float m = x[0];
+    for (const float v : x) m = std::max(m, v);
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = std::exp(x[i] - m);
+        denom += out[i];
+    }
+    const float inv = 1.0f / denom;
+    for (float& v : out) v *= inv;
+}
+
+void silu_inplace(std::span<float> x) {
+    for (float& v : x) v = silu(v);
+}
+
+void silu_gate(std::span<const float> gate, std::span<const float> up,
+               std::span<float> out) {
+    check(gate.size() == up.size() && gate.size() == out.size(), "silu_gate: size mismatch");
+    for (std::size_t i = 0; i < gate.size(); ++i) out[i] = silu(gate[i]) * up[i];
+}
+
+void attention_head(std::span<const float> q, std::span<const float> keys,
+                    std::span<const float> values, std::size_t ctx,
+                    std::size_t head_dim, std::span<float> out) {
+    check(q.size() == head_dim && out.size() == head_dim, "attention_head: bad head vectors");
+    check(keys.size() >= ctx * head_dim && values.size() >= ctx * head_dim,
+          "attention_head: KV history too small");
+    check(ctx > 0, "attention_head: empty context");
+
+    std::vector<float> scores(ctx);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
+    for (std::size_t t = 0; t < ctx; ++t) {
+        const float dot = dot_f32(q, keys.subspan(t * head_dim, head_dim));
+        scores[t] = dot * inv_sqrt_d;
+    }
+    softmax_inplace(scores);
+
+    for (std::size_t i = 0; i < head_dim; ++i) out[i] = 0.0f;
+    for (std::size_t t = 0; t < ctx; ++t) {
+        const auto v = values.subspan(t * head_dim, head_dim);
+        const float p = scores[t];
+        for (std::size_t i = 0; i < head_dim; ++i) out[i] += p * v[i];
+    }
+}
+
+}  // namespace efld::model

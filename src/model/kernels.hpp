@@ -1,0 +1,38 @@
+// Float32 reference kernels for every operation the SPU implements.
+//
+// These are the golden functions the hardware submodules (accel/spu_*.cpp)
+// are validated against: RMSNorm, rotary position embedding (rotate-half
+// convention, as in LLaMA), numerically stable softmax, SiLU, and attention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace efld::model {
+
+// RMSNorm: out_i = x_i / rms(x) * weight_i,  rms = sqrt(mean(x^2) + eps).
+void rmsnorm(std::span<const float> x, std::span<const float> weight, float eps,
+             std::span<float> out);
+
+// Rotary position embedding over one head vector (rotate-half pairing):
+// for i in [0, d/2): (x_i, x_{i+d/2}) rotated by theta_i = pos * base^(-2i/d).
+void rope_rotate(std::span<float> head_vec, std::size_t pos, float theta_base);
+
+// Numerically stable softmax (three-pass: max, exp-sum, normalize).
+void softmax(std::span<const float> x, std::span<float> out);
+
+// SiLU applied elementwise: x * sigmoid(x).
+void silu_inplace(std::span<float> x);
+
+// Gated MLP activation: out_i = silu(gate_i) * up_i.
+void silu_gate(std::span<const float> gate, std::span<const float> up,
+               std::span<float> out);
+
+// Single-head attention over a contiguous KV history.
+// q: [head_dim]; keys/values: ctx rows of [head_dim]; out: [head_dim].
+void attention_head(std::span<const float> q, std::span<const float> keys,
+                    std::span<const float> values, std::size_t ctx,
+                    std::size_t head_dim, std::span<float> out);
+
+}  // namespace efld::model

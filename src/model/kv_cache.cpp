@@ -1,0 +1,118 @@
+#include "model/kv_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::model {
+
+KvCache::KvCache(const ModelConfig& cfg) : cfg_(cfg), k_(cfg.n_layers), v_(cfg.n_layers) {
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+        k_[l].resize(cfg.max_seq_len * cfg.kv_dim());
+        v_[l].resize(cfg.max_seq_len * cfg.kv_dim());
+    }
+}
+
+void KvCache::append(std::size_t layer, std::span<const float> k, std::span<const float> v) {
+    check(layer < cfg_.n_layers, "KvCache: layer out of range");
+    check(k.size() == cfg_.kv_dim() && v.size() == cfg_.kv_dim(), "KvCache: bad vector size");
+    check(len_ < cfg_.max_seq_len, "KvCache: capacity exceeded");
+    const std::size_t off = len_ * cfg_.kv_dim();
+    std::copy(k.begin(), k.end(), k_[layer].begin() + static_cast<std::ptrdiff_t>(off));
+    std::copy(v.begin(), v.end(), v_[layer].begin() + static_cast<std::ptrdiff_t>(off));
+    // All layers append at the same position; advance after the last layer.
+    if (++appended_this_pos_ == cfg_.n_layers) {
+        appended_this_pos_ = 0;
+        ++len_;
+    }
+}
+
+std::vector<float> KvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
+                                          std::size_t len) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "KvCache: bad head");
+    const std::size_t hd = cfg_.head_dim();
+    std::vector<float> out(len * hd);
+    for (std::size_t t = 0; t < len; ++t) {
+        const float* src = k_[layer].data() + t * cfg_.kv_dim() + kv_head * hd;
+        std::copy(src, src + hd, out.begin() + static_cast<std::ptrdiff_t>(t * hd));
+    }
+    return out;
+}
+
+std::vector<float> KvCache::values_for_head(std::size_t layer, std::size_t kv_head,
+                                            std::size_t len) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "KvCache: bad head");
+    const std::size_t hd = cfg_.head_dim();
+    std::vector<float> out(len * hd);
+    for (std::size_t t = 0; t < len; ++t) {
+        const float* src = v_[layer].data() + t * cfg_.kv_dim() + kv_head * hd;
+        std::copy(src, src + hd, out.begin() + static_cast<std::ptrdiff_t>(t * hd));
+    }
+    return out;
+}
+
+QuantizedKvCache::QuantizedKvCache(const ModelConfig& cfg, unsigned kv_bits)
+    : cfg_(cfg),
+      kv_bits_(kv_bits),
+      k_(cfg.n_layers * cfg.max_seq_len * cfg.n_kv_heads),
+      v_(cfg.n_layers * cfg.max_seq_len * cfg.n_kv_heads) {}
+
+std::size_t QuantizedKvCache::slot(std::size_t layer, std::size_t token,
+                                   std::size_t kv_head) const noexcept {
+    return (layer * cfg_.max_seq_len + token) * cfg_.n_kv_heads + kv_head;
+}
+
+void QuantizedKvCache::append(std::size_t layer, std::span<const float> k,
+                              std::span<const float> v) {
+    check(layer < cfg_.n_layers, "QuantizedKvCache: layer out of range");
+    check(k.size() == cfg_.kv_dim() && v.size() == cfg_.kv_dim(),
+          "QuantizedKvCache: bad vector size");
+    check(len_ < cfg_.max_seq_len, "QuantizedKvCache: capacity exceeded");
+    const std::size_t hd = cfg_.head_dim();
+    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+        // Per-head quantization: one scale-zero pack per head per token, the
+        // granularity the SPU quantizer and the Fig. 4B FIFO operate at.
+        quant::KvQuantized qk = quant::kv_quantize_bits(k.subspan(h * hd, hd), kv_bits_);
+        quant::KvQuantized qv = quant::kv_quantize_bits(v.subspan(h * hd, hd), kv_bits_);
+        k_[slot(layer, len_, h)] = {std::move(qk.codes), qk.params};
+        v_[slot(layer, len_, h)] = {std::move(qv.codes), qv.params};
+    }
+    if (++appended_this_pos_ == cfg_.n_layers) {
+        appended_this_pos_ = 0;
+        ++len_;
+    }
+}
+
+std::vector<float> QuantizedKvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
+                                                   std::size_t len) const {
+    const std::size_t hd = cfg_.head_dim();
+    std::vector<float> out(len * hd);
+    for (std::size_t t = 0; t < len; ++t) {
+        const Entry& e = k_[slot(layer, t, kv_head)];
+        quant::kv_dequantize_into(e.codes, e.params,
+                                  std::span<float>(out).subspan(t * hd, hd));
+    }
+    return out;
+}
+
+std::vector<float> QuantizedKvCache::values_for_head(std::size_t layer, std::size_t kv_head,
+                                                     std::size_t len) const {
+    const std::size_t hd = cfg_.head_dim();
+    std::vector<float> out(len * hd);
+    for (std::size_t t = 0; t < len; ++t) {
+        const Entry& e = v_[slot(layer, t, kv_head)];
+        quant::kv_dequantize_into(e.codes, e.params,
+                                  std::span<float>(out).subspan(t * hd, hd));
+    }
+    return out;
+}
+
+quant::KvQuantParams QuantizedKvCache::key_params(std::size_t layer, std::size_t token,
+                                                  std::size_t kv_head) const {
+    return k_[slot(layer, token, kv_head)].params;
+}
+
+quant::KvQuantParams QuantizedKvCache::value_params(std::size_t layer, std::size_t token,
+                                                    std::size_t kv_head) const {
+    return v_[slot(layer, token, kv_head)].params;
+}
+
+}  // namespace efld::model

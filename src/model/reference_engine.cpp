@@ -1,0 +1,178 @@
+#include "model/reference_engine.hpp"
+
+#include "common/check.hpp"
+#include "model/kernels.hpp"
+#include "model/tensor.hpp"
+
+namespace efld::model {
+
+namespace {
+enum Proj { kWq = 0, kWk, kWv, kWo, kWGate, kWUp, kWDown, kLmHead };
+}
+
+ReferenceEngine::ReferenceEngine(const ModelWeights& weights, bool use_kv8,
+                                 unsigned kv_bits)
+    : cfg_(weights.config),
+      fw_(&weights),
+      use_kv8_(use_kv8),
+      kv_float_(cfg_),
+      kv_quant_(cfg_, kv_bits) {
+    xb_.resize(cfg_.dim);
+    q_.resize(cfg_.dim);
+    k_.resize(cfg_.kv_dim());
+    v_.resize(cfg_.kv_dim());
+    att_out_.resize(cfg_.dim);
+    gate_.resize(cfg_.hidden_dim);
+    up_.resize(cfg_.hidden_dim);
+    hidden_.resize(cfg_.hidden_dim);
+    logits_.resize(cfg_.vocab_size);
+}
+
+ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, bool use_kv8,
+                                 unsigned kv_bits)
+    : cfg_(weights.config),
+      qw_(&weights),
+      use_kv8_(use_kv8),
+      kv_float_(cfg_),
+      kv_quant_(cfg_, kv_bits) {
+    xb_.resize(cfg_.dim);
+    q_.resize(cfg_.dim);
+    k_.resize(cfg_.kv_dim());
+    v_.resize(cfg_.kv_dim());
+    att_out_.resize(cfg_.dim);
+    gate_.resize(cfg_.hidden_dim);
+    up_.resize(cfg_.hidden_dim);
+    hidden_.resize(cfg_.hidden_dim);
+    logits_.resize(cfg_.vocab_size);
+}
+
+void ReferenceEngine::reset() {
+    kv_float_.reset();
+    kv_quant_.reset();
+    pos_ = 0;
+}
+
+void ReferenceEngine::proj(std::size_t layer, int which, std::span<const float> x,
+                           std::span<float> y) const {
+    if (fw_ != nullptr) {
+        const LayerWeights* lw = which == kLmHead ? nullptr : &fw_->layers[layer];
+        switch (which) {
+            case kWq: gemv(lw->wq, x, y); return;
+            case kWk: gemv(lw->wk, x, y); return;
+            case kWv: gemv(lw->wv, x, y); return;
+            case kWo: gemv(lw->wo, x, y); return;
+            case kWGate: gemv(lw->w_gate, x, y); return;
+            case kWUp: gemv(lw->w_up, x, y); return;
+            case kWDown: gemv(lw->w_down, x, y); return;
+            case kLmHead: gemv(fw_->lm_head, x, y); return;
+        }
+    } else {
+        const QuantizedLayerWeights* lw = which == kLmHead ? nullptr : &qw_->layers[layer];
+        const quant::QuantizedLinear* m = nullptr;
+        switch (which) {
+            case kWq: m = &lw->wq; break;
+            case kWk: m = &lw->wk; break;
+            case kWv: m = &lw->wv; break;
+            case kWo: m = &lw->wo; break;
+            case kWGate: m = &lw->w_gate; break;
+            case kWUp: m = &lw->w_up; break;
+            case kWDown: m = &lw->w_down; break;
+            case kLmHead: m = &qw_->lm_head; break;
+        }
+        const std::vector<float> out = m->gemv_reference(x);
+        std::copy(out.begin(), out.end(), y.begin());
+    }
+}
+
+std::span<const float> ReferenceEngine::attn_norm(std::size_t layer) const {
+    return fw_ != nullptr ? std::span<const float>(fw_->layers[layer].attn_norm)
+                          : std::span<const float>(qw_->layers[layer].attn_norm);
+}
+
+std::span<const float> ReferenceEngine::mlp_norm(std::size_t layer) const {
+    return fw_ != nullptr ? std::span<const float>(fw_->layers[layer].mlp_norm)
+                          : std::span<const float>(qw_->layers[layer].mlp_norm);
+}
+
+void ReferenceEngine::attention_block(std::size_t layer, std::span<float> x) {
+    rmsnorm(x, attn_norm(layer), cfg_.rms_eps, xb_);
+
+    proj(layer, kWq, xb_, q_);
+    proj(layer, kWk, xb_, k_);
+    proj(layer, kWv, xb_, v_);
+
+    // RoPE on every query head and key head at the current position.
+    const std::size_t hd = cfg_.head_dim();
+    for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+        rope_rotate(std::span<float>(q_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+    }
+    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+        rope_rotate(std::span<float>(k_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+    }
+
+    if (use_kv8_) {
+        kv_quant_.append(layer, k_, v_);
+    } else {
+        kv_float_.append(layer, k_, v_);
+    }
+    const std::size_t ctx = pos_ + 1;
+
+    const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
+    for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+        const std::size_t kvh = h / heads_per_kv;
+        const std::vector<float> keys = use_kv8_ ? kv_quant_.keys_for_head(layer, kvh, ctx)
+                                                 : kv_float_.keys_for_head(layer, kvh, ctx);
+        const std::vector<float> vals = use_kv8_
+                                            ? kv_quant_.values_for_head(layer, kvh, ctx)
+                                            : kv_float_.values_for_head(layer, kvh, ctx);
+        attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals, ctx, hd,
+                       std::span<float>(att_out_).subspan(h * hd, hd));
+    }
+
+    // Output projection + residual.
+    proj(layer, kWo, att_out_, xb_);
+    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += xb_[i];
+}
+
+void ReferenceEngine::mlp_block(std::size_t layer, std::span<float> x) {
+    rmsnorm(x, mlp_norm(layer), cfg_.rms_eps, xb_);
+    proj(layer, kWGate, xb_, gate_);
+    proj(layer, kWUp, xb_, up_);
+    silu_gate(gate_, up_, hidden_);
+    std::vector<float> down(cfg_.dim);
+    proj(layer, kWDown, hidden_, down);
+    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += down[i];
+}
+
+std::vector<float> ReferenceEngine::forward(std::int32_t token) {
+    check(token >= 0 && static_cast<std::uint64_t>(token) < cfg_.vocab_size,
+          "ReferenceEngine: token out of range");
+    check(pos_ < cfg_.max_seq_len, "ReferenceEngine: context window exhausted");
+
+    // Token embedding lookup.
+    std::vector<float> x(cfg_.dim);
+    const Matrix& emb = fw_ != nullptr ? fw_->embedding : qw_->embedding;
+    const auto row = emb.row(static_cast<std::size_t>(token));
+    std::copy(row.begin(), row.end(), x.begin());
+
+    for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+        attention_block(layer, x);
+        mlp_block(layer, x);
+    }
+    ++pos_;
+
+    rmsnorm(x, fw_ != nullptr ? std::span<const float>(fw_->final_norm)
+                              : std::span<const float>(qw_->final_norm),
+            cfg_.rms_eps, xb_);
+    proj(0, kLmHead, xb_, logits_);
+    return logits_;
+}
+
+std::vector<float> ReferenceEngine::prefill(std::span<const std::int32_t> tokens) {
+    check(!tokens.empty(), "ReferenceEngine: empty prompt");
+    std::vector<float> logits;
+    for (const std::int32_t t : tokens) logits = forward(t);
+    return logits;
+}
+
+}  // namespace efld::model

@@ -1,0 +1,66 @@
+// Software reference inference engine (the golden model).
+//
+// Runs a full LLaMA-style forward pass in float32, with optional W4A16
+// weights and/or KV8 cache so each quantization stage of the deployed
+// pipeline can be validated in isolation:
+//
+//   float weights + float KV   -> pure golden
+//   W4A16 weights + float KV   -> weight-quantization effect only
+//   W4A16 weights + KV8 cache  -> software twin of the accelerator
+//
+// The engine is single-token autoregressive (the decode phase the paper
+// optimizes); prefill is a loop over prompt tokens, exactly like the
+// bare-metal host does on the KV260.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/kv_cache.hpp"
+#include "model/weights.hpp"
+
+namespace efld::model {
+
+class ReferenceEngine {
+public:
+    // Non-owning: `weights` must outlive the engine. `kv_bits` selects the
+    // cache grid when the quantized cache is enabled (8 = KV8, 4 = KV4).
+    explicit ReferenceEngine(const ModelWeights& weights, bool use_kv8 = false,
+                             unsigned kv_bits = 8);
+    explicit ReferenceEngine(const QuantizedModelWeights& weights, bool use_kv8 = false,
+                             unsigned kv_bits = 8);
+
+    // Runs one token at the next position; returns logits [vocab].
+    std::vector<float> forward(std::int32_t token);
+
+    // Feeds a prompt token by token; returns the logits after the last one.
+    std::vector<float> prefill(std::span<const std::int32_t> tokens);
+
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+    [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
+    void reset();
+
+private:
+    void attention_block(std::size_t layer, std::span<float> x);
+    void mlp_block(std::size_t layer, std::span<float> x);
+
+    // Weight accessors bridging the float / quantized storage.
+    void proj(std::size_t layer, int which, std::span<const float> x, std::span<float> y) const;
+    [[nodiscard]] std::span<const float> attn_norm(std::size_t layer) const;
+    [[nodiscard]] std::span<const float> mlp_norm(std::size_t layer) const;
+
+    ModelConfig cfg_;
+    const ModelWeights* fw_ = nullptr;
+    const QuantizedModelWeights* qw_ = nullptr;
+    bool use_kv8_ = false;
+
+    KvCache kv_float_;
+    QuantizedKvCache kv_quant_;
+    std::size_t pos_ = 0;
+
+    // Scratch buffers reused across tokens (no per-token allocation).
+    std::vector<float> xb_, q_, k_, v_, att_out_, gate_, up_, hidden_, logits_;
+};
+
+}  // namespace efld::model

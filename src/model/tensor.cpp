@@ -1,0 +1,18 @@
+#include "model/tensor.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::model {
+
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
+    check(x.size() == w.cols(), "gemv: x size mismatch");
+    check(y.size() == w.rows(), "gemv: y size mismatch");
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        const std::span<const float> row = w.row(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < row.size(); ++c) acc += row[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+}  // namespace efld::model

@@ -1,0 +1,49 @@
+// Minimal owning row-major matrix / vector types for the reference model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace efld::model {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] float& at(std::size_t r, std::size_t c) noexcept {
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+        return std::span<float>(data_).subspan(r * cols_, cols_);
+    }
+    [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+        return std::span<const float>(data_).subspan(r * cols_, cols_);
+    }
+
+    [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+using Vector = std::vector<float>;
+
+// y = W x  (GEMV, float32 golden path).
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
+
+}  // namespace efld::model

@@ -1,0 +1,58 @@
+#include "model/tokenizer.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::model {
+
+void ByteTokenizer::add_merge(std::string text) {
+    check(!text.empty(), "ByteTokenizer: empty merge");
+    merges_.push_back(std::move(text));
+}
+
+std::vector<std::int32_t> ByteTokenizer::encode(std::string_view text, bool add_bos) const {
+    std::vector<std::int32_t> ids;
+    ids.reserve(text.size() + 1);
+    if (add_bos) ids.push_back(kBos);
+    std::size_t i = 0;
+    while (i < text.size()) {
+        // Greedy longest-match against the merge table.
+        std::size_t best_len = 0;
+        std::int32_t best_id = -1;
+        for (std::size_t m = 0; m < merges_.size(); ++m) {
+            const std::string& s = merges_[m];
+            if (s.size() > best_len && text.substr(i, s.size()) == s) {
+                best_len = s.size();
+                best_id = kByteBase + 256 + static_cast<std::int32_t>(m);
+            }
+        }
+        if (best_id >= 0) {
+            ids.push_back(best_id);
+            i += best_len;
+        } else {
+            ids.push_back(kByteBase + static_cast<std::uint8_t>(text[i]));
+            ++i;
+        }
+    }
+    return ids;
+}
+
+std::string ByteTokenizer::decode_token(std::int32_t id) const {
+    if (id < 0) return "";
+    if (id < kByteBase) return "";  // specials render as nothing
+    if (id < kByteBase + 256) {
+        return std::string(1, static_cast<char>(id - kByteBase));
+    }
+    const std::size_t m = static_cast<std::size_t>(id - kByteBase - 256);
+    // Models may have a larger vocab than the tokenizer's table (padding
+    // rows); those ids render as U+FFFD, as real detokenizers do.
+    if (m >= merges_.size()) return "\xEF\xBF\xBD";
+    return merges_[m];
+}
+
+std::string ByteTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+    std::string out;
+    for (const std::int32_t id : ids) out += decode_token(id);
+    return out;
+}
+
+}  // namespace efld::model

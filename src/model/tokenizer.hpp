@@ -1,0 +1,42 @@
+// Byte-level tokenizer (stand-in for the SentencePiece vocab we cannot ship).
+//
+// On the real system the PS CPU runs the tokenizer; the accelerator only sees
+// token indices. A byte-level scheme preserves exactly that interface:
+// ids 0..2 are specials, 3..258 are raw bytes, and ids above that are
+// reserved for learned merges (a greedy longest-match merge table can be
+// loaded for tests of multi-byte tokens).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efld::model {
+
+class ByteTokenizer {
+public:
+    static constexpr std::int32_t kPad = 0;
+    static constexpr std::int32_t kBos = 1;
+    static constexpr std::int32_t kEos = 2;
+    static constexpr std::int32_t kByteBase = 3;
+
+    ByteTokenizer() = default;
+
+    // Adds a merge entry: `text` becomes a single token id (longest match wins).
+    void add_merge(std::string text);
+
+    [[nodiscard]] std::vector<std::int32_t> encode(std::string_view text,
+                                                   bool add_bos = true) const;
+    [[nodiscard]] std::string decode(const std::vector<std::int32_t>& ids) const;
+    [[nodiscard]] std::string decode_token(std::int32_t id) const;
+
+    [[nodiscard]] std::int32_t vocab_size() const noexcept {
+        return kByteBase + 256 + static_cast<std::int32_t>(merges_.size());
+    }
+
+private:
+    std::vector<std::string> merges_;  // id = kByteBase + 256 + index
+};
+
+}  // namespace efld::model

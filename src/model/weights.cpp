@@ -1,0 +1,80 @@
+#include "model/weights.hpp"
+
+#include "common/rng.hpp"
+
+namespace efld::model {
+
+namespace {
+
+void fill_gaussian(std::span<float> data, Xoshiro256& rng, double stddev) {
+    for (float& v : data) v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+    Matrix m(rows, cols);
+    // Xavier-ish scale keeps activations O(1) through the stack.
+    fill_gaussian(m.flat(), rng, 1.0 / std::sqrt(static_cast<double>(cols)));
+    return m;
+}
+
+Vector random_norm_weight(std::size_t n, Xoshiro256& rng) {
+    Vector v(n);
+    for (float& x : v) x = static_cast<float>(1.0 + 0.02 * rng.gaussian());
+    return v;
+}
+
+}  // namespace
+
+ModelWeights ModelWeights::synthetic(const ModelConfig& cfg, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    ModelWeights w;
+    w.config = cfg;
+    w.embedding = random_matrix(cfg.vocab_size, cfg.dim, rng);
+    w.layers.resize(cfg.n_layers);
+    for (auto& layer : w.layers) {
+        layer.wq = random_matrix(cfg.dim, cfg.dim, rng);
+        layer.wk = random_matrix(cfg.kv_dim(), cfg.dim, rng);
+        layer.wv = random_matrix(cfg.kv_dim(), cfg.dim, rng);
+        layer.wo = random_matrix(cfg.dim, cfg.dim, rng);
+        layer.w_gate = random_matrix(cfg.hidden_dim, cfg.dim, rng);
+        layer.w_up = random_matrix(cfg.hidden_dim, cfg.dim, rng);
+        layer.w_down = random_matrix(cfg.dim, cfg.hidden_dim, rng);
+        layer.attn_norm = random_norm_weight(cfg.dim, rng);
+        layer.mlp_norm = random_norm_weight(cfg.dim, rng);
+    }
+    w.final_norm = random_norm_weight(cfg.dim, rng);
+    w.lm_head = random_matrix(cfg.vocab_size, cfg.dim, rng);
+    return w;
+}
+
+QuantizedModelWeights QuantizedModelWeights::quantize(const ModelWeights& w,
+                                                      const quant::GroupQuantConfig& qc) {
+    using quant::QuantizedLinear;
+    QuantizedModelWeights q;
+    q.config = w.config;
+    q.quant_config = qc;
+    q.embedding = w.embedding;
+    q.final_norm = w.final_norm;
+    q.layers.resize(w.layers.size());
+    for (std::size_t i = 0; i < w.layers.size(); ++i) {
+        const LayerWeights& src = w.layers[i];
+        QuantizedLayerWeights& dst = q.layers[i];
+        dst.wq = QuantizedLinear::quantize(src.wq.flat(), src.wq.rows(), src.wq.cols(), qc);
+        dst.wk = QuantizedLinear::quantize(src.wk.flat(), src.wk.rows(), src.wk.cols(), qc);
+        dst.wv = QuantizedLinear::quantize(src.wv.flat(), src.wv.rows(), src.wv.cols(), qc);
+        dst.wo = QuantizedLinear::quantize(src.wo.flat(), src.wo.rows(), src.wo.cols(), qc);
+        dst.w_gate = QuantizedLinear::quantize(src.w_gate.flat(), src.w_gate.rows(),
+                                               src.w_gate.cols(), qc);
+        dst.w_up = QuantizedLinear::quantize(src.w_up.flat(), src.w_up.rows(),
+                                             src.w_up.cols(), qc);
+        dst.w_down = QuantizedLinear::quantize(src.w_down.flat(), src.w_down.rows(),
+                                               src.w_down.cols(), qc);
+        dst.attn_norm = src.attn_norm;
+        dst.mlp_norm = src.mlp_norm;
+    }
+    q.lm_head = quant::QuantizedLinear::quantize(w.lm_head.flat(), w.lm_head.rows(),
+                                                 w.lm_head.cols(), qc);
+    return q;
+}
+
+}  // namespace efld::model

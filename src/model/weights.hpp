@@ -1,0 +1,61 @@
+// Model weight containers: float (golden) and W4A16-quantized forms.
+//
+// Real LLaMA2 checkpoints are not available offline, so weights are generated
+// synthetically with a seeded RNG at realistic magnitudes (~N(0, 1/sqrt(dim))).
+// Bandwidth/capacity results depend only on geometry; numerics are validated
+// by comparing the quantized pipeline against these float weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/tensor.hpp"
+#include "quant/groupquant.hpp"
+
+namespace efld::model {
+
+struct LayerWeights {
+    Matrix wq;  // [dim, dim]
+    Matrix wk;  // [kv_dim, dim]
+    Matrix wv;  // [kv_dim, dim]
+    Matrix wo;  // [dim, dim]
+    Matrix w_gate;  // [hidden, dim]
+    Matrix w_up;    // [hidden, dim]
+    Matrix w_down;  // [dim, hidden]
+    Vector attn_norm;  // [dim]
+    Vector mlp_norm;   // [dim]
+};
+
+struct ModelWeights {
+    ModelConfig config;
+    Matrix embedding;  // [vocab, dim]
+    std::vector<LayerWeights> layers;
+    Vector final_norm;  // [dim]
+    Matrix lm_head;     // [vocab, dim]
+
+    // Deterministic synthetic initialization.
+    [[nodiscard]] static ModelWeights synthetic(const ModelConfig& cfg, std::uint64_t seed);
+};
+
+struct QuantizedLayerWeights {
+    quant::QuantizedLinear wq, wk, wv, wo, w_gate, w_up, w_down;
+    Vector attn_norm;
+    Vector mlp_norm;
+};
+
+struct QuantizedModelWeights {
+    ModelConfig config;
+    quant::GroupQuantConfig quant_config;
+    Matrix embedding;  // fp16-resolution values kept in float storage
+    std::vector<QuantizedLayerWeights> layers;
+    Vector final_norm;
+    quant::QuantizedLinear lm_head;
+
+    // Quantizes every projection of a float model (plain group quant; the
+    // AWQ search variant lives in quant/awq.hpp and is exercised separately).
+    [[nodiscard]] static QuantizedModelWeights quantize(const ModelWeights& w,
+                                                        const quant::GroupQuantConfig& qc);
+};
+
+}  // namespace efld::model

@@ -1,0 +1,104 @@
+#include "quant/awq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::quant {
+
+std::vector<float> activation_importance(std::span<const float> acts,
+                                         std::size_t samples, std::size_t cols) {
+    check(acts.size() == samples * cols, "activation_importance: size mismatch");
+    check(samples > 0, "activation_importance: need at least one sample");
+    std::vector<float> imp(cols, 0.0f);
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            imp[j] += std::abs(acts[s * cols + j]);
+        }
+    }
+    for (float& v : imp) v /= static_cast<float>(samples);
+    return imp;
+}
+
+namespace {
+
+// Output MSE of quantized-gemv vs float-gemv over the calibration batch.
+double output_mse(const QuantizedLinear& q, std::span<const float> weights,
+                  std::span<const float> calib, std::size_t samples,
+                  std::span<const float> channel_scale) {
+    const std::size_t rows = q.rows();
+    const std::size_t cols = q.cols();
+    const std::vector<float> wq = q.dequantize();
+    double mse = 0.0;
+    std::vector<float> xs(cols);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const float* x = calib.data() + s * cols;
+        for (std::size_t j = 0; j < cols; ++j) xs[j] = x[j] / channel_scale[j];
+        for (std::size_t r = 0; r < rows; ++r) {
+            double y_ref = 0.0, y_q = 0.0;
+            const float* wrow = weights.data() + r * cols;
+            const float* qrow = wq.data() + r * cols;
+            for (std::size_t j = 0; j < cols; ++j) {
+                y_ref += static_cast<double>(wrow[j]) * x[j];
+                y_q += static_cast<double>(qrow[j]) * xs[j];
+            }
+            const double d = y_ref - y_q;
+            mse += d * d;
+        }
+    }
+    return mse / static_cast<double>(samples * rows);
+}
+
+}  // namespace
+
+AwqResult awq_quantize(std::span<const float> weights, std::size_t rows,
+                       std::size_t cols, std::span<const float> calib,
+                       std::size_t samples, const AwqConfig& cfg) {
+    check(weights.size() == rows * cols, "awq_quantize: weight size mismatch");
+    check(calib.size() == samples * cols, "awq_quantize: calib size mismatch");
+    check(cfg.grid_points >= 1, "awq_quantize: need at least one grid point");
+
+    const std::vector<float> imp = activation_importance(calib, samples, cols);
+
+    AwqResult best;
+    std::vector<float> scaled(rows * cols);
+    std::vector<float> s(cols);
+
+    for (unsigned gi = 0; gi < cfg.grid_points; ++gi) {
+        const float alpha =
+            static_cast<float>(gi) / static_cast<float>(cfg.grid_points);
+
+        // s_j = imp_j^alpha, normalized so the geometric mean is 1 (keeps the
+        // overall weight magnitude unchanged, as in AutoAWQ).
+        double log_sum = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            s[j] = std::pow(std::max(imp[j], cfg.eps), alpha);
+            log_sum += std::log(static_cast<double>(s[j]));
+        }
+        const float norm =
+            static_cast<float>(std::exp(log_sum / static_cast<double>(cols)));
+        for (std::size_t j = 0; j < cols; ++j) {
+            s[j] = std::max(s[j] / norm, cfg.eps);
+        }
+
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t j = 0; j < cols; ++j) {
+                scaled[r * cols + j] = weights[r * cols + j] * s[j];
+            }
+        }
+
+        QuantizedLinear q = QuantizedLinear::quantize(scaled, rows, cols, cfg.group);
+        const double mse = output_mse(q, weights, calib, samples, s);
+        if (gi == 0) best.baseline_mse = mse;
+        if (gi == 0 || mse < best.best_mse) {
+            best.best_mse = mse;
+            best.best_alpha = alpha;
+            best.layer = std::move(q);
+            best.channel_scale = s;
+        }
+    }
+    return best;
+}
+
+}  // namespace efld::quant

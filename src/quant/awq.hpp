@@ -1,0 +1,46 @@
+// AWQ-style activation-aware weight scaling.
+//
+// AWQ's core observation: a small fraction of weight channels matter far more
+// than others, and their importance is visible in the *activation* magnitudes.
+// Before group quantization, each input channel j is scaled by
+// s_j = (mean |x_j|)^alpha (normalized), and the activations are divided by
+// s_j at runtime — mathematically a no-op, but it shifts quantization error
+// away from salient channels. `alpha` is chosen by grid search minimizing the
+// output MSE on a calibration set, exactly as AutoAWQ does per layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "quant/groupquant.hpp"
+
+namespace efld::quant {
+
+struct AwqConfig {
+    GroupQuantConfig group{};
+    unsigned grid_points = 20;  // alpha candidates in [0, 1)
+    float eps = 1e-6f;          // floor for activation statistics
+};
+
+struct AwqResult {
+    QuantizedLinear layer;            // quantized W * diag(s)
+    std::vector<float> channel_scale; // s_j, to divide into activations
+    float best_alpha = 0.0f;
+    double best_mse = 0.0;            // output MSE at best_alpha
+    double baseline_mse = 0.0;        // output MSE with no AWQ scaling (alpha=0)
+};
+
+// Per-input-channel mean absolute activation over a calibration batch
+// laid out row-major [samples, cols].
+[[nodiscard]] std::vector<float> activation_importance(std::span<const float> acts,
+                                                       std::size_t samples,
+                                                       std::size_t cols);
+
+// Runs the alpha grid search and returns the scaled-and-quantized layer.
+// `weights` is [rows, cols] row-major; `calib` is [samples, cols].
+[[nodiscard]] AwqResult awq_quantize(std::span<const float> weights, std::size_t rows,
+                                     std::size_t cols, std::span<const float> calib,
+                                     std::size_t samples, const AwqConfig& cfg);
+
+}  // namespace efld::quant

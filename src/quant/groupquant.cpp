@@ -1,0 +1,139 @@
+#include "quant/groupquant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace efld::quant {
+
+QuantizedLinear QuantizedLinear::quantize(std::span<const float> weights,
+                                          std::size_t rows, std::size_t cols,
+                                          const GroupQuantConfig& cfg) {
+    check(rows > 0 && cols > 0, "QuantizedLinear: empty matrix");
+    check(weights.size() == rows * cols, "QuantizedLinear: size mismatch");
+    check(cfg.group_size > 0 && cols % cfg.group_size == 0,
+          "QuantizedLinear: cols must be a multiple of group_size");
+    check(cfg.bits >= 2 && cfg.bits <= 8, "QuantizedLinear: bits out of range");
+
+    QuantizedLinear q;
+    q.cfg_ = cfg;
+    q.rows_ = rows;
+    q.cols_ = cols;
+    q.codes_.resize(rows * cols);
+    const std::size_t groups = q.num_groups();
+    q.scales_.resize(groups);
+    q.zeros_.resize(groups);
+
+    const float qmaxf = static_cast<float>(cfg.qmax());
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t base = g * cfg.group_size;
+        float lo = weights[base];
+        float hi = weights[base];
+        for (std::size_t i = 1; i < cfg.group_size; ++i) {
+            lo = std::min(lo, weights[base + i]);
+            hi = std::max(hi, weights[base + i]);
+        }
+        // Asymmetric min/max quantization; zero point must itself be a code.
+        lo = std::min(lo, 0.0f);
+        hi = std::max(hi, 0.0f);
+        float scale = (hi - lo) / qmaxf;
+        if (scale <= 0.0f) scale = 1.0f;
+        // The hardware stores the scale as fp16; quantize codes against the
+        // *stored* scale so dequantization is exact w.r.t. the codes.
+        const Fp16 scale_h = Fp16::from_float(scale);
+        const float scale_q = scale_h.to_float();
+        const std::uint8_t zp = static_cast<std::uint8_t>(std::clamp(
+            static_cast<int>(std::lround(-lo / scale_q)), 0, static_cast<int>(cfg.qmax())));
+
+        q.scales_[g] = scale_h;
+        q.zeros_[g] = zp;
+        for (std::size_t i = 0; i < cfg.group_size; ++i) {
+            const int code = static_cast<int>(std::lround(weights[base + i] / scale_q)) + zp;
+            q.codes_[base + i] = static_cast<std::uint8_t>(
+                std::clamp(code, 0, static_cast<int>(cfg.qmax())));
+        }
+    }
+    return q;
+}
+
+std::vector<float> QuantizedLinear::dequantize() const {
+    std::vector<float> out(rows_ * cols_);
+    const std::size_t groups = num_groups();
+    for (std::size_t g = 0; g < groups; ++g) {
+        dequantize_group(g, std::span<float>(out).subspan(g * cfg_.group_size, cfg_.group_size));
+    }
+    return out;
+}
+
+void QuantizedLinear::dequantize_group(std::size_t group_index, std::span<float> out) const {
+    check(group_index < num_groups(), "dequantize_group: group out of range");
+    check(out.size() == cfg_.group_size, "dequantize_group: bad output span");
+    const float s = scales_[group_index].to_float();
+    const int z = zeros_[group_index];
+    const std::size_t base = group_index * cfg_.group_size;
+    for (std::size_t i = 0; i < cfg_.group_size; ++i) {
+        out[i] = static_cast<float>(static_cast<int>(codes_[base + i]) - z) * s;
+    }
+}
+
+std::vector<float> QuantizedLinear::gemv_reference(std::span<const float> x) const {
+    check(x.size() == cols_, "gemv_reference: input size mismatch");
+    std::vector<float> y(rows_, 0.0f);
+    std::vector<float> group(cfg_.group_size);
+    const std::size_t gpr = groups_per_row();
+    for (std::size_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        for (std::size_t g = 0; g < gpr; ++g) {
+            dequantize_group(r * gpr + g, group);
+            const std::size_t xbase = g * cfg_.group_size;
+            for (std::size_t i = 0; i < cfg_.group_size; ++i) {
+                acc += group[i] * x[xbase + i];
+            }
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::uint64_t QuantizedLinear::packed_bytes() const noexcept {
+    const std::uint64_t code_bits =
+        static_cast<std::uint64_t>(rows_) * cols_ * cfg_.bits;
+    const std::uint64_t scale_bits = static_cast<std::uint64_t>(num_groups()) * 16;
+    const std::uint64_t zero_bits = static_cast<std::uint64_t>(num_groups()) * cfg_.bits;
+    return (code_bits + scale_bits + zero_bits) / 8;
+}
+
+QuantizedLinear QuantizedLinear::from_parts(std::vector<std::uint8_t> codes,
+                                            std::vector<Fp16> scales,
+                                            std::vector<std::uint8_t> zeros,
+                                            std::size_t rows, std::size_t cols,
+                                            const GroupQuantConfig& cfg) {
+    check(codes.size() == rows * cols, "from_parts: codes size mismatch");
+    check(cols % cfg.group_size == 0, "from_parts: cols not group aligned");
+    const std::size_t groups = rows * (cols / cfg.group_size);
+    check(scales.size() == groups, "from_parts: scales size mismatch");
+    check(zeros.size() == groups, "from_parts: zeros size mismatch");
+    QuantizedLinear q;
+    q.cfg_ = cfg;
+    q.rows_ = rows;
+    q.cols_ = cols;
+    q.codes_ = std::move(codes);
+    q.scales_ = std::move(scales);
+    q.zeros_ = std::move(zeros);
+    return q;
+}
+
+QuantError quant_error(std::span<const float> original,
+                       std::span<const float> reconstructed) {
+    QuantError e;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const double d = static_cast<double>(original[i]) - static_cast<double>(reconstructed[i]);
+        e.mse += d * d;
+        e.max_abs = std::max(e.max_abs, std::abs(d));
+    }
+    if (!original.empty()) e.mse /= static_cast<double>(original.size());
+    return e;
+}
+
+}  // namespace efld::quant

@@ -1,0 +1,90 @@
+// W4A16 group quantization (AWQ-style storage layout).
+//
+// Weights are quantized per group of `group_size` consecutive input-channel
+// elements within one output row: 4-bit codes, one fp16 scale and one 4-bit
+// zero point per group. Activations stay fp16 — the VPU dequantizes on the
+// fly (512b of codes -> 128 fp16 values) and multiplies in floating point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fp16.hpp"
+
+namespace efld::quant {
+
+struct GroupQuantConfig {
+    std::size_t group_size = 128;  // weights per scale/zero group
+    unsigned bits = 4;             // code width
+
+    [[nodiscard]] std::uint8_t qmax() const noexcept {
+        return static_cast<std::uint8_t>((1u << bits) - 1u);
+    }
+};
+
+// A quantized linear layer y = W x, W of shape [rows, cols] (out, in).
+// Codes are stored one byte per weight for the functional model; the bus
+// format (weight_format.hpp) packs them to 4 bits.
+class QuantizedLinear {
+public:
+    QuantizedLinear() = default;
+
+    // Quantizes a row-major float matrix.
+    [[nodiscard]] static QuantizedLinear quantize(std::span<const float> weights,
+                                                  std::size_t rows, std::size_t cols,
+                                                  const GroupQuantConfig& cfg);
+
+    // Full dequantization to float (golden reference).
+    [[nodiscard]] std::vector<float> dequantize() const;
+
+    // Dequantizes a single group (128 weights) into `out`.
+    void dequantize_group(std::size_t group_index, std::span<float> out) const;
+
+    // Reference GEMV over the dequantized weights in float32.
+    [[nodiscard]] std::vector<float> gemv_reference(std::span<const float> x) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t groups_per_row() const noexcept { return cols_ / cfg_.group_size; }
+    [[nodiscard]] std::size_t num_groups() const noexcept { return rows_ * groups_per_row(); }
+    [[nodiscard]] const GroupQuantConfig& config() const noexcept { return cfg_; }
+
+    [[nodiscard]] std::span<const std::uint8_t> codes() const noexcept { return codes_; }
+    [[nodiscard]] std::span<const Fp16> scales() const noexcept { return scales_; }
+    [[nodiscard]] std::span<const std::uint8_t> zeros() const noexcept { return zeros_; }
+
+    [[nodiscard]] Fp16 scale(std::size_t group) const { return scales_[group]; }
+    [[nodiscard]] std::uint8_t zero(std::size_t group) const { return zeros_[group]; }
+
+    // Memory footprint of the packed representation (codes at `bits` each,
+    // fp16 scales, zero points packed at `bits` each) — the capacity model's
+    // input.
+    [[nodiscard]] std::uint64_t packed_bytes() const noexcept;
+
+    // Construction from raw parts (used by the format decoder and tests).
+    [[nodiscard]] static QuantizedLinear from_parts(std::vector<std::uint8_t> codes,
+                                                    std::vector<Fp16> scales,
+                                                    std::vector<std::uint8_t> zeros,
+                                                    std::size_t rows, std::size_t cols,
+                                                    const GroupQuantConfig& cfg);
+
+private:
+    GroupQuantConfig cfg_;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::uint8_t> codes_;  // rows*cols, values in [0, qmax]
+    std::vector<Fp16> scales_;         // one per group
+    std::vector<std::uint8_t> zeros_;  // one per group, values in [0, qmax]
+};
+
+// Quantization error metrics for tests and the AWQ search.
+struct QuantError {
+    double mse = 0.0;
+    double max_abs = 0.0;
+};
+
+[[nodiscard]] QuantError quant_error(std::span<const float> original,
+                                     std::span<const float> reconstructed);
+
+}  // namespace efld::quant

@@ -1,0 +1,62 @@
+#include "quant/scale_zero_pack.hpp"
+
+#include "common/check.hpp"
+
+namespace efld::quant {
+
+std::uint32_t encode_scale_zero(KvQuantParams p) noexcept {
+    return static_cast<std::uint32_t>(p.scale.bits()) |
+           (static_cast<std::uint32_t>(p.zero) << 16);
+    // bits [24,32) are the alignment dummy and stay zero
+}
+
+KvQuantParams decode_scale_zero(std::uint32_t pack) noexcept {
+    KvQuantParams p;
+    p.scale = Fp16::from_bits(static_cast<std::uint16_t>(pack & 0xFFFFu));
+    p.zero = static_cast<std::uint8_t>((pack >> 16) & 0xFFu);
+    return p;
+}
+
+ScaleZeroFifo::ScaleZeroFifo(std::size_t layers, std::size_t kv_heads)
+    : layers_(layers), kv_heads_(kv_heads), slots_(2 * layers * kv_heads) {
+    check(layers > 0 && kv_heads > 0, "ScaleZeroFifo: empty geometry");
+}
+
+std::size_t ScaleZeroFifo::index(std::size_t layer, std::size_t head, bool is_value) const {
+    check(layer < layers_ && head < kv_heads_, "ScaleZeroFifo: slot out of range");
+    return ((layer * kv_heads_) + head) * 2 + (is_value ? 1 : 0);
+}
+
+std::optional<Word512> ScaleZeroFifo::append(std::size_t layer, std::size_t head,
+                                             bool is_value, std::size_t token_index,
+                                             KvQuantParams params) {
+    Slot& slot = slots_[index(layer, head, is_value)];
+    const std::size_t lane = token_index % kPacksPerWord;
+    check(lane == slot.fill, "ScaleZeroFifo: out-of-order token append");
+    slot.word.set_word32(lane, encode_scale_zero(params));
+    ++slot.fill;
+    if (slot.fill == kPacksPerWord) {
+        Word512 full = slot.word;
+        slot = Slot{};
+        ++words_flushed_;
+        return full;
+    }
+    return std::nullopt;
+}
+
+std::optional<Word512> ScaleZeroFifo::flush(std::size_t layer, std::size_t head,
+                                            bool is_value) {
+    Slot& slot = slots_[index(layer, head, is_value)];
+    if (slot.fill == 0) return std::nullopt;
+    Word512 partial = slot.word;
+    slot = Slot{};
+    ++words_flushed_;
+    return partial;
+}
+
+std::size_t ScaleZeroFifo::slot_fill(std::size_t layer, std::size_t head,
+                                     bool is_value) const {
+    return slots_[index(layer, head, is_value)].fill;
+}
+
+}  // namespace efld::quant

@@ -1,0 +1,69 @@
+// KV-cache scale-zero packing FIFO (Fig. 4B).
+//
+// Scales and zero points of the KV cache are produced one pair at a time
+// (per head, per layer, per K/V) during decoding. Writing each 32-bit pack to
+// DDR individually would be a disastrously short transaction, so the SPU
+// keeps one FIFO slot per (layer, head, K|V) stream. Each slot accumulates
+// packs across 16 consecutive tokens into one 512-bit bus word; the word is
+// flushed to DDR only when full — i.e. every 16 tokens — keeping all KV
+// scalar traffic bus-width aligned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitpack.hpp"
+#include "quant/kvquant.hpp"
+
+namespace efld::quant {
+
+// 32-bit pack: fp16 scale | u8 zero | u8 pad (alignment dummy).
+[[nodiscard]] std::uint32_t encode_scale_zero(KvQuantParams p) noexcept;
+[[nodiscard]] KvQuantParams decode_scale_zero(std::uint32_t pack) noexcept;
+
+inline constexpr std::size_t kPacksPerWord = kBusBits / 32;  // 16 tokens per flush
+
+class ScaleZeroFifo {
+public:
+    // One slot per KV scalar stream: 2 (K and V) * layers * kv_heads.
+    ScaleZeroFifo(std::size_t layers, std::size_t kv_heads);
+
+    // Appends a pack for `token_index` to the slot for (layer, head, is_value).
+    // Returns the filled 512-bit word when this append completes a 16-token
+    // window (the caller sends it to DDR), nullopt otherwise.
+    std::optional<Word512> append(std::size_t layer, std::size_t head, bool is_value,
+                                  std::size_t token_index, KvQuantParams params);
+
+    // Drains a partially filled slot (end of generation); invalid lanes stay 0.
+    [[nodiscard]] std::optional<Word512> flush(std::size_t layer, std::size_t head,
+                                               bool is_value);
+
+    [[nodiscard]] std::size_t num_slots() const noexcept { return slots_.size(); }
+    [[nodiscard]] std::size_t slot_fill(std::size_t layer, std::size_t head,
+                                        bool is_value) const;
+
+    // On-chip footprint in bytes (the URAM cost in Table I's SPU column).
+    [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
+        return static_cast<std::uint64_t>(slots_.size()) * kBusBytes;
+    }
+
+    // Total words flushed so far (the Fig. 4 transaction count experiment).
+    [[nodiscard]] std::uint64_t words_flushed() const noexcept { return words_flushed_; }
+
+private:
+    struct Slot {
+        Word512 word{};
+        std::size_t fill = 0;
+    };
+
+    [[nodiscard]] std::size_t index(std::size_t layer, std::size_t head,
+                                    bool is_value) const;
+
+    std::size_t layers_;
+    std::size_t kv_heads_;
+    std::vector<Slot> slots_;
+    std::uint64_t words_flushed_ = 0;
+};
+
+}  // namespace efld::quant

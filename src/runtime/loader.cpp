@@ -1,0 +1,219 @@
+#include "runtime/loader.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace efld::runtime {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+class ByteWriter {
+public:
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void f32(float v) { raw(&v, sizeof v); }
+    void raw(const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+    std::uint32_t u32() { return read<std::uint32_t>(); }
+    std::uint64_t u64() { return read<std::uint64_t>(); }
+    float f32() { return read<float>(); }
+    void raw(void* p, std::size_t n) {
+        check(pos_ + n <= buf_.size(), "loader: truncated image");
+        std::memcpy(p, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+private:
+    template <typename T>
+    T read() {
+        T v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+void write_fp16_vec(ByteWriter& w, const std::vector<Fp16>& v) {
+    w.u64(v.size());
+    for (const Fp16 h : v) {
+        const std::uint16_t b = h.bits();
+        w.raw(&b, sizeof b);
+    }
+}
+
+std::vector<Fp16> read_fp16_vec(ByteReader& r) {
+    std::vector<Fp16> v(r.u64());
+    for (auto& h : v) {
+        std::uint16_t b;
+        r.raw(&b, sizeof b);
+        h = Fp16::from_bits(b);
+    }
+    return v;
+}
+
+void write_matrix(ByteWriter& w, const accel::PackedMatrix& m) {
+    w.u64(m.rows);
+    w.u64(m.cols);
+    w.u64(m.stream.size());
+    for (const Word512& word : m.stream) {
+        w.raw(word.lanes.data(), sizeof word.lanes);
+    }
+}
+
+accel::PackedMatrix read_matrix(ByteReader& r) {
+    accel::PackedMatrix m;
+    m.rows = r.u64();
+    m.cols = r.u64();
+    m.stream.resize(r.u64());
+    for (Word512& word : m.stream) {
+        r.raw(word.lanes.data(), sizeof word.lanes);
+    }
+    return m;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> serialize_model(const accel::PackedModel& m) {
+    ByteWriter body;
+    body.u64(m.config.dim);
+    body.u64(m.config.n_layers);
+    body.u64(m.config.n_heads);
+    body.u64(m.config.n_kv_heads);
+    body.u64(m.config.hidden_dim);
+    body.u64(m.config.vocab_size);
+    body.u64(m.config.max_seq_len);
+    body.f32(m.config.rope_theta);
+    body.f32(m.config.rms_eps);
+    body.u32(static_cast<std::uint32_t>(m.config.name.size()));
+    body.raw(m.config.name.data(), m.config.name.size());
+
+    write_fp16_vec(body, m.embedding);
+    body.u64(m.layers.size());
+    for (const auto& l : m.layers) {
+        write_matrix(body, l.wq);
+        write_matrix(body, l.wk);
+        write_matrix(body, l.wv);
+        write_matrix(body, l.wo);
+        write_matrix(body, l.w_gate);
+        write_matrix(body, l.w_up);
+        write_matrix(body, l.w_down);
+        write_fp16_vec(body, l.attn_norm);
+        write_fp16_vec(body, l.mlp_norm);
+    }
+    write_fp16_vec(body, m.final_norm);
+    write_matrix(body, m.lm_head);
+
+    const std::vector<std::uint8_t> payload = body.take();
+    ByteWriter img;
+    img.u32(kImageMagic);
+    img.u32(kImageVersion);
+    img.u64(payload.size());
+    img.u32(crc32(payload.data(), payload.size()));
+    img.raw(payload.data(), payload.size());
+    return img.take();
+}
+
+accel::PackedModel deserialize_model(const std::vector<std::uint8_t>& img) {
+    ByteReader hdr(img);
+    check(hdr.u32() == kImageMagic, "loader: bad magic");
+    check(hdr.u32() == kImageVersion, "loader: unsupported version");
+    const std::uint64_t payload_len = hdr.u64();
+    const std::uint32_t expect_crc = hdr.u32();
+    check(hdr.position() + payload_len == img.size(), "loader: size mismatch");
+    check(crc32(img.data() + hdr.position(), payload_len) == expect_crc,
+          "loader: CRC mismatch (corrupt image)");
+
+    std::vector<std::uint8_t> payload(img.begin() + static_cast<std::ptrdiff_t>(hdr.position()),
+                                      img.end());
+    ByteReader r(payload);
+    accel::PackedModel m;
+    m.config.dim = r.u64();
+    m.config.n_layers = r.u64();
+    m.config.n_heads = r.u64();
+    m.config.n_kv_heads = r.u64();
+    m.config.hidden_dim = r.u64();
+    m.config.vocab_size = r.u64();
+    m.config.max_seq_len = r.u64();
+    m.config.rope_theta = r.f32();
+    m.config.rms_eps = r.f32();
+    std::string name(r.u32(), '\0');
+    r.raw(name.data(), name.size());
+    m.config.name = std::move(name);
+
+    m.embedding = read_fp16_vec(r);
+    m.layers.resize(r.u64());
+    for (auto& l : m.layers) {
+        l.wq = read_matrix(r);
+        l.wk = read_matrix(r);
+        l.wv = read_matrix(r);
+        l.wo = read_matrix(r);
+        l.w_gate = read_matrix(r);
+        l.w_up = read_matrix(r);
+        l.w_down = read_matrix(r);
+        l.attn_norm = read_fp16_vec(r);
+        l.mlp_norm = read_fp16_vec(r);
+    }
+    m.final_norm = read_fp16_vec(r);
+    m.lm_head = read_matrix(r);
+    return m;
+}
+
+void save_model(const accel::PackedModel& m, const std::string& path) {
+    const std::vector<std::uint8_t> img = serialize_model(m);
+    std::ofstream f(path, std::ios::binary);
+    check(f.good(), "loader: cannot open '" + path + "' for writing");
+    f.write(reinterpret_cast<const char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+    check(f.good(), "loader: write failed for '" + path + "'");
+}
+
+accel::PackedModel load_model(const std::string& path) {
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    check(f.good(), "loader: cannot open '" + path + "'");
+    const std::streamsize size = f.tellg();
+    f.seekg(0);
+    std::vector<std::uint8_t> img(static_cast<std::size_t>(size));
+    f.read(reinterpret_cast<char*>(img.data()), size);
+    check(f.good(), "loader: read failed for '" + path + "'");
+    return deserialize_model(img);
+}
+
+}  // namespace efld::runtime

@@ -1,0 +1,31 @@
+// Packed-model serialization: the "SD-card image" of §VII.A.
+//
+// The offline flow quantizes a checkpoint, converts it to the Fig. 4A bus
+// format and writes a flat image; the bare-metal loader copies it into DDR.
+// The image format here is that flat file: a header with the model geometry,
+// then every section in load order, each protected by a CRC32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/packed_model.hpp"
+
+namespace efld::runtime {
+
+inline constexpr std::uint32_t kImageMagic = 0x45464C44;  // "EFLD"
+inline constexpr std::uint32_t kImageVersion = 1;
+
+// CRC32 (IEEE 802.3, reflected) over a byte span.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept;
+
+// Serializes a packed model to a flat byte image / restores it.
+[[nodiscard]] std::vector<std::uint8_t> serialize_model(const accel::PackedModel& m);
+[[nodiscard]] accel::PackedModel deserialize_model(const std::vector<std::uint8_t>& img);
+
+// File variants (SD-card round trip).
+void save_model(const accel::PackedModel& m, const std::string& path);
+[[nodiscard]] accel::PackedModel load_model(const std::string& path);
+
+}  // namespace efld::runtime

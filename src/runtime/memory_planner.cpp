@@ -1,0 +1,74 @@
+#include "runtime/memory_planner.hpp"
+
+#include "common/mathutil.hpp"
+
+namespace efld::runtime {
+
+MemoryPlan MemoryPlanner::plan_kv260(const model::ModelConfig& cfg,
+                                     const model::QuantScheme& scheme) {
+    return plan(cfg, scheme, 4 * kGiB, 1 * kMiB);
+}
+
+MemoryPlan MemoryPlanner::plan(const model::ModelConfig& cfg,
+                               const model::QuantScheme& scheme,
+                               std::uint64_t device_bytes, std::uint64_t reserved_bytes) {
+    const model::ModelFootprint f = model::compute_footprint(cfg, scheme);
+
+    MemoryPlan p;
+    p.device_bytes = device_bytes;
+    p.reserved_bytes = reserved_bytes;
+    p.weight_bytes = f.weight_bytes();
+    p.kv_bytes = f.kv_total_bytes();
+    const std::uint64_t need = p.weight_bytes + p.kv_bytes + reserved_bytes;
+    p.fits = need <= device_bytes;
+    p.free_bytes = p.fits ? device_bytes - need : 0;
+    p.utilization = static_cast<double>(p.weight_bytes + p.kv_bytes) /
+                    static_cast<double>(device_bytes);
+
+    auto pct = [&](std::uint64_t b) {
+        return 100.0 * static_cast<double>(b) / static_cast<double>(device_bytes);
+    };
+    p.regions = {
+        {"firmware/bare-metal program", reserved_bytes, pct(reserved_bytes)},
+        {"embedding table", f.embedding_bytes, pct(f.embedding_bytes)},
+        {"transformer weights (W" + std::to_string(scheme.weight_bits) + ")",
+         f.layer_weight_bytes, pct(f.layer_weight_bytes)},
+        {"lm_head", f.lm_head_bytes, pct(f.lm_head_bytes)},
+        {"norm vectors", f.norm_bytes, pct(f.norm_bytes)},
+        {"KV cache codes (" + std::to_string(cfg.max_seq_len) + " tok)", f.kv_cache_bytes,
+         pct(f.kv_cache_bytes)},
+        {"KV scale-zero packs", f.kv_pack_bytes, pct(f.kv_pack_bytes)},
+        {"free", p.free_bytes, pct(p.free_bytes)},
+    };
+    return p;
+}
+
+std::uint64_t MemoryPlanner::max_context(const model::ModelConfig& cfg,
+                                         const model::QuantScheme& scheme,
+                                         std::uint64_t device_bytes,
+                                         std::uint64_t reserved_bytes) {
+    model::ModelConfig probe = cfg;
+    probe.max_seq_len = 16;
+    if (!plan(probe, scheme, device_bytes, reserved_bytes).fits) return 0;
+
+    // KV bytes grow linearly in context; binary-search the largest fit.
+    std::uint64_t lo = 16, hi = 1u << 20;
+    while (lo < hi) {
+        const std::uint64_t mid = (lo + hi + 16) / 32 * 16;
+        probe.max_seq_len = mid;
+        if (plan(probe, scheme, device_bytes, reserved_bytes).fits) {
+            lo = mid;
+        } else {
+            hi = mid - 16;
+        }
+    }
+    return lo;
+}
+
+bool MemoryPlanner::fits_with_os(const model::ModelConfig& cfg,
+                                 const model::QuantScheme& scheme,
+                                 std::uint64_t device_bytes, std::uint64_t os_bytes) {
+    return plan(cfg, scheme, device_bytes, os_bytes).fits;
+}
+
+}  // namespace efld::runtime

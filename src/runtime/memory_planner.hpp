@@ -1,0 +1,62 @@
+// Bare-metal memory planning (Fig. 1 / §VII.A).
+//
+// Decides whether a (model, quantization, context) combination fits a
+// device's DDR and reports the capacity-utilization breakdown the paper
+// headlines (93.3 % on the KV260). Also answers the planning questions the
+// discussion section raises: the largest context that fits, and the largest
+// model a hypothetical device could hold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/address_map.hpp"
+#include "model/config.hpp"
+
+namespace efld::runtime {
+
+struct PlanRegion {
+    std::string name;
+    std::uint64_t bytes = 0;
+    double pct_of_total = 0.0;
+};
+
+struct MemoryPlan {
+    bool fits = false;
+    std::uint64_t device_bytes = 0;
+    std::uint64_t reserved_bytes = 0;   // bare-metal program + firmware
+    std::uint64_t weight_bytes = 0;
+    std::uint64_t kv_bytes = 0;
+    std::uint64_t free_bytes = 0;
+    double utilization = 0.0;           // (weights + kv) / device
+    std::vector<PlanRegion> regions;
+};
+
+class MemoryPlanner {
+public:
+    // KV260: 4 GiB DDR, 1 MiB firmware reservation, split address windows.
+    [[nodiscard]] static MemoryPlan plan_kv260(const model::ModelConfig& cfg,
+                                               const model::QuantScheme& scheme);
+
+    [[nodiscard]] static MemoryPlan plan(const model::ModelConfig& cfg,
+                                         const model::QuantScheme& scheme,
+                                         std::uint64_t device_bytes,
+                                         std::uint64_t reserved_bytes);
+
+    // Largest context length (multiple of 16) whose KV cache still fits next
+    // to the weights; 0 when even the weights do not fit.
+    [[nodiscard]] static std::uint64_t max_context(const model::ModelConfig& cfg,
+                                                   const model::QuantScheme& scheme,
+                                                   std::uint64_t device_bytes,
+                                                   std::uint64_t reserved_bytes);
+
+    // Whether a Linux kernel (~`os_bytes` resident) could coexist — the
+    // paper's argument for going bare-metal.
+    [[nodiscard]] static bool fits_with_os(const model::ModelConfig& cfg,
+                                           const model::QuantScheme& scheme,
+                                           std::uint64_t device_bytes,
+                                           std::uint64_t os_bytes);
+};
+
+}  // namespace efld::runtime

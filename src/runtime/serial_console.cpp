@@ -1,0 +1,29 @@
+#include "runtime/serial_console.hpp"
+
+#include <ostream>
+
+namespace efld::runtime {
+
+void SerialConsole::emit(const std::string& text, double sim_time_ns) {
+    transcript_ += text;
+    stamps_.push_back(sim_time_ns);
+    if (echo_ != nullptr) {
+        (*echo_) << text << std::flush;
+    }
+}
+
+void SerialConsole::newline() {
+    transcript_ += '\n';
+    if (echo_ != nullptr) {
+        (*echo_) << '\n';
+    }
+}
+
+double SerialConsole::tokens_per_s() const noexcept {
+    if (stamps_.size() < 2) return 0.0;
+    const double span_ns = stamps_.back() - stamps_.front();
+    if (span_ns <= 0.0) return 0.0;
+    return static_cast<double>(stamps_.size() - 1) * 1e9 / span_ns;
+}
+
+}  // namespace efld::runtime

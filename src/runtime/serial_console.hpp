@@ -1,0 +1,34 @@
+// Serial console model: the UART the bare-metal program streams tokens to.
+//
+// Collects decoded text with per-token timestamps (simulated nanoseconds) and
+// optionally echoes to a std::ostream — what a user sees on the KV260's
+// serial port, including the token rate line the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace efld::runtime {
+
+class SerialConsole {
+public:
+    explicit SerialConsole(std::ostream* echo = nullptr) : echo_(echo) {}
+
+    void emit(const std::string& text, double sim_time_ns);
+    void newline();
+
+    [[nodiscard]] const std::string& transcript() const noexcept { return transcript_; }
+    [[nodiscard]] std::size_t tokens_emitted() const noexcept { return stamps_.size(); }
+
+    // Decode rate over the emitted tokens (simulated clock).
+    [[nodiscard]] double tokens_per_s() const noexcept;
+
+private:
+    std::ostream* echo_;
+    std::string transcript_;
+    std::vector<double> stamps_;
+};
+
+}  // namespace efld::runtime

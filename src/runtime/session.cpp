@@ -1,0 +1,54 @@
+#include "runtime/session.hpp"
+
+#include <iostream>
+
+#include "common/check.hpp"
+
+namespace efld::runtime {
+
+InferenceSession::InferenceSession(accel::PackedModel model, SessionOptions opts)
+    : model_(std::make_unique<accel::PackedModel>(std::move(model))),
+      opts_(opts),
+      accel_(std::make_unique<accel::Accelerator>(*model_, opts.accel)),
+      sampler_(opts.sampler),
+      console_(opts.echo_to_stdout ? &std::cout : nullptr) {
+    check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <= model_->config.vocab_size,
+          "InferenceSession: model vocab too small for the byte tokenizer");
+}
+
+InferenceSession InferenceSession::synthetic(const model::ModelConfig& cfg,
+                                             std::uint64_t seed, SessionOptions opts) {
+    const model::ModelWeights fw = model::ModelWeights::synthetic(cfg, seed);
+    quant::GroupQuantConfig qc;  // W4 group-128, the deployed scheme
+    const model::QuantizedModelWeights qw = model::QuantizedModelWeights::quantize(fw, qc);
+    return InferenceSession(accel::PackedModel::build(qw), opts);
+}
+
+GenerationOutput InferenceSession::generate(const std::string& prompt,
+                                            std::size_t max_new_tokens) {
+    const std::vector<std::int32_t> prompt_ids = tokenizer_.encode(prompt);
+    check(!prompt_ids.empty(), "InferenceSession: empty prompt after tokenization");
+
+    GenerationOutput out;
+    accel::StepResult last;
+    for (const std::int32_t id : prompt_ids) last = accel_->step(id);
+
+    double sim_ns = 0.0;
+    for (std::size_t i = 0;
+         i < max_new_tokens && accel_->position() < model_->config.max_seq_len; ++i) {
+        const std::int32_t next = sampler_.sample(last.logits);
+        out.tokens.push_back(next);
+        sim_ns += last.timing.total_ns;
+        console_.emit(tokenizer_.decode_token(next), sim_ns);
+        if (next == model::ByteTokenizer::kEos) break;
+        last = accel_->step(next);
+    }
+    console_.newline();
+    out.text = tokenizer_.decode(out.tokens);
+    out.simulated_ns = sim_ns;
+    return out;
+}
+
+void InferenceSession::reset() { accel_->reset(); }
+
+}  // namespace efld::runtime

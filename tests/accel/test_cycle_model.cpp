@@ -1,0 +1,172 @@
+// Decode cycle model: the paper's headline performance numbers.
+#include <gtest/gtest.h>
+
+#include "accel/cycle_model.hpp"
+
+namespace efld::accel {
+namespace {
+
+DecodeCycleModel llama_model(bool fine = true) {
+    AccelConfig acc;
+    acc.fine_grained_fusion = fine;
+    return DecodeCycleModel(model::ModelConfig::llama2_7b(),
+                            model::QuantScheme::w4a16_kv8(), acc);
+}
+
+TEST(CycleModel, DecodeRateNearPaperHeadline) {
+    // Paper: ~4.9 token/s at deployment. Accept the "around 5 token/s" band.
+    DecodeCycleModel m = llama_model();
+    const TokenTiming t = m.token_timing(512);
+    EXPECT_GT(t.tokens_per_s(), 4.5);
+    EXPECT_LT(t.tokens_per_s(), 5.6);
+}
+
+TEST(CycleModel, BandwidthUtilizationNearPaper) {
+    // Paper: 84.5% of the 5.8 token/s theoretical limit (at the reported
+    // operating point). Require the simulated point to land in 80-90%.
+    DecodeCycleModel m = llama_model();
+    const double util = m.bandwidth_utilization(512);
+    EXPECT_GT(util, 0.78);
+    EXPECT_LT(util, 0.92);
+}
+
+TEST(CycleModel, RateDecreasesWithContext) {
+    DecodeCycleModel m = llama_model();
+    const double r0 = m.token_timing(0).tokens_per_s();
+    const double r512 = m.token_timing(512).tokens_per_s();
+    const double r1023 = m.token_timing(1023).tokens_per_s();
+    EXPECT_GT(r0, r512);
+    EXPECT_GT(r512, r1023);
+    // KV traffic at 1023 tokens is ~8% of weights: rate drop bounded.
+    EXPECT_GT(r1023, r0 * 0.85);
+}
+
+TEST(CycleModel, WeightBytesMatchFootprint) {
+    DecodeCycleModel m = llama_model();
+    const TokenTiming t = m.token_timing(0);
+    // Weight traffic per token ~= packed weight bytes (3.43 GB).
+    EXPECT_NEAR(static_cast<double>(t.weight_bytes), 3.43e9, 0.05e9);
+    EXPECT_EQ(t.kv_read_bytes, 0u);
+}
+
+TEST(CycleModel, KvBytesMatchContext) {
+    DecodeCycleModel m = llama_model();
+    const TokenTiming t = m.token_timing(256);
+    // Codes: 2*32*4096*256; packs: 2*32*32*ceil(256/16)*64.
+    EXPECT_EQ(t.kv_read_bytes,
+              2ull * 32 * 4096 * 256 + 2ull * 32 * 32 * 16 * 64);
+    EXPECT_EQ(t.kv_write_bytes, 2ull * 32 * 4096);  // codes only (t%16 != 15)
+}
+
+TEST(CycleModel, PackWritesAppearEvery16thToken) {
+    DecodeCycleModel m = llama_model();
+    const auto t14 = m.token_timing(14);
+    const auto t15 = m.token_timing(15);
+    EXPECT_EQ(t15.kv_write_bytes - t14.kv_write_bytes, 2ull * 32 * 32 * 64);
+}
+
+TEST(CycleModel, CoarsePipelineIsSlower) {
+    DecodeCycleModel fine = llama_model(true);
+    DecodeCycleModel coarse = llama_model(false);
+    const double f = fine.token_timing(512).total_ns;
+    const double c = coarse.token_timing(512).total_ns;
+    EXPECT_GT(c, f * 1.02);  // misc exposure must cost measurably
+}
+
+TEST(CycleModel, FineHidesSpuWork) {
+    DecodeCycleModel m = llama_model(true);
+    const TokenTiming t = m.token_timing(512);
+    // Hidden misc ops: exposure must be a tiny fraction of total.
+    EXPECT_LT(t.spu_exposed_ns, t.total_ns * 0.01);
+}
+
+TEST(CycleModel, CoarseExposesSpuWork) {
+    DecodeCycleModel m = llama_model(false);
+    const TokenTiming t = m.token_timing(512);
+    EXPECT_GT(t.spu_exposed_ns, t.total_ns * 0.02);
+}
+
+TEST(CycleModel, OpBreakdownCollectable) {
+    DecodeCycleModel m = llama_model();
+    const TokenTiming t = m.token_timing(64, /*collect_ops=*/true);
+    EXPECT_FALSE(t.ops.empty());
+    double sum = 0;
+    for (const auto& op : t.ops) sum += op.total_ns;
+    EXPECT_LE(sum, t.total_ns + 1.0);
+    // Projections dominate: find at least one op with mem_ns >> compute gap.
+    bool found_weight_op = false;
+    for (const auto& op : t.ops) {
+        if (op.name == "gate_proj") {
+            found_weight_op = true;
+            EXPECT_GT(op.mem_ns, 0.0);
+        }
+    }
+    EXPECT_TRUE(found_weight_op);
+}
+
+TEST(CycleModel, GenerationTimingAggregates) {
+    DecodeCycleModel m = llama_model();
+    const GenerationTiming g = m.generate_timing(0, 3);
+    EXPECT_EQ(g.tokens, 3u);
+    EXPECT_GT(g.tokens_per_s(), 4.0);
+    EXPECT_LT(g.tokens_per_s(), 6.0);
+}
+
+TEST(CycleModel, W8HalvesDecodeRate) {
+    AccelConfig acc;
+    model::ModelConfig cfg = model::ModelConfig::llama2_7b();
+    cfg.max_seq_len = 256;  // W8 weights + KV must still fit the map
+    DecodeCycleModel w4(cfg, model::QuantScheme::w4a16_kv8(), acc);
+    // W8 at 7B does NOT fit 4 GiB (6.9 GB weights) — verified elsewhere.
+    // Use TinyLlama for the W4-vs-W8 rate ratio instead.
+    model::ModelConfig tl = model::ModelConfig::tinyllama_1_1b();
+    DecodeCycleModel t4(tl, model::QuantScheme::w4a16_kv8(), acc);
+    DecodeCycleModel t8(tl, model::QuantScheme::w8a16_kv8(), acc);
+    const double r4 = t4.token_timing(128).tokens_per_s();
+    const double r8 = t8.token_timing(128).tokens_per_s();
+    EXPECT_NEAR(r4 / r8, 2.0, 0.25);
+    (void)w4;
+}
+
+TEST(CycleModel, TinyLlamaOnKv260FasterThan7B) {
+    AccelConfig acc;
+    DecodeCycleModel tiny(model::ModelConfig::tinyllama_1_1b(),
+                          model::QuantScheme::w4a16_kv8(), acc);
+    DecodeCycleModel big = llama_model();
+    EXPECT_GT(tiny.token_timing(128).tokens_per_s(),
+              4.0 * big.token_timing(128).tokens_per_s());
+}
+
+TEST(CycleModel, MoreBandwidthMoreSpeed) {
+    AccelConfig acc;
+    memsim::MemorySystemConfig fast = memsim::MemorySystemConfig::kv260();
+    fast.ddr.data_rate_mtps = 4800;  // hypothetical DDR5-class part
+    fast.axi.port.clock_mhz = 600;
+    AccelConfig fast_acc;
+    fast_acc.clock_mhz = 600;  // PL must consume 512b/clk at the higher rate
+    DecodeCycleModel slow(model::ModelConfig::llama2_7b(),
+                          model::QuantScheme::w4a16_kv8(), acc);
+    DecodeCycleModel quick(model::ModelConfig::llama2_7b(),
+                           model::QuantScheme::w4a16_kv8(), fast_acc, fast);
+    EXPECT_GT(quick.token_timing(128).tokens_per_s(),
+              1.7 * slow.token_timing(128).tokens_per_s());
+}
+
+TEST(CycleModel, FasterMemoryAloneIsWastedOnFixedPlClock) {
+    // The dual of the previous test — and the reason the paper balances the
+    // VPU width to the stream rate: if the PL still consumes one 512-bit word
+    // per 300 MHz clock, doubling DDR bandwidth buys almost nothing.
+    AccelConfig acc;  // 300 MHz PL
+    memsim::MemorySystemConfig fast = memsim::MemorySystemConfig::kv260();
+    fast.ddr.data_rate_mtps = 4800;
+    fast.axi.port.clock_mhz = 600;
+    DecodeCycleModel base(model::ModelConfig::llama2_7b(),
+                          model::QuantScheme::w4a16_kv8(), acc);
+    DecodeCycleModel mem_only(model::ModelConfig::llama2_7b(),
+                              model::QuantScheme::w4a16_kv8(), acc, fast);
+    EXPECT_LT(mem_only.token_timing(128).tokens_per_s(),
+              1.25 * base.token_timing(128).tokens_per_s());
+}
+
+}  // namespace
+}  // namespace efld::accel

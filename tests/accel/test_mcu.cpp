@@ -1,0 +1,140 @@
+// MCU address planning and descriptor generation.
+#include <gtest/gtest.h>
+
+#include "accel/mcu.hpp"
+#include "common/bitpack.hpp"
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace efld::accel {
+namespace {
+
+Mcu llama_mcu() {
+    return Mcu(model::ModelConfig::llama2_7b(), model::QuantScheme::w4a16_kv8());
+}
+
+TEST(Mcu, Llama7BFitsKv260) {
+    const Mcu mcu = llama_mcu();
+    // The whole point of the paper: it fits, at >90% utilization.
+    EXPECT_GT(mcu.map().utilization(), 0.90);
+    EXPECT_LT(mcu.map().utilization(), 1.0);
+}
+
+TEST(Mcu, Llama7BUtilizationNearPaper) {
+    // Paper: 93.3%. Our accounting (embedding fp16, lm_head W4): ~92.5%.
+    const Mcu mcu = llama_mcu();
+    EXPECT_NEAR(mcu.map().utilization(), 0.933, 0.015);
+}
+
+TEST(Mcu, EmbeddingRowAddressing) {
+    const Mcu mcu = llama_mcu();
+    const auto t0 = mcu.embedding_read(0);
+    const auto t1 = mcu.embedding_read(1);
+    EXPECT_EQ(t0.bytes, 4096u * 2);
+    EXPECT_EQ(t1.addr, t0.addr + 4096 * 2);
+    EXPECT_EQ(t0.dir, memsim::Dir::kRead);
+}
+
+TEST(Mcu, WeightStreamBytesMatchFormat) {
+    const Mcu mcu = llama_mcu();
+    // Wq: 4096x4096 = 131072 groups -> (131072 + 4096 + 1024) * 64 B.
+    EXPECT_EQ(mcu.matrix_stream_bytes(MatrixId::kWq), (131072ull + 4096 + 1024) * 64);
+    // Gate: 11008x4096.
+    const std::uint64_t gate_groups = 11008ull * 4096 / 128;
+    EXPECT_EQ(mcu.matrix_stream_bytes(MatrixId::kWGate),
+              (gate_groups + efld::div_ceil(gate_groups, 32) + efld::div_ceil(gate_groups, 128)) * 64);
+}
+
+TEST(Mcu, MatricesWithinLayerAreContiguous) {
+    const Mcu mcu = llama_mcu();
+    const auto q = mcu.weight_stream_read(0, MatrixId::kWq);
+    const auto k = mcu.weight_stream_read(0, MatrixId::kWk);
+    EXPECT_EQ(k.addr, q.addr + q.bytes);
+}
+
+TEST(Mcu, RowRangeCoversMatrix) {
+    const Mcu mcu = llama_mcu();
+    const auto full = mcu.weight_stream_read(3, MatrixId::kWq);
+    std::uint64_t covered = 0;
+    for (std::size_t h = 0; h < 32; ++h) {
+        const auto part = mcu.weight_rows_read(3, MatrixId::kWq, h * 128, (h + 1) * 128);
+        covered += part.bytes;
+        EXPECT_GE(part.addr, full.addr);
+        EXPECT_LE(part.addr + part.bytes, full.addr + full.bytes + 64);
+    }
+    EXPECT_NEAR(static_cast<double>(covered), static_cast<double>(full.bytes),
+                static_cast<double>(full.bytes) * 0.01);
+}
+
+TEST(Mcu, KvReadSequentialPerHead) {
+    const Mcu mcu = llama_mcu();
+    const auto k512 = mcu.kv_code_read(0, 5, false, 512);
+    EXPECT_EQ(k512.bytes, 512u * 128);  // head_dim=128, 1 B codes
+    const auto k1 = mcu.kv_code_read(0, 5, false, 1);
+    EXPECT_EQ(k1.addr, k512.addr);  // history always starts at the head base
+}
+
+TEST(Mcu, KvHeadsAndStreamsDisjoint) {
+    const Mcu mcu = llama_mcu();
+    const auto k_h0 = mcu.kv_code_read(0, 0, false, 1024);
+    const auto k_h1 = mcu.kv_code_read(0, 1, false, 1024);
+    const auto v_h0 = mcu.kv_code_read(0, 0, true, 1024);
+    EXPECT_GE(k_h1.addr, k_h0.addr + k_h0.bytes);
+    const bool disjoint = v_h0.addr >= k_h0.addr + 32ull * 1024 * 128 ||
+                          v_h0.addr + v_h0.bytes <= k_h0.addr;
+    EXPECT_TRUE(disjoint);
+}
+
+TEST(Mcu, KvWriteTargetsTokenSlot) {
+    const Mcu mcu = llama_mcu();
+    const auto w0 = mcu.kv_code_write(2, 3, false, 0);
+    const auto w9 = mcu.kv_code_write(2, 3, false, 9);
+    EXPECT_EQ(w0.bytes, 128u);
+    EXPECT_EQ(w9.addr, w0.addr + 9 * 128);
+    EXPECT_EQ(w9.dir, memsim::Dir::kWrite);
+}
+
+TEST(Mcu, PackWriteScheduleEvery16) {
+    const Mcu mcu = llama_mcu();
+    for (std::size_t t = 0; t < 64; ++t) {
+        EXPECT_EQ(mcu.pack_write_due(t), t % 16 == 15) << t;
+    }
+    const auto p15 = mcu.kv_pack_write(0, 0, false, 15);
+    const auto p31 = mcu.kv_pack_write(0, 0, false, 31);
+    EXPECT_EQ(p15.bytes, 64u);
+    EXPECT_EQ(p31.addr, p15.addr + 64);
+    EXPECT_THROW((void)mcu.kv_pack_write(0, 0, false, 14), efld::Error);
+}
+
+TEST(Mcu, PackReadRoundsUpTo16) {
+    const Mcu mcu = llama_mcu();
+    EXPECT_EQ(mcu.kv_pack_read(0, 0, false, 1).bytes, 64u);
+    EXPECT_EQ(mcu.kv_pack_read(0, 0, false, 16).bytes, 64u);
+    EXPECT_EQ(mcu.kv_pack_read(0, 0, false, 17).bytes, 128u);
+}
+
+TEST(Mcu, Kv16SchemeHasNoPacks) {
+    model::QuantScheme s = model::QuantScheme::w4a16_kv8();
+    s.kv_bits = 16;
+    // KV16 doubles the cache; 1024-token reservation no longer fits beside
+    // the weights, which is itself a result — use a shorter context here.
+    model::ModelConfig cfg = model::ModelConfig::llama2_7b();
+    cfg.max_seq_len = 512;
+    Mcu mcu(cfg, s);
+    EXPECT_EQ(mcu.kv_pack_read(0, 0, false, 100).bytes, 0u);
+    EXPECT_FALSE(mcu.pack_write_due(15));
+}
+
+TEST(Mcu, TinyModelFitsEasily) {
+    Mcu mcu(model::ModelConfig::tiny_512(), model::QuantScheme::w4a16_kv8());
+    EXPECT_LT(mcu.map().utilization(), 0.05);
+}
+
+TEST(Mcu, Fp16SchemeDoesNotFit) {
+    // LLaMA2-7B at fp16 must blow the 4 GiB map — the motivating failure.
+    EXPECT_THROW(Mcu(model::ModelConfig::llama2_7b(), model::QuantScheme::fp16_baseline()),
+                 efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::accel

@@ -1,0 +1,80 @@
+// PackedModel: the DDR image's geometry must agree with both the footprint
+// arithmetic and the MCU's address plan — three independent derivations of
+// the same bytes.
+#include <gtest/gtest.h>
+
+#include "accel/mcu.hpp"
+#include "accel/packed_model.hpp"
+#include "common/check.hpp"
+#include "model/config.hpp"
+
+namespace efld::accel {
+namespace {
+
+PackedModel build_tiny() {
+    const auto fw = model::ModelWeights::synthetic(model::ModelConfig::tiny_512(), 31);
+    const auto qw = model::QuantizedModelWeights::quantize(fw, quant::GroupQuantConfig{});
+    return PackedModel::build(qw);
+}
+
+TEST(PackedModel, StreamBytesMatchMcuPlan) {
+    const PackedModel p = build_tiny();
+    const Mcu mcu(p.config, model::QuantScheme::w4a16_kv8());
+
+    std::uint64_t mcu_bytes = 0;
+    for (std::size_t l = 0; l < p.config.n_layers; ++l) {
+        for (const MatrixId m : {MatrixId::kWq, MatrixId::kWk, MatrixId::kWv,
+                                 MatrixId::kWo, MatrixId::kWGate, MatrixId::kWUp,
+                                 MatrixId::kWDown}) {
+            mcu_bytes += mcu.matrix_stream_bytes(m) / p.config.n_layers * 1;
+        }
+    }
+    // Per-layer stream bytes from the image itself.
+    std::uint64_t image_bytes = 0;
+    for (const auto& l : p.layers) {
+        image_bytes += l.wq.stream_bytes() + l.wk.stream_bytes() + l.wv.stream_bytes() +
+                       l.wo.stream_bytes() + l.w_gate.stream_bytes() +
+                       l.w_up.stream_bytes() + l.w_down.stream_bytes();
+    }
+    // The MCU geometry is per layer; multiply back out.
+    std::uint64_t mcu_total = 0;
+    for (const MatrixId m : {MatrixId::kWq, MatrixId::kWk, MatrixId::kWv, MatrixId::kWo,
+                             MatrixId::kWGate, MatrixId::kWUp, MatrixId::kWDown}) {
+        mcu_total += mcu.matrix_stream_bytes(m);
+    }
+    mcu_total *= p.config.n_layers;
+    EXPECT_EQ(image_bytes, mcu_total);
+    (void)mcu_bytes;
+}
+
+TEST(PackedModel, StreamBytesMatchFootprintArithmetic) {
+    const PackedModel p = build_tiny();
+    const model::ModelFootprint f =
+        model::compute_footprint(p.config, model::QuantScheme::w4a16_kv8());
+    // weight_stream_bytes covers layers + lm_head + norms; footprint's
+    // layer_weight + lm_head + norm must agree within format tail padding.
+    const double ours = static_cast<double>(p.weight_stream_bytes());
+    const double ref = static_cast<double>(f.layer_weight_bytes + f.lm_head_bytes +
+                                           f.norm_bytes);
+    EXPECT_NEAR(ours, ref, ref * 0.005);
+    EXPECT_EQ(p.embedding_bytes(), f.embedding_bytes);
+}
+
+TEST(PackedModel, GroupCountsConsistent) {
+    const PackedModel p = build_tiny();
+    const auto& cfg = p.config;
+    EXPECT_EQ(p.layers[0].wq.num_groups(), cfg.dim * cfg.dim / 128);
+    EXPECT_EQ(p.layers[0].w_gate.num_groups(), cfg.hidden_dim * cfg.dim / 128);
+    EXPECT_EQ(p.lm_head.num_groups(), cfg.vocab_size * cfg.dim / 128);
+}
+
+TEST(PackedModel, RejectsWrongGroupSize) {
+    const auto fw = model::ModelWeights::synthetic(model::ModelConfig::micro_256(), 3);
+    quant::GroupQuantConfig qc;
+    qc.group_size = 64;
+    const auto qw = model::QuantizedModelWeights::quantize(fw, qc);
+    EXPECT_THROW((void)PackedModel::build(qw), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::accel

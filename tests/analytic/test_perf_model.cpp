@@ -1,0 +1,105 @@
+// Performance model and comparison tables vs. the paper's numbers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analytic/comparison.hpp"
+#include "common/check.hpp"
+
+namespace efld::analytic {
+namespace {
+
+TEST(PerfModel, TheoreticalRatesMatchPaperFootnotes) {
+    // Table II column token/s^1.
+    EXPECT_NEAR(PerfModel::theoretical_token_s(460, 1.5e9, 16), 153.0, 2.0);   // DFX
+    EXPECT_NEAR(PerfModel::theoretical_token_s(460, 7e9, 4), 131.0, 2.0);      // FlightLLM
+    EXPECT_NEAR(PerfModel::theoretical_token_s(2.1, 1.1e9, 4), 3.8, 0.1);      // SECDA
+    EXPECT_NEAR(PerfModel::theoretical_token_s(21.3, 1.1e9, 8), 19.3, 0.2);    // LlamaF
+    EXPECT_NEAR(PerfModel::theoretical_token_s(19.2, 6.62e9, 4), 5.8, 0.05);   // Ours
+    // Table III.
+    EXPECT_NEAR(PerfModel::theoretical_token_s(12.8, 6.62e9, 4), 3.9, 0.1);    // Pi
+    EXPECT_NEAR(PerfModel::theoretical_token_s(204.8, 6.62e9, 4), 62.5, 1.5);  // AGX
+    EXPECT_NEAR(PerfModel::theoretical_token_s(68, 6.62e9, 4), 20.7, 0.5);     // Nano
+}
+
+TEST(PerfModel, UtilizationsMatchPaper) {
+    const auto rows = table2_fpga_rows();
+    // DFX 13.7%, FlightLLM 42%, EdgeLLM 49%, SECDA 15.2%, LlamaF 7.7%.
+    const double expected[] = {13.7, 42.0, 49.0, 15.2, 7.7};
+    ASSERT_EQ(rows.size(), 5u);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const PerfPoint p = PerfModel::evaluate(rows[i]);
+        EXPECT_NEAR(p.utilization_pct(), expected[i], 2.0) << rows[i].work;
+    }
+}
+
+TEST(PerfModel, Table3UtilizationsMatchPaper) {
+    const auto rows = table3_edge_rows();
+    const double expected[] = {2.8, 7.2, 52.8, 75.4, 79.2};
+    ASSERT_EQ(rows.size(), 5u);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const PerfPoint p = PerfModel::evaluate(rows[i]);
+        EXPECT_NEAR(p.utilization_pct(), expected[i], 1.5) << rows[i].framework;
+    }
+}
+
+TEST(PerfModel, OursAt4_9Gives84_5) {
+    const PerfPoint p = PerfModel::evaluate(ours_row_template(), 4.9);
+    EXPECT_NEAR(p.utilization_pct(), 84.5, 1.0);
+}
+
+TEST(Comparison, OursHasHighestUtilizationInTable2) {
+    const auto rows = build_table2(4.9);
+    const auto& ours = rows.back();
+    ASSERT_EQ(ours.row.work, "Ours");
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        EXPECT_GT(ours.perf.utilization_pct(), rows[i].perf.utilization_pct())
+            << rows[i].row.work;
+    }
+}
+
+TEST(Comparison, OursBeatsNanoLlmUtilizationInTable3) {
+    // Paper: "6% higher utilization than the Jetson Orin Nano using NanoLLM".
+    const auto rows = build_table3(4.9);
+    double nano_util = 0, ours_util = 0;
+    for (const auto& r : rows) {
+        if (r.row.device == "JetsonOrinNano") nano_util = r.perf.utilization_pct();
+        if (r.row.work == "Ours") ours_util = r.perf.utilization_pct();
+    }
+    EXPECT_GT(ours_util, nano_util);
+    EXPECT_NEAR(ours_util - nano_util, 5.3, 2.5);
+}
+
+TEST(Comparison, CloudFpgasFasterButLessEfficient) {
+    // The paper's framing: HBM FPGAs win on absolute token/s, lose on
+    // bandwidth utilization.
+    const auto rows = build_table2(4.9);
+    const auto& ours = rows.back();
+    for (const auto& r : rows) {
+        if (r.row.cls == PlatformClass::kCloudHbmFpga) {
+            EXPECT_GT(r.perf.measured_token_s, ours.perf.measured_token_s);
+            EXPECT_LT(r.perf.utilization_pct(), ours.perf.utilization_pct());
+        }
+    }
+}
+
+TEST(Comparison, PrintersProduceAllRows) {
+    std::ostringstream os2, os3;
+    print_table2(os2, build_table2(4.9));
+    print_table3(os3, build_table3(4.9));
+    const std::string t2 = os2.str(), t3 = os3.str();
+    for (const char* name : {"DFX", "FlightLLM", "EdgeLLM", "SECDA", "LlamaF", "Ours"}) {
+        EXPECT_NE(t2.find(name), std::string::npos) << name;
+    }
+    for (const char* name : {"llama.cpp", "TinyChat", "NanoLLM", "Ours"}) {
+        EXPECT_NE(t3.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(PerfModel, EvaluateWithoutReportThrows) {
+    ComparisonRow r = ours_row_template();  // no reported_token_s
+    EXPECT_THROW((void)PerfModel::evaluate(r), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::analytic

@@ -1,0 +1,117 @@
+// Resource and power models vs. the paper's Table I.
+#include <gtest/gtest.h>
+
+#include "analytic/power_model.hpp"
+#include "analytic/resource_model.hpp"
+
+namespace efld::analytic {
+namespace {
+
+TEST(ResourceModel, Table1TotalsWithinTolerance) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const ResourceVector t = r.total();
+    EXPECT_NEAR(t.lut, 78e3, 78e3 * 0.03);
+    EXPECT_NEAR(t.ff, 105e3, 105e3 * 0.03);
+    EXPECT_NEAR(t.carry, 3.8e3, 3.8e3 * 0.10);
+    EXPECT_NEAR(t.dsp, 291, 10);
+    EXPECT_NEAR(t.uram, 10, 1);
+    EXPECT_NEAR(t.bram, 36.5, 2);
+}
+
+TEST(ResourceModel, Table1PerUnitBreakdown) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    EXPECT_NEAR(r.mem_ctrl.lut, 14e3, 1e3);
+    EXPECT_NEAR(r.mem_ctrl.bram, 30, 2);
+    EXPECT_NEAR(r.mem_ctrl.uram, 7, 0.5);
+    EXPECT_NEAR(r.vpu.lut, 34e3, 2e3);
+    EXPECT_NEAR(r.vpu.dsp, 266, 5);
+    EXPECT_EQ(r.vpu.bram, 0);
+    EXPECT_NEAR(r.spu.lut, 29e3, 2e3);
+    EXPECT_NEAR(r.spu.dsp, 24, 3);
+    EXPECT_NEAR(r.spu.uram, 3, 0.5);
+    EXPECT_NEAR(r.spu.bram, 6.5, 1);
+}
+
+TEST(ResourceModel, UtilizationMatchesPaperPercentages) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const FpgaDevice dev = FpgaDevice::kv260();
+    const ResourceVector t = r.total();
+    EXPECT_NEAR(ResourceModel::utilization_pct(t.lut, dev.capacity.lut), 67, 3);
+    EXPECT_NEAR(ResourceModel::utilization_pct(t.ff, dev.capacity.ff), 45, 3);
+    EXPECT_NEAR(ResourceModel::utilization_pct(t.dsp, dev.capacity.dsp), 24, 2);
+    EXPECT_NEAR(ResourceModel::utilization_pct(t.uram, dev.capacity.uram), 16, 2);
+    EXPECT_NEAR(ResourceModel::utilization_pct(t.bram, dev.capacity.bram), 25, 3);
+}
+
+TEST(ResourceModel, DeployedConfigFitsKv260) {
+    // The paper closes timing at 300 MHz with ~70% system LUTs; 25% headroom
+    // is the practical routability ceiling the deployed design sits under.
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    EXPECT_TRUE(ResourceModel::fits(r, FpgaDevice::kv260(), 0.25));
+}
+
+TEST(ResourceModel, DoubleLanesDoNotFit) {
+    // The bandwidth-area tradeoff of §VI.B: a 256-lane VPU blows past the
+    // 300 MHz routability ceiling on the KV260 (and would be pointless — the
+    // stream only feeds 128 weights per clock).
+    ArchParams p;
+    p.vpu_lanes = 256;
+    const ResourceBreakdown r = ResourceModel::estimate(p);
+    EXPECT_FALSE(ResourceModel::fits(r, FpgaDevice::kv260(), 0.25));
+    EXPECT_TRUE(ResourceModel::fits(r, FpgaDevice::u280(), 0.25));
+}
+
+TEST(ResourceModel, LanesScaleVpuLinearly) {
+    ArchParams small, big;
+    small.vpu_lanes = 64;
+    big.vpu_lanes = 128;
+    const auto rs = ResourceModel::estimate(small);
+    const auto rb = ResourceModel::estimate(big);
+    EXPECT_NEAR(rb.vpu.dsp / rs.vpu.dsp, 2.0, 0.1);
+    EXPECT_NEAR(rb.vpu.lut / rs.vpu.lut, 2.0, 0.1);
+    // MCU and SPU unchanged.
+    EXPECT_EQ(rb.mem_ctrl.lut, rs.mem_ctrl.lut);
+    EXPECT_EQ(rb.spu.lut, rs.spu.lut);
+}
+
+TEST(ResourceModel, PortsScaleMcu) {
+    ArchParams two, four;
+    two.axi_ports = 2;
+    const auto r2 = ResourceModel::estimate(two);
+    const auto r4 = ResourceModel::estimate(four);
+    EXPECT_GT(r4.mem_ctrl.bram, r2.mem_ctrl.bram);
+    EXPECT_GT(r4.mem_ctrl.lut, r2.mem_ctrl.lut);
+}
+
+TEST(ResourceModel, FifoSlotsScaleSpuUram) {
+    ArchParams small, big;
+    small.scale_zero_fifo_slots = 2 * 32 * 32;
+    big.scale_zero_fifo_slots = 4 * 2 * 32 * 32;
+    const auto rs = ResourceModel::estimate(small);
+    const auto rb = ResourceModel::estimate(big);
+    EXPECT_GT(rb.spu.uram, rs.spu.uram);
+}
+
+TEST(PowerModel, MatchesPaperTotal) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const PowerEstimate p = PowerModel::estimate(r, 300.0);
+    EXPECT_NEAR(p.total_w(), 6.57, 0.25);
+}
+
+TEST(PowerModel, DynamicScalesWithClock) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const PowerEstimate slow = PowerModel::estimate(r, 150.0);
+    const PowerEstimate fast = PowerModel::estimate(r, 300.0);
+    EXPECT_NEAR(fast.dynamic_w / slow.dynamic_w, 2.0, 1e-9);
+    EXPECT_EQ(fast.ps_static_w, slow.ps_static_w);
+}
+
+TEST(PowerModel, JoulesPerToken) {
+    const ResourceBreakdown r = ResourceModel::estimate(ArchParams{});
+    const PowerEstimate p = PowerModel::estimate(r, 300.0);
+    // ~6.57 W at 4.9 token/s ~= 1.34 J/token.
+    EXPECT_NEAR(PowerModel::joules_per_token(p, 4.9), 1.34, 0.1);
+}
+
+}  // namespace
+}  // namespace efld::analytic

@@ -1,0 +1,86 @@
+// Roofline analysis: decode below the ridge everywhere, prefill above it.
+#include <gtest/gtest.h>
+
+#include "analytic/roofline.hpp"
+
+namespace efld::analytic {
+namespace {
+
+const model::ModelConfig kLlama = model::ModelConfig::llama2_7b();
+const model::QuantScheme kScheme = model::QuantScheme::w4a16_kv8();
+
+TEST(Roofline, DecodeIsMemoryBoundOnEveryDevice) {
+    for (const DeviceRoofline& dev :
+         {DeviceRoofline::kv260_accelerator(), DeviceRoofline::jetson_agx_orin(),
+          DeviceRoofline::jetson_orin_nano()}) {
+        const RooflinePoint pt = Roofline::decode(dev, kLlama, kScheme);
+        EXPECT_TRUE(pt.memory_bound) << dev.name;
+    }
+}
+
+TEST(Roofline, DecodeIntensityIsTwoMacsPerByteish) {
+    // W4 g128: ~0.52 B per weight, 1 MAC per weight -> ~1.9 MACs/byte.
+    const RooflinePoint pt =
+        Roofline::decode(DeviceRoofline::kv260_accelerator(), kLlama, kScheme);
+    EXPECT_NEAR(pt.intensity, 1.0 / kScheme.bytes_per_weight(), 1e-9);
+    EXPECT_NEAR(pt.intensity, 1.92, 0.02);
+}
+
+TEST(Roofline, DecodeRateMatchesBandwidthArithmetic) {
+    const DeviceRoofline dev = DeviceRoofline::kv260_accelerator();
+    const RooflinePoint pt = Roofline::decode(dev, kLlama, kScheme);
+    const double macs_per_token =
+        static_cast<double>(kLlama.layer_params() + kLlama.lm_head_params());
+    // Attainable rate = bandwidth / weight bytes: the whole paper in one line.
+    EXPECT_NEAR(pt.tokens_per_s(macs_per_token),
+                19.2e9 / (macs_per_token * kScheme.bytes_per_weight()), 1e-6);
+}
+
+TEST(Roofline, Kv260RidgeIsExactlyTwoMacsPerByte) {
+    // 128 MACs/clk * 300 MHz over 19.2 GB/s = 2.0 MACs/byte: the VPU is sized
+    // to put the ridge exactly at the decode intensity — the paper's
+    // "bandwidth-area balanced" engine, in roofline terms.
+    EXPECT_NEAR(DeviceRoofline::kv260_accelerator().ridge_intensity(), 2.0, 1e-12);
+}
+
+TEST(Roofline, PrefillCrossesToComputeBound) {
+    const DeviceRoofline dev = DeviceRoofline::kv260_accelerator();
+    const RooflinePoint p1 = Roofline::prefill(dev, kLlama, kScheme, 1);
+    EXPECT_TRUE(p1.memory_bound);
+    const RooflinePoint p64 = Roofline::prefill(dev, kLlama, kScheme, 64);
+    EXPECT_FALSE(p64.memory_bound);
+}
+
+TEST(Roofline, CrossoverIsTinyOnOurAcceleratorHugeOnOrin) {
+    // On the KV260 accelerator any prompt longer than ~1 token is already
+    // compute-bound (the engine is decode-sized); the AGX Orin stays
+    // memory-bound until prompts of ~100 tokens.
+    const double ours = Roofline::crossover_prompt_len(
+        DeviceRoofline::kv260_accelerator(), kLlama, kScheme);
+    const double orin = Roofline::crossover_prompt_len(
+        DeviceRoofline::jetson_agx_orin(), kLlama, kScheme);
+    EXPECT_LT(ours, 2.0);
+    EXPECT_GT(orin, 50.0);
+}
+
+TEST(Roofline, AttainableNeverExceedsCeilings) {
+    for (const std::size_t n : {1u, 4u, 16u, 256u, 1024u}) {
+        const DeviceRoofline dev = DeviceRoofline::kv260_accelerator();
+        const RooflinePoint pt = Roofline::prefill(dev, kLlama, kScheme, n);
+        EXPECT_LE(pt.attainable_macs, dev.peak_macs_per_s * (1 + 1e-12));
+        EXPECT_LE(pt.attainable_macs,
+                  pt.intensity * dev.peak_bytes_per_s * (1 + 1e-12));
+    }
+}
+
+TEST(Roofline, HigherPrecisionLowersIntensity) {
+    const DeviceRoofline dev = DeviceRoofline::kv260_accelerator();
+    const RooflinePoint w4 = Roofline::decode(dev, kLlama, kScheme);
+    const RooflinePoint fp16 =
+        Roofline::decode(dev, kLlama, model::QuantScheme::fp16_baseline());
+    EXPECT_GT(w4.intensity, fp16.intensity * 3.5);
+    EXPECT_GT(w4.attainable_macs, fp16.attainable_macs * 3.5);
+}
+
+}  // namespace
+}  // namespace efld::analytic

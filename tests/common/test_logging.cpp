@@ -1,0 +1,44 @@
+// Logging levels and formatting.
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+
+namespace efld {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+protected:
+    void TearDown() override { set_log_level(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kOff);
+    EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, DefaultIsWarn) {
+    EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsCheap) {
+    // Messages below the level must not be formatted (no crash on odd args,
+    // no output); this exercises the early-return path.
+    set_log_level(LogLevel::kOff);
+    log_error("this ", 42, " should be dropped");
+    log_debug("and this");
+    SUCCEED();
+}
+
+TEST_F(LoggingTest, VariadicFormatting) {
+    set_log_level(LogLevel::kDebug);
+    testing::internal::CaptureStderr();
+    log_info("answer=", 42, " pi=", 3.14);
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("answer=42 pi=3.14"), std::string::npos);
+    EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efld

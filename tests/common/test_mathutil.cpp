@@ -1,0 +1,71 @@
+// Reference math helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hpp"
+
+namespace efld {
+namespace {
+
+TEST(MathUtil, SoftmaxSumsToOne) {
+    std::vector<float> x{1.0f, 2.0f, 3.0f, 4.0f};
+    softmax_inplace(x);
+    float sum = 0;
+    for (float v : x) sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(x[3], x[2]);
+    EXPECT_GT(x[2], x[1]);
+}
+
+TEST(MathUtil, SoftmaxStableAtLargeInputs) {
+    std::vector<float> x{1000.0f, 1000.0f};
+    softmax_inplace(x);
+    EXPECT_NEAR(x[0], 0.5f, 1e-6f);
+    EXPECT_NEAR(x[1], 0.5f, 1e-6f);
+}
+
+TEST(MathUtil, SoftmaxSingleElement) {
+    std::vector<float> x{-42.0f};
+    softmax_inplace(x);
+    EXPECT_NEAR(x[0], 1.0f, 1e-6f);
+}
+
+TEST(MathUtil, RootMeanSquare) {
+    const std::vector<float> x{3.0f, 4.0f};  // mean square = 12.5
+    EXPECT_NEAR(root_mean_square(x, 0.0f), std::sqrt(12.5f), 1e-5f);
+}
+
+TEST(MathUtil, RmsEpsilonGuardsZeroVector) {
+    const std::vector<float> x(8, 0.0f);
+    EXPECT_GT(root_mean_square(x, 1e-5f), 0.0f);
+}
+
+TEST(MathUtil, SiluKnownValues) {
+    EXPECT_NEAR(silu(0.0f), 0.0f, 1e-7f);
+    EXPECT_NEAR(silu(1.0f), 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+    EXPECT_NEAR(silu(-20.0f), 0.0f, 1e-6f);  // saturates toward 0
+    EXPECT_NEAR(silu(20.0f), 20.0f, 1e-4f);  // approaches identity
+}
+
+TEST(MathUtil, DotProduct) {
+    const std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_FLOAT_EQ(dot_f32(a, b), 32.0f);
+}
+
+TEST(MathUtil, CosineSimilarity) {
+    const std::vector<float> a{1, 0}, b{0, 1}, c{2, 0};
+    EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+    EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-12);
+    EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(MathUtil, CosineSimilarityZeroVectors) {
+    const std::vector<float> z{0, 0}, a{1, 1};
+    EXPECT_EQ(cosine_similarity(z, z), 1.0);
+    EXPECT_EQ(cosine_similarity(z, a), 0.0);
+}
+
+}  // namespace
+}  // namespace efld

@@ -1,0 +1,68 @@
+// Determinism and distribution sanity of the seeded generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace efld {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministicPerSeed) {
+    Xoshiro256 a(9), b(9), c(10);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, GaussianMoments) {
+    Xoshiro256 rng(77);
+    const int n = 200000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BelowStaysBelow) {
+    Xoshiro256 rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+}  // namespace
+}  // namespace efld

@@ -1,0 +1,88 @@
+// Bare-metal address map: the two Zynq windows and capacity accounting.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+#include "memsim/address_map.hpp"
+
+namespace efld::memsim {
+namespace {
+
+TEST(AddressMap, Kv260WindowsMatchDatasheet) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    // 2047 MiB low + 2048 MiB high.
+    EXPECT_EQ(m.total_capacity(), 0x7FF00000ull + 0x80000000ull);
+    EXPECT_EQ(m.reserved_bytes(), 1 * kMiB);
+}
+
+TEST(AddressMap, HighWindowPreferred) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    const Region r = m.allocate("weights", 100 * kMiB);
+    EXPECT_GE(r.base, 0x80000000ull);
+}
+
+TEST(AddressMap, ExplicitLowPlacement) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    const Region r = m.allocate("kv", 10 * kMiB, AddressMap::Placement::kLow);
+    EXPECT_LT(r.base, 0x80000000ull);
+    EXPECT_GE(r.base, 1 * kMiB);  // firmware reservation respected
+}
+
+TEST(AddressMap, SpillsToLowWhenHighFull) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    (void)m.allocate("big", 2000 * kMiB, AddressMap::Placement::kHigh);
+    const Region r = m.allocate("next", 200 * kMiB);  // kAny
+    EXPECT_LT(r.base, 0x80000000ull);
+}
+
+TEST(AddressMap, ThrowsWhenFull) {
+    AddressMap m = AddressMap::generic(1 * kGiB, 0);
+    (void)m.allocate("a", 512 * kMiB, AddressMap::Placement::kLow);
+    EXPECT_THROW((void)m.allocate("b", 513 * kMiB, AddressMap::Placement::kLow),
+                 efld::Error);
+}
+
+TEST(AddressMap, RegionsDoNotOverlap) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    for (int i = 0; i < 20; ++i) {
+        (void)m.allocate("r" + std::to_string(i), (static_cast<std::uint64_t>(i) + 1) * 777);
+    }
+    const auto& rs = m.regions();
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        for (std::size_t j = i + 1; j < rs.size(); ++j) {
+            const bool disjoint = rs[i].end() <= rs[j].base || rs[j].end() <= rs[i].base;
+            EXPECT_TRUE(disjoint) << rs[i].name << " overlaps " << rs[j].name;
+        }
+    }
+}
+
+TEST(AddressMap, AllocationsAre64ByteAligned) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    for (int i = 0; i < 5; ++i) {
+        const Region r = m.allocate("r" + std::to_string(i), 100 + static_cast<std::uint64_t>(i));
+        EXPECT_EQ(r.base % 64, 0u);
+    }
+}
+
+TEST(AddressMap, FindByName) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    (void)m.allocate("kv_cache", 264 * kMiB);
+    const auto r = m.find("kv_cache");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->bytes, 264 * kMiB);
+    EXPECT_FALSE(m.find("nonexistent").has_value());
+}
+
+TEST(AddressMap, UtilizationArithmetic) {
+    AddressMap m = AddressMap::generic(1000, 0);
+    (void)m.allocate("half", 448);  // aligned to 448 (multiple of 64)
+    EXPECT_NEAR(m.utilization(), 448.0 / 1000.0, 1e-12);
+}
+
+TEST(AddressMap, RejectsZeroSizeRegion) {
+    AddressMap m = AddressMap::kv260_bare_metal();
+    EXPECT_THROW((void)m.allocate("empty", 0), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::memsim

@@ -1,0 +1,107 @@
+// AXI port framing and bundle lock-step behaviour.
+#include <gtest/gtest.h>
+
+#include "memsim/axi.hpp"
+
+namespace efld::memsim {
+namespace {
+
+TEST(AxiPort, PeakBandwidth) {
+    const AxiPortConfig cfg;  // 128-bit @ 300 MHz
+    EXPECT_NEAR(cfg.peak_bytes_per_s(), 4.8e9, 1e6);
+}
+
+TEST(AxiPort, FrameRespects4KBoundary) {
+    AxiPort port(AxiPortConfig{});
+    const auto bursts = port.frame({4096 - 128, 1024, Dir::kRead});
+    ASSERT_GE(bursts.size(), 2u);
+    EXPECT_EQ(bursts[0].bytes, 128u);  // up to the boundary
+    for (const auto& b : bursts) {
+        EXPECT_LE(b.addr / 4096, (b.addr + b.bytes - 1) / 4096);
+        EXPECT_EQ(b.addr / 4096, (b.addr + b.bytes - 1) / 4096)
+            << "burst crosses 4K boundary";
+    }
+}
+
+TEST(AxiPort, FrameRespectsMaxBurstBytes) {
+    AxiPortConfig cfg;
+    cfg.max_burst_beats = 16;  // 16 x 16B = 256B
+    AxiPort port(cfg);
+    const auto bursts = port.frame({0, 1024, Dir::kRead});
+    EXPECT_EQ(bursts.size(), 4u);
+    for (const auto& b : bursts) EXPECT_LE(b.bytes, 256u);
+}
+
+TEST(AxiPort, FrameCoversExactly) {
+    AxiPort port(AxiPortConfig{});
+    const Transaction txn{12345, 100000, Dir::kWrite};
+    std::uint64_t covered = 0;
+    std::uint64_t expect_addr = txn.addr;
+    for (const auto& b : port.frame(txn)) {
+        EXPECT_EQ(b.addr, expect_addr);
+        expect_addr += b.bytes;
+        covered += b.bytes;
+        EXPECT_EQ(b.dir, Dir::kWrite);
+    }
+    EXPECT_EQ(covered, txn.bytes);
+}
+
+TEST(AxiPort, LargeBurstsAmortizeIssueOverhead) {
+    AxiPort port(AxiPortConfig{});
+    // Same bytes, one as a single logical transfer, one as 64-byte pieces.
+    const auto big = port.frame({0, 64 * 1024, Dir::kRead});
+    std::vector<AxiBurst> small;
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+        small.push_back({a, 64, Dir::kRead});
+    }
+    EXPECT_LT(port.busy_ns(big), port.busy_ns(small));
+}
+
+TEST(AxiBundle, PeakIs4Ports) {
+    const AxiBundleConfig cfg;
+    EXPECT_NEAR(cfg.peak_bytes_per_s(), 19.2e9, 1e6);
+    EXPECT_EQ(cfg.stream_bytes_per_clk(), 64u);  // one 512-bit word per clock
+}
+
+TEST(AxiBundle, SplitCoversContiguously) {
+    AxiBundle bundle(AxiBundleConfig{});
+    const Transaction txn{1000, 100000, Dir::kRead};
+    const auto parts = bundle.split(txn);
+    ASSERT_EQ(parts.size(), 4u);
+    std::uint64_t addr = txn.addr, total = 0;
+    for (const auto& p : parts) {
+        EXPECT_EQ(p.addr, addr);
+        addr += p.bytes;
+        total += p.bytes;
+    }
+    EXPECT_EQ(total, txn.bytes);
+}
+
+TEST(AxiBundle, SplitHandlesTinyTransfers) {
+    AxiBundle bundle(AxiBundleConfig{});
+    const auto parts = bundle.split({0, 8, Dir::kWrite});
+    std::uint64_t total = 0;
+    for (const auto& p : parts) total += p.bytes;
+    EXPECT_EQ(total, 8u);
+}
+
+TEST(AxiBundle, FourPortsBeatOnePort) {
+    AxiBundleConfig four;
+    AxiBundleConfig one;
+    one.num_ports = 1;
+    AxiBundle b4(four), b1(one);
+    const Transaction txn{0, 1 << 20, Dir::kRead};
+    EXPECT_LT(b4.busy_ns(txn), b1.busy_ns(txn) / 3.0);
+}
+
+TEST(AxiBundle, BusyTimeNearPeakForLargeTransfers) {
+    AxiBundle bundle(AxiBundleConfig{});
+    const std::uint64_t bytes = 64ull << 20;
+    const double ns = bundle.busy_ns({0, bytes, Dir::kRead});
+    const double ideal_ns = static_cast<double>(bytes) / 19.2e9 * 1e9;
+    EXPECT_GT(ns, ideal_ns);            // can't beat the wire
+    EXPECT_LT(ns, ideal_ns * 1.10);     // within 10% at long bursts
+}
+
+}  // namespace
+}  // namespace efld::memsim

@@ -1,0 +1,58 @@
+// Datamover descriptor queue semantics.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "memsim/datamover.hpp"
+
+namespace efld::memsim {
+namespace {
+
+TEST(Datamover, PreservesIssueOrder) {
+    Datamover dm;
+    dm.queue_mm2s(0x1000, 64);
+    dm.queue_s2mm(0x2000, 128);
+    dm.queue_mm2s(0x3000, 256);
+    ASSERT_EQ(dm.pending(), 3u);
+
+    Transaction t = dm.pop();
+    EXPECT_EQ(t.addr, 0x1000u);
+    EXPECT_EQ(t.dir, Dir::kRead);
+    t = dm.pop();
+    EXPECT_EQ(t.addr, 0x2000u);
+    EXPECT_EQ(t.dir, Dir::kWrite);
+    t = dm.pop();
+    EXPECT_EQ(t.addr, 0x3000u);
+    EXPECT_TRUE(dm.empty());
+}
+
+TEST(Datamover, DrainReturnsAllAndClears) {
+    Datamover dm;
+    for (int i = 0; i < 10; ++i) dm.queue_mm2s(static_cast<std::uint64_t>(i) * 64, 64);
+    const TransactionStream s = dm.drain();
+    EXPECT_EQ(s.size(), 10u);
+    EXPECT_TRUE(dm.empty());
+    for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i].addr, i * 64);
+}
+
+TEST(Datamover, CountsReadsAndWrites) {
+    Datamover dm;
+    dm.queue_mm2s(0, 64);
+    dm.queue_mm2s(64, 64);
+    dm.queue_s2mm(128, 64);
+    EXPECT_EQ(dm.issued_reads(), 2u);
+    EXPECT_EQ(dm.issued_writes(), 1u);
+}
+
+TEST(Datamover, RejectsZeroLengthDescriptors) {
+    Datamover dm;
+    EXPECT_THROW(dm.queue_mm2s(0, 0), efld::Error);
+    EXPECT_THROW(dm.queue_s2mm(0, 0), efld::Error);
+}
+
+TEST(Datamover, PopOnEmptyThrows) {
+    Datamover dm;
+    EXPECT_THROW((void)dm.pop(), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::memsim

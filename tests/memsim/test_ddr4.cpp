@@ -1,0 +1,115 @@
+// DDR4 timing model: the burst-efficiency behaviour the paper's data
+// arrangement format exploits.
+#include <gtest/gtest.h>
+
+#include "memsim/ddr4_model.hpp"
+
+namespace efld::memsim {
+namespace {
+
+TEST(Ddr4Config, Kv260Peak) {
+    const DdrConfig cfg = DdrConfig::kv260_ddr4_2400();
+    EXPECT_NEAR(cfg.peak_bytes_per_s(), 19.2e9, 1e6);
+    EXPECT_NEAR(cfg.clock_ghz(), 1.2, 1e-9);
+}
+
+TEST(Ddr4Model, SequentialLargeTransferIsEfficient) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    TransactionStream s;
+    // 16 MiB sequential in 4 KiB bursts — the weight-stream pattern.
+    for (std::uint64_t a = 0; a < 16 * 1024 * 1024; a += 4096) {
+        s.push_back({a, 4096, Dir::kRead});
+    }
+    const BandwidthStats stats = ddr.run(s);
+    const double eff = Ddr4Model::efficiency(stats, ddr.config());
+    EXPECT_GT(eff, 0.90);
+    EXPECT_LT(eff, 1.0);
+}
+
+TEST(Ddr4Model, ShortScatteredTransfersAreInefficient) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    TransactionStream s;
+    // 64-byte reads scattered across rows — the "fetch scales group by group
+    // from a side table" anti-pattern of §V.B.
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        s.push_back({i * 1337 * 4096 % (1ull << 30), 64, Dir::kRead});
+    }
+    const BandwidthStats stats = ddr.run(s);
+    EXPECT_LT(Ddr4Model::efficiency(stats, ddr.config()), 0.25);
+}
+
+TEST(Ddr4Model, EfficiencyImprovesMonotonicallyWithBurstLength) {
+    double prev = 0.0;
+    for (const std::uint64_t burst : {64ull, 256ull, 1024ull, 4096ull}) {
+        Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+        TransactionStream s;
+        for (std::uint64_t a = 0; a < 4 * 1024 * 1024; a += burst) {
+            s.push_back({a, burst, Dir::kRead});
+        }
+        const double eff = Ddr4Model::efficiency(ddr.run(s), ddr.config());
+        EXPECT_GT(eff, prev) << "burst=" << burst;
+        prev = eff;
+    }
+}
+
+TEST(Ddr4Model, RowHitsDominateSequentialTraffic) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    TransactionStream s;
+    for (std::uint64_t a = 0; a < 1024 * 1024; a += 2048) {
+        s.push_back({a, 2048, Dir::kRead});
+    }
+    const BandwidthStats stats = ddr.run(s);
+    EXPECT_GT(stats.row_hits, stats.row_misses * 2);
+}
+
+TEST(Ddr4Model, DirectionTurnaroundCharged) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    // Alternating read/write at the same address: every access flips the bus.
+    TransactionStream alternating;
+    for (int i = 0; i < 200; ++i) {
+        alternating.push_back({0, 512, i % 2 == 0 ? Dir::kRead : Dir::kWrite});
+    }
+    Ddr4Model ddr2(DdrConfig::kv260_ddr4_2400());
+    TransactionStream uniform;
+    for (int i = 0; i < 200; ++i) uniform.push_back({0, 512, Dir::kRead});
+
+    EXPECT_GT(ddr.run(alternating).busy_ns, ddr2.run(uniform).busy_ns);
+}
+
+TEST(Ddr4Model, ZeroByteTransactionIsFree) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    const DdrAccessResult r = ddr.access({0, 0, Dir::kRead});
+    EXPECT_EQ(r.busy_ns, 0.0);
+}
+
+TEST(Ddr4Model, ResetClosesRows) {
+    Ddr4Model ddr(DdrConfig::kv260_ddr4_2400());
+    const DdrAccessResult first = ddr.access({0, 64, Dir::kRead});
+    EXPECT_EQ(first.row_misses, 1u);
+    const DdrAccessResult second = ddr.access({64, 64, Dir::kRead});
+    EXPECT_EQ(second.row_misses, 0u);  // row still open
+    ddr.reset();
+    const DdrAccessResult third = ddr.access({128, 64, Dir::kRead});
+    EXPECT_EQ(third.row_misses, 1u);  // closed again
+}
+
+TEST(Ddr4Model, RefreshOverheadScalesBusyTime) {
+    DdrConfig with = DdrConfig::kv260_ddr4_2400();
+    DdrConfig without = with;
+    without.refresh_overhead = 0.0;
+    Ddr4Model a(with), b(without);
+    const Transaction txn{0, 1 << 20, Dir::kRead};
+    const double ns_with = a.access(txn).busy_ns;
+    const double ns_without = b.access(txn).busy_ns;
+    EXPECT_NEAR(ns_with / ns_without, 1.0 + with.refresh_overhead, 1e-9);
+}
+
+TEST(Ddr4Model, PresetsDifferInPeak) {
+    EXPECT_LT(DdrConfig::pynq_z2_ddr3().peak_bytes_per_s(),
+              DdrConfig::kv260_ddr4_2400().peak_bytes_per_s());
+    EXPECT_GT(DdrConfig::zcu102_ddr4_2666().peak_bytes_per_s(),
+              DdrConfig::kv260_ddr4_2400().peak_bytes_per_s());
+}
+
+}  // namespace
+}  // namespace efld::memsim

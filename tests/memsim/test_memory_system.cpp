@@ -1,0 +1,76 @@
+// End-to-end memory system: AXI + DDR composed.
+#include <gtest/gtest.h>
+
+#include "memsim/memory_system.hpp"
+
+namespace efld::memsim {
+namespace {
+
+TEST(MemorySystem, Kv260PeakIs19GBs) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    EXPECT_NEAR(mem.peak_bytes_per_s(), 19.2e9, 1e6);
+}
+
+TEST(MemorySystem, LargeSequentialReadNearPeak) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    const std::uint64_t bytes = 256ull << 20;  // weight-stream sized
+    const double ns = mem.sequential_read_ns(0, bytes);
+    const double achieved = static_cast<double>(bytes) / (ns * 1e-9);
+    EXPECT_GT(achieved / 19.2e9, 0.90);
+    EXPECT_LE(achieved / 19.2e9, 1.0);
+}
+
+TEST(MemorySystem, ScatteredSmallReadsFarFromPeak) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    TransactionStream s;
+    for (std::uint64_t i = 0; i < 2048; ++i) {
+        s.push_back({(i * 7919) % (1u << 28) / 64 * 64, 64, Dir::kRead});
+    }
+    const BandwidthStats st = mem.run(s);
+    EXPECT_LT(st.achieved_bw() / 19.2e9, 0.30);
+}
+
+TEST(MemorySystem, LifetimeStatsAccumulate) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    (void)mem.sequential_read_ns(0, 1024);
+    (void)mem.service({4096, 2048, Dir::kWrite});
+    const BandwidthStats& s = mem.lifetime_stats();
+    EXPECT_EQ(s.read_bytes, 1024u);
+    EXPECT_EQ(s.write_bytes, 2048u);
+    EXPECT_EQ(s.transactions, 2u);
+    EXPECT_GT(s.busy_ns, 0.0);
+}
+
+TEST(MemorySystem, ResetClearsState) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    (void)mem.sequential_read_ns(0, 1 << 20);
+    mem.reset();
+    EXPECT_EQ(mem.lifetime_stats().total_bytes(), 0u);
+    EXPECT_EQ(mem.lifetime_stats().busy_ns, 0.0);
+}
+
+TEST(MemorySystem, ZeroByteServiceIsFree) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    EXPECT_EQ(mem.service({0, 0, Dir::kRead}), 0.0);
+}
+
+TEST(MemorySystem, FewerPortsLowerThroughput) {
+    MemorySystemConfig one = MemorySystemConfig::kv260();
+    one.axi.num_ports = 1;
+    MemorySystem m1(one), m4(MemorySystemConfig::kv260());
+    const std::uint64_t bytes = 64 << 20;
+    EXPECT_GT(m1.sequential_read_ns(0, bytes), 3.0 * m4.sequential_read_ns(0, bytes));
+}
+
+TEST(MemorySystem, RunAggregatesPerTransactionStats) {
+    MemorySystem mem(MemorySystemConfig::kv260());
+    TransactionStream s{{0, 4096, Dir::kRead}, {1 << 20, 4096, Dir::kWrite}};
+    const BandwidthStats st = mem.run(s);
+    EXPECT_EQ(st.transactions, 2u);
+    EXPECT_EQ(st.read_bytes, 4096u);
+    EXPECT_EQ(st.write_bytes, 4096u);
+    EXPECT_GT(st.axi_bursts, 0u);
+}
+
+}  // namespace
+}  // namespace efld::memsim

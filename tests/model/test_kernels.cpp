@@ -1,0 +1,157 @@
+// Reference kernels: RMSNorm, RoPE, softmax, SiLU, attention.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "model/kernels.hpp"
+
+namespace efld::model {
+namespace {
+
+TEST(Rmsnorm, UnitWeightNormalizesRms) {
+    std::vector<float> x{1, 2, 3, 4}, w(4, 1.0f), out(4);
+    rmsnorm(x, w, 0.0f, out);
+    double ms = 0;
+    for (const float v : out) ms += v * v;
+    EXPECT_NEAR(ms / 4.0, 1.0, 1e-5);  // output RMS is 1
+}
+
+TEST(Rmsnorm, WeightScalesElementwise) {
+    std::vector<float> x{1, 1, 1, 1}, w{1, 2, 3, 4}, out(4);
+    rmsnorm(x, w, 0.0f, out);
+    EXPECT_NEAR(out[1] / out[0], 2.0f, 1e-5);
+    EXPECT_NEAR(out[3] / out[0], 4.0f, 1e-5);
+}
+
+TEST(Rmsnorm, EpsilonPreventsDivideByZero) {
+    std::vector<float> x(8, 0.0f), w(8, 1.0f), out(8);
+    rmsnorm(x, w, 1e-5f, out);
+    for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+    std::vector<float> v{0.1f, 0.2f, 0.3f, 0.4f};
+    const std::vector<float> orig = v;
+    rope_rotate(v, 0, 10000.0f);
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], orig[i], 1e-6f);
+}
+
+TEST(Rope, PreservesNorm) {
+    Xoshiro256 rng(1);
+    std::vector<float> v(128);
+    for (auto& x : v) x = static_cast<float>(rng.gaussian());
+    const double n0 = std::inner_product(v.begin(), v.end(), v.begin(), 0.0);
+    rope_rotate(v, 777, 10000.0f);
+    const double n1 = std::inner_product(v.begin(), v.end(), v.begin(), 0.0);
+    EXPECT_NEAR(n1, n0, 1e-3 * n0);  // rotations are orthogonal
+}
+
+TEST(Rope, RelativePositionProperty) {
+    // The RoPE dot product depends only on the position difference:
+    // <R(p)q, R(p+d)k> must be equal for any p with the same d.
+    Xoshiro256 rng(2);
+    std::vector<float> q0(64), k0(64);
+    for (auto& x : q0) x = static_cast<float>(rng.gaussian());
+    for (auto& x : k0) x = static_cast<float>(rng.gaussian());
+
+    auto rotated_dot = [&](std::size_t p, std::size_t d) {
+        std::vector<float> q = q0, k = k0;
+        rope_rotate(q, p, 10000.0f);
+        rope_rotate(k, p + d, 10000.0f);
+        double acc = 0;
+        for (std::size_t i = 0; i < q.size(); ++i) acc += q[i] * k[i];
+        return acc;
+    };
+
+    const double a = rotated_dot(0, 5);
+    const double b = rotated_dot(100, 5);
+    const double c = rotated_dot(917, 5);
+    EXPECT_NEAR(a, b, 1e-2 * std::abs(a) + 1e-3);
+    EXPECT_NEAR(a, c, 1e-2 * std::abs(a) + 1e-3);
+}
+
+TEST(Rope, DifferentPositionsProduceDifferentVectors) {
+    std::vector<float> a{1, 0, 0, 0}, b{1, 0, 0, 0};
+    rope_rotate(a, 1, 10000.0f);
+    rope_rotate(b, 2, 10000.0f);
+    EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Softmax, MatchesDirectComputation) {
+    const std::vector<float> x{0.5f, -1.0f, 2.0f};
+    std::vector<float> out(3);
+    softmax(x, out);
+    const float denom = std::exp(0.5f) + std::exp(-1.0f) + std::exp(2.0f);
+    EXPECT_NEAR(out[0], std::exp(0.5f) / denom, 1e-6f);
+    EXPECT_NEAR(out[2], std::exp(2.0f) / denom, 1e-6f);
+}
+
+TEST(Softmax, HandlesExtremeLogits) {
+    const std::vector<float> x{-1e4f, 0.0f, 1e4f};
+    std::vector<float> out(3);
+    softmax(x, out);
+    EXPECT_NEAR(out[2], 1.0f, 1e-6f);
+    EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(Silu, GateMultiplication) {
+    const std::vector<float> gate{1.0f, -1.0f}, up{2.0f, 3.0f};
+    std::vector<float> out(2);
+    silu_gate(gate, up, out);
+    const float s1 = 1.0f / (1.0f + std::exp(-1.0f));
+    EXPECT_NEAR(out[0], s1 * 2.0f, 1e-6f);
+    EXPECT_NEAR(out[1], (-1.0f) * (1.0f - s1) * 3.0f, 1e-6f);
+}
+
+TEST(Silu, InplaceMatchesScalar) {
+    std::vector<float> x{-2.0f, -0.5f, 0.0f, 0.5f, 2.0f};
+    const std::vector<float> orig = x;
+    silu_inplace(x);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(x[i], orig[i] / (1.0f + std::exp(-orig[i])), 1e-6f);
+    }
+}
+
+TEST(Attention, SingleTokenReturnsItsValue) {
+    // With one cached token the softmax is 1 and the output is that value.
+    const std::size_t hd = 8;
+    std::vector<float> q(hd, 0.5f), k(hd, 0.3f), v(hd);
+    for (std::size_t i = 0; i < hd; ++i) v[i] = static_cast<float>(i);
+    std::vector<float> out(hd);
+    attention_head(q, k, v, 1, hd, out);
+    for (std::size_t i = 0; i < hd; ++i) EXPECT_NEAR(out[i], v[i], 1e-5f);
+}
+
+TEST(Attention, StrongMatchDominates) {
+    const std::size_t hd = 4, ctx = 3;
+    std::vector<float> q{10, 0, 0, 0};
+    std::vector<float> keys(ctx * hd, 0.0f);
+    keys[1 * hd + 0] = 10.0f;  // token 1 matches q strongly
+    std::vector<float> values(ctx * hd, 0.0f);
+    values[0 * hd + 0] = 1.0f;
+    values[1 * hd + 0] = 2.0f;
+    values[2 * hd + 0] = 3.0f;
+    std::vector<float> out(hd);
+    attention_head(q, keys, values, ctx, hd, out);
+    EXPECT_NEAR(out[0], 2.0f, 0.01f);
+}
+
+TEST(Attention, UniformKeysAverageValues) {
+    const std::size_t hd = 2, ctx = 4;
+    std::vector<float> q{1, 1};
+    std::vector<float> keys(ctx * hd, 0.0f);  // all scores identical
+    std::vector<float> values(ctx * hd);
+    for (std::size_t t = 0; t < ctx; ++t) {
+        values[t * hd] = static_cast<float>(t);
+        values[t * hd + 1] = 1.0f;
+    }
+    std::vector<float> out(hd);
+    attention_head(q, keys, values, ctx, hd, out);
+    EXPECT_NEAR(out[0], 1.5f, 1e-5f);  // mean of 0..3
+    EXPECT_NEAR(out[1], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace efld::model

@@ -1,0 +1,126 @@
+// Float and KV8 caches: layout, GQA head views, quantization transparency.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "model/kv_cache.hpp"
+
+namespace efld::model {
+namespace {
+
+ModelConfig micro() { return ModelConfig::micro_256(); }  // 2 layers, 2 heads, hd=128
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+TEST(KvCache, AppendAdvancesAfterAllLayers) {
+    const ModelConfig cfg = micro();
+    KvCache cache(cfg);
+    const auto k = random_vec(cfg.kv_dim(), 1), v = random_vec(cfg.kv_dim(), 2);
+    cache.append(0, k, v);
+    EXPECT_EQ(cache.length(), 0u);  // layer 1 still pending
+    cache.append(1, k, v);
+    EXPECT_EQ(cache.length(), 1u);
+}
+
+TEST(KvCache, HeadViewExtractsCorrectSlice) {
+    const ModelConfig cfg = micro();
+    KvCache cache(cfg);
+    std::vector<float> k(cfg.kv_dim()), v(cfg.kv_dim());
+    for (std::size_t i = 0; i < cfg.kv_dim(); ++i) {
+        k[i] = static_cast<float>(i);
+        v[i] = -static_cast<float>(i);
+    }
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, k, v);
+
+    const std::size_t hd = cfg.head_dim();
+    const auto head1 = cache.keys_for_head(0, 1, 1);
+    ASSERT_EQ(head1.size(), hd);
+    for (std::size_t i = 0; i < hd; ++i) {
+        EXPECT_FLOAT_EQ(head1[i], static_cast<float>(hd + i));
+    }
+}
+
+TEST(KvCache, MultiTokenHistoryOrdered) {
+    const ModelConfig cfg = micro();
+    KvCache cache(cfg);
+    for (int t = 0; t < 3; ++t) {
+        std::vector<float> k(cfg.kv_dim(), static_cast<float>(t));
+        for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, k, k);
+    }
+    const auto hist = cache.keys_for_head(1, 0, 3);
+    const std::size_t hd = cfg.head_dim();
+    EXPECT_FLOAT_EQ(hist[0], 0.0f);
+    EXPECT_FLOAT_EQ(hist[hd], 1.0f);
+    EXPECT_FLOAT_EQ(hist[2 * hd], 2.0f);
+}
+
+TEST(KvCache, CapacityEnforced) {
+    ModelConfig cfg = micro();
+    cfg.max_seq_len = 2;
+    KvCache cache(cfg);
+    const auto k = random_vec(cfg.kv_dim(), 3);
+    for (int t = 0; t < 2; ++t) {
+        for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, k, k);
+    }
+    EXPECT_THROW(cache.append(0, k, k), efld::Error);
+}
+
+TEST(KvCache, ResetClearsLength) {
+    const ModelConfig cfg = micro();
+    KvCache cache(cfg);
+    const auto k = random_vec(cfg.kv_dim(), 4);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, k, k);
+    cache.reset();
+    EXPECT_EQ(cache.length(), 0u);
+}
+
+TEST(QuantizedKvCache, ReconstructionCloseToFloat) {
+    const ModelConfig cfg = micro();
+    QuantizedKvCache qcache(cfg);
+    KvCache fcache(cfg);
+    const auto k = random_vec(cfg.kv_dim(), 5), v = random_vec(cfg.kv_dim(), 6);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+        qcache.append(l, k, v);
+        fcache.append(l, k, v);
+    }
+    const auto qk = qcache.keys_for_head(0, 0, 1);
+    const auto fk = fcache.keys_for_head(0, 0, 1);
+    for (std::size_t i = 0; i < qk.size(); ++i) {
+        EXPECT_NEAR(qk[i], fk[i], 0.05f) << i;  // 8-bit grid over ~N(0,1)
+    }
+}
+
+TEST(QuantizedKvCache, PerHeadParamsIndependent) {
+    const ModelConfig cfg = micro();
+    QuantizedKvCache qcache(cfg);
+    std::vector<float> k(cfg.kv_dim()), v(cfg.kv_dim(), 0.1f);
+    const std::size_t hd = cfg.head_dim();
+    // Head 0 small range, head 1 large range.
+    for (std::size_t i = 0; i < hd; ++i) k[i] = 0.01f * static_cast<float>(i % 3);
+    for (std::size_t i = hd; i < 2 * hd; ++i) k[i] = 10.0f * static_cast<float>(i % 5);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) qcache.append(l, k, v);
+
+    const float s0 = qcache.key_params(0, 0, 0).scale.to_float();
+    const float s1 = qcache.key_params(0, 0, 1).scale.to_float();
+    EXPECT_LT(s0, s1 / 100.0f);
+}
+
+TEST(QuantizedKvCache, ValuesRoundTripToo) {
+    const ModelConfig cfg = micro();
+    QuantizedKvCache qcache(cfg);
+    const auto k = random_vec(cfg.kv_dim(), 7), v = random_vec(cfg.kv_dim(), 8);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) qcache.append(l, k, v);
+    const auto qv = qcache.values_for_head(1, 1, 1);
+    const std::size_t hd = cfg.head_dim();
+    for (std::size_t i = 0; i < hd; ++i) {
+        EXPECT_NEAR(qv[i], v[hd + i], 0.05f);
+    }
+}
+
+}  // namespace
+}  // namespace efld::model

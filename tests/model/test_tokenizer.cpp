@@ -1,0 +1,82 @@
+// Byte tokenizer round trips and merge behaviour.
+#include <gtest/gtest.h>
+
+#include "model/tokenizer.hpp"
+
+namespace efld::model {
+namespace {
+
+TEST(Tokenizer, EncodeDecodesRoundTrip) {
+    ByteTokenizer tok;
+    const std::string text = "Hello, FPGA world! \xF0\x9F\x98\x80";
+    const auto ids = tok.encode(text);
+    EXPECT_EQ(ids.front(), ByteTokenizer::kBos);
+    EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(Tokenizer, EncodeWithoutBos) {
+    ByteTokenizer tok;
+    const auto ids = tok.encode("ab", false);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], ByteTokenizer::kByteBase + 'a');
+    EXPECT_EQ(ids[1], ByteTokenizer::kByteBase + 'b');
+}
+
+TEST(Tokenizer, EmptyString) {
+    ByteTokenizer tok;
+    const auto ids = tok.encode("", true);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], ByteTokenizer::kBos);
+    EXPECT_EQ(tok.decode(ids), "");
+}
+
+TEST(Tokenizer, SpecialsDecodeToNothing) {
+    ByteTokenizer tok;
+    EXPECT_EQ(tok.decode_token(ByteTokenizer::kBos), "");
+    EXPECT_EQ(tok.decode_token(ByteTokenizer::kEos), "");
+    EXPECT_EQ(tok.decode_token(ByteTokenizer::kPad), "");
+}
+
+TEST(Tokenizer, MergesPreferLongestMatch) {
+    ByteTokenizer tok;
+    tok.add_merge("th");
+    tok.add_merge("the");
+    const auto ids = tok.encode("the", false);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], ByteTokenizer::kByteBase + 256 + 1);  // "the", not "th"+"e"
+    EXPECT_EQ(tok.decode(ids), "the");
+}
+
+TEST(Tokenizer, MergesReduceTokenCount) {
+    ByteTokenizer plain;
+    ByteTokenizer merged;
+    merged.add_merge("hello");
+    const std::string text = "hello hello";
+    EXPECT_LT(merged.encode(text).size(), plain.encode(text).size());
+    EXPECT_EQ(merged.decode(merged.encode(text)), text);
+}
+
+TEST(Tokenizer, VocabSizeGrowsWithMerges) {
+    ByteTokenizer tok;
+    const auto base = tok.vocab_size();
+    tok.add_merge("ab");
+    EXPECT_EQ(tok.vocab_size(), base + 1);
+}
+
+TEST(Tokenizer, OutOfTableIdsRenderAsReplacement) {
+    // Models can have vocab padding rows beyond the tokenizer table; they
+    // must decode to U+FFFD, never crash.
+    ByteTokenizer tok;
+    EXPECT_EQ(tok.decode_token(tok.vocab_size()), "\xEF\xBF\xBD");
+    EXPECT_EQ(tok.decode_token(-5), "");
+}
+
+TEST(Tokenizer, AllByteValuesRoundTrip) {
+    ByteTokenizer tok;
+    std::string text;
+    for (int b = 0; b < 256; ++b) text.push_back(static_cast<char>(b));
+    EXPECT_EQ(tok.decode(tok.encode(text, false)), text);
+}
+
+}  // namespace
+}  // namespace efld::model

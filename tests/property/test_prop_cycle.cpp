@@ -1,0 +1,122 @@
+// Cycle-model invariants swept over models, contexts, and schedules.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/cycle_model.hpp"
+
+namespace efld::accel {
+namespace {
+
+enum class Which { kLlama7B, kTinyLlama, kTiny512 };
+
+model::ModelConfig make_model(Which w) {
+    switch (w) {
+        case Which::kLlama7B: return model::ModelConfig::llama2_7b();
+        case Which::kTinyLlama: return model::ModelConfig::tinyllama_1_1b();
+        case Which::kTiny512: return model::ModelConfig::tiny_512();
+    }
+    return model::ModelConfig::tiny_512();
+}
+
+const char* which_name(Which w) {
+    switch (w) {
+        case Which::kLlama7B: return "llama7b";
+        case Which::kTinyLlama: return "tinyllama";
+        case Which::kTiny512: return "tiny512";
+    }
+    return "?";
+}
+
+using CycleParam = std::tuple<Which, bool /*fine*/>;
+
+class CycleProperty : public ::testing::TestWithParam<CycleParam> {};
+
+TEST_P(CycleProperty, LatencyMonotoneInContext) {
+    const auto [which, fine] = GetParam();
+    const model::ModelConfig cfg = make_model(which);
+    AccelConfig acc;
+    acc.fine_grained_fusion = fine;
+    DecodeCycleModel m(cfg, model::QuantScheme::w4a16_kv8(), acc);
+    double prev = 0;
+    for (const std::uint64_t ctx :
+         {std::uint64_t{0}, cfg.max_seq_len / 4, cfg.max_seq_len / 2,
+          cfg.max_seq_len - 1}) {
+        const double ns = m.token_timing(ctx).total_ns;
+        ASSERT_GE(ns, prev) << "ctx=" << ctx;
+        prev = ns;
+    }
+}
+
+TEST_P(CycleProperty, ByteAccountingMatchesTrafficModel) {
+    // The cycle model's walked byte counts must agree with the closed-form
+    // decode_traffic() arithmetic (two independent derivations).
+    const auto [which, fine] = GetParam();
+    const model::ModelConfig cfg = make_model(which);
+    AccelConfig acc;
+    acc.fine_grained_fusion = fine;
+    DecodeCycleModel m(cfg, model::QuantScheme::w4a16_kv8(), acc);
+    const std::size_t ctx = cfg.max_seq_len / 2;
+    const TokenTiming t = m.token_timing(ctx);
+    const model::DecodeTraffic ref =
+        model::decode_traffic(cfg, model::QuantScheme::w4a16_kv8(), ctx);
+
+    // Weight side: within 1% (stream framing rounds rows to bus words).
+    EXPECT_NEAR(static_cast<double>(t.weight_bytes),
+                static_cast<double>(ref.weight_read_bytes + ref.embedding_read_bytes),
+                static_cast<double>(ref.weight_read_bytes) * 0.01);
+    // KV side: pack reads round up to 64 B words per head; allow that slack.
+    const double pack_slack =
+        static_cast<double>(2 * cfg.n_layers * cfg.n_kv_heads * 64 * cfg.n_heads);
+    EXPECT_NEAR(static_cast<double>(t.kv_read_bytes),
+                static_cast<double>(ref.kv_read_bytes), pack_slack);
+}
+
+TEST_P(CycleProperty, UtilizationInUnitInterval) {
+    const auto [which, fine] = GetParam();
+    AccelConfig acc;
+    acc.fine_grained_fusion = fine;
+    DecodeCycleModel m(make_model(which), model::QuantScheme::w4a16_kv8(), acc);
+    const double u = m.bandwidth_utilization(make_model(which).max_seq_len / 2);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+}
+
+TEST_P(CycleProperty, FineNeverSlowerThanCoarse) {
+    const auto [which, fine] = GetParam();
+    if (!fine) GTEST_SKIP() << "pair covered by the fine instantiation";
+    const model::ModelConfig cfg = make_model(which);
+    AccelConfig f, c;
+    c.fine_grained_fusion = false;
+    DecodeCycleModel mf(cfg, model::QuantScheme::w4a16_kv8(), f);
+    DecodeCycleModel mc(cfg, model::QuantScheme::w4a16_kv8(), c);
+    const std::size_t ctx = cfg.max_seq_len / 2;
+    EXPECT_LE(mf.token_timing(ctx).total_ns, mc.token_timing(ctx).total_ns * 1.001);
+}
+
+TEST_P(CycleProperty, PrefillComputeBoundAndDecodeBandwidthBound) {
+    const auto [which, fine] = GetParam();
+    const model::ModelConfig cfg = make_model(which);
+    AccelConfig acc;
+    acc.fine_grained_fusion = fine;
+    DecodeCycleModel m(cfg, model::QuantScheme::w4a16_kv8(), acc);
+    const PrefillTiming p = m.prefill_timing(std::min<std::size_t>(64, cfg.max_seq_len));
+    EXPECT_TRUE(p.compute_bound());
+    EXPECT_GT(p.total_ns, 0.0);
+    // A weight-reusing matrix engine must beat the vector engine on prefill.
+    DecodeCycleModel m2(cfg, model::QuantScheme::w4a16_kv8(), acc);
+    EXPECT_LT(m2.matrix_engine_prefill_ns(64, 4096.0), p.total_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CycleProperty,
+    ::testing::Combine(::testing::Values(Which::kLlama7B, Which::kTinyLlama,
+                                         Which::kTiny512),
+                       ::testing::Bool()),
+    [](const auto& info) {
+        return std::string(which_name(std::get<0>(info.param))) +
+               (std::get<1>(info.param) ? "_fine" : "_coarse");
+    });
+
+}  // namespace
+}  // namespace efld::accel

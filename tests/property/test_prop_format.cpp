@@ -1,0 +1,134 @@
+// Property sweeps over the Fig. 4A stream format: for any group count the
+// schedule is self-consistent, round trips are exact, and the on-chip state
+// of the decoder never exceeds one scale word + one zero word.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "quant/scale_zero_pack.hpp"
+#include "quant/weight_format.hpp"
+
+namespace efld::quant {
+namespace {
+
+class FormatScheduleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FormatScheduleProperty, ScheduleCountsAreExact) {
+    const std::size_t groups = GetParam();
+    const auto sched = stream_schedule(groups);
+    std::size_t w = 0, s = 0, z = 0;
+    for (const auto k : sched) {
+        if (k == WordKind::kWeight) ++w;
+        if (k == WordKind::kScale) ++s;
+        if (k == WordKind::kZero) ++z;
+    }
+    EXPECT_EQ(w, groups);
+    EXPECT_EQ(s, div_ceil(groups, kGroupsPerScaleWord));
+    EXPECT_EQ(z, div_ceil(groups, kGroupsPerZeroWord));
+    EXPECT_EQ(sched.size(), stream_words(groups));
+}
+
+TEST_P(FormatScheduleProperty, EveryWeightWordIsPrecededByItsMetadata) {
+    // Walking the schedule, a weight word must never appear before the scale
+    // word of its block and the zero word of its chunk — the decoder's
+    // single-register invariant.
+    const std::size_t groups = GetParam();
+    const auto sched = stream_schedule(groups);
+    bool have_zero = false, have_scale = false;
+    std::size_t weights_since_scale = 0;
+    std::size_t weights_since_zero = 0;
+    for (const auto k : sched) {
+        switch (k) {
+            case WordKind::kZero:
+                have_zero = true;
+                weights_since_zero = 0;
+                break;
+            case WordKind::kScale:
+                have_scale = true;
+                weights_since_scale = 0;
+                break;
+            case WordKind::kWeight:
+                ASSERT_TRUE(have_zero && have_scale);
+                ++weights_since_scale;
+                ++weights_since_zero;
+                ASSERT_LE(weights_since_scale, kGroupsPerScaleWord);
+                ASSERT_LE(weights_since_zero, kGroupsPerZeroWord);
+                break;
+        }
+    }
+}
+
+TEST_P(FormatScheduleProperty, OverheadBounded) {
+    const std::size_t groups = GetParam();
+    const double oh = stream_overhead(groups);
+    EXPECT_GE(oh, 5.0 / 133.0 - 1e-9);  // never better than the asymptote
+    EXPECT_LE(oh, 2.0 / 3.0 + 1e-9);    // worst case: 1 group = 3 words
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FormatScheduleProperty,
+                         ::testing::Values<std::size_t>(1, 2, 31, 32, 33, 63, 64, 96,
+                                                        127, 128, 129, 160, 255, 256,
+                                                        1000, 4096, 131072));
+
+class FormatRoundTripProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FormatRoundTripProperty, PackUnpackExact) {
+    const auto [rows, cols] = GetParam();
+    efld::Xoshiro256 rng(rows * 1000003 + cols);
+    std::vector<float> w(rows * cols);
+    for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+    const auto layer = QuantizedLinear::quantize(w, rows, cols, GroupQuantConfig{});
+    const auto words = pack_weight_stream(layer);
+    const auto back = unpack_weight_stream(words, rows, cols);
+    ASSERT_EQ(back.dequantize(), layer.dequantize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FormatRoundTripProperty,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 128),
+                      std::make_pair<std::size_t, std::size_t>(1, 4096),
+                      std::make_pair<std::size_t, std::size_t>(2, 256),
+                      std::make_pair<std::size_t, std::size_t>(7, 384),
+                      std::make_pair<std::size_t, std::size_t>(16, 512),
+                      std::make_pair<std::size_t, std::size_t>(33, 128),
+                      std::make_pair<std::size_t, std::size_t>(40, 640),
+                      std::make_pair<std::size_t, std::size_t>(128, 128)));
+
+class FifoProperty : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(FifoProperty, FlushCountMatchesTokenWindows) {
+    const auto [layers, heads, tokens] = GetParam();
+    ScaleZeroFifo fifo(layers, heads);
+    std::size_t flushed = 0;
+    for (std::size_t t = 0; t < tokens; ++t) {
+        for (std::size_t l = 0; l < layers; ++l) {
+            for (std::size_t h = 0; h < heads; ++h) {
+                for (const bool v : {false, true}) {
+                    if (fifo.append(l, h, v, t, {Fp16::one(), 0})) ++flushed;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(flushed, 2 * layers * heads * (tokens / kPacksPerWord));
+    // Drain the rest and check total conservation.
+    std::size_t drained = 0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t h = 0; h < heads; ++h) {
+            for (const bool v : {false, true}) {
+                if (fifo.flush(l, h, v)) ++drained;
+            }
+        }
+    }
+    const std::size_t partial = (tokens % kPacksPerWord) ? 2 * layers * heads : 0;
+    EXPECT_EQ(drained, partial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FifoProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values<std::size_t>(1, 3, 8),
+                       ::testing::Values<std::size_t>(1, 15, 16, 17, 47, 64)));
+
+}  // namespace
+}  // namespace efld::quant

@@ -1,0 +1,89 @@
+// Algebraic properties of the FP16 soft float, swept over random operands —
+// the guarantees an RTL FP16 datapath provides and the VPU relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+
+namespace efld {
+namespace {
+
+class Fp16Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fp16Property, AdditionCommutes) {
+    Xoshiro256 rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.uniform(-1000, 1000)));
+        const Fp16 b = Fp16::from_float(static_cast<float>(rng.uniform(-1000, 1000)));
+        ASSERT_EQ((a + b).bits(), (b + a).bits());
+    }
+}
+
+TEST_P(Fp16Property, MultiplicationCommutes) {
+    Xoshiro256 rng(GetParam() ^ 1);
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.gaussian()));
+        const Fp16 b = Fp16::from_float(static_cast<float>(rng.gaussian()));
+        ASSERT_EQ((a * b).bits(), (b * a).bits());
+    }
+}
+
+TEST_P(Fp16Property, NegationIsInvolution) {
+    Xoshiro256 rng(GetParam() ^ 2);
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.uniform(-6e4, 6e4)));
+        ASSERT_EQ((-(-a)).bits(), a.bits());
+    }
+}
+
+TEST_P(Fp16Property, AddingZeroIsIdentityForNormals) {
+    Xoshiro256 rng(GetParam() ^ 3);
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.uniform(-6e4, 6e4)));
+        ASSERT_EQ((a + Fp16::zero()).to_float(), a.to_float());
+    }
+}
+
+TEST_P(Fp16Property, MultiplyByOneIsIdentity) {
+    Xoshiro256 rng(GetParam() ^ 4);
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.gaussian(0, 100)));
+        ASSERT_EQ((a * Fp16::one()).bits(), a.bits());
+    }
+}
+
+TEST_P(Fp16Property, ConversionIsMonotone) {
+    // f1 <= f2 implies half(f1) <= half(f2): rounding never reorders.
+    Xoshiro256 rng(GetParam() ^ 5);
+    for (int i = 0; i < 2000; ++i) {
+        const float f1 = static_cast<float>(rng.uniform(-6e4, 6e4));
+        const float f2 = static_cast<float>(rng.uniform(-6e4, 6e4));
+        const float lo = std::min(f1, f2), hi = std::max(f1, f2);
+        ASSERT_LE(Fp16::from_float(lo).to_float(), Fp16::from_float(hi).to_float());
+    }
+}
+
+TEST_P(Fp16Property, SubtractionOfSelfIsZero) {
+    Xoshiro256 rng(GetParam() ^ 6);
+    for (int i = 0; i < 2000; ++i) {
+        const Fp16 a = Fp16::from_float(static_cast<float>(rng.gaussian(0, 50)));
+        ASSERT_TRUE((a - a).is_zero());
+    }
+}
+
+TEST_P(Fp16Property, ErrorBoundedByHalfUlp) {
+    Xoshiro256 rng(GetParam() ^ 7);
+    for (int i = 0; i < 2000; ++i) {
+        const float f = static_cast<float>(rng.uniform(0.001, 60000.0));
+        const float r = Fp16::from_float(f).to_float();
+        ASSERT_LE(std::abs(r - f) / f, 0x1.0p-11f + 1e-7f);  // <= 2^-11 relative
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fp16Property,
+                         ::testing::Values<std::uint64_t>(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace efld

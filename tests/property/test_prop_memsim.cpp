@@ -1,0 +1,99 @@
+// Memory-system invariants swept over configurations and traffic shapes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "memsim/memory_system.hpp"
+
+namespace efld::memsim {
+namespace {
+
+using PortParam = std::tuple<unsigned /*ports*/, unsigned /*burst beats*/>;
+
+class MemoryProperty : public ::testing::TestWithParam<PortParam> {};
+
+MemorySystemConfig make_config(const PortParam& p) {
+    MemorySystemConfig cfg = MemorySystemConfig::kv260();
+    cfg.axi.num_ports = std::get<0>(p);
+    cfg.axi.port.max_burst_beats = std::get<1>(p);
+    return cfg;
+}
+
+TEST_P(MemoryProperty, EfficiencyNeverExceedsOne) {
+    MemorySystem mem(make_config(GetParam()));
+    Xoshiro256 rng(99);
+    TransactionStream s;
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t addr = rng.below(1ull << 30) / 64 * 64;
+        const std::uint64_t bytes = 64 + rng.below(64) * 64;
+        s.push_back({addr, bytes, rng.below(2) ? Dir::kRead : Dir::kWrite});
+    }
+    const BandwidthStats st = mem.run(s);
+    EXPECT_GT(st.busy_ns, 0.0);
+    EXPECT_LE(st.achieved_bw(), mem.peak_bytes_per_s() * (1.0 + 1e-9));
+}
+
+TEST_P(MemoryProperty, TimeIsAdditiveAcrossTransactions) {
+    // Serving a stream equals the sum of serving its parts (the model is
+    // state-dependent only through open rows, which both paths share).
+    MemorySystem a(make_config(GetParam()));
+    MemorySystem b(make_config(GetParam()));
+    TransactionStream s{{0, 8192, Dir::kRead},
+                        {8192, 8192, Dir::kRead},
+                        {1 << 20, 256, Dir::kWrite}};
+    const double whole = a.run(s).busy_ns;
+    double parts = 0;
+    for (const auto& t : s) parts += b.service(t);
+    EXPECT_NEAR(whole, parts, 1e-6);
+}
+
+TEST_P(MemoryProperty, SplittingATransferNeverSpeedsItUp) {
+    MemorySystem whole(make_config(GetParam()));
+    MemorySystem split(make_config(GetParam()));
+    const std::uint64_t total = 1 << 22;
+    const double t_whole = whole.sequential_read_ns(0, total);
+    double t_split = 0;
+    for (std::uint64_t a = 0; a < total; a += 4096) {
+        t_split += split.service({a, 4096, Dir::kRead});
+    }
+    EXPECT_LE(t_whole, t_split * 1.0001);
+}
+
+TEST_P(MemoryProperty, MoreBytesTakeLonger) {
+    MemorySystem mem(make_config(GetParam()));
+    double prev = 0;
+    for (const std::uint64_t bytes : {1ull << 12, 1ull << 16, 1ull << 20, 1ull << 24}) {
+        MemorySystem fresh(make_config(GetParam()));
+        const double ns = fresh.sequential_read_ns(0, bytes);
+        EXPECT_GT(ns, prev);
+        prev = ns;
+    }
+}
+
+TEST_P(MemoryProperty, FramingConservesBytes) {
+    AxiBundle bundle(make_config(GetParam()).axi);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const Transaction txn{rng.below(1ull << 32), 1 + rng.below(1 << 18), Dir::kRead};
+        std::uint64_t covered = 0;
+        for (const auto& part : bundle.split(txn)) {
+            for (const auto& b : bundle.port().frame(part)) {
+                covered += b.bytes;
+                ASSERT_EQ(b.addr / 4096, (b.addr + b.bytes - 1) / 4096)
+                    << "4 KiB boundary violated";
+            }
+        }
+        ASSERT_EQ(covered, txn.bytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemoryProperty,
+    ::testing::Combine(::testing::Values<unsigned>(1, 2, 4),
+                       ::testing::Values<unsigned>(16, 64, 256)),
+    [](const auto& info) {
+        return "p" + std::to_string(std::get<0>(info.param)) + "_b" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace efld::memsim

@@ -1,0 +1,125 @@
+// AWQ activation-aware scaling: the search must never hurt, and must help
+// when channel importance is skewed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/awq.hpp"
+
+namespace efld::quant {
+namespace {
+
+struct Problem {
+    std::vector<float> weights;
+    std::vector<float> calib;
+    std::size_t rows, cols, samples;
+};
+
+// Builds a layer where a few input channels carry large activations —
+// exactly the salient-channel structure AWQ exploits.
+Problem skewed_problem(std::uint64_t seed) {
+    Problem p;
+    p.rows = 16;
+    p.cols = 256;
+    p.samples = 8;
+    efld::Xoshiro256 rng(seed);
+    p.weights.resize(p.rows * p.cols);
+    for (auto& w : p.weights) w = static_cast<float>(rng.gaussian(0.0, 0.05));
+    p.calib.resize(p.samples * p.cols);
+    for (std::size_t s = 0; s < p.samples; ++s) {
+        for (std::size_t j = 0; j < p.cols; ++j) {
+            const double mag = (j % 16 == 0) ? 8.0 : 0.5;  // salient channels
+            p.calib[s * p.cols + j] = static_cast<float>(rng.gaussian(0.0, mag));
+        }
+    }
+    return p;
+}
+
+TEST(Awq, ImportanceReflectsActivationMagnitude) {
+    const Problem p = skewed_problem(1);
+    const auto imp = activation_importance(p.calib, p.samples, p.cols);
+    ASSERT_EQ(imp.size(), p.cols);
+    // Salient channels should have far higher mean |x|.
+    double salient = 0, rest = 0;
+    int ns = 0, nr = 0;
+    for (std::size_t j = 0; j < p.cols; ++j) {
+        if (j % 16 == 0) { salient += imp[j]; ++ns; } else { rest += imp[j]; ++nr; }
+    }
+    EXPECT_GT(salient / ns, 4.0 * rest / nr);
+}
+
+TEST(Awq, SearchNeverWorseThanBaseline) {
+    const Problem p = skewed_problem(2);
+    AwqConfig cfg;
+    const AwqResult r = awq_quantize(p.weights, p.rows, p.cols, p.calib, p.samples, cfg);
+    EXPECT_LE(r.best_mse, r.baseline_mse * (1.0 + 1e-9));
+}
+
+TEST(Awq, SearchImprovesSkewedLayers) {
+    const Problem p = skewed_problem(3);
+    AwqConfig cfg;
+    const AwqResult r = awq_quantize(p.weights, p.rows, p.cols, p.calib, p.samples, cfg);
+    // With strongly skewed activations, a nonzero alpha must win clearly.
+    EXPECT_GT(r.best_alpha, 0.0f);
+    EXPECT_LT(r.best_mse, r.baseline_mse * 0.9);
+}
+
+TEST(Awq, ChannelScalesArePositiveAndNormalized) {
+    const Problem p = skewed_problem(4);
+    AwqConfig cfg;
+    const AwqResult r = awq_quantize(p.weights, p.rows, p.cols, p.calib, p.samples, cfg);
+    ASSERT_EQ(r.channel_scale.size(), p.cols);
+    double log_sum = 0;
+    for (const float s : r.channel_scale) {
+        EXPECT_GT(s, 0.0f);
+        log_sum += std::log(static_cast<double>(s));
+    }
+    if (r.best_alpha > 0.0f) {
+        // Geometric mean ~= 1 by construction.
+        EXPECT_NEAR(std::exp(log_sum / static_cast<double>(p.cols)), 1.0, 0.05);
+    }
+}
+
+TEST(Awq, MathematicalEquivalenceOfScaling) {
+    // W * diag(s) applied to x/s must equal W x exactly in float (before
+    // quantization) — the no-op property the trick relies on.
+    const Problem p = skewed_problem(5);
+    const auto imp = activation_importance(p.calib, p.samples, p.cols);
+    std::vector<float> s(p.cols);
+    for (std::size_t j = 0; j < p.cols; ++j) s[j] = std::sqrt(std::max(imp[j], 1e-6f));
+
+    efld::Xoshiro256 rng(6);
+    std::vector<float> x(p.cols);
+    for (auto& v : x) v = static_cast<float>(rng.gaussian());
+
+    for (std::size_t r = 0; r < p.rows; ++r) {
+        double y_plain = 0, y_scaled = 0;
+        for (std::size_t j = 0; j < p.cols; ++j) {
+            y_plain += static_cast<double>(p.weights[r * p.cols + j]) * x[j];
+            y_scaled += static_cast<double>(p.weights[r * p.cols + j] * s[j]) * (x[j] / s[j]);
+        }
+        EXPECT_NEAR(y_plain, y_scaled, 1e-4);
+    }
+}
+
+TEST(Awq, UniformActivationsKeepAlphaLow) {
+    // Without skew, scaling cannot help much; best_mse stays close to
+    // baseline (the search may still pick a tiny alpha by noise).
+    Problem p;
+    p.rows = 8;
+    p.cols = 256;
+    p.samples = 8;
+    efld::Xoshiro256 rng(7);
+    p.weights.resize(p.rows * p.cols);
+    for (auto& w : p.weights) w = static_cast<float>(rng.gaussian(0.0, 0.05));
+    p.calib.resize(p.samples * p.cols);
+    for (auto& a : p.calib) a = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    AwqConfig cfg;
+    const AwqResult r = awq_quantize(p.weights, p.rows, p.cols, p.calib, p.samples, cfg);
+    EXPECT_LT(r.baseline_mse / std::max(r.best_mse, 1e-30), 3.0);
+}
+
+}  // namespace
+}  // namespace efld::quant

@@ -1,0 +1,113 @@
+// Fig. 4B scale-zero pack encoding and FIFO flush schedule.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "quant/scale_zero_pack.hpp"
+
+namespace efld::quant {
+namespace {
+
+TEST(ScaleZeroPack, EncodeDecodeRoundTrip) {
+    KvQuantParams p{Fp16::from_float(0.0421f), 117};
+    const std::uint32_t enc = encode_scale_zero(p);
+    const KvQuantParams back = decode_scale_zero(enc);
+    EXPECT_EQ(back.scale.bits(), p.scale.bits());
+    EXPECT_EQ(back.zero, p.zero);
+}
+
+TEST(ScaleZeroPack, DummyByteIsZero) {
+    const std::uint32_t enc = encode_scale_zero({Fp16::from_float(1.0f), 0xFF});
+    EXPECT_EQ(enc >> 24, 0u);  // alignment dummy stays clear
+}
+
+TEST(ScaleZeroFifo, SlotCountMatchesGeometry) {
+    ScaleZeroFifo fifo(32, 32);
+    EXPECT_EQ(fifo.num_slots(), 2u * 32 * 32);
+    // On-chip footprint: 2048 slots x 64 B = 128 KiB.
+    EXPECT_EQ(fifo.storage_bytes(), 2048u * 64);
+}
+
+TEST(ScaleZeroFifo, FlushesExactlyEvery16Tokens) {
+    ScaleZeroFifo fifo(1, 1);
+    for (std::size_t t = 0; t < 16; ++t) {
+        const auto word = fifo.append(0, 0, false, t, {Fp16::one(), 0});
+        if (t < 15) {
+            EXPECT_FALSE(word.has_value()) << "token " << t;
+        } else {
+            EXPECT_TRUE(word.has_value());
+        }
+    }
+    EXPECT_EQ(fifo.words_flushed(), 1u);
+}
+
+TEST(ScaleZeroFifo, FlushedWordContainsAll16Packs) {
+    ScaleZeroFifo fifo(1, 1);
+    std::optional<Word512> word;
+    for (std::size_t t = 0; t < 16; ++t) {
+        word = fifo.append(0, 0, true, t,
+                           {Fp16::from_float(static_cast<float>(t) + 1.0f),
+                            static_cast<std::uint8_t>(t)});
+    }
+    ASSERT_TRUE(word.has_value());
+    for (std::size_t t = 0; t < 16; ++t) {
+        const KvQuantParams p = decode_scale_zero(word->word32(t));
+        EXPECT_FLOAT_EQ(p.scale.to_float(), static_cast<float>(t) + 1.0f);
+        EXPECT_EQ(p.zero, t);
+    }
+}
+
+TEST(ScaleZeroFifo, StreamsAreIndependent) {
+    ScaleZeroFifo fifo(2, 2);
+    // Fill K of (0,0) to 15 packs; other streams stay empty.
+    for (std::size_t t = 0; t < 15; ++t) {
+        (void)fifo.append(0, 0, false, t, {Fp16::one(), 1});
+    }
+    EXPECT_EQ(fifo.slot_fill(0, 0, false), 15u);
+    EXPECT_EQ(fifo.slot_fill(0, 0, true), 0u);
+    EXPECT_EQ(fifo.slot_fill(1, 1, false), 0u);
+}
+
+TEST(ScaleZeroFifo, OutOfOrderAppendRejected) {
+    ScaleZeroFifo fifo(1, 1);
+    (void)fifo.append(0, 0, false, 0, {Fp16::one(), 0});
+    EXPECT_THROW((void)fifo.append(0, 0, false, 5, {Fp16::one(), 0}), efld::Error);
+}
+
+TEST(ScaleZeroFifo, PartialFlushAtEndOfGeneration) {
+    ScaleZeroFifo fifo(1, 1);
+    for (std::size_t t = 0; t < 5; ++t) {
+        (void)fifo.append(0, 0, false, t, {Fp16::one(), 9});
+    }
+    const auto word = fifo.flush(0, 0, false);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_EQ(decode_scale_zero(word->word32(4)).zero, 9);
+    EXPECT_EQ(decode_scale_zero(word->word32(5)).zero, 0);  // padding lanes
+    EXPECT_FALSE(fifo.flush(0, 0, false).has_value());      // now empty
+}
+
+TEST(ScaleZeroFifo, FullDecodeOf64Tokens) {
+    // Simulates 64 tokens across a 2-layer 2-head model: every stream must
+    // flush exactly 4 words.
+    ScaleZeroFifo fifo(2, 2);
+    std::size_t flushed = 0;
+    for (std::size_t t = 0; t < 64; ++t) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            for (std::size_t h = 0; h < 2; ++h) {
+                for (const bool v : {false, true}) {
+                    if (fifo.append(l, h, v, t, {Fp16::one(), 0})) ++flushed;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(flushed, 2u * 2 * 2 * 4);
+    EXPECT_EQ(fifo.words_flushed(), flushed);
+}
+
+TEST(ScaleZeroFifo, BadSlotRejected) {
+    ScaleZeroFifo fifo(2, 2);
+    EXPECT_THROW((void)fifo.append(2, 0, false, 0, {}), efld::Error);
+    EXPECT_THROW((void)fifo.append(0, 2, false, 0, {}), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::quant

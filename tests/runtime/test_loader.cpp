@@ -1,0 +1,95 @@
+// Model-image serialization (the SD-card round trip).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "runtime/loader.hpp"
+
+namespace efld::runtime {
+namespace {
+
+accel::PackedModel micro_model() {
+    const auto fw = model::ModelWeights::synthetic(model::ModelConfig::micro_256(), 11);
+    const auto qw = model::QuantizedModelWeights::quantize(fw, quant::GroupQuantConfig{});
+    return accel::PackedModel::build(qw);
+}
+
+bool models_equal(const accel::PackedModel& a, const accel::PackedModel& b) {
+    if (a.config.dim != b.config.dim || a.config.n_layers != b.config.n_layers ||
+        a.config.name != b.config.name) {
+        return false;
+    }
+    if (a.embedding.size() != b.embedding.size()) return false;
+    for (std::size_t i = 0; i < a.embedding.size(); ++i) {
+        if (a.embedding[i].bits() != b.embedding[i].bits()) return false;
+    }
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+        if (a.layers[l].wq.stream != b.layers[l].wq.stream) return false;
+        if (a.layers[l].w_down.stream != b.layers[l].w_down.stream) return false;
+    }
+    return a.lm_head.stream == b.lm_head.stream;
+}
+
+TEST(Crc32, KnownVector) {
+    // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+    const char* s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Loader, SerializeDeserializeRoundTrip) {
+    const accel::PackedModel m = micro_model();
+    const auto img = serialize_model(m);
+    const accel::PackedModel back = deserialize_model(img);
+    EXPECT_TRUE(models_equal(m, back));
+    EXPECT_EQ(back.config.name, "micro-256");
+}
+
+TEST(Loader, CorruptionDetected) {
+    const accel::PackedModel m = micro_model();
+    auto img = serialize_model(m);
+    img[img.size() / 2] ^= 0x01;  // flip one payload bit
+    EXPECT_THROW((void)deserialize_model(img), efld::Error);
+}
+
+TEST(Loader, BadMagicRejected) {
+    const accel::PackedModel m = micro_model();
+    auto img = serialize_model(m);
+    img[0] ^= 0xFF;
+    EXPECT_THROW((void)deserialize_model(img), efld::Error);
+}
+
+TEST(Loader, TruncationRejected) {
+    const accel::PackedModel m = micro_model();
+    auto img = serialize_model(m);
+    img.resize(img.size() - 100);
+    EXPECT_THROW((void)deserialize_model(img), efld::Error);
+}
+
+TEST(Loader, FileRoundTrip) {
+    const accel::PackedModel m = micro_model();
+    const std::string path = testing::TempDir() + "/efld_model_test.bin";
+    save_model(m, path);
+    const accel::PackedModel back = load_model(path);
+    EXPECT_TRUE(models_equal(m, back));
+    std::remove(path.c_str());
+}
+
+TEST(Loader, MissingFileThrows) {
+    EXPECT_THROW((void)load_model("/nonexistent/path/model.bin"), efld::Error);
+}
+
+TEST(Loader, ImageSizeTracksStreamBytes) {
+    const accel::PackedModel m = micro_model();
+    const auto img = serialize_model(m);
+    // Image must be dominated by weight streams + embedding, with a small
+    // framing overhead.
+    const std::uint64_t payload = m.weight_stream_bytes() + m.embedding_bytes();
+    EXPECT_GT(img.size(), payload);
+    EXPECT_LT(img.size(), payload + payload / 10 + 4096);
+}
+
+}  // namespace
+}  // namespace efld::runtime

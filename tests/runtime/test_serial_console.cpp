@@ -1,0 +1,49 @@
+// Serial console (UART) model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/serial_console.hpp"
+
+namespace efld::runtime {
+namespace {
+
+TEST(SerialConsole, CollectsTranscript) {
+    SerialConsole c;
+    c.emit("Hello", 100.0);
+    c.emit(" world", 200.0);
+    c.newline();
+    EXPECT_EQ(c.transcript(), "Hello world\n");
+    EXPECT_EQ(c.tokens_emitted(), 2u);
+}
+
+TEST(SerialConsole, EchoesToStream) {
+    std::ostringstream os;
+    SerialConsole c(&os);
+    c.emit("abc", 1.0);
+    c.newline();
+    EXPECT_EQ(os.str(), "abc\n");
+}
+
+TEST(SerialConsole, RateFromTimestamps) {
+    SerialConsole c;
+    // 4 tokens, 1 ms apart: 3 intervals over 3 ms -> 1000 token/s.
+    for (int i = 0; i < 4; ++i) c.emit("x", 1e6 * i);
+    EXPECT_NEAR(c.tokens_per_s(), 1000.0, 1e-9);
+}
+
+TEST(SerialConsole, RateUndefinedForFewTokens) {
+    SerialConsole c;
+    EXPECT_EQ(c.tokens_per_s(), 0.0);
+    c.emit("x", 5.0);
+    EXPECT_EQ(c.tokens_per_s(), 0.0);
+}
+
+TEST(SerialConsole, NoEchoWhenNull) {
+    SerialConsole c(nullptr);
+    c.emit("quiet", 1.0);  // must not crash
+    EXPECT_EQ(c.transcript(), "quiet");
+}
+
+}  // namespace
+}  // namespace efld::runtime
