@@ -15,20 +15,79 @@ void rmsnorm(std::span<const float> x, std::span<const float> weight, float eps,
     for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * inv * weight[i];
 }
 
+namespace {
+
+// Shared frequency recurrence: freq_0 = 1, freq_{i+1} = freq_i * base^(-2/d).
+// Kept in double so the 64-step product stays well inside float precision;
+// both the direct kernel and the table builder MUST use exactly this so a
+// cached rotation is bit-for-bit identical to the direct one.
+inline double rope_freq_ratio(std::size_t head_dim, float theta_base) {
+    return std::pow(static_cast<double>(theta_base),
+                    -2.0 / static_cast<double>(head_dim));
+}
+
+}  // namespace
+
 void rope_rotate(std::span<float> head_vec, std::size_t pos, float theta_base) {
     const std::size_t d = head_vec.size();
     check(d % 2 == 0, "rope_rotate: head_dim must be even");
     const std::size_t half = d / 2;
+    const double ratio = rope_freq_ratio(d, theta_base);
+    double freq = 1.0;
     for (std::size_t i = 0; i < half; ++i) {
-        const float freq = std::pow(theta_base,
-                                    -2.0f * static_cast<float>(i) / static_cast<float>(d));
-        const float angle = static_cast<float>(pos) * freq;
-        const float c = std::cos(angle);
-        const float s = std::sin(angle);
+        const double angle = static_cast<double>(pos) * freq;
+        const float c = static_cast<float>(std::cos(angle));
+        const float s = static_cast<float>(std::sin(angle));
         const float x0 = head_vec[i];
         const float x1 = head_vec[i + half];
         head_vec[i] = x0 * c - x1 * s;
         head_vec[i + half] = x1 * c + x0 * s;
+        freq *= ratio;
+    }
+}
+
+void rope_angles(std::size_t head_dim, std::size_t pos, float theta_base,
+                 std::span<float> cos_out, std::span<float> sin_out) {
+    check(head_dim % 2 == 0, "rope_angles: head_dim must be even");
+    const std::size_t half = head_dim / 2;
+    check(cos_out.size() == half && sin_out.size() == half,
+          "rope_angles: bad output spans");
+    const double ratio = rope_freq_ratio(head_dim, theta_base);
+    double freq = 1.0;
+    for (std::size_t i = 0; i < half; ++i) {
+        const double angle = static_cast<double>(pos) * freq;
+        cos_out[i] = static_cast<float>(std::cos(angle));
+        sin_out[i] = static_cast<float>(std::sin(angle));
+        freq *= ratio;
+    }
+}
+
+void rope_rotate_cached(std::span<float> head_vec, std::span<const float> cos_row,
+                        std::span<const float> sin_row) {
+    const std::size_t d = head_vec.size();
+    check(d % 2 == 0, "rope_rotate_cached: head_dim must be even");
+    const std::size_t half = d / 2;
+    check(cos_row.size() == half && sin_row.size() == half,
+          "rope_rotate_cached: table row mismatch");
+    for (std::size_t i = 0; i < half; ++i) {
+        const float c = cos_row[i];
+        const float s = sin_row[i];
+        const float x0 = head_vec[i];
+        const float x1 = head_vec[i + half];
+        head_vec[i] = x0 * c - x1 * s;
+        head_vec[i + half] = x1 * c + x0 * s;
+    }
+}
+
+RopeTable::RopeTable(std::size_t head_dim, std::size_t max_pos, float theta_base)
+    : half_(head_dim / 2), max_pos_(max_pos) {
+    check(head_dim % 2 == 0, "RopeTable: head_dim must be even");
+    cos_.resize(max_pos * half_);
+    sin_.resize(max_pos * half_);
+    for (std::size_t pos = 0; pos < max_pos; ++pos) {
+        rope_angles(head_dim, pos, theta_base,
+                    std::span<float>(cos_).subspan(pos * half_, half_),
+                    std::span<float>(sin_).subspan(pos * half_, half_));
     }
 }
 
@@ -58,13 +117,15 @@ void silu_gate(std::span<const float> gate, std::span<const float> up,
 
 void attention_head(std::span<const float> q, std::span<const float> keys,
                     std::span<const float> values, std::size_t ctx,
-                    std::size_t head_dim, std::span<float> out) {
+                    std::size_t head_dim, std::span<float> out,
+                    std::span<float> scores_scratch) {
     check(q.size() == head_dim && out.size() == head_dim, "attention_head: bad head vectors");
     check(keys.size() >= ctx * head_dim && values.size() >= ctx * head_dim,
           "attention_head: KV history too small");
     check(ctx > 0, "attention_head: empty context");
+    check(scores_scratch.size() >= ctx, "attention_head: scores scratch too small");
 
-    std::vector<float> scores(ctx);
+    std::span<float> scores = scores_scratch.first(ctx);
     const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
     for (std::size_t t = 0; t < ctx; ++t) {
         const float dot = dot_f32(q, keys.subspan(t * head_dim, head_dim));
@@ -78,6 +139,13 @@ void attention_head(std::span<const float> q, std::span<const float> keys,
         const float p = scores[t];
         for (std::size_t i = 0; i < head_dim; ++i) out[i] += p * v[i];
     }
+}
+
+void attention_head(std::span<const float> q, std::span<const float> keys,
+                    std::span<const float> values, std::size_t ctx,
+                    std::size_t head_dim, std::span<float> out) {
+    std::vector<float> scores(ctx);
+    attention_head(q, keys, values, ctx, head_dim, out, scores);
 }
 
 }  // namespace efld::model

@@ -17,7 +17,42 @@ void rmsnorm(std::span<const float> x, std::span<const float> weight, float eps,
 
 // Rotary position embedding over one head vector (rotate-half pairing):
 // for i in [0, d/2): (x_i, x_{i+d/2}) rotated by theta_i = pos * base^(-2i/d).
+// Frequencies are generated incrementally (freq_{i+1} = freq_i * base^(-2/d),
+// one pow per call instead of one per element); rope_angles below shares the
+// same recurrence so a cached table is bit-for-bit identical to this kernel.
 void rope_rotate(std::span<float> head_vec, std::size_t pos, float theta_base);
+
+// Writes cos/sin of pos * base^(-2i/d) for i in [0, d/2) — one table row.
+void rope_angles(std::size_t head_dim, std::size_t pos, float theta_base,
+                 std::span<float> cos_out, std::span<float> sin_out);
+
+// rope_rotate with the trigonometry precomputed: cos_row/sin_row must hold
+// the head_dim/2 values rope_angles produced for this position.
+void rope_rotate_cached(std::span<float> head_vec, std::span<const float> cos_row,
+                        std::span<const float> sin_row);
+
+// Per-position RoPE trigonometry for a whole context window, built once at
+// engine construction so decode never touches pow/sin/cos.
+class RopeTable {
+public:
+    RopeTable() = default;
+    RopeTable(std::size_t head_dim, std::size_t max_pos, float theta_base);
+
+    [[nodiscard]] std::span<const float> cos_row(std::size_t pos) const noexcept {
+        return std::span<const float>(cos_).subspan(pos * half_, half_);
+    }
+    [[nodiscard]] std::span<const float> sin_row(std::size_t pos) const noexcept {
+        return std::span<const float>(sin_).subspan(pos * half_, half_);
+    }
+    [[nodiscard]] std::size_t max_pos() const noexcept { return max_pos_; }
+    [[nodiscard]] bool empty() const noexcept { return max_pos_ == 0; }
+
+private:
+    std::size_t half_ = 0;
+    std::size_t max_pos_ = 0;
+    std::vector<float> cos_;
+    std::vector<float> sin_;
+};
 
 // Numerically stable softmax (three-pass: max, exp-sum, normalize).
 void softmax(std::span<const float> x, std::span<float> out);
@@ -34,5 +69,12 @@ void silu_gate(std::span<const float> gate, std::span<const float> up,
 void attention_head(std::span<const float> q, std::span<const float> keys,
                     std::span<const float> values, std::size_t ctx,
                     std::size_t head_dim, std::span<float> out);
+
+// Allocation-free variant: `scores` is caller-owned scratch of at least `ctx`
+// floats (distinct per head when heads run in parallel).
+void attention_head(std::span<const float> q, std::span<const float> keys,
+                    std::span<const float> values, std::size_t ctx,
+                    std::size_t head_dim, std::span<float> out,
+                    std::span<float> scores);
 
 }  // namespace efld::model

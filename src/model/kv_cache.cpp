@@ -15,9 +15,18 @@ void KvCache::append(std::size_t layer, std::span<const float> k, std::span<cons
     check(layer < cfg_.n_layers, "KvCache: layer out of range");
     check(k.size() == cfg_.kv_dim() && v.size() == cfg_.kv_dim(), "KvCache: bad vector size");
     check(len_ < cfg_.max_seq_len, "KvCache: capacity exceeded");
-    const std::size_t off = len_ * cfg_.kv_dim();
-    std::copy(k.begin(), k.end(), k_[layer].begin() + static_cast<std::ptrdiff_t>(off));
-    std::copy(v.begin(), v.end(), v_[layer].begin() + static_cast<std::ptrdiff_t>(off));
+    const std::size_t hd = cfg_.head_dim();
+    // Scatter the packed [head][head_dim] token vector into the per-head
+    // slabs; the write is strided so every read can be contiguous.
+    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+        const std::size_t off = head_slab(h) + len_ * hd;
+        std::copy(k.begin() + static_cast<std::ptrdiff_t>(h * hd),
+                  k.begin() + static_cast<std::ptrdiff_t>((h + 1) * hd),
+                  k_[layer].begin() + static_cast<std::ptrdiff_t>(off));
+        std::copy(v.begin() + static_cast<std::ptrdiff_t>(h * hd),
+                  v.begin() + static_cast<std::ptrdiff_t>((h + 1) * hd),
+                  v_[layer].begin() + static_cast<std::ptrdiff_t>(off));
+    }
     // All layers append at the same position; advance after the last layer.
     if (++appended_this_pos_ == cfg_.n_layers) {
         appended_this_pos_ = 0;
@@ -25,28 +34,32 @@ void KvCache::append(std::size_t layer, std::span<const float> k, std::span<cons
     }
 }
 
-std::vector<float> KvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
+std::span<const float> KvCache::keys_span(std::size_t layer, std::size_t kv_head,
                                           std::size_t len) const {
     check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "KvCache: bad head");
-    const std::size_t hd = cfg_.head_dim();
-    std::vector<float> out(len * hd);
-    for (std::size_t t = 0; t < len; ++t) {
-        const float* src = k_[layer].data() + t * cfg_.kv_dim() + kv_head * hd;
-        std::copy(src, src + hd, out.begin() + static_cast<std::ptrdiff_t>(t * hd));
-    }
-    return out;
+    check(len <= cfg_.max_seq_len, "KvCache: history longer than capacity");
+    return std::span<const float>(k_[layer]).subspan(head_slab(kv_head),
+                                                     len * cfg_.head_dim());
+}
+
+std::span<const float> KvCache::values_span(std::size_t layer, std::size_t kv_head,
+                                            std::size_t len) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "KvCache: bad head");
+    check(len <= cfg_.max_seq_len, "KvCache: history longer than capacity");
+    return std::span<const float>(v_[layer]).subspan(head_slab(kv_head),
+                                                     len * cfg_.head_dim());
+}
+
+std::vector<float> KvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
+                                          std::size_t len) const {
+    const std::span<const float> s = keys_span(layer, kv_head, len);
+    return std::vector<float>(s.begin(), s.end());
 }
 
 std::vector<float> KvCache::values_for_head(std::size_t layer, std::size_t kv_head,
                                             std::size_t len) const {
-    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads, "KvCache: bad head");
-    const std::size_t hd = cfg_.head_dim();
-    std::vector<float> out(len * hd);
-    for (std::size_t t = 0; t < len; ++t) {
-        const float* src = v_[layer].data() + t * cfg_.kv_dim() + kv_head * hd;
-        std::copy(src, src + hd, out.begin() + static_cast<std::ptrdiff_t>(t * hd));
-    }
-    return out;
+    const std::span<const float> s = values_span(layer, kv_head, len);
+    return std::vector<float>(s.begin(), s.end());
 }
 
 QuantizedKvCache::QuantizedKvCache(const ModelConfig& cfg, unsigned kv_bits)
@@ -81,27 +94,43 @@ void QuantizedKvCache::append(std::size_t layer, std::span<const float> k,
     }
 }
 
-std::vector<float> QuantizedKvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
-                                                   std::size_t len) const {
+std::span<const float> QuantizedKvCache::dequant_keys_into(std::size_t layer,
+                                                           std::size_t kv_head,
+                                                           std::size_t len,
+                                                           std::span<float> out) const {
     const std::size_t hd = cfg_.head_dim();
-    std::vector<float> out(len * hd);
+    check(out.size() >= len * hd, "QuantizedKvCache: dequant scratch too small");
     for (std::size_t t = 0; t < len; ++t) {
         const Entry& e = k_[slot(layer, t, kv_head)];
-        quant::kv_dequantize_into(e.codes, e.params,
-                                  std::span<float>(out).subspan(t * hd, hd));
+        quant::kv_dequantize_into(e.codes, e.params, out.subspan(t * hd, hd));
     }
+    return out.first(len * hd);
+}
+
+std::span<const float> QuantizedKvCache::dequant_values_into(std::size_t layer,
+                                                             std::size_t kv_head,
+                                                             std::size_t len,
+                                                             std::span<float> out) const {
+    const std::size_t hd = cfg_.head_dim();
+    check(out.size() >= len * hd, "QuantizedKvCache: dequant scratch too small");
+    for (std::size_t t = 0; t < len; ++t) {
+        const Entry& e = v_[slot(layer, t, kv_head)];
+        quant::kv_dequantize_into(e.codes, e.params, out.subspan(t * hd, hd));
+    }
+    return out.first(len * hd);
+}
+
+std::vector<float> QuantizedKvCache::keys_for_head(std::size_t layer, std::size_t kv_head,
+                                                   std::size_t len) const {
+    std::vector<float> out(len * cfg_.head_dim());
+    dequant_keys_into(layer, kv_head, len, out);
     return out;
 }
 
 std::vector<float> QuantizedKvCache::values_for_head(std::size_t layer, std::size_t kv_head,
                                                      std::size_t len) const {
-    const std::size_t hd = cfg_.head_dim();
-    std::vector<float> out(len * hd);
-    for (std::size_t t = 0; t < len; ++t) {
-        const Entry& e = v_[slot(layer, t, kv_head)];
-        quant::kv_dequantize_into(e.codes, e.params,
-                                  std::span<float>(out).subspan(t * hd, hd));
-    }
+    std::vector<float> out(len * cfg_.head_dim());
+    dequant_values_into(layer, kv_head, len, out);
     return out;
 }
 

@@ -10,14 +10,23 @@
 
 namespace efld::model {
 
-// Float KV cache for the golden engine: [layer][token][head][head_dim].
+// Float KV cache for the golden engine. Storage is head-major —
+// [layer][head][token][head_dim] — so one head's whole history is a
+// contiguous slab: decode-phase attention reads it as a zero-copy span
+// instead of gathering a strided copy per head per token.
 class KvCache {
 public:
     explicit KvCache(const ModelConfig& cfg);
 
     void append(std::size_t layer, std::span<const float> k, std::span<const float> v);
 
-    // Contiguous history for one KV head: `len` rows of head_dim.
+    // Zero-copy history for one KV head: `len` contiguous rows of head_dim.
+    [[nodiscard]] std::span<const float> keys_span(std::size_t layer, std::size_t kv_head,
+                                                   std::size_t len) const;
+    [[nodiscard]] std::span<const float> values_span(std::size_t layer, std::size_t kv_head,
+                                                     std::size_t len) const;
+
+    // Copying accessors kept for tests/tools that want owning history.
     [[nodiscard]] std::vector<float> keys_for_head(std::size_t layer, std::size_t kv_head,
                                                    std::size_t len) const;
     [[nodiscard]] std::vector<float> values_for_head(std::size_t layer, std::size_t kv_head,
@@ -28,10 +37,14 @@ public:
     void reset() noexcept { len_ = 0; appended_this_pos_ = 0; }
 
 private:
+    [[nodiscard]] std::size_t head_slab(std::size_t kv_head) const noexcept {
+        return kv_head * cfg_.max_seq_len * cfg_.head_dim();
+    }
+
     ModelConfig cfg_;
     std::size_t len_ = 0;
     std::size_t appended_this_pos_ = 0;
-    // [layer][token * kv_dim + element]
+    // [layer][(head * max_seq_len + token) * head_dim + element]
     std::vector<std::vector<float>> k_;
     std::vector<std::vector<float>> v_;
 };
@@ -52,6 +65,13 @@ public:
                                                    std::size_t len) const;
     [[nodiscard]] std::vector<float> values_for_head(std::size_t layer, std::size_t kv_head,
                                                      std::size_t len) const;
+
+    // Allocation-free variants: dequantize `len` rows into caller scratch of
+    // at least len * head_dim floats. Returns the filled prefix.
+    std::span<const float> dequant_keys_into(std::size_t layer, std::size_t kv_head,
+                                             std::size_t len, std::span<float> out) const;
+    std::span<const float> dequant_values_into(std::size_t layer, std::size_t kv_head,
+                                               std::size_t len, std::span<float> out) const;
 
     [[nodiscard]] quant::KvQuantParams key_params(std::size_t layer, std::size_t token,
                                                   std::size_t kv_head) const;

@@ -1,7 +1,8 @@
 #include "model/reference_engine.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
-#include "model/kernels.hpp"
 #include "model/tensor.hpp"
 
 namespace efld::model {
@@ -10,31 +11,39 @@ namespace {
 enum Proj { kWq = 0, kWk, kWv, kWo, kWGate, kWUp, kWDown, kLmHead };
 }
 
+ReferenceEngine::ReferenceEngine(const ModelWeights& weights, EngineOptions opts)
+    : cfg_(weights.config),
+      opts_(opts),
+      fw_(&weights),
+      kv_float_(cfg_),
+      kv_quant_(cfg_, opts.kv_bits) {
+    init_scratch();
+}
+
+ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, EngineOptions opts)
+    : cfg_(weights.config),
+      opts_(opts),
+      qw_(&weights),
+      kv_float_(cfg_),
+      kv_quant_(cfg_, opts.kv_bits) {
+    init_scratch();
+}
+
 ReferenceEngine::ReferenceEngine(const ModelWeights& weights, bool use_kv8,
                                  unsigned kv_bits)
-    : cfg_(weights.config),
-      fw_(&weights),
-      use_kv8_(use_kv8),
-      kv_float_(cfg_),
-      kv_quant_(cfg_, kv_bits) {
-    xb_.resize(cfg_.dim);
-    q_.resize(cfg_.dim);
-    k_.resize(cfg_.kv_dim());
-    v_.resize(cfg_.kv_dim());
-    att_out_.resize(cfg_.dim);
-    gate_.resize(cfg_.hidden_dim);
-    up_.resize(cfg_.hidden_dim);
-    hidden_.resize(cfg_.hidden_dim);
-    logits_.resize(cfg_.vocab_size);
-}
+    : ReferenceEngine(weights,
+                      EngineOptions{.use_kv8 = use_kv8, .kv_bits = kv_bits}) {}
 
 ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, bool use_kv8,
                                  unsigned kv_bits)
-    : cfg_(weights.config),
-      qw_(&weights),
-      use_kv8_(use_kv8),
-      kv_float_(cfg_),
-      kv_quant_(cfg_, kv_bits) {
+    : ReferenceEngine(weights,
+                      EngineOptions{.use_kv8 = use_kv8, .kv_bits = kv_bits}) {}
+
+void ReferenceEngine::init_scratch() {
+    if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    rope_ = RopeTable(cfg_.head_dim(), cfg_.max_seq_len, cfg_.rope_theta);
+
+    x_.resize(cfg_.dim);
     xb_.resize(cfg_.dim);
     q_.resize(cfg_.dim);
     k_.resize(cfg_.kv_dim());
@@ -43,7 +52,13 @@ ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, bool use_
     gate_.resize(cfg_.hidden_dim);
     up_.resize(cfg_.hidden_dim);
     hidden_.resize(cfg_.hidden_dim);
+    down_.resize(cfg_.dim);
     logits_.resize(cfg_.vocab_size);
+    scores_.resize(cfg_.n_heads * cfg_.max_seq_len);
+    if (opts_.use_kv8) {
+        kv_deq_k_.resize(cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
+        kv_deq_v_.resize(cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
+    }
 }
 
 void ReferenceEngine::reset() {
@@ -53,18 +68,26 @@ void ReferenceEngine::reset() {
 }
 
 void ReferenceEngine::proj(std::size_t layer, int which, std::span<const float> x,
-                           std::span<float> y) const {
+                           std::span<float> y) {
     if (fw_ != nullptr) {
         const LayerWeights* lw = which == kLmHead ? nullptr : &fw_->layers[layer];
+        const Matrix* m = nullptr;
         switch (which) {
-            case kWq: gemv(lw->wq, x, y); return;
-            case kWk: gemv(lw->wk, x, y); return;
-            case kWv: gemv(lw->wv, x, y); return;
-            case kWo: gemv(lw->wo, x, y); return;
-            case kWGate: gemv(lw->w_gate, x, y); return;
-            case kWUp: gemv(lw->w_up, x, y); return;
-            case kWDown: gemv(lw->w_down, x, y); return;
-            case kLmHead: gemv(fw_->lm_head, x, y); return;
+            case kWq: m = &lw->wq; break;
+            case kWk: m = &lw->wk; break;
+            case kWv: m = &lw->wv; break;
+            case kWo: m = &lw->wo; break;
+            case kWGate: m = &lw->w_gate; break;
+            case kWUp: m = &lw->w_up; break;
+            case kWDown: m = &lw->w_down; break;
+            case kLmHead: m = &fw_->lm_head; break;
+        }
+        if (ThreadPool* p = pool(); p != nullptr) {
+            p->parallel_for(m->rows(), [&](std::size_t b, std::size_t e) {
+                gemv_rows(*m, x, y, b, e);
+            });
+        } else {
+            gemv(*m, x, y);
         }
     } else {
         const QuantizedLayerWeights* lw = which == kLmHead ? nullptr : &qw_->layers[layer];
@@ -79,8 +102,12 @@ void ReferenceEngine::proj(std::size_t layer, int which, std::span<const float> 
             case kWDown: m = &lw->w_down; break;
             case kLmHead: m = &qw_->lm_head; break;
         }
-        const std::vector<float> out = m->gemv_reference(x);
-        std::copy(out.begin(), out.end(), y.begin());
+        if (opts_.seed_baseline) {
+            const std::vector<float> out = m->gemv_seed_baseline(x);
+            std::copy(out.begin(), out.end(), y.begin());
+        } else {
+            m->gemv(x, y, pool());
+        }
     }
 }
 
@@ -101,32 +128,84 @@ void ReferenceEngine::attention_block(std::size_t layer, std::span<float> x) {
     proj(layer, kWk, xb_, k_);
     proj(layer, kWv, xb_, v_);
 
-    // RoPE on every query head and key head at the current position.
+    // RoPE on every query head and key head at the current position, from the
+    // table built at construction (no pow/sin/cos on the decode path). The
+    // seed baseline recomputes the trigonometry per head per token.
     const std::size_t hd = cfg_.head_dim();
-    for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
-        rope_rotate(std::span<float>(q_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
-    }
-    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
-        rope_rotate(std::span<float>(k_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+    if (opts_.seed_baseline) {
+        for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+            rope_rotate(std::span<float>(q_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+        }
+        for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+            rope_rotate(std::span<float>(k_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+        }
+    } else {
+        const std::span<const float> cos_row = rope_.cos_row(pos_);
+        const std::span<const float> sin_row = rope_.sin_row(pos_);
+        for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+            rope_rotate_cached(std::span<float>(q_).subspan(h * hd, hd), cos_row, sin_row);
+        }
+        for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+            rope_rotate_cached(std::span<float>(k_).subspan(h * hd, hd), cos_row, sin_row);
+        }
     }
 
-    if (use_kv8_) {
+    if (opts_.use_kv8) {
         kv_quant_.append(layer, k_, v_);
     } else {
         kv_float_.append(layer, k_, v_);
     }
     const std::size_t ctx = pos_ + 1;
 
+    if (opts_.seed_baseline) {
+        // Seed loop: gather an owning per-query-head KV copy and allocate
+        // scores inside attention_head, exactly like the pre-fast-path code.
+        const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
+        for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+            const std::size_t kvh = h / heads_per_kv;
+            const std::vector<float> keys =
+                opts_.use_kv8 ? kv_quant_.keys_for_head(layer, kvh, ctx)
+                              : kv_float_.keys_for_head(layer, kvh, ctx);
+            const std::vector<float> vals =
+                opts_.use_kv8 ? kv_quant_.values_for_head(layer, kvh, ctx)
+                              : kv_float_.values_for_head(layer, kvh, ctx);
+            attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals,
+                           ctx, hd, std::span<float>(att_out_).subspan(h * hd, hd));
+        }
+        proj(layer, kWo, att_out_, xb_);
+        for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += xb_[i];
+        return;
+    }
+
+    // One task per KV head: its query-head cluster shares the same history,
+    // so a quantized cache is dequantized once per cluster (not once per
+    // query head), and parallel tasks touch disjoint scratch slices.
     const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
-    for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
-        const std::size_t kvh = h / heads_per_kv;
-        const std::vector<float> keys = use_kv8_ ? kv_quant_.keys_for_head(layer, kvh, ctx)
-                                                 : kv_float_.keys_for_head(layer, kvh, ctx);
-        const std::vector<float> vals = use_kv8_
-                                            ? kv_quant_.values_for_head(layer, kvh, ctx)
-                                            : kv_float_.values_for_head(layer, kvh, ctx);
-        attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals, ctx, hd,
-                       std::span<float>(att_out_).subspan(h * hd, hd));
+    const std::size_t slab = cfg_.max_seq_len * hd;
+    auto kv_head_task = [&](std::size_t kvh) {
+        std::span<const float> keys, vals;
+        if (opts_.use_kv8) {
+            keys = kv_quant_.dequant_keys_into(
+                layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(kvh * slab, slab));
+            vals = kv_quant_.dequant_values_into(
+                layer, kvh, ctx, std::span<float>(kv_deq_v_).subspan(kvh * slab, slab));
+        } else {
+            keys = kv_float_.keys_span(layer, kvh, ctx);
+            vals = kv_float_.values_span(layer, kvh, ctx);
+        }
+        for (std::size_t h = kvh * heads_per_kv; h < (kvh + 1) * heads_per_kv; ++h) {
+            attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals,
+                           ctx, hd, std::span<float>(att_out_).subspan(h * hd, hd),
+                           std::span<float>(scores_).subspan(h * cfg_.max_seq_len,
+                                                             cfg_.max_seq_len));
+        }
+    };
+    if (ThreadPool* p = pool(); p != nullptr) {
+        p->parallel_for(cfg_.n_kv_heads, [&](std::size_t b, std::size_t e) {
+            for (std::size_t kvh = b; kvh < e; ++kvh) kv_head_task(kvh);
+        });
+    } else {
+        for (std::size_t kvh = 0; kvh < cfg_.n_kv_heads; ++kvh) kv_head_task(kvh);
     }
 
     // Output projection + residual.
@@ -139,40 +218,42 @@ void ReferenceEngine::mlp_block(std::size_t layer, std::span<float> x) {
     proj(layer, kWGate, xb_, gate_);
     proj(layer, kWUp, xb_, up_);
     silu_gate(gate_, up_, hidden_);
-    std::vector<float> down(cfg_.dim);
-    proj(layer, kWDown, hidden_, down);
-    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += down[i];
+    proj(layer, kWDown, hidden_, down_);
+    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += down_[i];
 }
 
-std::vector<float> ReferenceEngine::forward(std::int32_t token) {
+std::span<const float> ReferenceEngine::decode(std::int32_t token) {
     check(token >= 0 && static_cast<std::uint64_t>(token) < cfg_.vocab_size,
           "ReferenceEngine: token out of range");
     check(pos_ < cfg_.max_seq_len, "ReferenceEngine: context window exhausted");
 
     // Token embedding lookup.
-    std::vector<float> x(cfg_.dim);
     const Matrix& emb = fw_ != nullptr ? fw_->embedding : qw_->embedding;
     const auto row = emb.row(static_cast<std::size_t>(token));
-    std::copy(row.begin(), row.end(), x.begin());
+    std::copy(row.begin(), row.end(), x_.begin());
 
     for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
-        attention_block(layer, x);
-        mlp_block(layer, x);
+        attention_block(layer, x_);
+        mlp_block(layer, x_);
     }
     ++pos_;
 
-    rmsnorm(x, fw_ != nullptr ? std::span<const float>(fw_->final_norm)
-                              : std::span<const float>(qw_->final_norm),
+    rmsnorm(x_, fw_ != nullptr ? std::span<const float>(fw_->final_norm)
+                               : std::span<const float>(qw_->final_norm),
             cfg_.rms_eps, xb_);
     proj(0, kLmHead, xb_, logits_);
     return logits_;
 }
 
+std::vector<float> ReferenceEngine::forward(std::int32_t token) {
+    const std::span<const float> logits = decode(token);
+    return std::vector<float>(logits.begin(), logits.end());
+}
+
 std::vector<float> ReferenceEngine::prefill(std::span<const std::int32_t> tokens) {
     check(!tokens.empty(), "ReferenceEngine: empty prompt");
-    std::vector<float> logits;
-    for (const std::int32_t t : tokens) logits = forward(t);
-    return logits;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) (void)decode(tokens[i]);
+    return forward(tokens.back());
 }
 
 }  // namespace efld::model

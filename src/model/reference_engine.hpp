@@ -11,21 +11,49 @@
 // The engine is single-token autoregressive (the decode phase the paper
 // optimizes); prefill is a loop over prompt tokens, exactly like the
 // bare-metal host does on the KV260.
+//
+// The decode loop is allocation-free: projections run through the fused
+// quantized GEMV fast path (or preallocated buffers on the float path), RoPE
+// trigonometry is precomputed per position at construction, attention reuses
+// per-head scores scratch, and the KV history is read as zero-copy spans
+// (float cache) or dequantized into persistent per-head scratch (quantized
+// cache). With `threads > 1` GEMV rows and attention KV-head clusters are
+// partitioned across a persistent worker pool; results are bit-for-bit
+// independent of the thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/threadpool.hpp"
+#include "model/kernels.hpp"
 #include "model/kv_cache.hpp"
 #include "model/weights.hpp"
 
 namespace efld::model {
 
+struct EngineOptions {
+    bool use_kv8 = false;  // quantized KV cache instead of float
+    unsigned kv_bits = 8;  // cache grid when use_kv8 (8 = KV8, 4 = KV4)
+    // Reproduces the pre-fast-path decode loop — allocating GEMV with a
+    // sequential accumulator, per-element RoPE trigonometry, per-query-head
+    // KV copies, allocating attention scores — as the benchmark "before".
+    bool seed_baseline = false;
+    // 1 = fully single-threaded; N > 1 = private worker pool of N; 0 = borrow
+    // the process-wide ThreadPool::global() (sized by
+    // runtime::SessionOptions::host_threads or ThreadPool::set_global_threads).
+    std::size_t threads = 1;
+};
+
 class ReferenceEngine {
 public:
-    // Non-owning: `weights` must outlive the engine. `kv_bits` selects the
-    // cache grid when the quantized cache is enabled (8 = KV8, 4 = KV4).
+    // Non-owning: `weights` must outlive the engine.
+    ReferenceEngine(const ModelWeights& weights, EngineOptions opts);
+    ReferenceEngine(const QuantizedModelWeights& weights, EngineOptions opts);
+
+    // Historical constructors, kept for existing call sites.
     explicit ReferenceEngine(const ModelWeights& weights, bool use_kv8 = false,
                              unsigned kv_bits = 8);
     explicit ReferenceEngine(const QuantizedModelWeights& weights, bool use_kv8 = false,
@@ -34,33 +62,57 @@ public:
     // Runs one token at the next position; returns logits [vocab].
     std::vector<float> forward(std::int32_t token);
 
+    // Allocation-free forward: the returned span aliases internal scratch and
+    // is valid until the next decode/forward/reset call.
+    std::span<const float> decode(std::int32_t token);
+
     // Feeds a prompt token by token; returns the logits after the last one.
     std::vector<float> prefill(std::span<const std::int32_t> tokens);
 
     [[nodiscard]] std::size_t position() const noexcept { return pos_; }
     [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
     void reset();
 
 private:
+    void init_scratch();
     void attention_block(std::size_t layer, std::span<float> x);
     void mlp_block(std::size_t layer, std::span<float> x);
 
     // Weight accessors bridging the float / quantized storage.
-    void proj(std::size_t layer, int which, std::span<const float> x, std::span<float> y) const;
+    void proj(std::size_t layer, int which, std::span<const float> x, std::span<float> y);
     [[nodiscard]] std::span<const float> attn_norm(std::size_t layer) const;
     [[nodiscard]] std::span<const float> mlp_norm(std::size_t layer) const;
 
+    // Active worker pool: the private one, the shared global one (threads ==
+    // 0), or nullptr when the effective pool would be single-threaded anyway.
+    [[nodiscard]] ThreadPool* pool() noexcept {
+        if (pool_ != nullptr) return pool_.get();
+        if (opts_.threads == 0) {
+            ThreadPool& g = ThreadPool::global();
+            return g.size() > 1 ? &g : nullptr;
+        }
+        return nullptr;
+    }
+
     ModelConfig cfg_;
+    EngineOptions opts_;
     const ModelWeights* fw_ = nullptr;
     const QuantizedModelWeights* qw_ = nullptr;
-    bool use_kv8_ = false;
 
     KvCache kv_float_;
     QuantizedKvCache kv_quant_;
     std::size_t pos_ = 0;
 
+    std::unique_ptr<ThreadPool> pool_;  // only when opts_.threads > 1
+    RopeTable rope_;                    // per-position sin/cos, built once
+
     // Scratch buffers reused across tokens (no per-token allocation).
-    std::vector<float> xb_, q_, k_, v_, att_out_, gate_, up_, hidden_, logits_;
+    std::vector<float> x_, xb_, q_, k_, v_, att_out_, gate_, up_, hidden_, down_,
+        logits_;
+    std::vector<float> scores_;   // [n_heads][max_seq_len] attention scores
+    std::vector<float> kv_deq_k_; // [n_kv_heads][max_seq_len*head_dim] (KV8 only)
+    std::vector<float> kv_deq_v_;
 };
 
 }  // namespace efld::model

@@ -4,15 +4,20 @@
 
 namespace efld::model {
 
-void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
-    check(x.size() == w.cols(), "gemv: x size mismatch");
-    check(y.size() == w.rows(), "gemv: y size mismatch");
-    for (std::size_t r = 0; r < w.rows(); ++r) {
+void gemv_rows(const Matrix& w, std::span<const float> x, std::span<float> y,
+               std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
         const std::span<const float> row = w.row(r);
         float acc = 0.0f;
         for (std::size_t c = 0; c < row.size(); ++c) acc += row[c] * x[c];
         y[r] = acc;
     }
+}
+
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
+    check(x.size() == w.cols(), "gemv: x size mismatch");
+    check(y.size() == w.rows(), "gemv: y size mismatch");
+    gemv_rows(w, x, y, 0, w.rows());
 }
 
 }  // namespace efld::model

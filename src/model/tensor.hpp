@@ -46,4 +46,10 @@ using Vector = std::vector<float>;
 // y = W x  (GEMV, float32 golden path).
 void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
 
+// Row range [row_begin, row_end) of the same GEMV — the unit a worker pool
+// partitions. gemv() and every threaded caller go through this one kernel so
+// results stay bit-for-bit identical for any row partitioning.
+void gemv_rows(const Matrix& w, std::span<const float> x, std::span<float> y,
+               std::size_t row_begin, std::size_t row_end);
+
 }  // namespace efld::model

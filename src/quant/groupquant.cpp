@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
+#include "common/threadpool.hpp"
 
 namespace efld::quant {
+
+namespace {
+
+// Fixed combine order of the partial lanes (the adder-tree reduction of the
+// GEMV accumulation contract). Every GEMV variant must use exactly this.
+inline float lane_tree_sum(const float p[kGemvLanes]) noexcept {
+    return ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + (p[6] + p[7]));
+}
+
+// The fast paths keep the kGemvLanes partial sums in one 8-float vector where
+// the compiler supports it: each SIMD lane IS a contract lane, every lane
+// performs the same correctly-rounded convert/mul/add sequence as the scalar
+// code, so results stay bit-for-bit identical to the oracle (FMA contraction
+// is disabled project-wide).
+#if defined(__GNUC__) || defined(__clang__)
+#define EFLD_GEMV_VECTOR 1
+typedef float GemvVf __attribute__((vector_size(kGemvLanes * sizeof(float))));
+typedef int GemvVi __attribute__((vector_size(kGemvLanes * sizeof(int))));
+
+inline float lane_tree_sum(const GemvVf& p) noexcept {
+    return ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + (p[6] + p[7]));
+}
+#endif
+
+}  // namespace
 
 QuantizedLinear QuantizedLinear::quantize(std::span<const float> weights,
                                           std::size_t rows, std::size_t cols,
@@ -77,8 +104,39 @@ void QuantizedLinear::dequantize_group(std::size_t group_index, std::span<float>
     }
 }
 
-std::vector<float> QuantizedLinear::gemv_reference(std::span<const float> x) const {
+void QuantizedLinear::gemv_reference(std::span<const float> x, std::span<float> y) const {
     check(x.size() == cols_, "gemv_reference: input size mismatch");
+    check(y.size() == rows_, "gemv_reference: output size mismatch");
+    const std::size_t gs = cfg_.group_size;
+    const std::size_t gpr = groups_per_row();
+    for (std::size_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        for (std::size_t g = 0; g < gpr; ++g) {
+            const std::size_t gi = r * gpr + g;
+            const float s = scales_[gi].to_float();
+            const int z = zeros_[gi];
+            const std::size_t base = gi * gs;
+            const std::size_t xbase = g * gs;
+            float p[kGemvLanes] = {};
+            for (std::size_t i = 0; i < gs; ++i) {
+                p[i % kGemvLanes] +=
+                    static_cast<float>(static_cast<int>(codes_[base + i]) - z) *
+                    x[xbase + i];
+            }
+            acc += s * lane_tree_sum(p);
+        }
+        y[r] = acc;
+    }
+}
+
+std::vector<float> QuantizedLinear::gemv_reference(std::span<const float> x) const {
+    std::vector<float> y(rows_);
+    gemv_reference(x, y);
+    return y;
+}
+
+std::vector<float> QuantizedLinear::gemv_seed_baseline(std::span<const float> x) const {
+    check(x.size() == cols_, "gemv_seed_baseline: input size mismatch");
     std::vector<float> y(rows_, 0.0f);
     std::vector<float> group(cfg_.group_size);
     const std::size_t gpr = groups_per_row();
@@ -94,6 +152,167 @@ std::vector<float> QuantizedLinear::gemv_reference(std::span<const float> x) con
         y[r] = acc;
     }
     return y;
+}
+
+void QuantizedLinear::gemv_rows(const float* x, float* y, std::size_t row_begin,
+                                std::size_t row_end) const {
+    const std::size_t gs = cfg_.group_size;
+    const std::size_t gpr = groups_per_row();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        const std::uint8_t* code = codes_.data() + r * cols_;
+        const Fp16* srow = scales_.data() + r * gpr;
+        const std::uint8_t* zrow = zeros_.data() + r * gpr;
+        const float* xg = x;
+        float acc = 0.0f;
+        for (std::size_t g = 0; g < gpr; ++g) {
+            const float s = srow[g].to_float();
+            const int z = zrow[g];
+#if EFLD_GEMV_VECTOR
+            GemvVf p = {};
+            const GemvVi zv = {z, z, z, z, z, z, z, z};
+            std::size_t i = 0;
+            for (; i + kGemvLanes <= gs; i += kGemvLanes) {
+                const GemvVi ci = {code[i + 0], code[i + 1], code[i + 2], code[i + 3],
+                                   code[i + 4], code[i + 5], code[i + 6], code[i + 7]};
+                const GemvVf d = __builtin_convertvector(ci - zv, GemvVf);
+                GemvVf xv;
+                std::memcpy(&xv, xg + i, sizeof xv);
+                p += d * xv;
+            }
+            for (; i < gs; ++i) {
+                p[i % kGemvLanes] +=
+                    static_cast<float>(static_cast<int>(code[i]) - z) * xg[i];
+            }
+#else
+            float p[kGemvLanes] = {};
+            std::size_t i = 0;
+            for (; i + kGemvLanes <= gs; i += kGemvLanes) {
+                p[0] += static_cast<float>(static_cast<int>(code[i + 0]) - z) * xg[i + 0];
+                p[1] += static_cast<float>(static_cast<int>(code[i + 1]) - z) * xg[i + 1];
+                p[2] += static_cast<float>(static_cast<int>(code[i + 2]) - z) * xg[i + 2];
+                p[3] += static_cast<float>(static_cast<int>(code[i + 3]) - z) * xg[i + 3];
+                p[4] += static_cast<float>(static_cast<int>(code[i + 4]) - z) * xg[i + 4];
+                p[5] += static_cast<float>(static_cast<int>(code[i + 5]) - z) * xg[i + 5];
+                p[6] += static_cast<float>(static_cast<int>(code[i + 6]) - z) * xg[i + 6];
+                p[7] += static_cast<float>(static_cast<int>(code[i + 7]) - z) * xg[i + 7];
+            }
+            for (; i < gs; ++i) {
+                p[i % kGemvLanes] +=
+                    static_cast<float>(static_cast<int>(code[i]) - z) * xg[i];
+            }
+#endif
+            acc += s * lane_tree_sum(p);
+            code += gs;
+            xg += gs;
+        }
+        y[r] = acc;
+    }
+}
+
+void QuantizedLinear::gemv(std::span<const float> x, std::span<float> y,
+                           ThreadPool* pool) const {
+    check(x.size() == cols_, "gemv: input size mismatch");
+    check(y.size() == rows_, "gemv: output size mismatch");
+    if (pool != nullptr && pool->size() > 1 && rows_ > 1) {
+        pool->parallel_for(rows_, [&](std::size_t b, std::size_t e) {
+            gemv_rows(x.data(), y.data(), b, e);
+        });
+    } else {
+        gemv_rows(x.data(), y.data(), 0, rows_);
+    }
+}
+
+std::vector<Word512> QuantizedLinear::pack_codes() const {
+    check(cfg_.bits == 4, "pack_codes: codes wider than a nibble");
+    return pack_nibbles(codes_);
+}
+
+void QuantizedLinear::gemv_packed_rows(const Word512* words, const float* x, float* y,
+                                       std::size_t row_begin, std::size_t row_end) const {
+    const std::size_t gs = cfg_.group_size;
+    const std::size_t gpr = groups_per_row();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        // Row starts are 16-nibble aligned (cols is a multiple of group_size,
+        // group_size a multiple of 16), so groups walk whole 64-bit lanes.
+        std::size_t nib = r * cols_;
+        const Fp16* srow = scales_.data() + r * gpr;
+        const std::uint8_t* zrow = zeros_.data() + r * gpr;
+        float acc = 0.0f;
+        for (std::size_t g = 0; g < gpr; ++g) {
+            const float s = srow[g].to_float();
+            const int z = zrow[g];
+            const float* xg = x + g * gs;
+#if EFLD_GEMV_VECTOR
+            GemvVf p = {};
+            const GemvVi zv = {z, z, z, z, z, z, z, z};
+            for (std::size_t i = 0; i < gs; i += 16, nib += 16) {
+                const std::uint64_t lane = words[nib >> 7].lanes[(nib >> 4) & 7];
+                const float* xl = xg + i;
+                // Elements i..i+7 land on contract lanes 0..7, then i+8..i+15
+                // on the same lanes again — two sequential vector steps keep
+                // each lane's accumulation order identical to the oracle's.
+                const GemvVi c0 = {
+                    static_cast<int>((lane >> 0) & 0xF),  static_cast<int>((lane >> 4) & 0xF),
+                    static_cast<int>((lane >> 8) & 0xF),  static_cast<int>((lane >> 12) & 0xF),
+                    static_cast<int>((lane >> 16) & 0xF), static_cast<int>((lane >> 20) & 0xF),
+                    static_cast<int>((lane >> 24) & 0xF), static_cast<int>((lane >> 28) & 0xF)};
+                const GemvVi c1 = {
+                    static_cast<int>((lane >> 32) & 0xF), static_cast<int>((lane >> 36) & 0xF),
+                    static_cast<int>((lane >> 40) & 0xF), static_cast<int>((lane >> 44) & 0xF),
+                    static_cast<int>((lane >> 48) & 0xF), static_cast<int>((lane >> 52) & 0xF),
+                    static_cast<int>((lane >> 56) & 0xF), static_cast<int>((lane >> 60) & 0xF)};
+                GemvVf x0, x1;
+                std::memcpy(&x0, xl, sizeof x0);
+                std::memcpy(&x1, xl + kGemvLanes, sizeof x1);
+                p += __builtin_convertvector(c0 - zv, GemvVf) * x0;
+                p += __builtin_convertvector(c1 - zv, GemvVf) * x1;
+            }
+            acc += s * lane_tree_sum(p);
+#else
+            float p[kGemvLanes] = {};
+            for (std::size_t i = 0; i < gs; i += 16, nib += 16) {
+                const std::uint64_t lane = words[nib >> 7].lanes[(nib >> 4) & 7];
+                const float* xl = xg + i;
+                p[0] += static_cast<float>(static_cast<int>((lane >> 0) & 0xF) - z) * xl[0];
+                p[1] += static_cast<float>(static_cast<int>((lane >> 4) & 0xF) - z) * xl[1];
+                p[2] += static_cast<float>(static_cast<int>((lane >> 8) & 0xF) - z) * xl[2];
+                p[3] += static_cast<float>(static_cast<int>((lane >> 12) & 0xF) - z) * xl[3];
+                p[4] += static_cast<float>(static_cast<int>((lane >> 16) & 0xF) - z) * xl[4];
+                p[5] += static_cast<float>(static_cast<int>((lane >> 20) & 0xF) - z) * xl[5];
+                p[6] += static_cast<float>(static_cast<int>((lane >> 24) & 0xF) - z) * xl[6];
+                p[7] += static_cast<float>(static_cast<int>((lane >> 28) & 0xF) - z) * xl[7];
+                p[0] += static_cast<float>(static_cast<int>((lane >> 32) & 0xF) - z) * xl[8];
+                p[1] += static_cast<float>(static_cast<int>((lane >> 36) & 0xF) - z) * xl[9];
+                p[2] += static_cast<float>(static_cast<int>((lane >> 40) & 0xF) - z) * xl[10];
+                p[3] += static_cast<float>(static_cast<int>((lane >> 44) & 0xF) - z) * xl[11];
+                p[4] += static_cast<float>(static_cast<int>((lane >> 48) & 0xF) - z) * xl[12];
+                p[5] += static_cast<float>(static_cast<int>((lane >> 52) & 0xF) - z) * xl[13];
+                p[6] += static_cast<float>(static_cast<int>((lane >> 56) & 0xF) - z) * xl[14];
+                p[7] += static_cast<float>(static_cast<int>((lane >> 60) & 0xF) - z) * xl[15];
+            }
+            acc += s * lane_tree_sum(p);
+#endif
+        }
+        y[r] = acc;
+    }
+}
+
+void QuantizedLinear::gemv_packed(std::span<const Word512> packed,
+                                  std::span<const float> x, std::span<float> y,
+                                  ThreadPool* pool) const {
+    check(cfg_.bits == 4, "gemv_packed: codes wider than a nibble");
+    check(cfg_.group_size % 16 == 0, "gemv_packed: group_size must align to word lanes");
+    check(x.size() == cols_, "gemv_packed: input size mismatch");
+    check(y.size() == rows_, "gemv_packed: output size mismatch");
+    check(packed.size() == div_ceil(rows_ * cols_, kNibblesPerWord),
+          "gemv_packed: packed stream size mismatch");
+    if (pool != nullptr && pool->size() > 1 && rows_ > 1) {
+        pool->parallel_for(rows_, [&](std::size_t b, std::size_t e) {
+            gemv_packed_rows(packed.data(), x.data(), y.data(), b, e);
+        });
+    } else {
+        gemv_packed_rows(packed.data(), x.data(), y.data(), 0, rows_);
+    }
 }
 
 std::uint64_t QuantizedLinear::packed_bytes() const noexcept {

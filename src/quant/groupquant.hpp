@@ -10,7 +10,12 @@
 #include <span>
 #include <vector>
 
+#include "common/bitpack.hpp"
 #include "common/fp16.hpp"
+
+namespace efld {
+class ThreadPool;
+}
 
 namespace efld::quant {
 
@@ -22,6 +27,28 @@ struct GroupQuantConfig {
         return static_cast<std::uint8_t>((1u << bits) - 1u);
     }
 };
+
+// GEMV accumulation contract ------------------------------------------------
+//
+// Every GEMV in QuantizedLinear — the readable oracle and all fast-path
+// variants (scalar, thread-pool, packed-4bit) — performs the exact same float
+// operations in the same order, so their outputs are bit-for-bit identical:
+//
+//   per row r (rows are independent; threading partitions rows):
+//     acc = 0
+//     per group g in row order:
+//       kGemvLanes partial sums; element i of the group contributes
+//         float(code_i - zero) * x_i   to partial[i mod kGemvLanes]
+//       group_dot = ((p0+p1)+(p2+p3)) + ((p4+p5)+(p6+p7))
+//       acc += scale_g * group_dot
+//     y[r] = acc
+//
+// The per-group form mirrors the VPU datapath: centered integer codes
+// accumulated against activations with a single scale multiply per group and
+// no materialized fp weights. The independent partial lanes are the adder-tree
+// analogue — they break the sequential float-add dependence so the fast path
+// is throughput-bound, not add-latency-bound.
+inline constexpr std::size_t kGemvLanes = 8;
 
 // A quantized linear layer y = W x, W of shape [rows, cols] (out, in).
 // Codes are stored one byte per weight for the functional model; the bus
@@ -41,8 +68,34 @@ public:
     // Dequantizes a single group (128 weights) into `out`.
     void dequantize_group(std::size_t group_index, std::span<float> out) const;
 
-    // Reference GEMV over the dequantized weights in float32.
+    // Reference GEMV (the parity oracle): the contract above written as the
+    // simplest possible loop. The span overload is allocation-free; the
+    // vector form is kept for existing call sites.
     [[nodiscard]] std::vector<float> gemv_reference(std::span<const float> x) const;
+    void gemv_reference(std::span<const float> x, std::span<float> y) const;
+
+    // Fused fast path: dequantize×dot directly over the stored codes, no
+    // scratch vectors, no allocation. Rows are partitioned across `pool`
+    // when one is given (results are identical for any pool size).
+    void gemv(std::span<const float> x, std::span<float> y,
+              ThreadPool* pool = nullptr) const;
+
+    // The seed-era GEMV, kept verbatim as the benchmark "before": dequantize
+    // each group into a scratch vector, accumulate through one sequential
+    // float chain, return a freshly allocated result. Numerics differ from
+    // the contract above (strict element order, per-element scale), so it is
+    // compared with tolerance, not bit-for-bit.
+    [[nodiscard]] std::vector<float> gemv_seed_baseline(std::span<const float> x) const;
+
+    // Bus-word form of the codes (bits must be 4): one Word512 per 128 codes,
+    // row-major, as pack_nibbles lays them out.
+    [[nodiscard]] std::vector<Word512> pack_codes() const;
+
+    // Fast path walking the packed nibble stream the way the hardware streams
+    // it (requires bits == 4 and group_size % 16 == 0 so groups align to the
+    // 64-bit word lanes). `packed` must come from pack_codes().
+    void gemv_packed(std::span<const Word512> packed, std::span<const float> x,
+                     std::span<float> y, ThreadPool* pool = nullptr) const;
 
     [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
@@ -70,6 +123,11 @@ public:
                                                     const GroupQuantConfig& cfg);
 
 private:
+    void gemv_rows(const float* x, float* y, std::size_t row_begin,
+                   std::size_t row_end) const;
+    void gemv_packed_rows(const Word512* words, const float* x, float* y,
+                          std::size_t row_begin, std::size_t row_end) const;
+
     GroupQuantConfig cfg_;
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

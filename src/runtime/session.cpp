@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/check.hpp"
+#include "common/threadpool.hpp"
 
 namespace efld::runtime {
 
@@ -14,6 +15,7 @@ InferenceSession::InferenceSession(accel::PackedModel model, SessionOptions opts
       console_(opts.echo_to_stdout ? &std::cout : nullptr) {
     check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <= model_->config.vocab_size,
           "InferenceSession: model vocab too small for the byte tokenizer");
+    if (opts_.host_threads > 0) ThreadPool::set_global_threads(opts_.host_threads);
 }
 
 InferenceSession InferenceSession::synthetic(const model::ModelConfig& cfg,

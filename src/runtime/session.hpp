@@ -22,6 +22,11 @@ struct SessionOptions {
     model::SamplerConfig sampler{};
     accel::AcceleratorOptions accel{};
     bool echo_to_stdout = false;
+    // Host-side worker threads for the fused decode fast path: sizes the
+    // process-wide ThreadPool::global() that model::ReferenceEngine instances
+    // constructed with EngineOptions::threads == 0 borrow (golden-model
+    // verification, bench harnesses). 0 leaves the pool as-is.
+    std::size_t host_threads = 0;
 };
 
 struct GenerationOutput {

@@ -1,0 +1,123 @@
+// Worker-pool semantics: full coverage of the index range, determinism
+// across pool sizes, exception propagation, reuse across many jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/threadpool.hpp"
+
+namespace efld {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndTinyRanges) {
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    std::vector<std::atomic<int>> hits(3);  // fewer items than workers
+    pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> order;
+    pool.parallel_for(5, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DisjointChunksPartitionTheRange) {
+    ThreadPool pool(3);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(97, [&](std::size_t b, std::size_t e) {
+        std::lock_guard<std::mutex> lk(m);
+        chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    std::size_t expect_begin = 0;
+    for (const auto& [b, e] : chunks) {
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_LT(b, e);
+        expect_begin = e;
+    }
+    EXPECT_EQ(expect_begin, 97u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfPoolSize) {
+    // The determinism contract: disjoint writes give identical results for
+    // any pool size.
+    std::vector<double> want(512);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        want[i] = static_cast<double>(i) * 1.25 - 3.0;
+    }
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<double> got(want.size(), 0.0);
+        pool.parallel_for(got.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) got[i] = static_cast<double>(i) * 1.25 - 3.0;
+        });
+        EXPECT_EQ(got, want) << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t b, std::size_t) {
+                                       if (b == 0) throw Error("boom");
+                                   }),
+                 Error);
+    // The pool must stay usable after a failed job.
+    std::atomic<int> n{0};
+    pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+        n.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int job = 0; job < 200; ++job) {
+        pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+            long local = 0;
+            for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+            total.fetch_add(local);
+        });
+    }
+    EXPECT_EQ(total.load(), 200L * (63L * 64L / 2));
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+    ThreadPool::set_global_threads(3);
+    EXPECT_EQ(ThreadPool::global().size(), 3u);
+    std::atomic<int> n{0};
+    ThreadPool::global().parallel_for(17, [&](std::size_t b, std::size_t e) {
+        n.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(n.load(), 17);
+    ThreadPool::set_global_threads(1);
+    EXPECT_EQ(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace efld

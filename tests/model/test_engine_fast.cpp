@@ -1,0 +1,141 @@
+// Fast-path decode parity: the fused/threaded/table-driven engine must be
+// bit-for-bit identical to the seed-style path, and the cached RoPE
+// trigonometry identical to the direct kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "model/kernels.hpp"
+#include "model/reference_engine.hpp"
+
+namespace efld::model {
+namespace {
+
+const ModelConfig& gqa_cfg() {
+    static const ModelConfig cfg = [] {
+        ModelConfig c = ModelConfig::micro_256();
+        c.name = "micro-gqa";
+        c.n_heads = 4;
+        c.n_kv_heads = 2;  // exercise the per-KV-head cluster path
+        return c;
+    }();
+    return cfg;
+}
+
+const QuantizedModelWeights& quant_weights() {
+    static const QuantizedModelWeights qw = QuantizedModelWeights::quantize(
+        ModelWeights::synthetic(gqa_cfg(), 42), quant::GroupQuantConfig{});
+    return qw;
+}
+
+std::vector<std::vector<float>> run_tokens(ReferenceEngine& eng) {
+    std::vector<std::vector<float>> logits;
+    for (const std::int32_t t : {1, 7, 30, 2, 99, 5}) logits.push_back(eng.forward(t));
+    return logits;
+}
+
+TEST(EngineFast, FastPathTracksSeedBaseline) {
+    // The fast path regroups the GEMV accumulation (per-group scale factoring,
+    // partial lanes), so it is not bit-identical to the seed loop — but on the
+    // same quantized weights it must stay numerically indistinguishable.
+    ReferenceEngine seed(quant_weights(),
+                         EngineOptions{.use_kv8 = true, .seed_baseline = true});
+    ReferenceEngine fast(quant_weights(),
+                         EngineOptions{.use_kv8 = true, .seed_baseline = false});
+    const auto ls = run_tokens(seed);
+    const auto lf = run_tokens(fast);
+    ASSERT_EQ(ls.size(), lf.size());
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+        EXPECT_GT(efld::cosine_similarity(ls[i], lf[i]), 0.99999) << "token " << i;
+    }
+}
+
+TEST(EngineFast, ThreadCountNeverChangesLogits) {
+    ReferenceEngine single(quant_weights(),
+                           EngineOptions{.use_kv8 = true, .threads = 1});
+    const auto want = run_tokens(single);
+    for (const std::size_t threads : {2u, 4u}) {
+        ReferenceEngine multi(quant_weights(),
+                              EngineOptions{.use_kv8 = true, .threads = threads});
+        EXPECT_EQ(run_tokens(multi), want) << threads << " threads";
+    }
+}
+
+TEST(EngineFast, GlobalPoolEngineMatchesPrivateAndSingle) {
+    // threads == 0 borrows ThreadPool::global() (the SessionOptions
+    // host_threads wiring); results must still be exact.
+    ReferenceEngine single(quant_weights(),
+                           EngineOptions{.use_kv8 = true, .threads = 1});
+    const auto want = run_tokens(single);
+    ThreadPool::set_global_threads(3);
+    ReferenceEngine global(quant_weights(),
+                           EngineOptions{.use_kv8 = true, .threads = 0});
+    EXPECT_EQ(run_tokens(global), want);
+    ThreadPool::set_global_threads(1);
+}
+
+TEST(EngineFast, FloatWeightEngineThreadingIsExact) {
+    static const ModelWeights fw = ModelWeights::synthetic(gqa_cfg(), 17);
+    ReferenceEngine single(fw, EngineOptions{.threads = 1});
+    ReferenceEngine multi(fw, EngineOptions{.threads = 4});
+    EXPECT_EQ(run_tokens(single), run_tokens(multi));
+}
+
+TEST(EngineFast, DecodeSpanMatchesForward) {
+    ReferenceEngine a(quant_weights(), EngineOptions{}), b(quant_weights(), EngineOptions{});
+    const auto la = a.forward(9);
+    const std::span<const float> lb = b.decode(9);
+    ASSERT_EQ(la.size(), lb.size());
+    EXPECT_TRUE(std::equal(la.begin(), la.end(), lb.begin()));
+}
+
+TEST(RopeTable, CachedRotationMatchesDirectKernelBitForBit) {
+    const std::size_t d = 64;
+    const RopeTable table(d, 32, 10000.0f);
+    Xoshiro256 rng(3);
+    for (const std::size_t pos : {0u, 1u, 13u, 31u}) {
+        std::vector<float> direct(d), cached(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            direct[i] = static_cast<float>(rng.gaussian());
+            cached[i] = direct[i];
+        }
+        rope_rotate(direct, pos, 10000.0f);
+        rope_rotate_cached(cached, table.cos_row(pos), table.sin_row(pos));
+        EXPECT_EQ(direct, cached) << "pos " << pos;
+    }
+}
+
+TEST(RopeTable, IncrementalFrequenciesMatchPow) {
+    // The recurrence freq_{i+1} = freq_i * base^(-2/d) must agree with the
+    // direct pow to float precision across the whole head.
+    const std::size_t d = 128;
+    std::vector<float> cosr(d / 2), sinr(d / 2);
+    const std::size_t pos = 777;
+    rope_angles(d, pos, 10000.0f, cosr, sinr);
+    for (std::size_t i = 0; i < d / 2; ++i) {
+        const double freq =
+            std::pow(10000.0, -2.0 * static_cast<double>(i) / static_cast<double>(d));
+        const double angle = static_cast<double>(pos) * freq;
+        EXPECT_NEAR(cosr[i], std::cos(angle), 2e-6) << i;
+        EXPECT_NEAR(sinr[i], std::sin(angle), 2e-6) << i;
+    }
+}
+
+TEST(EngineFast, Kv8ScratchPathStaysCloseToGolden) {
+    // The per-cluster dequant scratch must not change the KV8 engine's
+    // numerics: same closeness bound the seed test asserted.
+    static const ModelWeights fw = ModelWeights::synthetic(gqa_cfg(), 11);
+    ReferenceEngine golden(fw, EngineOptions{.threads = 2});
+    ReferenceEngine kv8(fw, EngineOptions{.use_kv8 = true, .threads = 2});
+    std::vector<float> lg, lq;
+    for (const std::int32_t t : {1, 2, 3, 4, 5, 6}) {
+        lg = golden.forward(t);
+        lq = kv8.forward(t);
+    }
+    EXPECT_GT(efld::cosine_similarity(lg, lq), 0.999);
+}
+
+}  // namespace
+}  // namespace efld::model
