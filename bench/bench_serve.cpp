@@ -1,0 +1,147 @@
+// Serving throughput vs. batch size: the GEMV→GEMM amortization measured.
+//
+// Decode is weight-bound — one full weight walk per token per stream — so a
+// single stream is capped by bandwidth / weight-bytes. The serve engine
+// amortizes each walk across every active session; this bench sweeps
+// max_batch {1, 2, 4, 8} over the same request load and reports tokens/s and
+// weight-walks-per-token (1.0 single-stream, → 1/batch when fully
+// overlapped), alongside the single-stream fused number for context.
+//
+// `--json [path]` emits a BENCH_serve.json perf record; archive it with
+// scripts/bench_archive.sh so the serving-throughput trajectory stays
+// visible across PRs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/serve.hpp"
+
+using namespace efld;
+
+namespace {
+
+struct BatchResult {
+    std::size_t max_batch = 0;
+    double tok_s = 0.0;
+    double walks_per_token = 0.0;
+    double occupancy = 0.0;
+    std::vector<std::vector<std::int32_t>> tokens;  // parity fingerprint
+};
+
+BatchResult run_serve(const model::QuantizedModelWeights& qw, std::size_t max_batch,
+                      std::size_t requests, std::size_t max_new,
+                      std::size_t threads) {
+    serve::ServeOptions opts;
+    opts.sampler.temperature = 0.0f;  // greedy: deterministic across batch sizes
+    opts.max_batch = max_batch;
+    opts.max_queue = requests;
+    opts.threads = threads;
+    serve::ServeEngine eng(qw, opts);
+
+    std::vector<std::future<serve::ServeResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+        futs.push_back(eng.submit("benchmark request " + std::to_string(r), max_new));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.run_until_idle();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+
+    BatchResult res;
+    res.max_batch = max_batch;
+    res.tok_s = static_cast<double>(eng.stats().generated_tokens) / s;
+    res.walks_per_token = eng.stats().weight_walks_per_token();
+    res.occupancy = eng.stats().mean_batch_occupancy();
+    for (auto& f : futs) res.tokens.push_back(f.get().tokens);
+    return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string model_name = "micro";
+    std::size_t max_new = 24;
+    std::size_t requests = 8;
+    std::size_t threads = 1;
+    bool emit_json = false;
+    std::string json_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+            model_name = argv[++i];
+        } else if (std::strcmp(argv[i], "--tokens") == 0 && i + 1 < argc) {
+            max_new = std::max<std::size_t>(1, std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            requests = std::max<std::size_t>(1, std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::max<std::size_t>(1, std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            emit_json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--model micro|tiny] [--tokens N] [--requests R] "
+                         "[--threads T] [--json [path]]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const model::ModelConfig cfg =
+        model_name == "tiny" ? model::ModelConfig::tiny_512() : model::ModelConfig::micro_256();
+    std::printf("=== Serve throughput vs batch: %s, W4 group-128, KV8, %zu thread(s) ===\n",
+                cfg.name.c_str(), threads);
+    std::printf("(%zu requests x %zu tokens, continuous batching)\n\n", requests, max_new);
+
+    const model::ModelWeights fw = model::ModelWeights::synthetic(cfg, 42);
+    const model::QuantizedModelWeights qw =
+        model::QuantizedModelWeights::quantize(fw, quant::GroupQuantConfig{});
+
+    std::printf("%-10s | %10s | %8s | %12s | %10s\n", "max_batch", "token/s", "speedup",
+                "walks/token", "occupancy");
+    std::printf("------------------------------------------------------------\n");
+    std::vector<BatchResult> results;
+    bool monotonic = true;
+    bool parity = true;
+    for (const std::size_t b : {1u, 2u, 4u, 8u}) {
+        results.push_back(run_serve(qw, b, requests, max_new, threads));
+        const BatchResult& r = results.back();
+        std::printf("%-10zu | %10.2f | %7.2fx | %12.3f | %10.2f\n", r.max_batch, r.tok_s,
+                    r.tok_s / results.front().tok_s, r.walks_per_token, r.occupancy);
+        if (r.tok_s < results[results.size() >= 2 ? results.size() - 2 : 0].tok_s) {
+            monotonic = false;
+        }
+        if (r.tokens != results.front().tokens) parity = false;
+    }
+    std::printf("\ntokens/s monotonically increasing with batch: %s\n",
+                monotonic ? "yes" : "NO (regression!)");
+    if (!parity) {
+        std::printf("WARNING: generated tokens diverged across batch sizes!\n");
+    }
+
+    if (emit_json) {
+        std::ofstream out(json_path);
+        out << "{\n"
+            << "  \"bench\": \"serve\",\n"
+            << "  \"model\": \"" << cfg.name << "\",\n"
+            << "  \"requests\": " << requests << ",\n"
+            << "  \"max_new_tokens\": " << max_new << ",\n"
+            << "  \"threads\": " << threads << ",\n"
+            << "  \"single_stream_tok_s\": " << results.front().tok_s << ",\n"
+            << "  \"monotonic\": " << (monotonic ? "true" : "false") << ",\n"
+            << "  \"batch\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const BatchResult& r = results[i];
+            out << "    {\"max_batch\": " << r.max_batch << ", \"tok_s\": " << r.tok_s
+                << ", \"weight_walks_per_token\": " << r.walks_per_token
+                << ", \"mean_batch_occupancy\": " << r.occupancy << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return parity ? 0 : 1;
+}

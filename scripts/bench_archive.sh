@@ -1,0 +1,39 @@
+#!/bin/sh
+# Appends BENCH_*.json perf records to bench/history/ (never overwrites), so
+# throughput trajectories stay visible across PRs:
+#
+#   scripts/bench_archive.sh [file...]     # default: ./BENCH_*.json
+#   cmake --build build --target bench_archive   # archives from the build dir
+#
+# Each record lands at bench/history/<bench-name>/<utc-stamp>-<git-sha>.json.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+hist="$repo_root/bench/history"
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo nogit)
+
+if [ "$#" -eq 0 ]; then
+    set -- BENCH_*.json
+fi
+
+archived=0
+for f in "$@"; do
+    [ -f "$f" ] || continue
+    name=$(basename "$f" .json)
+    mkdir -p "$hist/$name"
+    dest="$hist/$name/$stamp-$sha.json"
+    i=1
+    while [ -e "$dest" ]; do
+        dest="$hist/$name/$stamp-$sha-$i.json"
+        i=$((i + 1))
+    done
+    cp "$f" "$dest"
+    echo "archived $f -> $dest"
+    archived=$((archived + 1))
+done
+
+if [ "$archived" -eq 0 ]; then
+    echo "bench_archive: no BENCH_*.json records found" >&2
+    exit 1
+fi

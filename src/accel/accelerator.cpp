@@ -164,12 +164,15 @@ GenerationResult Accelerator::generate(std::span<const std::int32_t> prompt,
     StepResult last;
     for (const std::int32_t t : prompt) last = step(t);
 
+    // Same attribution rule as InferenceSession::generate: a token is billed
+    // the decode step that consumes it, so total_ns covers exactly the decode
+    // steps executed here (prefill is TTFT, not decode time).
     for (std::size_t i = 0; i < max_new && pos_ < model_->config.max_seq_len; ++i) {
         const std::int32_t next = sampler.sample(last.logits);
         g.tokens.push_back(next);
-        g.total_ns += last.timing.total_ns;
         if (next == eos) break;
         last = step(next);
+        g.total_ns += last.timing.total_ns;
     }
     return g;
 }

@@ -9,23 +9,31 @@ namespace efld::model {
 
 namespace {
 enum Proj { kWq = 0, kWk, kWv, kWo, kWGate, kWUp, kWDown, kLmHead };
+
+const quant::QuantizedLinear& quant_proj(const QuantizedModelWeights& qw,
+                                         std::size_t layer, int which) {
+    if (which == kLmHead) return qw.lm_head;
+    const QuantizedLayerWeights& lw = qw.layers[layer];
+    switch (which) {
+        case kWq: return lw.wq;
+        case kWk: return lw.wk;
+        case kWv: return lw.wv;
+        case kWo: return lw.wo;
+        case kWGate: return lw.w_gate;
+        case kWUp: return lw.w_up;
+        default: break;
+    }
+    return lw.w_down;
 }
+}  // namespace
 
 ReferenceEngine::ReferenceEngine(const ModelWeights& weights, EngineOptions opts)
-    : cfg_(weights.config),
-      opts_(opts),
-      fw_(&weights),
-      kv_float_(cfg_),
-      kv_quant_(cfg_, opts.kv_bits) {
+    : cfg_(weights.config), opts_(opts), fw_(&weights) {
     init_scratch();
 }
 
 ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, EngineOptions opts)
-    : cfg_(weights.config),
-      opts_(opts),
-      qw_(&weights),
-      kv_float_(cfg_),
-      kv_quant_(cfg_, opts.kv_bits) {
+    : cfg_(weights.config), opts_(opts), qw_(&weights) {
     init_scratch();
 }
 
@@ -40,35 +48,77 @@ ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, bool use_
                       EngineOptions{.use_kv8 = use_kv8, .kv_bits = kv_bits}) {}
 
 void ReferenceEngine::init_scratch() {
+    check(opts_.max_batch >= 1, "ReferenceEngine: max_batch must be at least 1");
     if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
     rope_ = RopeTable(cfg_.head_dim(), cfg_.max_seq_len, cfg_.rope_theta);
 
-    x_.resize(cfg_.dim);
-    xb_.resize(cfg_.dim);
-    q_.resize(cfg_.dim);
-    k_.resize(cfg_.kv_dim());
-    v_.resize(cfg_.kv_dim());
-    att_out_.resize(cfg_.dim);
-    gate_.resize(cfg_.hidden_dim);
-    up_.resize(cfg_.hidden_dim);
-    hidden_.resize(cfg_.hidden_dim);
-    down_.resize(cfg_.dim);
-    logits_.resize(cfg_.vocab_size);
-    scores_.resize(cfg_.n_heads * cfg_.max_seq_len);
+    // Only the cache variant the options select is constructed: a full float
+    // KV reservation per slot is exactly the kind of dead capacity the
+    // batch dimension would multiply.
+    const std::size_t mb = opts_.max_batch;
     if (opts_.use_kv8) {
-        kv_deq_k_.resize(cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
-        kv_deq_v_.resize(cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
+        kv_quant_.reserve(mb);
+        for (std::size_t s = 0; s < mb; ++s) kv_quant_.emplace_back(cfg_, opts_.kv_bits);
+    } else {
+        kv_float_.reserve(mb);
+        for (std::size_t s = 0; s < mb; ++s) kv_float_.emplace_back(cfg_);
+    }
+    pos_.assign(mb, 0);
+
+    x_.resize(mb * cfg_.dim);
+    xb_.resize(mb * cfg_.dim);
+    q_.resize(mb * cfg_.dim);
+    k_.resize(mb * cfg_.kv_dim());
+    v_.resize(mb * cfg_.kv_dim());
+    att_out_.resize(mb * cfg_.dim);
+    gate_.resize(mb * cfg_.hidden_dim);
+    up_.resize(mb * cfg_.hidden_dim);
+    hidden_.resize(mb * cfg_.hidden_dim);
+    down_.resize(mb * cfg_.dim);
+    logits_.resize(mb * cfg_.vocab_size);
+    scores_.resize(mb * cfg_.n_heads * cfg_.max_seq_len);
+    if (opts_.use_kv8) {
+        kv_deq_k_.resize(mb * cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
+        kv_deq_v_.resize(mb * cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
+    }
+
+    if (opts_.packed_weights) {
+        check(qw_ != nullptr, "ReferenceEngine: packed_weights needs quantized weights");
+        check(qw_->quant_config.bits == 4,
+              "ReferenceEngine: packed_weights needs 4-bit codes");
+        packed_.resize(cfg_.n_layers * 7 + 1);
+        for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+            for (int which = kWq; which <= kWDown; ++which) {
+                packed_[layer * 7 + static_cast<std::size_t>(which)] =
+                    quant_proj(*qw_, layer, which).pack_codes();
+            }
+        }
+        packed_[cfg_.n_layers * 7] = qw_->lm_head.pack_codes();
     }
 }
 
-void ReferenceEngine::reset() {
-    kv_float_.reset();
-    kv_quant_.reset();
-    pos_ = 0;
+const std::vector<Word512>& ReferenceEngine::packed_stream(std::size_t layer,
+                                                           int which) const {
+    return which == kLmHead ? packed_[cfg_.n_layers * 7]
+                            : packed_[layer * 7 + static_cast<std::size_t>(which)];
 }
 
-void ReferenceEngine::proj(std::size_t layer, int which, std::span<const float> x,
-                           std::span<float> y) {
+void ReferenceEngine::reset() {
+    for (std::size_t s = 0; s < opts_.max_batch; ++s) reset_session(s);
+}
+
+void ReferenceEngine::reset_session(std::size_t slot) {
+    check(slot < opts_.max_batch, "reset_session: slot out of range");
+    if (opts_.use_kv8) {
+        kv_quant_[slot].reset();
+    } else {
+        kv_float_[slot].reset();
+    }
+    pos_[slot] = 0;
+}
+
+void ReferenceEngine::proj(std::size_t layer, int which, std::size_t nb,
+                           std::span<const float> x, std::span<float> y) {
     if (fw_ != nullptr) {
         const LayerWeights* lw = which == kLmHead ? nullptr : &fw_->layers[layer];
         const Matrix* m = nullptr;
@@ -82,31 +132,30 @@ void ReferenceEngine::proj(std::size_t layer, int which, std::span<const float> 
             case kWDown: m = &lw->w_down; break;
             case kLmHead: m = &fw_->lm_head; break;
         }
+        // Float path: the golden reference, not the bandwidth fast path — each
+        // lane runs the exact single-session kernel (rows still thread-split).
+        const std::size_t rows = m->rows(), cols = m->cols();
         if (ThreadPool* p = pool(); p != nullptr) {
-            p->parallel_for(m->rows(), [&](std::size_t b, std::size_t e) {
-                gemv_rows(*m, x, y, b, e);
+            p->parallel_for(rows, [&](std::size_t b, std::size_t e) {
+                for (std::size_t lane = 0; lane < nb; ++lane) {
+                    gemv_rows(*m, x.subspan(lane * cols, cols),
+                              y.subspan(lane * rows, rows), b, e);
+                }
             });
         } else {
-            gemv(*m, x, y);
+            for (std::size_t lane = 0; lane < nb; ++lane) {
+                gemv(*m, x.subspan(lane * cols, cols), y.subspan(lane * rows, rows));
+            }
         }
     } else {
-        const QuantizedLayerWeights* lw = which == kLmHead ? nullptr : &qw_->layers[layer];
-        const quant::QuantizedLinear* m = nullptr;
-        switch (which) {
-            case kWq: m = &lw->wq; break;
-            case kWk: m = &lw->wk; break;
-            case kWv: m = &lw->wv; break;
-            case kWo: m = &lw->wo; break;
-            case kWGate: m = &lw->w_gate; break;
-            case kWUp: m = &lw->w_up; break;
-            case kWDown: m = &lw->w_down; break;
-            case kLmHead: m = &qw_->lm_head; break;
-        }
+        const quant::QuantizedLinear& m = quant_proj(*qw_, layer, which);
         if (opts_.seed_baseline) {
-            const std::vector<float> out = m->gemv_seed_baseline(x);
+            const std::vector<float> out = m.gemv_seed_baseline(x);
             std::copy(out.begin(), out.end(), y.begin());
+        } else if (opts_.packed_weights) {
+            m.gemm_packed(packed_stream(layer, which), x, nb, y, pool());
         } else {
-            m->gemv(x, y, pool());
+            m.gemm(x, nb, y, pool());
         }
     }
 }
@@ -121,128 +170,192 @@ std::span<const float> ReferenceEngine::mlp_norm(std::size_t layer) const {
                           : std::span<const float>(qw_->layers[layer].mlp_norm);
 }
 
-void ReferenceEngine::attention_block(std::size_t layer, std::span<float> x) {
-    rmsnorm(x, attn_norm(layer), cfg_.rms_eps, xb_);
+void ReferenceEngine::attention_block(std::size_t layer, std::size_t nb,
+                                      std::span<const std::size_t> slots) {
+    const std::size_t dim = cfg_.dim;
+    const std::size_t kvd = cfg_.kv_dim();
+    for (std::size_t b = 0; b < nb; ++b) {
+        rmsnorm(std::span<const float>(x_).subspan(b * dim, dim), attn_norm(layer),
+                cfg_.rms_eps, std::span<float>(xb_).subspan(b * dim, dim));
+    }
 
-    proj(layer, kWq, xb_, q_);
-    proj(layer, kWk, xb_, k_);
-    proj(layer, kWv, xb_, v_);
+    proj(layer, kWq, nb, std::span<const float>(xb_).first(nb * dim),
+         std::span<float>(q_).first(nb * dim));
+    proj(layer, kWk, nb, std::span<const float>(xb_).first(nb * dim),
+         std::span<float>(k_).first(nb * kvd));
+    proj(layer, kWv, nb, std::span<const float>(xb_).first(nb * dim),
+         std::span<float>(v_).first(nb * kvd));
 
-    // RoPE on every query head and key head at the current position, from the
-    // table built at construction (no pow/sin/cos on the decode path). The
-    // seed baseline recomputes the trigonometry per head per token.
+    // RoPE on every query head and key head at each lane's own position, from
+    // the table built at construction (no pow/sin/cos on the decode path).
+    // The seed baseline recomputes the trigonometry per head per token.
     const std::size_t hd = cfg_.head_dim();
-    if (opts_.seed_baseline) {
-        for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
-            rope_rotate(std::span<float>(q_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
+    for (std::size_t b = 0; b < nb; ++b) {
+        const std::size_t pos = pos_[slots[b]];
+        const std::span<float> qb = std::span<float>(q_).subspan(b * dim, dim);
+        const std::span<float> kb = std::span<float>(k_).subspan(b * kvd, kvd);
+        if (opts_.seed_baseline) {
+            for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+                rope_rotate(qb.subspan(h * hd, hd), pos, cfg_.rope_theta);
+            }
+            for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+                rope_rotate(kb.subspan(h * hd, hd), pos, cfg_.rope_theta);
+            }
+        } else {
+            const std::span<const float> cos_row = rope_.cos_row(pos);
+            const std::span<const float> sin_row = rope_.sin_row(pos);
+            for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
+                rope_rotate_cached(qb.subspan(h * hd, hd), cos_row, sin_row);
+            }
+            for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+                rope_rotate_cached(kb.subspan(h * hd, hd), cos_row, sin_row);
+            }
         }
-        for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
-            rope_rotate(std::span<float>(k_).subspan(h * hd, hd), pos_, cfg_.rope_theta);
-        }
-    } else {
-        const std::span<const float> cos_row = rope_.cos_row(pos_);
-        const std::span<const float> sin_row = rope_.sin_row(pos_);
-        for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
-            rope_rotate_cached(std::span<float>(q_).subspan(h * hd, hd), cos_row, sin_row);
-        }
-        for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
-            rope_rotate_cached(std::span<float>(k_).subspan(h * hd, hd), cos_row, sin_row);
+        const std::span<const float> vb = std::span<const float>(v_).subspan(b * kvd, kvd);
+        if (opts_.use_kv8) {
+            kv_quant_[slots[b]].append(layer, kb, vb);
+        } else {
+            kv_float_[slots[b]].append(layer, kb, vb);
         }
     }
 
-    if (opts_.use_kv8) {
-        kv_quant_.append(layer, k_, v_);
-    } else {
-        kv_float_.append(layer, k_, v_);
-    }
-    const std::size_t ctx = pos_ + 1;
+    const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
 
     if (opts_.seed_baseline) {
-        // Seed loop: gather an owning per-query-head KV copy and allocate
-        // scores inside attention_head, exactly like the pre-fast-path code.
-        const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
+        // Seed loop (single-session only): gather an owning per-query-head KV
+        // copy and allocate scores inside attention_head, exactly like the
+        // pre-fast-path code.
+        const std::size_t slot = slots[0];
+        const std::size_t ctx = pos_[slot] + 1;
         for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
             const std::size_t kvh = h / heads_per_kv;
             const std::vector<float> keys =
-                opts_.use_kv8 ? kv_quant_.keys_for_head(layer, kvh, ctx)
-                              : kv_float_.keys_for_head(layer, kvh, ctx);
+                opts_.use_kv8 ? kv_quant_[slot].keys_for_head(layer, kvh, ctx)
+                              : kv_float_[slot].keys_for_head(layer, kvh, ctx);
             const std::vector<float> vals =
-                opts_.use_kv8 ? kv_quant_.values_for_head(layer, kvh, ctx)
-                              : kv_float_.values_for_head(layer, kvh, ctx);
+                opts_.use_kv8 ? kv_quant_[slot].values_for_head(layer, kvh, ctx)
+                              : kv_float_[slot].values_for_head(layer, kvh, ctx);
             attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals,
                            ctx, hd, std::span<float>(att_out_).subspan(h * hd, hd));
         }
-        proj(layer, kWo, att_out_, xb_);
-        for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += xb_[i];
+        proj(layer, kWo, nb, std::span<const float>(att_out_).first(dim),
+             std::span<float>(xb_).first(dim));
+        for (std::size_t i = 0; i < dim; ++i) x_[i] += xb_[i];
         return;
     }
 
-    // One task per KV head: its query-head cluster shares the same history,
-    // so a quantized cache is dequantized once per cluster (not once per
-    // query head), and parallel tasks touch disjoint scratch slices.
-    const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
+    // One task per (lane, KV head): a lane's query-head cluster shares the
+    // same history, so a quantized cache is dequantized once per cluster (not
+    // once per query head), and parallel tasks touch disjoint scratch slices.
     const std::size_t slab = cfg_.max_seq_len * hd;
-    auto kv_head_task = [&](std::size_t kvh) {
+    auto lane_kv_task = [&](std::size_t task) {
+        const std::size_t b = task / cfg_.n_kv_heads;
+        const std::size_t kvh = task % cfg_.n_kv_heads;
+        const std::size_t slot = slots[b];
+        const std::size_t ctx = pos_[slot] + 1;
+        const std::size_t deq = (b * cfg_.n_kv_heads + kvh) * slab;
         std::span<const float> keys, vals;
         if (opts_.use_kv8) {
-            keys = kv_quant_.dequant_keys_into(
-                layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(kvh * slab, slab));
-            vals = kv_quant_.dequant_values_into(
-                layer, kvh, ctx, std::span<float>(kv_deq_v_).subspan(kvh * slab, slab));
+            keys = kv_quant_[slot].dequant_keys_into(
+                layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(deq, slab));
+            vals = kv_quant_[slot].dequant_values_into(
+                layer, kvh, ctx, std::span<float>(kv_deq_v_).subspan(deq, slab));
         } else {
-            keys = kv_float_.keys_span(layer, kvh, ctx);
-            vals = kv_float_.values_span(layer, kvh, ctx);
+            keys = kv_float_[slot].keys_span(layer, kvh, ctx);
+            vals = kv_float_[slot].values_span(layer, kvh, ctx);
         }
         for (std::size_t h = kvh * heads_per_kv; h < (kvh + 1) * heads_per_kv; ++h) {
-            attention_head(std::span<const float>(q_).subspan(h * hd, hd), keys, vals,
-                           ctx, hd, std::span<float>(att_out_).subspan(h * hd, hd),
-                           std::span<float>(scores_).subspan(h * cfg_.max_seq_len,
-                                                             cfg_.max_seq_len));
+            attention_head(
+                std::span<const float>(q_).subspan(b * dim + h * hd, hd), keys, vals,
+                ctx, hd, std::span<float>(att_out_).subspan(b * dim + h * hd, hd),
+                std::span<float>(scores_).subspan(
+                    (b * cfg_.n_heads + h) * cfg_.max_seq_len, cfg_.max_seq_len));
         }
     };
+    const std::size_t n_tasks = nb * cfg_.n_kv_heads;
     if (ThreadPool* p = pool(); p != nullptr) {
-        p->parallel_for(cfg_.n_kv_heads, [&](std::size_t b, std::size_t e) {
-            for (std::size_t kvh = b; kvh < e; ++kvh) kv_head_task(kvh);
+        p->parallel_for(n_tasks, [&](std::size_t b, std::size_t e) {
+            for (std::size_t t = b; t < e; ++t) lane_kv_task(t);
         });
     } else {
-        for (std::size_t kvh = 0; kvh < cfg_.n_kv_heads; ++kvh) kv_head_task(kvh);
+        for (std::size_t t = 0; t < n_tasks; ++t) lane_kv_task(t);
     }
 
     // Output projection + residual.
-    proj(layer, kWo, att_out_, xb_);
-    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += xb_[i];
+    proj(layer, kWo, nb, std::span<const float>(att_out_).first(nb * dim),
+         std::span<float>(xb_).first(nb * dim));
+    for (std::size_t i = 0; i < nb * dim; ++i) x_[i] += xb_[i];
 }
 
-void ReferenceEngine::mlp_block(std::size_t layer, std::span<float> x) {
-    rmsnorm(x, mlp_norm(layer), cfg_.rms_eps, xb_);
-    proj(layer, kWGate, xb_, gate_);
-    proj(layer, kWUp, xb_, up_);
-    silu_gate(gate_, up_, hidden_);
-    proj(layer, kWDown, hidden_, down_);
-    for (std::size_t i = 0; i < cfg_.dim; ++i) x[i] += down_[i];
+void ReferenceEngine::mlp_block(std::size_t layer, std::size_t nb) {
+    const std::size_t dim = cfg_.dim;
+    const std::size_t hdim = cfg_.hidden_dim;
+    for (std::size_t b = 0; b < nb; ++b) {
+        rmsnorm(std::span<const float>(x_).subspan(b * dim, dim), mlp_norm(layer),
+                cfg_.rms_eps, std::span<float>(xb_).subspan(b * dim, dim));
+    }
+    proj(layer, kWGate, nb, std::span<const float>(xb_).first(nb * dim),
+         std::span<float>(gate_).first(nb * hdim));
+    proj(layer, kWUp, nb, std::span<const float>(xb_).first(nb * dim),
+         std::span<float>(up_).first(nb * hdim));
+    for (std::size_t b = 0; b < nb; ++b) {
+        silu_gate(std::span<const float>(gate_).subspan(b * hdim, hdim),
+                  std::span<const float>(up_).subspan(b * hdim, hdim),
+                  std::span<float>(hidden_).subspan(b * hdim, hdim));
+    }
+    proj(layer, kWDown, nb, std::span<const float>(hidden_).first(nb * hdim),
+         std::span<float>(down_).first(nb * dim));
+    for (std::size_t i = 0; i < nb * dim; ++i) x_[i] += down_[i];
+}
+
+std::span<const float> ReferenceEngine::decode_batch(
+    std::span<const std::int32_t> tokens, std::span<const std::size_t> slots) {
+    const std::size_t nb = tokens.size();
+    check(nb >= 1, "decode_batch: empty batch");
+    check(nb == slots.size(), "decode_batch: tokens/slots size mismatch");
+    check(nb <= opts_.max_batch, "decode_batch: batch exceeds max_batch");
+    check(!opts_.seed_baseline || nb == 1,
+          "decode_batch: seed_baseline supports batch 1 only");
+    for (std::size_t b = 0; b < nb; ++b) {
+        check(slots[b] < opts_.max_batch, "decode_batch: slot out of range");
+        for (std::size_t c = b + 1; c < nb; ++c) {
+            check(slots[b] != slots[c], "decode_batch: duplicate slot");
+        }
+        check(tokens[b] >= 0 && static_cast<std::uint64_t>(tokens[b]) < cfg_.vocab_size,
+              "decode_batch: token out of range");
+        check(pos_[slots[b]] < cfg_.max_seq_len,
+              "decode_batch: context window exhausted");
+    }
+
+    // Token embedding lookup, one row per lane.
+    const Matrix& emb = fw_ != nullptr ? fw_->embedding : qw_->embedding;
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto row = emb.row(static_cast<std::size_t>(tokens[b]));
+        std::copy(row.begin(), row.end(), x_.begin() + b * cfg_.dim);
+    }
+
+    for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+        attention_block(layer, nb, slots);
+        mlp_block(layer, nb);
+    }
+    for (std::size_t b = 0; b < nb; ++b) ++pos_[slots[b]];
+
+    const std::span<const float> fnorm =
+        fw_ != nullptr ? std::span<const float>(fw_->final_norm)
+                       : std::span<const float>(qw_->final_norm);
+    for (std::size_t b = 0; b < nb; ++b) {
+        rmsnorm(std::span<const float>(x_).subspan(b * cfg_.dim, cfg_.dim), fnorm,
+                cfg_.rms_eps, std::span<float>(xb_).subspan(b * cfg_.dim, cfg_.dim));
+    }
+    proj(0, kLmHead, nb, std::span<const float>(xb_).first(nb * cfg_.dim),
+         std::span<float>(logits_).first(nb * cfg_.vocab_size));
+    return std::span<const float>(logits_).first(nb * cfg_.vocab_size);
 }
 
 std::span<const float> ReferenceEngine::decode(std::int32_t token) {
-    check(token >= 0 && static_cast<std::uint64_t>(token) < cfg_.vocab_size,
-          "ReferenceEngine: token out of range");
-    check(pos_ < cfg_.max_seq_len, "ReferenceEngine: context window exhausted");
-
-    // Token embedding lookup.
-    const Matrix& emb = fw_ != nullptr ? fw_->embedding : qw_->embedding;
-    const auto row = emb.row(static_cast<std::size_t>(token));
-    std::copy(row.begin(), row.end(), x_.begin());
-
-    for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
-        attention_block(layer, x_);
-        mlp_block(layer, x_);
-    }
-    ++pos_;
-
-    rmsnorm(x_, fw_ != nullptr ? std::span<const float>(fw_->final_norm)
-                               : std::span<const float>(qw_->final_norm),
-            cfg_.rms_eps, xb_);
-    proj(0, kLmHead, xb_, logits_);
-    return logits_;
+    const std::size_t slot0 = 0;
+    return decode_batch(std::span<const std::int32_t>(&token, 1),
+                        std::span<const std::size_t>(&slot0, 1));
 }
 
 std::vector<float> ReferenceEngine::forward(std::int32_t token) {

@@ -13,13 +13,21 @@
 // bare-metal host does on the KV260.
 //
 // The decode loop is allocation-free: projections run through the fused
-// quantized GEMV fast path (or preallocated buffers on the float path), RoPE
-// trigonometry is precomputed per position at construction, attention reuses
-// per-head scores scratch, and the KV history is read as zero-copy spans
-// (float cache) or dequantized into persistent per-head scratch (quantized
-// cache). With `threads > 1` GEMV rows and attention KV-head clusters are
-// partitioned across a persistent worker pool; results are bit-for-bit
-// independent of the thread count.
+// quantized GEMV/GEMM fast path (or preallocated buffers on the float path),
+// RoPE trigonometry is precomputed per position at construction, attention
+// reuses per-head scores scratch, and the KV history is read as zero-copy
+// spans (float cache) or dequantized into persistent per-head scratch
+// (quantized cache). With `threads > 1` GEMV rows and attention KV-head
+// clusters are partitioned across a persistent worker pool; results are
+// bit-for-bit independent of the thread count.
+//
+// Multi-session decode: with `max_batch > 1` the engine owns that many
+// session slots, each with its own KV cache and position. `decode_batch`
+// advances any subset of them in lockstep, walking the quantized weights
+// ONCE per step via the skinny-GEMM fast path — decoding is weight-bound, so
+// amortizing the walk across sessions is the host-side mirror of the paper's
+// bandwidth argument. Every slot's logits are bit-for-bit identical to what
+// a dedicated single-session engine fed the same tokens would produce.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +53,12 @@ struct EngineOptions {
     // the process-wide ThreadPool::global() (sized by
     // runtime::SessionOptions::host_threads or ThreadPool::set_global_threads).
     std::size_t threads = 1;
+    // Concurrent session slots (KV caches + positions) for decode_batch.
+    std::size_t max_batch = 1;
+    // Walk projections through the packed 4-bit bus streams (pack_codes) the
+    // way the hardware does, instead of the byte-per-code functional storage.
+    // Requires quantized weights with 4-bit codes. Bit-for-bit identical.
+    bool packed_weights = false;
 };
 
 class ReferenceEngine {
@@ -59,28 +73,45 @@ public:
     explicit ReferenceEngine(const QuantizedModelWeights& weights, bool use_kv8 = false,
                              unsigned kv_bits = 8);
 
-    // Runs one token at the next position; returns logits [vocab].
+    // Runs one token at the next position (session slot 0); returns logits
+    // [vocab].
     std::vector<float> forward(std::int32_t token);
 
-    // Allocation-free forward: the returned span aliases internal scratch and
-    // is valid until the next decode/forward/reset call.
+    // Allocation-free forward on slot 0: the returned span aliases internal
+    // scratch and is valid until the next decode/forward/reset call.
     std::span<const float> decode(std::int32_t token);
 
-    // Feeds a prompt token by token; returns the logits after the last one.
+    // Advances tokens[i] through session slot slots[i] for every i, in one
+    // weight walk. Slots must be distinct and < max_batch; each slot keeps
+    // its own KV history and position, so sessions at different context
+    // lengths batch together freely (continuous batching joins at token
+    // boundaries). Returns logits [tokens.size()][vocab], row i = slots[i],
+    // aliasing internal scratch like decode().
+    std::span<const float> decode_batch(std::span<const std::int32_t> tokens,
+                                        std::span<const std::size_t> slots);
+
+    // Feeds a prompt token by token (slot 0); returns the logits after the
+    // last one.
     std::vector<float> prefill(std::span<const std::int32_t> tokens);
 
-    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_[0]; }
+    [[nodiscard]] std::size_t position(std::size_t slot) const { return pos_.at(slot); }
+    [[nodiscard]] std::size_t max_batch() const noexcept { return opts_.max_batch; }
     [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
-    void reset();
+    void reset();                          // all slots
+    void reset_session(std::size_t slot);  // one slot's KV history + position
 
 private:
     void init_scratch();
-    void attention_block(std::size_t layer, std::span<float> x);
-    void mlp_block(std::size_t layer, std::span<float> x);
+    void attention_block(std::size_t layer, std::size_t nb,
+                         std::span<const std::size_t> slots);
+    void mlp_block(std::size_t layer, std::size_t nb);
 
-    // Weight accessors bridging the float / quantized storage.
-    void proj(std::size_t layer, int which, std::span<const float> x, std::span<float> y);
+    // Batched weight accessor bridging the float / quantized storage:
+    // x is [nb][in], y is [nb][out], lanes contiguous.
+    void proj(std::size_t layer, int which, std::size_t nb, std::span<const float> x,
+              std::span<float> y);
     [[nodiscard]] std::span<const float> attn_norm(std::size_t layer) const;
     [[nodiscard]] std::span<const float> mlp_norm(std::size_t layer) const;
 
@@ -100,18 +131,27 @@ private:
     const ModelWeights* fw_ = nullptr;
     const QuantizedModelWeights* qw_ = nullptr;
 
-    KvCache kv_float_;
-    QuantizedKvCache kv_quant_;
-    std::size_t pos_ = 0;
+    // Per-session-slot state (size max_batch). Only the cache variant the
+    // options select is constructed; the other vector stays empty.
+    std::vector<KvCache> kv_float_;
+    std::vector<QuantizedKvCache> kv_quant_;
+    std::vector<std::size_t> pos_;
 
     std::unique_ptr<ThreadPool> pool_;  // only when opts_.threads > 1
     RopeTable rope_;                    // per-position sin/cos, built once
 
-    // Scratch buffers reused across tokens (no per-token allocation).
+    // Packed 4-bit bus streams, one per projection, built at construction
+    // when packed_weights is set (index layer * 7 + which; lm_head last).
+    std::vector<std::vector<Word512>> packed_;
+    [[nodiscard]] const std::vector<Word512>& packed_stream(std::size_t layer,
+                                                            int which) const;
+
+    // Scratch buffers reused across tokens, one lane per batch position (no
+    // per-token allocation). Lane b of a [nb][dim] block starts at b * dim.
     std::vector<float> x_, xb_, q_, k_, v_, att_out_, gate_, up_, hidden_, down_,
         logits_;
-    std::vector<float> scores_;   // [n_heads][max_seq_len] attention scores
-    std::vector<float> kv_deq_k_; // [n_kv_heads][max_seq_len*head_dim] (KV8 only)
+    std::vector<float> scores_;   // [batch][n_heads][max_seq_len] attention scores
+    std::vector<float> kv_deq_k_; // [batch][n_kv_heads][max_seq_len*head_dim] (KV8)
     std::vector<float> kv_deq_v_;
 };
 

@@ -222,6 +222,88 @@ void QuantizedLinear::gemv(std::span<const float> x, std::span<float> y,
     }
 }
 
+void QuantizedLinear::gemm_reference(std::span<const float> x, std::size_t batch,
+                                     std::span<float> y) const {
+    check(batch > 0, "gemm_reference: empty batch");
+    check(x.size() == batch * cols_, "gemm_reference: input size mismatch");
+    check(y.size() == batch * rows_, "gemm_reference: output size mismatch");
+    for (std::size_t b = 0; b < batch; ++b) {
+        gemv_reference(x.subspan(b * cols_, cols_), y.subspan(b * rows_, rows_));
+    }
+}
+
+void QuantizedLinear::gemm_rows(const float* x, std::size_t batch, float* y,
+                                std::size_t row_begin, std::size_t row_end) const {
+    const std::size_t gs = cfg_.group_size;
+    const std::size_t gpr = groups_per_row();
+    // Batch columns run in register tiles: one decoded group feeds every
+    // column of the tile before the next group is touched, so the code bytes
+    // are read rows*cols times total regardless of batch — the weight walk is
+    // amortized across the tile.
+    for (std::size_t bt = 0; bt < batch; bt += kGemmBatchTile) {
+        const std::size_t nb = std::min(kGemmBatchTile, batch - bt);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            const std::uint8_t* code = codes_.data() + r * cols_;
+            const Fp16* srow = scales_.data() + r * gpr;
+            const std::uint8_t* zrow = zeros_.data() + r * gpr;
+            float acc[kGemmBatchTile] = {};
+            for (std::size_t g = 0; g < gpr; ++g) {
+                const float s = srow[g].to_float();
+                const int z = zrow[g];
+                const std::size_t xoff = g * gs;
+#if EFLD_GEMV_VECTOR
+                GemvVf p[kGemmBatchTile] = {};
+                const GemvVi zv = {z, z, z, z, z, z, z, z};
+                std::size_t i = 0;
+                for (; i + kGemvLanes <= gs; i += kGemvLanes) {
+                    const GemvVi ci = {code[i + 0], code[i + 1], code[i + 2], code[i + 3],
+                                       code[i + 4], code[i + 5], code[i + 6], code[i + 7]};
+                    const GemvVf d = __builtin_convertvector(ci - zv, GemvVf);
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        GemvVf xv;
+                        std::memcpy(&xv, x + (bt + b) * cols_ + xoff + i, sizeof xv);
+                        p[b] += d * xv;
+                    }
+                }
+                for (; i < gs; ++i) {
+                    const float d = static_cast<float>(static_cast<int>(code[i]) - z);
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        p[b][i % kGemvLanes] += d * x[(bt + b) * cols_ + xoff + i];
+                    }
+                }
+                for (std::size_t b = 0; b < nb; ++b) acc[b] += s * lane_tree_sum(p[b]);
+#else
+                float p[kGemmBatchTile][kGemvLanes] = {};
+                std::size_t i = 0;
+                for (; i < gs; ++i) {
+                    const float d = static_cast<float>(static_cast<int>(code[i]) - z);
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        p[b][i % kGemvLanes] += d * x[(bt + b) * cols_ + xoff + i];
+                    }
+                }
+                for (std::size_t b = 0; b < nb; ++b) acc[b] += s * lane_tree_sum(p[b]);
+#endif
+                code += gs;
+            }
+            for (std::size_t b = 0; b < nb; ++b) y[(bt + b) * rows_ + r] = acc[b];
+        }
+    }
+}
+
+void QuantizedLinear::gemm(std::span<const float> x, std::size_t batch,
+                           std::span<float> y, ThreadPool* pool) const {
+    check(batch > 0, "gemm: empty batch");
+    check(x.size() == batch * cols_, "gemm: input size mismatch");
+    check(y.size() == batch * rows_, "gemm: output size mismatch");
+    if (pool != nullptr && pool->size() > 1 && rows_ > 1) {
+        pool->parallel_for(rows_, [&](std::size_t b, std::size_t e) {
+            gemm_rows(x.data(), batch, y.data(), b, e);
+        });
+    } else {
+        gemm_rows(x.data(), batch, y.data(), 0, rows_);
+    }
+}
+
 std::vector<Word512> QuantizedLinear::pack_codes() const {
     check(cfg_.bits == 4, "pack_codes: codes wider than a nibble");
     return pack_nibbles(codes_);
@@ -312,6 +394,90 @@ void QuantizedLinear::gemv_packed(std::span<const Word512> packed,
         });
     } else {
         gemv_packed_rows(packed.data(), x.data(), y.data(), 0, rows_);
+    }
+}
+
+void QuantizedLinear::gemm_packed_rows(const Word512* words, const float* x,
+                                       std::size_t batch, float* y,
+                                       std::size_t row_begin, std::size_t row_end) const {
+    const std::size_t gs = cfg_.group_size;
+    const std::size_t gpr = groups_per_row();
+    for (std::size_t bt = 0; bt < batch; bt += kGemmBatchTile) {
+        const std::size_t nb = std::min(kGemmBatchTile, batch - bt);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            std::size_t nib = r * cols_;
+            const Fp16* srow = scales_.data() + r * gpr;
+            const std::uint8_t* zrow = zeros_.data() + r * gpr;
+            float acc[kGemmBatchTile] = {};
+            for (std::size_t g = 0; g < gpr; ++g) {
+                const float s = srow[g].to_float();
+                const int z = zrow[g];
+                const std::size_t xoff = g * gs;
+#if EFLD_GEMV_VECTOR
+                GemvVf p[kGemmBatchTile] = {};
+                const GemvVi zv = {z, z, z, z, z, z, z, z};
+                for (std::size_t i = 0; i < gs; i += 16, nib += 16) {
+                    const std::uint64_t lane = words[nib >> 7].lanes[(nib >> 4) & 7];
+                    const GemvVi c0 = {
+                        static_cast<int>((lane >> 0) & 0xF),  static_cast<int>((lane >> 4) & 0xF),
+                        static_cast<int>((lane >> 8) & 0xF),  static_cast<int>((lane >> 12) & 0xF),
+                        static_cast<int>((lane >> 16) & 0xF), static_cast<int>((lane >> 20) & 0xF),
+                        static_cast<int>((lane >> 24) & 0xF), static_cast<int>((lane >> 28) & 0xF)};
+                    const GemvVi c1 = {
+                        static_cast<int>((lane >> 32) & 0xF), static_cast<int>((lane >> 36) & 0xF),
+                        static_cast<int>((lane >> 40) & 0xF), static_cast<int>((lane >> 44) & 0xF),
+                        static_cast<int>((lane >> 48) & 0xF), static_cast<int>((lane >> 52) & 0xF),
+                        static_cast<int>((lane >> 56) & 0xF), static_cast<int>((lane >> 60) & 0xF)};
+                    const GemvVf d0 = __builtin_convertvector(c0 - zv, GemvVf);
+                    const GemvVf d1 = __builtin_convertvector(c1 - zv, GemvVf);
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        const float* xl = x + (bt + b) * cols_ + xoff + i;
+                        GemvVf x0, x1;
+                        std::memcpy(&x0, xl, sizeof x0);
+                        std::memcpy(&x1, xl + kGemvLanes, sizeof x1);
+                        p[b] += d0 * x0;
+                        p[b] += d1 * x1;
+                    }
+                }
+                for (std::size_t b = 0; b < nb; ++b) acc[b] += s * lane_tree_sum(p[b]);
+#else
+                float p[kGemmBatchTile][kGemvLanes] = {};
+                for (std::size_t i = 0; i < gs; i += 16, nib += 16) {
+                    const std::uint64_t lane = words[nib >> 7].lanes[(nib >> 4) & 7];
+                    for (std::size_t b = 0; b < nb; ++b) {
+                        const float* xl = x + (bt + b) * cols_ + xoff + i;
+                        for (std::size_t e = 0; e < 16; ++e) {
+                            p[b][e % kGemvLanes] +=
+                                static_cast<float>(
+                                    static_cast<int>((lane >> (4 * e)) & 0xF) - z) *
+                                xl[e];
+                        }
+                    }
+                }
+                for (std::size_t b = 0; b < nb; ++b) acc[b] += s * lane_tree_sum(p[b]);
+#endif
+            }
+            for (std::size_t b = 0; b < nb; ++b) y[(bt + b) * rows_ + r] = acc[b];
+        }
+    }
+}
+
+void QuantizedLinear::gemm_packed(std::span<const Word512> packed,
+                                  std::span<const float> x, std::size_t batch,
+                                  std::span<float> y, ThreadPool* pool) const {
+    check(cfg_.bits == 4, "gemm_packed: codes wider than a nibble");
+    check(cfg_.group_size % 16 == 0, "gemm_packed: group_size must align to word lanes");
+    check(batch > 0, "gemm_packed: empty batch");
+    check(x.size() == batch * cols_, "gemm_packed: input size mismatch");
+    check(y.size() == batch * rows_, "gemm_packed: output size mismatch");
+    check(packed.size() == div_ceil(rows_ * cols_, kNibblesPerWord),
+          "gemm_packed: packed stream size mismatch");
+    if (pool != nullptr && pool->size() > 1 && rows_ > 1) {
+        pool->parallel_for(rows_, [&](std::size_t b, std::size_t e) {
+            gemm_packed_rows(packed.data(), x.data(), batch, y.data(), b, e);
+        });
+    } else {
+        gemm_packed_rows(packed.data(), x.data(), batch, y.data(), 0, rows_);
     }
 }
 

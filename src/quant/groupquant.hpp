@@ -50,6 +50,18 @@ struct GroupQuantConfig {
 // is throughput-bound, not add-latency-bound.
 inline constexpr std::size_t kGemvLanes = 8;
 
+// Skinny-GEMM extension of the same contract: `gemm` multiplies one weight
+// matrix against a block of `batch` activation vectors, decoding each weight
+// group ONCE and accumulating it into every batch column — the host-side
+// mirror of the paper's bandwidth argument (decode is weight-bound, so the
+// only way past the single-stream roofline is to amortize one weight walk
+// across more activations). Each (row, column) pair performs exactly the
+// per-row GEMV recipe above, so the result is bit-for-bit identical to
+// `batch` independent gemv calls; columns are processed in register tiles of
+// kGemmBatchTile, which bounds how many activation vectors one code decode
+// feeds before the walk restarts.
+inline constexpr std::size_t kGemmBatchTile = 8;
+
 // A quantized linear layer y = W x, W of shape [rows, cols] (out, in).
 // Codes are stored one byte per weight for the functional model; the bus
 // format (weight_format.hpp) packs them to 4 bits.
@@ -97,6 +109,24 @@ public:
     void gemv_packed(std::span<const Word512> packed, std::span<const float> x,
                      std::span<float> y, ThreadPool* pool = nullptr) const;
 
+    // Skinny GEMM: Y = W X for a block of `batch` activation vectors.
+    // X is [batch][cols] row-major (each session's activation contiguous),
+    // Y is [batch][rows] row-major. Bit-for-bit identical to `batch`
+    // independent gemv calls — batch == 1 degenerates to gemv exactly — but
+    // the weight stream is decoded once per kGemmBatchTile columns instead of
+    // once per column. Rows are partitioned across `pool` when one is given.
+    void gemm(std::span<const float> x, std::size_t batch, std::span<float> y,
+              ThreadPool* pool = nullptr) const;
+
+    // The parity oracle for gemm: literally `batch` gemv_reference calls.
+    void gemm_reference(std::span<const float> x, std::size_t batch,
+                        std::span<float> y) const;
+
+    // gemm over the packed nibble stream (same preconditions as gemv_packed).
+    void gemm_packed(std::span<const Word512> packed, std::span<const float> x,
+                     std::size_t batch, std::span<float> y,
+                     ThreadPool* pool = nullptr) const;
+
     [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
     [[nodiscard]] std::size_t groups_per_row() const noexcept { return cols_ / cfg_.group_size; }
@@ -127,6 +157,10 @@ private:
                    std::size_t row_end) const;
     void gemv_packed_rows(const Word512* words, const float* x, float* y,
                           std::size_t row_begin, std::size_t row_end) const;
+    void gemm_rows(const float* x, std::size_t batch, float* y,
+                   std::size_t row_begin, std::size_t row_end) const;
+    void gemm_packed_rows(const Word512* words, const float* x, std::size_t batch,
+                          float* y, std::size_t row_begin, std::size_t row_end) const;
 
     GroupQuantConfig cfg_;
     std::size_t rows_ = 0;

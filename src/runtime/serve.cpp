@@ -1,0 +1,16 @@
+#include "runtime/serve.hpp"
+
+namespace efld::runtime {
+
+ServeDeployment synthetic_serve(const model::ModelConfig& cfg, std::uint64_t seed,
+                                ServeOptions opts) {
+    const model::ModelWeights fw = model::ModelWeights::synthetic(cfg, seed);
+    quant::GroupQuantConfig qc;  // W4 group-128, the deployed scheme
+    ServeDeployment d;
+    d.weights = std::make_unique<model::QuantizedModelWeights>(
+        model::QuantizedModelWeights::quantize(fw, qc));
+    d.engine = std::make_unique<serve::ServeEngine>(*d.weights, opts);
+    return d;
+}
+
+}  // namespace efld::runtime

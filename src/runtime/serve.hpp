@@ -1,0 +1,31 @@
+// Runtime-facing serve API: re-exports the serve subsystem's types the way
+// SessionOptions/InferenceSession are exposed, plus the synthetic-weights
+// construction path tests and demos use (mirroring InferenceSession::synthetic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/weights.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace efld::runtime {
+
+using ServeOptions = serve::ServeOptions;
+using ServeResult = serve::ServeResult;
+using ServeStats = serve::ServeStats;
+
+// A ServeEngine bundled with the quantized weights it serves (ServeEngine
+// itself is non-owning). Movable; engine references stay valid because both
+// live behind unique_ptrs.
+struct ServeDeployment {
+    std::unique_ptr<model::QuantizedModelWeights> weights;
+    std::unique_ptr<serve::ServeEngine> engine;
+};
+
+// Builds a serve deployment around synthetic weights for a config — the
+// serving counterpart of InferenceSession::synthetic (W4 group-128 scheme).
+[[nodiscard]] ServeDeployment synthetic_serve(const model::ModelConfig& cfg,
+                                              std::uint64_t seed, ServeOptions opts = {});
+
+}  // namespace efld::runtime

@@ -35,15 +35,25 @@ GenerationOutput InferenceSession::generate(const std::string& prompt,
     accel::StepResult last;
     for (const std::int32_t id : prompt_ids) last = accel_->step(id);
 
+    // Per-token timing attribution: each generated token is billed the decode
+    // step that consumes it — NOT the step that produced its logits (the
+    // first token's logits fall out of the last *prefill* step, which is
+    // TTFT, not decode time). simulated_ns is therefore exactly the sum of
+    // the decode steps executed in this loop; the prefill walk is never
+    // charged and the final executed step is no longer dropped. An EOS token
+    // is sampled but never fed, so it costs no step.
     double sim_ns = 0.0;
     for (std::size_t i = 0;
          i < max_new_tokens && accel_->position() < model_->config.max_seq_len; ++i) {
         const std::int32_t next = sampler_.sample(last.logits);
         out.tokens.push_back(next);
+        if (next == model::ByteTokenizer::kEos) {
+            console_.emit(tokenizer_.decode_token(next), sim_ns);
+            break;
+        }
+        last = accel_->step(next);
         sim_ns += last.timing.total_ns;
         console_.emit(tokenizer_.decode_token(next), sim_ns);
-        if (next == model::ByteTokenizer::kEos) break;
-        last = accel_->step(next);
     }
     console_.newline();
     out.text = tokenizer_.decode(out.tokens);

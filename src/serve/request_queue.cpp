@@ -1,0 +1,25 @@
+#include "serve/request_queue.hpp"
+
+namespace efld::serve {
+
+bool RequestQueue::push(PendingRequest&& req) {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (q_.size() >= capacity_) return false;
+    q_.push_back(std::move(req));
+    return true;
+}
+
+std::optional<PendingRequest> RequestQueue::try_pop() {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (q_.empty()) return std::nullopt;
+    PendingRequest req = std::move(q_.front());
+    q_.pop_front();
+    return req;
+}
+
+std::size_t RequestQueue::size() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return q_.size();
+}
+
+}  // namespace efld::serve

@@ -1,0 +1,41 @@
+// Bounded thread-safe FIFO of pending requests.
+//
+// submit() may be called from any thread; the serve loop pops at token
+// boundaries (the only points where a session can join the batch). The queue
+// is deliberately bounded — a serving system must shed load explicitly, not
+// grow an unbounded backlog.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/serve_types.hpp"
+
+namespace efld::serve {
+
+class RequestQueue {
+public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    RequestQueue(const RequestQueue&) = delete;
+    RequestQueue& operator=(const RequestQueue&) = delete;
+
+    // Enqueues `req`; returns false (leaving `req` untouched) when full.
+    bool push(PendingRequest&& req);
+
+    // Oldest pending request, or nullopt when empty.
+    std::optional<PendingRequest> try_pop();
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] bool empty() const { return size() == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    mutable std::mutex m_;
+    std::deque<PendingRequest> q_;
+    std::size_t capacity_;
+};
+
+}  // namespace efld::serve

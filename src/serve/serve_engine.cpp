@@ -1,0 +1,134 @@
+#include "serve/serve_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace efld::serve {
+
+namespace {
+model::EngineOptions engine_options(const ServeOptions& o) {
+    model::EngineOptions e;
+    e.use_kv8 = o.use_kv8;
+    e.kv_bits = o.kv_bits;
+    e.threads = o.threads;
+    e.max_batch = std::max<std::size_t>(1, o.max_batch);
+    e.packed_weights = o.packed_weights;
+    return e;
+}
+}  // namespace
+
+ServeEngine::ServeEngine(const model::QuantizedModelWeights& weights, ServeOptions opts)
+    : opts_(opts),
+      engine_(weights, engine_options(opts)),
+      queue_(opts.max_queue),
+      slots_(std::max<std::size_t>(1, opts.max_batch)) {
+    check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <=
+              weights.config.vocab_size,
+          "ServeEngine: model vocab too small for the byte tokenizer");
+    feed_tokens_.reserve(slots_.size());
+    feed_slots_.reserve(slots_.size());
+}
+
+std::future<ServeResult> ServeEngine::submit(const std::string& prompt,
+                                             std::size_t max_new_tokens) {
+    PendingRequest req;
+    req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    req.prompt = tokenizer_.encode(prompt);
+    check(!req.prompt.empty(), "ServeEngine: empty prompt after tokenization");
+    check(req.prompt.size() <= engine_.config().max_seq_len,
+          "ServeEngine: prompt exceeds the context window");
+    req.max_new_tokens = max_new_tokens;
+    std::future<ServeResult> fut = req.promise.get_future();
+
+    if (max_new_tokens == 0) {
+        // Nothing to decode: resolve immediately without occupying a slot.
+        ServeResult r;
+        r.id = req.id;
+        r.prompt_tokens = req.prompt.size();
+        req.promise.set_value(std::move(r));
+        return fut;
+    }
+    check(queue_.push(std::move(req)), "ServeEngine: request queue full");
+    return fut;
+}
+
+void ServeEngine::admit() {
+    if (n_active_ == slots_.size()) return;
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (slots_[slot].has_value()) continue;
+        std::optional<PendingRequest> req = queue_.try_pop();
+        if (!req.has_value()) return;
+        slots_[slot].emplace(std::move(*req), opts_.sampler, slot);
+        ++n_active_;
+        if (n_active_ == slots_.size()) return;
+    }
+}
+
+void ServeEngine::retire(SessionState& s, bool eos, bool ctx_limit) {
+    ServeResult r;
+    r.id = s.id;
+    r.tokens = std::move(s.generated);
+    r.text = tokenizer_.decode(r.tokens);
+    r.prompt_tokens = s.prompt.size();
+    r.hit_eos = eos;
+    r.hit_context_limit = ctx_limit;
+    s.promise.set_value(std::move(r));
+    engine_.reset_session(s.slot);
+    slots_[s.slot].reset();
+    --n_active_;
+    ++stats_.requests_completed;
+}
+
+bool ServeEngine::step() {
+    // Token boundary: queued requests join whatever slots the last step freed.
+    admit();
+    if (n_active_ == 0) return false;  // admit() drained the queue or it was empty
+
+    feed_tokens_.clear();
+    feed_slots_.clear();
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (!slots_[slot].has_value()) continue;
+        feed_tokens_.push_back(slots_[slot]->next_feed());
+        feed_slots_.push_back(slot);
+    }
+
+    // ONE weight walk advances every active session by one token.
+    const std::span<const float> logits = engine_.decode_batch(feed_tokens_, feed_slots_);
+    ++stats_.steps;
+    stats_.lane_steps += feed_slots_.size();
+    stats_.peak_batch = std::max(stats_.peak_batch, feed_slots_.size());
+
+    const std::size_t vocab = engine_.config().vocab_size;
+    for (std::size_t b = 0; b < feed_slots_.size(); ++b) {
+        SessionState& s = *slots_[feed_slots_[b]];
+        const bool samplable = s.sampling_after_feed();
+        if (s.prompt_fed < s.prompt.size()) {
+            ++s.prompt_fed;
+            ++stats_.prompt_tokens;
+        }
+        if (!samplable) continue;  // mid-prefill: logits row unused
+
+        const std::span<const float> row = logits.subspan(b * vocab, vocab);
+        const std::int32_t next = s.sampler.sample(row);
+        s.generated.push_back(next);
+        ++stats_.generated_tokens;
+
+        if (next == model::ByteTokenizer::kEos) {
+            retire(s, /*eos=*/true, /*ctx_limit=*/false);
+        } else if (s.generated.size() >= s.max_new_tokens) {
+            retire(s, /*eos=*/false, /*ctx_limit=*/false);
+        } else if (engine_.position(s.slot) >= engine_.config().max_seq_len) {
+            retire(s, /*eos=*/false, /*ctx_limit=*/true);
+        } else {
+            s.pending_token = next;
+        }
+    }
+    return n_active_ > 0 || !queue_.empty();
+}
+
+void ServeEngine::run_until_idle() {
+    while (step()) {}
+}
+
+}  // namespace efld::serve

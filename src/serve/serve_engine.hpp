@@ -1,0 +1,95 @@
+// Continuous-batching serve engine: N concurrent decode sessions behind a
+// bounded request queue, one weight walk per step.
+//
+// The paper's whole bandwidth argument is that decode is weight-bound — every
+// token pays one full streaming pass over the quantized weights. A single
+// stream therefore caps out at bandwidth / weight-bytes. The only way past
+// that roofline is to amortize one walk across more work, and this engine is
+// the serving layer that does it on the host twin: each step advances every
+// active session by one token through ONE skinny-GEMM weight walk
+// (ReferenceEngine::decode_batch), so the marginal cost of a second..Nth
+// session is activations and attention, not weights.
+//
+// Continuous batching: sessions join and retire at token boundaries only.
+// A joining request's prompt tokens ride the same batched walks as other
+// sessions' decode tokens (mixed prefill/decode batches), so admission never
+// stalls the running sessions. Every session's token stream is bit-for-bit
+// identical to a solo run of the same request — batching changes throughput,
+// never results.
+//
+// Threading model: submit() is thread-safe; step()/run_until_idle() drive the
+// engine from one caller thread (futures resolve inside step). The engine's
+// own parallelism (GEMM rows, attention clusters) is ServeOptions::threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/reference_engine.hpp"
+#include "model/sampler.hpp"
+#include "model/tokenizer.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_types.hpp"
+#include "serve/session_state.hpp"
+
+namespace efld::serve {
+
+struct ServeOptions {
+    model::SamplerConfig sampler{};   // each request gets a fresh sampler
+    std::size_t max_batch = 4;        // concurrent session slots
+    std::size_t max_queue = 64;       // pending requests before submit rejects
+    bool use_kv8 = true;              // software twin of the deployed KV8 cache
+    unsigned kv_bits = 8;
+    bool packed_weights = false;      // walk the 4-bit bus streams
+    std::size_t threads = 1;          // engine worker pool (see EngineOptions)
+};
+
+class ServeEngine {
+public:
+    // Non-owning: `weights` must outlive the engine.
+    ServeEngine(const model::QuantizedModelWeights& weights, ServeOptions opts);
+
+    // Tokenizes and enqueues; the future resolves when the request retires.
+    // Throws when the queue is full or the prompt exceeds the context window.
+    std::future<ServeResult> submit(const std::string& prompt,
+                                    std::size_t max_new_tokens);
+
+    // One batched token step: admit queued requests into free slots, advance
+    // every active session by one token through a single weight walk, retire
+    // finished sessions. Returns true while work remains (active or queued).
+    bool step();
+
+    // Drives step() until queue and batch are both empty.
+    void run_until_idle();
+
+    [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t active_sessions() const noexcept { return n_active_; }
+    [[nodiscard]] std::size_t queued_requests() const { return queue_.size(); }
+    [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+    [[nodiscard]] const model::ByteTokenizer& tokenizer() const noexcept {
+        return tokenizer_;
+    }
+
+private:
+    void admit();
+    void retire(SessionState& s, bool eos, bool ctx_limit);
+
+    ServeOptions opts_;
+    model::ByteTokenizer tokenizer_;
+    model::ReferenceEngine engine_;
+    RequestQueue queue_;
+    std::vector<std::optional<SessionState>> slots_;  // index = engine slot
+    std::size_t n_active_ = 0;
+    std::atomic<std::uint64_t> next_id_{1};
+    ServeStats stats_;
+
+    // Step scratch (reused, no per-step allocation).
+    std::vector<std::int32_t> feed_tokens_;
+    std::vector<std::size_t> feed_slots_;
+};
+
+}  // namespace efld::serve

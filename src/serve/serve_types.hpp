@@ -1,0 +1,56 @@
+// Shared value types of the serve subsystem: what a caller submits, what a
+// request resolves to, and the counters that expose the GEMV→GEMM
+// amortization (decode is weight-bound, so weight walks per generated token
+// is THE serving efficiency metric — 1.0 at batch 1, approaching 1/batch as
+// sessions overlap).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace efld::serve {
+
+// Resolution of one submitted request.
+struct ServeResult {
+    std::uint64_t id = 0;
+    std::string text;                     // decoded generated tokens
+    std::vector<std::int32_t> tokens;     // generated ids (incl. EOS if hit)
+    std::size_t prompt_tokens = 0;        // prompt length after tokenization
+    bool hit_eos = false;                 // stopped on the EOS token
+    bool hit_context_limit = false;       // stopped by the KV reservation
+};
+
+// A tokenized request waiting for a free session slot.
+struct PendingRequest {
+    std::uint64_t id = 0;
+    std::vector<std::int32_t> prompt;     // tokenized, BOS included
+    std::size_t max_new_tokens = 0;
+    std::promise<ServeResult> promise;
+};
+
+// Aggregate engine counters since construction. `steps` counts batched
+// decode_batch calls — each is exactly one walk of the quantized weights,
+// regardless of how many sessions rode it.
+struct ServeStats {
+    std::size_t steps = 0;               // weight walks
+    std::size_t lane_steps = 0;          // sum of batch sizes over steps
+    std::size_t prompt_tokens = 0;       // prefill tokens fed
+    std::size_t generated_tokens = 0;    // sampled tokens
+    std::size_t requests_completed = 0;
+    std::size_t peak_batch = 0;
+
+    [[nodiscard]] double weight_walks_per_token() const noexcept {
+        return generated_tokens > 0
+                   ? static_cast<double>(steps) / static_cast<double>(generated_tokens)
+                   : 0.0;
+    }
+    [[nodiscard]] double mean_batch_occupancy() const noexcept {
+        return steps > 0
+                   ? static_cast<double>(lane_steps) / static_cast<double>(steps)
+                   : 0.0;
+    }
+};
+
+}  // namespace efld::serve

@@ -1,0 +1,55 @@
+// Per-session bookkeeping for one in-flight request.
+//
+// A session occupies one ReferenceEngine slot from admission to retirement.
+// Its token feed is a single logical stream: first the prompt ids (prefill,
+// riding the same batched weight walks as everyone else's decode), then the
+// tokens its own sampler picked. The session is therefore indistinguishable
+// — token for token — from a solo run of the same prompt, which is what the
+// continuous-batching parity tests assert.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "model/sampler.hpp"
+#include "serve/serve_types.hpp"
+
+namespace efld::serve {
+
+struct SessionState {
+    SessionState(PendingRequest&& req, const model::SamplerConfig& sampler_cfg,
+                 std::size_t slot_index)
+        : id(req.id),
+          slot(slot_index),
+          prompt(std::move(req.prompt)),
+          max_new_tokens(req.max_new_tokens),
+          sampler(sampler_cfg),
+          promise(std::move(req.promise)) {}
+
+    std::uint64_t id = 0;
+    std::size_t slot = 0;
+    std::vector<std::int32_t> prompt;
+    std::size_t prompt_fed = 0;          // prompt ids already decoded
+    std::size_t max_new_tokens = 0;
+    std::vector<std::int32_t> generated;
+    model::Sampler sampler;              // fresh per request (seeded by config)
+    std::promise<ServeResult> promise;
+    std::int32_t pending_token = -1;     // sampled, not yet fed back
+
+    // Next token to feed this step: remaining prompt first, then the token
+    // sampled last step.
+    [[nodiscard]] std::int32_t next_feed() const noexcept {
+        return prompt_fed < prompt.size()
+                   ? prompt[prompt_fed]
+                   : pending_token;
+    }
+    // Whether this step's logits row is samplable (true once the whole prompt
+    // has been fed — i.e. the fed token was the last prompt id or a
+    // generated one).
+    [[nodiscard]] bool sampling_after_feed() const noexcept {
+        return prompt_fed + 1 >= prompt.size();
+    }
+};
+
+}  // namespace efld::serve

@@ -1,0 +1,225 @@
+// Batched multi-session decode parity: decode_batch of N sessions must be
+// bit-for-bit identical to N independent single-session decode runs, for
+// every batch size, thread count, and weight storage (8-bit codes and the
+// packed-4bit bus stream).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "model/reference_engine.hpp"
+
+namespace efld::model {
+namespace {
+
+const ModelConfig& gqa_cfg() {
+    static const ModelConfig cfg = [] {
+        ModelConfig c = ModelConfig::micro_256();
+        c.name = "micro-gqa";
+        c.n_heads = 4;
+        c.n_kv_heads = 2;  // exercise the per-(lane, KV-head) task path
+        return c;
+    }();
+    return cfg;
+}
+
+const QuantizedModelWeights& weights_w4() {
+    static const QuantizedModelWeights qw = QuantizedModelWeights::quantize(
+        ModelWeights::synthetic(gqa_cfg(), 42), quant::GroupQuantConfig{});
+    return qw;
+}
+
+const QuantizedModelWeights& weights_w8() {
+    static const QuantizedModelWeights qw = [] {
+        quant::GroupQuantConfig qc;
+        qc.bits = 8;
+        return QuantizedModelWeights::quantize(ModelWeights::synthetic(gqa_cfg(), 42), qc);
+    }();
+    return qw;
+}
+
+// Deterministic distinct token stream for session s.
+std::int32_t stream_token(std::size_t s, std::size_t step) {
+    const auto vocab = static_cast<std::int32_t>(gqa_cfg().vocab_size);
+    return static_cast<std::int32_t>((7 * s + 13 * step + 1) % vocab);
+}
+
+// Runs `steps` batched decode steps over `batch` sessions and compares every
+// logits row against an independent single-session engine fed the same
+// stream.
+void expect_batch_matches_solo(const QuantizedModelWeights& qw, EngineOptions opts,
+                               std::size_t batch, std::size_t steps) {
+    opts.max_batch = batch;
+    ReferenceEngine batched(qw, opts);
+
+    EngineOptions solo_opts = opts;
+    solo_opts.max_batch = 1;
+
+    std::vector<std::vector<std::vector<float>>> want(batch);  // [s][step][vocab]
+    for (std::size_t s = 0; s < batch; ++s) {
+        ReferenceEngine solo(qw, solo_opts);
+        for (std::size_t i = 0; i < steps; ++i) {
+            want[s].push_back(solo.forward(stream_token(s, i)));
+        }
+    }
+
+    std::vector<std::int32_t> tokens(batch);
+    std::vector<std::size_t> slots(batch);
+    const std::size_t vocab = qw.config.vocab_size;
+    for (std::size_t i = 0; i < steps; ++i) {
+        for (std::size_t s = 0; s < batch; ++s) {
+            tokens[s] = stream_token(s, i);
+            slots[s] = s;
+        }
+        const std::span<const float> logits = batched.decode_batch(tokens, slots);
+        ASSERT_EQ(logits.size(), batch * vocab);
+        for (std::size_t s = 0; s < batch; ++s) {
+            const std::vector<float> got(logits.begin() + s * vocab,
+                                         logits.begin() + (s + 1) * vocab);
+            ASSERT_EQ(got, want[s][i]) << "session " << s << " step " << i;
+        }
+    }
+}
+
+TEST(EngineBatch, MatchesIndependentDecodes8BitWeights) {
+    for (const std::size_t batch : {1u, 2u, 4u, 8u}) {
+        for (const std::size_t threads : {1u, 4u}) {
+            expect_batch_matches_solo(
+                weights_w8(), EngineOptions{.use_kv8 = true, .threads = threads},
+                batch, 3);
+        }
+    }
+}
+
+TEST(EngineBatch, MatchesIndependentDecodesPacked4BitWeights) {
+    for (const std::size_t batch : {1u, 2u, 4u, 8u}) {
+        for (const std::size_t threads : {1u, 4u}) {
+            expect_batch_matches_solo(
+                weights_w4(),
+                EngineOptions{.use_kv8 = true, .threads = threads, .packed_weights = true},
+                batch, 3);
+        }
+    }
+}
+
+TEST(EngineBatch, PackedWalkIdenticalToByteCodeWalk) {
+    // The packed 4-bit bus stream and the byte-per-code storage follow the
+    // same accumulation contract, so whole-engine logits agree bit-for-bit.
+    ReferenceEngine bytes(weights_w4(), EngineOptions{.use_kv8 = true});
+    ReferenceEngine packed(weights_w4(),
+                           EngineOptions{.use_kv8 = true, .packed_weights = true});
+    for (const std::int32_t t : {1, 7, 30, 2, 99}) {
+        EXPECT_EQ(bytes.forward(t), packed.forward(t)) << "token " << t;
+    }
+}
+
+TEST(EngineBatch, StaggeredPositionsStayBitExact) {
+    // Sessions at different context lengths batch together: prefill slot 0 by
+    // 5 tokens and slot 1 by 2, then decode both in one batch. This is the
+    // token-boundary join continuous batching relies on.
+    EngineOptions opts{.use_kv8 = true, .max_batch = 2};
+    ReferenceEngine batched(weights_w4(), opts);
+
+    ReferenceEngine solo_a(weights_w4(), EngineOptions{.use_kv8 = true});
+    ReferenceEngine solo_b(weights_w4(), EngineOptions{.use_kv8 = true});
+
+    const std::vector<std::int32_t> warm_a{11, 12, 13, 14, 15};
+    const std::vector<std::int32_t> warm_b{21, 22};
+    for (const auto t : warm_a) {
+        const std::size_t s = 0;
+        (void)batched.decode_batch(std::span<const std::int32_t>(&t, 1),
+                                   std::span<const std::size_t>(&s, 1));
+        (void)solo_a.decode(t);
+    }
+    for (const auto t : warm_b) {
+        const std::size_t s = 1;
+        (void)batched.decode_batch(std::span<const std::int32_t>(&t, 1),
+                                   std::span<const std::size_t>(&s, 1));
+        (void)solo_b.decode(t);
+    }
+    EXPECT_EQ(batched.position(0), 5u);
+    EXPECT_EQ(batched.position(1), 2u);
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        const std::vector<std::int32_t> tokens{static_cast<std::int32_t>(40 + i),
+                                               static_cast<std::int32_t>(60 + i)};
+        const std::vector<std::size_t> slots{0, 1};
+        const std::span<const float> logits = batched.decode_batch(tokens, slots);
+        const std::vector<float> wa = solo_a.forward(tokens[0]);
+        const std::vector<float> wb = solo_b.forward(tokens[1]);
+        const std::size_t vocab = gqa_cfg().vocab_size;
+        EXPECT_TRUE(std::equal(wa.begin(), wa.end(), logits.begin())) << "step " << i;
+        EXPECT_TRUE(std::equal(wb.begin(), wb.end(), logits.begin() + vocab))
+            << "step " << i;
+    }
+}
+
+TEST(EngineBatch, SubsetAndReorderedSlots) {
+    // A batch may name any distinct subset of slots in any order; each row
+    // lines up with its slot, not with slot numbering.
+    EngineOptions opts{.use_kv8 = true, .max_batch = 4};
+    ReferenceEngine eng(weights_w4(), opts);
+    ReferenceEngine solo2(weights_w4(), EngineOptions{.use_kv8 = true});
+    ReferenceEngine solo0(weights_w4(), EngineOptions{.use_kv8 = true});
+
+    const std::vector<std::int32_t> tokens{5, 9};
+    const std::vector<std::size_t> slots{2, 0};
+    const std::span<const float> logits = eng.decode_batch(tokens, slots);
+    const std::vector<float> w2 = solo2.forward(5);
+    const std::vector<float> w0 = solo0.forward(9);
+    const std::size_t vocab = gqa_cfg().vocab_size;
+    EXPECT_TRUE(std::equal(w2.begin(), w2.end(), logits.begin()));
+    EXPECT_TRUE(std::equal(w0.begin(), w0.end(), logits.begin() + vocab));
+    EXPECT_EQ(eng.position(2), 1u);
+    EXPECT_EQ(eng.position(0), 1u);
+    EXPECT_EQ(eng.position(1), 0u);
+}
+
+TEST(EngineBatch, ResetSessionClearsOneSlotOnly) {
+    EngineOptions opts{.use_kv8 = true, .max_batch = 2};
+    ReferenceEngine eng(weights_w4(), opts);
+    const std::vector<std::int32_t> tokens{3, 4};
+    const std::vector<std::size_t> slots{0, 1};
+    (void)eng.decode_batch(tokens, slots);
+    eng.reset_session(1);
+    EXPECT_EQ(eng.position(0), 1u);
+    EXPECT_EQ(eng.position(1), 0u);
+}
+
+TEST(EngineBatch, FloatWeightBatchMatchesSolo) {
+    static const ModelWeights fw = ModelWeights::synthetic(gqa_cfg(), 17);
+    ReferenceEngine batched(fw, EngineOptions{.threads = 2, .max_batch = 3});
+    std::vector<std::vector<float>> want;
+    for (std::size_t s = 0; s < 3; ++s) {
+        ReferenceEngine solo(fw, EngineOptions{.threads = 2});
+        want.push_back(solo.forward(stream_token(s, 0)));
+    }
+    std::vector<std::int32_t> tokens{stream_token(0, 0), stream_token(1, 0),
+                                     stream_token(2, 0)};
+    std::vector<std::size_t> slots{0, 1, 2};
+    const std::span<const float> logits = batched.decode_batch(tokens, slots);
+    const std::size_t vocab = gqa_cfg().vocab_size;
+    for (std::size_t s = 0; s < 3; ++s) {
+        EXPECT_TRUE(std::equal(want[s].begin(), want[s].end(),
+                               logits.begin() + s * vocab))
+            << "lane " << s;
+    }
+}
+
+TEST(EngineBatch, RejectsBadBatches) {
+    ReferenceEngine eng(weights_w4(), EngineOptions{.max_batch = 2});
+    const std::vector<std::int32_t> t2{1, 2};
+    const std::vector<std::size_t> dup{0, 0};
+    EXPECT_THROW((void)eng.decode_batch(t2, dup), efld::Error);
+    const std::vector<std::size_t> oob{0, 2};
+    EXPECT_THROW((void)eng.decode_batch(t2, oob), efld::Error);
+    const std::vector<std::int32_t> t3{1, 2, 3};
+    const std::vector<std::size_t> s3{0, 1, 2};
+    EXPECT_THROW((void)eng.decode_batch(t3, s3), efld::Error);
+    EXPECT_THROW((void)eng.decode_batch(std::span<const std::int32_t>(),
+                                        std::span<const std::size_t>()),
+                 efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::model

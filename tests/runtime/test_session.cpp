@@ -1,6 +1,7 @@
 // End-to-end inference session: prompt in, text + simulated rate out.
 #include <gtest/gtest.h>
 
+#include "accel/cycle_model.hpp"
 #include "runtime/session.hpp"
 
 namespace efld::runtime {
@@ -30,6 +31,30 @@ TEST(Session, ReportsSimulatedRate) {
     // micro-256 is ~1000x smaller than 7B: simulated rate must be far above
     // the 7B's ~5 token/s.
     EXPECT_GT(g.simulated_tokens_per_s(), 100.0);
+}
+
+TEST(Session, SimulatedNsBillsExactlyTheDecodeSteps) {
+    // Timing attribution regression: each generated token is billed the
+    // decode step that consumes it. simulated_ns must equal the sum of the
+    // cycle model's step latencies at positions prompt_len .. prompt_len+N-1
+    // — the prefill steps are never charged (the old code billed the first
+    // token the last prefill step and dropped the final decode step).
+    const model::ModelConfig cfg = model::ModelConfig::micro_256();
+    auto s = InferenceSession::synthetic(cfg, 4, greedy_opts());
+    const std::string prompt = "abc";
+    const std::size_t n = 5;
+    const GenerationOutput g = s.generate(prompt, n);
+    ASSERT_EQ(g.tokens.size(), n);  // run must not hit EOS for this check
+    for (const std::int32_t t : g.tokens) ASSERT_NE(t, model::ByteTokenizer::kEos);
+
+    const std::size_t prompt_len = s.tokenizer().encode(prompt).size();
+    accel::DecodeCycleModel sim(cfg, model::QuantScheme::w4a16_kv8(),
+                                accel::AccelConfig{});
+    double want = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        want += sim.token_timing(prompt_len + i).total_ns;
+    }
+    EXPECT_DOUBLE_EQ(g.simulated_ns, want);
 }
 
 TEST(Session, ConsoleCollectsTranscript) {

@@ -1,0 +1,224 @@
+// Continuous-batching serve engine: sessions joining and retiring mid-stream
+// must produce exactly the tokens a solo run of each request would, while
+// the stats expose the GEMV→GEMM weight-walk amortization.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "model/reference_engine.hpp"
+#include "model/sampler.hpp"
+#include "model/tokenizer.hpp"
+#include "runtime/serve.hpp"
+
+namespace efld::serve {
+namespace {
+
+model::ModelConfig test_cfg() { return model::ModelConfig::micro_256(); }
+
+// Replicates one request's generation with a dedicated single-session engine
+// — the ground truth the batched serve loop must match token for token.
+std::vector<std::int32_t> solo_generate(const model::QuantizedModelWeights& qw,
+                                        const ServeOptions& opts,
+                                        const std::string& prompt,
+                                        std::size_t max_new) {
+    model::ByteTokenizer tok;
+    const std::vector<std::int32_t> ids = tok.encode(prompt);
+    model::EngineOptions eo;
+    eo.use_kv8 = opts.use_kv8;
+    eo.kv_bits = opts.kv_bits;
+    eo.threads = opts.threads;
+    eo.packed_weights = opts.packed_weights;
+    model::ReferenceEngine eng(qw, eo);
+    model::Sampler sampler(opts.sampler);
+
+    std::span<const float> logits;
+    for (const std::int32_t t : ids) logits = eng.decode(t);
+    std::vector<std::int32_t> gen;
+    while (true) {
+        const std::int32_t next = sampler.sample(logits);
+        gen.push_back(next);
+        if (next == model::ByteTokenizer::kEos) break;
+        if (gen.size() >= max_new) break;
+        if (eng.position() >= qw.config.max_seq_len) break;
+        logits = eng.decode(next);
+    }
+    return gen;
+}
+
+struct Submission {
+    std::string prompt;
+    std::size_t max_new;
+};
+
+const std::vector<Submission>& mixed_submissions() {
+    static const std::vector<Submission> subs{
+        {"hello", 6}, {"a much longer prompt string", 3}, {"x", 9},
+        {"medium one", 5}, {"zz", 2}, {"continuation test", 7},
+    };
+    return subs;
+}
+
+TEST(ServeEngine, ContinuousBatchingMatchesSoloRuns) {
+    // Different prompt lengths and max tokens: sessions join and retire
+    // mid-stream, prompts prefill inside mixed batches — tokens must still be
+    // exactly the solo-run tokens.
+    ServeOptions opts;
+    opts.max_batch = 3;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 42, opts);
+
+    std::vector<std::future<ServeResult>> futs;
+    for (const Submission& s : mixed_submissions()) {
+        futs.push_back(d.engine->submit(s.prompt, s.max_new));
+    }
+    d.engine->run_until_idle();
+
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        const ServeResult r = futs[i].get();
+        const std::vector<std::int32_t> want = solo_generate(
+            *d.weights, opts, mixed_submissions()[i].prompt, mixed_submissions()[i].max_new);
+        EXPECT_EQ(r.tokens, want) << "request " << i;
+        EXPECT_FALSE(r.tokens.empty()) << "request " << i;
+    }
+    EXPECT_EQ(d.engine->stats().requests_completed, futs.size());
+    EXPECT_EQ(d.engine->stats().peak_batch, 3u);
+    EXPECT_EQ(d.engine->active_sessions(), 0u);
+    EXPECT_EQ(d.engine->queued_requests(), 0u);
+}
+
+TEST(ServeEngine, BatchSizeNeverChangesTokens) {
+    // The same submissions through max_batch 1, 2, and 4 give identical
+    // per-request tokens: batching changes throughput, never results.
+    std::vector<std::vector<std::vector<std::int32_t>>> all;
+    for (const std::size_t mb : {1u, 2u, 4u}) {
+        ServeOptions opts;
+        opts.max_batch = mb;
+        runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 42, opts);
+        std::vector<std::future<ServeResult>> futs;
+        for (const Submission& s : mixed_submissions()) {
+            futs.push_back(d.engine->submit(s.prompt, s.max_new));
+        }
+        d.engine->run_until_idle();
+        std::vector<std::vector<std::int32_t>> tokens;
+        for (auto& f : futs) tokens.push_back(f.get().tokens);
+        all.push_back(std::move(tokens));
+    }
+    EXPECT_EQ(all[0], all[1]);
+    EXPECT_EQ(all[0], all[2]);
+}
+
+TEST(ServeEngine, PackedWeightServingMatchesByteCodes) {
+    ServeOptions packed;
+    packed.max_batch = 2;
+    packed.packed_weights = true;
+    runtime::ServeDeployment dp = runtime::synthetic_serve(test_cfg(), 7, packed);
+
+    ServeOptions plain;
+    plain.max_batch = 2;
+    runtime::ServeDeployment db = runtime::synthetic_serve(test_cfg(), 7, plain);
+
+    auto fp = dp.engine->submit("packed parity", 5);
+    auto fb = db.engine->submit("packed parity", 5);
+    dp.engine->run_until_idle();
+    db.engine->run_until_idle();
+    EXPECT_EQ(fp.get().tokens, fb.get().tokens);
+}
+
+TEST(ServeEngine, StatsExposeWeightWalkAmortization) {
+    // Four identical fully-overlapped sessions: the weight stream is walked
+    // (prompt + max_new - 1) times but 4 * max_new tokens come out, so walks
+    // per token drops well below the single-stream 1.0.
+    ServeOptions opts;
+    opts.max_batch = 4;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 11, opts);
+    std::vector<std::future<ServeResult>> futs;
+    for (int i = 0; i < 4; ++i) futs.push_back(d.engine->submit("same prompt", 8));
+    d.engine->run_until_idle();
+    for (auto& f : futs) (void)f.get();
+
+    const ServeStats& st = d.engine->stats();
+    EXPECT_EQ(st.requests_completed, 4u);
+    EXPECT_EQ(st.peak_batch, 4u);
+    EXPECT_GT(st.generated_tokens, 0u);
+    EXPECT_LT(st.weight_walks_per_token(), 1.0);
+    EXPECT_GT(st.mean_batch_occupancy(), 1.0);
+    // Every lane-step is accounted to either prefill or a sampled token feed.
+    EXPECT_EQ(st.lane_steps, st.prompt_tokens + st.generated_tokens -
+                                 st.requests_completed);
+}
+
+TEST(ServeEngine, FutureCarriesTextAndMetadata) {
+    ServeOptions opts;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 13, opts);
+    auto fut = d.engine->submit("abc", 4);
+    d.engine->run_until_idle();
+    const ServeResult r = fut.get();
+    model::ByteTokenizer tok;
+    EXPECT_EQ(r.text, tok.decode(r.tokens));
+    EXPECT_EQ(r.prompt_tokens, tok.encode("abc").size());
+    EXPECT_GE(r.id, 1u);
+}
+
+TEST(ServeEngine, QueueFullRejectsSubmit) {
+    ServeOptions opts;
+    opts.max_batch = 1;
+    opts.max_queue = 1;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 17, opts);
+    auto f1 = d.engine->submit("first", 2);
+    EXPECT_THROW((void)d.engine->submit("second", 2), efld::Error);
+    d.engine->run_until_idle();
+    EXPECT_EQ(f1.get().tokens.size(), 2u);
+}
+
+TEST(ServeEngine, ZeroMaxTokensResolvesImmediately) {
+    ServeOptions opts;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 19, opts);
+    auto fut = d.engine->submit("noop", 0);
+    const ServeResult r = fut.get();  // resolved without any stepping
+    EXPECT_TRUE(r.tokens.empty());
+    EXPECT_EQ(d.engine->stats().steps, 0u);
+}
+
+TEST(ServeEngine, ContextLimitRetiresSessionLikeSolo) {
+    model::ModelConfig cfg = test_cfg();
+    cfg.max_seq_len = 8;
+    ServeOptions opts;
+    opts.max_batch = 2;
+    runtime::ServeDeployment d = runtime::synthetic_serve(cfg, 23, opts);
+    auto fut = d.engine->submit("abcd", 100);  // 5 prompt ids + headroom of 3
+    d.engine->run_until_idle();
+    const ServeResult r = fut.get();
+    const std::vector<std::int32_t> want = solo_generate(*d.weights, opts, "abcd", 100);
+    EXPECT_EQ(r.tokens, want);
+    if (!r.hit_eos) EXPECT_TRUE(r.hit_context_limit);
+    EXPECT_LE(r.tokens.size(), 4u);
+}
+
+TEST(ServeEngine, OverlongPromptRejected) {
+    model::ModelConfig cfg = test_cfg();
+    cfg.max_seq_len = 4;
+    runtime::ServeDeployment d = runtime::synthetic_serve(cfg, 29, ServeOptions{});
+    EXPECT_THROW((void)d.engine->submit("way too long prompt", 1), efld::Error);
+}
+
+TEST(ServeEngine, LateSubmissionsJoinARunningBatch) {
+    // Drive the engine manually: start one long request, then submit more
+    // mid-stream and confirm they join at a token boundary and still match
+    // their solo runs.
+    ServeOptions opts;
+    opts.max_batch = 2;
+    runtime::ServeDeployment d = runtime::synthetic_serve(test_cfg(), 31, opts);
+    auto f0 = d.engine->submit("long running request", 10);
+    for (int i = 0; i < 3 && d.engine->step(); ++i) {}
+    EXPECT_EQ(d.engine->active_sessions(), 1u);
+    auto f1 = d.engine->submit("joiner", 4);
+    d.engine->run_until_idle();
+    EXPECT_EQ(f0.get().tokens, solo_generate(*d.weights, opts, "long running request", 10));
+    EXPECT_EQ(f1.get().tokens, solo_generate(*d.weights, opts, "joiner", 4));
+    EXPECT_EQ(d.engine->stats().peak_batch, 2u);
+}
+
+}  // namespace
+}  // namespace efld::serve
