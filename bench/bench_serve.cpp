@@ -1,11 +1,19 @@
-// Serving throughput vs. batch size: the GEMV→GEMM amortization measured.
+// Serving throughput vs. batch size: the GEMV→GEMM amortization measured on
+// either DecodeBackend.
 //
 // Decode is weight-bound — one full weight walk per token per stream — so a
 // single stream is capped by bandwidth / weight-bytes. The serve engine
 // amortizes each walk across every active session; this bench sweeps
 // max_batch {1, 2, 4, 8} over the same request load and reports tokens/s and
-// weight-walks-per-token (1.0 single-stream, → 1/batch when fully
-// overlapped), alongside the single-stream fused number for context.
+// weight-walks-per-token (1.0+ single-stream, → 1/batch when fully
+// overlapped).
+//
+//   --backend host   (default) wall-clock throughput of the skinny-GEMM host
+//                    fast path.
+//   --backend accel  the cycle-priced KV260 twin: `sim tok/s` is the
+//                    predicted *device* serving throughput for a batched step
+//                    (weights streamed once, KV per session); wall time is
+//                    simulation overhead and is reported but not the metric.
 //
 // `--json [path]` emits a BENCH_serve.json perf record; archive it with
 // scripts/bench_archive.sh so the serving-throughput trajectory stays
@@ -25,17 +33,20 @@ namespace {
 
 struct BatchResult {
     std::size_t max_batch = 0;
-    double tok_s = 0.0;
+    double tok_s = 0.0;        // wall-clock
+    double sim_tok_s = 0.0;    // cycle-model (accel backend; 0 for host)
     double walks_per_token = 0.0;
     double occupancy = 0.0;
     std::vector<std::vector<std::int32_t>> tokens;  // parity fingerprint
 };
 
-BatchResult run_serve(const model::QuantizedModelWeights& qw, std::size_t max_batch,
+BatchResult run_serve(const model::QuantizedModelWeights& qw,
+                      engine::BackendKind backend, std::size_t max_batch,
                       std::size_t requests, std::size_t max_new,
                       std::size_t threads) {
     serve::ServeOptions opts;
     opts.sampler.temperature = 0.0f;  // greedy: deterministic across batch sizes
+    opts.backend = backend;
     opts.max_batch = max_batch;
     opts.max_queue = requests;
     opts.threads = threads;
@@ -54,6 +65,7 @@ BatchResult run_serve(const model::QuantizedModelWeights& qw, std::size_t max_ba
     BatchResult res;
     res.max_batch = max_batch;
     res.tok_s = static_cast<double>(eng.stats().generated_tokens) / s;
+    res.sim_tok_s = eng.stats().simulated_tokens_per_s();
     res.walks_per_token = eng.stats().weight_walks_per_token();
     res.occupancy = eng.stats().mean_batch_occupancy();
     for (auto& f : futs) res.tokens.push_back(f.get().tokens);
@@ -64,6 +76,7 @@ BatchResult run_serve(const model::QuantizedModelWeights& qw, std::size_t max_ba
 
 int main(int argc, char** argv) {
     std::string model_name = "micro";
+    std::string backend_name = "host";
     std::size_t max_new = 24;
     std::size_t requests = 8;
     std::size_t threads = 1;
@@ -72,6 +85,8 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
             model_name = argv[++i];
+        } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            backend_name = argv[++i];
         } else if (std::strcmp(argv[i], "--tokens") == 0 && i + 1 < argc) {
             max_new = std::max<std::size_t>(1, std::stoul(argv[++i]));
         } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
@@ -83,40 +98,49 @@ int main(int argc, char** argv) {
             if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--model micro|tiny] [--tokens N] [--requests R] "
-                         "[--threads T] [--json [path]]\n",
+                         "usage: %s [--model micro|tiny] [--backend host|accel] "
+                         "[--tokens N] [--requests R] [--threads T] [--json [path]]\n",
                          argv[0]);
             return 2;
         }
     }
+    const engine::BackendKind backend = engine::backend_kind_from_string(backend_name);
+    const bool accel = backend == engine::BackendKind::kAccel;
 
     const model::ModelConfig cfg =
         model_name == "tiny" ? model::ModelConfig::tiny_512() : model::ModelConfig::micro_256();
-    std::printf("=== Serve throughput vs batch: %s, W4 group-128, KV8, %zu thread(s) ===\n",
-                cfg.name.c_str(), threads);
+    std::printf(
+        "=== Serve throughput vs batch: %s, %s backend, W4 group-128, KV8, %zu "
+        "thread(s) ===\n",
+        cfg.name.c_str(), backend_name.c_str(), threads);
     std::printf("(%zu requests x %zu tokens, continuous batching)\n\n", requests, max_new);
 
     const model::ModelWeights fw = model::ModelWeights::synthetic(cfg, 42);
     const model::QuantizedModelWeights qw =
         model::QuantizedModelWeights::quantize(fw, quant::GroupQuantConfig{});
 
-    std::printf("%-10s | %10s | %8s | %12s | %10s\n", "max_batch", "token/s", "speedup",
-                "walks/token", "occupancy");
-    std::printf("------------------------------------------------------------\n");
+    std::printf("%-10s | %10s | %10s | %8s | %12s | %10s\n", "max_batch", "token/s",
+                "sim tok/s", "speedup", "walks/token", "occupancy");
+    std::printf("-------------------------------------------------------------------------\n");
     std::vector<BatchResult> results;
     bool monotonic = true;
     bool parity = true;
+    // The metric the sweep must improve: simulated device tokens/s for the
+    // accel backend, wall tokens/s for the host.
+    auto metric = [accel](const BatchResult& r) { return accel ? r.sim_tok_s : r.tok_s; };
     for (const std::size_t b : {1u, 2u, 4u, 8u}) {
-        results.push_back(run_serve(qw, b, requests, max_new, threads));
+        results.push_back(run_serve(qw, backend, b, requests, max_new, threads));
         const BatchResult& r = results.back();
-        std::printf("%-10zu | %10.2f | %7.2fx | %12.3f | %10.2f\n", r.max_batch, r.tok_s,
-                    r.tok_s / results.front().tok_s, r.walks_per_token, r.occupancy);
-        if (r.tok_s < results[results.size() >= 2 ? results.size() - 2 : 0].tok_s) {
+        std::printf("%-10zu | %10.2f | %10.2f | %7.2fx | %12.3f | %10.2f\n", r.max_batch,
+                    r.tok_s, r.sim_tok_s, metric(r) / metric(results.front()),
+                    r.walks_per_token, r.occupancy);
+        if (results.size() >= 2 && metric(r) < metric(results[results.size() - 2])) {
             monotonic = false;
         }
         if (r.tokens != results.front().tokens) parity = false;
     }
-    std::printf("\ntokens/s monotonically increasing with batch: %s\n",
+    std::printf("\n%s monotonically increasing with batch: %s\n",
+                accel ? "simulated tokens/s" : "tokens/s",
                 monotonic ? "yes" : "NO (regression!)");
     if (!parity) {
         std::printf("WARNING: generated tokens diverged across batch sizes!\n");
@@ -127,15 +151,19 @@ int main(int argc, char** argv) {
         out << "{\n"
             << "  \"bench\": \"serve\",\n"
             << "  \"model\": \"" << cfg.name << "\",\n"
+            << "  \"backend\": \"" << backend_name << "\",\n"
             << "  \"requests\": " << requests << ",\n"
             << "  \"max_new_tokens\": " << max_new << ",\n"
             << "  \"threads\": " << threads << ",\n"
             << "  \"single_stream_tok_s\": " << results.front().tok_s << ",\n"
+            << "  \"single_stream_simulated_tok_s\": " << results.front().sim_tok_s
+            << ",\n"
             << "  \"monotonic\": " << (monotonic ? "true" : "false") << ",\n"
             << "  \"batch\": [\n";
         for (std::size_t i = 0; i < results.size(); ++i) {
             const BatchResult& r = results[i];
             out << "    {\"max_batch\": " << r.max_batch << ", \"tok_s\": " << r.tok_s
+                << ", \"simulated_tok_s\": " << r.sim_tok_s
                 << ", \"weight_walks_per_token\": " << r.walks_per_token
                 << ", \"mean_batch_occupancy\": " << r.occupancy << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";
@@ -143,5 +171,8 @@ int main(int argc, char** argv) {
         out << "  ]\n}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
-    return parity ? 0 : 1;
+    // Parity is a correctness gate on both backends. Monotonicity gates the
+    // exit code only for the deterministic cycle-model metric — host
+    // wall-clock can wobble with machine load, which is a report, not a bug.
+    return (parity && (monotonic || !accel)) ? 0 : 1;
 }

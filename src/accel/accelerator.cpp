@@ -1,6 +1,8 @@
 #include "accel/accelerator.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/check.hpp"
 
@@ -12,29 +14,66 @@ Accelerator::Accelerator(const PackedModel& m, AcceleratorOptions opts)
       timing_(m.config, model::QuantScheme::w4a16_kv8(), opts.accel, opts.mem),
       rope_(m.config.rope_theta),
       softmax_(exp_),
-      silu_(exp_),
-      sz_fifo_(m.config.n_layers, m.config.n_kv_heads),
-      k_cache_(m.config.n_layers * m.config.max_seq_len * m.config.n_kv_heads),
-      v_cache_(k_cache_.size()) {}
-
-void Accelerator::reset() {
-    pos_ = 0;
-    sz_fifo_ = quant::ScaleZeroFifo(model_->config.n_layers, model_->config.n_kv_heads);
-    for (auto& e : k_cache_) e = KvEntry{};
-    for (auto& e : v_cache_) e = KvEntry{};
+      silu_(exp_) {
+    if (opts_.max_batch == 0) {
+        throw std::invalid_argument("AcceleratorOptions: max_batch must be >= 1");
+    }
+    const std::size_t mb = opts_.max_batch;
+    sz_fifo_.reserve(mb);
+    for (std::size_t s = 0; s < mb; ++s) {
+        sz_fifo_.emplace_back(m.config.n_layers, m.config.n_kv_heads);
+    }
+    pos_.assign(mb, 0);
+    slots_ = engine::SlotLedger(mb);
+    k_cache_.resize(mb * m.config.n_layers * m.config.max_seq_len *
+                    m.config.n_kv_heads);
+    v_cache_.resize(k_cache_.size());
+    ctx_scratch_.reserve(mb);
 }
 
-std::size_t Accelerator::kv_slot(std::size_t layer, std::size_t token,
-                                 std::size_t kv_head) const noexcept {
-    return (layer * model_->config.max_seq_len + token) * model_->config.n_kv_heads +
+void Accelerator::reset_session(std::size_t slot) {
+    check(slot < opts_.max_batch, "Accelerator: slot out of range");
+    pos_[slot] = 0;
+    sz_fifo_[slot] =
+        quant::ScaleZeroFifo(model_->config.n_layers, model_->config.n_kv_heads);
+    const std::size_t per_session =
+        model_->config.n_layers * model_->config.max_seq_len * model_->config.n_kv_heads;
+    for (std::size_t i = slot * per_session; i < (slot + 1) * per_session; ++i) {
+        k_cache_[i] = KvEntry{};
+        v_cache_[i] = KvEntry{};
+    }
+}
+
+void Accelerator::reset() {
+    for (std::size_t s = 0; s < opts_.max_batch; ++s) reset_session(s);
+}
+
+std::size_t Accelerator::position(std::size_t slot) const {
+    check(slot < opts_.max_batch, "Accelerator: slot out of range");
+    return pos_[slot];
+}
+
+std::size_t Accelerator::reserve_slot() { return slots_.acquire(); }
+
+void Accelerator::release_slot(std::size_t slot) {
+    check(slots_.release(slot), "release_slot: slot out of range or not reserved");
+    reset_session(slot);
+}
+
+std::size_t Accelerator::kv_slot(std::size_t session, std::size_t layer,
+                                 std::size_t token, std::size_t kv_head) const noexcept {
+    return ((session * model_->config.n_layers + layer) * model_->config.max_seq_len +
+            token) *
+               model_->config.n_kv_heads +
            kv_head;
 }
 
-void Accelerator::attention(std::size_t layer, std::vector<Fp16>& x) {
+void Accelerator::attention(std::size_t layer, std::size_t slot, std::vector<Fp16>& x) {
     const model::ModelConfig& cfg = model_->config;
     const PackedLayer& lw = model_->layers[layer];
     const std::size_t hd = cfg.head_dim();
     const std::size_t heads_per_kv = cfg.n_heads / cfg.n_kv_heads;
+    const std::size_t pos = pos_[slot];
 
     // Layer-entry RMSNorm (square sum computed by the DOT engine side-path).
     std::vector<Fp16> xn(cfg.dim);
@@ -48,10 +87,10 @@ void Accelerator::attention(std::size_t layer, std::vector<Fp16>& x) {
 
     // On-the-fly RoPE.
     for (std::size_t h = 0; h < cfg.n_heads; ++h) {
-        rope_.run(std::span<Fp16>(q).subspan(h * hd, hd), pos_);
+        rope_.run(std::span<Fp16>(q).subspan(h * hd, hd), pos);
     }
     for (std::size_t h = 0; h < cfg.n_kv_heads; ++h) {
-        rope_.run(std::span<Fp16>(k).subspan(h * hd, hd), pos_);
+        rope_.run(std::span<Fp16>(k).subspan(h * hd, hd), pos);
     }
 
     // Online KV8 quantization; packs go through the Fig. 4B FIFO, codes
@@ -61,44 +100,44 @@ void Accelerator::attention(std::size_t layer, std::vector<Fp16>& x) {
         SpuQuant::Result qv = kv_quant_.run(std::span<const Fp16>(v).subspan(h * hd, hd));
         for (const std::uint8_t c : qk.codes) (void)s2p_.push_byte(c);
         for (const std::uint8_t c : qv.codes) (void)s2p_.push_byte(c);
-        (void)sz_fifo_.append(layer, h, false, pos_, qk.params);
-        (void)sz_fifo_.append(layer, h, true, pos_, qv.params);
-        k_cache_[kv_slot(layer, pos_, h)] = {std::move(qk.codes), qk.params};
-        v_cache_[kv_slot(layer, pos_, h)] = {std::move(qv.codes), qv.params};
+        (void)sz_fifo_[slot].append(layer, h, false, pos, qk.params);
+        (void)sz_fifo_[slot].append(layer, h, true, pos, qv.params);
+        k_cache_[kv_slot(slot, layer, pos, h)] = {std::move(qk.codes), qk.params};
+        v_cache_[kv_slot(slot, layer, pos, h)] = {std::move(qv.codes), qv.params};
     }
 
     // Head-wise attention: history from the quantized cache, the current
     // token's K/V used pre-quantization (they are still on chip — §V.A).
     const Fp16 inv_sqrt_d = Fp16::from_float(1.0f / std::sqrt(static_cast<float>(hd)));
     std::vector<Fp16> att_out(cfg.dim);
-    std::vector<Fp16> scores(pos_ + 1);
+    std::vector<Fp16> scores(pos + 1);
     for (std::size_t h = 0; h < cfg.n_heads; ++h) {
         const std::size_t kvh = h / heads_per_kv;
         const std::span<const Fp16> qh(q.data() + h * hd, hd);
 
-        for (std::size_t t = 0; t < pos_; ++t) {
-            const KvEntry& e = k_cache_[kv_slot(layer, t, kvh)];
+        for (std::size_t t = 0; t < pos; ++t) {
+            const KvEntry& e = k_cache_[kv_slot(slot, layer, t, kvh)];
             const std::vector<Fp16> kt = DequantUnit::run_kv(e.codes, e.params);
             scores[t] = DotEngine::dot(qh, kt) * inv_sqrt_d;
         }
-        scores[pos_] =
+        scores[pos] =
             DotEngine::dot(qh, std::span<const Fp16>(k).subspan(kvh * hd, hd)) *
             inv_sqrt_d;
 
-        std::vector<Fp16> probs(pos_ + 1);
+        std::vector<Fp16> probs(pos + 1);
         softmax_.run(scores, probs);
 
         // Scaled-dot accumulation of values (fp16 MACs, one value row at a
         // time as the history streams in).
         std::span<Fp16> out(att_out.data() + h * hd, hd);
         for (auto& o : out) o = Fp16::zero();
-        for (std::size_t t = 0; t < pos_; ++t) {
-            const KvEntry& e = v_cache_[kv_slot(layer, t, kvh)];
+        for (std::size_t t = 0; t < pos; ++t) {
+            const KvEntry& e = v_cache_[kv_slot(slot, layer, t, kvh)];
             const std::vector<Fp16> vt = DequantUnit::run_kv(e.codes, e.params);
             for (std::size_t i = 0; i < hd; ++i) out[i] = out[i] + probs[t] * vt[i];
         }
         for (std::size_t i = 0; i < hd; ++i) {
-            out[i] = out[i] + probs[pos_] * v[kvh * hd + i];
+            out[i] = out[i] + probs[pos] * v[kvh * hd + i];
         }
     }
 
@@ -125,11 +164,14 @@ void Accelerator::mlp(std::size_t layer, std::vector<Fp16>& x) {
     for (std::size_t i = 0; i < cfg.dim; ++i) x[i] = x[i] + down[i];
 }
 
-StepResult Accelerator::step(std::int32_t token) {
+void Accelerator::forward_slot(std::int32_t token, std::size_t slot,
+                               std::span<float> logits_out) {
     const model::ModelConfig& cfg = model_->config;
     check(token >= 0 && static_cast<std::uint64_t>(token) < cfg.vocab_size,
           "Accelerator: token out of range");
-    check(pos_ < cfg.max_seq_len, "Accelerator: KV reservation exhausted");
+    check(slot < opts_.max_batch, "Accelerator: slot out of range");
+    check(pos_[slot] < cfg.max_seq_len, "Accelerator: KV reservation exhausted");
+    check(logits_out.size() >= cfg.vocab_size, "Accelerator: logits_out too small");
 
     // Embedding row (fp16 in DDR).
     std::vector<Fp16> x(cfg.dim);
@@ -137,7 +179,7 @@ StepResult Accelerator::step(std::int32_t token) {
     for (std::size_t i = 0; i < cfg.dim; ++i) x[i] = model_->embedding[base + i];
 
     for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
-        attention(layer, x);
+        attention(layer, slot, x);
         mlp(layer, x);
     }
 
@@ -145,14 +187,54 @@ StepResult Accelerator::step(std::int32_t token) {
     rms_.run(x, model_->final_norm, cfg.rms_eps, xn, SpuRmsNorm::square_sum(x));
     std::vector<Fp16> logits_h(cfg.vocab_size);
     DotEngine::gemv(model_->lm_head.stream, cfg.vocab_size, cfg.dim, xn, logits_h);
-
-    StepResult r;
-    r.logits = to_float(logits_h);
-    if (opts_.collect_timing) {
-        r.timing = timing_.token_timing(pos_);
+    for (std::size_t i = 0; i < cfg.vocab_size; ++i) {
+        logits_out[i] = logits_h[i].to_float();
     }
-    ++pos_;
+    ++pos_[slot];
+}
+
+StepResult Accelerator::step(std::int32_t token) {
+    StepResult r;
+    r.logits.resize(model_->config.vocab_size);
+    const std::size_t ctx = pos_[0];
+    forward_slot(token, 0, r.logits);
+    if (opts_.collect_timing) {
+        r.timing = timing_.token_timing(ctx);
+    }
     return r;
+}
+
+void Accelerator::decode_batch(std::span<const std::int32_t> tokens,
+                               std::span<const std::size_t> slots,
+                               std::span<float> logits_out) {
+    const std::size_t nb = tokens.size();
+    const std::size_t vocab = model_->config.vocab_size;
+    check(nb >= 1, "decode_batch: empty batch");
+    check(nb == slots.size(), "decode_batch: tokens/slots size mismatch");
+    check(nb <= opts_.max_batch, "decode_batch: batch exceeds max_batch");
+    check(logits_out.size() >= nb * vocab, "decode_batch: logits_out too small");
+    for (std::size_t b = 0; b < nb; ++b) {
+        check(slots[b] < opts_.max_batch, "decode_batch: slot out of range");
+        for (std::size_t c = b + 1; c < nb; ++c) {
+            check(slots[b] != slots[c], "decode_batch: duplicate slot");
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ctx_scratch_.clear();
+    for (std::size_t b = 0; b < nb; ++b) ctx_scratch_.push_back(pos_[slots[b]]);
+
+    // Functional math is per-session (each lane bit-identical to a solo run);
+    // the device prices the step batched — weights once, KV per session.
+    for (std::size_t b = 0; b < nb; ++b) {
+        forward_slot(tokens[b], slots[b], logits_out.subspan(b * vocab, vocab));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    last_cost_.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    last_cost_.simulated_ns =
+        opts_.collect_timing ? timing_.batch_timing(ctx_scratch_).total_ns : 0.0;
+    last_cost_.weight_walks = 1.0;  // one streaming pass over the weights per step
 }
 
 GenerationResult Accelerator::generate(std::span<const std::int32_t> prompt,
@@ -167,7 +249,7 @@ GenerationResult Accelerator::generate(std::span<const std::int32_t> prompt,
     // Same attribution rule as InferenceSession::generate: a token is billed
     // the decode step that consumes it, so total_ns covers exactly the decode
     // steps executed here (prefill is TTFT, not decode time).
-    for (std::size_t i = 0; i < max_new && pos_ < model_->config.max_seq_len; ++i) {
+    for (std::size_t i = 0; i < max_new && pos_[0] < model_->config.max_seq_len; ++i) {
         const std::int32_t next = sampler.sample(last.logits);
         g.tokens.push_back(next);
         if (next == eos) break;

@@ -8,6 +8,15 @@
 // on the KV260 memory system. Functional results are therefore validated
 // against the float reference while timing reproduces the paper's
 // decode-speed numbers.
+//
+// The accelerator is also a DecodeBackend: with max_batch > 1 it owns that
+// many independent KV session slots (per-slot cache, position, and scale-zero
+// FIFO) and decode_batch advances any subset of them in one simulated step.
+// The functional math stays per-session (each lane is bit-identical to a solo
+// run), but the step is PRICED as the device would execute it — weights
+// streamed once for the whole batch, KV streams and SPU work per session
+// (DecodeCycleModel::batch_timing) — so the serving layer can report
+// simulated KV260 serving throughput, not just single-stream decode.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +33,7 @@
 #include "accel/spu_silu.hpp"
 #include "accel/spu_softmax.hpp"
 #include "accel/vpu.hpp"
+#include "engine/decode_backend.hpp"
 #include "model/sampler.hpp"
 #include "quant/scale_zero_pack.hpp"
 
@@ -33,6 +43,9 @@ struct AcceleratorOptions {
     AccelConfig accel{};
     memsim::MemorySystemConfig mem = memsim::MemorySystemConfig::kv260();
     bool collect_timing = true;  // disable to run functional-only (faster)
+    // Concurrent KV session slots (DecodeBackend). Each slot reserves its own
+    // KV cache region, position, and scale-zero FIFO.
+    std::size_t max_batch = 1;
 };
 
 struct StepResult {
@@ -51,26 +64,44 @@ struct GenerationResult {
     }
 };
 
-class Accelerator {
+class Accelerator : public engine::DecodeBackend {
 public:
     // Non-owning: `m` must outlive the accelerator.
     explicit Accelerator(const PackedModel& m, AcceleratorOptions opts = {});
 
+    // One decode step on slot 0 (the historical single-session API).
     StepResult step(std::int32_t token);
 
     // Prefills `prompt`, then decodes up to `max_new` tokens (stops at EOS id
-    // if `eos` >= 0). Returns generated tokens and simulated decode time.
+    // if `eos` >= 0) on slot 0. Returns generated tokens and simulated decode
+    // time.
     GenerationResult generate(std::span<const std::int32_t> prompt, std::size_t max_new,
                               model::Sampler& sampler, std::int32_t eos = -1);
 
-    void reset();
-
-    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
-    [[nodiscard]] const model::ModelConfig& config() const noexcept { return model_->config; }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_[0]; }
     [[nodiscard]] const quant::ScaleZeroFifo& scale_zero_fifo() const noexcept {
-        return sz_fifo_;
+        return sz_fifo_[0];
     }
     [[nodiscard]] DecodeCycleModel& cycle_model() noexcept { return timing_; }
+
+    // --- engine::DecodeBackend ---
+    [[nodiscard]] const model::ModelConfig& config() const noexcept override {
+        return model_->config;
+    }
+    [[nodiscard]] std::size_t max_batch() const noexcept override {
+        return opts_.max_batch;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override { return "accel"; }
+    [[nodiscard]] std::size_t position(std::size_t slot) const override;
+    [[nodiscard]] std::size_t reserve_slot() override;
+    void release_slot(std::size_t slot) override;
+    void decode_batch(std::span<const std::int32_t> tokens,
+                      std::span<const std::size_t> slots,
+                      std::span<float> logits_out) override;
+    void reset() override;  // all slots (reservations survive)
+    [[nodiscard]] engine::StepCost last_step_cost() const noexcept override {
+        return last_cost_;
+    }
 
 private:
     struct KvEntry {
@@ -78,10 +109,16 @@ private:
         quant::KvQuantParams params;
     };
 
-    [[nodiscard]] std::size_t kv_slot(std::size_t layer, std::size_t token,
+    [[nodiscard]] std::size_t kv_slot(std::size_t session, std::size_t layer,
+                                      std::size_t token,
                                       std::size_t kv_head) const noexcept;
+    void reset_session(std::size_t slot);
 
-    void attention(std::size_t layer, std::vector<Fp16>& x);
+    // One functional forward pass of `token` through session `slot`, writing
+    // float logits and advancing the slot's position. No timing.
+    void forward_slot(std::int32_t token, std::size_t slot, std::span<float> logits_out);
+
+    void attention(std::size_t layer, std::size_t slot, std::vector<Fp16>& x);
     void mlp(std::size_t layer, std::vector<Fp16>& x);
 
     const PackedModel* model_;
@@ -95,11 +132,14 @@ private:
     SpuSilu silu_;
     SpuQuant kv_quant_;
     SerialToParallel s2p_;
-    quant::ScaleZeroFifo sz_fifo_;
+    std::vector<quant::ScaleZeroFifo> sz_fifo_;  // one per session slot
 
-    std::size_t pos_ = 0;
-    std::vector<KvEntry> k_cache_;  // [layer][token][kv_head]
+    std::vector<std::size_t> pos_;           // per session slot
+    engine::SlotLedger slots_;               // DecodeBackend reservations
+    std::vector<KvEntry> k_cache_;           // [session][layer][token][kv_head]
     std::vector<KvEntry> v_cache_;
+    std::vector<std::size_t> ctx_scratch_;   // batch pricing, no per-step alloc
+    engine::StepCost last_cost_{};
 };
 
 }  // namespace efld::accel

@@ -69,7 +69,17 @@ void DecodeCycleModel::spu_only_op(OpCtx& octx, const std::string& name, double 
 }
 
 TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
-    check(ctx < cfg_.max_seq_len, "DecodeCycleModel: context exceeds KV reservation");
+    return batch_timing(std::span<const std::size_t>(&ctx, 1), collect_ops);
+}
+
+TokenTiming DecodeCycleModel::batch_timing(std::span<const std::size_t> ctxs,
+                                           bool collect_ops) {
+    check(!ctxs.empty(), "DecodeCycleModel: empty batch");
+    for (const std::size_t ctx : ctxs) {
+        check(ctx < cfg_.max_seq_len, "DecodeCycleModel: context exceeds KV reservation");
+    }
+    const std::size_t nb = ctxs.size();
+    const double nbd = static_cast<double>(nb);
 
     TokenTiming t;
     OpCtx octx{&t, collect_ops};
@@ -78,19 +88,33 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
     const std::size_t heads_per_kv = cfg_.n_heads / cfg_.n_kv_heads;
     const std::uint64_t kv_elem = scheme_.kv_bits / 8;
 
-    auto stream_cycles = [](const Transaction& txn) {
-        return div_ceil(txn.bytes, kBusBytes);  // VPU consumes one word/clk
+    // Weight streams cross the bus once per step; the VPU runs one dot per
+    // lane per streamed group, so its occupancy scales with the batch (the
+    // decode-side mirror of prefill_timing's compute/stream trade).
+    auto stream_cycles = [nb](const Transaction& txn) {
+        return div_ceil(txn.bytes, kBusBytes) * nb;  // VPU: one word/clk/lane
     };
 
-    // SPU serial costs (cycles) for this geometry.
+    // SPU serial costs (cycles) for this geometry; per-lane where the work is
+    // per-session. Softmax length tracks each lane's own context.
     const double rms_ns = static_cast<double>(cfg_.dim + 16) * clk;  // bypassed pass 1
     const double rope_head_ns = static_cast<double>(hd) * clk;
-    const double softmax_ns = static_cast<double>(3 * (ctx + 1) + 16) * clk;
+    auto softmax_ns = [clk](std::size_t ctx) {
+        return static_cast<double>(3 * (ctx + 1) + 16) * clk;
+    };
+    auto softmax_all_ns = [&] {
+        double s = 0.0;
+        for (const std::size_t ctx : ctxs) s += softmax_ns(ctx);
+        return s;
+    };
     const double quant_head_ns = static_cast<double>(2 * hd + 8) * clk;
     const double silu_ns = static_cast<double>(cfg_.hidden_dim) * clk;
 
-    // Embedding row fetch.
-    dense_op(octx, "embedding", mcu_.embedding_read(0), cfg_.dim / accel_.vpu_lanes, 0.0);
+    // Embedding row fetch, one per lane.
+    for (std::size_t b = 0; b < nb; ++b) {
+        dense_op(octx, "embedding", mcu_.embedding_read(0), cfg_.dim / accel_.vpu_lanes,
+                 0.0);
+    }
 
     for (std::size_t layer = 0; layer < cfg_.n_layers; ++layer) {
         if (accel_.fine_grained_fusion) {
@@ -100,51 +124,54 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
                 const std::size_t kvh = h / heads_per_kv;
 
                 // Q projection for this head; layer-entry RMSNorm and the
-                // on-the-fly RoPE hide behind it.
+                // on-the-fly RoPE (per lane) hide behind it.
                 const Transaction q_txn =
                     mcu_.weight_rows_read(layer, MatrixId::kWq, h * hd, (h + 1) * hd);
                 dense_op(octx, "q_proj", q_txn, stream_cycles(q_txn),
-                         rope_head_ns + (h == 0 ? rms_ns : 0.0));
+                         rope_head_ns * nbd + (h == 0 ? rms_ns * nbd : 0.0));
 
                 if (new_kv_head) {
                     const Transaction k_txn = mcu_.weight_rows_read(
                         layer, MatrixId::kWk, kvh * hd, (kvh + 1) * hd);
                     dense_op(octx, "k_proj", k_txn, stream_cycles(k_txn),
-                             rope_head_ns + quant_head_ns);
+                             (rope_head_ns + quant_head_ns) * nbd);
                 }
 
-                // Dot against the rotated-key history (+ packs every 16 tokens).
-                if (ctx > 0) {
-                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctx);
-                    dense_op(octx, "kv_qk_hist", kc, stream_cycles(kc), 0.0);
-                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctx);
+                // Dot against each lane's rotated-key history (+ packs every
+                // 16 tokens) — KV traffic is per-session.
+                for (std::size_t b = 0; b < nb; ++b) {
+                    if (ctxs[b] == 0) continue;
+                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctxs[b]);
+                    dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes), 0.0);
+                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctxs[b]);
                     if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
                 }
 
-                bool softmax_covered = false;
                 if (new_kv_head) {
-                    // V projection; the softmax over the scores and the value
+                    // V projection; every lane's softmax and value
                     // quantization hide behind it (§V.A).
                     const Transaction v_txn = mcu_.weight_rows_read(
                         layer, MatrixId::kWv, kvh * hd, (kvh + 1) * hd);
                     dense_op(octx, "v_proj", v_txn, stream_cycles(v_txn),
-                             softmax_ns + quant_head_ns);
-                    softmax_covered = true;
+                             softmax_all_ns() + quant_head_ns * nbd);
                 }
 
-                // Weighted value accumulation over the history. For GQA heads
-                // that reuse a cached V projection, the softmax hides behind
-                // this history stream instead.
-                if (ctx > 0) {
-                    const Transaction vc = mcu_.kv_code_read(layer, kvh, true, ctx);
-                    dense_op(octx, "kv_av_hist", vc, stream_cycles(vc),
-                             softmax_covered ? 0.0 : softmax_ns);
-                    softmax_covered = true;
-                    const Transaction vp = mcu_.kv_pack_read(layer, kvh, true, ctx);
-                    if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
-                }
-                if (!softmax_covered) {
-                    spu_only_op(octx, "softmax_exposed", softmax_ns);
+                // Weighted value accumulation over each lane's history. For
+                // GQA heads that reuse a cached V projection, a lane's
+                // softmax hides behind its own history stream instead — or is
+                // exposed when that lane has no history yet.
+                for (std::size_t b = 0; b < nb; ++b) {
+                    if (ctxs[b] > 0) {
+                        const Transaction vc =
+                            mcu_.kv_code_read(layer, kvh, true, ctxs[b]);
+                        dense_op(octx, "kv_av_hist", vc, div_ceil(vc.bytes, kBusBytes),
+                                 new_kv_head ? 0.0 : softmax_ns(ctxs[b]));
+                        const Transaction vp =
+                            mcu_.kv_pack_read(layer, kvh, true, ctxs[b]);
+                        if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
+                    } else if (!new_kv_head) {
+                        spu_only_op(octx, "softmax_exposed", softmax_ns(ctxs[b]));
+                    }
                 }
 
                 t.overhead_ns += accel_.head_overhead_clk * clk;
@@ -152,8 +179,9 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
             }
         } else {
             // ---- DFX-style coarse schedule: full projections, then
-            // attention, misc ops exposed between stages ----
-            spu_only_op(octx, "rmsnorm", rms_ns + static_cast<double>(cfg_.dim) * clk);
+            // attention, misc ops exposed between stages (per lane) ----
+            spu_only_op(octx, "rmsnorm",
+                        (rms_ns + static_cast<double>(cfg_.dim) * clk) * nbd);
             const Transaction q_txn = mcu_.weight_stream_read(layer, MatrixId::kWq);
             dense_op(octx, "q_proj", q_txn, stream_cycles(q_txn), 0.0);
             const Transaction k_txn = mcu_.weight_stream_read(layer, MatrixId::kWk);
@@ -161,36 +189,43 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
             const Transaction v_txn = mcu_.weight_stream_read(layer, MatrixId::kWv);
             dense_op(octx, "v_proj", v_txn, stream_cycles(v_txn), 0.0);
             spu_only_op(octx, "rope",
-                        static_cast<double>(cfg_.n_heads + cfg_.n_kv_heads) * rope_head_ns);
+                        static_cast<double>(cfg_.n_heads + cfg_.n_kv_heads) *
+                            rope_head_ns * nbd);
             spu_only_op(octx, "kv_quant",
-                        static_cast<double>(2 * cfg_.n_kv_heads) * quant_head_ns);
+                        static_cast<double>(2 * cfg_.n_kv_heads) * quant_head_ns * nbd);
             for (std::size_t h = 0; h < cfg_.n_heads; ++h) {
                 const std::size_t kvh = h / heads_per_kv;
-                if (ctx > 0) {
-                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctx);
-                    dense_op(octx, "kv_qk_hist", kc, stream_cycles(kc), 0.0);
-                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctx);
+                for (std::size_t b = 0; b < nb; ++b) {
+                    if (ctxs[b] == 0) continue;
+                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctxs[b]);
+                    dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes), 0.0);
+                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctxs[b]);
                     if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
                 }
-                spu_only_op(octx, "softmax", softmax_ns);
-                if (ctx > 0) {
-                    const Transaction vc = mcu_.kv_code_read(layer, kvh, true, ctx);
-                    dense_op(octx, "kv_av_hist", vc, stream_cycles(vc), 0.0);
-                    const Transaction vp = mcu_.kv_pack_read(layer, kvh, true, ctx);
+                spu_only_op(octx, "softmax", softmax_all_ns());
+                for (std::size_t b = 0; b < nb; ++b) {
+                    if (ctxs[b] == 0) continue;
+                    const Transaction vc = mcu_.kv_code_read(layer, kvh, true, ctxs[b]);
+                    dense_op(octx, "kv_av_hist", vc, div_ceil(vc.bytes, kBusBytes), 0.0);
+                    const Transaction vp = mcu_.kv_pack_read(layer, kvh, true, ctxs[b]);
                     if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
                 }
             }
         }
 
-        // KV writeback for the current token (codes now; packs when the
-        // Fig. 4B FIFO fills at token % 16 == 15).
+        // KV writeback for each lane's current token (codes now; packs when
+        // the Fig. 4B FIFO fills at token % 16 == 15).
         for (std::size_t kvh = 0; kvh < cfg_.n_kv_heads; ++kvh) {
             for (const bool is_value : {false, true}) {
-                dense_op(octx, "kv_write", mcu_.kv_code_write(layer, kvh, is_value, ctx),
-                         div_ceil(hd * kv_elem, kBusBytes), 0.0);
-                if (mcu_.pack_write_due(ctx)) {
-                    dense_op(octx, "kv_pack_write",
-                             mcu_.kv_pack_write(layer, kvh, is_value, ctx), 1, 0.0);
+                for (std::size_t b = 0; b < nb; ++b) {
+                    dense_op(octx, "kv_write",
+                             mcu_.kv_code_write(layer, kvh, is_value, ctxs[b]),
+                             div_ceil(hd * kv_elem, kBusBytes), 0.0);
+                    if (mcu_.pack_write_due(ctxs[b])) {
+                        dense_op(octx, "kv_pack_write",
+                                 mcu_.kv_pack_write(layer, kvh, is_value, ctxs[b]), 1,
+                                 0.0);
+                    }
                 }
             }
         }
@@ -202,14 +237,15 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
         // MLP: gate, up (SiLU + act-mul hidden behind up), down.
         const Transaction g_txn = mcu_.weight_stream_read(layer, MatrixId::kWGate);
         dense_op(octx, "gate_proj", g_txn, stream_cycles(g_txn),
-                 accel_.fine_grained_fusion ? rms_ns : 0.0);
+                 accel_.fine_grained_fusion ? rms_ns * nbd : 0.0);
         if (!accel_.fine_grained_fusion) {
-            spu_only_op(octx, "rmsnorm2", rms_ns + static_cast<double>(cfg_.dim) * clk);
+            spu_only_op(octx, "rmsnorm2",
+                        (rms_ns + static_cast<double>(cfg_.dim) * clk) * nbd);
         }
         const Transaction u_txn = mcu_.weight_stream_read(layer, MatrixId::kWUp);
         dense_op(octx, "up_proj", u_txn, stream_cycles(u_txn),
-                 accel_.fine_grained_fusion ? silu_ns : 0.0);
-        if (!accel_.fine_grained_fusion) spu_only_op(octx, "silu", silu_ns);
+                 accel_.fine_grained_fusion ? silu_ns * nbd : 0.0);
+        if (!accel_.fine_grained_fusion) spu_only_op(octx, "silu", silu_ns * nbd);
         const Transaction d_txn = mcu_.weight_stream_read(layer, MatrixId::kWDown);
         dense_op(octx, "down_proj", d_txn, stream_cycles(d_txn), 0.0);
 
@@ -223,9 +259,10 @@ TokenTiming DecodeCycleModel::token_timing(std::size_t ctx, bool collect_ops) {
     // LM head (final RMSNorm hides behind it in the fused schedule).
     const Transaction head_txn = mcu_.lm_head_read();
     dense_op(octx, "lm_head", head_txn, stream_cycles(head_txn),
-             accel_.fine_grained_fusion ? rms_ns : 0.0);
+             accel_.fine_grained_fusion ? rms_ns * nbd : 0.0);
     if (!accel_.fine_grained_fusion) {
-        spu_only_op(octx, "final_rmsnorm", rms_ns + static_cast<double>(cfg_.dim) * clk);
+        spu_only_op(octx, "final_rmsnorm",
+                    (rms_ns + static_cast<double>(cfg_.dim) * clk) * nbd);
     }
 
     t.overhead_ns += accel_.token_overhead_clk * clk;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,8 +100,25 @@ public:
                      const memsim::MemorySystemConfig& mem =
                          memsim::MemorySystemConfig::kv260());
 
-    // Latency of decoding one token with `ctx` cached tokens.
+    // Latency of decoding one token with `ctx` cached tokens. Exactly
+    // batch_timing({ctx}).
     TokenTiming token_timing(std::size_t ctx, bool collect_ops = false);
+
+    // Latency of ONE batched decode step advancing ctxs.size() concurrent
+    // sessions, lane b holding ctxs[b] cached tokens. This is the serving
+    // counterpart of token_timing and the device-side mirror of the host's
+    // skinny GEMM: each weight stream crosses the bus ONCE while the VPU runs
+    // one dot per lane per group (compute scales with the batch, weight
+    // traffic does not — same trade as prefill_timing's tiles); KV streams,
+    // writebacks, and SPU work are per-session, each lane priced at its own
+    // context length. Because the paper balances the VPU width to the stream
+    // rate, dense ops flip compute-bound for batch >= 2 — the serving gain on
+    // unmodified KV260 hardware comes from the once-per-step overheads
+    // (FSM starts, head/layer bubbles, PS token turnaround) and the shared
+    // streams, and tokens/s still rises monotonically with the batch.
+    // batch_timing({ctx}) is bit-identical to token_timing(ctx).
+    TokenTiming batch_timing(std::span<const std::size_t> ctxs,
+                             bool collect_ops = false);
 
     // Total time for `n_tokens` decode steps starting after `prompt_len`
     // cached tokens (each step's context grows by one).

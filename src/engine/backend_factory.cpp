@@ -1,0 +1,33 @@
+#include "engine/backend_factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace efld::engine {
+
+std::string_view to_string(BackendKind kind) noexcept {
+    return kind == BackendKind::kAccel ? "accel" : "host";
+}
+
+BackendKind backend_kind_from_string(std::string_view name) {
+    if (name == "host") return BackendKind::kHost;
+    if (name == "accel") return BackendKind::kAccel;
+    throw std::invalid_argument("unknown backend '" + std::string(name) +
+                                "' (expected host|accel)");
+}
+
+BackendBundle make_backend(BackendKind kind, const model::QuantizedModelWeights& weights,
+                           const model::EngineOptions& host_opts,
+                           accel::AcceleratorOptions accel_opts) {
+    BackendBundle b;
+    if (kind == BackendKind::kHost) {
+        b.backend = std::make_unique<model::ReferenceEngine>(weights, host_opts);
+        return b;
+    }
+    b.packed = std::make_unique<accel::PackedModel>(accel::PackedModel::build(weights));
+    accel_opts.max_batch = host_opts.max_batch;
+    b.backend = std::make_unique<accel::Accelerator>(*b.packed, accel_opts);
+    return b;
+}
+
+}  // namespace efld::engine

@@ -1,0 +1,111 @@
+// The engine seam: one slot-based decode interface that every backend —
+// the host reference engine, the cycle-accurate accelerator twin, and any
+// future SIMD/paged-KV/real-hardware engine — implements, so the serving
+// layer and the single-stream runtime drive all of them through the same
+// calls.
+//
+// The contract is deliberately minimal and batched-by-construction:
+//
+//   - A backend owns `max_batch()` session slots, each an independent KV
+//     history + position. Slots are *reserved* before use and *released*
+//     (which clears their KV state) when the request retires; reservation is
+//     how the serving layer and the backend agree on who owns which cache.
+//   - `decode_batch(tokens, slots, logits_out)` advances token i through
+//     reserved slot slots[i] for every lane in ONE engine step. Decode is
+//     weight-bound, so a backend is expected to pay its weight traffic once
+//     per step regardless of lane count — that amortization is the entire
+//     point of the seam (see StepCost::weight_walks).
+//   - Results must be deterministic and independent of batching: a lane's
+//     logits are bit-for-bit what a solo run of the same token stream through
+//     the same backend would produce.
+//
+// After each decode_batch, `last_step_cost()` reports what the step cost:
+// host wall time, simulated device time (for backends with a cycle model;
+// zero otherwise), and how many streaming passes over the quantized weights
+// the step performed. The serving layer aggregates these into its
+// tokens/s — wall for the host backend, simulated-KV260 for the accelerator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace efld::engine {
+
+// What one decode_batch step cost, in the three currencies this repo cares
+// about. weight_walks is fractional by design: a backend that streams only
+// part of the weights in a step (e.g. a future layer-pipelined engine) may
+// report < 1.
+struct StepCost {
+    double wall_ns = 0.0;       // host wall-clock inside decode_batch
+    double simulated_ns = 0.0;  // modeled device time; 0 when not modeled
+    double weight_walks = 0.0;  // streaming passes over the quantized weights
+};
+
+class DecodeBackend {
+public:
+    // Sentinel returned by reserve_slot when every slot is taken.
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+    virtual ~DecodeBackend() = default;
+
+    [[nodiscard]] virtual const model::ModelConfig& config() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t max_batch() const noexcept = 0;
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    // Claims a free session slot (fresh KV, position 0); kNoSlot when full.
+    [[nodiscard]] virtual std::size_t reserve_slot() = 0;
+    // Returns the slot, clearing its KV history and position.
+    virtual void release_slot(std::size_t slot) = 0;
+    // Tokens already decoded into the slot's KV history.
+    [[nodiscard]] virtual std::size_t position(std::size_t slot) const = 0;
+
+    // Advances tokens[i] through slot slots[i] for every lane in one step,
+    // writing logits row i (vocab floats, lane-major) into logits_out. Slots
+    // must be distinct, reserved, and below max_batch(); logits_out must hold
+    // at least tokens.size() * vocab floats.
+    virtual void decode_batch(std::span<const std::int32_t> tokens,
+                              std::span<const std::size_t> slots,
+                              std::span<float> logits_out) = 0;
+
+    // Clears every slot's KV history and position. Reservations survive: this
+    // is a state reset (new conversation), not a lifecycle operation.
+    virtual void reset() = 0;
+
+    // Cost report for the most recent decode_batch call.
+    [[nodiscard]] virtual StepCost last_step_cost() const noexcept = 0;
+};
+
+// Shared reserve/release bookkeeping for backends: which of the max_batch
+// slots are handed out. Backends pair release() with their own session reset.
+class SlotLedger {
+public:
+    SlotLedger() = default;
+    explicit SlotLedger(std::size_t n_slots) : used_(n_slots, 0) {}
+
+    // First free slot (marked used), or DecodeBackend::kNoSlot when full.
+    [[nodiscard]] std::size_t acquire() noexcept {
+        for (std::size_t s = 0; s < used_.size(); ++s) {
+            if (used_[s] == 0) {
+                used_[s] = 1;
+                return s;
+            }
+        }
+        return DecodeBackend::kNoSlot;
+    }
+    // False when `slot` is out of range or was not reserved.
+    [[nodiscard]] bool release(std::size_t slot) noexcept {
+        if (slot >= used_.size() || used_[slot] == 0) return false;
+        used_[slot] = 0;
+        return true;
+    }
+
+private:
+    std::vector<std::uint8_t> used_;
+};
+
+}  // namespace efld::engine

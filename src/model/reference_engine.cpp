@@ -1,6 +1,9 @@
 #include "model/reference_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 
 #include "common/check.hpp"
 #include "model/tensor.hpp"
@@ -47,8 +50,36 @@ ReferenceEngine::ReferenceEngine(const QuantizedModelWeights& weights, bool use_
     : ReferenceEngine(weights,
                       EngineOptions{.use_kv8 = use_kv8, .kv_bits = kv_bits}) {}
 
+void validate(const EngineOptions& opts) {
+    if (opts.max_batch == 0) {
+        throw std::invalid_argument("EngineOptions: max_batch must be >= 1");
+    }
+    if (opts.seed_baseline && (opts.threads != 1 || opts.max_batch != 1)) {
+        // The seed baseline reproduces the strictly sequential pre-fast-path
+        // loop; a worker pool or batch slots would silently measure something
+        // that never existed.
+        throw std::invalid_argument(
+            "EngineOptions: seed_baseline requires threads == 1 and max_batch == 1");
+    }
+    if (opts.threads > 1) {
+        // Determinism is thread-count independent, so modest oversubscription
+        // (thread-schedule determinism tests) is fine — but a private pool
+        // far wider than the machine is almost certainly a garbage value
+        // (e.g. a byte count). Borrow the global pool (0) for process-wide
+        // sizing.
+        const std::size_t cap = std::max<std::size_t>(
+            4, 4 * static_cast<std::size_t>(std::thread::hardware_concurrency()));
+        if (opts.threads > cap) {
+            throw std::invalid_argument(
+                "EngineOptions: private pool of " + std::to_string(opts.threads) +
+                " threads is inconsistent with this machine (cap " +
+                std::to_string(cap) + "); use threads = 0 to borrow the global pool");
+        }
+    }
+}
+
 void ReferenceEngine::init_scratch() {
-    check(opts_.max_batch >= 1, "ReferenceEngine: max_batch must be at least 1");
+    validate(opts_);
     if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
     rope_ = RopeTable(cfg_.head_dim(), cfg_.max_seq_len, cfg_.rope_theta);
 
@@ -64,6 +95,7 @@ void ReferenceEngine::init_scratch() {
         for (std::size_t s = 0; s < mb; ++s) kv_float_.emplace_back(cfg_);
     }
     pos_.assign(mb, 0);
+    slots_ = engine::SlotLedger(mb);
 
     x_.resize(mb * cfg_.dim);
     xb_.resize(mb * cfg_.dim);
@@ -350,6 +382,27 @@ std::span<const float> ReferenceEngine::decode_batch(
     proj(0, kLmHead, nb, std::span<const float>(xb_).first(nb * cfg_.dim),
          std::span<float>(logits_).first(nb * cfg_.vocab_size));
     return std::span<const float>(logits_).first(nb * cfg_.vocab_size);
+}
+
+std::size_t ReferenceEngine::reserve_slot() { return slots_.acquire(); }
+
+void ReferenceEngine::release_slot(std::size_t slot) {
+    check(slots_.release(slot), "release_slot: slot out of range or not reserved");
+    reset_session(slot);
+}
+
+void ReferenceEngine::decode_batch(std::span<const std::int32_t> tokens,
+                                   std::span<const std::size_t> slots,
+                                   std::span<float> logits_out) {
+    check(logits_out.size() >= tokens.size() * cfg_.vocab_size,
+          "decode_batch: logits_out too small");
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::span<const float> logits = decode_batch(tokens, slots);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::copy(logits.begin(), logits.end(), logits_out.begin());
+    last_cost_.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    last_cost_.simulated_ns = 0.0;  // the host IS the wall clock
+    last_cost_.weight_walks = 1.0;  // one skinny-GEMM pass per step
 }
 
 std::span<const float> ReferenceEngine::decode(std::int32_t token) {

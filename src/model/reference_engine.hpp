@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/threadpool.hpp"
+#include "engine/decode_backend.hpp"
 #include "model/kernels.hpp"
 #include "model/kv_cache.hpp"
 #include "model/weights.hpp"
@@ -52,6 +53,9 @@ struct EngineOptions {
     // 1 = fully single-threaded; N > 1 = private worker pool of N; 0 = borrow
     // the process-wide ThreadPool::global() (sized by
     // runtime::SessionOptions::host_threads or ThreadPool::set_global_threads).
+    // A private pool wider than the machine is rejected at construction —
+    // oversubscription only adds context switches; borrow the global pool for
+    // process-wide sizing instead.
     std::size_t threads = 1;
     // Concurrent session slots (KV caches + positions) for decode_batch.
     std::size_t max_batch = 1;
@@ -61,7 +65,13 @@ struct EngineOptions {
     bool packed_weights = false;
 };
 
-class ReferenceEngine {
+// Throws std::invalid_argument on option combinations that would silently
+// misbehave: max_batch == 0 (no session slots) or a private thread pool wider
+// than the hardware. Called by the engine constructor; exposed so serving
+// layers can validate before building anything expensive.
+void validate(const EngineOptions& opts);
+
+class ReferenceEngine : public engine::DecodeBackend {
 public:
     // Non-owning: `weights` must outlive the engine.
     ReferenceEngine(const ModelWeights& weights, EngineOptions opts);
@@ -95,12 +105,28 @@ public:
     std::vector<float> prefill(std::span<const std::int32_t> tokens);
 
     [[nodiscard]] std::size_t position() const noexcept { return pos_[0]; }
-    [[nodiscard]] std::size_t position(std::size_t slot) const { return pos_.at(slot); }
-    [[nodiscard]] std::size_t max_batch() const noexcept { return opts_.max_batch; }
-    [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
-    void reset();                          // all slots
     void reset_session(std::size_t slot);  // one slot's KV history + position
+
+    // --- engine::DecodeBackend ---
+    // The historical single-stream entry points above (decode/forward/prefill)
+    // operate on slot 0 without reserving it; callers mixing them with slot
+    // reservation should reserve slot 0 first (InferenceSession does).
+    [[nodiscard]] const ModelConfig& config() const noexcept override { return cfg_; }
+    [[nodiscard]] std::size_t max_batch() const noexcept override { return opts_.max_batch; }
+    [[nodiscard]] std::string_view name() const noexcept override { return "host"; }
+    [[nodiscard]] std::size_t position(std::size_t slot) const override {
+        return pos_.at(slot);
+    }
+    [[nodiscard]] std::size_t reserve_slot() override;
+    void release_slot(std::size_t slot) override;
+    void decode_batch(std::span<const std::int32_t> tokens,
+                      std::span<const std::size_t> slots,
+                      std::span<float> logits_out) override;
+    void reset() override;  // all slots (reservations survive)
+    [[nodiscard]] engine::StepCost last_step_cost() const noexcept override {
+        return last_cost_;
+    }
 
 private:
     void init_scratch();
@@ -136,6 +162,8 @@ private:
     std::vector<KvCache> kv_float_;
     std::vector<QuantizedKvCache> kv_quant_;
     std::vector<std::size_t> pos_;
+    engine::SlotLedger slots_;  // DecodeBackend reservations
+    engine::StepCost last_cost_{};
 
     std::unique_ptr<ThreadPool> pool_;  // only when opts_.threads > 1
     RopeTable rope_;                    // per-position sin/cos, built once

@@ -1,6 +1,12 @@
 // Runtime-facing serve API: re-exports the serve subsystem's types the way
 // SessionOptions/InferenceSession are exposed, plus the synthetic-weights
 // construction path tests and demos use (mirroring InferenceSession::synthetic).
+//
+// Backend selection rides in ServeOptions::backend (engine::BackendKind):
+// kHost serves on the skinny-GEMM reference engine (wall-clock throughput),
+// kAccel on the cycle-priced KV260 twin (stats().simulated_tokens_per_s() is
+// the predicted device serving rate). Both sit behind the same
+// engine::DecodeBackend seam.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,10 @@ namespace efld::runtime {
 using ServeOptions = serve::ServeOptions;
 using ServeResult = serve::ServeResult;
 using ServeStats = serve::ServeStats;
+using ServeRequest = serve::Request;
+using RequestHandle = serve::RequestHandle;
+using SchedulerPolicy = serve::SchedulerPolicy;
+using BackendKind = engine::BackendKind;
 
 // A ServeEngine bundled with the quantized weights it serves (ServeEngine
 // itself is non-owning). Movable; engine references stay valid because both

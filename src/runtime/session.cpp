@@ -1,9 +1,11 @@
 #include "runtime/session.hpp"
 
 #include <iostream>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/threadpool.hpp"
+#include "engine/decode_backend.hpp"
 
 namespace efld::runtime {
 
@@ -16,6 +18,12 @@ InferenceSession::InferenceSession(accel::PackedModel model, SessionOptions opts
     check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <= model_->config.vocab_size,
           "InferenceSession: model vocab too small for the byte tokenizer");
     if (opts_.host_threads > 0) ThreadPool::set_global_threads(opts_.host_threads);
+    // The session holds one backend slot for its whole life (its KV history
+    // persists across generate() calls until reset()).
+    slot_ = accel_->reserve_slot();
+    check(slot_ != engine::DecodeBackend::kNoSlot,
+          "InferenceSession: accelerator has no free session slot");
+    logits_.resize(model_->config.vocab_size);
 }
 
 InferenceSession InferenceSession::synthetic(const model::ModelConfig& cfg,
@@ -31,9 +39,17 @@ GenerationOutput InferenceSession::generate(const std::string& prompt,
     const std::vector<std::int32_t> prompt_ids = tokenizer_.encode(prompt);
     check(!prompt_ids.empty(), "InferenceSession: empty prompt after tokenization");
 
+    // Drive the accelerator through the DecodeBackend seam — the same
+    // interface the serving layer batches over, here with a single lane.
+    engine::DecodeBackend& backend = *accel_;
+    auto step_through = [&](std::int32_t id) {
+        backend.decode_batch(std::span<const std::int32_t>(&id, 1),
+                             std::span<const std::size_t>(&slot_, 1), logits_);
+        return backend.last_step_cost().simulated_ns;
+    };
+
     GenerationOutput out;
-    accel::StepResult last;
-    for (const std::int32_t id : prompt_ids) last = accel_->step(id);
+    for (const std::int32_t id : prompt_ids) (void)step_through(id);
 
     // Per-token timing attribution: each generated token is billed the decode
     // step that consumes it — NOT the step that produced its logits (the
@@ -44,15 +60,15 @@ GenerationOutput InferenceSession::generate(const std::string& prompt,
     // is sampled but never fed, so it costs no step.
     double sim_ns = 0.0;
     for (std::size_t i = 0;
-         i < max_new_tokens && accel_->position() < model_->config.max_seq_len; ++i) {
-        const std::int32_t next = sampler_.sample(last.logits);
+         i < max_new_tokens && backend.position(slot_) < model_->config.max_seq_len;
+         ++i) {
+        const std::int32_t next = sampler_.sample(logits_);
         out.tokens.push_back(next);
         if (next == model::ByteTokenizer::kEos) {
             console_.emit(tokenizer_.decode_token(next), sim_ns);
             break;
         }
-        last = accel_->step(next);
-        sim_ns += last.timing.total_ns;
+        sim_ns += step_through(next);
         console_.emit(tokenizer_.decode_token(next), sim_ns);
     }
     console_.newline();

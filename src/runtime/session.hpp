@@ -5,11 +5,17 @@
 // (built from synthetic weights or loaded from an image), the accelerator
 // simulator, and a sampler, and reports both generated text and the
 // simulated KV260 decode rate.
+//
+// The generation loop drives the accelerator through the engine::DecodeBackend
+// seam (reserve a slot once, decode_batch per token, StepCost for timing) —
+// the same interface the serving layer batches over — so the single-stream
+// and serving paths exercise one engine contract.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "accel/accelerator.hpp"
 #include "model/sampler.hpp"
@@ -72,6 +78,8 @@ private:
     std::unique_ptr<accel::Accelerator> accel_;
     model::Sampler sampler_;
     SerialConsole console_;
+    std::size_t slot_ = 0;        // DecodeBackend slot held for the session's life
+    std::vector<float> logits_;   // last decode step's logits (reused)
 };
 
 }  // namespace efld::runtime

@@ -1,5 +1,8 @@
 #include "serve/request_queue.hpp"
 
+#include "common/check.hpp"
+#include "serve/scheduler.hpp"
+
 namespace efld::serve {
 
 bool RequestQueue::push(PendingRequest&& req) {
@@ -15,6 +18,31 @@ std::optional<PendingRequest> RequestQueue::try_pop() {
     PendingRequest req = std::move(q_.front());
     q_.pop_front();
     return req;
+}
+
+std::optional<PendingRequest> RequestQueue::pop_with(const Scheduler& scheduler) {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (q_.empty()) return std::nullopt;
+    const std::size_t idx = scheduler.pick(q_);
+    check(idx < q_.size(), "RequestQueue: scheduler pick out of range");
+    PendingRequest req = std::move(q_[idx]);
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+    return req;
+}
+
+std::vector<PendingRequest> RequestQueue::remove_if(
+    const std::function<bool(const PendingRequest&)>& pred) {
+    const std::lock_guard<std::mutex> lock(m_);
+    std::vector<PendingRequest> removed;
+    for (auto it = q_.begin(); it != q_.end();) {
+        if (pred(*it)) {
+            removed.push_back(std::move(*it));
+            it = q_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return removed;
 }
 
 std::size_t RequestQueue::size() const {

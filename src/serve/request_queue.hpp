@@ -8,12 +8,16 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "serve/serve_types.hpp"
 
 namespace efld::serve {
+
+class Scheduler;
 
 class RequestQueue {
 public:
@@ -27,6 +31,16 @@ public:
 
     // Oldest pending request, or nullopt when empty.
     std::optional<PendingRequest> try_pop();
+
+    // Removes and returns the scheduler's pick over the current backlog, or
+    // nullopt when empty. try_pop() is pop_with(FcfsScheduler{}).
+    std::optional<PendingRequest> pop_with(const Scheduler& scheduler);
+
+    // Removes every request matching `pred` (kept in FIFO order) and returns
+    // them. The serve loop uses this to shed cancelled/expired requests the
+    // scheduler might otherwise pass over forever.
+    std::vector<PendingRequest> remove_if(
+        const std::function<bool(const PendingRequest&)>& pred);
 
     [[nodiscard]] std::size_t size() const;
     [[nodiscard]] bool empty() const { return size() == 0; }

@@ -1,0 +1,69 @@
+// Admission scheduling: which pending request takes a freed session slot.
+//
+// Continuous batching admits at token boundaries only, so the scheduler is a
+// pure policy over the queue snapshot — it never preempts running sessions.
+// FCFS is the fairness default; shortest-job-first minimizes mean latency
+// under mixed lengths at the cost of potential starvation (pair it with
+// Request::deadline, which sheds queued work the scheduler keeps passing
+// over).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/serve_types.hpp"
+
+namespace efld::serve {
+
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    // Index of the request to admit next. `pending` is non-empty, in
+    // submission order (front() is oldest).
+    [[nodiscard]] virtual std::size_t pick(
+        const std::deque<PendingRequest>& pending) const = 0;
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+class FcfsScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::deque<PendingRequest>&) const override {
+        return 0;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override { return "fcfs"; }
+};
+
+// Shortest remaining work first: prompt prefill plus decode budget (both ride
+// the same batched weight walks, so both are "work"). Ties keep FIFO order.
+class SjfScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(
+        const std::deque<PendingRequest>& pending) const override {
+        auto work = [](const PendingRequest& r) {
+            return r.prompt.size() + r.max_new_tokens;
+        };
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (work(pending[i]) < work(pending[best])) best = i;
+        }
+        return best;
+    }
+    [[nodiscard]] std::string_view name() const noexcept override { return "sjf"; }
+};
+
+enum class SchedulerPolicy { kFcfs, kSjf };
+
+[[nodiscard]] inline std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy p) {
+    switch (p) {
+        case SchedulerPolicy::kFcfs: return std::make_unique<FcfsScheduler>();
+        case SchedulerPolicy::kSjf: return std::make_unique<SjfScheduler>();
+    }
+    throw std::invalid_argument("make_scheduler: unknown policy");
+}
+
+}  // namespace efld::serve

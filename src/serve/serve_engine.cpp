@@ -1,6 +1,10 @@
 #include "serve/serve_engine.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <span>
+#include <stdexcept>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -12,76 +16,208 @@ model::EngineOptions engine_options(const ServeOptions& o) {
     e.use_kv8 = o.use_kv8;
     e.kv_bits = o.kv_bits;
     e.threads = o.threads;
-    e.max_batch = std::max<std::size_t>(1, o.max_batch);
+    e.max_batch = o.max_batch;
     e.packed_weights = o.packed_weights;
     return e;
+}
+
+void validate(const ServeOptions& o) {
+    if (o.max_batch == 0) {
+        throw std::invalid_argument("ServeOptions: max_batch must be >= 1");
+    }
+    if (o.max_queue == 0) {
+        throw std::invalid_argument(
+            "ServeOptions: max_queue must be >= 1 (a queueless server cannot "
+            "accept work; shed load by rejecting submits instead)");
+    }
+    // The thread-count contract is shared with EngineOptions; validate it here
+    // too so the accel backend (which never builds a ReferenceEngine) rejects
+    // the same misconfigurations.
+    model::validate(engine_options(o));
 }
 }  // namespace
 
 ServeEngine::ServeEngine(const model::QuantizedModelWeights& weights, ServeOptions opts)
-    : opts_(opts),
-      engine_(weights, engine_options(opts)),
-      queue_(opts.max_queue),
-      slots_(std::max<std::size_t>(1, opts.max_batch)) {
-    check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <=
-              weights.config.vocab_size,
-          "ServeEngine: model vocab too small for the byte tokenizer");
-    feed_tokens_.reserve(slots_.size());
-    feed_slots_.reserve(slots_.size());
+    : opts_(opts), queue_(opts.max_queue) {
+    validate(opts_);
+    accel::AcceleratorOptions accel_opts;
+    accel_opts.collect_timing = opts_.collect_timing;
+    bundle_ =
+        engine::make_backend(opts_.backend, weights, engine_options(opts_), accel_opts);
+    backend_ = bundle_.backend.get();
+    init();
 }
 
-std::future<ServeResult> ServeEngine::submit(const std::string& prompt,
-                                             std::size_t max_new_tokens) {
+ServeEngine::ServeEngine(std::unique_ptr<engine::DecodeBackend> backend,
+                         ServeOptions opts)
+    : opts_(opts), queue_(opts.max_queue) {
+    validate(opts_);
+    if (backend == nullptr) {
+        throw std::invalid_argument("ServeEngine: null backend");
+    }
+    // The engine assumes every backend slot is its to hand out; a backend
+    // with slots already reserved elsewhere would fail mid-serve instead of
+    // here. Probe the full capacity up front (reserve-all / release-all is a
+    // no-op on fresh slots).
+    std::vector<std::size_t> probe;
+    probe.reserve(backend->max_batch());
+    while (probe.size() < backend->max_batch()) {
+        const std::size_t slot = backend->reserve_slot();
+        if (slot == engine::DecodeBackend::kNoSlot) break;
+        probe.push_back(slot);
+    }
+    const bool all_free = probe.size() == backend->max_batch();
+    for (const std::size_t slot : probe) backend->release_slot(slot);
+    if (!all_free) {
+        throw std::invalid_argument(
+            "ServeEngine: backend already has reserved slots; hand the serve "
+            "engine a backend it can own outright");
+    }
+    bundle_.backend = std::move(backend);
+    backend_ = bundle_.backend.get();
+    init();
+}
+
+void ServeEngine::init() {
+    check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <=
+              backend_->config().vocab_size,
+          "ServeEngine: model vocab too small for the byte tokenizer");
+    scheduler_ = make_scheduler(opts_.scheduler);
+    slots_.resize(backend_->max_batch());
+    feed_tokens_.reserve(slots_.size());
+    feed_slots_.reserve(slots_.size());
+    logits_.resize(slots_.size() * backend_->config().vocab_size);
+}
+
+PendingRequest ServeEngine::make_pending(
+    const std::string& prompt, std::size_t max_new,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    TokenCallback on_token) {
     PendingRequest req;
     req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     req.prompt = tokenizer_.encode(prompt);
     check(!req.prompt.empty(), "ServeEngine: empty prompt after tokenization");
-    check(req.prompt.size() <= engine_.config().max_seq_len,
+    check(req.prompt.size() <= backend_->config().max_seq_len,
           "ServeEngine: prompt exceeds the context window");
-    req.max_new_tokens = max_new_tokens;
-    std::future<ServeResult> fut = req.promise.get_future();
+    req.max_new_tokens = max_new;
+    req.deadline = deadline;
+    req.on_token = std::move(on_token);
+    req.control = std::make_shared<RequestControl>();
+    return req;
+}
 
-    if (max_new_tokens == 0) {
+void ServeEngine::resolve_unstarted(PendingRequest&& req, Retire why) {
+    ServeResult r;
+    r.id = req.id;
+    r.prompt_tokens = req.prompt.size();
+    r.cancelled = why == Retire::kCancelled;
+    r.hit_deadline = why == Retire::kDeadline;
+    req.promise.set_value(std::move(r));
+}
+
+RequestHandle ServeEngine::submit(Request req) {
+    PendingRequest p =
+        make_pending(req.prompt, req.max_new_tokens, req.deadline,
+                     std::move(req.on_token));
+    const std::uint64_t id = p.id;
+    std::shared_ptr<RequestControl> control = p.control;
+    std::shared_future<ServeResult> fut = p.promise.get_future().share();
+    if (p.max_new_tokens == 0) {
         // Nothing to decode: resolve immediately without occupying a slot.
-        ServeResult r;
-        r.id = req.id;
-        r.prompt_tokens = req.prompt.size();
-        req.promise.set_value(std::move(r));
+        resolve_unstarted(std::move(p), Retire::kBudget);
+    } else {
+        check(queue_.push(std::move(p)), "ServeEngine: request queue full");
+    }
+    return RequestHandle(id, std::move(control), std::move(fut));
+}
+
+std::future<ServeResult> ServeEngine::submit(const std::string& prompt,
+                                             std::size_t max_new_tokens) {
+    PendingRequest p = make_pending(prompt, max_new_tokens, std::nullopt, nullptr);
+    std::future<ServeResult> fut = p.promise.get_future();
+    if (max_new_tokens == 0) {
+        resolve_unstarted(std::move(p), Retire::kBudget);
         return fut;
     }
-    check(queue_.push(std::move(req)), "ServeEngine: request queue full");
+    check(queue_.push(std::move(p)), "ServeEngine: request queue full");
     return fut;
 }
 
 void ServeEngine::admit() {
-    if (n_active_ == slots_.size()) return;
-    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
-        if (slots_[slot].has_value()) continue;
-        std::optional<PendingRequest> req = queue_.try_pop();
+    // Dead (cancelled/expired) requests were already swept from the queue by
+    // step() this boundary; one landing in the microseconds since is admitted
+    // normally and retired at the next boundary's control-plane pass.
+    while (n_active_ < slots_.size()) {
+        std::optional<PendingRequest> req = queue_.pop_with(*scheduler_);
         if (!req.has_value()) return;
+
+        const std::size_t slot = backend_->reserve_slot();
+        check(slot != engine::DecodeBackend::kNoSlot && slot < slots_.size() &&
+                  !slots_[slot].has_value(),
+              "ServeEngine: backend slot bookkeeping diverged");
         slots_[slot].emplace(std::move(*req), opts_.sampler, slot);
         ++n_active_;
-        if (n_active_ == slots_.size()) return;
     }
 }
 
-void ServeEngine::retire(SessionState& s, bool eos, bool ctx_limit) {
+void ServeEngine::retire(SessionState& s, Retire why) {
     ServeResult r;
     r.id = s.id;
     r.tokens = std::move(s.generated);
     r.text = tokenizer_.decode(r.tokens);
     r.prompt_tokens = s.prompt.size();
-    r.hit_eos = eos;
-    r.hit_context_limit = ctx_limit;
+    r.hit_eos = why == Retire::kEos;
+    r.hit_context_limit = why == Retire::kContext;
+    r.cancelled = why == Retire::kCancelled;
+    r.hit_deadline = why == Retire::kDeadline;
     s.promise.set_value(std::move(r));
-    engine_.reset_session(s.slot);
-    slots_[s.slot].reset();
+    const std::size_t slot = s.slot;
+    backend_->release_slot(slot);  // clears the slot's KV for the next tenant
+    slots_[slot].reset();
     --n_active_;
     ++stats_.requests_completed;
+    if (why == Retire::kCancelled) ++stats_.requests_cancelled;
+    if (why == Retire::kDeadline) ++stats_.requests_expired;
 }
 
 bool ServeEngine::step() {
-    // Token boundary: queued requests join whatever slots the last step freed.
+    const auto now = std::chrono::steady_clock::now();
+
+    // Token boundary, part 1: control-plane retirements (cancel, deadline)
+    // free their slots before admission looks at the queue. Partial output is
+    // delivered; the batch never stalls on a control operation.
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (!slots_[slot].has_value()) continue;
+        SessionState& s = *slots_[slot];
+        if (s.cancel_requested()) {
+            retire(s, Retire::kCancelled);
+        } else if (s.deadline_passed(now)) {
+            retire(s, Retire::kDeadline);
+        }
+    }
+
+    // Sweep the whole queue for dead requests, not just the scheduler's next
+    // pick — SJF could pass over a cancelled/expired request forever, leaving
+    // its future unresolved.
+    for (PendingRequest& dead : queue_.remove_if([now](const PendingRequest& r) {
+             return (r.control != nullptr &&
+                     r.control->cancel.load(std::memory_order_relaxed)) ||
+                    (r.deadline.has_value() && now >= *r.deadline);
+         })) {
+        const bool was_cancelled =
+            dead.control != nullptr &&
+            dead.control->cancel.load(std::memory_order_relaxed);
+        resolve_unstarted(std::move(dead),
+                          was_cancelled ? Retire::kCancelled : Retire::kDeadline);
+        ++stats_.requests_completed;
+        if (was_cancelled) {
+            ++stats_.requests_cancelled;
+        } else {
+            ++stats_.requests_expired;
+        }
+    }
+
+    // Part 2: queued requests join whatever slots are free.
     admit();
     if (n_active_ == 0) return false;  // admit() drained the queue or it was empty
 
@@ -94,12 +230,22 @@ bool ServeEngine::step() {
     }
 
     // ONE weight walk advances every active session by one token.
-    const std::span<const float> logits = engine_.decode_batch(feed_tokens_, feed_slots_);
+    const std::size_t vocab = backend_->config().vocab_size;
+    backend_->decode_batch(feed_tokens_, feed_slots_,
+                           std::span<float>(logits_.data(),
+                                            feed_slots_.size() * vocab));
+    const engine::StepCost cost = backend_->last_step_cost();
     ++stats_.steps;
+    stats_.weight_walks += cost.weight_walks;
     stats_.lane_steps += feed_slots_.size();
     stats_.peak_batch = std::max(stats_.peak_batch, feed_slots_.size());
+    stats_.wall_ns += cost.wall_ns;
+    stats_.simulated_ns += cost.simulated_ns;
 
-    const std::size_t vocab = engine_.config().vocab_size;
+    // A throwing on_token callback must not corrupt the batch: every lane's
+    // bookkeeping still completes, and the first exception is rethrown only
+    // after the token boundary is consistent.
+    std::exception_ptr callback_error;
     for (std::size_t b = 0; b < feed_slots_.size(); ++b) {
         SessionState& s = *slots_[feed_slots_[b]];
         const bool samplable = s.sampling_after_feed();
@@ -109,21 +255,29 @@ bool ServeEngine::step() {
         }
         if (!samplable) continue;  // mid-prefill: logits row unused
 
-        const std::span<const float> row = logits.subspan(b * vocab, vocab);
+        const std::span<const float> row(logits_.data() + b * vocab, vocab);
         const std::int32_t next = s.sampler.sample(row);
         s.generated.push_back(next);
         ++stats_.generated_tokens;
+        if (s.on_token) {
+            try {
+                s.on_token(next, tokenizer_.decode_token(next));
+            } catch (...) {
+                if (!callback_error) callback_error = std::current_exception();
+            }
+        }
 
         if (next == model::ByteTokenizer::kEos) {
-            retire(s, /*eos=*/true, /*ctx_limit=*/false);
+            retire(s, Retire::kEos);
         } else if (s.generated.size() >= s.max_new_tokens) {
-            retire(s, /*eos=*/false, /*ctx_limit=*/false);
-        } else if (engine_.position(s.slot) >= engine_.config().max_seq_len) {
-            retire(s, /*eos=*/false, /*ctx_limit=*/true);
+            retire(s, Retire::kBudget);
+        } else if (backend_->position(s.slot) >= backend_->config().max_seq_len) {
+            retire(s, Retire::kContext);
         } else {
             s.pending_token = next;
         }
     }
+    if (callback_error) std::rethrow_exception(callback_error);
     return n_active_ > 0 || !queue_.empty();
 }
 

@@ -1,38 +1,50 @@
 // Continuous-batching serve engine: N concurrent decode sessions behind a
-// bounded request queue, one weight walk per step.
+// bounded request queue, one weight walk per step, on ANY DecodeBackend.
 //
 // The paper's whole bandwidth argument is that decode is weight-bound — every
 // token pays one full streaming pass over the quantized weights. A single
 // stream therefore caps out at bandwidth / weight-bytes. The only way past
 // that roofline is to amortize one walk across more work, and this engine is
-// the serving layer that does it on the host twin: each step advances every
-// active session by one token through ONE skinny-GEMM weight walk
-// (ReferenceEngine::decode_batch), so the marginal cost of a second..Nth
-// session is activations and attention, not weights.
+// the serving layer that does it: each step advances every active session by
+// one token through ONE weight walk of whatever backend it owns.
+//
+// Backends (ServeOptions::backend, or bring your own DecodeBackend):
+//   host  — model::ReferenceEngine skinny-GEMM fast path. Wall-clock serving
+//           throughput; every session bit-for-bit identical to a solo run.
+//   accel — accel::Accelerator, the functional KV260 twin priced by
+//           DecodeCycleModel::batch_timing (weights streamed once per step,
+//           KV streams per session). stats().simulated_tokens_per_s() is the
+//           predicted KV260 *serving* throughput.
 //
 // Continuous batching: sessions join and retire at token boundaries only.
 // A joining request's prompt tokens ride the same batched walks as other
 // sessions' decode tokens (mixed prefill/decode batches), so admission never
-// stalls the running sessions. Every session's token stream is bit-for-bit
-// identical to a solo run of the same request — batching changes throughput,
-// never results.
+// stalls the running sessions. Admission order is a pluggable Scheduler
+// (FCFS default, shortest-job-first optional). Requests can stream tokens
+// (Request::on_token), be cancelled cooperatively (RequestHandle::cancel),
+// or carry deadlines — all observed at token boundaries, so the batch never
+// stalls on control operations either.
 //
-// Threading model: submit() is thread-safe; step()/run_until_idle() drive the
-// engine from one caller thread (futures resolve inside step). The engine's
-// own parallelism (GEMM rows, attention clusters) is ServeOptions::threads.
+// Threading model: submit()/cancel() are thread-safe; step()/run_until_idle()
+// drive the engine from one caller thread (futures resolve and on_token
+// callbacks fire inside step). The engine's own parallelism (GEMM rows,
+// attention clusters) is ServeOptions::threads.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "model/reference_engine.hpp"
+#include "engine/backend_factory.hpp"
+#include "engine/decode_backend.hpp"
 #include "model/sampler.hpp"
 #include "model/tokenizer.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/serve_types.hpp"
 #include "serve/session_state.hpp"
 
@@ -40,27 +52,44 @@ namespace efld::serve {
 
 struct ServeOptions {
     model::SamplerConfig sampler{};   // each request gets a fresh sampler
+    engine::BackendKind backend = engine::BackendKind::kHost;
+    SchedulerPolicy scheduler = SchedulerPolicy::kFcfs;
     std::size_t max_batch = 4;        // concurrent session slots
     std::size_t max_queue = 64;       // pending requests before submit rejects
     bool use_kv8 = true;              // software twin of the deployed KV8 cache
     unsigned kv_bits = 8;
-    bool packed_weights = false;      // walk the 4-bit bus streams
+    bool packed_weights = false;      // host: walk the 4-bit bus streams
     std::size_t threads = 1;          // engine worker pool (see EngineOptions)
+    bool collect_timing = true;       // accel: price steps via the cycle model
 };
 
 class ServeEngine {
 public:
-    // Non-owning: `weights` must outlive the engine.
+    // Builds the backend ServeOptions::backend selects. Non-owning of
+    // `weights` (must outlive the engine); the accel backend's packed DDR
+    // image is built from them and owned here. Throws std::invalid_argument
+    // on invalid options (max_batch == 0, max_queue == 0, bad thread count).
     ServeEngine(const model::QuantizedModelWeights& weights, ServeOptions opts);
 
-    // Tokenizes and enqueues; the future resolves when the request retires.
+    // Bring-your-own backend: the engine serves whatever DecodeBackend it is
+    // handed (slot count comes from backend->max_batch(), which overrides
+    // ServeOptions::max_batch).
+    ServeEngine(std::unique_ptr<engine::DecodeBackend> backend, ServeOptions opts);
+
+    // Tokenizes and enqueues; the handle cancels/polls/awaits the request.
     // Throws when the queue is full or the prompt exceeds the context window.
+    RequestHandle submit(Request req);
+
+    // Legacy shim (pre-DecodeBackend API): submit(prompt, max_new) with a
+    // plain future and no streaming/cancellation. Equivalent to
+    // submit(Request{...}).future(), kept so existing call sites compile.
     std::future<ServeResult> submit(const std::string& prompt,
                                     std::size_t max_new_tokens);
 
-    // One batched token step: admit queued requests into free slots, advance
-    // every active session by one token through a single weight walk, retire
-    // finished sessions. Returns true while work remains (active or queued).
+    // One batched token step: retire cancelled/expired sessions, admit queued
+    // requests into free slots (Scheduler order), advance every active
+    // session by one token through a single weight walk, retire finished
+    // sessions. Returns true while work remains (active or queued).
     bool step();
 
     // Drives step() until queue and batch are both empty.
@@ -70,19 +99,34 @@ public:
     [[nodiscard]] std::size_t active_sessions() const noexcept { return n_active_; }
     [[nodiscard]] std::size_t queued_requests() const { return queue_.size(); }
     [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+    [[nodiscard]] const engine::DecodeBackend& backend() const noexcept {
+        return *backend_;
+    }
     [[nodiscard]] const model::ByteTokenizer& tokenizer() const noexcept {
         return tokenizer_;
     }
 
 private:
+    enum class Retire { kEos, kBudget, kContext, kCancelled, kDeadline };
+
+    void init();
+    PendingRequest make_pending(const std::string& prompt, std::size_t max_new,
+                                std::optional<std::chrono::steady_clock::time_point>
+                                    deadline,
+                                TokenCallback on_token);
+    // Resolves a request that never took a slot (zero budget, shed from the
+    // queue by cancel/deadline).
+    static void resolve_unstarted(PendingRequest&& req, Retire why);
     void admit();
-    void retire(SessionState& s, bool eos, bool ctx_limit);
+    void retire(SessionState& s, Retire why);
 
     ServeOptions opts_;
     model::ByteTokenizer tokenizer_;
-    model::ReferenceEngine engine_;
+    engine::BackendBundle bundle_;              // owns the backend (+ packed image)
+    engine::DecodeBackend* backend_ = nullptr;  // = bundle_.backend.get()
+    std::unique_ptr<Scheduler> scheduler_;
     RequestQueue queue_;
-    std::vector<std::optional<SessionState>> slots_;  // index = engine slot
+    std::vector<std::optional<SessionState>> slots_;  // index = backend slot
     std::size_t n_active_ = 0;
     std::atomic<std::uint64_t> next_id_{1};
     ServeStats stats_;
@@ -90,6 +134,7 @@ private:
     // Step scratch (reused, no per-step allocation).
     std::vector<std::int32_t> feed_tokens_;
     std::vector<std::size_t> feed_slots_;
+    std::vector<float> logits_;  // [max_batch][vocab]
 };
 
 }  // namespace efld::serve

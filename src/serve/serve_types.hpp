@@ -1,18 +1,46 @@
-// Shared value types of the serve subsystem: what a caller submits, what a
-// request resolves to, and the counters that expose the GEMV→GEMM
-// amortization (decode is weight-bound, so weight walks per generated token
-// is THE serving efficiency metric — 1.0 at batch 1, approaching 1/batch as
-// sessions overlap).
+// Shared value types of the serve subsystem: what a caller submits
+// (`Request`), the live handle they hold while it runs (`RequestHandle`),
+// what the request resolves to (`ServeResult`), and the counters that expose
+// the GEMV→GEMM amortization (decode is weight-bound, so weight walks per
+// generated token is THE serving efficiency metric — 1.0 at batch 1,
+// approaching 1/batch as sessions overlap).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace efld::serve {
 
-// Resolution of one submitted request.
+// Per-token streaming callback: the sampled token id and its decoded text
+// piece. Invoked from the thread driving ServeEngine::step(), once per
+// sampled token (including a terminal EOS), before the request's future
+// resolves. A throwing callback does not corrupt the batch: the token
+// boundary completes for every session first, then step() rethrows the first
+// exception.
+using TokenCallback = std::function<void(std::int32_t token, std::string_view piece)>;
+
+// What a caller submits. Everything beyond prompt/max_new_tokens is optional:
+// `deadline` retires the request (possibly with partial output) at the first
+// token boundary past the given instant — queued requests past their deadline
+// are shed without ever taking a slot; `on_token` streams tokens as they are
+// sampled.
+struct Request {
+    std::string prompt;
+    std::size_t max_new_tokens = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    TokenCallback on_token;
+};
+
+// Resolution of one submitted request. Exactly one of the stop flags is set
+// unless the request ran its full max_new_tokens budget.
 struct ServeResult {
     std::uint64_t id = 0;
     std::string text;                     // decoded generated tokens
@@ -20,6 +48,53 @@ struct ServeResult {
     std::size_t prompt_tokens = 0;        // prompt length after tokenization
     bool hit_eos = false;                 // stopped on the EOS token
     bool hit_context_limit = false;       // stopped by the KV reservation
+    bool cancelled = false;               // retired by RequestHandle::cancel()
+    bool hit_deadline = false;            // retired by Request::deadline
+};
+
+// State shared between a RequestHandle and the engine's bookkeeping for one
+// request. The cancel flag is the cooperative-cancellation channel: any
+// thread sets it; the serve loop observes it at token boundaries.
+struct RequestControl {
+    std::atomic<bool> cancel{false};
+};
+
+// The caller's live handle to a submitted request: cancel it, poll for
+// completion, or block on the result. Copyable (shared_future semantics); a
+// default-constructed handle is inert.
+class RequestHandle {
+public:
+    RequestHandle() = default;
+    RequestHandle(std::uint64_t id, std::shared_ptr<RequestControl> control,
+                  std::shared_future<ServeResult> fut)
+        : id_(id), control_(std::move(control)), fut_(std::move(fut)) {}
+
+    // Cooperative: the session retires (partial tokens, `cancelled` set) at
+    // the next token boundary; a still-queued request is shed on its next
+    // admission consideration. Safe from any thread, idempotent.
+    void cancel() noexcept {
+        if (control_) control_->cancel.store(true, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool done() const {
+        return fut_.valid() &&
+               fut_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    }
+    // Blocks until the request retires. Throws std::future_error(no_state)
+    // on an inert (default-constructed) handle.
+    [[nodiscard]] const ServeResult& get() const {
+        if (!fut_.valid()) {
+            throw std::future_error(std::future_errc::no_state);
+        }
+        return fut_.get();
+    }
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] bool valid() const noexcept { return fut_.valid(); }
+    [[nodiscard]] std::shared_future<ServeResult> future() const { return fut_; }
+
+private:
+    std::uint64_t id_ = 0;
+    std::shared_ptr<RequestControl> control_;
+    std::shared_future<ServeResult> fut_;
 };
 
 // A tokenized request waiting for a free session slot.
@@ -27,28 +102,46 @@ struct PendingRequest {
     std::uint64_t id = 0;
     std::vector<std::int32_t> prompt;     // tokenized, BOS included
     std::size_t max_new_tokens = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    TokenCallback on_token;
+    std::shared_ptr<RequestControl> control;
     std::promise<ServeResult> promise;
 };
 
 // Aggregate engine counters since construction. `steps` counts batched
-// decode_batch calls — each is exactly one walk of the quantized weights,
-// regardless of how many sessions rode it.
+// decode_batch calls; `weight_walks` accumulates the backend's StepCost
+// reports (1.0 per step for today's backends, fractional for a future
+// partial-stream engine). The two time totals come from the
+// backend's StepCost reports: wall_ns is host time inside decode, and
+// simulated_ns is modeled device time (nonzero for the accel backend), so
+// the same counters answer "how fast is this process" and "how fast would
+// the KV260 serve this load".
 struct ServeStats {
-    std::size_t steps = 0;               // weight walks
+    std::size_t steps = 0;               // batched decode_batch calls
+    double weight_walks = 0.0;           // backend-reported streaming passes
     std::size_t lane_steps = 0;          // sum of batch sizes over steps
     std::size_t prompt_tokens = 0;       // prefill tokens fed
     std::size_t generated_tokens = 0;    // sampled tokens
-    std::size_t requests_completed = 0;
+    std::size_t requests_completed = 0;  // every retirement, any reason
+    std::size_t requests_cancelled = 0;
+    std::size_t requests_expired = 0;    // deadline retirements
     std::size_t peak_batch = 0;
+    double wall_ns = 0.0;                // host time inside backend steps
+    double simulated_ns = 0.0;           // modeled device time (accel backend)
 
     [[nodiscard]] double weight_walks_per_token() const noexcept {
         return generated_tokens > 0
-                   ? static_cast<double>(steps) / static_cast<double>(generated_tokens)
+                   ? weight_walks / static_cast<double>(generated_tokens)
                    : 0.0;
     }
     [[nodiscard]] double mean_batch_occupancy() const noexcept {
         return steps > 0
                    ? static_cast<double>(lane_steps) / static_cast<double>(steps)
+                   : 0.0;
+    }
+    [[nodiscard]] double simulated_tokens_per_s() const noexcept {
+        return simulated_ns > 0.0
+                   ? static_cast<double>(generated_tokens) * 1e9 / simulated_ns
                    : 0.0;
     }
 };

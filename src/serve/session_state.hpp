@@ -8,8 +8,11 @@
 // continuous-batching parity tests assert.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "model/sampler.hpp"
@@ -24,6 +27,9 @@ struct SessionState {
           slot(slot_index),
           prompt(std::move(req.prompt)),
           max_new_tokens(req.max_new_tokens),
+          deadline(req.deadline),
+          on_token(std::move(req.on_token)),
+          control(std::move(req.control)),
           sampler(sampler_cfg),
           promise(std::move(req.promise)) {}
 
@@ -32,10 +38,21 @@ struct SessionState {
     std::vector<std::int32_t> prompt;
     std::size_t prompt_fed = 0;          // prompt ids already decoded
     std::size_t max_new_tokens = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    TokenCallback on_token;              // streaming; may be empty
+    std::shared_ptr<RequestControl> control;  // cancel channel; may be null
     std::vector<std::int32_t> generated;
     model::Sampler sampler;              // fresh per request (seeded by config)
     std::promise<ServeResult> promise;
     std::int32_t pending_token = -1;     // sampled, not yet fed back
+
+    [[nodiscard]] bool cancel_requested() const noexcept {
+        return control != nullptr && control->cancel.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool deadline_passed(
+        std::chrono::steady_clock::time_point now) const noexcept {
+        return deadline.has_value() && now >= *deadline;
+    }
 
     // Next token to feed this step: remaining prompt first, then the token
     // sampled last step.

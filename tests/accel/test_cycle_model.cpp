@@ -1,7 +1,10 @@
 // Decode cycle model: the paper's headline performance numbers.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "accel/cycle_model.hpp"
+#include "common/check.hpp"
 
 namespace efld::accel {
 namespace {
@@ -166,6 +169,75 @@ TEST(CycleModel, FasterMemoryAloneIsWastedOnFixedPlClock) {
                               model::QuantScheme::w4a16_kv8(), acc, fast);
     EXPECT_LT(mem_only.token_timing(128).tokens_per_s(),
               1.25 * base.token_timing(128).tokens_per_s());
+}
+
+// ---- batched-step pricing (the serve-side cycle model) ----
+
+TEST(CycleModel, BatchTimingOfOneLaneIsTokenTiming) {
+    // batch_timing({ctx}) is documented bit-identical to token_timing(ctx):
+    // same op sequence, same arithmetic.
+    DecodeCycleModel m = llama_model();
+    for (const std::size_t ctx : {0u, 1u, 15u, 128u, 511u}) {
+        const std::size_t one[] = {ctx};
+        EXPECT_DOUBLE_EQ(m.batch_timing(one).total_ns, m.token_timing(ctx).total_ns)
+            << "ctx " << ctx;
+    }
+}
+
+TEST(CycleModel, BatchedStepAmortizesWeightStreams) {
+    // Weights cross the bus once per step regardless of lanes. On the KV260's
+    // balanced design the VPU consumes exactly one word per clock, so dense
+    // compute grows with the batch and the win is bounded — but a 4-lane step
+    // must still be strictly cheaper than 4 solo steps (shared streams,
+    // per-step overheads paid once), and weight bytes must not scale with the
+    // lanes while KV bytes do.
+    DecodeCycleModel m = llama_model();
+    const std::size_t lanes[] = {128, 128, 128, 128};
+    const TokenTiming batched = m.batch_timing(lanes);
+    const TokenTiming solo = m.token_timing(128);
+    EXPECT_LT(batched.total_ns, 3.9 * solo.total_ns);  // strictly sub-linear
+    EXPECT_GT(batched.total_ns, solo.total_ns);        // but not free
+    // Projection/head streams are shared; only the per-token embedding row
+    // fetch (fp16 * dim) is per lane.
+    const std::uint64_t emb_row = 2ull * model::ModelConfig::llama2_7b().dim;
+    EXPECT_EQ(batched.weight_bytes, solo.weight_bytes + 3 * emb_row);
+    EXPECT_EQ(batched.kv_read_bytes, 4 * solo.kv_read_bytes);
+    EXPECT_EQ(batched.kv_write_bytes, 4 * solo.kv_write_bytes);
+}
+
+TEST(CycleModel, BatchedTokensPerSecondMonotonicInBatch) {
+    // The serving argument itself: simulated tokens/s of one step must rise
+    // monotonically with the number of lanes riding it.
+    DecodeCycleModel m = llama_model();
+    double prev = 0.0;
+    for (const std::size_t nb : {1u, 2u, 4u, 8u}) {
+        const std::vector<std::size_t> lanes(nb, 256);
+        const double ns = m.batch_timing(lanes).total_ns;
+        const double tok_s = static_cast<double>(nb) * 1e9 / ns;
+        EXPECT_GT(tok_s, prev) << "batch " << nb;
+        prev = tok_s;
+    }
+}
+
+TEST(CycleModel, BatchLanesPricedAtTheirOwnContext) {
+    // Mixed contexts: each lane's KV traffic follows its own history length,
+    // so {0, 511} sits strictly between {0, 0} and {511, 511}.
+    DecodeCycleModel m = llama_model();
+    const std::size_t lo[] = {0, 0};
+    const std::size_t mid[] = {0, 511};
+    const std::size_t hi[] = {511, 511};
+    const double lo_ns = m.batch_timing(lo).total_ns;
+    const double mid_ns = m.batch_timing(mid).total_ns;
+    const double hi_ns = m.batch_timing(hi).total_ns;
+    EXPECT_LT(lo_ns, mid_ns);
+    EXPECT_LT(mid_ns, hi_ns);
+}
+
+TEST(CycleModel, BatchTimingRejectsBadInput) {
+    DecodeCycleModel m = llama_model();
+    EXPECT_THROW((void)m.batch_timing({}), efld::Error);
+    const std::size_t over[] = {model::ModelConfig::llama2_7b().max_seq_len};
+    EXPECT_THROW((void)m.batch_timing(over), efld::Error);
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// The DecodeBackend seam: both implementations (host ReferenceEngine, accel
+// Accelerator) must honor the same slot-lifecycle and decode contract, report
+// honest StepCosts, and stay bit-identical to their own native entry points.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/packed_model.hpp"
+#include "common/check.hpp"
+#include "engine/backend_factory.hpp"
+#include "engine/decode_backend.hpp"
+#include "model/reference_engine.hpp"
+
+namespace efld::engine {
+namespace {
+
+model::ModelConfig test_cfg() { return model::ModelConfig::micro_256(); }
+
+const model::QuantizedModelWeights& test_weights() {
+    static const model::QuantizedModelWeights qw = model::QuantizedModelWeights::quantize(
+        model::ModelWeights::synthetic(test_cfg(), 42), quant::GroupQuantConfig{});
+    return qw;
+}
+
+BackendBundle make(BackendKind kind, std::size_t max_batch) {
+    model::EngineOptions eo;
+    eo.use_kv8 = true;
+    eo.max_batch = max_batch;
+    return make_backend(kind, test_weights(), eo);
+}
+
+class DecodeBackendContract : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(DecodeBackendContract, SlotLifecycle) {
+    BackendBundle b = make(GetParam(), 2);
+    DecodeBackend& be = *b.backend;
+    EXPECT_EQ(be.max_batch(), 2u);
+
+    const std::size_t s0 = be.reserve_slot();
+    const std::size_t s1 = be.reserve_slot();
+    EXPECT_NE(s0, s1);
+    EXPECT_EQ(be.reserve_slot(), DecodeBackend::kNoSlot);  // full
+
+    std::vector<float> logits(be.config().vocab_size);
+    const std::int32_t tok = 5;
+    be.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                    std::span<const std::size_t>(&s1, 1), logits);
+    EXPECT_EQ(be.position(s1), 1u);
+    EXPECT_EQ(be.position(s0), 0u);
+
+    be.release_slot(s1);  // clears KV + position
+    const std::size_t s2 = be.reserve_slot();
+    EXPECT_EQ(s2, s1);
+    EXPECT_EQ(be.position(s2), 0u);
+    EXPECT_THROW(be.release_slot(99), efld::Error);
+}
+
+TEST_P(DecodeBackendContract, StepCostReported) {
+    BackendBundle b = make(GetParam(), 1);
+    DecodeBackend& be = *b.backend;
+    const std::size_t slot = be.reserve_slot();
+    std::vector<float> logits(be.config().vocab_size);
+    const std::int32_t tok = 9;
+    be.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                    std::span<const std::size_t>(&slot, 1), logits);
+    const StepCost c = be.last_step_cost();
+    EXPECT_GT(c.wall_ns, 0.0);
+    EXPECT_DOUBLE_EQ(c.weight_walks, 1.0);
+    if (GetParam() == BackendKind::kAccel) {
+        EXPECT_GT(c.simulated_ns, 0.0);  // cycle-priced
+    } else {
+        EXPECT_EQ(c.simulated_ns, 0.0);  // the host IS the wall clock
+    }
+}
+
+TEST_P(DecodeBackendContract, BatchNeverChangesLogits) {
+    // Two slots fed the same token stream produce each lane bit-identical to
+    // a fresh solo backend of the same kind.
+    BackendBundle batched = make(GetParam(), 2);
+    BackendBundle solo = make(GetParam(), 1);
+    DecodeBackend& bb = *batched.backend;
+    DecodeBackend& sb = *solo.backend;
+    const std::size_t b0 = bb.reserve_slot();
+    const std::size_t b1 = bb.reserve_slot();
+    const std::size_t s0 = sb.reserve_slot();
+
+    const std::size_t vocab = bb.config().vocab_size;
+    std::vector<float> batch_logits(2 * vocab), solo_logits(vocab);
+    const std::vector<std::int32_t> stream = {3, 7, 11, 3};
+    for (const std::int32_t tok : stream) {
+        const std::int32_t toks[] = {tok, tok};
+        const std::size_t slots[] = {b0, b1};
+        bb.decode_batch(toks, slots, batch_logits);
+        sb.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                        std::span<const std::size_t>(&s0, 1), solo_logits);
+        for (std::size_t lane = 0; lane < 2; ++lane) {
+            for (std::size_t i = 0; i < vocab; ++i) {
+                ASSERT_EQ(batch_logits[lane * vocab + i], solo_logits[i])
+                    << "lane " << lane << " logit " << i;
+            }
+        }
+    }
+}
+
+TEST_P(DecodeBackendContract, ResetClearsStateKeepsReservations) {
+    BackendBundle b = make(GetParam(), 2);
+    DecodeBackend& be = *b.backend;
+    const std::size_t s0 = be.reserve_slot();
+    std::vector<float> logits(be.config().vocab_size);
+    const std::int32_t tok = 4;
+    be.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                    std::span<const std::size_t>(&s0, 1), logits);
+    EXPECT_EQ(be.position(s0), 1u);
+    be.reset();
+    EXPECT_EQ(be.position(s0), 0u);
+    // Reservation survived: the other slot is still the only free one.
+    const std::size_t s1 = be.reserve_slot();
+    EXPECT_NE(s1, s0);
+    EXPECT_EQ(be.reserve_slot(), DecodeBackend::kNoSlot);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, DecodeBackendContract,
+                         ::testing::Values(BackendKind::kHost, BackendKind::kAccel),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                             return std::string(to_string(info.param));
+                         });
+
+TEST(DecodeBackendFactory, KindRoundTrips) {
+    EXPECT_EQ(backend_kind_from_string("host"), BackendKind::kHost);
+    EXPECT_EQ(backend_kind_from_string("accel"), BackendKind::kAccel);
+    EXPECT_EQ(to_string(BackendKind::kAccel), "accel");
+    EXPECT_THROW((void)backend_kind_from_string("gpu"), std::invalid_argument);
+}
+
+TEST(DecodeBackendFactory, HostBackendMatchesNativeDecode) {
+    // The seam's logits_out copy is bit-for-bit the native span-returning
+    // decode on an identically configured engine.
+    model::EngineOptions eo;
+    eo.use_kv8 = true;
+    BackendBundle b = make(BackendKind::kHost, 1);
+    model::ReferenceEngine native(test_weights(), eo);
+
+    const std::size_t slot = b.backend->reserve_slot();
+    std::vector<float> seam(b.backend->config().vocab_size);
+    for (const std::int32_t tok : {1, 8, 64}) {
+        b.backend->decode_batch(std::span<const std::int32_t>(&tok, 1),
+                                std::span<const std::size_t>(&slot, 1), seam);
+        const std::span<const float> want = native.decode(tok);
+        for (std::size_t i = 0; i < seam.size(); ++i) ASSERT_EQ(seam[i], want[i]);
+    }
+}
+
+TEST(DecodeBackendFactory, AccelBackendMatchesNativeStep) {
+    // Accelerator::decode_batch single lane == Accelerator::step, functional
+    // and priced: simulated_ns of the 1-lane batch equals the step timing.
+    BackendBundle b = make(BackendKind::kAccel, 1);
+    accel::Accelerator native(*b.packed);
+
+    auto& be = *b.backend;
+    const std::size_t slot = be.reserve_slot();
+    std::vector<float> seam(be.config().vocab_size);
+    for (const std::int32_t tok : {2, 5, 17}) {
+        be.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                        std::span<const std::size_t>(&slot, 1), seam);
+        const accel::StepResult want = native.step(tok);
+        for (std::size_t i = 0; i < seam.size(); ++i) ASSERT_EQ(seam[i], want.logits[i]);
+        EXPECT_DOUBLE_EQ(be.last_step_cost().simulated_ns, want.timing.total_ns);
+    }
+}
+
+TEST(DecodeBackendFactory, AccelSlotsAreIndependentSessions) {
+    // Two accel slots fed different streams keep independent KV: slot A's
+    // logits match a solo accelerator fed only A's stream.
+    BackendBundle b = make(BackendKind::kAccel, 2);
+    accel::Accelerator solo(*b.packed);
+
+    auto& be = *b.backend;
+    const std::size_t sa = be.reserve_slot();
+    const std::size_t sb = be.reserve_slot();
+    const std::size_t vocab = be.config().vocab_size;
+    std::vector<float> logits(2 * vocab);
+
+    accel::StepResult want;
+    for (const std::int32_t tok : {3, 9, 27}) {
+        const std::int32_t toks[] = {tok, static_cast<std::int32_t>(tok + 1)};
+        const std::size_t slots[] = {sa, sb};
+        be.decode_batch(toks, slots, logits);
+        want = solo.step(tok);
+        for (std::size_t i = 0; i < vocab; ++i) ASSERT_EQ(logits[i], want.logits[i]);
+    }
+}
+
+}  // namespace
+}  // namespace efld::engine
