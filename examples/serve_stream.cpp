@@ -1,41 +1,44 @@
-// Streaming + control-plane tour of the DecodeBackend serve API.
+// Streaming + control-plane tour of the DecodeBackend serve API, driven by
+// the background serve thread.
 //
-// Demonstrates what the redesigned request API adds over submit-and-wait:
-// per-token streaming callbacks, cooperative cancellation through a
-// RequestHandle, deadlines that shed queued work, shortest-job-first
-// admission — and the same request set served on the cycle-priced KV260
-// twin, reporting the simulated device serving rate next to the host's
-// wall-clock one.
+// Demonstrates what the request API adds over submit-and-wait: per-token
+// streaming callbacks, cooperative cancellation through a RequestHandle,
+// deadlines that shed queued work, shortest-job-first admission — all served
+// by ServeEngine::run()'s dedicated thread (no hand-cranked step() loop) —
+// plus the same request set on the cycle-priced KV260 twin with a
+// capacity-governed KV page pool, reporting the simulated device serving
+// rate and pool pressure next to the host's wall-clock numbers.
 //
 //   $ ./serve_stream
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "runtime/serve.hpp"
 
 using namespace efld;
 
-namespace {
-
-runtime::ServeDeployment make_deployment(engine::BackendKind backend) {
-    runtime::ServeOptions opts;
-    opts.sampler.temperature = 0.0f;  // deterministic demo
-    opts.backend = backend;
-    opts.max_batch = 4;
-    opts.scheduler = serve::SchedulerPolicy::kSjf;
-    return runtime::synthetic_serve(model::ModelConfig::micro_256(), 21, opts);
-}
-
-}  // namespace
-
 int main() {
-    std::printf("-- serve_stream: streaming, cancellation, deadlines, two backends\n");
+    std::printf("-- serve_stream: background driver, streaming, cancellation, "
+                "deadlines, paging\n");
     std::printf("-- (synthetic micro-256 weights: output bytes are gibberish)\n\n");
 
-    // 1. Streaming: tokens arrive through the callback as they are sampled,
-    //    long before the future resolves.
-    runtime::ServeDeployment host = make_deployment(engine::BackendKind::kHost);
+    runtime::ServeOptions host_opts;
+    host_opts.sampler.temperature = 0.0f;  // deterministic demo
+    host_opts.max_batch = 4;
+    host_opts.scheduler = serve::SchedulerPolicy::kSjf;
+    runtime::ServeDeployment host =
+        runtime::synthetic_serve(model::ModelConfig::micro_256(), 21, host_opts);
+
+    // The serving thread: from here on the engine decodes on its own; this
+    // thread only submits and awaits.
+    host.engine->run();
+
+    // 1. Streaming: tokens arrive through the callback (on the driver
+    //    thread) long before the future resolves.
     std::printf("[stream ] ");
     runtime::RequestHandle streaming = host.engine->submit(runtime::ServeRequest{
         .prompt = "stream these tokens",
@@ -45,11 +48,19 @@ int main() {
             std::fflush(stdout);
         }});
 
-    // 2. Cancellation: start a 10k-token request, pull the plug after a few
-    //    steps, keep the partial output.
-    runtime::RequestHandle doomed = host.engine->submit(
-        runtime::ServeRequest{.prompt = "never finishes", .max_new_tokens = 10000});
-    for (int i = 0; i < 25 && host.engine->step(); ++i) {}
+    // 2. Cancellation: start a long request, pull the plug once a few tokens
+    //    have streamed (so the cancel provably lands mid-decode regardless of
+    //    machine speed), keep the partial output.
+    std::atomic<int> doomed_tokens{0};
+    runtime::RequestHandle doomed = host.engine->submit(runtime::ServeRequest{
+        .prompt = "never finishes",
+        .max_new_tokens = 45,
+        .on_token = [&doomed_tokens](std::int32_t, std::string_view) {
+            doomed_tokens.fetch_add(1);
+        }});
+    while (doomed_tokens.load() < 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     doomed.cancel();
 
     // 3. Deadline: a request whose deadline already passed is shed from the
@@ -59,28 +70,49 @@ int main() {
         .max_new_tokens = 8,
         .deadline = std::chrono::steady_clock::now()});
 
-    host.engine->run_until_idle();
-    std::printf("\n[cancel ] %zu tokens kept, cancelled=%s\n",
-                doomed.get().tokens.size(), doomed.get().cancelled ? "yes" : "no");
-    std::printf("[expire ] %zu tokens, hit_deadline=%s\n", late.get().tokens.size(),
-                late.get().hit_deadline ? "yes" : "no");
+    host.engine->wait_until_idle();
+    std::printf("\n[cancel ] %zu tokens kept, finish_reason=%s\n",
+                doomed.get().tokens.size(),
+                std::string(to_string(doomed.get().finish_reason)).c_str());
+    std::printf("[expire ] %zu tokens, finish_reason=%s\n", late.get().tokens.size(),
+                std::string(to_string(late.get().finish_reason)).c_str());
     (void)streaming.get();
+    host.engine->stop();
 
     const runtime::ServeStats& hs = host.engine->stats();
     std::printf("[host   ] %zu walks / %zu tokens = %.3f walks/token\n\n", hs.steps,
                 hs.generated_tokens, hs.weight_walks_per_token());
 
-    // 4. Same engine loop, accel backend: the functional KV260 twin priced by
-    //    the batched cycle model. The number that matters is the simulated
-    //    device serving rate.
-    runtime::ServeDeployment accel = make_deployment(engine::BackendKind::kAccel);
+    // 4. Same API, accel backend with a PAGED KV pool: the functional KV260
+    //    twin priced by the batched cycle model, sessions drawing 16-token
+    //    pages from a tiny budget — the capacity governor serializes what
+    //    does not fit and every deferred request still completes.
+    runtime::ServeOptions accel_opts;
+    accel_opts.sampler.temperature = 0.0f;
+    accel_opts.backend = engine::BackendKind::kAccel;
+    accel_opts.max_batch = 4;
+    accel_opts.paging = true;
+    accel_opts.kv_page_tokens = 16;
+    accel_opts.kv_pool_pages = 2;  // 32 tokens of aggregate KV: real pressure
+    runtime::ServeDeployment accel =
+        runtime::synthetic_serve(model::ModelConfig::micro_256(), 21, accel_opts);
+    accel.engine->run();
+    std::vector<runtime::RequestHandle> hs2;
     for (const std::string& p : {"alpha", "beta", "gamma", "delta"}) {
-        (void)accel.engine->submit(runtime::ServeRequest{.prompt = p, .max_new_tokens = 6});
+        hs2.push_back(accel.engine->submit(
+            runtime::ServeRequest{.prompt = p, .max_new_tokens = 6}));
     }
-    accel.engine->run_until_idle();
+    std::size_t deferred = 0;
+    for (auto& h : hs2) deferred += h.get().times_deferred > 0 ? 1 : 0;
+    accel.engine->stop();
     const runtime::ServeStats& as = accel.engine->stats();
     std::printf("[accel  ] %.0f simulated tok/s on the KV260 twin "
                 "(%.3f walks/token, peak batch %zu)\n",
-                as.simulated_tokens_per_s(), as.weight_walks_per_token(), as.peak_batch);
+                as.simulated_tokens_per_s(), as.weight_walks_per_token(),
+                as.peak_batch);
+    std::printf("[paging ] %zu-page pool, %zu/%zu requests deferred then served, "
+                "peak committed %zu pages\n",
+                accel.engine->governor()->total_pages(), deferred, hs2.size(),
+                accel.engine->governor()->stats().peak_committed_pages);
     return 0;
 }

@@ -17,6 +17,13 @@
 // streamed once for the whole batch, KV streams and SPU work per session
 // (DecodeCycleModel::batch_timing) — so the serving layer can report
 // simulated KV260 serving throughput, not just single-stream decode.
+//
+// Paged KV (AccelConfig::kv_page_tokens > 0): a session's KV history is
+// priced as one DDR burst per block-table page (each with its own descriptor
+// overhead) instead of one contiguous burst, matching the kvpool layout the
+// serving layer budgets with. Functional results are unchanged — paging is a
+// capacity/layout property; the twin's in-memory KV arrays are simulation
+// scaffolding, not modeled DDR.
 #pragma once
 
 #include <cstdint>

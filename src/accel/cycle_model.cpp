@@ -95,6 +95,20 @@ TokenTiming DecodeCycleModel::batch_timing(std::span<const std::size_t> ctxs,
         return div_ceil(txn.bytes, kBusBytes) * nb;  // VPU: one word/clk/lane
     };
 
+    // A session's KV history is one burst per block-table page when paging is
+    // on (each paying its own descriptor/FSM start), one burst per history
+    // otherwise.
+    const std::size_t page_tok = accel_.kv_page_tokens;
+    auto history_pages = [page_tok](std::size_t ctx, auto&& fn) {
+        if (page_tok == 0) {
+            fn(std::size_t{0}, ctx);
+            return;
+        }
+        for (std::size_t t = 0; t < ctx; t += page_tok) {
+            fn(t, std::min(ctx, t + page_tok));
+        }
+    };
+
     // SPU serial costs (cycles) for this geometry; per-lane where the work is
     // per-session. Softmax length tracks each lane's own context.
     const double rms_ns = static_cast<double>(cfg_.dim + 16) * clk;  // bypassed pass 1
@@ -138,13 +152,18 @@ TokenTiming DecodeCycleModel::batch_timing(std::span<const std::size_t> ctxs,
                 }
 
                 // Dot against each lane's rotated-key history (+ packs every
-                // 16 tokens) — KV traffic is per-session.
+                // 16 tokens) — KV traffic is per-session, per page.
                 for (std::size_t b = 0; b < nb; ++b) {
                     if (ctxs[b] == 0) continue;
-                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctxs[b]);
-                    dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes), 0.0);
-                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctxs[b]);
-                    if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
+                    history_pages(ctxs[b], [&](std::size_t tb, std::size_t te) {
+                        const Transaction kc =
+                            mcu_.kv_code_read_range(layer, kvh, false, tb, te);
+                        dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes),
+                                 0.0);
+                        const Transaction kp =
+                            mcu_.kv_pack_read_range(layer, kvh, false, tb, te);
+                        if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
+                    });
                 }
 
                 if (new_kv_head) {
@@ -162,13 +181,23 @@ TokenTiming DecodeCycleModel::batch_timing(std::span<const std::size_t> ctxs,
                 // exposed when that lane has no history yet.
                 for (std::size_t b = 0; b < nb; ++b) {
                     if (ctxs[b] > 0) {
-                        const Transaction vc =
-                            mcu_.kv_code_read(layer, kvh, true, ctxs[b]);
-                        dense_op(octx, "kv_av_hist", vc, div_ceil(vc.bytes, kBusBytes),
-                                 new_kv_head ? 0.0 : softmax_ns(ctxs[b]));
-                        const Transaction vp =
-                            mcu_.kv_pack_read(layer, kvh, true, ctxs[b]);
-                        if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
+                        // A paged history hides the lane's softmax behind its
+                        // FIRST page burst only — shorter cover ops are the
+                        // latency cost of paging.
+                        bool first_page = true;
+                        history_pages(ctxs[b], [&](std::size_t tb, std::size_t te) {
+                            const Transaction vc =
+                                mcu_.kv_code_read_range(layer, kvh, true, tb, te);
+                            dense_op(octx, "kv_av_hist", vc,
+                                     div_ceil(vc.bytes, kBusBytes),
+                                     first_page && !new_kv_head
+                                         ? softmax_ns(ctxs[b])
+                                         : 0.0);
+                            first_page = false;
+                            const Transaction vp =
+                                mcu_.kv_pack_read_range(layer, kvh, true, tb, te);
+                            if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
+                        });
                     } else if (!new_kv_head) {
                         spu_only_op(octx, "softmax_exposed", softmax_ns(ctxs[b]));
                     }
@@ -197,18 +226,28 @@ TokenTiming DecodeCycleModel::batch_timing(std::span<const std::size_t> ctxs,
                 const std::size_t kvh = h / heads_per_kv;
                 for (std::size_t b = 0; b < nb; ++b) {
                     if (ctxs[b] == 0) continue;
-                    const Transaction kc = mcu_.kv_code_read(layer, kvh, false, ctxs[b]);
-                    dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes), 0.0);
-                    const Transaction kp = mcu_.kv_pack_read(layer, kvh, false, ctxs[b]);
-                    if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
+                    history_pages(ctxs[b], [&](std::size_t tb, std::size_t te) {
+                        const Transaction kc =
+                            mcu_.kv_code_read_range(layer, kvh, false, tb, te);
+                        dense_op(octx, "kv_qk_hist", kc, div_ceil(kc.bytes, kBusBytes),
+                                 0.0);
+                        const Transaction kp =
+                            mcu_.kv_pack_read_range(layer, kvh, false, tb, te);
+                        if (kp.bytes > 0) dense_op(octx, "kv_qk_packs", kp, 0, 0.0);
+                    });
                 }
                 spu_only_op(octx, "softmax", softmax_all_ns());
                 for (std::size_t b = 0; b < nb; ++b) {
                     if (ctxs[b] == 0) continue;
-                    const Transaction vc = mcu_.kv_code_read(layer, kvh, true, ctxs[b]);
-                    dense_op(octx, "kv_av_hist", vc, div_ceil(vc.bytes, kBusBytes), 0.0);
-                    const Transaction vp = mcu_.kv_pack_read(layer, kvh, true, ctxs[b]);
-                    if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
+                    history_pages(ctxs[b], [&](std::size_t tb, std::size_t te) {
+                        const Transaction vc =
+                            mcu_.kv_code_read_range(layer, kvh, true, tb, te);
+                        dense_op(octx, "kv_av_hist", vc, div_ceil(vc.bytes, kBusBytes),
+                                 0.0);
+                        const Transaction vp =
+                            mcu_.kv_pack_read_range(layer, kvh, true, tb, te);
+                        if (vp.bytes > 0) dense_op(octx, "kv_av_packs", vp, 0, 0.0);
+                    });
                 }
             }
         }

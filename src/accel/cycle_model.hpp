@@ -37,6 +37,15 @@ struct AccelConfig {
     // Per-token PS turnaround: AXI-Lite command, sampling, next-token sync.
     unsigned token_overhead_clk = 3000;
 
+    // Paged KV streaming: > 0 prices each session's KV history as one
+    // descriptor per kv_page_tokens-token page instead of one burst per
+    // history — the datamover cost of the kvpool block tables. Each page is a
+    // separate transaction paying its own FSM start, so paging trades a
+    // little decode latency for the capacity headroom the pool buys. Byte
+    // counts are unchanged when the page is a multiple of the 16-token pack
+    // word. 0 = contiguous per-session KV regions.
+    std::size_t kv_page_tokens = 0;
+
     [[nodiscard]] double clk_ns() const noexcept { return 1000.0 / clock_mhz; }
 };
 

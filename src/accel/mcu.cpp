@@ -169,16 +169,37 @@ std::uint64_t Mcu::kv_pack_base(std::size_t layer, std::size_t kv_head,
 
 Transaction Mcu::kv_code_read(std::size_t layer, std::size_t kv_head, bool is_value,
                               std::size_t ctx) const {
-    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
-    return {kv_code_base(layer, kv_head, is_value), ctx * cfg_.head_dim() * kv_elem,
-            Dir::kRead};
+    return kv_code_read_range(layer, kv_head, is_value, 0, ctx);
 }
 
 Transaction Mcu::kv_pack_read(std::size_t layer, std::size_t kv_head, bool is_value,
                               std::size_t ctx) const {
-    const std::uint64_t bytes =
-        scheme_.kv_bits < 16 ? div_ceil(ctx, 16) * kBusBytes : 0;
-    return {kv_pack_base(layer, kv_head, is_value), bytes, Dir::kRead};
+    return kv_pack_read_range(layer, kv_head, is_value, 0, ctx);
+}
+
+Transaction Mcu::kv_code_read_range(std::size_t layer, std::size_t kv_head,
+                                    bool is_value, std::size_t tok_begin,
+                                    std::size_t tok_end) const {
+    check(tok_begin <= tok_end && tok_end <= cfg_.max_seq_len,
+          "Mcu: bad KV token range");
+    const std::uint64_t kv_elem = scheme_.kv_bits / 8;
+    const std::uint64_t row = cfg_.head_dim() * kv_elem;
+    return {kv_code_base(layer, kv_head, is_value) + tok_begin * row,
+            (tok_end - tok_begin) * row, Dir::kRead};
+}
+
+Transaction Mcu::kv_pack_read_range(std::size_t layer, std::size_t kv_head,
+                                    bool is_value, std::size_t tok_begin,
+                                    std::size_t tok_end) const {
+    check(tok_begin <= tok_end && tok_end <= cfg_.max_seq_len,
+          "Mcu: bad KV token range");
+    if (scheme_.kv_bits >= 16) {
+        return {kv_pack_base(layer, kv_head, is_value), 0, Dir::kRead};
+    }
+    const std::uint64_t word_begin = tok_begin / 16;
+    const std::uint64_t word_end = div_ceil(tok_end, 16);
+    return {kv_pack_base(layer, kv_head, is_value) + word_begin * kBusBytes,
+            (word_end - word_begin) * kBusBytes, Dir::kRead};
 }
 
 Transaction Mcu::kv_code_write(std::size_t layer, std::size_t kv_head, bool is_value,

@@ -47,6 +47,21 @@ public:
                                                    bool is_value, std::size_t ctx) const;
     [[nodiscard]] memsim::Transaction kv_pack_read(std::size_t layer, std::size_t kv_head,
                                                    bool is_value, std::size_t ctx) const;
+    // History sub-range [tok_begin, tok_end) — one paged-KV burst. The full
+    // reads above are the [0, ctx) special case.
+    [[nodiscard]] memsim::Transaction kv_code_read_range(std::size_t layer,
+                                                         std::size_t kv_head,
+                                                         bool is_value,
+                                                         std::size_t tok_begin,
+                                                         std::size_t tok_end) const;
+    // Pack words covering [tok_begin, tok_end): words tok_begin/16 through
+    // ceil(tok_end/16). A range that straddles a word re-reads it, exactly as
+    // a paged descriptor would.
+    [[nodiscard]] memsim::Transaction kv_pack_read_range(std::size_t layer,
+                                                         std::size_t kv_head,
+                                                         bool is_value,
+                                                         std::size_t tok_begin,
+                                                         std::size_t tok_end) const;
     [[nodiscard]] memsim::Transaction kv_code_write(std::size_t layer, std::size_t kv_head,
                                                     bool is_value, std::size_t token) const;
     // Pack write happens only when the FIFO word fills (token % 16 == 15).

@@ -26,6 +26,9 @@ BackendBundle make_backend(BackendKind kind, const model::QuantizedModelWeights&
     }
     b.packed = std::make_unique<accel::PackedModel>(accel::PackedModel::build(weights));
     accel_opts.max_batch = host_opts.max_batch;
+    // The accel twin prices paged KV in the cycle model (per-page bursts);
+    // its functional KV storage is host-side scaffolding either way.
+    accel_opts.accel.kv_page_tokens = host_opts.kv_page_tokens;
     b.backend = std::make_unique<accel::Accelerator>(*b.packed, accel_opts);
     return b;
 }

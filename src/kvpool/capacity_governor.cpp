@@ -1,0 +1,43 @@
+#include "kvpool/capacity_governor.hpp"
+
+#include <algorithm>
+
+#include "common/bitpack.hpp"
+#include "common/check.hpp"
+
+namespace efld::kvpool {
+
+std::uint64_t kv_budget_from_plan(const runtime::MemoryPlan& plan) {
+    const std::uint64_t spoken_for = plan.weight_bytes + plan.reserved_bytes;
+    if (spoken_for >= plan.device_bytes) return 0;  // weights alone overflow
+    return plan.device_bytes - spoken_for;
+}
+
+CapacityGovernor::CapacityGovernor(std::size_t total_pages, std::size_t page_tokens)
+    : total_pages_(total_pages), page_tokens_(page_tokens) {
+    check(page_tokens_ > 0, "CapacityGovernor: page_tokens must be >= 1");
+    check(total_pages_ > 0, "CapacityGovernor: pool must hold at least one page");
+}
+
+std::size_t CapacityGovernor::predict_pages(std::size_t prompt_tokens,
+                                            std::size_t max_new) const noexcept {
+    return static_cast<std::size_t>(div_ceil(prompt_tokens + max_new, page_tokens_));
+}
+
+bool CapacityGovernor::try_admit(std::size_t pages) {
+    if (committed_ + pages > total_pages_) {
+        ++stats_.deferral_events;
+        return false;
+    }
+    committed_ += pages;
+    ++stats_.admitted;
+    stats_.peak_committed_pages = std::max(stats_.peak_committed_pages, committed_);
+    return true;
+}
+
+void CapacityGovernor::release(std::size_t pages) {
+    check(pages <= committed_, "CapacityGovernor: releasing more than committed");
+    committed_ -= pages;
+}
+
+}  // namespace efld::kvpool

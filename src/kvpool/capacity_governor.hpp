@@ -1,0 +1,76 @@
+// Capacity-aware admission control over a paged KV budget.
+//
+// The governor answers ONE question for the serving layer: can this request
+// join the batch without ever running the KV pool dry? It prices a request at
+// its worst case — ceil((prompt + max_new) / page_tokens) pages — and admits
+// only while the sum of all admitted worst cases fits the pool. Admitted
+// sessions therefore can never hit pool exhaustion mid-decode (no preemption
+// or swapping machinery needed), yet concurrency still scales far past a
+// static max_batch because requests are priced at *their* lengths, not at the
+// context window: a 64-token chat request commits 4 pages of a 16-token-page
+// pool where a static reservation would pin 64.
+//
+// This is deliberately a commitment ledger, decoupled from the KvBlockPool's
+// physical free list: commitments are made at admission (before any page is
+// touched) and released at retirement, and the pool's in-use count trails the
+// committed count as sequences actually grow. Both are sized from the same
+// MemoryPlanner-derived DDR budget.
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.hpp"
+#include "runtime/memory_planner.hpp"
+
+namespace efld::kvpool {
+
+// The DDR a device plan leaves for KV paging: the planner's single-session
+// KV reservation plus whatever is free after weights and firmware. (When even
+// the weights do not fit, there is no budget at all.)
+[[nodiscard]] std::uint64_t kv_budget_from_plan(const runtime::MemoryPlan& plan);
+
+struct GovernorStats {
+    std::size_t admitted = 0;         // requests admitted
+    std::size_t deferral_events = 0;  // admission attempts refused for capacity
+    std::size_t peak_committed_pages = 0;
+};
+
+class CapacityGovernor {
+public:
+    CapacityGovernor(std::size_t total_pages, std::size_t page_tokens);
+
+    // Worst-case page demand of a (prompt_tokens, max_new) request.
+    [[nodiscard]] std::size_t predict_pages(std::size_t prompt_tokens,
+                                            std::size_t max_new) const noexcept;
+
+    // Commits `pages` if they fit next to every prior commitment; false (and
+    // a recorded deferral) otherwise. A request that is refused stays queued
+    // and is re-considered when capacity frees.
+    [[nodiscard]] bool try_admit(std::size_t pages);
+    // Returns a retired request's commitment to the budget.
+    void release(std::size_t pages);
+
+    // Whether `pages` could EVER be admitted (an empty pool). Requests past
+    // this bound must be rejected at submit, or they would defer forever.
+    [[nodiscard]] bool ever_admissible(std::size_t pages) const noexcept {
+        return pages <= total_pages_;
+    }
+
+    [[nodiscard]] std::size_t total_pages() const noexcept { return total_pages_; }
+    [[nodiscard]] std::size_t committed_pages() const noexcept { return committed_; }
+    [[nodiscard]] std::size_t page_tokens() const noexcept { return page_tokens_; }
+    [[nodiscard]] double utilization() const noexcept {
+        return total_pages_ > 0
+                   ? static_cast<double>(committed_) / static_cast<double>(total_pages_)
+                   : 0.0;
+    }
+    [[nodiscard]] const GovernorStats& stats() const noexcept { return stats_; }
+
+private:
+    std::size_t total_pages_ = 0;
+    std::size_t page_tokens_ = 0;
+    std::size_t committed_ = 0;
+    GovernorStats stats_;
+};
+
+}  // namespace efld::kvpool

@@ -1,0 +1,95 @@
+#include "kvpool/kv_block_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace efld::kvpool {
+
+std::uint64_t page_bytes(const model::ModelConfig& cfg, const model::QuantScheme& scheme,
+                         std::size_t page_tokens) {
+    check(page_tokens > 0, "page_bytes: page_tokens must be >= 1");
+    // Reuse the footprint model the planner and the address map already agree
+    // on: KV bytes are linear in max_seq_len, so a page costs the footprint of
+    // a page_tokens-long reservation. Pack words flush every 16 tokens, which
+    // compute_footprint rounds up — page_tokens that are a multiple of 16
+    // therefore price exactly; smaller pages price conservatively (each page
+    // still owns whole pack words, as it would in DDR).
+    model::ModelConfig probe = cfg;
+    probe.max_seq_len = page_tokens;
+    const model::ModelFootprint f = model::compute_footprint(probe, scheme);
+    return f.kv_total_bytes();
+}
+
+std::size_t pages_for_budget(const model::ModelConfig& cfg,
+                             const model::QuantScheme& scheme,
+                             std::uint64_t budget_bytes, std::size_t page_tokens) {
+    const std::uint64_t per_page = page_bytes(cfg, scheme, page_tokens);
+    return static_cast<std::size_t>(budget_bytes / per_page);
+}
+
+KvBlockPool::KvBlockPool(KvPoolConfig cfg) : cfg_(cfg) {
+    check(cfg_.page_tokens > 0, "KvBlockPool: page_tokens must be >= 1");
+    check(cfg_.n_pages > 0, "KvBlockPool: pool must hold at least one page");
+    free_.reserve(cfg_.n_pages);
+    // Stack ordered so the lowest page ids are handed out first.
+    for (std::size_t p = cfg_.n_pages; p > 0; --p) free_.push_back(p - 1);
+}
+
+std::size_t KvBlockPool::create_sequence() {
+    for (std::size_t s = 0; s < seqs_.size(); ++s) {
+        if (!seqs_[s].live) {
+            seqs_[s].live = true;
+            return s;
+        }
+    }
+    seqs_.push_back(Sequence{.live = true});
+    return seqs_.size() - 1;
+}
+
+const KvBlockPool::Sequence& KvBlockPool::seq_checked(std::size_t seq) const {
+    check(seq < seqs_.size() && seqs_[seq].live, "KvBlockPool: unknown sequence");
+    return seqs_[seq];
+}
+
+void KvBlockPool::reset_sequence(std::size_t seq) {
+    (void)seq_checked(seq);
+    Sequence& s = seqs_[seq];
+    for (auto it = s.pages.rbegin(); it != s.pages.rend(); ++it) free_.push_back(*it);
+    s.pages.clear();
+    s.tokens = 0;
+}
+
+void KvBlockPool::free_sequence(std::size_t seq) {
+    reset_sequence(seq);
+    seqs_[seq].live = false;
+}
+
+bool KvBlockPool::append_token(std::size_t seq) {
+    (void)seq_checked(seq);
+    Sequence& s = seqs_[seq];
+    if (s.tokens == s.pages.size() * cfg_.page_tokens) {
+        if (free_.empty()) return false;  // exhausted: sequence unchanged
+        s.pages.push_back(free_.back());
+        free_.pop_back();
+    }
+    ++s.tokens;
+    return true;
+}
+
+std::size_t KvBlockPool::seq_tokens(std::size_t seq) const {
+    return seq_checked(seq).tokens;
+}
+
+const std::vector<std::size_t>& KvBlockPool::block_table(std::size_t seq) const {
+    return seq_checked(seq).pages;
+}
+
+KvBlockPool::PageSlot KvBlockPool::locate(std::size_t seq, std::size_t token) const {
+    const Sequence& s = seq_checked(seq);
+    check(token < s.tokens, "KvBlockPool: token beyond sequence length");
+    return {s.pages[token / cfg_.page_tokens], token % cfg_.page_tokens};
+}
+
+}  // namespace efld::kvpool

@@ -1,0 +1,179 @@
+#include "kvpool/paged_kv_cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace efld::kvpool {
+
+namespace {
+// Appends share the contiguous caches' cadence: every layer writes the same
+// position, the token advances after the last layer. The cadence counter is
+// advanced only AFTER the pool grants the token, so a refused append (pool
+// exhausted) leaves the sequence in a consistent, retryable state.
+bool first_layer_of_position(std::vector<std::size_t>& appended, std::size_t seq) {
+    if (seq >= appended.size()) appended.resize(seq + 1, 0);
+    return appended[seq] == 0;
+}
+
+void advance_layer_cadence(std::vector<std::size_t>& appended, std::size_t seq,
+                           std::size_t n_layers) {
+    if (++appended[seq] == n_layers) appended[seq] = 0;
+}
+}  // namespace
+
+PagedKvArena::PagedKvArena(const model::ModelConfig& cfg, KvPoolConfig pool_cfg)
+    : cfg_(cfg), pool_(pool_cfg) {
+    page_floats_ =
+        cfg_.n_layers * cfg_.n_kv_heads * pool_.page_tokens() * cfg_.head_dim();
+    k_.resize(pool_.pages_total() * page_floats_);
+    v_.resize(pool_.pages_total() * page_floats_);
+}
+
+void PagedKvArena::free_sequence(std::size_t seq) {
+    pool_.free_sequence(seq);
+    if (seq < appended_this_pos_.size()) appended_this_pos_[seq] = 0;
+}
+
+void PagedKvArena::reset_sequence(std::size_t seq) {
+    pool_.reset_sequence(seq);
+    if (seq < appended_this_pos_.size()) appended_this_pos_[seq] = 0;
+}
+
+void PagedKvArena::append(std::size_t seq, std::size_t layer, std::span<const float> k,
+                          std::span<const float> v) {
+    check(layer < cfg_.n_layers, "PagedKvArena: layer out of range");
+    check(k.size() == cfg_.kv_dim() && v.size() == cfg_.kv_dim(),
+          "PagedKvArena: bad vector size");
+    std::size_t token = pool_.seq_tokens(seq);
+    if (first_layer_of_position(appended_this_pos_, seq)) {
+        check(pool_.append_token(seq),
+              "PagedKvArena: KV pool exhausted (admission should have deferred "
+              "this sequence)");
+    } else {
+        --token;  // later layers write the position the first layer opened
+    }
+    advance_layer_cadence(appended_this_pos_, seq, cfg_.n_layers);
+    const KvBlockPool::PageSlot slot = pool_.locate(seq, token);
+    const std::size_t hd = cfg_.head_dim();
+    float* kp = k_.data() + slot.page * page_floats_;
+    float* vp = v_.data() + slot.page * page_floats_;
+    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+        const std::size_t off = page_off(layer, h, slot.offset);
+        std::copy_n(k.data() + h * hd, hd, kp + off);
+        std::copy_n(v.data() + h * hd, hd, vp + off);
+    }
+}
+
+std::span<const float> PagedKvArena::gather(const std::vector<float>& store,
+                                            std::size_t seq, std::size_t layer,
+                                            std::size_t kv_head, std::size_t len,
+                                            std::span<float> out) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads,
+          "PagedKvArena: bad head");
+    check(len <= pool_.seq_tokens(seq), "PagedKvArena: history longer than sequence");
+    const std::size_t hd = cfg_.head_dim();
+    check(out.size() >= len * hd, "PagedKvArena: gather scratch too small");
+    const std::vector<std::size_t>& table = pool_.block_table(seq);
+    const std::size_t pt = pool_.page_tokens();
+    // One contiguous copy per page: the host-side mirror of the per-page DDR
+    // bursts the cycle model prices.
+    for (std::size_t t = 0; t < len; t += pt) {
+        const std::size_t rows = std::min(pt, len - t);
+        const float* src = store.data() + table[t / pt] * page_floats_ +
+                           page_off(layer, kv_head, 0);
+        std::copy_n(src, rows * hd, out.data() + t * hd);
+    }
+    return out.first(len * hd);
+}
+
+std::span<const float> PagedKvArena::gather_keys(std::size_t seq, std::size_t layer,
+                                                 std::size_t kv_head, std::size_t len,
+                                                 std::span<float> out) const {
+    return gather(k_, seq, layer, kv_head, len, out);
+}
+
+std::span<const float> PagedKvArena::gather_values(std::size_t seq, std::size_t layer,
+                                                   std::size_t kv_head, std::size_t len,
+                                                   std::span<float> out) const {
+    return gather(v_, seq, layer, kv_head, len, out);
+}
+
+PagedQuantizedKvArena::PagedQuantizedKvArena(const model::ModelConfig& cfg,
+                                             KvPoolConfig pool_cfg, unsigned kv_bits)
+    : cfg_(cfg), kv_bits_(kv_bits), pool_(pool_cfg) {
+    const std::size_t entries_per_page =
+        cfg_.n_layers * cfg_.n_kv_heads * pool_.page_tokens();
+    k_.resize(pool_.pages_total() * entries_per_page);
+    v_.resize(pool_.pages_total() * entries_per_page);
+}
+
+void PagedQuantizedKvArena::free_sequence(std::size_t seq) {
+    pool_.free_sequence(seq);
+    if (seq < appended_this_pos_.size()) appended_this_pos_[seq] = 0;
+}
+
+void PagedQuantizedKvArena::reset_sequence(std::size_t seq) {
+    pool_.reset_sequence(seq);
+    if (seq < appended_this_pos_.size()) appended_this_pos_[seq] = 0;
+}
+
+void PagedQuantizedKvArena::append(std::size_t seq, std::size_t layer,
+                                   std::span<const float> k, std::span<const float> v) {
+    check(layer < cfg_.n_layers, "PagedQuantizedKvArena: layer out of range");
+    check(k.size() == cfg_.kv_dim() && v.size() == cfg_.kv_dim(),
+          "PagedQuantizedKvArena: bad vector size");
+    std::size_t token = pool_.seq_tokens(seq);
+    if (first_layer_of_position(appended_this_pos_, seq)) {
+        check(pool_.append_token(seq),
+              "PagedQuantizedKvArena: KV pool exhausted (admission should have "
+              "deferred this sequence)");
+    } else {
+        --token;
+    }
+    advance_layer_cadence(appended_this_pos_, seq, cfg_.n_layers);
+    const KvBlockPool::PageSlot slot = pool_.locate(seq, token);
+    const std::size_t hd = cfg_.head_dim();
+    for (std::size_t h = 0; h < cfg_.n_kv_heads; ++h) {
+        // Per-head quantization, same granularity as QuantizedKvCache (and
+        // the SPU quantizer / Fig. 4B FIFO).
+        quant::KvQuantized qk = quant::kv_quantize_bits(k.subspan(h * hd, hd), kv_bits_);
+        quant::KvQuantized qv = quant::kv_quantize_bits(v.subspan(h * hd, hd), kv_bits_);
+        k_[entry_idx(slot.page, layer, h, slot.offset)] = {std::move(qk.codes),
+                                                           qk.params};
+        v_[entry_idx(slot.page, layer, h, slot.offset)] = {std::move(qv.codes),
+                                                           qv.params};
+    }
+}
+
+std::span<const float> PagedQuantizedKvArena::dequant(
+    const std::vector<Entry>& store, std::size_t seq, std::size_t layer,
+    std::size_t kv_head, std::size_t len, std::span<float> out) const {
+    check(layer < cfg_.n_layers && kv_head < cfg_.n_kv_heads,
+          "PagedQuantizedKvArena: bad head");
+    check(len <= pool_.seq_tokens(seq),
+          "PagedQuantizedKvArena: history longer than sequence");
+    const std::size_t hd = cfg_.head_dim();
+    check(out.size() >= len * hd, "PagedQuantizedKvArena: dequant scratch too small");
+    const std::vector<std::size_t>& table = pool_.block_table(seq);
+    const std::size_t pt = pool_.page_tokens();
+    for (std::size_t t = 0; t < len; ++t) {
+        const Entry& e = store[entry_idx(table[t / pt], layer, kv_head, t % pt)];
+        quant::kv_dequantize_into(e.codes, e.params, out.subspan(t * hd, hd));
+    }
+    return out.first(len * hd);
+}
+
+std::span<const float> PagedQuantizedKvArena::dequant_keys_into(
+    std::size_t seq, std::size_t layer, std::size_t kv_head, std::size_t len,
+    std::span<float> out) const {
+    return dequant(k_, seq, layer, kv_head, len, out);
+}
+
+std::span<const float> PagedQuantizedKvArena::dequant_values_into(
+    std::size_t seq, std::size_t layer, std::size_t kv_head, std::size_t len,
+    std::span<float> out) const {
+    return dequant(v_, seq, layer, kv_head, len, out);
+}
+
+}  // namespace efld::kvpool

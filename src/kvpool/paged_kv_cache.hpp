@@ -1,0 +1,135 @@
+// Physically paged KV storage for the host engine: the KvBlockPool's block
+// tables backed by real page-resident slabs.
+//
+// Two arenas mirror the two contiguous caches in model/kv_cache.hpp — float
+// (golden path) and KV8-quantized (deployed form) — but storage is a shared
+// page arena instead of a per-session max_seq_len reservation: a sequence
+// owns only the pages its history actually fills, so the arena's footprint is
+// the pool budget, not sessions x context window.
+//
+// Within a page, a (layer, kv_head) keeps its page_tokens token rows
+// contiguous ([layer][kv_head][token_in_page][head_dim]), matching the MCU's
+// head-major DDR layout at page granularity: reading one head's history is
+// one burst per PAGE rather than one burst per sequence. The read path
+// gathers those per-page spans into caller scratch; because the gathered
+// values are copied (or dequantized) verbatim, attention over a gathered
+// history is bit-for-bit identical to attention over a contiguous cache —
+// the parity the engine contract tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kvpool/kv_block_pool.hpp"
+#include "model/config.hpp"
+#include "quant/kvquant.hpp"
+
+namespace efld::kvpool {
+
+// Float paged KV arena (reference path).
+class PagedKvArena {
+public:
+    PagedKvArena(const model::ModelConfig& cfg, KvPoolConfig pool_cfg);
+
+    [[nodiscard]] std::size_t create_sequence() { return pool_.create_sequence(); }
+    void free_sequence(std::size_t seq);
+    void reset_sequence(std::size_t seq);
+
+    // Appends one token's K and V for `layer` (same cadence as
+    // KvCache::append: all layers at a position, then the next token). Takes
+    // a page from the pool at page boundaries; throws efld::Error when the
+    // pool is exhausted — the admission governor exists to make that
+    // unreachable for admitted sequences.
+    void append(std::size_t seq, std::size_t layer, std::span<const float> k,
+                std::span<const float> v);
+
+    // Gathers `len` history rows of one head into caller scratch (at least
+    // len * head_dim floats), one contiguous copy per page. Returns the
+    // filled prefix.
+    std::span<const float> gather_keys(std::size_t seq, std::size_t layer,
+                                       std::size_t kv_head, std::size_t len,
+                                       std::span<float> out) const;
+    std::span<const float> gather_values(std::size_t seq, std::size_t layer,
+                                         std::size_t kv_head, std::size_t len,
+                                         std::span<float> out) const;
+
+    [[nodiscard]] std::size_t length(std::size_t seq) const {
+        return pool_.seq_tokens(seq);
+    }
+    [[nodiscard]] const KvBlockPool& pool() const noexcept { return pool_; }
+
+private:
+    // Float offset of (layer, kv_head, token_in_page) inside a page slab.
+    [[nodiscard]] std::size_t page_off(std::size_t layer, std::size_t kv_head,
+                                       std::size_t tok_in_page) const noexcept {
+        return ((layer * cfg_.n_kv_heads + kv_head) * pool_.page_tokens() +
+                tok_in_page) *
+               cfg_.head_dim();
+    }
+    std::span<const float> gather(const std::vector<float>& store, std::size_t seq,
+                                  std::size_t layer, std::size_t kv_head,
+                                  std::size_t len, std::span<float> out) const;
+
+    model::ModelConfig cfg_;
+    KvBlockPool pool_;
+    std::size_t page_floats_ = 0;  // floats per page slab (K or V)
+    std::vector<float> k_;         // [page][layer][kv_head][tok_in_page][head_dim]
+    std::vector<float> v_;
+    std::vector<std::size_t> appended_this_pos_;  // per sequence (layer cadence)
+};
+
+// KV8 paged arena (deployed form): per-(token, head) code vectors + params,
+// page-resident like the codes/packs regions in DDR.
+class PagedQuantizedKvArena {
+public:
+    PagedQuantizedKvArena(const model::ModelConfig& cfg, KvPoolConfig pool_cfg,
+                          unsigned kv_bits = 8);
+
+    [[nodiscard]] std::size_t create_sequence() { return pool_.create_sequence(); }
+    void free_sequence(std::size_t seq);
+    void reset_sequence(std::size_t seq);
+
+    void append(std::size_t seq, std::size_t layer, std::span<const float> k,
+                std::span<const float> v);
+
+    // Dequantizes `len` history rows of one head into caller scratch
+    // (matches QuantizedKvCache::dequant_*_into bit-for-bit).
+    std::span<const float> dequant_keys_into(std::size_t seq, std::size_t layer,
+                                             std::size_t kv_head, std::size_t len,
+                                             std::span<float> out) const;
+    std::span<const float> dequant_values_into(std::size_t seq, std::size_t layer,
+                                               std::size_t kv_head, std::size_t len,
+                                               std::span<float> out) const;
+
+    [[nodiscard]] std::size_t length(std::size_t seq) const {
+        return pool_.seq_tokens(seq);
+    }
+    [[nodiscard]] const KvBlockPool& pool() const noexcept { return pool_; }
+
+private:
+    struct Entry {
+        std::vector<std::uint8_t> codes;
+        quant::KvQuantParams params;
+    };
+
+    [[nodiscard]] std::size_t entry_idx(std::size_t page, std::size_t layer,
+                                        std::size_t kv_head,
+                                        std::size_t tok_in_page) const noexcept {
+        return ((page * cfg_.n_layers + layer) * cfg_.n_kv_heads + kv_head) *
+                   pool_.page_tokens() +
+               tok_in_page;
+    }
+    std::span<const float> dequant(const std::vector<Entry>& store, std::size_t seq,
+                                   std::size_t layer, std::size_t kv_head,
+                                   std::size_t len, std::span<float> out) const;
+
+    model::ModelConfig cfg_;
+    unsigned kv_bits_ = 8;
+    KvBlockPool pool_;
+    std::vector<Entry> k_;  // [page][layer][kv_head][tok_in_page]
+    std::vector<Entry> v_;
+    std::vector<std::size_t> appended_this_pos_;
+};
+
+}  // namespace efld::kvpool

@@ -54,12 +54,19 @@ void validate(const EngineOptions& opts) {
     if (opts.max_batch == 0) {
         throw std::invalid_argument("EngineOptions: max_batch must be >= 1");
     }
-    if (opts.seed_baseline && (opts.threads != 1 || opts.max_batch != 1)) {
+    if (opts.seed_baseline &&
+        (opts.threads != 1 || opts.max_batch != 1 || opts.kv_page_tokens != 0)) {
         // The seed baseline reproduces the strictly sequential pre-fast-path
-        // loop; a worker pool or batch slots would silently measure something
-        // that never existed.
+        // loop; a worker pool, batch slots, or a paged cache would silently
+        // measure something that never existed.
         throw std::invalid_argument(
-            "EngineOptions: seed_baseline requires threads == 1 and max_batch == 1");
+            "EngineOptions: seed_baseline requires threads == 1, max_batch == 1, "
+            "and a contiguous KV cache");
+    }
+    if (opts.kv_pool_pages > 0 && opts.kv_page_tokens == 0) {
+        throw std::invalid_argument(
+            "EngineOptions: kv_pool_pages needs kv_page_tokens > 0 (a pool of "
+            "pages is meaningless for contiguous caches)");
     }
     if (opts.threads > 1) {
         // Determinism is thread-count independent, so modest oversubscription
@@ -87,7 +94,22 @@ void ReferenceEngine::init_scratch() {
     // KV reservation per slot is exactly the kind of dead capacity the
     // batch dimension would multiply.
     const std::size_t mb = opts_.max_batch;
-    if (opts_.use_kv8) {
+    if (paged()) {
+        kvpool::KvPoolConfig pc;
+        pc.page_tokens = opts_.kv_page_tokens;
+        pc.n_pages = opts_.kv_pool_pages > 0
+                         ? opts_.kv_pool_pages
+                         : mb * ((cfg_.max_seq_len + pc.page_tokens - 1) /
+                                 pc.page_tokens);
+        if (opts_.use_kv8) {
+            paged_quant_ =
+                std::make_unique<kvpool::PagedQuantizedKvArena>(cfg_, pc, opts_.kv_bits);
+            for (std::size_t s = 0; s < mb; ++s) (void)paged_quant_->create_sequence();
+        } else {
+            paged_float_ = std::make_unique<kvpool::PagedKvArena>(cfg_, pc);
+            for (std::size_t s = 0; s < mb; ++s) (void)paged_float_->create_sequence();
+        }
+    } else if (opts_.use_kv8) {
         kv_quant_.reserve(mb);
         for (std::size_t s = 0; s < mb; ++s) kv_quant_.emplace_back(cfg_, opts_.kv_bits);
     } else {
@@ -109,7 +131,9 @@ void ReferenceEngine::init_scratch() {
     down_.resize(mb * cfg_.dim);
     logits_.resize(mb * cfg_.vocab_size);
     scores_.resize(mb * cfg_.n_heads * cfg_.max_seq_len);
-    if (opts_.use_kv8) {
+    if (opts_.use_kv8 || paged()) {
+        // Dequant scratch (KV8) or page-gather scratch (paged float): either
+        // way the attention kernel consumes one contiguous history per task.
         kv_deq_k_.resize(mb * cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
         kv_deq_v_.resize(mb * cfg_.n_kv_heads * cfg_.max_seq_len * cfg_.head_dim());
     }
@@ -141,7 +165,11 @@ void ReferenceEngine::reset() {
 
 void ReferenceEngine::reset_session(std::size_t slot) {
     check(slot < opts_.max_batch, "reset_session: slot out of range");
-    if (opts_.use_kv8) {
+    if (paged_quant_ != nullptr) {
+        paged_quant_->reset_sequence(slot);  // pages back to the pool
+    } else if (paged_float_ != nullptr) {
+        paged_float_->reset_sequence(slot);
+    } else if (opts_.use_kv8) {
         kv_quant_[slot].reset();
     } else {
         kv_float_[slot].reset();
@@ -244,7 +272,11 @@ void ReferenceEngine::attention_block(std::size_t layer, std::size_t nb,
             }
         }
         const std::span<const float> vb = std::span<const float>(v_).subspan(b * kvd, kvd);
-        if (opts_.use_kv8) {
+        if (paged_quant_ != nullptr) {
+            paged_quant_->append(slots[b], layer, kb, vb);
+        } else if (paged_float_ != nullptr) {
+            paged_float_->append(slots[b], layer, kb, vb);
+        } else if (opts_.use_kv8) {
             kv_quant_[slots[b]].append(layer, kb, vb);
         } else {
             kv_float_[slots[b]].append(layer, kb, vb);
@@ -287,7 +319,19 @@ void ReferenceEngine::attention_block(std::size_t layer, std::size_t nb,
         const std::size_t ctx = pos_[slot] + 1;
         const std::size_t deq = (b * cfg_.n_kv_heads + kvh) * slab;
         std::span<const float> keys, vals;
-        if (opts_.use_kv8) {
+        if (paged_quant_ != nullptr) {
+            keys = paged_quant_->dequant_keys_into(
+                slot, layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(deq, slab));
+            vals = paged_quant_->dequant_values_into(
+                slot, layer, kvh, ctx, std::span<float>(kv_deq_v_).subspan(deq, slab));
+        } else if (paged_float_ != nullptr) {
+            // Per-page gather instead of one zero-copy span: the host pays a
+            // copy for paging exactly where the device pays per-page bursts.
+            keys = paged_float_->gather_keys(
+                slot, layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(deq, slab));
+            vals = paged_float_->gather_values(
+                slot, layer, kvh, ctx, std::span<float>(kv_deq_v_).subspan(deq, slab));
+        } else if (opts_.use_kv8) {
             keys = kv_quant_[slot].dequant_keys_into(
                 layer, kvh, ctx, std::span<float>(kv_deq_k_).subspan(deq, slab));
             vals = kv_quant_[slot].dequant_values_into(

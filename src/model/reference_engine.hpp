@@ -28,6 +28,13 @@
 // amortizing the walk across sessions is the host-side mirror of the paper's
 // bandwidth argument. Every slot's logits are bit-for-bit identical to what
 // a dedicated single-session engine fed the same tokens would produce.
+//
+// Paged KV (EngineOptions::kv_page_tokens > 0): slots draw fixed-size token
+// pages from a shared kvpool arena instead of reserving max_seq_len each, so
+// aggregate KV capacity follows the pool budget (the paper's capacity axis)
+// rather than max_batch x context window. Histories are gathered per page
+// into scratch before attention; logits stay bit-for-bit identical to the
+// contiguous path on every option combination.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,7 @@
 
 #include "common/threadpool.hpp"
 #include "engine/decode_backend.hpp"
+#include "kvpool/paged_kv_cache.hpp"
 #include "model/kernels.hpp"
 #include "model/kv_cache.hpp"
 #include "model/weights.hpp"
@@ -63,6 +71,16 @@ struct EngineOptions {
     // way the hardware does, instead of the byte-per-code functional storage.
     // Requires quantized weights with 4-bit codes. Bit-for-bit identical.
     bool packed_weights = false;
+    // Paged KV cache: > 0 replaces the per-slot max_seq_len reservations with
+    // a shared kvpool arena of kv_page_tokens-token pages — slots take pages
+    // as their history grows and return them on release, so aggregate KV
+    // capacity is the POOL size, not max_batch x max_seq_len. Logits are
+    // bit-for-bit identical to the contiguous path. 0 = contiguous caches.
+    std::size_t kv_page_tokens = 0;
+    // Pool size in pages when paging. 0 = worst case (max_batch full-context
+    // sessions — paging layout without capacity pressure); an admission layer
+    // (serve::ServeEngine's CapacityGovernor) sizes this from the DDR budget.
+    std::size_t kv_pool_pages = 0;
 };
 
 // Throws std::invalid_argument on option combinations that would silently
@@ -157,10 +175,15 @@ private:
     const ModelWeights* fw_ = nullptr;
     const QuantizedModelWeights* qw_ = nullptr;
 
+    [[nodiscard]] bool paged() const noexcept { return opts_.kv_page_tokens > 0; }
+
     // Per-session-slot state (size max_batch). Only the cache variant the
-    // options select is constructed; the other vector stays empty.
+    // options select is constructed; the other vectors stay empty. With
+    // paging, slot s is sequence s of the shared arena instead.
     std::vector<KvCache> kv_float_;
     std::vector<QuantizedKvCache> kv_quant_;
+    std::unique_ptr<kvpool::PagedKvArena> paged_float_;
+    std::unique_ptr<kvpool::PagedQuantizedKvArena> paged_quant_;
     std::vector<std::size_t> pos_;
     engine::SlotLedger slots_;  // DecodeBackend reservations
     engine::StepCost last_cost_{};
@@ -179,7 +202,9 @@ private:
     std::vector<float> x_, xb_, q_, k_, v_, att_out_, gate_, up_, hidden_, down_,
         logits_;
     std::vector<float> scores_;   // [batch][n_heads][max_seq_len] attention scores
-    std::vector<float> kv_deq_k_; // [batch][n_kv_heads][max_seq_len*head_dim] (KV8)
+    // [batch][n_kv_heads][max_seq_len*head_dim] history scratch: dequant
+    // target for the KV8 cache, gather target for paged float pages.
+    std::vector<float> kv_deq_k_;
     std::vector<float> kv_deq_v_;
 };
 

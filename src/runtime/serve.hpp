@@ -24,6 +24,7 @@ using ServeRequest = serve::Request;
 using RequestHandle = serve::RequestHandle;
 using SchedulerPolicy = serve::SchedulerPolicy;
 using BackendKind = engine::BackendKind;
+using FinishReason = serve::FinishReason;
 
 // A ServeEngine bundled with the quantized weights it serves (ServeEngine
 // itself is non-owning). Movable; engine references stay valid because both

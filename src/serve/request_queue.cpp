@@ -6,9 +6,12 @@
 namespace efld::serve {
 
 bool RequestQueue::push(PendingRequest&& req) {
-    const std::lock_guard<std::mutex> lock(m_);
-    if (q_.size() >= capacity_) return false;
-    q_.push_back(std::move(req));
+    {
+        const std::lock_guard<std::mutex> lock(m_);
+        if (q_.size() >= capacity_) return false;
+        q_.push_back(std::move(req));
+    }
+    cv_.notify_all();  // wake an idle serve driver
     return true;
 }
 
@@ -29,6 +32,30 @@ std::optional<PendingRequest> RequestQueue::pop_with(const Scheduler& scheduler)
     q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
     return req;
 }
+
+RequestQueue::PopOutcome RequestQueue::pop_if(
+    const Scheduler& scheduler,
+    const std::function<bool(PendingRequest&)>& admissible) {
+    const std::lock_guard<std::mutex> lock(m_);
+    PopOutcome out;
+    if (q_.empty()) return out;
+    const std::size_t idx = scheduler.pick(q_);
+    check(idx < q_.size(), "RequestQueue: scheduler pick out of range");
+    if (!admissible(q_[idx])) {
+        out.deferred = true;  // pick stays queued, in place
+        return out;
+    }
+    out.req = std::move(q_[idx]);
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+    return out;
+}
+
+void RequestQueue::wait_for_work(const std::function<bool()>& wake) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return !q_.empty() || wake(); });
+}
+
+void RequestQueue::notify_all() { cv_.notify_all(); }
 
 std::vector<PendingRequest> RequestQueue::remove_if(
     const std::function<bool(const PendingRequest&)>& pred) {

@@ -6,6 +6,7 @@
 // grow an unbounded backlog.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -36,6 +37,26 @@ public:
     // nullopt when empty. try_pop() is pop_with(FcfsScheduler{}).
     std::optional<PendingRequest> pop_with(const Scheduler& scheduler);
 
+    // pop_with gated by an admission predicate: the scheduler's pick is
+    // removed and returned only when `admissible(pick)` holds. When it does
+    // not, the pick stays queued IN PLACE (strict policy order — nothing
+    // jumps a deferred request, which is what keeps big requests from
+    // starving) and `deferred` is set. The predicate may mutate the request's
+    // bookkeeping (deferral counters) and runs under the queue lock, so it
+    // must not call back into the queue.
+    struct PopOutcome {
+        std::optional<PendingRequest> req;
+        bool deferred = false;  // pick existed but was refused admission
+    };
+    PopOutcome pop_if(const Scheduler& scheduler,
+                      const std::function<bool(PendingRequest&)>& admissible);
+
+    // Blocks until the queue is non-empty or `wake()` returns true. push()
+    // notifies; an external waker (ServeEngine::stop) flips its flag and
+    // calls notify_all(). The background serve driver idles here.
+    void wait_for_work(const std::function<bool()>& wake);
+    void notify_all();
+
     // Removes every request matching `pred` (kept in FIFO order) and returns
     // them. The serve loop uses this to shed cancelled/expired requests the
     // scheduler might otherwise pass over forever.
@@ -48,6 +69,7 @@ public:
 
 private:
     mutable std::mutex m_;
+    std::condition_variable cv_;  // signaled on push and by notify_all()
     std::deque<PendingRequest> q_;
     std::size_t capacity_;
 };

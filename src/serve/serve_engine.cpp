@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "kvpool/kv_block_pool.hpp"
+#include "runtime/memory_planner.hpp"
 
 namespace efld::serve {
 
@@ -30,6 +32,15 @@ void validate(const ServeOptions& o) {
             "ServeOptions: max_queue must be >= 1 (a queueless server cannot "
             "accept work; shed load by rejecting submits instead)");
     }
+    if (o.paging && o.kv_page_tokens == 0) {
+        throw std::invalid_argument(
+            "ServeOptions: paging needs kv_page_tokens >= 1");
+    }
+    if (!o.paging && (o.kv_pool_pages != 0 || o.kv_pool_bytes != 0)) {
+        throw std::invalid_argument(
+            "ServeOptions: kv_pool_pages/kv_pool_bytes have no effect without "
+            "paging (set paging = true)");
+    }
     // The thread-count contract is shared with EngineOptions; validate it here
     // too so the accel backend (which never builds a ReferenceEngine) rejects
     // the same misconfigurations.
@@ -37,13 +48,42 @@ void validate(const ServeOptions& o) {
 }
 }  // namespace
 
+void ServeEngine::init_governor(const model::ModelConfig& cfg) {
+    model::QuantScheme scheme = model::QuantScheme::w4a16_kv8();
+    scheme.kv_bits = opts_.kv_bits;
+    std::size_t pages = opts_.kv_pool_pages;
+    if (pages == 0) {
+        // The pool's DDR budget: explicit, or whatever the KV260 plan leaves
+        // after the weights and the bare-metal firmware reservation.
+        std::uint64_t budget = opts_.kv_pool_bytes;
+        if (budget == 0) {
+            budget = kvpool::kv_budget_from_plan(
+                runtime::MemoryPlanner::plan_kv260(cfg, scheme));
+        }
+        pages = kvpool::pages_for_budget(cfg, scheme, budget, opts_.kv_page_tokens);
+    }
+    check(pages > 0,
+          "ServeEngine: KV pool budget affords zero pages (weights already "
+          "overflow the device?)");
+    governor_ =
+        std::make_unique<kvpool::CapacityGovernor>(pages, opts_.kv_page_tokens);
+}
+
 ServeEngine::ServeEngine(const model::QuantizedModelWeights& weights, ServeOptions opts)
     : opts_(opts), queue_(opts.max_queue) {
     validate(opts_);
+    if (opts_.paging) init_governor(weights.config);
     accel::AcceleratorOptions accel_opts;
     accel_opts.collect_timing = opts_.collect_timing;
-    bundle_ =
-        engine::make_backend(opts_.backend, weights, engine_options(opts_), accel_opts);
+    model::EngineOptions eo = engine_options(opts_);
+    if (governor_ != nullptr) {
+        // The host backend's paged arena and the governor's ledger budget the
+        // same pool; the accel backend prices the page layout in its cycle
+        // model (its functional KV storage is host-side scaffolding).
+        eo.kv_page_tokens = opts_.kv_page_tokens;
+        eo.kv_pool_pages = governor_->total_pages();
+    }
+    bundle_ = engine::make_backend(opts_.backend, weights, eo, accel_opts);
     backend_ = bundle_.backend.get();
     init();
 }
@@ -75,7 +115,16 @@ ServeEngine::ServeEngine(std::unique_ptr<engine::DecodeBackend> backend,
     }
     bundle_.backend = std::move(backend);
     backend_ = bundle_.backend.get();
+    if (opts_.paging) init_governor(backend_->config());
     init();
+}
+
+ServeEngine::~ServeEngine() {
+    try {
+        stop();
+    } catch (...) {
+        // A parked driver error has nowhere to go from a destructor.
+    }
 }
 
 void ServeEngine::init() {
@@ -103,13 +152,33 @@ PendingRequest ServeEngine::make_pending(
     req.deadline = deadline;
     req.on_token = std::move(on_token);
     req.control = std::make_shared<RequestControl>();
+    if (governor_ != nullptr) {
+        // A demand that exceeds the WHOLE pool can never be admitted; reject
+        // now instead of deferring it forever at the head of the queue.
+        check(governor_->ever_admissible(
+                  governor_->predict_pages(req.prompt.size(), max_new)),
+              "ServeEngine: prompt + max_new demand exceeds the whole KV pool");
+    }
     return req;
+}
+
+FinishReason ServeEngine::finish_reason_of(Retire why) noexcept {
+    switch (why) {
+        case Retire::kEos: return FinishReason::kEos;
+        case Retire::kBudget: return FinishReason::kBudget;
+        case Retire::kContext: return FinishReason::kContextOverflow;
+        case Retire::kCancelled: return FinishReason::kCancelled;
+        case Retire::kDeadline: return FinishReason::kDeadline;
+    }
+    return FinishReason::kNone;
 }
 
 void ServeEngine::resolve_unstarted(PendingRequest&& req, Retire why) {
     ServeResult r;
     r.id = req.id;
     r.prompt_tokens = req.prompt.size();
+    r.finish_reason = finish_reason_of(why);
+    r.times_deferred = req.times_deferred;
     r.cancelled = why == Retire::kCancelled;
     r.hit_deadline = why == Retire::kDeadline;
     req.promise.set_value(std::move(r));
@@ -147,16 +216,36 @@ void ServeEngine::admit() {
     // Dead (cancelled/expired) requests were already swept from the queue by
     // step() this boundary; one landing in the microseconds since is admitted
     // normally and retired at the next boundary's control-plane pass.
-    while (n_active_ < slots_.size()) {
-        std::optional<PendingRequest> req = queue_.pop_with(*scheduler_);
-        if (!req.has_value()) return;
+    while (n_active_.load(std::memory_order_relaxed) < slots_.size()) {
+        std::size_t committed = 0;
+        RequestQueue::PopOutcome out =
+            queue_.pop_if(*scheduler_, [&](PendingRequest& r) {
+                if (governor_ == nullptr) return true;
+                const std::size_t need = governor_->predict_pages(
+                    r.prompt.size(), r.max_new_tokens);
+                if (!governor_->try_admit(need)) {
+                    ++r.times_deferred;
+                    return false;
+                }
+                committed = need;
+                return true;
+            });
+        if (out.deferred) {
+            // The scheduler's pick does not fit the pool yet. It stays queued
+            // in place and admission stops for this boundary — strict policy
+            // order, so a big request is delayed, never starved.
+            ++stats_.capacity_deferrals;
+            return;
+        }
+        if (!out.req.has_value()) return;
 
         const std::size_t slot = backend_->reserve_slot();
         check(slot != engine::DecodeBackend::kNoSlot && slot < slots_.size() &&
                   !slots_[slot].has_value(),
               "ServeEngine: backend slot bookkeeping diverged");
-        slots_[slot].emplace(std::move(*req), opts_.sampler, slot);
-        ++n_active_;
+        slots_[slot].emplace(std::move(*out.req), opts_.sampler, slot);
+        slots_[slot]->committed_pages = committed;
+        n_active_.fetch_add(1, std::memory_order_release);
     }
 }
 
@@ -166,21 +255,36 @@ void ServeEngine::retire(SessionState& s, Retire why) {
     r.tokens = std::move(s.generated);
     r.text = tokenizer_.decode(r.tokens);
     r.prompt_tokens = s.prompt.size();
+    r.finish_reason = finish_reason_of(why);
+    r.times_deferred = s.times_deferred;
     r.hit_eos = why == Retire::kEos;
     r.hit_context_limit = why == Retire::kContext;
     r.cancelled = why == Retire::kCancelled;
     r.hit_deadline = why == Retire::kDeadline;
+    const std::size_t committed = s.committed_pages;
     s.promise.set_value(std::move(r));
     const std::size_t slot = s.slot;
     backend_->release_slot(slot);  // clears the slot's KV for the next tenant
     slots_[slot].reset();
-    --n_active_;
+    if (governor_ != nullptr) {
+        // Whole worst-case commitment back to the budget — an early
+        // retirement (EOS, cancel, deadline) frees pages it never touched,
+        // which is exactly what lets a deferred request in.
+        governor_->release(committed);
+    }
+    n_active_.fetch_sub(1, std::memory_order_release);
     ++stats_.requests_completed;
     if (why == Retire::kCancelled) ++stats_.requests_cancelled;
     if (why == Retire::kDeadline) ++stats_.requests_expired;
 }
 
 bool ServeEngine::step() {
+    check(!running(),
+          "ServeEngine: step() while the background driver owns the loop");
+    return step_locked();
+}
+
+bool ServeEngine::step_locked() {
     const auto now = std::chrono::steady_clock::now();
 
     // Token boundary, part 1: control-plane retirements (cancel, deadline)
@@ -219,7 +323,12 @@ bool ServeEngine::step() {
 
     // Part 2: queued requests join whatever slots are free.
     admit();
-    if (n_active_ == 0) return false;  // admit() drained the queue or it was empty
+    if (n_active_.load(std::memory_order_relaxed) == 0) {
+        // Nothing admitted: the queue is empty — or its head is a deferred
+        // request, which with zero active sessions cannot happen (an empty
+        // pool admits anything submit accepted).
+        return false;
+    }
 
     feed_tokens_.clear();
     feed_slots_.clear();
@@ -278,11 +387,95 @@ bool ServeEngine::step() {
         }
     }
     if (callback_error) std::rethrow_exception(callback_error);
-    return n_active_ > 0 || !queue_.empty();
+    return n_active_.load(std::memory_order_relaxed) > 0 || !queue_.empty();
 }
 
 void ServeEngine::run_until_idle() {
-    while (step()) {}
+    check(!running(),
+          "ServeEngine: run_until_idle() while the background driver owns the loop");
+    while (step_locked()) {}
+}
+
+void ServeEngine::driver_loop() {
+    try {
+        while (!stop_requested_.load(std::memory_order_acquire)) {
+            // driver_busy_ brackets every step under idle_mu_ so
+            // wait_until_idle() never observes the window where a request
+            // has been popped from the queue but not yet counted active.
+            {
+                const std::lock_guard<std::mutex> lock(idle_mu_);
+                driver_busy_ = true;
+            }
+            const bool more = step_locked();
+            {
+                const std::lock_guard<std::mutex> lock(idle_mu_);
+                driver_busy_ = false;
+            }
+            idle_cv_.notify_all();
+            if (!more && !stop_requested_.load(std::memory_order_acquire)) {
+                // Idle: sleep until a submit (queue condition variable) or a
+                // stop request wakes the loop.
+                queue_.wait_for_work([this] {
+                    return stop_requested_.load(std::memory_order_acquire);
+                });
+            }
+        }
+    } catch (...) {
+        // A throwing on_token callback (step rethrows it after the token
+        // boundary completes) must not terminate the process from a detached
+        // context: park the error for stop()/run() to rethrow.
+        driver_error_ = std::current_exception();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(idle_mu_);
+        driver_busy_ = false;
+    }
+    driver_running_.store(false, std::memory_order_release);
+    idle_cv_.notify_all();  // waiters observe !running() and return
+}
+
+void ServeEngine::run() {
+    check(!running(), "ServeEngine: background driver already running");
+    if (driver_.joinable()) driver_.join();  // reap a previously stopped driver
+    if (driver_error_ != nullptr) {
+        // The previous driver died on a callback exception and the caller is
+        // restarting without stop(): surface the error here, don't drop it.
+        std::exception_ptr e = driver_error_;
+        driver_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+    stop_requested_.store(false, std::memory_order_release);
+    driver_running_.store(true, std::memory_order_release);
+    driver_ = std::thread([this] { driver_loop(); });
+}
+
+void ServeEngine::stop() {
+    if (driver_.joinable()) {
+        stop_requested_.store(true, std::memory_order_release);
+        queue_.notify_all();
+        driver_.join();
+    }
+    driver_running_.store(false, std::memory_order_release);
+    if (driver_error_ != nullptr) {
+        std::exception_ptr e = driver_error_;
+        driver_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void ServeEngine::wait_until_idle() {
+    if (!running()) {
+        run_until_idle();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+        // driver_busy_ (guarded by idle_mu_) rules out the mid-admission
+        // window where a request is in neither the queue nor n_active_.
+        return !running() ||
+               (!driver_busy_ && queue_.empty() &&
+                n_active_.load(std::memory_order_acquire) == 0);
+    });
 }
 
 }  // namespace efld::serve

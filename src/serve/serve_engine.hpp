@@ -25,22 +25,41 @@
 // or carry deadlines — all observed at token boundaries, so the batch never
 // stalls on control operations either.
 //
+// Capacity-aware admission (ServeOptions::paging): the per-slot max_seq_len
+// KV reservations are replaced by a kvpool page pool sized from the DDR
+// budget runtime::MemoryPlanner derives (device minus weights minus
+// firmware), and a kvpool::CapacityGovernor admits queued requests only when
+// their worst-case page demand — ceil((prompt + max_new) / page_tokens) —
+// fits next to every admitted session's. A request whose demand does not fit
+// YET stays queued in policy order (ServeResult::times_deferred counts the
+// refusals); one whose demand could NEVER fit is rejected at submit. Admitted
+// sessions therefore cannot run the pool dry, and retirement returns their
+// pages, so concurrency follows actual memory headroom instead of a static
+// max_batch.
+//
 // Threading model: submit()/cancel() are thread-safe; step()/run_until_idle()
 // drive the engine from one caller thread (futures resolve and on_token
-// callbacks fire inside step). The engine's own parallelism (GEMM rows,
-// attention clusters) is ServeOptions::threads.
+// callbacks fire inside step). Alternatively run() starts a dedicated serving
+// thread that drives step() and sleeps on the queue's condition variable when
+// idle — callers then just submit and await futures; stop() (or destruction)
+// joins it. The engine's own parallelism (GEMM rows, attention clusters) is
+// ServeOptions::threads.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/backend_factory.hpp"
 #include "engine/decode_backend.hpp"
+#include "kvpool/capacity_governor.hpp"
 #include "model/sampler.hpp"
 #include "model/tokenizer.hpp"
 #include "serve/request_queue.hpp"
@@ -61,6 +80,13 @@ struct ServeOptions {
     bool packed_weights = false;      // host: walk the 4-bit bus streams
     std::size_t threads = 1;          // engine worker pool (see EngineOptions)
     bool collect_timing = true;       // accel: price steps via the cycle model
+    // Paged KV pool + capacity-aware admission. Pool sizing precedence:
+    // kv_pool_pages if set; else kv_pool_bytes / page_bytes; else the KV260
+    // plan's post-weight DDR headroom (MemoryPlanner::plan_kv260).
+    bool paging = false;
+    std::size_t kv_page_tokens = 16;  // page size (16 = pack-word aligned)
+    std::size_t kv_pool_pages = 0;    // explicit pool size in pages
+    std::uint64_t kv_pool_bytes = 0;  // explicit DDR budget for the pool
 };
 
 class ServeEngine {
@@ -73,8 +99,13 @@ public:
 
     // Bring-your-own backend: the engine serves whatever DecodeBackend it is
     // handed (slot count comes from backend->max_batch(), which overrides
-    // ServeOptions::max_batch).
+    // ServeOptions::max_batch). With paging, the governor budgets against the
+    // backend's config; hand it a backend whose own KV layout matches
+    // (EngineOptions::kv_page_tokens / kv_pool_pages for the host engine).
     ServeEngine(std::unique_ptr<engine::DecodeBackend> backend, ServeOptions opts);
+
+    // Stops the background driver (if running) before tearing down.
+    ~ServeEngine();
 
     // Tokenizes and enqueues; the handle cancels/polls/awaits the request.
     // Throws when the queue is full or the prompt exceeds the context window.
@@ -87,18 +118,46 @@ public:
                                     std::size_t max_new_tokens);
 
     // One batched token step: retire cancelled/expired sessions, admit queued
-    // requests into free slots (Scheduler order), advance every active
-    // session by one token through a single weight walk, retire finished
-    // sessions. Returns true while work remains (active or queued).
+    // requests into free slots (Scheduler order, gated by the capacity
+    // governor when paging), advance every active session by one token
+    // through a single weight walk, retire finished sessions. Returns true
+    // while work remains (active or queued). Throws when the background
+    // driver owns the step loop.
     bool step();
 
-    // Drives step() until queue and batch are both empty.
+    // Drives step() until queue and batch are both empty. Throws while the
+    // background driver runs.
     void run_until_idle();
 
+    // Background serve driver: a dedicated thread drives step() and sleeps on
+    // the request queue's condition variable when idle, so callers just
+    // submit and await futures/callbacks (both fire on the driver thread).
+    // Throws if already running. stop() is idempotent, joins the thread, and
+    // leaves unfinished work queued/active for a later run() or step(); an
+    // exception a callback threw on the driver thread (which ends the driver)
+    // is rethrown from stop().
+    void run();
+    void stop();
+    [[nodiscard]] bool running() const noexcept {
+        return driver_running_.load(std::memory_order_acquire);
+    }
+    // Blocks until the queue is empty and no session is active. With the
+    // driver running this waits on its idle signal; otherwise it simply
+    // drives run_until_idle() inline.
+    void wait_until_idle();
+
+    // Counters are written by whichever thread drives step(); read them from
+    // another thread only at a quiet point (after wait_until_idle()/stop()).
     [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
-    [[nodiscard]] std::size_t active_sessions() const noexcept { return n_active_; }
+    [[nodiscard]] std::size_t active_sessions() const noexcept {
+        return n_active_.load(std::memory_order_acquire);
+    }
     [[nodiscard]] std::size_t queued_requests() const { return queue_.size(); }
     [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+    // Capacity governor when paging is on; nullptr otherwise.
+    [[nodiscard]] const kvpool::CapacityGovernor* governor() const noexcept {
+        return governor_.get();
+    }
     [[nodiscard]] const engine::DecodeBackend& backend() const noexcept {
         return *backend_;
     }
@@ -110,6 +169,7 @@ private:
     enum class Retire { kEos, kBudget, kContext, kCancelled, kDeadline };
 
     void init();
+    void init_governor(const model::ModelConfig& cfg);
     PendingRequest make_pending(const std::string& prompt, std::size_t max_new,
                                 std::optional<std::chrono::steady_clock::time_point>
                                     deadline,
@@ -117,19 +177,33 @@ private:
     // Resolves a request that never took a slot (zero budget, shed from the
     // queue by cancel/deadline).
     static void resolve_unstarted(PendingRequest&& req, Retire why);
+    static FinishReason finish_reason_of(Retire why) noexcept;
     void admit();
     void retire(SessionState& s, Retire why);
+    bool step_locked();   // step() body; the driver calls it directly
+    void driver_loop();
 
     ServeOptions opts_;
     model::ByteTokenizer tokenizer_;
     engine::BackendBundle bundle_;              // owns the backend (+ packed image)
     engine::DecodeBackend* backend_ = nullptr;  // = bundle_.backend.get()
     std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<kvpool::CapacityGovernor> governor_;  // paging only
     RequestQueue queue_;
     std::vector<std::optional<SessionState>> slots_;  // index = backend slot
-    std::size_t n_active_ = 0;
+    std::atomic<std::size_t> n_active_{0};
     std::atomic<std::uint64_t> next_id_{1};
     ServeStats stats_;
+
+    // Background driver state. run()/stop()/wait_until_idle() are driven from
+    // one controlling thread; submit()/cancel() stay safe from any thread.
+    std::thread driver_;
+    std::atomic<bool> driver_running_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::exception_ptr driver_error_;  // callback error, rethrown by stop()/run()
+    std::mutex idle_mu_;
+    std::condition_variable idle_cv_;
+    bool driver_busy_ = false;  // guarded by idle_mu_: a step is in flight
 
     // Step scratch (reused, no per-step allocation).
     std::vector<std::int32_t> feed_tokens_;

@@ -39,13 +39,41 @@ struct Request {
     TokenCallback on_token;
 };
 
-// Resolution of one submitted request. Exactly one of the stop flags is set
-// unless the request ran its full max_new_tokens budget.
+// Why a request retired. Every retirement path names its reason — nothing
+// resolves silently.
+enum class FinishReason {
+    kNone = 0,         // not yet retired (never seen in a resolved ServeResult)
+    kBudget,           // ran its full max_new_tokens budget (normal completion)
+    kEos,              // sampled the EOS token
+    kContextOverflow,  // hit the per-session context window (max_seq_len)
+    kCancelled,        // RequestHandle::cancel()
+    kDeadline,         // Request::deadline passed
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FinishReason r) noexcept {
+    switch (r) {
+        case FinishReason::kNone: return "none";
+        case FinishReason::kBudget: return "budget";
+        case FinishReason::kEos: return "eos";
+        case FinishReason::kContextOverflow: return "context_overflow";
+        case FinishReason::kCancelled: return "cancelled";
+        case FinishReason::kDeadline: return "deadline";
+    }
+    return "none";
+}
+
+// Resolution of one submitted request. `finish_reason` is authoritative; the
+// bool flags mirror it for existing call sites.
 struct ServeResult {
     std::uint64_t id = 0;
     std::string text;                     // decoded generated tokens
     std::vector<std::int32_t> tokens;     // generated ids (incl. EOS if hit)
     std::size_t prompt_tokens = 0;        // prompt length after tokenization
+    FinishReason finish_reason = FinishReason::kNone;
+    // Times the capacity governor deferred this request at admission (it was
+    // the scheduler's pick but its page demand did not fit) before it was
+    // requeued and eventually served. 0 without paging.
+    std::size_t times_deferred = 0;
     bool hit_eos = false;                 // stopped on the EOS token
     bool hit_context_limit = false;       // stopped by the KV reservation
     bool cancelled = false;               // retired by RequestHandle::cancel()
@@ -105,6 +133,7 @@ struct PendingRequest {
     std::optional<std::chrono::steady_clock::time_point> deadline;
     TokenCallback on_token;
     std::shared_ptr<RequestControl> control;
+    std::size_t times_deferred = 0;       // capacity-governor deferrals so far
     std::promise<ServeResult> promise;
 };
 
@@ -125,7 +154,8 @@ struct ServeStats {
     std::size_t requests_completed = 0;  // every retirement, any reason
     std::size_t requests_cancelled = 0;
     std::size_t requests_expired = 0;    // deadline retirements
-    std::size_t peak_batch = 0;
+    std::size_t capacity_deferrals = 0;  // admissions refused by the governor
+    std::size_t peak_batch = 0;          // peak concurrent sessions in a step
     double wall_ns = 0.0;                // host time inside backend steps
     double simulated_ns = 0.0;           // modeled device time (accel backend)
 

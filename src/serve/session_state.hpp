@@ -30,6 +30,7 @@ struct SessionState {
           deadline(req.deadline),
           on_token(std::move(req.on_token)),
           control(std::move(req.control)),
+          times_deferred(req.times_deferred),
           sampler(sampler_cfg),
           promise(std::move(req.promise)) {}
 
@@ -41,6 +42,8 @@ struct SessionState {
     std::optional<std::chrono::steady_clock::time_point> deadline;
     TokenCallback on_token;              // streaming; may be empty
     std::shared_ptr<RequestControl> control;  // cancel channel; may be null
+    std::size_t times_deferred = 0;      // governor deferrals while queued
+    std::size_t committed_pages = 0;     // governor commitment, released at retire
     std::vector<std::int32_t> generated;
     model::Sampler sampler;              // fresh per request (seeded by config)
     std::promise<ServeResult> promise;

@@ -240,5 +240,56 @@ TEST(CycleModel, BatchTimingRejectsBadInput) {
     EXPECT_THROW((void)m.batch_timing(over), efld::Error);
 }
 
+DecodeCycleModel paged_llama_model(std::size_t page_tokens) {
+    AccelConfig acc;
+    acc.kv_page_tokens = page_tokens;
+    return DecodeCycleModel(model::ModelConfig::llama2_7b(),
+                            model::QuantScheme::w4a16_kv8(), acc);
+}
+
+TEST(CycleModelPaged, SameBytesMorePagesSlightlySlower) {
+    // Paged KV streaming (16-token pages, pack-word aligned) moves exactly
+    // the same KV bytes as the contiguous reservation — the history is just
+    // split into one descriptor per page, each paying its own FSM start. So:
+    // identical byte counts, strictly more time, and the penalty stays small
+    // relative to the weight-bound token (capacity is nearly free).
+    DecodeCycleModel contig = llama_model();
+    DecodeCycleModel paged = paged_llama_model(16);
+    for (const std::size_t ctx : {std::size_t{64}, std::size_t{512}}) {
+        const TokenTiming tc = contig.token_timing(ctx);
+        const TokenTiming tp = paged.token_timing(ctx);
+        EXPECT_EQ(tp.kv_read_bytes, tc.kv_read_bytes) << "ctx " << ctx;
+        EXPECT_EQ(tp.weight_bytes, tc.weight_bytes) << "ctx " << ctx;
+        EXPECT_EQ(tp.kv_write_bytes, tc.kv_write_bytes) << "ctx " << ctx;
+        EXPECT_GT(tp.total_ns, tc.total_ns) << "ctx " << ctx;
+        EXPECT_LT(tp.total_ns, tc.total_ns * 1.30) << "ctx " << ctx;
+    }
+}
+
+TEST(CycleModelPaged, PageCountDrivesDescriptorCount) {
+    // At ctx 64 with 16-token pages each history stream becomes 4 bursts.
+    DecodeCycleModel contig = llama_model();
+    DecodeCycleModel paged = paged_llama_model(16);
+    const std::size_t ctx = 64;
+    auto count_ops = [ctx](DecodeCycleModel& m, const char* name) {
+        const TokenTiming t = m.token_timing(ctx, /*collect_ops=*/true);
+        std::size_t n = 0;
+        for (const OpTiming& op : t.ops) n += op.name == name ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(count_ops(paged, "kv_qk_hist"), 4 * count_ops(contig, "kv_qk_hist"));
+    EXPECT_EQ(count_ops(paged, "kv_av_hist"), 4 * count_ops(contig, "kv_av_hist"));
+}
+
+TEST(CycleModelPaged, SingleLaneStillEqualsTokenTiming) {
+    // The batch/token equivalence contract holds under paging too.
+    DecodeCycleModel m = paged_llama_model(16);
+    for (const std::size_t ctx : {std::size_t{0}, std::size_t{16}, std::size_t{100}}) {
+        const std::size_t one[] = {ctx};
+        EXPECT_DOUBLE_EQ(m.batch_timing(one).total_ns, m.token_timing(ctx).total_ns)
+            << "ctx " << ctx;
+    }
+}
+
 }  // namespace
 }  // namespace efld::accel

@@ -1,9 +1,14 @@
 // The DecodeBackend seam: both implementations (host ReferenceEngine, accel
 // Accelerator) must honor the same slot-lifecycle and decode contract, report
-// honest StepCosts, and stay bit-identical to their own native entry points.
+// honest StepCosts, and stay bit-identical to their own native entry points —
+// with contiguous per-slot KV reservations AND with the paged kvpool layout
+// (every parity assertion compares a paged batch against a contiguous solo
+// run, so paged-vs-contiguous bit-exactness is part of the contract).
 #include <gtest/gtest.h>
 
 #include <span>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "accel/accelerator.hpp"
@@ -24,17 +29,33 @@ const model::QuantizedModelWeights& test_weights() {
     return qw;
 }
 
-BackendBundle make(BackendKind kind, std::size_t max_batch) {
+// (backend kind, kv_page_tokens): 0 = contiguous KV, > 0 = paged kvpool.
+using ContractParam = std::tuple<BackendKind, std::size_t>;
+
+BackendBundle make_with(BackendKind kind, std::size_t max_batch,
+                        std::size_t page_tokens) {
     model::EngineOptions eo;
     eo.use_kv8 = true;
     eo.max_batch = max_batch;
+    eo.kv_page_tokens = page_tokens;
     return make_backend(kind, test_weights(), eo);
 }
 
-class DecodeBackendContract : public ::testing::TestWithParam<BackendKind> {};
+class DecodeBackendContract : public ::testing::TestWithParam<ContractParam> {
+protected:
+    // The backend under test, built per the (kind, paging) parameter.
+    BackendBundle make(std::size_t max_batch) {
+        return make_with(std::get<0>(GetParam()), max_batch, std::get<1>(GetParam()));
+    }
+    // The parity oracle: always a CONTIGUOUS solo backend of the same kind.
+    BackendBundle make_solo_contiguous() {
+        return make_with(std::get<0>(GetParam()), 1, 0);
+    }
+    [[nodiscard]] BackendKind kind() const { return std::get<0>(GetParam()); }
+};
 
 TEST_P(DecodeBackendContract, SlotLifecycle) {
-    BackendBundle b = make(GetParam(), 2);
+    BackendBundle b = make(2);
     DecodeBackend& be = *b.backend;
     EXPECT_EQ(be.max_batch(), 2u);
 
@@ -58,7 +79,7 @@ TEST_P(DecodeBackendContract, SlotLifecycle) {
 }
 
 TEST_P(DecodeBackendContract, StepCostReported) {
-    BackendBundle b = make(GetParam(), 1);
+    BackendBundle b = make(1);
     DecodeBackend& be = *b.backend;
     const std::size_t slot = be.reserve_slot();
     std::vector<float> logits(be.config().vocab_size);
@@ -68,7 +89,7 @@ TEST_P(DecodeBackendContract, StepCostReported) {
     const StepCost c = be.last_step_cost();
     EXPECT_GT(c.wall_ns, 0.0);
     EXPECT_DOUBLE_EQ(c.weight_walks, 1.0);
-    if (GetParam() == BackendKind::kAccel) {
+    if (kind() == BackendKind::kAccel) {
         EXPECT_GT(c.simulated_ns, 0.0);  // cycle-priced
     } else {
         EXPECT_EQ(c.simulated_ns, 0.0);  // the host IS the wall clock
@@ -77,9 +98,10 @@ TEST_P(DecodeBackendContract, StepCostReported) {
 
 TEST_P(DecodeBackendContract, BatchNeverChangesLogits) {
     // Two slots fed the same token stream produce each lane bit-identical to
-    // a fresh solo backend of the same kind.
-    BackendBundle batched = make(GetParam(), 2);
-    BackendBundle solo = make(GetParam(), 1);
+    // a fresh CONTIGUOUS solo backend of the same kind — for the paged
+    // params this is the paged-vs-contiguous bit-for-bit parity guarantee.
+    BackendBundle batched = make(2);
+    BackendBundle solo = make_solo_contiguous();
     DecodeBackend& bb = *batched.backend;
     DecodeBackend& sb = *solo.backend;
     const std::size_t b0 = bb.reserve_slot();
@@ -105,7 +127,7 @@ TEST_P(DecodeBackendContract, BatchNeverChangesLogits) {
 }
 
 TEST_P(DecodeBackendContract, ResetClearsStateKeepsReservations) {
-    BackendBundle b = make(GetParam(), 2);
+    BackendBundle b = make(2);
     DecodeBackend& be = *b.backend;
     const std::size_t s0 = be.reserve_slot();
     std::vector<float> logits(be.config().vocab_size);
@@ -121,11 +143,86 @@ TEST_P(DecodeBackendContract, ResetClearsStateKeepsReservations) {
     EXPECT_EQ(be.reserve_slot(), DecodeBackend::kNoSlot);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothBackends, DecodeBackendContract,
-                         ::testing::Values(BackendKind::kHost, BackendKind::kAccel),
-                         [](const ::testing::TestParamInfo<BackendKind>& info) {
-                             return std::string(to_string(info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    BothBackendsBothLayouts, DecodeBackendContract,
+    ::testing::Values(ContractParam{BackendKind::kHost, 0},
+                      ContractParam{BackendKind::kHost, 8},
+                      ContractParam{BackendKind::kAccel, 0},
+                      ContractParam{BackendKind::kAccel, 8}),
+    [](const ::testing::TestParamInfo<ContractParam>& info) {
+        const std::size_t pt = std::get<1>(info.param);
+        return std::string(to_string(std::get<0>(info.param))) +
+               (pt > 0 ? "_paged" + std::to_string(pt) : "_contiguous");
+    });
+
+TEST(DecodeBackendPaged, HostFloatCachePagedParity) {
+    // The float (non-KV8) host path pages through a different arena (gathered
+    // spans instead of dequant) — its logits must also be bit-for-bit the
+    // contiguous float path's.
+    model::EngineOptions paged_eo;
+    paged_eo.use_kv8 = false;
+    paged_eo.max_batch = 2;
+    paged_eo.kv_page_tokens = 4;
+    model::EngineOptions contig_eo;
+    contig_eo.use_kv8 = false;
+    model::ReferenceEngine paged(test_weights(), paged_eo);
+    model::ReferenceEngine contig(test_weights(), contig_eo);
+
+    const std::size_t vocab = test_cfg().vocab_size;
+    std::vector<float> got(2 * vocab), want(vocab);
+    const std::size_t p0 = paged.reserve_slot();
+    const std::size_t p1 = paged.reserve_slot();
+    const std::size_t c0 = contig.reserve_slot();
+    for (const std::int32_t tok : {2, 6, 10, 14, 3, 1, 12, 9, 5}) {
+        const std::int32_t toks[] = {tok, tok};
+        const std::size_t slots[] = {p0, p1};
+        paged.decode_batch(toks, slots, got);
+        contig.decode_batch(std::span<const std::int32_t>(&tok, 1),
+                            std::span<const std::size_t>(&c0, 1), want);
+        for (std::size_t lane = 0; lane < 2; ++lane) {
+            for (std::size_t i = 0; i < vocab; ++i) {
+                ASSERT_EQ(got[lane * vocab + i], want[i]) << "lane " << lane;
+            }
+        }
+    }
+}
+
+TEST(DecodeBackendPaged, HostPoolSmallerThanWorstCaseStillServesShortSessions) {
+    // The capacity point at the engine level: 2 slots backed by a pool far
+    // smaller than 2 x max_seq_len decode short sessions fine, and
+    // release_slot returns pages for the next tenant.
+    model::EngineOptions eo;
+    eo.use_kv8 = true;
+    eo.max_batch = 2;
+    eo.kv_page_tokens = 4;
+    eo.kv_pool_pages = 4;  // 16 tokens total << 2 * 1024
+    model::ReferenceEngine eng(test_weights(), eo);
+
+    const std::size_t vocab = test_cfg().vocab_size;
+    std::vector<float> logits(2 * vocab);
+    for (int round = 0; round < 3; ++round) {
+        const std::size_t s0 = eng.reserve_slot();
+        const std::size_t s1 = eng.reserve_slot();
+        const std::size_t slots[] = {s0, s1};
+        for (std::int32_t t = 0; t < 8; ++t) {  // 8 tokens each: exactly fits
+            const std::int32_t toks[] = {t, t + 1};
+            eng.decode_batch(toks, slots, logits);
+        }
+        eng.release_slot(s0);
+        eng.release_slot(s1);
+    }
+    // A session that outgrows the pool surfaces as an error, not corruption.
+    const std::size_t s = eng.reserve_slot();
+    std::vector<float> row(vocab);
+    for (std::int32_t t = 0; t < 16; ++t) {
+        eng.decode_batch(std::span<const std::int32_t>(&t, 1),
+                         std::span<const std::size_t>(&s, 1), row);
+    }
+    const std::int32_t overflow = 0;
+    EXPECT_THROW(eng.decode_batch(std::span<const std::int32_t>(&overflow, 1),
+                                  std::span<const std::size_t>(&s, 1), row),
+                 efld::Error);
+}
 
 TEST(DecodeBackendFactory, KindRoundTrips) {
     EXPECT_EQ(backend_kind_from_string("host"), BackendKind::kHost);
@@ -139,7 +236,7 @@ TEST(DecodeBackendFactory, HostBackendMatchesNativeDecode) {
     // decode on an identically configured engine.
     model::EngineOptions eo;
     eo.use_kv8 = true;
-    BackendBundle b = make(BackendKind::kHost, 1);
+    BackendBundle b = make_with(BackendKind::kHost, 1, 0);
     model::ReferenceEngine native(test_weights(), eo);
 
     const std::size_t slot = b.backend->reserve_slot();
@@ -155,7 +252,7 @@ TEST(DecodeBackendFactory, HostBackendMatchesNativeDecode) {
 TEST(DecodeBackendFactory, AccelBackendMatchesNativeStep) {
     // Accelerator::decode_batch single lane == Accelerator::step, functional
     // and priced: simulated_ns of the 1-lane batch equals the step timing.
-    BackendBundle b = make(BackendKind::kAccel, 1);
+    BackendBundle b = make_with(BackendKind::kAccel, 1, 0);
     accel::Accelerator native(*b.packed);
 
     auto& be = *b.backend;
@@ -173,7 +270,7 @@ TEST(DecodeBackendFactory, AccelBackendMatchesNativeStep) {
 TEST(DecodeBackendFactory, AccelSlotsAreIndependentSessions) {
     // Two accel slots fed different streams keep independent KV: slot A's
     // logits match a solo accelerator fed only A's stream.
-    BackendBundle b = make(BackendKind::kAccel, 2);
+    BackendBundle b = make_with(BackendKind::kAccel, 2, 0);
     accel::Accelerator solo(*b.packed);
 
     auto& be = *b.backend;

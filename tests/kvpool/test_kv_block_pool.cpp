@@ -1,0 +1,163 @@
+// KvBlockPool + CapacityGovernor: the capacity-utilization bookkeeping —
+// page math against the planner's footprint model, alloc/grow/free through
+// block tables, exhaustion, and admission commitments.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "kvpool/capacity_governor.hpp"
+#include "kvpool/kv_block_pool.hpp"
+#include "runtime/memory_planner.hpp"
+
+namespace efld::kvpool {
+namespace {
+
+model::ModelConfig cfg() { return model::ModelConfig::micro_256(); }
+model::QuantScheme scheme() { return model::QuantScheme::w4a16_kv8(); }
+
+TEST(KvPoolMath, PageBytesMatchFootprintModel) {
+    // A 16-token page costs exactly what the planner's footprint model says a
+    // 16-token KV reservation costs — one source of truth for capacity.
+    model::ModelConfig probe = cfg();
+    probe.max_seq_len = 16;
+    const model::ModelFootprint f = model::compute_footprint(probe, scheme());
+    EXPECT_EQ(page_bytes(cfg(), scheme(), 16), f.kv_total_bytes());
+
+    // max_seq_len's worth of 16-token pages covers the full reservation.
+    const model::ModelFootprint full = model::compute_footprint(cfg(), scheme());
+    EXPECT_EQ(page_bytes(cfg(), scheme(), 16) * (cfg().max_seq_len / 16),
+              full.kv_total_bytes());
+}
+
+TEST(KvPoolMath, PagesForBudgetFloors) {
+    const std::uint64_t per_page = page_bytes(cfg(), scheme(), 16);
+    EXPECT_EQ(pages_for_budget(cfg(), scheme(), 10 * per_page, 16), 10u);
+    EXPECT_EQ(pages_for_budget(cfg(), scheme(), 10 * per_page + per_page - 1, 16), 10u);
+    EXPECT_EQ(pages_for_budget(cfg(), scheme(), per_page - 1, 16), 0u);
+}
+
+TEST(KvPoolMath, Kv260BudgetIsEverythingAfterWeights) {
+    const runtime::MemoryPlan plan = runtime::MemoryPlanner::plan_kv260(cfg(), scheme());
+    ASSERT_TRUE(plan.fits);
+    EXPECT_EQ(kv_budget_from_plan(plan),
+              plan.device_bytes - plan.weight_bytes - plan.reserved_bytes);
+    // The paged budget strictly beats the static single-session reservation.
+    EXPECT_GT(kv_budget_from_plan(plan), plan.kv_bytes);
+}
+
+TEST(KvBlockPool, GrowsByPagesAtBoundaries) {
+    KvBlockPool pool({.page_tokens = 4, .n_pages = 8});
+    const std::size_t s = pool.create_sequence();
+    EXPECT_EQ(pool.seq_tokens(s), 0u);
+    EXPECT_EQ(pool.pages_used(), 0u);
+
+    for (std::size_t t = 1; t <= 9; ++t) {
+        ASSERT_TRUE(pool.append_token(s));
+        EXPECT_EQ(pool.seq_tokens(s), t);
+        EXPECT_EQ(pool.pages_used(), (t + 3) / 4) << "token " << t;
+    }
+    EXPECT_EQ(pool.block_table(s).size(), 3u);
+}
+
+TEST(KvBlockPool, LocateMapsLogicalTokensThroughBlockTable) {
+    KvBlockPool pool({.page_tokens = 4, .n_pages = 8});
+    const std::size_t a = pool.create_sequence();
+    const std::size_t b = pool.create_sequence();
+    // Interleave growth so the block tables interleave physical pages.
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(pool.append_token(a));
+        ASSERT_TRUE(pool.append_token(b));
+    }
+    const auto& ta = pool.block_table(a);
+    const auto& tb = pool.block_table(b);
+    ASSERT_EQ(ta.size(), 2u);
+    ASSERT_EQ(tb.size(), 2u);
+    EXPECT_EQ(pool.locate(a, 0).page, ta[0]);
+    EXPECT_EQ(pool.locate(a, 3).offset, 3u);
+    EXPECT_EQ(pool.locate(a, 4).page, ta[1]);
+    EXPECT_EQ(pool.locate(a, 4).offset, 0u);
+    EXPECT_EQ(pool.locate(b, 4).page, tb[1]);
+    // Distinct sequences never share a physical page.
+    for (const std::size_t pa : ta) {
+        for (const std::size_t pb : tb) EXPECT_NE(pa, pb);
+    }
+    EXPECT_THROW((void)pool.locate(a, 5), efld::Error);
+}
+
+TEST(KvBlockPool, ExhaustionRefusesWithoutCorruption) {
+    KvBlockPool pool({.page_tokens = 2, .n_pages = 2});
+    const std::size_t s = pool.create_sequence();
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.append_token(s));
+    // Pool dry: the 5th token needs a 3rd page.
+    EXPECT_FALSE(pool.append_token(s));
+    EXPECT_EQ(pool.seq_tokens(s), 4u);  // sequence unchanged by the refusal
+    EXPECT_EQ(pool.pages_free(), 0u);
+
+    // Freeing another way in lets the refused append succeed.
+    pool.reset_sequence(s);
+    EXPECT_EQ(pool.pages_free(), 2u);
+    EXPECT_TRUE(pool.append_token(s));
+}
+
+TEST(KvBlockPool, FreeAndResetReturnPagesAndReuseIds) {
+    KvBlockPool pool({.page_tokens = 2, .n_pages = 4});
+    const std::size_t a = pool.create_sequence();
+    const std::size_t b = pool.create_sequence();
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(pool.append_token(a));
+    ASSERT_TRUE(pool.append_token(b));
+    EXPECT_EQ(pool.pages_used(), 3u);
+
+    pool.free_sequence(a);
+    EXPECT_EQ(pool.pages_used(), 1u);
+    EXPECT_THROW((void)pool.seq_tokens(a), efld::Error);  // id retired
+    // Smallest-first id reuse: a slot population sees stable ids.
+    EXPECT_EQ(pool.create_sequence(), a);
+    EXPECT_EQ(pool.seq_tokens(a), 0u);
+
+    pool.reset_sequence(b);  // pages back, id kept
+    EXPECT_EQ(pool.pages_used(), 0u);
+    EXPECT_EQ(pool.seq_tokens(b), 0u);
+}
+
+TEST(KvBlockPool, RejectsBadConfig) {
+    EXPECT_THROW(KvBlockPool({.page_tokens = 0, .n_pages = 4}), efld::Error);
+    EXPECT_THROW(KvBlockPool({.page_tokens = 16, .n_pages = 0}), efld::Error);
+}
+
+TEST(CapacityGovernor, PredictsWorstCasePages) {
+    CapacityGovernor g(64, 16);
+    EXPECT_EQ(g.predict_pages(1, 0), 1u);
+    EXPECT_EQ(g.predict_pages(16, 0), 1u);
+    EXPECT_EQ(g.predict_pages(17, 0), 2u);
+    EXPECT_EQ(g.predict_pages(10, 30), 3u);  // ceil(40/16)
+}
+
+TEST(CapacityGovernor, AdmitsUntilCommittedBudgetIsFull) {
+    CapacityGovernor g(10, 16);
+    EXPECT_TRUE(g.try_admit(4));
+    EXPECT_TRUE(g.try_admit(4));
+    EXPECT_EQ(g.committed_pages(), 8u);
+    EXPECT_FALSE(g.try_admit(3));  // 11 > 10: deferred
+    EXPECT_EQ(g.committed_pages(), 8u);
+    EXPECT_TRUE(g.try_admit(2));  // exact fit admits
+    EXPECT_DOUBLE_EQ(g.utilization(), 1.0);
+
+    g.release(4);  // a retirement frees its whole commitment
+    EXPECT_TRUE(g.try_admit(3));
+
+    EXPECT_EQ(g.stats().admitted, 4u);
+    EXPECT_EQ(g.stats().deferral_events, 1u);
+    EXPECT_EQ(g.stats().peak_committed_pages, 10u);
+    EXPECT_THROW(g.release(100), efld::Error);
+}
+
+TEST(CapacityGovernor, EverAdmissibleBoundsSubmit) {
+    CapacityGovernor g(4, 16);
+    EXPECT_TRUE(g.ever_admissible(4));
+    EXPECT_FALSE(g.ever_admissible(5));
+}
+
+}  // namespace
+}  // namespace efld::kvpool

@@ -1,0 +1,211 @@
+// Capacity-aware serving: the governor defers what does not fit the page
+// pool, retirement (any reason) returns pages and lets deferred work in,
+// finish reasons name every outcome, and paged serving is token-identical to
+// contiguous serving on both backends.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "kvpool/kv_block_pool.hpp"
+#include "runtime/serve.hpp"
+
+namespace efld::serve {
+namespace {
+
+model::ModelConfig test_cfg() { return model::ModelConfig::micro_256(); }
+
+runtime::ServeDeployment deploy(ServeOptions opts, std::uint64_t seed = 42) {
+    opts.sampler.temperature = 0.0f;  // deterministic
+    return runtime::synthetic_serve(test_cfg(), seed, opts);
+}
+
+// Serve options with a deliberately tiny pool: `pool_tokens` of aggregate KV
+// capacity in 8-token pages.
+ServeOptions tiny_pool(std::size_t pool_tokens, std::size_t max_batch = 4) {
+    ServeOptions o;
+    o.max_batch = max_batch;
+    o.paging = true;
+    o.kv_page_tokens = 8;
+    o.kv_pool_pages = pool_tokens / 8;
+    return o;
+}
+
+TEST(ServePaging, GovernorSizedFromKv260PlanByDefault) {
+    ServeOptions o;
+    o.paging = true;
+    runtime::ServeDeployment d = deploy(o);
+    const kvpool::CapacityGovernor* g = d.engine->governor();
+    ASSERT_NE(g, nullptr);
+    model::QuantScheme scheme = model::QuantScheme::w4a16_kv8();
+    const runtime::MemoryPlan plan =
+        runtime::MemoryPlanner::plan_kv260(test_cfg(), scheme);
+    EXPECT_EQ(g->total_pages(),
+              kvpool::pages_for_budget(test_cfg(), scheme,
+                                       kvpool::kv_budget_from_plan(plan), 16));
+    // micro-256 weights are tiny: nearly the whole 4 GiB backs KV pages.
+    EXPECT_GT(g->total_pages(), 1000u);
+}
+
+TEST(ServePaging, PoolPressureDefersAndSerializesButServesEveryone) {
+    // Pool of 32 tokens; each request demands 2 pages (prompt ~5 + 8 new =
+    // 13 tokens -> ceil(13/8) = 2). Four slots are free, but only two
+    // requests fit the pool at once.
+    runtime::ServeDeployment d = deploy(tiny_pool(32));
+    std::vector<runtime::RequestHandle> hs;
+    for (int r = 0; r < 4; ++r) {
+        hs.push_back(d.engine->submit(
+            runtime::ServeRequest{.prompt = "req " + std::to_string(r),
+                                  .max_new_tokens = 8}));
+    }
+    d.engine->run_until_idle();
+
+    std::size_t deferred_requests = 0;
+    for (auto& h : hs) {
+        const ServeResult& r = h.get();
+        EXPECT_EQ(r.tokens.size(), 8u);
+        EXPECT_EQ(r.finish_reason, FinishReason::kBudget);
+        deferred_requests += r.times_deferred > 0 ? 1 : 0;
+    }
+    // Capacity, not slots, set the concurrency: never more than 2 at once,
+    // and the ones that waited say so.
+    EXPECT_EQ(d.engine->stats().peak_batch, 2u);
+    EXPECT_GT(deferred_requests, 0u);
+    EXPECT_GT(d.engine->stats().capacity_deferrals, 0u);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);  // all released
+    EXPECT_EQ(d.engine->governor()->stats().peak_committed_pages, 4u);
+}
+
+TEST(ServePaging, CancelReleasesPagesAndAdmitsDeferredRequest) {
+    // One hog commits the whole 4-page pool; a second request defers behind
+    // it. Cancelling the hog must free its pages and let the deferred one in.
+    runtime::ServeDeployment d = deploy(tiny_pool(32, 2));
+    runtime::RequestHandle hog = d.engine->submit(
+        runtime::ServeRequest{.prompt = "hog", .max_new_tokens = 27});  // 4 pages
+    runtime::RequestHandle waiter = d.engine->submit(
+        runtime::ServeRequest{.prompt = "waiter", .max_new_tokens = 8});
+
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(d.engine->step());
+    EXPECT_EQ(d.engine->active_sessions(), 1u);  // waiter deferred, not admitted
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 4u);
+
+    hog.cancel();
+    d.engine->run_until_idle();
+    EXPECT_EQ(hog.get().finish_reason, FinishReason::kCancelled);
+    EXPECT_LT(hog.get().tokens.size(), 27u);  // partial output kept
+    const ServeResult& w = waiter.get();
+    EXPECT_EQ(w.finish_reason, FinishReason::kBudget);
+    EXPECT_EQ(w.tokens.size(), 8u);
+    EXPECT_GT(w.times_deferred, 0u);  // it did wait for capacity
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
+}
+
+TEST(ServePaging, DeadlineRetirementReleasesPagesToo) {
+    // Same shape, but the hog dies by deadline instead of cancel: the waiter
+    // must still inherit the freed pages.
+    runtime::ServeDeployment d = deploy(tiny_pool(32, 2));
+    runtime::RequestHandle hog = d.engine->submit(runtime::ServeRequest{
+        .prompt = "hog",
+        .max_new_tokens = 27,
+        .deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(50)});
+    runtime::RequestHandle waiter = d.engine->submit(
+        runtime::ServeRequest{.prompt = "waiter", .max_new_tokens = 8});
+
+    ASSERT_TRUE(d.engine->step());  // hog admitted, whole pool committed
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 4u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    d.engine->run_until_idle();
+
+    EXPECT_EQ(hog.get().finish_reason, FinishReason::kDeadline);
+    EXPECT_EQ(waiter.get().finish_reason, FinishReason::kBudget);
+    EXPECT_EQ(waiter.get().tokens.size(), 8u);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
+    EXPECT_EQ(d.engine->stats().requests_expired, 1u);
+}
+
+TEST(ServePaging, FinishReasonsNameEveryRetirementPath) {
+    ServeOptions o;
+    o.max_batch = 2;
+    runtime::ServeDeployment d = deploy(o);
+
+    // budget
+    runtime::RequestHandle budget =
+        d.engine->submit(runtime::ServeRequest{.prompt = "aa", .max_new_tokens = 3});
+    // cancelled (queued -> shed)
+    runtime::RequestHandle cancelled =
+        d.engine->submit(runtime::ServeRequest{.prompt = "bb", .max_new_tokens = 3});
+    cancelled.cancel();
+    // deadline already passed (shed from the queue)
+    runtime::RequestHandle late = d.engine->submit(
+        runtime::ServeRequest{.prompt = "cc",
+                              .max_new_tokens = 3,
+                              .deadline = std::chrono::steady_clock::now()});
+    d.engine->run_until_idle();
+
+    EXPECT_EQ(budget.get().finish_reason, FinishReason::kBudget);
+    EXPECT_EQ(cancelled.get().finish_reason, FinishReason::kCancelled);
+    EXPECT_EQ(late.get().finish_reason, FinishReason::kDeadline);
+    EXPECT_EQ(to_string(FinishReason::kContextOverflow), "context_overflow");
+
+    // zero-budget requests resolve as budget-complete without a slot
+    runtime::RequestHandle zero =
+        d.engine->submit(runtime::ServeRequest{.prompt = "dd", .max_new_tokens = 0});
+    EXPECT_EQ(zero.get().finish_reason, FinishReason::kBudget);
+}
+
+TEST(ServePaging, OversizedRequestRejectedAtSubmit) {
+    runtime::ServeDeployment d = deploy(tiny_pool(32));
+    // Demand 5 pages > 4-page pool: would defer forever, so submit throws.
+    EXPECT_THROW((void)d.engine->submit(runtime::ServeRequest{
+                     .prompt = "too big", .max_new_tokens = 33}),
+                 efld::Error);
+    // The pool bound is the aggregate-capacity bound, tighter than the
+    // context-window bound the contiguous path enforces.
+}
+
+TEST(ServePaging, OptionValidation) {
+    ServeOptions bad_page = tiny_pool(32);
+    bad_page.kv_page_tokens = 0;
+    EXPECT_THROW(deploy(bad_page), std::invalid_argument);
+
+    ServeOptions stray_pool;
+    stray_pool.kv_pool_pages = 8;  // paging off
+    EXPECT_THROW(deploy(stray_pool), std::invalid_argument);
+}
+
+TEST(ServePaging, PagedTokensIdenticalToContiguousBothBackends) {
+    // Same request load served contiguous vs paged must produce identical
+    // tokens per request on the host AND the cycle-priced accel backend.
+    for (const engine::BackendKind kind :
+         {engine::BackendKind::kHost, engine::BackendKind::kAccel}) {
+        ServeOptions contig;
+        contig.backend = kind;
+        contig.max_batch = 3;
+        ServeOptions paged = tiny_pool(96, 3);
+        paged.backend = kind;
+
+        std::vector<std::vector<std::int32_t>> outs[2];
+        int which = 0;
+        for (const ServeOptions& o : {contig, paged}) {
+            runtime::ServeDeployment d = deploy(o);
+            std::vector<runtime::RequestHandle> hs;
+            for (int r = 0; r < 5; ++r) {
+                hs.push_back(d.engine->submit(runtime::ServeRequest{
+                    .prompt = "parity " + std::to_string(r),
+                    .max_new_tokens = 6}));
+            }
+            d.engine->run_until_idle();
+            for (auto& h : hs) outs[which].push_back(h.get().tokens);
+            ++which;
+        }
+        EXPECT_EQ(outs[0], outs[1]) << "backend " << engine::to_string(kind);
+    }
+}
+
+}  // namespace
+}  // namespace efld::serve
