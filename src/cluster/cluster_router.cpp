@@ -1,0 +1,179 @@
+#include "cluster/cluster_router.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace efld::cluster {
+
+namespace {
+
+ShardLoad to_shard_load(const serve::ServeLoad& l) {
+    ShardLoad s;
+    s.queued = l.queued;
+    s.queue_capacity = l.queue_capacity;
+    s.active = l.active;
+    s.paging = l.paging;
+    s.committed_pages = l.committed_pages;
+    s.queued_pages = l.queued_pages;
+    s.total_pages = l.total_pages;
+    return s;
+}
+
+}  // namespace
+
+ClusterRouter::ClusterRouter(const model::QuantizedModelWeights& weights,
+                             ClusterOptions opts)
+    : opts_(std::move(opts)) {
+    if (opts_.shards == 0) {
+        throw std::invalid_argument("ClusterRouter: shards must be >= 1");
+    }
+    if (opts_.retry_hint_ms == 0) {
+        throw std::invalid_argument(
+            "ClusterRouter: retry_hint_ms must be >= 1 (a zero hint tells "
+            "rejected callers to hammer the router)");
+    }
+    placement_ = make_placement(opts_.placement);
+    shards_.reserve(opts_.shards);
+    for (std::size_t i = 0; i < opts_.shards; ++i) {
+        shards_.push_back(
+            std::make_unique<serve::ServeEngine>(weights, opts_.shard));
+    }
+}
+
+ClusterRouter::~ClusterRouter() {
+    try {
+        stop();
+    } catch (...) {
+        // A parked shard error has nowhere to go from a destructor.
+    }
+}
+
+void ClusterRouter::start() {
+    check(!running(), "ClusterRouter: already started");
+    for (auto& s : shards_) s->run();
+    running_.store(true, std::memory_order_release);
+}
+
+void ClusterRouter::stop() {
+    // Parallel quiesce: every shard joins its driver on its own thread, so a
+    // cluster stops in the time of its slowest shard. Shard errors (parked
+    // callback exceptions rethrown by ServeEngine::stop) are collected and
+    // the first is rethrown once every shard has actually stopped — an
+    // exploding callback on shard 0 must not leave shard 3 running.
+    std::vector<std::exception_ptr> errors(shards_.size());
+    std::vector<std::thread> joiners;
+    joiners.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        joiners.emplace_back([this, i, &errors] {
+            try {
+                shards_[i]->stop();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : joiners) t.join();
+    running_.store(false, std::memory_order_release);
+    for (const std::exception_ptr& e : errors) {
+        if (e != nullptr) std::rethrow_exception(e);
+    }
+}
+
+std::size_t ClusterRouter::predict_demand(const serve::Request& req) const {
+    if (!opts_.shard.paging) return 0;
+    // Shards are uniformly configured, so any governor prices the demand.
+    const kvpool::CapacityGovernor* g = shards_.front()->governor();
+    const std::size_t prompt_tokens =
+        shards_.front()->tokenizer().encode(req.prompt).size();
+    return g->predict_pages(prompt_tokens, req.max_new_tokens);
+}
+
+ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
+    const std::size_t demand = predict_demand(req);
+    // Accepted costs at embedded-cluster scale: placement serializes on one
+    // mutex and snapshots every shard (with paging, load() walks each queue
+    // to price queued demand — O(shards x queue depth) per submission), and
+    // predict_demand's tokenization is repeated by the shard's submit. A
+    // higher-fanout router would keep incremental queued-demand counters and
+    // thread the encoded prompt through.
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    std::vector<ShardLoad> loads;
+    loads.reserve(shards_.size());
+    bool could_ever_fit = false;
+    for (const auto& s : shards_) {
+        loads.push_back(to_shard_load(s->load()));
+        could_ever_fit = could_ever_fit || loads.back().ever_fits(demand);
+    }
+    // Permanent impossibility is a malformed request, not backpressure: no
+    // amount of retrying shrinks a demand past every shard's whole pool.
+    check(could_ever_fit,
+          "ClusterRouter: prompt + max_new demand exceeds every shard's KV pool");
+
+    SubmitOutcome out;
+    const std::size_t idx = placement_->pick(loads, demand);
+    if (idx == kNoShard) {
+        // Every eligible queue is full: 429. Hint scales with the shallowest
+        // backlog — the soonest any shard could take this request.
+        std::size_t min_inflight = loads.front().inflight();
+        for (const ShardLoad& l : loads) {
+            min_inflight = l.inflight() < min_inflight ? l.inflight() : min_inflight;
+        }
+        out.retry_hint =
+            std::chrono::milliseconds(opts_.retry_hint_ms * (1 + min_inflight));
+        return out;
+    }
+    check(idx < shards_.size(), "ClusterRouter: placement pick out of range");
+    // Under place_mu_ only the router pushes to shard queues and the snapshot
+    // above saw headroom, so this submit cannot hit a full queue; request
+    // validation errors (empty prompt, context overflow) still propagate.
+    out.handle = shards_[idx]->submit(std::move(req));
+    out.accepted = true;
+    out.shard = idx;
+    return out;
+}
+
+serve::RequestHandle ClusterRouter::submit(serve::Request req) {
+    SubmitOutcome out = try_submit(std::move(req));
+    check(out.accepted,
+          "ClusterRouter: every shard is saturated; use try_submit() for "
+          "backpressure instead of exceptions");
+    return std::move(out.handle);
+}
+
+void ClusterRouter::drain() {
+    // Parallel drain: with drivers running each thread waits on its shard's
+    // idle signal; without drivers wait_until_idle() steps the shard inline,
+    // so even a manual-stepping cluster drains with one thread per shard.
+    // Inline stepping rethrows on_token callback exceptions — catch them per
+    // waiter (an exception escaping a std::thread is std::terminate) and
+    // surface the first once every shard has been waited on.
+    std::vector<std::exception_ptr> errors(shards_.size());
+    std::vector<std::thread> waiters;
+    waiters.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        waiters.emplace_back([this, i, &errors] {
+            try {
+                shards_[i]->wait_until_idle();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : waiters) t.join();
+    for (const std::exception_ptr& e : errors) {
+        if (e != nullptr) std::rethrow_exception(e);
+    }
+}
+
+ClusterStats ClusterRouter::stats() const {
+    ClusterStats cs;
+    cs.shards.reserve(shards_.size());
+    for (const auto& s : shards_) cs.shards.push_back(s->load());
+    return cs;
+}
+
+}  // namespace efld::cluster

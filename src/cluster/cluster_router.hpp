@@ -1,0 +1,209 @@
+// Sharded serving cluster: N independent engine+governor pairs behind one
+// load-aware router.
+//
+// A single ServeEngine is capped by one backend's weight walk and one
+// governor's page pool. The natural scale-out unit on embedded parts is MORE
+// DEVICES — each with its own DDR bandwidth and capacity budget — so the
+// cluster layer shards traffic across fully independent shards instead of
+// growing one pool:
+//
+//   shard = engine::make_backend (own weight walk)
+//         + kvpool::CapacityGovernor (own page budget, when paging)
+//         + serve::ServeEngine::run() (own background driver thread)
+//
+// The router owns the shards and routes serve::Requests through a pluggable
+// Placement policy (round-robin, least-loaded, best-fit-by-pages — see
+// placement.hpp). Everything downstream of placement is the single-engine
+// serve path: per-request streaming callbacks, cancellation, deadlines, and
+// governor admission all work unchanged, and a request's tokens are
+// bit-for-bit identical to a solo run whichever shard it lands on (sessions
+// never interact), so routing is a pure throughput/capacity decision.
+//
+// Backpressure: submit() throws when every shard is saturated; try_submit()
+// instead returns Rejected{retry_hint} (HTTP-429 style) so a front-end can
+// shed load without exceptions. A demand no shard's pool could EVER hold is
+// not backpressure — both paths throw, mirroring ServeEngine::submit.
+//
+// Threading: submit()/try_submit() are safe from any thread (placement
+// decisions serialize on an internal mutex; per-shard load snapshots come
+// from ServeEngine::load(), which is written under the shard's stats lock).
+// start()/stop()/drain() are driven from one controlling thread. stop() and
+// drain() quiesce all shards in parallel — a cluster drains in the time of
+// its slowest shard, not the sum.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "model/weights.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace efld::cluster {
+
+struct ClusterOptions {
+    serve::ServeOptions shard;  // every shard serves with this configuration
+    std::size_t shards = 2;
+    PlacementPolicy placement = PlacementPolicy::kLeastLoaded;
+    // Base unit of try_submit's retry hint: the hint scales with the least
+    // backlogged shard's in-flight count, so callers back off harder the
+    // deeper the cluster-wide queue is.
+    std::uint32_t retry_hint_ms = 10;
+};
+
+// Per-shard load snapshots plus cluster-wide aggregates. Shards are
+// independent engines (one per device in deployment), so the cluster's
+// modeled completion time for a drained workload is the SLOWEST shard's busy
+// time, not the sum — which is what the aggregate throughput helpers divide
+// by.
+struct ClusterStats {
+    std::vector<serve::ServeLoad> shards;
+
+    [[nodiscard]] std::size_t queued() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.queued;
+        return n;
+    }
+    [[nodiscard]] std::size_t active() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.active;
+        return n;
+    }
+    [[nodiscard]] std::size_t generated_tokens() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.generated_tokens;
+        return n;
+    }
+    [[nodiscard]] std::size_t requests_completed() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.requests_completed;
+        return n;
+    }
+    [[nodiscard]] std::size_t committed_pages() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.committed_pages;
+        return n;
+    }
+    [[nodiscard]] std::size_t total_pages() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.total_pages;
+        return n;
+    }
+    [[nodiscard]] std::size_t capacity_deferrals() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.capacity_deferrals;
+        return n;
+    }
+    [[nodiscard]] std::size_t queue_promotions() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.queue_promotions;
+        return n;
+    }
+    // Slowest shard's host time inside decode steps — the cluster's modeled
+    // wall completion time with one core/device per shard.
+    [[nodiscard]] double max_wall_ns() const noexcept {
+        double m = 0.0;
+        for (const auto& s : shards) m = s.stats.wall_ns > m ? s.stats.wall_ns : m;
+        return m;
+    }
+    // Slowest shard's modeled device time (accel backend).
+    [[nodiscard]] double max_simulated_ns() const noexcept {
+        double m = 0.0;
+        for (const auto& s : shards) {
+            m = s.stats.simulated_ns > m ? s.stats.simulated_ns : m;
+        }
+        return m;
+    }
+    // Aggregate serving throughput with each shard on its own device: total
+    // tokens over the slowest shard's busy time.
+    [[nodiscard]] double isolated_tokens_per_s() const noexcept {
+        const double ns = max_wall_ns();
+        return ns > 0.0 ? static_cast<double>(generated_tokens()) * 1e9 / ns : 0.0;
+    }
+    [[nodiscard]] double simulated_cluster_tokens_per_s() const noexcept {
+        const double ns = max_simulated_ns();
+        return ns > 0.0 ? static_cast<double>(generated_tokens()) * 1e9 / ns : 0.0;
+    }
+};
+
+class ClusterRouter {
+public:
+    // Builds opts.shards independent ServeEngines over the same (non-owning)
+    // weights — each shard constructs its own backend through
+    // engine::make_backend, and its own governor when paging. Throws
+    // std::invalid_argument on zero shards or invalid shard options.
+    ClusterRouter(const model::QuantizedModelWeights& weights, ClusterOptions opts);
+
+    // Stops every shard driver (parking any shard errors) before teardown.
+    ~ClusterRouter();
+
+    ClusterRouter(const ClusterRouter&) = delete;
+    ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+    // Starts every shard's background driver. Throws if already started.
+    void start();
+    // Parallel-quiesces all shards: each driver joins on its own thread; the
+    // first parked shard error (a callback exception) is rethrown after every
+    // shard has stopped. Idempotent.
+    void stop();
+    [[nodiscard]] bool running() const noexcept {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    // Routes the request to the placement policy's shard and submits it
+    // there; the returned handle streams/cancels/awaits exactly as on a
+    // single engine. Throws efld::Error when every shard is saturated (use
+    // try_submit for backpressure) or when no shard's pool could ever hold
+    // the demand.
+    serve::RequestHandle submit(serve::Request req);
+
+    // Non-throwing admission: 429-style backpressure instead of an exception
+    // when every eligible shard's queue is full. `retry_hint` scales with the
+    // cluster's backlog. Still throws on a demand no shard could EVER hold
+    // (that is a malformed request, not transient pressure).
+    struct SubmitOutcome {
+        bool accepted = false;
+        serve::RequestHandle handle;           // valid when accepted
+        std::size_t shard = kNoShard;          // where it landed
+        std::chrono::milliseconds retry_hint{0};  // when rejected
+    };
+    SubmitOutcome try_submit(serve::Request req);
+
+    // Blocks until every shard is idle (queue empty, no active sessions).
+    // Shards drain in parallel; without start() each drains inline on its own
+    // thread, so manual-stepping clusters drain multi-threaded too.
+    void drain();
+
+    // One load snapshot per shard, taken live (safe while drivers run).
+    [[nodiscard]] ClusterStats stats() const;
+
+    [[nodiscard]] std::size_t shard_count() const noexcept {
+        return shards_.size();
+    }
+    [[nodiscard]] serve::ServeEngine& shard(std::size_t i) { return *shards_[i]; }
+    [[nodiscard]] const serve::ServeEngine& shard(std::size_t i) const {
+        return *shards_[i];
+    }
+    [[nodiscard]] const ClusterOptions& options() const noexcept { return opts_; }
+    [[nodiscard]] std::string_view placement_name() const noexcept {
+        return placement_->name();
+    }
+
+private:
+    // Worst-case page demand of a request on any shard (uniform shard
+    // configuration), 0 without paging.
+    [[nodiscard]] std::size_t predict_demand(const serve::Request& req) const;
+
+    ClusterOptions opts_;
+    std::unique_ptr<Placement> placement_;
+    std::vector<std::unique_ptr<serve::ServeEngine>> shards_;
+    mutable std::mutex place_mu_;  // serializes placement + enqueue
+    std::atomic<bool> running_{false};
+};
+
+}  // namespace efld::cluster

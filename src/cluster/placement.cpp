@@ -1,0 +1,129 @@
+#include "cluster/placement.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace efld::cluster {
+
+namespace {
+
+bool eligible(const ShardLoad& s, std::size_t demand) {
+    return !s.queue_full() && s.ever_fits(demand);
+}
+
+// Fewest in-flight requests among eligible shards; lowest index on ties so
+// identical snapshots give identical placements.
+std::size_t least_loaded_pick(std::span<const ShardLoad> shards,
+                              std::size_t demand) {
+    std::size_t best = kNoShard;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        if (!eligible(shards[i], demand)) continue;
+        if (best == kNoShard || shards[i].inflight() < shards[best].inflight()) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+class RoundRobinPlacement final : public Placement {
+public:
+    std::size_t pick(std::span<const ShardLoad> shards,
+                     std::size_t demand) override {
+        for (std::size_t n = 0; n < shards.size(); ++n) {
+            const std::size_t i = (next_ + n) % shards.size();
+            if (!eligible(shards[i], demand)) continue;
+            next_ = i + 1;
+            return i;
+        }
+        return kNoShard;
+    }
+    std::string_view name() const noexcept override { return "round-robin"; }
+
+private:
+    std::size_t next_ = 0;
+};
+
+class LeastLoadedPlacement final : public Placement {
+public:
+    std::size_t pick(std::span<const ShardLoad> shards,
+                     std::size_t demand) override {
+        return least_loaded_pick(shards, demand);
+    }
+    std::string_view name() const noexcept override { return "least-loaded"; }
+};
+
+class BestFitPagesPlacement final : public Placement {
+public:
+    std::size_t pick(std::span<const ShardLoad> shards,
+                     std::size_t demand) override {
+        // Tightest headroom that still fits: minimize free_pages - demand.
+        // Non-paging shards carry no headroom signal, so a cluster without
+        // governors falls through to least-loaded below.
+        std::size_t best = kNoShard;
+        std::size_t best_slack = std::numeric_limits<std::size_t>::max();
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const ShardLoad& s = shards[i];
+            if (!eligible(s, demand) || !s.paging) continue;
+            if (s.free_pages() < demand) continue;
+            const std::size_t slack = s.free_pages() - demand;
+            if (slack < best_slack) {
+                best = i;
+                best_slack = slack;
+            }
+        }
+        if (best != kNoShard) return best;
+        // Nothing fits right now (or nothing pages): the request will queue
+        // and defer wherever it lands, so land it where capacity frees
+        // soonest — the most free pages, in-flight count breaking ties.
+        std::size_t fallback = kNoShard;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const ShardLoad& s = shards[i];
+            if (!eligible(s, demand) || !s.paging) continue;
+            if (fallback == kNoShard || s.free_pages() > shards[fallback].free_pages() ||
+                (s.free_pages() == shards[fallback].free_pages() &&
+                 s.inflight() < shards[fallback].inflight())) {
+                fallback = i;
+            }
+        }
+        if (fallback != kNoShard) return fallback;
+        return least_loaded_pick(shards, demand);
+    }
+    std::string_view name() const noexcept override { return "best-fit"; }
+};
+
+}  // namespace
+
+std::string_view to_string(PlacementPolicy p) noexcept {
+    switch (p) {
+        case PlacementPolicy::kRoundRobin: return "round-robin";
+        case PlacementPolicy::kLeastLoaded: return "least-loaded";
+        case PlacementPolicy::kBestFitPages: return "best-fit";
+    }
+    return "least-loaded";
+}
+
+PlacementPolicy placement_policy_from_string(std::string_view name) {
+    if (name == "round-robin" || name == "rr") return PlacementPolicy::kRoundRobin;
+    if (name == "least-loaded" || name == "least") {
+        return PlacementPolicy::kLeastLoaded;
+    }
+    if (name == "best-fit" || name == "bestfit") {
+        return PlacementPolicy::kBestFitPages;
+    }
+    throw std::invalid_argument("unknown placement policy: " + std::string(name) +
+                                " (round-robin | least-loaded | best-fit)");
+}
+
+std::unique_ptr<Placement> make_placement(PlacementPolicy p) {
+    switch (p) {
+        case PlacementPolicy::kRoundRobin:
+            return std::make_unique<RoundRobinPlacement>();
+        case PlacementPolicy::kLeastLoaded:
+            return std::make_unique<LeastLoadedPlacement>();
+        case PlacementPolicy::kBestFitPages:
+            return std::make_unique<BestFitPagesPlacement>();
+    }
+    throw std::invalid_argument("make_placement: unknown policy");
+}
+
+}  // namespace efld::cluster

@@ -1,0 +1,90 @@
+// Load-aware placement: which shard a ClusterRouter routes a request to.
+//
+// The scale-out unit on embedded parts is MORE DEVICES, each with its own DDR
+// bandwidth and capacity budget (the paper's roofline argument caps a single
+// device at bandwidth / weight-bytes; Hummingbird's smaller-footprint variant
+// makes the same point from the capacity side). A placement policy therefore
+// decides over per-shard load snapshots — queue pressure, active sessions,
+// and the shard governor's page headroom — never over anything global, so the
+// router stays a thin layer in front of N fully independent engines.
+//
+// Policies:
+//   round-robin  — cycle through shards; blind to load, perfectly fair when
+//                  requests are uniform. The baseline everything else must
+//                  beat.
+//   least-loaded — fewest in-flight requests (queued + active). The default:
+//                  tracks real pressure, no paging requirement.
+//   best-fit     — route to the shard whose governor has the TIGHTEST page
+//                  headroom that still fits the request's worst-case demand
+//                  (committed + queued demand both count). Classic best-fit
+//                  bin packing: small requests top up nearly-full shards,
+//                  preserving whole-pool headroom elsewhere for big requests
+//                  — maximum capacity utilization in the paper's sense.
+//                  Without paging it degenerates to least-loaded.
+//
+// Every policy shares one eligibility rule: a shard whose queue is full, or
+// whose pool could never hold the demand, is not a candidate. pick() returns
+// kNoShard when no candidate exists — the router's 429 backpressure path.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace efld::cluster {
+
+inline constexpr std::size_t kNoShard = std::numeric_limits<std::size_t>::max();
+
+// What a placement decision sees of one shard — derived from
+// serve::ServeEngine::load() by the router, or synthesized in tests (the
+// policies are pure functions of this snapshot, so placement is unit-testable
+// without engines).
+struct ShardLoad {
+    std::size_t queued = 0;           // requests waiting in the shard's queue
+    std::size_t queue_capacity = 0;   // shard queue bound
+    std::size_t active = 0;           // sessions currently decoding
+    bool paging = false;              // shard runs a capacity governor
+    std::size_t committed_pages = 0;  // governor ledger (admitted sessions)
+    std::size_t queued_pages = 0;     // worst-case demand waiting in the queue
+    std::size_t total_pages = 0;      // shard pool size
+
+    [[nodiscard]] std::size_t inflight() const noexcept { return queued + active; }
+    [[nodiscard]] bool queue_full() const noexcept {
+        return queued >= queue_capacity;
+    }
+    // Pages not yet spoken for by admitted sessions or queued demand.
+    [[nodiscard]] std::size_t free_pages() const noexcept {
+        const std::size_t spoken_for = committed_pages + queued_pages;
+        return spoken_for >= total_pages ? 0 : total_pages - spoken_for;
+    }
+    // Whether a request of `demand` pages could EVER be admitted here.
+    [[nodiscard]] bool ever_fits(std::size_t demand) const noexcept {
+        return !paging || demand <= total_pages;
+    }
+};
+
+enum class PlacementPolicy { kRoundRobin, kLeastLoaded, kBestFitPages };
+
+[[nodiscard]] std::string_view to_string(PlacementPolicy p) noexcept;
+// Parses "round-robin" / "least-loaded" / "best-fit"; throws
+// std::invalid_argument otherwise.
+[[nodiscard]] PlacementPolicy placement_policy_from_string(std::string_view name);
+
+class Placement {
+public:
+    virtual ~Placement() = default;
+
+    // Shard to route a request of worst-case `demand_pages` to (pass 0 when
+    // the cluster does not page), or kNoShard when no eligible shard exists.
+    // Stateful policies (round-robin) mutate their cursor here; the router
+    // serializes calls.
+    [[nodiscard]] virtual std::size_t pick(std::span<const ShardLoad> shards,
+                                           std::size_t demand_pages) = 0;
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Placement> make_placement(PlacementPolicy p);
+
+}  // namespace efld::cluster

@@ -1,0 +1,281 @@
+#include "cluster/socket_frontend.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "serve/serve_types.hpp"
+
+namespace efld::cluster {
+
+namespace {
+
+// Loop write/read until the whole buffer moved (short transfers and EINTR are
+// normal on stream sockets). false = peer gone.
+bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+        const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+        const ssize_t r = ::recv(fd, data, n, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false;  // orderly shutdown
+        data += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> payload) {
+    std::uint8_t len[4];
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    len[0] = static_cast<std::uint8_t>(n & 0xff);
+    len[1] = static_cast<std::uint8_t>((n >> 8) & 0xff);
+    len[2] = static_cast<std::uint8_t>((n >> 16) & 0xff);
+    len[3] = static_cast<std::uint8_t>((n >> 24) & 0xff);
+    return write_exact(fd, len, 4) && write_exact(fd, payload.data(), payload.size());
+}
+
+// nullopt = connection closed/failed. Throws efld::Error when the peer sends
+// a length past `max_bytes` (refuse BEFORE allocating).
+std::optional<std::vector<std::uint8_t>> read_frame(int fd, std::size_t max_bytes) {
+    std::uint8_t len[4];
+    if (!read_exact(fd, len, 4)) return std::nullopt;
+    const std::uint32_t n = static_cast<std::uint32_t>(len[0]) |
+                            static_cast<std::uint32_t>(len[1]) << 8 |
+                            static_cast<std::uint32_t>(len[2]) << 16 |
+                            static_cast<std::uint32_t>(len[3]) << 24;
+    check(n <= max_bytes, "socket: frame length exceeds the configured bound");
+    std::vector<std::uint8_t> payload(n);
+    if (n > 0 && !read_exact(fd, payload.data(), n)) return std::nullopt;
+    return payload;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port, const char* host) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    check(::inet_pton(AF_INET, host, &addr.sin_addr) == 1,
+          "socket: invalid IPv4 address");
+    return addr;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ClusterRouter& router, Options opts)
+    : router_(router), opts_(std::move(opts)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(listen_fd_ >= 0, "socket: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopback_addr(opts_.port, opts_.host.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, opts_.backlog) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw Error("socket: bind/listen failed (port in use?)");
+    }
+    socklen_t len = sizeof(addr);
+    check(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+          "socket: getsockname failed");
+    port_ = ntohs(addr.sin_port);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+    check(!running(), "SocketServer: already started");
+    check(listen_fd_ >= 0, "SocketServer: cannot restart after stop()");
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    // The acceptor takes the descriptor BY VALUE at spawn (happens-before via
+    // thread creation): stop()'s listen_fd_ = -1 write then has no concurrent
+    // reader, and the close() is what unblocks (then fails) accept().
+    acceptor_ = std::thread([this, lfd = listen_fd_] { accept_loop(lfd); });
+}
+
+void SocketServer::stop() {
+    stopping_.store(true, std::memory_order_release);
+    if (listen_fd_ >= 0) {
+        // Unblocks accept(); the listener cannot be reused after this.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (acceptor_.joinable()) acceptor_.join();
+    {
+        // Kick every live connection out of its blocking read; handlers see
+        // EOF and exit. Slots already at -1 belong to finished handlers.
+        const std::lock_guard<std::mutex> lock(conn_mu_);
+        for (const int fd : conn_fds_) {
+            if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    std::vector<std::thread> to_join;
+    {
+        const std::lock_guard<std::mutex> lock(conn_mu_);
+        to_join.swap(conn_threads_);
+    }
+    for (auto& t : to_join) {
+        if (t.joinable()) t.join();
+    }
+    running_.store(false, std::memory_order_release);
+}
+
+void SocketServer::accept_loop(int lfd) {
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) {
+            // Transient per-connection/resource failures (client RST before
+            // accept, fd pressure) must not kill the acceptor — only a dead
+            // listener may.
+            if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
+                errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+                continue;
+            }
+            break;  // listener shut down
+        }
+        const std::lock_guard<std::mutex> lock(conn_mu_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            break;
+        }
+        // Reap finished handlers (slot flipped to -1) so a long-lived server
+        // with connection churn does not accumulate dead thread objects.
+        // The exiting handler touches conn_mu_ only to flip its slot, so
+        // joining here cannot deadlock.
+        for (std::size_t i = 0; i < conn_threads_.size(); ++i) {
+            if (conn_fds_[i] == -1 && conn_threads_[i].joinable()) {
+                conn_threads_[i].join();
+                conn_threads_[i] = std::thread();
+            }
+        }
+        const std::size_t idx = conn_fds_.size();
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back(
+            [this, idx, fd] { serve_connection(idx, fd); });
+    }
+}
+
+void SocketServer::serve_connection(std::size_t conn_index, int fd) {
+    bool alive = true;
+    while (alive && !stopping_.load(std::memory_order_acquire)) {
+        std::optional<std::vector<std::uint8_t>> frame;
+        try {
+            frame = read_frame(fd, opts_.max_frame_bytes);
+        } catch (const Error&) {
+            break;  // oversized length prefix: protocol abuse, drop the link
+        }
+        if (!frame.has_value()) break;  // client closed
+
+        wire::WireResponse resp;
+        bool respond = true;
+        try {
+            const wire::WireRequest wreq = wire::decode_request(*frame);
+            serve::Request req;
+            req.prompt = wreq.prompt;
+            req.max_new_tokens = wreq.max_new_tokens;
+            if (wreq.deadline_ms > 0) {
+                req.deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(wreq.deadline_ms);
+            }
+            ClusterRouter::SubmitOutcome out = router_.try_submit(std::move(req));
+            if (!out.accepted) {
+                resp.status = wire::Status::kRejected;
+                resp.retry_ms = static_cast<std::uint32_t>(out.retry_hint.count());
+            } else {
+                // Poll rather than block outright: stop() must not wait for a
+                // decode (or, with no driver running, forever). On shutdown
+                // the request is cancelled and the connection abandoned
+                // without a response.
+                const std::shared_future<serve::ServeResult> fut =
+                    out.handle.future();
+                while (fut.wait_for(std::chrono::milliseconds(20)) !=
+                       std::future_status::ready) {
+                    if (stopping_.load(std::memory_order_acquire)) {
+                        out.handle.cancel();
+                        respond = false;
+                        alive = false;
+                        break;
+                    }
+                }
+                if (respond) {
+                    const serve::ServeResult& r = fut.get();
+                    resp.status = wire::Status::kOk;
+                    resp.id = r.id;
+                    resp.finish_reason =
+                        static_cast<std::uint8_t>(r.finish_reason);
+                    resp.times_deferred =
+                        static_cast<std::uint32_t>(r.times_deferred);
+                    resp.tokens = r.tokens;
+                    resp.text = r.text;
+                }
+            }
+        } catch (const std::exception& e) {
+            // Unservable request (validation) — report it, keep the link.
+            resp.status = wire::Status::kError;
+            resp.error = e.what();
+        }
+        if (respond) {
+            // Count before the write: a client that has already received its
+            // reply must never observe requests_served() lagging behind.
+            served_.fetch_add(1, std::memory_order_release);
+            if (!write_frame(fd, wire::encode_response(resp))) break;
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_fds_[conn_index] = -1;  // stop() must not touch a reused fd
+    }
+    ::close(fd);
+}
+
+SocketClient::SocketClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(fd_ >= 0, "socket: socket() failed");
+    sockaddr_in addr = loopback_addr(port, host.c_str());
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("socket: connect to " + host + ":" + std::to_string(port) +
+                    " failed");
+    }
+}
+
+SocketClient::~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+wire::WireResponse SocketClient::request(const wire::WireRequest& req) {
+    check(fd_ >= 0, "SocketClient: not connected");
+    check(write_frame(fd_, wire::encode_request(req)),
+          "SocketClient: connection lost while sending");
+    std::optional<std::vector<std::uint8_t>> frame =
+        read_frame(fd_, wire::kMaxFrameBytes);
+    check(frame.has_value(), "SocketClient: connection lost while waiting");
+    return wire::decode_response(*frame);
+}
+
+}  // namespace efld::cluster

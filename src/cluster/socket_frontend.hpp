@@ -1,0 +1,117 @@
+// TCP front-end over the cluster router: the piece that turns the sharded
+// serving cluster into a network service.
+//
+// SocketServer listens on a loopback/any-interface TCP port, reads
+// length-prefixed wire::WireRequest frames (one connection per client, one
+// in-flight request per connection), routes each through
+// ClusterRouter::try_submit, and writes back a wire::WireResponse:
+//
+//   ok       — the request ran to retirement; tokens + decoded text.
+//   rejected — every shard was saturated (429): retry_ms tells the client
+//              when to come back. Nothing was enqueued.
+//   error    — the request itself is unservable (empty prompt, context
+//              overflow, demand past every pool). The connection survives —
+//              a bad request is the client's problem, not the transport's.
+//
+// Threading: one acceptor thread plus one handler thread per connection. A
+// handler blocks on its request's future, so concurrency across clients
+// comes from concurrent connections — which is exactly the load shape the
+// router's placement policies are built for. Start the router before
+// serving traffic (requests submitted earlier queue until the shard drivers
+// run).
+//
+// SocketClient is the matching blocking client: connect once, request() per
+// round trip. Both ends are POSIX-only (Linux CI / deployment target).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_router.hpp"
+#include "cluster/wire.hpp"
+
+namespace efld::cluster {
+
+class SocketServer {
+public:
+    struct Options {
+        // Bind address. Loopback by default — the wire protocol is
+        // unauthenticated, so exposing it beyond the host is an explicit
+        // decision ("0.0.0.0" to listen on every interface).
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;  // 0 = ephemeral; read the bound port()
+        int backlog = 16;
+        std::size_t max_frame_bytes = wire::kMaxFrameBytes;
+    };
+
+    // Binds and listens immediately (so port() is valid before start());
+    // throws efld::Error when the socket/bind/listen fails. Non-owning of the
+    // router, which must outlive the server.
+    explicit SocketServer(ClusterRouter& router)
+        : SocketServer(router, Options{}) {}
+    SocketServer(ClusterRouter& router, Options opts);
+    ~SocketServer();
+
+    SocketServer(const SocketServer&) = delete;
+    SocketServer& operator=(const SocketServer&) = delete;
+
+    // Starts the acceptor thread. Throws if already started.
+    void start();
+    // Shuts the listener and every live connection down and joins all
+    // threads. Idempotent. A handler blocked on an in-flight request
+    // cancels it and abandons the connection without a response — the
+    // request retires on its shard (as cancelled) whenever the router's
+    // drivers next reach a token boundary; stop() never waits for decode.
+    void stop();
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    [[nodiscard]] bool running() const noexcept {
+        return running_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::size_t requests_served() const noexcept {
+        return served_.load(std::memory_order_acquire);
+    }
+
+private:
+    void accept_loop(int lfd);
+    void serve_connection(std::size_t conn_index, int fd);
+
+    ClusterRouter& router_;
+    Options opts_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> served_{0};
+    // Live connections: fd slots flip to -1 when their handler exits, so
+    // stop() can shutdown() stragglers without racing fd reuse.
+    std::mutex conn_mu_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<int> conn_fds_;
+};
+
+// Blocking client for the wire protocol. One request in flight at a time.
+class SocketClient {
+public:
+    // Connects immediately; throws efld::Error on refusal. `host` is an IPv4
+    // dotted quad ("127.0.0.1").
+    SocketClient(const std::string& host, std::uint16_t port);
+    ~SocketClient();
+
+    SocketClient(const SocketClient&) = delete;
+    SocketClient& operator=(const SocketClient&) = delete;
+
+    // One round trip: frame the request, block for the response frame.
+    // Throws efld::Error on protocol violations or a dropped connection.
+    [[nodiscard]] wire::WireResponse request(const wire::WireRequest& req);
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace efld::cluster

@@ -1,0 +1,153 @@
+#include "cluster/wire.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace efld::cluster::wire {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::string_view s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+// Bounds-checked little-endian reader over one payload.
+class Cursor {
+public:
+    explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t u8() {
+        need(1);
+        return data_[pos_++];
+    }
+    std::uint32_t u32() {
+        need(4);
+        const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                                static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                                static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                                static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+        pos_ += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::string str() {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+    void finish() const {
+        check(pos_ == data_.size(), "wire: trailing bytes after payload");
+    }
+
+private:
+    void need(std::size_t n) const {
+        check(pos_ + n <= data_.size(), "wire: truncated payload");
+    }
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const WireRequest& req) {
+    std::vector<std::uint8_t> out;
+    out.reserve(1 + 4 + 4 + 4 + req.prompt.size());
+    put_u8(out, kVersion);
+    put_u32(out, req.max_new_tokens);
+    put_u32(out, req.deadline_ms);
+    put_bytes(out, req.prompt);
+    return out;
+}
+
+WireRequest decode_request(std::span<const std::uint8_t> payload) {
+    Cursor c(payload);
+    check(c.u8() == kVersion, "wire: unknown request version");
+    WireRequest req;
+    req.max_new_tokens = c.u32();
+    req.deadline_ms = c.u32();
+    req.prompt = c.str();
+    c.finish();
+    return req;
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, kVersion);
+    put_u8(out, static_cast<std::uint8_t>(resp.status));
+    switch (resp.status) {
+        case Status::kOk:
+            put_u64(out, resp.id);
+            put_u8(out, resp.finish_reason);
+            put_u32(out, resp.times_deferred);
+            put_u32(out, static_cast<std::uint32_t>(resp.tokens.size()));
+            for (const std::int32_t t : resp.tokens) {
+                put_u32(out, static_cast<std::uint32_t>(t));
+            }
+            put_bytes(out, resp.text);
+            break;
+        case Status::kRejected:
+            put_u32(out, resp.retry_ms);
+            break;
+        case Status::kError:
+            put_bytes(out, resp.error);
+            break;
+    }
+    return out;
+}
+
+WireResponse decode_response(std::span<const std::uint8_t> payload) {
+    Cursor c(payload);
+    check(c.u8() == kVersion, "wire: unknown response version");
+    WireResponse resp;
+    const std::uint8_t status = c.u8();
+    check(status <= static_cast<std::uint8_t>(Status::kError),
+          "wire: unknown response status");
+    resp.status = static_cast<Status>(status);
+    switch (resp.status) {
+        case Status::kOk: {
+            resp.id = c.u64();
+            resp.finish_reason = c.u8();
+            resp.times_deferred = c.u32();
+            const std::uint32_t n = c.u32();
+            check(n <= kMaxFrameBytes / sizeof(std::int32_t),
+                  "wire: token count exceeds the frame bound");
+            resp.tokens.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) resp.tokens.push_back(c.i32());
+            resp.text = c.str();
+            break;
+        }
+        case Status::kRejected:
+            resp.retry_ms = c.u32();
+            break;
+        case Status::kError:
+            resp.error = c.str();
+            break;
+    }
+    c.finish();
+    return resp;
+}
+
+}  // namespace efld::cluster::wire

@@ -1,0 +1,67 @@
+// Wire format of the socket front-end: length-prefixed frames with
+// little-endian fixed-width fields.
+//
+//   frame    := u32 payload_length, payload
+//   request  := u8 version(=1), u32 max_new_tokens, u32 deadline_ms,
+//               u32 prompt_length, prompt bytes
+//   response := u8 version(=1), u8 status, body
+//     status 0 (ok)       : u64 id, u8 finish_reason, u32 times_deferred,
+//                           u32 token_count, i32 tokens[token_count],
+//                           u32 text_length, text bytes
+//     status 1 (rejected) : u32 retry_ms      — 429 backpressure; retry after
+//                           the hint, the cluster's queues are all full
+//     status 2 (error)    : u32 message_length, message bytes — the request
+//                           itself was unservable (empty prompt, context
+//                           overflow, demand past every pool)
+//
+// deadline_ms is relative to server receipt (0 = none) — clients and servers
+// share no clock. finish_reason transports serve::FinishReason's enum value.
+//
+// Encode/decode work on byte vectors, independent of any socket, so the
+// format round-trips in unit tests without a network. Decoders throw
+// efld::Error on malformed payloads (short reads, trailing bytes, unknown
+// version/status) — the socket layer turns that into a status-2 response or
+// a dropped connection, never undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace efld::cluster::wire {
+
+inline constexpr std::uint8_t kVersion = 1;
+// Upper bound a frame reader enforces BEFORE allocating: a garbage length
+// prefix must not become a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class Status : std::uint8_t { kOk = 0, kRejected = 1, kError = 2 };
+
+struct WireRequest {
+    std::string prompt;
+    std::uint32_t max_new_tokens = 0;
+    std::uint32_t deadline_ms = 0;  // 0 = no deadline
+};
+
+struct WireResponse {
+    Status status = Status::kError;
+    // kOk fields
+    std::uint64_t id = 0;
+    std::uint8_t finish_reason = 0;  // serve::FinishReason value
+    std::uint32_t times_deferred = 0;
+    std::vector<std::int32_t> tokens;
+    std::string text;
+    // kRejected field
+    std::uint32_t retry_ms = 0;
+    // kError field
+    std::string error;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& req);
+[[nodiscard]] WireRequest decode_request(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const WireResponse& resp);
+[[nodiscard]] WireResponse decode_response(std::span<const std::uint8_t> payload);
+
+}  // namespace efld::cluster::wire

@@ -13,4 +13,15 @@ ServeDeployment synthetic_serve(const model::ModelConfig& cfg, std::uint64_t see
     return d;
 }
 
+ClusterDeployment synthetic_cluster(const model::ModelConfig& cfg,
+                                    std::uint64_t seed, ClusterOptions opts) {
+    const model::ModelWeights fw = model::ModelWeights::synthetic(cfg, seed);
+    quant::GroupQuantConfig qc;  // W4 group-128, the deployed scheme
+    ClusterDeployment d;
+    d.weights = std::make_unique<model::QuantizedModelWeights>(
+        model::QuantizedModelWeights::quantize(fw, qc));
+    d.router = std::make_unique<cluster::ClusterRouter>(*d.weights, opts);
+    return d;
+}
+
 }  // namespace efld::runtime

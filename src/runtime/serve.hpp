@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "cluster/cluster_router.hpp"
 #include "model/weights.hpp"
 #include "serve/serve_engine.hpp"
 
@@ -20,11 +21,15 @@ namespace efld::runtime {
 using ServeOptions = serve::ServeOptions;
 using ServeResult = serve::ServeResult;
 using ServeStats = serve::ServeStats;
+using ServeLoad = serve::ServeLoad;
 using ServeRequest = serve::Request;
 using RequestHandle = serve::RequestHandle;
 using SchedulerPolicy = serve::SchedulerPolicy;
 using BackendKind = engine::BackendKind;
 using FinishReason = serve::FinishReason;
+using ClusterOptions = cluster::ClusterOptions;
+using ClusterStats = cluster::ClusterStats;
+using PlacementPolicy = cluster::PlacementPolicy;
 
 // A ServeEngine bundled with the quantized weights it serves (ServeEngine
 // itself is non-owning). Movable; engine references stay valid because both
@@ -38,5 +43,17 @@ struct ServeDeployment {
 // serving counterpart of InferenceSession::synthetic (W4 group-128 scheme).
 [[nodiscard]] ServeDeployment synthetic_serve(const model::ModelConfig& cfg,
                                               std::uint64_t seed, ServeOptions opts = {});
+
+// A ClusterRouter bundled with the quantized weights its shards serve.
+struct ClusterDeployment {
+    std::unique_ptr<model::QuantizedModelWeights> weights;
+    std::unique_ptr<cluster::ClusterRouter> router;
+};
+
+// The cluster counterpart of synthetic_serve: N shards over one set of
+// synthetic weights behind a load-aware router.
+[[nodiscard]] ClusterDeployment synthetic_cluster(const model::ModelConfig& cfg,
+                                                  std::uint64_t seed,
+                                                  ClusterOptions opts = {});
 
 }  // namespace efld::runtime

@@ -35,18 +35,37 @@ std::optional<PendingRequest> RequestQueue::pop_with(const Scheduler& scheduler)
 
 RequestQueue::PopOutcome RequestQueue::pop_if(
     const Scheduler& scheduler,
-    const std::function<bool(PendingRequest&)>& admissible) {
+    const std::function<bool(PendingRequest&)>& admissible,
+    std::size_t max_deferrals) {
     const std::lock_guard<std::mutex> lock(m_);
     PopOutcome out;
     if (q_.empty()) return out;
-    const std::size_t idx = scheduler.pick(q_);
-    check(idx < q_.size(), "RequestQueue: scheduler pick out of range");
+    // Starvation guard: a request at the deferral bound outranks the
+    // scheduler (most-deferred first; the scan order breaks ties FIFO).
+    std::size_t idx = q_.size();
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+        if (q_[i].times_deferred < max_deferrals) continue;
+        if (idx == q_.size() || q_[i].times_deferred > q_[idx].times_deferred) {
+            idx = i;
+        }
+    }
+    const bool promoted = idx != q_.size();
+    if (!promoted) {
+        idx = scheduler.pick(q_);
+        check(idx < q_.size(), "RequestQueue: scheduler pick out of range");
+    }
     if (!admissible(q_[idx])) {
         out.deferred = true;  // pick stays queued, in place
         return out;
     }
     out.req = std::move(q_[idx]);
     q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Passed-over accounting: every earlier-submitted request still queued
+    // just watched a younger one get admitted ahead of it.
+    for (PendingRequest& r : q_) {
+        if (r.id < out.req->id) ++r.times_deferred;
+    }
+    out.promoted = promoted;
     return out;
 }
 
@@ -70,6 +89,12 @@ std::vector<PendingRequest> RequestQueue::remove_if(
         }
     }
     return removed;
+}
+
+void RequestQueue::for_each(
+    const std::function<void(const PendingRequest&)>& fn) const {
+    const std::lock_guard<std::mutex> lock(m_);
+    for (const PendingRequest& r : q_) fn(r);
 }
 
 std::size_t RequestQueue::size() const {

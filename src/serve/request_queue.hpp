@@ -44,12 +44,28 @@ public:
     // starving) and `deferred` is set. The predicate may mutate the request's
     // bookkeeping (deferral counters) and runs under the queue lock, so it
     // must not call back into the queue.
+    //
+    // Deferral accounting: a successful pop charges one deferral to every
+    // still-queued request submitted EARLIER than the popped one (it was
+    // passed over — SJF admitting a shorter, younger job), on top of the
+    // deferrals the predicate itself records when it refuses the pick for
+    // capacity. Under FCFS without capacity pressure nothing accrues.
+    //
+    // Anti-starvation: a request whose times_deferred has reached
+    // `max_deferrals` overrides the scheduler — it becomes the mandatory next
+    // pick (most-deferred first, FIFO on ties) until admitted, so a stream of
+    // small requests cannot pass over a big one forever. A promoted pick the
+    // predicate refuses still blocks admission (strict order), which bounds
+    // its wait by the batch's drain time. kNoPromotion disables the guard.
     struct PopOutcome {
         std::optional<PendingRequest> req;
         bool deferred = false;  // pick existed but was refused admission
+        bool promoted = false;  // pick was forced by the starvation guard
     };
+    static constexpr std::size_t kNoPromotion = static_cast<std::size_t>(-1);
     PopOutcome pop_if(const Scheduler& scheduler,
-                      const std::function<bool(PendingRequest&)>& admissible);
+                      const std::function<bool(PendingRequest&)>& admissible,
+                      std::size_t max_deferrals = kNoPromotion);
 
     // Blocks until the queue is non-empty or `wake()` returns true. push()
     // notifies; an external waker (ServeEngine::stop) flips its flag and
@@ -62,6 +78,11 @@ public:
     // scheduler might otherwise pass over forever.
     std::vector<PendingRequest> remove_if(
         const std::function<bool(const PendingRequest&)>& pred);
+
+    // Visits every queued request (FIFO order) under the queue lock — the
+    // load-snapshot path (ServeEngine::load) sums queued page demand with
+    // this. `fn` must not call back into the queue.
+    void for_each(const std::function<void(const PendingRequest&)>& fn) const;
 
     [[nodiscard]] std::size_t size() const;
     [[nodiscard]] bool empty() const { return size() == 0; }

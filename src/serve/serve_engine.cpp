@@ -41,6 +41,11 @@ void validate(const ServeOptions& o) {
             "ServeOptions: kv_pool_pages/kv_pool_bytes have no effect without "
             "paging (set paging = true)");
     }
+    if (o.max_deferrals == 0) {
+        throw std::invalid_argument(
+            "ServeOptions: max_deferrals must be >= 1 (0 would promote every "
+            "queued request instantly, bypassing the scheduler entirely)");
+    }
     // The thread-count contract is shared with EngineOptions; validate it here
     // too so the accel backend (which never builds a ReferenceEngine) rejects
     // the same misconfigurations.
@@ -218,8 +223,9 @@ void ServeEngine::admit() {
     // normally and retired at the next boundary's control-plane pass.
     while (n_active_.load(std::memory_order_relaxed) < slots_.size()) {
         std::size_t committed = 0;
-        RequestQueue::PopOutcome out =
-            queue_.pop_if(*scheduler_, [&](PendingRequest& r) {
+        RequestQueue::PopOutcome out = queue_.pop_if(
+            *scheduler_,
+            [&](PendingRequest& r) {
                 if (governor_ == nullptr) return true;
                 const std::size_t need = governor_->predict_pages(
                     r.prompt.size(), r.max_new_tokens);
@@ -229,15 +235,25 @@ void ServeEngine::admit() {
                 }
                 committed = need;
                 return true;
-            });
+            },
+            opts_.max_deferrals);
+        if (governor_ != nullptr) {
+            committed_pages_cache_.store(governor_->committed_pages(),
+                                         std::memory_order_release);
+        }
         if (out.deferred) {
-            // The scheduler's pick does not fit the pool yet. It stays queued
-            // in place and admission stops for this boundary — strict policy
-            // order, so a big request is delayed, never starved.
+            // The pick (scheduler's or promoted) does not fit the pool yet.
+            // It stays queued in place and admission stops for this boundary —
+            // strict policy order, so a big request is delayed, never starved.
+            const std::lock_guard<std::mutex> g(stats_mu_);
             ++stats_.capacity_deferrals;
             return;
         }
         if (!out.req.has_value()) return;
+        if (out.promoted) {
+            const std::lock_guard<std::mutex> g(stats_mu_);
+            ++stats_.queue_promotions;
+        }
 
         const std::size_t slot = backend_->reserve_slot();
         check(slot != engine::DecodeBackend::kNoSlot && slot < slots_.size() &&
@@ -271,8 +287,11 @@ void ServeEngine::retire(SessionState& s, Retire why) {
         // retirement (EOS, cancel, deadline) frees pages it never touched,
         // which is exactly what lets a deferred request in.
         governor_->release(committed);
+        committed_pages_cache_.store(governor_->committed_pages(),
+                                     std::memory_order_release);
     }
     n_active_.fetch_sub(1, std::memory_order_release);
+    const std::lock_guard<std::mutex> g(stats_mu_);
     ++stats_.requests_completed;
     if (why == Retire::kCancelled) ++stats_.requests_cancelled;
     if (why == Retire::kDeadline) ++stats_.requests_expired;
@@ -313,6 +332,7 @@ bool ServeEngine::step_locked() {
             dead.control->cancel.load(std::memory_order_relaxed);
         resolve_unstarted(std::move(dead),
                           was_cancelled ? Retire::kCancelled : Retire::kDeadline);
+        const std::lock_guard<std::mutex> g(stats_mu_);
         ++stats_.requests_completed;
         if (was_cancelled) {
             ++stats_.requests_cancelled;
@@ -344,30 +364,37 @@ bool ServeEngine::step_locked() {
                            std::span<float>(logits_.data(),
                                             feed_slots_.size() * vocab));
     const engine::StepCost cost = backend_->last_step_cost();
-    ++stats_.steps;
-    stats_.weight_walks += cost.weight_walks;
-    stats_.lane_steps += feed_slots_.size();
-    stats_.peak_batch = std::max(stats_.peak_batch, feed_slots_.size());
-    stats_.wall_ns += cost.wall_ns;
-    stats_.simulated_ns += cost.simulated_ns;
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.steps;
+        stats_.weight_walks += cost.weight_walks;
+        stats_.lane_steps += feed_slots_.size();
+        stats_.peak_batch = std::max(stats_.peak_batch, feed_slots_.size());
+        stats_.wall_ns += cost.wall_ns;
+        stats_.simulated_ns += cost.simulated_ns;
+    }
 
     // A throwing on_token callback must not corrupt the batch: every lane's
     // bookkeeping still completes, and the first exception is rethrown only
-    // after the token boundary is consistent.
+    // after the token boundary is consistent. Token counters accumulate in
+    // locals and flush under ONE stats lock per step — per-lane lock churn
+    // would contend with the router's load() snapshots for nothing.
     std::exception_ptr callback_error;
+    std::size_t step_prompt_tokens = 0;
+    std::size_t step_generated_tokens = 0;
     for (std::size_t b = 0; b < feed_slots_.size(); ++b) {
         SessionState& s = *slots_[feed_slots_[b]];
         const bool samplable = s.sampling_after_feed();
         if (s.prompt_fed < s.prompt.size()) {
             ++s.prompt_fed;
-            ++stats_.prompt_tokens;
+            ++step_prompt_tokens;
         }
         if (!samplable) continue;  // mid-prefill: logits row unused
 
         const std::span<const float> row(logits_.data() + b * vocab, vocab);
         const std::int32_t next = s.sampler.sample(row);
         s.generated.push_back(next);
-        ++stats_.generated_tokens;
+        ++step_generated_tokens;
         if (s.on_token) {
             try {
                 s.on_token(next, tokenizer_.decode_token(next));
@@ -385,6 +412,11 @@ bool ServeEngine::step_locked() {
         } else {
             s.pending_token = next;
         }
+    }
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        stats_.prompt_tokens += step_prompt_tokens;
+        stats_.generated_tokens += step_generated_tokens;
     }
     if (callback_error) std::rethrow_exception(callback_error);
     return n_active_.load(std::memory_order_relaxed) > 0 || !queue_.empty();
@@ -461,6 +493,41 @@ void ServeEngine::stop() {
         driver_error_ = nullptr;
         std::rethrow_exception(e);
     }
+}
+
+ServeStats ServeEngine::stats_snapshot() const {
+    const std::lock_guard<std::mutex> g(stats_mu_);
+    return stats_;
+}
+
+ServeLoad ServeEngine::load() const {
+    ServeLoad l;
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        l.stats = stats_;
+    }
+    l.active = n_active_.load(std::memory_order_acquire);
+    l.slots = slots_.size();
+    l.queue_capacity = queue_.capacity();
+    l.paging = governor_ != nullptr;
+    if (governor_ != nullptr) {
+        l.total_pages = governor_->total_pages();
+        l.committed_pages = committed_pages_cache_.load(std::memory_order_acquire);
+    }
+    // One pass under the queue lock: depth and worst-case page demand of
+    // everything still waiting (predict_pages is pure, safe off-thread).
+    std::size_t queued = 0;
+    std::size_t queued_pages = 0;
+    queue_.for_each([&](const PendingRequest& r) {
+        ++queued;
+        if (governor_ != nullptr) {
+            queued_pages +=
+                governor_->predict_pages(r.prompt.size(), r.max_new_tokens);
+        }
+    });
+    l.queued = queued;
+    l.queued_pages = queued_pages;
+    return l;
 }
 
 void ServeEngine::wait_until_idle() {

@@ -87,6 +87,11 @@ struct ServeOptions {
     std::size_t kv_page_tokens = 16;  // page size (16 = pack-word aligned)
     std::size_t kv_pool_pages = 0;    // explicit pool size in pages
     std::uint64_t kv_pool_bytes = 0;  // explicit DDR budget for the pool
+    // Anti-starvation bound: a request passed over (capacity-refused as the
+    // pick, or SJF admitting younger, shorter jobs ahead of it) this many
+    // times is promoted to the mandatory next admission pick regardless of
+    // scheduler policy (ServeStats::queue_promotions counts).
+    std::size_t max_deferrals = 32;
 };
 
 class ServeEngine {
@@ -146,9 +151,22 @@ public:
     // drives run_until_idle() inline.
     void wait_until_idle();
 
-    // Counters are written by whichever thread drives step(); read them from
-    // another thread only at a quiet point (after wait_until_idle()/stop()).
+    // Counters are written by whichever thread drives step(); read the
+    // reference from another thread only at a quiet point (after
+    // wait_until_idle()/stop()). For live reads use stats_snapshot()/load().
     [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+    // A consistent copy of the counters, safe from any thread while the
+    // driver serves (every counter mutation happens under the same lock).
+    [[nodiscard]] ServeStats stats_snapshot() const;
+    // The engine's load — counters, queue depth, active sessions, and (with
+    // paging) committed + queued page demand — safe from any thread while
+    // the driver serves. The counter block is internally consistent (one
+    // lock); the queue/active/pages fields are each torn-read-free but read
+    // in sequence, so a request caught mid-admission can transiently appear
+    // in neither queued nor active. That is fine for what this feeds — a
+    // router's placement heuristics — and closing the window would mean
+    // locking the whole admission path against readers.
+    [[nodiscard]] ServeLoad load() const;
     [[nodiscard]] std::size_t active_sessions() const noexcept {
         return n_active_.load(std::memory_order_acquire);
     }
@@ -193,7 +211,14 @@ private:
     std::vector<std::optional<SessionState>> slots_;  // index = backend slot
     std::atomic<std::size_t> n_active_{0};
     std::atomic<std::uint64_t> next_id_{1};
+    // Every stats_ mutation happens under stats_mu_ so stats_snapshot()/load()
+    // never observe a torn update mid-step. The driver's writes are a few
+    // uncontended lock acquisitions per multi-millisecond decode step.
+    mutable std::mutex stats_mu_;
     ServeStats stats_;
+    // Governor ledger mirror for load(): the governor itself is driver-thread
+    // only; this publishes its committed count to snapshot readers.
+    std::atomic<std::size_t> committed_pages_cache_{0};
 
     // Background driver state. run()/stop()/wait_until_idle() are driven from
     // one controlling thread; submit()/cancel() stay safe from any thread.

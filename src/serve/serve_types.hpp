@@ -70,9 +70,11 @@ struct ServeResult {
     std::vector<std::int32_t> tokens;     // generated ids (incl. EOS if hit)
     std::size_t prompt_tokens = 0;        // prompt length after tokenization
     FinishReason finish_reason = FinishReason::kNone;
-    // Times the capacity governor deferred this request at admission (it was
-    // the scheduler's pick but its page demand did not fit) before it was
-    // requeued and eventually served. 0 without paging.
+    // Times this request was passed over at admission before it was served:
+    // the capacity governor refused its page demand while it was the
+    // scheduler's pick, or a later-submitted request was admitted ahead of it
+    // (SJF picking a shorter job). Past ServeOptions::max_deferrals the queue
+    // promotes it to the mandatory next pick — see RequestQueue::pop_if.
     std::size_t times_deferred = 0;
     bool hit_eos = false;                 // stopped on the EOS token
     bool hit_context_limit = false;       // stopped by the KV reservation
@@ -155,6 +157,7 @@ struct ServeStats {
     std::size_t requests_cancelled = 0;
     std::size_t requests_expired = 0;    // deadline retirements
     std::size_t capacity_deferrals = 0;  // admissions refused by the governor
+    std::size_t queue_promotions = 0;    // anti-starvation picks (max_deferrals)
     std::size_t peak_batch = 0;          // peak concurrent sessions in a step
     double wall_ns = 0.0;                // host time inside backend steps
     double simulated_ns = 0.0;           // modeled device time (accel backend)
@@ -174,6 +177,24 @@ struct ServeStats {
                    ? static_cast<double>(generated_tokens) * 1e9 / simulated_ns
                    : 0.0;
     }
+};
+
+// One consistent snapshot of an engine's load, safe to take from any thread
+// while the background driver serves (ServeEngine::load()). This is what a
+// cluster router's placement policy decides over: queue pressure, active
+// sessions, and — with paging — how much of the KV page budget is spoken for
+// by admitted sessions (committed) and by demand still waiting in the queue
+// (queued worst-case pages).
+struct ServeLoad {
+    ServeStats stats;                 // counter snapshot (stats_snapshot())
+    std::size_t queued = 0;           // requests waiting in the queue
+    std::size_t queue_capacity = 0;   // queue bound (submit rejects past it)
+    std::size_t active = 0;           // sessions currently holding a slot
+    std::size_t slots = 0;            // max concurrent sessions (max_batch)
+    bool paging = false;              // capacity governor present
+    std::size_t committed_pages = 0;  // governor ledger (0 without paging)
+    std::size_t queued_pages = 0;     // worst-case demand still in the queue
+    std::size_t total_pages = 0;      // pool size (0 without paging)
 };
 
 }  // namespace efld::serve

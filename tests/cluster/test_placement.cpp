@@ -1,0 +1,132 @@
+// Placement policies are pure functions of synthetic ShardLoad snapshots:
+// deterministic picks given fixed shard loads, shared eligibility rules
+// (full queues, never-fitting pools), and the best-fit bin-packing behavior
+// that preserves whole-pool headroom for big requests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/placement.hpp"
+
+namespace efld::cluster {
+namespace {
+
+ShardLoad load(std::size_t queued, std::size_t active,
+               std::size_t queue_capacity = 64) {
+    ShardLoad s;
+    s.queued = queued;
+    s.active = active;
+    s.queue_capacity = queue_capacity;
+    return s;
+}
+
+ShardLoad paged(std::size_t committed, std::size_t queued_pages,
+                std::size_t total_pages) {
+    ShardLoad s;
+    s.queue_capacity = 64;
+    s.paging = true;
+    s.committed_pages = committed;
+    s.queued_pages = queued_pages;
+    s.total_pages = total_pages;
+    return s;
+}
+
+TEST(Placement, RoundRobinCycles) {
+    auto rr = make_placement(PlacementPolicy::kRoundRobin);
+    const std::vector<ShardLoad> shards{load(0, 0), load(0, 0), load(0, 0)};
+    EXPECT_EQ(rr->pick(shards, 0), 0u);
+    EXPECT_EQ(rr->pick(shards, 0), 1u);
+    EXPECT_EQ(rr->pick(shards, 0), 2u);
+    EXPECT_EQ(rr->pick(shards, 0), 0u);  // wraps
+}
+
+TEST(Placement, RoundRobinSkipsFullQueuesAndNeverFittingPools) {
+    auto rr = make_placement(PlacementPolicy::kRoundRobin);
+    std::vector<ShardLoad> shards{load(8, 0, /*queue_capacity=*/8),  // full
+                                  paged(0, 0, 4),                    // tiny pool
+                                  load(0, 0)};
+    // Demand 6 pages: shard 0 is full, shard 1 could never hold it.
+    EXPECT_EQ(rr->pick(shards, 6), 2u);
+    EXPECT_EQ(rr->pick(shards, 6), 2u);  // still the only candidate
+}
+
+TEST(Placement, RoundRobinAllSaturatedIsNoShard) {
+    auto rr = make_placement(PlacementPolicy::kRoundRobin);
+    const std::vector<ShardLoad> shards{load(4, 0, 4), load(4, 2, 4)};
+    EXPECT_EQ(rr->pick(shards, 0), kNoShard);
+}
+
+TEST(Placement, LeastLoadedPicksMinInflightTieLowestIndex) {
+    auto ll = make_placement(PlacementPolicy::kLeastLoaded);
+    EXPECT_EQ(ll->pick(std::vector<ShardLoad>{load(2, 2), load(1, 2), load(4, 0)},
+                       0),
+              1u);  // inflight 4, 3, 4
+    EXPECT_EQ(ll->pick(std::vector<ShardLoad>{load(1, 1), load(2, 0), load(0, 2)},
+                       0),
+              0u);  // three-way tie keeps the lowest index
+}
+
+TEST(Placement, LeastLoadedSkipsFullQueues) {
+    auto ll = make_placement(PlacementPolicy::kLeastLoaded);
+    // Shard 0 has the fewest in-flight but its queue is full.
+    EXPECT_EQ(ll->pick(std::vector<ShardLoad>{load(1, 0, 1), load(3, 1)}, 0), 1u);
+}
+
+TEST(Placement, BestFitPicksTightestHeadroomThatFits) {
+    auto bf = make_placement(PlacementPolicy::kBestFitPages);
+    // Free pages: 6, 3, 8. Demand 3 fits all; shard 1 is the tightest fit.
+    const std::vector<ShardLoad> shards{paged(2, 0, 8), paged(5, 0, 8),
+                                        paged(0, 0, 8)};
+    EXPECT_EQ(bf->pick(shards, 3), 1u);
+    // Demand 5 no longer fits shard 1 (free 3): shard 0 (free 6) is tighter
+    // than shard 2 (free 8).
+    EXPECT_EQ(bf->pick(shards, 5), 0u);
+}
+
+TEST(Placement, BestFitCountsQueuedDemandAsSpokenFor) {
+    auto bf = make_placement(PlacementPolicy::kBestFitPages);
+    // Shard 0 has nothing committed but 6 pages of queued demand: its real
+    // headroom is 2, so a 4-page request must go to shard 1.
+    const std::vector<ShardLoad> shards{paged(0, 6, 8), paged(4, 0, 8)};
+    EXPECT_EQ(bf->pick(shards, 4), 1u);
+}
+
+TEST(Placement, BestFitPreservesWholePoolHeadroomForBigRequests) {
+    // The bin-packing story: two half-pool requests land on ONE shard (the
+    // second tops up the tight shard), leaving the other pool whole for a
+    // full-pool request. Page-blind policies would split the smalls and
+    // strand half a pool on each shard.
+    auto bf = make_placement(PlacementPolicy::kBestFitPages);
+    std::vector<ShardLoad> shards{paged(0, 0, 8), paged(0, 0, 8)};
+    EXPECT_EQ(bf->pick(shards, 4), 0u);  // empty tie -> lowest index
+    shards[0].queued_pages = 4;
+    EXPECT_EQ(bf->pick(shards, 4), 0u);  // tightest fit: tops up shard 0
+    shards[0].queued_pages = 8;
+    EXPECT_EQ(bf->pick(shards, 8), 1u);  // whole pool still free on shard 1
+}
+
+TEST(Placement, BestFitFallsBackToMostFreePagesWhenNothingFits) {
+    auto bf = make_placement(PlacementPolicy::kBestFitPages);
+    // Demand 5 fits nowhere right now; shard 1 frees soonest (3 free vs 1).
+    const std::vector<ShardLoad> shards{paged(7, 0, 8), paged(5, 0, 8)};
+    EXPECT_EQ(bf->pick(shards, 5), 1u);
+}
+
+TEST(Placement, BestFitWithoutPagingActsLeastLoaded) {
+    auto bf = make_placement(PlacementPolicy::kBestFitPages);
+    EXPECT_EQ(bf->pick(std::vector<ShardLoad>{load(3, 1), load(1, 1)}, 0), 1u);
+}
+
+TEST(Placement, PolicyNamesRoundTrip) {
+    for (const PlacementPolicy p :
+         {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+          PlacementPolicy::kBestFitPages}) {
+        EXPECT_EQ(placement_policy_from_string(to_string(p)), p);
+        EXPECT_EQ(make_placement(p)->name(), to_string(p));
+    }
+    EXPECT_THROW((void)placement_policy_from_string("random"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace efld::cluster

@@ -1,0 +1,111 @@
+// Wire-format round trips and malformed-payload rejection — no sockets
+// involved; the framing codec must be correct independent of transport.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/wire.hpp"
+#include "common/check.hpp"
+
+namespace efld::cluster::wire {
+namespace {
+
+TEST(Wire, RequestRoundTrip) {
+    WireRequest req;
+    req.prompt = "hello cluster \x01\xff binary-safe";
+    req.max_new_tokens = 128;
+    req.deadline_ms = 2500;
+    const std::vector<std::uint8_t> bytes = encode_request(req);
+    const WireRequest back = decode_request(bytes);
+    EXPECT_EQ(back.prompt, req.prompt);
+    EXPECT_EQ(back.max_new_tokens, 128u);
+    EXPECT_EQ(back.deadline_ms, 2500u);
+}
+
+TEST(Wire, EmptyPromptRoundTrips) {
+    // The wire layer transports it; rejecting empty prompts is the engine's
+    // job (and comes back as a status-2 error response).
+    const WireRequest back = decode_request(encode_request(WireRequest{}));
+    EXPECT_TRUE(back.prompt.empty());
+    EXPECT_EQ(back.max_new_tokens, 0u);
+}
+
+TEST(Wire, OkResponseRoundTrip) {
+    WireResponse resp;
+    resp.status = Status::kOk;
+    resp.id = 0x1122334455667788ull;
+    resp.finish_reason = 2;
+    resp.times_deferred = 3;
+    resp.tokens = {1, -7, 65000, 0};
+    resp.text = "decoded text";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kOk);
+    EXPECT_EQ(back.id, resp.id);
+    EXPECT_EQ(back.finish_reason, 2u);
+    EXPECT_EQ(back.times_deferred, 3u);
+    EXPECT_EQ(back.tokens, resp.tokens);
+    EXPECT_EQ(back.text, "decoded text");
+}
+
+TEST(Wire, RejectedResponseRoundTrip) {
+    WireResponse resp;
+    resp.status = Status::kRejected;
+    resp.retry_ms = 40;
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kRejected);
+    EXPECT_EQ(back.retry_ms, 40u);
+}
+
+TEST(Wire, ErrorResponseRoundTrip) {
+    WireResponse resp;
+    resp.status = Status::kError;
+    resp.error = "prompt exceeds the context window";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kError);
+    EXPECT_EQ(back.error, resp.error);
+}
+
+TEST(Wire, TruncatedPayloadThrows) {
+    std::vector<std::uint8_t> bytes = encode_request(
+        WireRequest{.prompt = "truncate me", .max_new_tokens = 4});
+    bytes.resize(bytes.size() - 3);
+    EXPECT_THROW((void)decode_request(bytes), efld::Error);
+    EXPECT_THROW((void)decode_request(std::vector<std::uint8_t>{}), efld::Error);
+}
+
+TEST(Wire, TrailingBytesThrow) {
+    std::vector<std::uint8_t> bytes =
+        encode_request(WireRequest{.prompt = "x", .max_new_tokens = 1});
+    bytes.push_back(0);
+    EXPECT_THROW((void)decode_request(bytes), efld::Error);
+}
+
+TEST(Wire, UnknownVersionOrStatusThrows) {
+    std::vector<std::uint8_t> req =
+        encode_request(WireRequest{.prompt = "v", .max_new_tokens = 1});
+    req[0] = 9;  // version byte
+    EXPECT_THROW((void)decode_request(req), efld::Error);
+
+    WireResponse ok;
+    ok.status = Status::kOk;
+    std::vector<std::uint8_t> resp = encode_response(ok);
+    resp[1] = 7;  // status byte
+    EXPECT_THROW((void)decode_response(resp), efld::Error);
+}
+
+TEST(Wire, TokenCountCannotExceedFrameBound) {
+    // A hostile count field must be rejected before the decoder loops on it.
+    WireResponse resp;
+    resp.status = Status::kOk;
+    std::vector<std::uint8_t> bytes = encode_response(resp);
+    // token_count lives after version(1) + status(1) + id(8) + reason(1) +
+    // deferred(4) = offset 15.
+    bytes[15] = 0xff;
+    bytes[16] = 0xff;
+    bytes[17] = 0xff;
+    bytes[18] = 0xff;
+    EXPECT_THROW((void)decode_response(bytes), efld::Error);
+}
+
+}  // namespace
+}  // namespace efld::cluster::wire

@@ -129,5 +129,62 @@ TEST(RequestQueue, FcfsSchedulerIsTryPop) {
     EXPECT_EQ(q.try_pop()->id, 2u);
 }
 
+TEST(RequestQueue, PopIfChargesPassedOverRequests) {
+    RequestQueue q(8);
+    ASSERT_TRUE(q.push(req(1, /*prompt=*/10, /*max_new=*/20)));  // big, oldest
+    ASSERT_TRUE(q.push(req(2, 1, 1)));
+    ASSERT_TRUE(q.push(req(3, 1, 1)));
+    const SjfScheduler sjf;
+    const auto admit_all = [](PendingRequest&) { return true; };
+
+    RequestQueue::PopOutcome out = q.pop_if(sjf, admit_all);
+    ASSERT_TRUE(out.req.has_value());
+    EXPECT_EQ(out.req->id, 2u);
+    EXPECT_FALSE(out.promoted);
+    out = q.pop_if(sjf, admit_all);
+    EXPECT_EQ(out.req->id, 3u);
+    // The big request watched two younger submissions jump it.
+    out = q.pop_if(sjf, admit_all);
+    EXPECT_EQ(out.req->id, 1u);
+    EXPECT_EQ(out.req->times_deferred, 2u);
+}
+
+TEST(RequestQueue, PopIfPromotesAtMaxDeferrals) {
+    RequestQueue q(8);
+    ASSERT_TRUE(q.push(req(1, 10, 20)));  // big: never SJF's pick
+    for (std::uint64_t id = 2; id <= 5; ++id) ASSERT_TRUE(q.push(req(id, 1, 1)));
+    const SjfScheduler sjf;
+    const auto admit_all = [](PendingRequest&) { return true; };
+
+    // With the guard at 2, two smalls pass; the third pop is forced to the
+    // big request even though shorter work is still queued.
+    EXPECT_EQ(q.pop_if(sjf, admit_all, 2).req->id, 2u);
+    EXPECT_EQ(q.pop_if(sjf, admit_all, 2).req->id, 3u);
+    RequestQueue::PopOutcome promoted = q.pop_if(sjf, admit_all, 2);
+    ASSERT_TRUE(promoted.req.has_value());
+    EXPECT_EQ(promoted.req->id, 1u);
+    EXPECT_TRUE(promoted.promoted);
+    EXPECT_EQ(promoted.req->times_deferred, 2u);
+    // Remaining smalls drain normally.
+    EXPECT_EQ(q.pop_if(sjf, admit_all, 2).req->id, 4u);
+}
+
+TEST(RequestQueue, RefusedPromotedPickStillBlocksAdmission) {
+    RequestQueue q(8);
+    PendingRequest big = req(1, 10, 20);
+    big.times_deferred = 5;  // already past the guard
+    ASSERT_TRUE(q.push(std::move(big)));
+    ASSERT_TRUE(q.push(req(2, 1, 1)));
+    const SjfScheduler sjf;
+
+    // The promoted pick is refused (no capacity): admission defers in place —
+    // the small request must NOT slip past it, or promotion would starve.
+    const RequestQueue::PopOutcome out = q.pop_if(
+        sjf, [](PendingRequest& r) { return r.id != 1; }, 3);
+    EXPECT_FALSE(out.req.has_value());
+    EXPECT_TRUE(out.deferred);
+    EXPECT_EQ(q.size(), 2u);
+}
+
 }  // namespace
 }  // namespace efld::serve

@@ -4,6 +4,7 @@
 // contiguous serving on both backends.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -166,6 +167,87 @@ TEST(ServePaging, OversizedRequestRejectedAtSubmit) {
                  efld::Error);
     // The pool bound is the aggregate-capacity bound, tighter than the
     // context-window bound the contiguous path enforces.
+}
+
+TEST(ServePaging, CallbackExceptionReleasesRetiredCommitment) {
+    // The thrower retires (budget) at the same token boundary whose callback
+    // throws: retire() must release its pages BEFORE step() rethrows, or the
+    // pool leaks a commitment every time a callback misbehaves.
+    runtime::ServeDeployment d = deploy(tiny_pool(32, 2));
+    runtime::RequestHandle boom = d.engine->submit(runtime::ServeRequest{
+        .prompt = "boom",
+        .max_new_tokens = 1,
+        .on_token = [](std::int32_t, std::string_view) {
+            throw std::runtime_error("callback exploded");
+        }});
+    EXPECT_THROW(d.engine->run_until_idle(), std::runtime_error);
+    EXPECT_EQ(boom.get().finish_reason, FinishReason::kBudget);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
+}
+
+TEST(ServePaging, CallbackExceptionKeepsLiveCommitmentUntilRetirement) {
+    // A thrower that does NOT retire at the throwing boundary stays active
+    // and rightfully holds its pages; cancelling it must then release them
+    // through the normal retirement path (cancel is observed at the next
+    // boundary's control-plane pass, before any further callback fires).
+    runtime::ServeDeployment d = deploy(tiny_pool(32, 2));
+    runtime::RequestHandle boom = d.engine->submit(runtime::ServeRequest{
+        .prompt = "boom2",
+        .max_new_tokens = 5,  // 2 pages; does not finish at the throw
+        .on_token = [](std::int32_t, std::string_view) {
+            throw std::runtime_error("callback exploded");
+        }});
+    EXPECT_THROW(d.engine->run_until_idle(), std::runtime_error);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 2u);  // still live
+    EXPECT_EQ(d.engine->active_sessions(), 1u);
+
+    boom.cancel();
+    d.engine->run_until_idle();  // retires before the callback could re-throw
+    EXPECT_EQ(boom.get().finish_reason, FinishReason::kCancelled);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
+}
+
+TEST(ServePaging, StopWithActiveSessionsKeepsCommitmentsForRestart) {
+    // stop() parks in-flight sessions for a later run()/step(); their pages
+    // must stay committed while parked (the work is resumable) and release
+    // through whatever retirement eventually claims them.
+    //
+    // The first token's callback blocks the driver mid-boundary until this
+    // thread has called stop() — releasing it and requesting the stop
+    // happen while the driver is provably inside the request, so the stop
+    // deterministically lands with the session active (a timing poll could
+    // miss a fast request entirely and spin forever).
+    runtime::ServeDeployment d = deploy(tiny_pool(32, 2));
+    std::atomic<bool> started{false};
+    std::atomic<bool> released{false};
+    runtime::RequestHandle hog = d.engine->submit(runtime::ServeRequest{
+        .prompt = "hog",
+        .max_new_tokens = 27,  // 4 pages: the whole pool
+        .on_token = [&](std::int32_t, std::string_view) {
+            started.store(true);
+            while (!released.load()) {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+        }});
+    d.engine->run();
+    while (!started.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The driver is parked inside the first token's boundary: the session is
+    // active and its commitment held. Release the callback and stop — the
+    // driver finishes at most the in-flight step before observing the stop
+    // request, so the 27-token budget cannot complete.
+    EXPECT_EQ(d.engine->active_sessions(), 1u);
+    EXPECT_EQ(d.engine->load().committed_pages, 4u);
+    released.store(true);
+    d.engine->stop();
+    ASSERT_FALSE(hog.done());
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 4u);  // parked, not leaked
+
+    hog.cancel();
+    d.engine->run_until_idle();  // manual stepping claims the parked session
+    EXPECT_EQ(hog.get().finish_reason, FinishReason::kCancelled);
+    EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
 }
 
 TEST(ServePaging, OptionValidation) {

@@ -1,0 +1,176 @@
+// Live stats snapshots (the cluster router's placement input) and the
+// anti-starvation promotion guard.
+//
+// stats_snapshot()/load() must be safe and coherent WHILE the background
+// driver decodes — the old stats() reference is only valid at quiet points.
+// The promotion guard bounds how long SJF (or governor deferrals) can pass
+// over a big request: after max_deferrals it becomes the mandatory next
+// admission regardless of policy order.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/serve.hpp"
+
+namespace efld::serve {
+namespace {
+
+runtime::ServeDeployment deploy(ServeOptions opts = {}, std::uint64_t seed = 42) {
+    opts.sampler.temperature = 0.0f;  // deterministic
+    return runtime::synthetic_serve(model::ModelConfig::micro_256(), seed, opts);
+}
+
+TEST(ServeStatsSnapshot, ConcurrentSnapshotsWhileDriverServes) {
+    ServeOptions o;
+    o.max_batch = 2;
+    runtime::ServeDeployment d = deploy(o);
+    d.engine->run();
+    std::vector<runtime::RequestHandle> handles;
+    for (int r = 0; r < 10; ++r) {
+        handles.push_back(d.engine->submit(runtime::ServeRequest{
+            .prompt = "snap " + std::to_string(r), .max_new_tokens = 12}));
+    }
+
+    // Hammer the snapshot paths from this thread while the driver decodes.
+    // Counters must be coherent (no torn reads) and monotone.
+    std::size_t last_generated = 0;
+    std::size_t last_completed = 0;
+    bool all_done = false;
+    while (!all_done) {
+        const ServeStats snap = d.engine->stats_snapshot();
+        EXPECT_GE(snap.generated_tokens, last_generated);
+        EXPECT_GE(snap.requests_completed, last_completed);
+        EXPECT_GE(snap.lane_steps, snap.steps);  // >= 1 lane per step
+        last_generated = snap.generated_tokens;
+        last_completed = snap.requests_completed;
+
+        const ServeLoad load = d.engine->load();
+        EXPECT_LE(load.queued, load.queue_capacity);
+        EXPECT_LE(load.active, load.slots);
+        EXPECT_EQ(load.slots, 2u);
+        EXPECT_FALSE(load.paging);
+        EXPECT_EQ(load.total_pages, 0u);
+
+        all_done = true;
+        for (auto& h : handles) all_done = all_done && h.done();
+    }
+    d.engine->wait_until_idle();
+    d.engine->stop();
+
+    // At a quiet point the snapshot equals the plain reference.
+    const ServeStats final_snap = d.engine->stats_snapshot();
+    EXPECT_EQ(final_snap.generated_tokens, d.engine->stats().generated_tokens);
+    EXPECT_EQ(final_snap.requests_completed, 10u);
+    EXPECT_EQ(final_snap.generated_tokens, 120u);
+    const ServeLoad final_load = d.engine->load();
+    EXPECT_EQ(final_load.queued, 0u);
+    EXPECT_EQ(final_load.active, 0u);
+}
+
+TEST(ServeStatsSnapshot, LoadReportsPagingLedgerAndQueuedDemand) {
+    ServeOptions o;
+    o.max_batch = 1;
+    o.paging = true;
+    o.kv_page_tokens = 8;
+    o.kv_pool_pages = 4;
+    runtime::ServeDeployment d = deploy(o);
+    // "hold" = 5 tokens + 11 new = 16 -> 2 pages; queued twin demands the
+    // same. No stepping yet: everything still queued.
+    runtime::RequestHandle active = d.engine->submit(
+        runtime::ServeRequest{.prompt = "hold", .max_new_tokens = 11});
+    runtime::RequestHandle queued = d.engine->submit(
+        runtime::ServeRequest{.prompt = "wait", .max_new_tokens = 11});
+    ServeLoad l = d.engine->load();
+    EXPECT_TRUE(l.paging);
+    EXPECT_EQ(l.total_pages, 4u);
+    EXPECT_EQ(l.committed_pages, 0u);
+    EXPECT_EQ(l.queued, 2u);
+    EXPECT_EQ(l.queued_pages, 4u);
+
+    ASSERT_TRUE(d.engine->step());  // admits the first (slot bound: batch 1)
+    l = d.engine->load();
+    EXPECT_EQ(l.active, 1u);
+    EXPECT_EQ(l.committed_pages, 2u);
+    EXPECT_EQ(l.queued, 1u);
+    EXPECT_EQ(l.queued_pages, 2u);
+
+    d.engine->run_until_idle();
+    l = d.engine->load();
+    EXPECT_EQ(l.committed_pages, 0u);
+    EXPECT_EQ(l.queued_pages, 0u);
+    EXPECT_EQ(active.get().tokens.size(), 11u);
+    EXPECT_EQ(queued.get().tokens.size(), 11u);
+}
+
+// Order in which requests got their first sampled token — the observable
+// admission order under max_batch = 1.
+std::vector<std::string> admission_order(ServeOptions o,
+                                         std::size_t big_budget,
+                                         std::size_t* big_deferrals,
+                                         std::size_t* promotions) {
+    o.max_batch = 1;
+    o.scheduler = SchedulerPolicy::kSjf;
+    runtime::ServeDeployment d = deploy(o);
+    std::vector<std::string> order;
+    std::vector<runtime::RequestHandle> handles;
+    std::vector<std::string> names;
+    auto submit = [&](const std::string& name, std::size_t max_new) {
+        names.push_back(name);
+        const std::size_t idx = names.size() - 1;
+        handles.push_back(d.engine->submit(runtime::ServeRequest{
+            .prompt = name,
+            .max_new_tokens = max_new,
+            .on_token =
+                [&order, &names, idx, first = true](std::int32_t,
+                                                    std::string_view) mutable {
+                    if (first) order.push_back(names[idx]);
+                    first = false;
+                }}));
+    };
+    // The big request goes in FIRST; SJF then admits every later, shorter
+    // request ahead of it, charging it one deferral each time.
+    submit("big", big_budget);
+    for (int r = 0; r < 6; ++r) submit("s" + std::to_string(r), 2);
+    d.engine->run_until_idle();
+    *big_deferrals = handles.front().get().times_deferred;
+    *promotions = d.engine->stats().queue_promotions;
+    return order;
+}
+
+TEST(ServeAntiStarvation, SjfStarvesBigRequestWithoutTheGuard) {
+    ServeOptions o;
+    o.max_deferrals = 100;  // effectively off for 6 competitors
+    std::size_t big_deferrals = 0;
+    std::size_t promotions = 0;
+    const std::vector<std::string> order =
+        admission_order(o, /*big_budget=*/20, &big_deferrals, &promotions);
+    ASSERT_EQ(order.size(), 7u);
+    EXPECT_EQ(order.back(), "big");  // every small passed it
+    EXPECT_EQ(big_deferrals, 6u);    // charged once per pass-over
+    EXPECT_EQ(promotions, 0u);
+}
+
+TEST(ServeAntiStarvation, PromotionAdmitsBigRequestAfterMaxDeferrals) {
+    ServeOptions o;
+    o.max_deferrals = 3;
+    std::size_t big_deferrals = 0;
+    std::size_t promotions = 0;
+    const std::vector<std::string> order =
+        admission_order(o, /*big_budget=*/20, &big_deferrals, &promotions);
+    ASSERT_EQ(order.size(), 7u);
+    // Exactly three smalls pass it, then the guard forces it in ahead of the
+    // remaining three — SJF would have kept picking them.
+    EXPECT_EQ(order[3], "big");
+    EXPECT_EQ(big_deferrals, 3u);
+    EXPECT_EQ(promotions, 1u);
+}
+
+TEST(ServeAntiStarvation, MaxDeferralsValidated) {
+    ServeOptions o;
+    o.max_deferrals = 0;
+    EXPECT_THROW(deploy(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace efld::serve
