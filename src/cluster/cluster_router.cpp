@@ -1,6 +1,7 @@
 #include "cluster/cluster_router.hpp"
 
 #include <exception>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@ ShardLoad to_shard_load(const serve::ServeLoad& l) {
     s.queued = l.queued;
     s.queue_capacity = l.queue_capacity;
     s.active = l.active;
+    s.healthy = !l.failed;
     s.paging = l.paging;
     s.committed_pages = l.committed_pages;
     s.queued_pages = l.queued_pages;
@@ -23,11 +25,31 @@ ShardLoad to_shard_load(const serve::ServeLoad& l) {
     return s;
 }
 
+// Terminal resolution for a harvested request no survivor could take: the
+// router owns it now, so the router must resolve it — kShardFailure, partial
+// tokens preserved, so the caller's handle returns instead of hanging.
+void resolve_lost_request(serve::PendingRequest&& req,
+                          const model::ByteTokenizer& tok) {
+    serve::ServeResult r;
+    r.id = req.id;
+    r.tokens = std::move(req.resumed);
+    r.text = tok.decode(r.tokens);
+    r.prompt_tokens = req.prompt.size();
+    r.finish_reason = serve::FinishReason::kShardFailure;
+    r.times_deferred = req.times_deferred;
+    r.failovers = req.failovers;
+    try {
+        req.promise.set_value(std::move(r));
+    } catch (const std::future_error&) {
+        // Already resolved elsewhere; nothing to deliver.
+    }
+}
+
 }  // namespace
 
 ClusterRouter::ClusterRouter(const model::QuantizedModelWeights& weights,
                              ClusterOptions opts)
-    : opts_(std::move(opts)) {
+    : opts_(std::move(opts)), weights_(&weights) {
     if (opts_.shards == 0) {
         throw std::invalid_argument("ClusterRouter: shards must be >= 1");
     }
@@ -36,11 +58,84 @@ ClusterRouter::ClusterRouter(const model::QuantizedModelWeights& weights,
             "ClusterRouter: retry_hint_ms must be >= 1 (a zero hint tells "
             "rejected callers to hammer the router)");
     }
+    if (opts_.shard_fault_specs.size() > opts_.shards) {
+        throw std::invalid_argument(
+            "ClusterRouter: more shard_fault_specs than shards");
+    }
     placement_ = make_placement(opts_.placement);
     shards_.reserve(opts_.shards);
+    health_.assign(opts_.shards, ShardHealth::kHealthy);
+    shard_errors_.resize(opts_.shards);
     for (std::size_t i = 0; i < opts_.shards; ++i) {
+        serve::ServeOptions shard_opts = opts_.shard;
+        shard_opts.fault_spec = fault_spec_for(i);
         shards_.push_back(
-            std::make_unique<serve::ServeEngine>(weights, opts_.shard));
+            std::make_unique<serve::ServeEngine>(weights, shard_opts));
+        wire_failure_callback(i);
+    }
+}
+
+const std::string& ClusterRouter::fault_spec_for(std::size_t i) const {
+    return i < opts_.shard_fault_specs.size() ? opts_.shard_fault_specs[i]
+                                              : opts_.shard.fault_spec;
+}
+
+void ClusterRouter::wire_failure_callback(std::size_t i) {
+    shards_[i]->set_on_failure([this, i](const std::exception_ptr& e) {
+        handle_shard_failure(i, e);
+    });
+}
+
+void ClusterRouter::handle_shard_failure(std::size_t i,
+                                         const std::exception_ptr& e) {
+    {
+        const std::lock_guard<std::mutex> lock(place_mu_);
+        if (health_[i] == ShardHealth::kFailed) return;  // already handled
+        health_[i] = ShardHealth::kFailed;
+        shard_errors_[i] = e;
+        ++shard_failures_;
+    }
+    // Harvest outside the lock (the engine marked itself failed before
+    // invoking this callback, so nothing new lands on it). restart_shard()
+    // cannot swap this slot underneath us: it joins the failed driver — the
+    // thread running THIS handler — before touching the pointer.
+    std::vector<serve::PendingRequest> displaced = shards_[i]->take_unfinished();
+    if (displaced.empty()) return;
+
+    // Fail each request over through the normal placement policy, restricted
+    // to surviving shards. A request placement refuses (or every survivor's
+    // resubmit declines) is lost — resolved here so its handle still returns.
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    for (serve::PendingRequest& req : displaced) {
+        const std::size_t demand =
+            opts_.shard.paging
+                ? shards_[i]->governor()->predict_pages(req.prompt.size(),
+                                                        req.max_new_tokens)
+                : 0;
+        std::vector<ShardLoad> loads;
+        loads.reserve(shards_.size());
+        for (std::size_t j = 0; j < shards_.size(); ++j) {
+            loads.push_back(to_shard_load(shards_[j]->load()));
+            if (health_[j] == ShardHealth::kFailed) loads.back().healthy = false;
+        }
+        bool placed = false;
+        const std::size_t pick = placement_->pick(loads, demand);
+        if (pick != kNoShard && shards_[pick]->resubmit(req)) {
+            placed = true;
+        } else {
+            // The policy's pick declined (raced its own failure, queue full):
+            // any survivor with room will do before declaring the request lost.
+            for (std::size_t j = 0; j < shards_.size() && !placed; ++j) {
+                if (j == i || !loads[j].healthy) continue;
+                placed = shards_[j]->resubmit(req);
+            }
+        }
+        if (placed) {
+            ++requests_failed_over_;
+        } else {
+            ++requests_lost_;
+            resolve_lost_request(std::move(req), shards_[i]->tokenizer());
+        }
     }
 }
 
@@ -83,6 +178,51 @@ void ClusterRouter::stop() {
     }
 }
 
+ShardHealth ClusterRouter::shard_health(std::size_t i) const {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    return health_.at(i);
+}
+
+std::exception_ptr ClusterRouter::shard_error(std::size_t i) const {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    return shard_errors_.at(i);
+}
+
+void ClusterRouter::restart_shard(std::size_t i) {
+    {
+        const std::lock_guard<std::mutex> lock(place_mu_);
+        check(health_.at(i) == ShardHealth::kFailed,
+              "ClusterRouter: restart_shard on a shard that has not failed "
+              "(restarting a live engine would drop its work)");
+    }
+    // Build the replacement OUTSIDE the lock — backend construction is the
+    // expensive part (the accel path packs the whole weight image) and the
+    // surviving shards keep serving through it.
+    serve::ServeOptions shard_opts = opts_.shard;
+    shard_opts.fault_spec.clear();  // the script killed the device, not its heirs
+    auto fresh = std::make_unique<serve::ServeEngine>(*weights_, shard_opts);
+    // Quiesce the corpse. Its driver exited when the backend faulted; the
+    // join also barriers against the failure handler still running on that
+    // thread, so the slot swap below cannot race the harvest. NOT under
+    // place_mu_: the handler needs that lock to finish.
+    try {
+        shards_[i]->stop();
+    } catch (...) {
+        // A parked callback error from the dead engine; the fault itself is
+        // already recorded in shard_errors_.
+    }
+    {
+        const std::lock_guard<std::mutex> lock(place_mu_);
+        std::swap(shards_[i], fresh);  // corpse destroyed after the lock drops
+        wire_failure_callback(i);
+        health_[i] = ShardHealth::kRestarted;
+        shard_errors_[i] = nullptr;  // the fault died with the corpse
+        ++shard_restarts_;
+    }
+    // The replacement joins the serving rotation the way start() does.
+    if (running()) shards_[i]->run();
+}
+
 std::size_t ClusterRouter::predict_demand(const serve::Request& req) const {
     if (!opts_.shard.paging) return 0;
     // Shards are uniformly configured, so any governor prices the demand.
@@ -93,7 +233,6 @@ std::size_t ClusterRouter::predict_demand(const serve::Request& req) const {
 }
 
 ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
-    const std::size_t demand = predict_demand(req);
     // Accepted costs at embedded-cluster scale: placement serializes on one
     // mutex and snapshots every shard (with paging, load() walks each queue
     // to price queued demand — O(shards x queue depth) per submission), and
@@ -101,15 +240,28 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
     // higher-fanout router would keep incremental queued-demand counters and
     // thread the encoded prompt through.
     const std::lock_guard<std::mutex> lock(place_mu_);
+    // Under the lock: predict_demand reads shard 0's governor/tokenizer, and
+    // restart_shard may swap that very engine.
+    const std::size_t demand = predict_demand(req);
     std::vector<ShardLoad> loads;
     loads.reserve(shards_.size());
+    bool any_healthy = false;
     bool could_ever_fit = false;
-    for (const auto& s : shards_) {
-        loads.push_back(to_shard_load(s->load()));
-        could_ever_fit = could_ever_fit || loads.back().ever_fits(demand);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        loads.push_back(to_shard_load(shards_[i]->load()));
+        // Belt and braces: the engine's own failed flag (which can lead the
+        // router's bookkeeping by the width of the failure callback) and the
+        // router's health state must both clear for a shard to count.
+        if (health_[i] == ShardHealth::kFailed) loads.back().healthy = false;
+        any_healthy = any_healthy || loads.back().healthy;
+        could_ever_fit = could_ever_fit ||
+                         (loads.back().healthy && loads.back().ever_fits(demand));
     }
+    // A cluster with no surviving shard cannot promise retrying will help —
+    // that is an outage, not backpressure.
+    check(any_healthy, "ClusterRouter: every shard has failed");
     // Permanent impossibility is a malformed request, not backpressure: no
-    // amount of retrying shrinks a demand past every shard's whole pool.
+    // amount of retrying shrinks a demand past every surviving shard's pool.
     check(could_ever_fit,
           "ClusterRouter: prompt + max_new demand exceeds every shard's KV pool");
 
@@ -117,9 +269,10 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
     const std::size_t idx = placement_->pick(loads, demand);
     if (idx == kNoShard) {
         // Every eligible queue is full: 429. Hint scales with the shallowest
-        // backlog — the soonest any shard could take this request.
-        std::size_t min_inflight = loads.front().inflight();
+        // HEALTHY backlog — a dead shard's empty queue is not capacity.
+        std::size_t min_inflight = std::numeric_limits<std::size_t>::max();
         for (const ShardLoad& l : loads) {
+            if (!l.healthy) continue;
             min_inflight = l.inflight() < min_inflight ? l.inflight() : min_inflight;
         }
         out.retry_hint =
@@ -170,9 +323,17 @@ void ClusterRouter::drain() {
 }
 
 ClusterStats ClusterRouter::stats() const {
+    // Under place_mu_: the loads, health vector, and fault counters form one
+    // consistent snapshot, and a restart cannot swap a shard mid-walk.
+    const std::lock_guard<std::mutex> lock(place_mu_);
     ClusterStats cs;
     cs.shards.reserve(shards_.size());
     for (const auto& s : shards_) cs.shards.push_back(s->load());
+    cs.health = health_;
+    cs.shard_failures = shard_failures_;
+    cs.shard_restarts = shard_restarts_;
+    cs.requests_failed_over = requests_failed_over_;
+    cs.requests_lost = requests_lost_;
     return cs;
 }
 

@@ -24,19 +24,34 @@
 // shed load without exceptions. A demand no shard's pool could EVER hold is
 // not backpressure — both paths throw, mirroring ServeEngine::submit.
 //
+// Fault tolerance: every shard engine reports backend faults through its
+// failure callback the instant a backend call throws. The router's handler
+// (running on the failed shard's driver thread) marks the shard kFailed —
+// excluding it from every placement decision and from try_submit's capacity
+// math — then harvests the shard's queued AND in-flight requests and fails
+// them over to surviving shards. A failed-over request resumes where it
+// stopped: the tokens the dead shard already streamed replay as prefill on
+// the survivor (rebuilding KV state deterministically) and are never
+// re-delivered to on_token — exactly-once per (request, position), with
+// ServeResult::failovers recording the displacement. Requests no survivor
+// can take resolve with FinishReason::kShardFailure. restart_shard() builds
+// a replacement engine in place (kRestarted, immediately serving-eligible).
+//
 // Threading: submit()/try_submit() are safe from any thread (placement
 // decisions serialize on an internal mutex; per-shard load snapshots come
 // from ServeEngine::load(), which is written under the shard's stats lock).
-// start()/stop()/drain() are driven from one controlling thread. stop() and
-// drain() quiesce all shards in parallel — a cluster drains in the time of
-// its slowest shard, not the sum.
+// start()/stop()/drain()/restart_shard() are driven from one controlling
+// thread. stop() and drain() quiesce all shards in parallel — a cluster
+// drains in the time of its slowest shard, not the sum.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -46,6 +61,20 @@
 
 namespace efld::cluster {
 
+// Lifecycle of one shard slot. kRestarted is serving-wise identical to
+// kHealthy — it only records that the slot's engine is a replacement, so
+// stats/benches can tell a recovered cluster from an untouched one.
+enum class ShardHealth { kHealthy, kFailed, kRestarted };
+
+[[nodiscard]] constexpr std::string_view to_string(ShardHealth h) noexcept {
+    switch (h) {
+        case ShardHealth::kHealthy: return "healthy";
+        case ShardHealth::kFailed: return "failed";
+        case ShardHealth::kRestarted: return "restarted";
+    }
+    return "healthy";
+}
+
 struct ClusterOptions {
     serve::ServeOptions shard;  // every shard serves with this configuration
     std::size_t shards = 2;
@@ -54,6 +83,12 @@ struct ClusterOptions {
     // backlogged shard's in-flight count, so callers back off harder the
     // deeper the cluster-wide queue is.
     std::uint32_t retry_hint_ms = 10;
+    // Per-shard fault-injection overrides for chaos tests/benches: shard i
+    // serves with fault spec shard_fault_specs[i] (empty string = fault-free;
+    // shards past the vector's end inherit shard.fault_spec). A restarted
+    // shard's replacement engine is always fault-free — the script killed the
+    // device once, not its successors. Must not be longer than `shards`.
+    std::vector<std::string> shard_fault_specs;
 };
 
 // Per-shard load snapshots plus cluster-wide aggregates. Shards are
@@ -63,6 +98,33 @@ struct ClusterOptions {
 // by.
 struct ClusterStats {
     std::vector<serve::ServeLoad> shards;
+    // Health + fault/failover counters, taken in the same locked snapshot as
+    // the per-shard loads. requests_failed_over counts harvested requests a
+    // survivor accepted; requests_lost counts those the ROUTER had to resolve
+    // kShardFailure (no survivor could take them) — losses resolved inside an
+    // engine (submit races, teardown) appear in the per-shard
+    // stats.requests_lost instead.
+    std::vector<ShardHealth> health;
+    std::size_t shard_failures = 0;
+    std::size_t shard_restarts = 0;
+    std::size_t requests_failed_over = 0;
+    std::size_t requests_lost = 0;
+
+    [[nodiscard]] std::size_t healthy_shards() const noexcept {
+        std::size_t n = 0;
+        for (const ShardHealth h : health) n += h != ShardHealth::kFailed ? 1 : 0;
+        return n;
+    }
+    [[nodiscard]] std::size_t requests_resumed() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.requests_resumed;
+        return n;
+    }
+    [[nodiscard]] std::size_t replayed_tokens() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : shards) n += s.stats.replayed_tokens;
+        return n;
+    }
 
     [[nodiscard]] std::size_t queued() const noexcept {
         std::size_t n = 0;
@@ -179,6 +241,21 @@ public:
     // thread, so manual-stepping clusters drain multi-threaded too.
     void drain();
 
+    // Replaces a FAILED shard's engine with a freshly built one (same shard
+    // options, fault spec cleared — the replacement is not scripted to die).
+    // Joins the dead engine's driver first, starts the replacement's driver
+    // when the cluster is running, and marks the slot kRestarted — it is
+    // serving-eligible from the moment this returns. Throws efld::Error when
+    // the shard is not in kFailed (restarting a live engine would drop its
+    // work), std::out_of_range on a bad index. Controlling-thread only, like
+    // start()/stop().
+    void restart_shard(std::size_t i);
+    // The slot's health, and the backend fault that killed it (null unless a
+    // failure was recorded; cleared again by restart_shard — the fault
+    // belonged to the corpse, not the replacement). Safe from any thread.
+    [[nodiscard]] ShardHealth shard_health(std::size_t i) const;
+    [[nodiscard]] std::exception_ptr shard_error(std::size_t i) const;
+
     // One load snapshot per shard, taken live (safe while drivers run).
     [[nodiscard]] ClusterStats stats() const;
 
@@ -198,11 +275,26 @@ private:
     // Worst-case page demand of a request on any shard (uniform shard
     // configuration), 0 without paging.
     [[nodiscard]] std::size_t predict_demand(const serve::Request& req) const;
+    // Failure-callback body for shard i: marks it kFailed (idempotent),
+    // harvests its unfinished requests, and fails them over to survivors.
+    // Runs on the failed shard's driver thread.
+    void handle_shard_failure(std::size_t i, const std::exception_ptr& e);
+    void wire_failure_callback(std::size_t i);
+    [[nodiscard]] const std::string& fault_spec_for(std::size_t i) const;
 
     ClusterOptions opts_;
+    const model::QuantizedModelWeights* weights_ = nullptr;  // for restarts
     std::unique_ptr<Placement> placement_;
     std::vector<std::unique_ptr<serve::ServeEngine>> shards_;
-    mutable std::mutex place_mu_;  // serializes placement + enqueue
+    // place_mu_ serializes placement + enqueue, and guards shards_ slot
+    // swaps (restart), health_, shard_errors_, and the fault counters.
+    mutable std::mutex place_mu_;
+    std::vector<ShardHealth> health_;
+    std::vector<std::exception_ptr> shard_errors_;
+    std::size_t shard_failures_ = 0;
+    std::size_t shard_restarts_ = 0;
+    std::size_t requests_failed_over_ = 0;
+    std::size_t requests_lost_ = 0;
     std::atomic<bool> running_{false};
 };
 

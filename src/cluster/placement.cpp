@@ -8,7 +8,7 @@ namespace efld::cluster {
 namespace {
 
 bool eligible(const ShardLoad& s, std::size_t demand) {
-    return !s.queue_full() && s.ever_fits(demand);
+    return s.healthy && !s.queue_full() && s.ever_fits(demand);
 }
 
 // Fewest in-flight requests among eligible shards; lowest index on ties so

@@ -22,9 +22,10 @@
 //                  — maximum capacity utilization in the paper's sense.
 //                  Without paging it degenerates to least-loaded.
 //
-// Every policy shares one eligibility rule: a shard whose queue is full, or
-// whose pool could never hold the demand, is not a candidate. pick() returns
-// kNoShard when no candidate exists — the router's 429 backpressure path.
+// Every policy shares one eligibility rule: a shard whose backend has
+// faulted, whose queue is full, or whose pool could never hold the demand,
+// is not a candidate. pick() returns kNoShard when no candidate exists — the
+// router's 429 backpressure path.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +46,7 @@ struct ShardLoad {
     std::size_t queued = 0;           // requests waiting in the shard's queue
     std::size_t queue_capacity = 0;   // shard queue bound
     std::size_t active = 0;           // sessions currently decoding
+    bool healthy = true;              // false: backend faulted, serves no more
     bool paging = false;              // shard runs a capacity governor
     std::size_t committed_pages = 0;  // governor ledger (admitted sessions)
     std::size_t queued_pages = 0;     // worst-case demand waiting in the queue

@@ -1,15 +1,19 @@
 #include "cluster/socket_frontend.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -19,13 +23,54 @@ namespace efld::cluster {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+// Absolute bound on one whole transfer; nullopt = wait forever.
+using Deadline = std::optional<Clock::time_point>;
+
+Deadline deadline_in(std::uint32_t timeout_ms) {
+    if (timeout_ms == 0) return std::nullopt;
+    return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+// Block until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// passes. false = timed out (or the descriptor is unusable). POLLERR/POLLHUP
+// count as ready: the following recv/send reports the real story.
+bool wait_ready(int fd, short events, const Deadline& deadline) {
+    while (true) {
+        int timeout_ms = -1;
+        if (deadline.has_value()) {
+            const auto now = Clock::now();
+            if (now >= *deadline) return false;
+            timeout_ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(*deadline -
+                                                                      now)
+                    .count() +
+                1);
+        }
+        pollfd p{fd, events, 0};
+        const int r = ::poll(&p, 1, timeout_ms);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false;  // timed out
+        return true;
+    }
+}
+
 // Loop write/read until the whole buffer moved (short transfers and EINTR are
-// normal on stream sockets). false = peer gone.
-bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+// normal on stream sockets) or the deadline passes. false = peer gone or
+// timed out — either way the stream position is unknown, so the caller must
+// drop the connection.
+bool write_exact(int fd, const std::uint8_t* data, std::size_t n,
+                 const Deadline& deadline = std::nullopt) {
     while (n > 0) {
+        if (!wait_ready(fd, POLLOUT, deadline)) return false;
         const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
         if (w < 0) {
-            if (errno == EINTR) continue;
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+                continue;  // poll raced a full buffer; re-wait
+            }
             return false;
         }
         data += w;
@@ -34,11 +79,15 @@ bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
     return true;
 }
 
-bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
+bool read_exact(int fd, std::uint8_t* data, std::size_t n,
+                const Deadline& deadline = std::nullopt) {
     while (n > 0) {
+        if (!wait_ready(fd, POLLIN, deadline)) return false;
         const ssize_t r = ::recv(fd, data, n, 0);
         if (r < 0) {
-            if (errno == EINTR) continue;
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+                continue;
+            }
             return false;
         }
         if (r == 0) return false;  // orderly shutdown
@@ -48,28 +97,36 @@ bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
     return true;
 }
 
-bool write_frame(int fd, std::span<const std::uint8_t> payload) {
+bool write_frame(int fd, std::span<const std::uint8_t> payload,
+                 const Deadline& deadline = std::nullopt) {
     std::uint8_t len[4];
     const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
     len[0] = static_cast<std::uint8_t>(n & 0xff);
     len[1] = static_cast<std::uint8_t>((n >> 8) & 0xff);
     len[2] = static_cast<std::uint8_t>((n >> 16) & 0xff);
     len[3] = static_cast<std::uint8_t>((n >> 24) & 0xff);
-    return write_exact(fd, len, 4) && write_exact(fd, payload.data(), payload.size());
+    return write_exact(fd, len, 4, deadline) &&
+           write_exact(fd, payload.data(), payload.size(), deadline);
 }
 
-// nullopt = connection closed/failed. Throws efld::Error when the peer sends
-// a length past `max_bytes` (refuse BEFORE allocating).
-std::optional<std::vector<std::uint8_t>> read_frame(int fd, std::size_t max_bytes) {
+// nullopt = connection closed/failed/timed out. `header_deadline` bounds the
+// wait for the length prefix (idle time between requests); `body_deadline`
+// bounds the payload once a frame has started. Throws efld::Error when the
+// peer sends a length past `max_bytes` (refuse BEFORE allocating).
+std::optional<std::vector<std::uint8_t>> read_frame(
+    int fd, std::size_t max_bytes, const Deadline& header_deadline = std::nullopt,
+    std::uint32_t body_timeout_ms = 0) {
     std::uint8_t len[4];
-    if (!read_exact(fd, len, 4)) return std::nullopt;
+    if (!read_exact(fd, len, 4, header_deadline)) return std::nullopt;
     const std::uint32_t n = static_cast<std::uint32_t>(len[0]) |
                             static_cast<std::uint32_t>(len[1]) << 8 |
                             static_cast<std::uint32_t>(len[2]) << 16 |
                             static_cast<std::uint32_t>(len[3]) << 24;
     check(n <= max_bytes, "socket: frame length exceeds the configured bound");
     std::vector<std::uint8_t> payload(n);
-    if (n > 0 && !read_exact(fd, payload.data(), n)) return std::nullopt;
+    if (n > 0 && !read_exact(fd, payload.data(), n, deadline_in(body_timeout_ms))) {
+        return std::nullopt;
+    }
     return payload;
 }
 
@@ -184,11 +241,17 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
     while (alive && !stopping_.load(std::memory_order_acquire)) {
         std::optional<std::vector<std::uint8_t>> frame;
         try {
-            frame = read_frame(fd, opts_.max_frame_bytes);
+            // Idle-between-requests is bounded by idle_timeout_ms (0 = wait
+            // forever; stop() kicks via shutdown); a frame that has STARTED
+            // must finish within io_timeout_ms — a peer stalling mid-frame
+            // loses the link instead of pinning this thread.
+            frame = read_frame(fd, opts_.max_frame_bytes,
+                               deadline_in(opts_.idle_timeout_ms),
+                               opts_.io_timeout_ms);
         } catch (const Error&) {
             break;  // oversized length prefix: protocol abuse, drop the link
         }
-        if (!frame.has_value()) break;  // client closed
+        if (!frame.has_value()) break;  // client closed / timed out
 
         wire::WireResponse resp;
         bool respond = true;
@@ -229,6 +292,7 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
                         static_cast<std::uint8_t>(r.finish_reason);
                     resp.times_deferred =
                         static_cast<std::uint32_t>(r.times_deferred);
+                    resp.failovers = static_cast<std::uint32_t>(r.failovers);
                     resp.tokens = r.tokens;
                     resp.text = r.text;
                 }
@@ -242,7 +306,10 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
             // Count before the write: a client that has already received its
             // reply must never observe requests_served() lagging behind.
             served_.fetch_add(1, std::memory_order_release);
-            if (!write_frame(fd, wire::encode_response(resp))) break;
+            if (!write_frame(fd, wire::encode_response(resp),
+                             deadline_in(opts_.io_timeout_ms))) {
+                break;
+            }
         }
     }
     {
@@ -252,30 +319,113 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
     ::close(fd);
 }
 
-SocketClient::SocketClient(const std::string& host, std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    check(fd_ >= 0, "socket: socket() failed");
-    sockaddr_in addr = loopback_addr(port, host.c_str());
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd_);
-        fd_ = -1;
-        throw Error("socket: connect to " + host + ":" + std::to_string(port) +
-                    " failed");
-    }
+SocketClient::SocketClient(const std::string& host, std::uint16_t port,
+                           Options opts)
+    : host_(host), port_(port), opts_(opts), jitter_(opts.jitter_seed) {
+    connect_now();
 }
 
-SocketClient::~SocketClient() {
+SocketClient::~SocketClient() { disconnect(); }
+
+void SocketClient::disconnect() noexcept {
     if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+}
+
+void SocketClient::connect_now() {
+    disconnect();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(fd >= 0, "socket: socket() failed");
+    sockaddr_in addr = loopback_addr(port_, host_.c_str());
+    // Bounded connect: go non-blocking, poll for writability, read SO_ERROR
+    // for the verdict, then restore blocking mode (the transfer helpers
+    // poll-then-call, so either mode works, but blocking keeps the fast path
+    // syscall count down).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (opts_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+        if (!wait_ready(fd, POLLOUT, deadline_in(opts_.connect_timeout_ms))) {
+            ::close(fd);
+            throw Error("socket: connect to " + host_ + ":" +
+                        std::to_string(port_) + " timed out");
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+        rc = so_error == 0 ? 0 : -1;
+    }
+    if (rc != 0) {
+        ::close(fd);
+        throw Error("socket: connect to " + host_ + ":" + std::to_string(port_) +
+                    " failed");
+    }
+    if (opts_.connect_timeout_ms > 0) ::fcntl(fd, F_SETFL, flags);
+    fd_ = fd;
 }
 
 wire::WireResponse SocketClient::request(const wire::WireRequest& req) {
     check(fd_ >= 0, "SocketClient: not connected");
-    check(write_frame(fd_, wire::encode_request(req)),
-          "SocketClient: connection lost while sending");
+    if (!write_frame(fd_, wire::encode_request(req),
+                     deadline_in(opts_.io_timeout_ms))) {
+        disconnect();  // stream position unknown; the link is unusable
+        throw Error("SocketClient: connection lost/timed out while sending");
+    }
     std::optional<std::vector<std::uint8_t>> frame =
-        read_frame(fd_, wire::kMaxFrameBytes);
-    check(frame.has_value(), "SocketClient: connection lost while waiting");
+        read_frame(fd_, wire::kMaxFrameBytes, deadline_in(opts_.io_timeout_ms),
+                   opts_.io_timeout_ms);
+    if (!frame.has_value()) {
+        disconnect();
+        throw Error("SocketClient: connection lost/timed out while waiting");
+    }
     return wire::decode_response(*frame);
+}
+
+std::chrono::milliseconds SocketClient::backoff_delay(std::size_t attempt,
+                                                      std::uint32_t floor_ms) {
+    // Capped exponential: d = min(cap, base << (attempt-1)), slept jittered
+    // in [d/2, d] so a fleet retrying the same outage decorrelates. A 429's
+    // retry_ms hint raises the floor — the server knows its own backlog.
+    std::uint64_t d = opts_.backoff_base_ms;
+    for (std::size_t k = 1; k < attempt && d < opts_.backoff_cap_ms; ++k) d <<= 1;
+    d = std::min<std::uint64_t>(d, opts_.backoff_cap_ms);
+    std::uint64_t sleep_ms = d / 2 + jitter_.below(d / 2 + 1);
+    sleep_ms = std::max<std::uint64_t>(sleep_ms, floor_ms);
+    return std::chrono::milliseconds(sleep_ms);
+}
+
+wire::WireResponse SocketClient::request_with_retry(const wire::WireRequest& req) {
+    check(opts_.max_attempts > 0, "SocketClient: max_attempts must be >= 1");
+    std::string last_error;
+    wire::WireResponse last_rejected;
+    bool saw_rejected = false;
+    for (std::size_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+        try {
+            if (fd_ < 0) connect_now();
+            wire::WireResponse resp = request(req);
+            if (resp.status != wire::Status::kRejected) return resp;
+            // 429: the cluster's queues are full (or a shard just died and
+            // survivors absorbed its load). Honor the hint, then try again.
+            saw_rejected = true;
+            last_rejected = std::move(resp);
+            if (attempt < opts_.max_attempts) {
+                std::this_thread::sleep_for(
+                    backoff_delay(attempt, last_rejected.retry_ms));
+            }
+        } catch (const Error& e) {
+            // Connection refused/lost/timed out — the shape of a front-end
+            // restarting. Back off and reconnect.
+            last_error = e.what();
+            disconnect();
+            if (attempt < opts_.max_attempts) {
+                std::this_thread::sleep_for(backoff_delay(attempt, 0));
+            }
+        }
+    }
+    if (saw_rejected) return last_rejected;  // consistent 429: caller sheds load
+    throw Error("SocketClient: request failed after " +
+                std::to_string(opts_.max_attempts) + " attempts (" + last_error +
+                ")");
 }
 
 }  // namespace efld::cluster

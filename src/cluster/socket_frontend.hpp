@@ -21,10 +21,15 @@
 // run).
 //
 // SocketClient is the matching blocking client: connect once, request() per
-// round trip. Both ends are POSIX-only (Linux CI / deployment target).
+// round trip — or request_with_retry(), which reconnects on connection loss
+// and backs off (capped exponential, seeded jitter, honoring the server's
+// 429 retry hint) until the request lands or the attempt budget runs out.
+// Both ends enforce I/O timeouts so one stalled peer can never wedge a
+// thread forever. POSIX-only (Linux CI / deployment target).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -33,6 +38,7 @@
 
 #include "cluster/cluster_router.hpp"
 #include "cluster/wire.hpp"
+#include "common/rng.hpp"
 
 namespace efld::cluster {
 
@@ -46,6 +52,15 @@ public:
         std::uint16_t port = 0;  // 0 = ephemeral; read the bound port()
         int backlog = 16;
         std::size_t max_frame_bytes = wire::kMaxFrameBytes;
+        // Per-connection I/O timeouts (0 = wait forever). io_timeout_ms
+        // bounds every mid-frame read and every write: a peer that stalls
+        // half way through a frame loses the connection instead of pinning a
+        // handler thread. idle_timeout_ms separately bounds the wait for the
+        // NEXT frame's length prefix — idle-between-requests is normal, so
+        // it defaults to unbounded (stop() still kicks idle handlers via
+        // shutdown()).
+        std::uint32_t io_timeout_ms = 5000;
+        std::uint32_t idle_timeout_ms = 0;
     };
 
     // Binds and listens immediately (so port() is valid before start());
@@ -98,19 +113,63 @@ private:
 // Blocking client for the wire protocol. One request in flight at a time.
 class SocketClient {
 public:
-    // Connects immediately; throws efld::Error on refusal. `host` is an IPv4
-    // dotted quad ("127.0.0.1").
-    SocketClient(const std::string& host, std::uint16_t port);
+    struct Options {
+        // Connection-establishment and per-transfer bounds (0 = block
+        // forever, the pre-timeout behavior).
+        std::uint32_t connect_timeout_ms = 5000;
+        std::uint32_t io_timeout_ms = 5000;
+        // request_with_retry(): total attempts (first try included), and the
+        // capped exponential backoff between them. The actual sleep before
+        // attempt k is jittered uniformly in [d/2, d] with
+        // d = min(backoff_cap_ms, backoff_base_ms << (k-1)) — seeded, so a
+        // fleet of clients retrying the same outage does not stampede in
+        // lockstep, and a test run replays the same schedule. A server 429's
+        // retry_ms hint raises the sleep floor when it is larger.
+        std::size_t max_attempts = 5;
+        std::uint32_t backoff_base_ms = 10;
+        std::uint32_t backoff_cap_ms = 1000;
+        std::uint64_t jitter_seed = 0x5eedULL;
+    };
+
+    // Connects immediately (bounded by connect_timeout_ms); throws
+    // efld::Error on refusal or timeout. `host` is an IPv4 dotted quad
+    // ("127.0.0.1").
+    SocketClient(const std::string& host, std::uint16_t port)
+        : SocketClient(host, port, Options{}) {}
+    SocketClient(const std::string& host, std::uint16_t port, Options opts);
     ~SocketClient();
 
     SocketClient(const SocketClient&) = delete;
     SocketClient& operator=(const SocketClient&) = delete;
 
-    // One round trip: frame the request, block for the response frame.
-    // Throws efld::Error on protocol violations or a dropped connection.
+    // One round trip: frame the request, block (bounded by io_timeout_ms)
+    // for the response frame. Throws efld::Error on protocol violations, a
+    // dropped connection, or a timed-out transfer — after which the stream
+    // may be mid-frame, so the connection is closed; the next
+    // request_with_retry() reconnects.
     [[nodiscard]] wire::WireResponse request(const wire::WireRequest& req);
 
+    // request() plus the retry loop a real client needs against a cluster
+    // that can lose shards: reconnects after connection loss/timeouts, backs
+    // off between attempts (capped exponential with seeded jitter, floored
+    // by a 429's retry_ms hint), and returns the first terminal response
+    // (kOk or kError — a malformed request does not improve with retrying).
+    // Throws efld::Error when every attempt failed; returns the last
+    // kRejected response when the budget ran out waiting on backpressure.
+    [[nodiscard]] wire::WireResponse request_with_retry(const wire::WireRequest& req);
+
+    [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
 private:
+    void connect_now();  // throws efld::Error on failure/timeout
+    void disconnect() noexcept;
+    [[nodiscard]] std::chrono::milliseconds backoff_delay(std::size_t attempt,
+                                                          std::uint32_t floor_ms);
+
+    std::string host_;
+    std::uint16_t port_ = 0;
+    Options opts_;
+    Xoshiro256 jitter_;
     int fd_ = -1;
 };
 

@@ -102,6 +102,7 @@ std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
             put_u64(out, resp.id);
             put_u8(out, resp.finish_reason);
             put_u32(out, resp.times_deferred);
+            put_u32(out, resp.failovers);
             put_u32(out, static_cast<std::uint32_t>(resp.tokens.size()));
             for (const std::int32_t t : resp.tokens) {
                 put_u32(out, static_cast<std::uint32_t>(t));
@@ -131,6 +132,7 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
             resp.id = c.u64();
             resp.finish_reason = c.u8();
             resp.times_deferred = c.u32();
+            resp.failovers = c.u32();
             const std::uint32_t n = c.u32();
             check(n <= kMaxFrameBytes / sizeof(std::int32_t),
                   "wire: token count exceeds the frame bound");

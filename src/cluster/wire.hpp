@@ -6,8 +6,9 @@
 //               u32 prompt_length, prompt bytes
 //   response := u8 version(=1), u8 status, body
 //     status 0 (ok)       : u64 id, u8 finish_reason, u32 times_deferred,
-//                           u32 token_count, i32 tokens[token_count],
-//                           u32 text_length, text bytes
+//                           u32 failovers, u32 token_count,
+//                           i32 tokens[token_count], u32 text_length,
+//                           text bytes
 //     status 1 (rejected) : u32 retry_ms      — 429 backpressure; retry after
 //                           the hint, the cluster's queues are all full
 //     status 2 (error)    : u32 message_length, message bytes — the request
@@ -50,6 +51,7 @@ struct WireResponse {
     std::uint64_t id = 0;
     std::uint8_t finish_reason = 0;  // serve::FinishReason value
     std::uint32_t times_deferred = 0;
+    std::uint32_t failovers = 0;     // shard failures the request survived
     std::vector<std::int32_t> tokens;
     std::string text;
     // kRejected field

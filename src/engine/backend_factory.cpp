@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "engine/fault_injection.hpp"
 
 namespace efld::engine {
 
@@ -18,18 +21,27 @@ BackendKind backend_kind_from_string(std::string_view name) {
 
 BackendBundle make_backend(BackendKind kind, const model::QuantizedModelWeights& weights,
                            const model::EngineOptions& host_opts,
-                           accel::AcceleratorOptions accel_opts) {
+                           accel::AcceleratorOptions accel_opts,
+                           std::string_view fault_spec) {
+    // Parse before building: a malformed spec must not cost a packed-model
+    // construction just to throw.
+    const FaultPlan plan = parse_fault_plan(fault_spec);
     BackendBundle b;
     if (kind == BackendKind::kHost) {
         b.backend = std::make_unique<model::ReferenceEngine>(weights, host_opts);
-        return b;
+    } else {
+        b.packed =
+            std::make_unique<accel::PackedModel>(accel::PackedModel::build(weights));
+        accel_opts.max_batch = host_opts.max_batch;
+        // The accel twin prices paged KV in the cycle model (per-page bursts);
+        // its functional KV storage is host-side scaffolding either way.
+        accel_opts.accel.kv_page_tokens = host_opts.kv_page_tokens;
+        b.backend = std::make_unique<accel::Accelerator>(*b.packed, accel_opts);
     }
-    b.packed = std::make_unique<accel::PackedModel>(accel::PackedModel::build(weights));
-    accel_opts.max_batch = host_opts.max_batch;
-    // The accel twin prices paged KV in the cycle model (per-page bursts);
-    // its functional KV storage is host-side scaffolding either way.
-    accel_opts.accel.kv_page_tokens = host_opts.kv_page_tokens;
-    b.backend = std::make_unique<accel::Accelerator>(*b.packed, accel_opts);
+    if (!plan.empty()) {
+        b.backend = std::make_unique<FaultInjectingBackend>(std::move(b.backend),
+                                                            plan);
+    }
     return b;
 }
 

@@ -43,9 +43,14 @@ struct BackendBundle {
 // `weights` must outlive the bundle; kAccel copies what it needs into the
 // packed image). host_opts.max_batch sizes the slot count for both kinds;
 // accel_opts contributes the cycle-model/memory configuration for kAccel.
+// A non-empty `fault_spec` (see fault_injection.hpp for the grammar) wraps
+// the backend in a FaultInjectingBackend with that scripted schedule, so
+// tests and benches can spawn an engine guaranteed to die at step K; throws
+// std::invalid_argument on a malformed spec.
 [[nodiscard]] BackendBundle make_backend(BackendKind kind,
                                          const model::QuantizedModelWeights& weights,
                                          const model::EngineOptions& host_opts,
-                                         accel::AcceleratorOptions accel_opts = {});
+                                         accel::AcceleratorOptions accel_opts = {},
+                                         std::string_view fault_spec = {});
 
 }  // namespace efld::engine

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "engine/fault_injection.hpp"
 #include "kvpool/kv_block_pool.hpp"
 #include "runtime/memory_planner.hpp"
 
@@ -88,7 +89,8 @@ ServeEngine::ServeEngine(const model::QuantizedModelWeights& weights, ServeOptio
         eo.kv_page_tokens = opts_.kv_page_tokens;
         eo.kv_pool_pages = governor_->total_pages();
     }
-    bundle_ = engine::make_backend(opts_.backend, weights, eo, accel_opts);
+    bundle_ = engine::make_backend(opts_.backend, weights, eo, accel_opts,
+                                   opts_.fault_spec);
     backend_ = bundle_.backend.get();
     init();
 }
@@ -118,6 +120,13 @@ ServeEngine::ServeEngine(std::unique_ptr<engine::DecodeBackend> backend,
             "ServeEngine: backend already has reserved slots; hand the serve "
             "engine a backend it can own outright");
     }
+    // Wrap AFTER the probe so the probe's reserve/release churn does not
+    // consume the fault plan's reservation schedule (and an alloc:1 plan
+    // faults on the first real admission, not inside this constructor).
+    if (!opts_.fault_spec.empty()) {
+        backend = std::make_unique<engine::FaultInjectingBackend>(
+            std::move(backend), engine::parse_fault_plan(opts_.fault_spec));
+    }
     bundle_.backend = std::move(backend);
     backend_ = bundle_.backend.get();
     if (opts_.paging) init_governor(backend_->config());
@@ -129,6 +138,16 @@ ServeEngine::~ServeEngine() {
         stop();
     } catch (...) {
         // A parked driver error has nowhere to go from a destructor.
+    }
+    // Inert-handle guarantee: a request still outstanding at teardown
+    // resolves with kShardFailure (partial tokens preserved) instead of
+    // leaving its future to break — handles held elsewhere return from
+    // get() with a reason, never a std::future_error surprise. Marking the
+    // engine failed first lets take_unfinished() do the harvest; on a clean
+    // teardown (everything already resolved) the harvest is empty.
+    failed_.store(true, std::memory_order_release);
+    for (PendingRequest& req : take_unfinished()) {
+        resolve_lost(std::move(req));
     }
 }
 
@@ -184,6 +203,9 @@ void ServeEngine::resolve_unstarted(PendingRequest&& req, Retire why) {
     r.prompt_tokens = req.prompt.size();
     r.finish_reason = finish_reason_of(why);
     r.times_deferred = req.times_deferred;
+    r.failovers = req.failovers;
+    r.tokens = std::move(req.resumed);  // a resumed request keeps its progress
+    r.text = tokenizer_.decode(r.tokens);
     r.cancelled = why == Retire::kCancelled;
     r.hit_deadline = why == Retire::kDeadline;
     req.promise.set_value(std::move(r));
@@ -201,6 +223,16 @@ RequestHandle ServeEngine::submit(Request req) {
         resolve_unstarted(std::move(p), Retire::kBudget);
     } else {
         check(queue_.push(std::move(p)), "ServeEngine: request queue full");
+        // A failure landing between the failed() check inside step and this
+        // push would strand the request in a dead queue (the failure sweep
+        // already ran). Re-check and pull our own request back out so the
+        // handle still resolves.
+        if (failed()) {
+            for (PendingRequest& mine : queue_.remove_if(
+                     [id](const PendingRequest& r) { return r.id == id; })) {
+                resolve_lost(std::move(mine));
+            }
+        }
     }
     return RequestHandle(id, std::move(control), std::move(fut));
 }
@@ -208,12 +240,19 @@ RequestHandle ServeEngine::submit(Request req) {
 std::future<ServeResult> ServeEngine::submit(const std::string& prompt,
                                              std::size_t max_new_tokens) {
     PendingRequest p = make_pending(prompt, max_new_tokens, std::nullopt, nullptr);
+    const std::uint64_t id = p.id;
     std::future<ServeResult> fut = p.promise.get_future();
     if (max_new_tokens == 0) {
         resolve_unstarted(std::move(p), Retire::kBudget);
         return fut;
     }
     check(queue_.push(std::move(p)), "ServeEngine: request queue full");
+    if (failed()) {
+        for (PendingRequest& mine : queue_.remove_if(
+                 [id](const PendingRequest& r) { return r.id == id; })) {
+            resolve_lost(std::move(mine));
+        }
+    }
     return fut;
 }
 
@@ -255,7 +294,23 @@ void ServeEngine::admit() {
             ++stats_.queue_promotions;
         }
 
-        const std::size_t slot = backend_->reserve_slot();
+        std::size_t slot = engine::DecodeBackend::kNoSlot;
+        try {
+            slot = backend_->reserve_slot();
+        } catch (...) {
+            // Device fault mid-admission: the popped request is in neither
+            // the queue nor a slot. Roll back its commitment, park it where
+            // take_unfinished() will find it, and stage the fault for
+            // step_locked() to consume at the next safe point.
+            if (!backend_error_) backend_error_ = std::current_exception();
+            if (governor_ != nullptr && committed != 0) {
+                governor_->release(committed);
+                committed_pages_cache_.store(governor_->committed_pages(),
+                                             std::memory_order_release);
+            }
+            orphans_.push_back(std::move(*out.req));
+            return;
+        }
         check(slot != engine::DecodeBackend::kNoSlot && slot < slots_.size() &&
                   !slots_[slot].has_value(),
               "ServeEngine: backend slot bookkeeping diverged");
@@ -273,6 +328,7 @@ void ServeEngine::retire(SessionState& s, Retire why) {
     r.prompt_tokens = s.prompt.size();
     r.finish_reason = finish_reason_of(why);
     r.times_deferred = s.times_deferred;
+    r.failovers = s.failovers;
     r.hit_eos = why == Retire::kEos;
     r.hit_context_limit = why == Retire::kContext;
     r.cancelled = why == Retire::kCancelled;
@@ -280,7 +336,14 @@ void ServeEngine::retire(SessionState& s, Retire why) {
     const std::size_t committed = s.committed_pages;
     s.promise.set_value(std::move(r));
     const std::size_t slot = s.slot;
-    backend_->release_slot(slot);  // clears the slot's KV for the next tenant
+    try {
+        backend_->release_slot(slot);  // clears the slot's KV for the next tenant
+    } catch (...) {
+        // Device fault on teardown of a FINISHED request: its result already
+        // resolved, so finish this retirement's bookkeeping and stage the
+        // fault for step_locked() to consume between phases.
+        if (!backend_error_) backend_error_ = std::current_exception();
+    }
     slots_[slot].reset();
     if (governor_ != nullptr) {
         // Whole worst-case commitment back to the budget — an early
@@ -303,7 +366,151 @@ bool ServeEngine::step() {
     return step_locked();
 }
 
+void ServeEngine::set_on_failure(FailureCallback cb) {
+    const std::lock_guard<std::mutex> g(failure_mu_);
+    on_failure_ = std::move(cb);
+}
+
+std::exception_ptr ServeEngine::failure() const {
+    const std::lock_guard<std::mutex> g(failure_mu_);
+    return failure_;
+}
+
+void ServeEngine::resolve_lost(PendingRequest&& req) {
+    ServeResult r;
+    r.id = req.id;
+    r.tokens = std::move(req.resumed);  // whatever was streamed pre-failure
+    r.text = tokenizer_.decode(r.tokens);
+    r.prompt_tokens = req.prompt.size();
+    r.finish_reason = FinishReason::kShardFailure;
+    r.times_deferred = req.times_deferred;
+    r.failovers = req.failovers;
+    // Count the loss BEFORE resolving the promise: a waiter unblocked by
+    // get() must see this request already reflected in stats_snapshot(),
+    // not catch the sweep mid-bookkeeping.
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.requests_completed;
+        ++stats_.requests_lost;
+    }
+    try {
+        req.promise.set_value(std::move(r));
+    } catch (const std::future_error&) {
+        // Already resolved on another path; nothing to deliver.
+    }
+}
+
+void ServeEngine::fail_backend() {
+    std::exception_ptr e = backend_error_;
+    backend_error_ = nullptr;
+    {
+        const std::lock_guard<std::mutex> g(failure_mu_);
+        failure_ = e;
+    }
+    failed_.store(true, std::memory_order_release);
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.backend_failures;
+    }
+    if (governor_ != nullptr) {
+        // Every session commitment back to the pool at once — the sessions
+        // are about to be harvested, and the replacement engine starts from
+        // a clean ledger either way.
+        governor_->release(governor_->committed_pages());
+        committed_pages_cache_.store(0, std::memory_order_release);
+    }
+    FailureCallback cb;
+    {
+        const std::lock_guard<std::mutex> g(failure_mu_);
+        cb = on_failure_;
+    }
+    if (cb) {
+        try {
+            cb(e);
+        } catch (...) {
+            // Failure reporting must not take the reporting thread down too.
+        }
+    }
+    // Whatever the callback's failover did not rescue resolves now, so no
+    // handle is left waiting on a dead engine. With no callback this is the
+    // whole backlog.
+    for (PendingRequest& req : take_unfinished()) {
+        resolve_lost(std::move(req));
+    }
+}
+
+std::vector<PendingRequest> ServeEngine::take_unfinished() {
+    check(failed(),
+          "ServeEngine: take_unfinished() is only for a failed engine");
+    std::vector<PendingRequest> out;
+    // In-flight sessions first — they carry progress worth preserving. Their
+    // generated-so-far tokens (all already streamed to on_token at sampling
+    // time) become the resume record; the displacement bumps the failover
+    // count. Slots are cleared WITHOUT release_slot: the device is dead, and
+    // teardown must not trip over the corpse.
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (!slots_[slot].has_value()) continue;
+        SessionState& s = *slots_[slot];
+        PendingRequest req;
+        req.id = s.id;
+        req.prompt = std::move(s.prompt);
+        req.resumed = std::move(s.generated);
+        req.max_new_tokens = s.max_new_tokens;
+        req.deadline = s.deadline;
+        req.on_token = std::move(s.on_token);
+        req.control = std::move(s.control);
+        req.times_deferred = s.times_deferred;
+        req.failovers = s.failovers + 1;
+        req.promise = std::move(s.promise);
+        out.push_back(std::move(req));
+        slots_[slot].reset();
+    }
+    n_active_.store(0, std::memory_order_release);
+    // Then requests that fell between queue and slot (reserve_slot faulted),
+    // then the still-queued backlog, all displaced once by this failure.
+    for (PendingRequest& req : orphans_) {
+        ++req.failovers;
+        out.push_back(std::move(req));
+    }
+    orphans_.clear();
+    for (PendingRequest& req :
+         queue_.remove_if([](const PendingRequest&) { return true; })) {
+        ++req.failovers;
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+bool ServeEngine::resubmit(PendingRequest& req) {
+    if (failed()) return false;
+    if (governor_ != nullptr &&
+        !governor_->ever_admissible(
+            governor_->predict_pages(req.prompt.size(), req.max_new_tokens))) {
+        // predict_pages(prompt, max_new) is the resumed request's demand too:
+        // budget accounting counts the resume record against max_new, so the
+        // session tops out at prompt + max_new tokens total either way.
+        return false;
+    }
+    const std::uint64_t id = req.id;
+    if (!queue_.push(std::move(req))) return false;  // full: req left intact
+    {
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.requests_resumed;
+    }
+    // Same failure race as submit(): once pushed, the request WILL resolve
+    // here — pull it back ourselves if this engine just died, because the
+    // failure sweep may already have run.
+    if (failed()) {
+        for (PendingRequest& mine : queue_.remove_if(
+                 [id](const PendingRequest& r) { return r.id == id; })) {
+            resolve_lost(std::move(mine));
+        }
+    }
+    return true;
+}
+
 bool ServeEngine::step_locked() {
+    if (failed()) return false;  // a dead engine steps no more
     const auto now = std::chrono::steady_clock::now();
 
     // Token boundary, part 1: control-plane retirements (cancel, deadline)
@@ -341,8 +548,20 @@ bool ServeEngine::step_locked() {
         }
     }
 
+    // Fault checkpoints: a backend exception staged by retire()/admit() is
+    // consumed here, between phases, so no retirement or admission is ever
+    // torn mid-flight by failure handling.
+    if (backend_error_) {
+        fail_backend();
+        return false;
+    }
+
     // Part 2: queued requests join whatever slots are free.
     admit();
+    if (backend_error_) {
+        fail_backend();
+        return false;
+    }
     if (n_active_.load(std::memory_order_relaxed) == 0) {
         // Nothing admitted: the queue is empty — or its head is a deferred
         // request, which with zero active sessions cannot happen (an empty
@@ -360,9 +579,18 @@ bool ServeEngine::step_locked() {
 
     // ONE weight walk advances every active session by one token.
     const std::size_t vocab = backend_->config().vocab_size;
-    backend_->decode_batch(feed_tokens_, feed_slots_,
-                           std::span<float>(logits_.data(),
-                                            feed_slots_.size() * vocab));
+    try {
+        backend_->decode_batch(feed_tokens_, feed_slots_,
+                               std::span<float>(logits_.data(),
+                                                feed_slots_.size() * vocab));
+    } catch (...) {
+        // The step produced nothing: no token was sampled, no on_token fired,
+        // so every session's delivered-token state is exactly as it was. That
+        // is what makes harvest + replay exactly-once.
+        backend_error_ = std::current_exception();
+        fail_backend();
+        return false;
+    }
     const engine::StepCost cost = backend_->last_step_cost();
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
@@ -381,17 +609,34 @@ bool ServeEngine::step_locked() {
     // would contend with the router's load() snapshots for nothing.
     std::exception_ptr callback_error;
     std::size_t step_prompt_tokens = 0;
+    std::size_t step_replayed_tokens = 0;
     std::size_t step_generated_tokens = 0;
     for (std::size_t b = 0; b < feed_slots_.size(); ++b) {
         SessionState& s = *slots_[feed_slots_[b]];
-        const bool samplable = s.sampling_after_feed();
-        if (s.prompt_fed < s.prompt.size()) {
-            ++s.prompt_fed;
-            ++step_prompt_tokens;
-        }
-        if (!samplable) continue;  // mid-prefill: logits row unused
-
         const std::span<const float> row(logits_.data() + b * vocab, vocab);
+        const bool samplable = s.sampling_after_feed();
+        if (s.prefix_fed < s.prefix_len()) {
+            const bool replay = s.prefix_fed >= s.prompt.size();
+            ++s.prefix_fed;
+            if (replay) {
+                ++step_replayed_tokens;
+            } else {
+                ++step_prompt_tokens;
+            }
+        }
+        if (!samplable) {
+            // Mid-prefill: the logits row is unused — except that a row
+            // predicting a RESUMED token consumed one sampler draw on the
+            // dead shard, so draw-and-discard here too. The replayed token
+            // itself comes from the resume record (robust even if sampling
+            // were to diverge); this keeps a stochastic continuation on the
+            // same RNG stream as the fault-free run.
+            if (s.prefix_fed >= s.prompt.size() && s.resumed_count > 0) {
+                (void)s.sampler.sample(row);
+            }
+            continue;
+        }
+
         const std::int32_t next = s.sampler.sample(row);
         s.generated.push_back(next);
         ++step_generated_tokens;
@@ -416,7 +661,15 @@ bool ServeEngine::step_locked() {
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
         stats_.prompt_tokens += step_prompt_tokens;
+        stats_.replayed_tokens += step_replayed_tokens;
         stats_.generated_tokens += step_generated_tokens;
+    }
+    if (backend_error_) {
+        // A release_slot fault during an in-loop retirement: every lane's
+        // token boundary completed first, now the engine fails.
+        fail_backend();
+        if (callback_error) std::rethrow_exception(callback_error);
+        return false;
     }
     if (callback_error) std::rethrow_exception(callback_error);
     return n_active_.load(std::memory_order_relaxed) > 0 || !queue_.empty();
@@ -444,6 +697,7 @@ void ServeEngine::driver_loop() {
                 driver_busy_ = false;
             }
             idle_cv_.notify_all();
+            if (failed()) break;  // backend fault: the driver has no job left
             if (!more && !stop_requested_.load(std::memory_order_acquire)) {
                 // Idle: sleep until a submit (queue condition variable) or a
                 // stop request wakes the loop.
@@ -468,6 +722,9 @@ void ServeEngine::driver_loop() {
 
 void ServeEngine::run() {
     check(!running(), "ServeEngine: background driver already running");
+    check(!failed(),
+          "ServeEngine: backend failed; build a replacement engine instead of "
+          "restarting this one");
     if (driver_.joinable()) driver_.join();  // reap a previously stopped driver
     if (driver_error_ != nullptr) {
         // The previous driver died on a callback exception and the caller is
@@ -509,6 +766,7 @@ ServeLoad ServeEngine::load() const {
     l.active = n_active_.load(std::memory_order_acquire);
     l.slots = slots_.size();
     l.queue_capacity = queue_.capacity();
+    l.failed = failed();
     l.paging = governor_ != nullptr;
     if (governor_ != nullptr) {
         l.total_pages = governor_->total_pages();

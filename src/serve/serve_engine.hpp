@@ -92,10 +92,22 @@ struct ServeOptions {
     // times is promoted to the mandatory next admission pick regardless of
     // scheduler policy (ServeStats::queue_promotions counts).
     std::size_t max_deferrals = 32;
+    // Scripted fault schedule wrapped around the backend (see
+    // engine/fault_injection.hpp for the grammar: step:K | alloc:K |
+    // stall:K:MS | flaky:P:SEED). Empty = no injection. Tests and chaos
+    // benches use this to spawn an engine guaranteed to die at step K.
+    std::string fault_spec;
 };
 
 class ServeEngine {
 public:
+    // Invoked (on the driver/stepping thread, at most once) the moment a
+    // backend call throws — the engine has already marked itself failed,
+    // counted the fault, and returned the governor's committed pages before
+    // the callback runs, so the callback may immediately take_unfinished()
+    // and resubmit the harvest elsewhere. Exceptions it throws are swallowed:
+    // failure reporting must not take the reporter down too.
+    using FailureCallback = std::function<void(const std::exception_ptr&)>;
     // Builds the backend ServeOptions::backend selects. Non-owning of
     // `weights` (must outlive the engine); the accel backend's packed DDR
     // image is built from them and owned here. Throws std::invalid_argument
@@ -183,6 +195,39 @@ public:
         return tokenizer_;
     }
 
+    // --- Failure detection & failover -------------------------------------
+    //
+    // ANY exception out of a backend call (decode_batch, reserve_slot,
+    // release_slot) is a device fault: the engine marks itself failed, stops
+    // decoding, returns every committed page to the governor, reports through
+    // the failure callback, and resolves whatever the callback's failover
+    // left behind with FinishReason::kShardFailure. A failed engine never
+    // serves again — the cluster layer builds a replacement (restart_shard).
+
+    // Registers the failure callback (replacing any previous one). Safe from
+    // any thread; register before run() to never miss a fault.
+    void set_on_failure(FailureCallback cb);
+    // True once a backend call has faulted. Queued/in-flight work is then
+    // reachable only through take_unfinished().
+    [[nodiscard]] bool failed() const noexcept {
+        return failed_.load(std::memory_order_acquire);
+    }
+    // The fault that killed the backend (null while healthy).
+    [[nodiscard]] std::exception_ptr failure() const;
+    // Harvests every unresolved request from a FAILED engine — in-flight
+    // sessions first (each carrying its generated-so-far tokens as `resumed`
+    // and its failover count bumped), then requests still queued. Slots are
+    // cleared without touching the dead backend. Harvesting is one-shot:
+    // a second call returns empty. Throws if the engine has not failed.
+    std::vector<PendingRequest> take_unfinished();
+    // Failover re-entry: enqueues a request harvested from another engine,
+    // skipping tokenization (the prompt is already ids). Returns false —
+    // leaving `req` intact for the caller to try elsewhere — when this
+    // engine has itself failed, the queue is full, or the request's
+    // worst-case page demand exceeds the whole pool. On true the engine owns
+    // the request and its promise WILL resolve here (kShardFailure included).
+    bool resubmit(PendingRequest& req);
+
 private:
     enum class Retire { kEos, kBudget, kContext, kCancelled, kDeadline };
 
@@ -192,14 +237,22 @@ private:
                                 std::optional<std::chrono::steady_clock::time_point>
                                     deadline,
                                 TokenCallback on_token);
-    // Resolves a request that never took a slot (zero budget, shed from the
-    // queue by cancel/deadline).
-    static void resolve_unstarted(PendingRequest&& req, Retire why);
+    // Resolves a request that never took a slot here (zero budget, shed from
+    // the queue by cancel/deadline) — a resumed request keeps the tokens the
+    // dead shard already generated.
+    void resolve_unstarted(PendingRequest&& req, Retire why);
     static FinishReason finish_reason_of(Retire why) noexcept;
     void admit();
     void retire(SessionState& s, Retire why);
     bool step_locked();   // step() body; the driver calls it directly
     void driver_loop();
+    // Consumes backend_error_: marks the engine failed, releases the
+    // governor's pages, fires the failure callback, then resolves anything
+    // the callback's failover left behind with kShardFailure.
+    void fail_backend();
+    // Resolves a harvested/abandoned request with kShardFailure (partial
+    // tokens preserved) and counts it lost.
+    void resolve_lost(PendingRequest&& req);
 
     ServeOptions opts_;
     model::ByteTokenizer tokenizer_;
@@ -219,6 +272,19 @@ private:
     // Governor ledger mirror for load(): the governor itself is driver-thread
     // only; this publishes its committed count to snapshot readers.
     std::atomic<std::size_t> committed_pages_cache_{0};
+
+    // Failure state. backend_error_ is step-thread-only staging: the first
+    // backend exception of a step parks here and fail_backend() consumes it
+    // at the next safe point (never mid-retire, so bookkeeping stays
+    // consistent). failed_/failure_/on_failure_ are cross-thread.
+    std::exception_ptr backend_error_;
+    std::atomic<bool> failed_{false};
+    mutable std::mutex failure_mu_;  // guards failure_ and on_failure_
+    std::exception_ptr failure_;
+    FailureCallback on_failure_;
+    // Requests popped from the queue whose slot reservation faulted: in
+    // neither the queue nor a slot, held here for take_unfinished().
+    std::vector<PendingRequest> orphans_;
 
     // Background driver state. run()/stop()/wait_until_idle() are driven from
     // one controlling thread; submit()/cancel() stay safe from any thread.

@@ -48,6 +48,9 @@ enum class FinishReason {
     kContextOverflow,  // hit the per-session context window (max_seq_len)
     kCancelled,        // RequestHandle::cancel()
     kDeadline,         // Request::deadline passed
+    kShardFailure,     // the serving engine died (backend fault / teardown)
+                       // and the request could not be failed over; tokens
+                       // holds whatever was streamed before the failure
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FinishReason r) noexcept {
@@ -58,6 +61,7 @@ enum class FinishReason {
         case FinishReason::kContextOverflow: return "context_overflow";
         case FinishReason::kCancelled: return "cancelled";
         case FinishReason::kDeadline: return "deadline";
+        case FinishReason::kShardFailure: return "shard_failure";
     }
     return "none";
 }
@@ -76,6 +80,12 @@ struct ServeResult {
     // (SJF picking a shorter job). Past ServeOptions::max_deferrals the queue
     // promotes it to the mandatory next pick — see RequestQueue::pop_if.
     std::size_t times_deferred = 0;
+    // Times the request was displaced by a shard failure and replayed on a
+    // surviving shard (0 on the fault-free path). A nonzero count with a
+    // normal finish_reason (budget/eos) is a failover-replayed completion:
+    // the head of `tokens` was generated on the dead shard, the tail on the
+    // survivor, and each token was streamed to on_token exactly once.
+    std::size_t failovers = 0;
     bool hit_eos = false;                 // stopped on the EOS token
     bool hit_context_limit = false;       // stopped by the KV reservation
     bool cancelled = false;               // retired by RequestHandle::cancel()
@@ -92,6 +102,18 @@ struct RequestControl {
 // The caller's live handle to a submitted request: cancel it, poll for
 // completion, or block on the result. Copyable (shared_future semantics); a
 // default-constructed handle is inert.
+//
+// Handles stay safe across every engine lifecycle event — they never dangle
+// and never hang:
+//   - Shard failure with failover: the request's promise and cancel channel
+//     move to the surviving shard with it; this same handle resolves (and
+//     cancel() still works) wherever the request finishes.
+//   - Shard failure without failover, or engine destruction with the request
+//     still outstanding: the promise resolves with
+//     FinishReason::kShardFailure and whatever tokens were streamed, so
+//     wait()/get() return instead of blocking forever.
+//   - cancel() after the engine is gone: writes a flag on shared state the
+//     handle co-owns — safe, simply with nobody left to observe it.
 class RequestHandle {
 public:
     RequestHandle() = default;
@@ -127,15 +149,22 @@ private:
     std::shared_future<ServeResult> fut_;
 };
 
-// A tokenized request waiting for a free session slot.
+// A tokenized request waiting for a free session slot. Failover resubmission
+// reuses this shape: a request harvested from a failed shard arrives at the
+// surviving shard with `resumed` holding the tokens the dead shard already
+// generated AND streamed. They replay as prefill (rebuilding the KV history
+// deterministically) and are prepended to the result's tokens, but on_token
+// never fires for them again — exactly-once delivery per (request, position).
 struct PendingRequest {
     std::uint64_t id = 0;
     std::vector<std::int32_t> prompt;     // tokenized, BOS included
-    std::size_t max_new_tokens = 0;
+    std::vector<std::int32_t> resumed;    // failover replay: already streamed
+    std::size_t max_new_tokens = 0;       // original budget (incl. resumed)
     std::optional<std::chrono::steady_clock::time_point> deadline;
     TokenCallback on_token;
     std::shared_ptr<RequestControl> control;
     std::size_t times_deferred = 0;       // capacity-governor deferrals so far
+    std::size_t failovers = 0;            // shard failures that displaced it
     std::promise<ServeResult> promise;
 };
 
@@ -159,6 +188,13 @@ struct ServeStats {
     std::size_t capacity_deferrals = 0;  // admissions refused by the governor
     std::size_t queue_promotions = 0;    // anti-starvation picks (max_deferrals)
     std::size_t peak_batch = 0;          // peak concurrent sessions in a step
+    // Fault-tolerance counters. replayed_tokens is failover replay work: a
+    // resumed request's already-delivered tokens re-fed as prefill to rebuild
+    // its KV history (they ride weight walks but are never re-streamed).
+    std::size_t backend_failures = 0;    // decode/reserve faults (0 or 1)
+    std::size_t requests_resumed = 0;    // failover arrivals accepted here
+    std::size_t requests_lost = 0;       // resolved kShardFailure (no failover)
+    std::size_t replayed_tokens = 0;     // resumed tokens re-fed as prefill
     double wall_ns = 0.0;                // host time inside backend steps
     double simulated_ns = 0.0;           // modeled device time (accel backend)
 
@@ -191,6 +227,7 @@ struct ServeLoad {
     std::size_t queue_capacity = 0;   // queue bound (submit rejects past it)
     std::size_t active = 0;           // sessions currently holding a slot
     std::size_t slots = 0;            // max concurrent sessions (max_batch)
+    bool failed = false;              // backend fault: engine serves no more
     bool paging = false;              // capacity governor present
     std::size_t committed_pages = 0;  // governor ledger (0 without paging)
     std::size_t queued_pages = 0;     // worst-case demand still in the queue

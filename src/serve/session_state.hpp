@@ -6,6 +6,15 @@
 // tokens its own sampler picked. The session is therefore indistinguishable
 // — token for token — from a solo run of the same prompt, which is what the
 // continuous-batching parity tests assert.
+//
+// Failover resume: a request displaced by a shard failure arrives with the
+// tokens the dead shard already generated and streamed (PendingRequest::
+// resumed). They extend the prefill prefix — prompt first, then the resumed
+// tokens — so the new slot's KV history is rebuilt exactly as the dead shard
+// built it, and they seed `generated` so budget math and the final result
+// are unchanged. Because sampling only begins once the WHOLE prefix has been
+// fed, on_token fires only for tokens generated here: a position streamed by
+// the dead shard is never delivered again.
 #pragma once
 
 #include <chrono>
@@ -26,25 +35,30 @@ struct SessionState {
         : id(req.id),
           slot(slot_index),
           prompt(std::move(req.prompt)),
+          resumed_count(req.resumed.size()),
           max_new_tokens(req.max_new_tokens),
           deadline(req.deadline),
           on_token(std::move(req.on_token)),
           control(std::move(req.control)),
           times_deferred(req.times_deferred),
+          failovers(req.failovers),
+          generated(std::move(req.resumed)),
           sampler(sampler_cfg),
           promise(std::move(req.promise)) {}
 
     std::uint64_t id = 0;
     std::size_t slot = 0;
     std::vector<std::int32_t> prompt;
-    std::size_t prompt_fed = 0;          // prompt ids already decoded
+    std::size_t prefix_fed = 0;          // prefill ids (prompt + resumed) fed
+    std::size_t resumed_count = 0;       // head of `generated` that is replay
     std::size_t max_new_tokens = 0;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     TokenCallback on_token;              // streaming; may be empty
     std::shared_ptr<RequestControl> control;  // cancel channel; may be null
     std::size_t times_deferred = 0;      // governor deferrals while queued
+    std::size_t failovers = 0;           // shard failures that displaced it
     std::size_t committed_pages = 0;     // governor commitment, released at retire
-    std::vector<std::int32_t> generated;
+    std::vector<std::int32_t> generated; // seeded with the resumed tokens
     model::Sampler sampler;              // fresh per request (seeded by config)
     std::promise<ServeResult> promise;
     std::int32_t pending_token = -1;     // sampled, not yet fed back
@@ -57,18 +71,24 @@ struct SessionState {
         return deadline.has_value() && now >= *deadline;
     }
 
-    // Next token to feed this step: remaining prompt first, then the token
+    // The prefill prefix: the prompt, then (after a failover) the tokens the
+    // dead shard already generated — both must be fed before sampling starts.
+    [[nodiscard]] std::size_t prefix_len() const noexcept {
+        return prompt.size() + resumed_count;
+    }
+    [[nodiscard]] std::int32_t prefix_at(std::size_t i) const noexcept {
+        return i < prompt.size() ? prompt[i] : generated[i - prompt.size()];
+    }
+    // Next token to feed this step: remaining prefix first, then the token
     // sampled last step.
     [[nodiscard]] std::int32_t next_feed() const noexcept {
-        return prompt_fed < prompt.size()
-                   ? prompt[prompt_fed]
-                   : pending_token;
+        return prefix_fed < prefix_len() ? prefix_at(prefix_fed) : pending_token;
     }
-    // Whether this step's logits row is samplable (true once the whole prompt
-    // has been fed — i.e. the fed token was the last prompt id or a
+    // Whether this step's logits row is samplable (true once the whole prefix
+    // has been fed — i.e. the fed token was the last prefix id or a freshly
     // generated one).
     [[nodiscard]] bool sampling_after_feed() const noexcept {
-        return prompt_fed + 1 >= prompt.size();
+        return prefix_fed + 1 >= prefix_len();
     }
 };
 

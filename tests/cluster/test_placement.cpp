@@ -117,6 +117,21 @@ TEST(Placement, BestFitWithoutPagingActsLeastLoaded) {
     EXPECT_EQ(bf->pick(std::vector<ShardLoad>{load(3, 1), load(1, 1)}, 0), 1u);
 }
 
+TEST(Placement, EveryPolicyExcludesUnhealthyShards) {
+    // A failed shard is ineligible no matter how attractive its load looks —
+    // an empty queue on a dead engine is not capacity.
+    for (const PlacementPolicy p :
+         {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+          PlacementPolicy::kBestFitPages}) {
+        auto policy = make_placement(p);
+        std::vector<ShardLoad> shards{load(0, 0), load(5, 3)};
+        shards[0].healthy = false;
+        EXPECT_EQ(policy->pick(shards, 0), 1u) << to_string(p);
+        shards[1].healthy = false;
+        EXPECT_EQ(policy->pick(shards, 0), kNoShard) << to_string(p);
+    }
+}
+
 TEST(Placement, PolicyNamesRoundTrip) {
     for (const PlacementPolicy p :
          {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,

@@ -36,6 +36,7 @@ TEST(Wire, OkResponseRoundTrip) {
     resp.id = 0x1122334455667788ull;
     resp.finish_reason = 2;
     resp.times_deferred = 3;
+    resp.failovers = 1;
     resp.tokens = {1, -7, 65000, 0};
     resp.text = "decoded text";
     const WireResponse back = decode_response(encode_response(resp));
@@ -43,6 +44,7 @@ TEST(Wire, OkResponseRoundTrip) {
     EXPECT_EQ(back.id, resp.id);
     EXPECT_EQ(back.finish_reason, 2u);
     EXPECT_EQ(back.times_deferred, 3u);
+    EXPECT_EQ(back.failovers, 1u);
     EXPECT_EQ(back.tokens, resp.tokens);
     EXPECT_EQ(back.text, "decoded text");
 }
@@ -99,11 +101,11 @@ TEST(Wire, TokenCountCannotExceedFrameBound) {
     resp.status = Status::kOk;
     std::vector<std::uint8_t> bytes = encode_response(resp);
     // token_count lives after version(1) + status(1) + id(8) + reason(1) +
-    // deferred(4) = offset 15.
-    bytes[15] = 0xff;
-    bytes[16] = 0xff;
-    bytes[17] = 0xff;
-    bytes[18] = 0xff;
+    // deferred(4) + failovers(4) = offset 19.
+    bytes[19] = 0xff;
+    bytes[20] = 0xff;
+    bytes[21] = 0xff;
+    bytes[22] = 0xff;
     EXPECT_THROW((void)decode_response(bytes), efld::Error);
 }
 

@@ -5,12 +5,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "engine/fault_injection.hpp"
 #include "runtime/serve.hpp"
 
 namespace efld::serve {
@@ -156,6 +159,100 @@ TEST(ServeDriver, PagedServingUnderTheDriver) {
     d.engine->stop();
     EXPECT_EQ(d.engine->stats().peak_batch, 2u);
     EXPECT_EQ(d.engine->governor()->committed_pages(), 0u);
+}
+
+TEST(ServeDriver, BackendFaultFiresCallbackAndResolvesEveryHandle) {
+    ServeOptions o;
+    o.fault_spec = "step:4";  // dies after the first sampled tokens
+    o.max_batch = 1;          // the second request stays queued until the end
+    runtime::ServeDeployment d = deploy(o);
+
+    std::atomic<int> reported{0};
+    std::exception_ptr seen;
+    d.engine->set_on_failure([&](const std::exception_ptr& e) {
+        // By contract the engine is already marked failed when this fires.
+        EXPECT_TRUE(d.engine->failed());
+        seen = e;
+        reported.fetch_add(1);
+    });
+
+    runtime::RequestHandle inflight = d.engine->submit(
+        runtime::ServeRequest{.prompt = "f", .max_new_tokens = 8});
+    runtime::RequestHandle queued = d.engine->submit(
+        runtime::ServeRequest{.prompt = "never admitted, queue of one slot",
+                              .max_new_tokens = 8});
+    d.engine->run();
+
+    // Without a cluster above it, the engine resolves its own dead: both
+    // futures come back kShardFailure — neither hangs — with whatever was
+    // streamed before the fault preserved.
+    EXPECT_EQ(inflight.get().finish_reason, FinishReason::kShardFailure);
+    EXPECT_EQ(queued.get().finish_reason, FinishReason::kShardFailure);
+    EXPECT_FALSE(inflight.get().tokens.empty());  // mid-stream when killed
+    EXPECT_LT(inflight.get().tokens.size(), 8u);
+    EXPECT_TRUE(queued.get().tokens.empty());
+
+    EXPECT_EQ(reported.load(), 1);  // at most once, even with two casualties
+    ASSERT_NE(seen, nullptr);
+    EXPECT_THROW(std::rethrow_exception(seen), engine::BackendFault);
+    EXPECT_NE(d.engine->failure(), nullptr);
+    EXPECT_EQ(d.engine->stats_snapshot().backend_failures, 1u);
+    EXPECT_EQ(d.engine->stats_snapshot().requests_lost, 2u);
+
+    // A backend fault is reported through the callback, not parked like a
+    // callback error: stop() must NOT rethrow it...
+    EXPECT_NO_THROW(d.engine->stop());
+    // ...and a failed engine refuses to serve again.
+    EXPECT_THROW(d.engine->run(), efld::Error);
+}
+
+TEST(ServeDriver, SubmitAfterFailureResolvesInsteadOfQueueingForever) {
+    ServeOptions o;
+    o.fault_spec = "step:1";
+    runtime::ServeDeployment d = deploy(o);
+    runtime::RequestHandle victim = d.engine->submit(
+        runtime::ServeRequest{.prompt = "v", .max_new_tokens = 2});
+    d.engine->run();
+    EXPECT_EQ(victim.get().finish_reason, FinishReason::kShardFailure);
+
+    // The engine is dead; a straggler submit still gets a resolving handle
+    // (kShardFailure), never a request parked on a queue nobody will drain.
+    runtime::RequestHandle late = d.engine->submit(
+        runtime::ServeRequest{.prompt = "late", .max_new_tokens = 2});
+    EXPECT_EQ(late.get().finish_reason, FinishReason::kShardFailure);
+    d.engine->stop();
+}
+
+TEST(ServeDriver, TakeUnfinishedIsForFailedEnginesOnly) {
+    runtime::ServeDeployment d = deploy();
+    EXPECT_THROW((void)d.engine->take_unfinished(), efld::Error);
+}
+
+TEST(ServeDriver, HandlesOutliveTheEngine) {
+    // Inert-handle guarantee: destruction resolves outstanding futures with
+    // kShardFailure (partial tokens preserved), and the surviving handle's
+    // cancel()/get() stay safe with the engine gone.
+    std::optional<runtime::RequestHandle> queued_h;
+    std::optional<runtime::RequestHandle> inflight_h;
+    {
+        ServeOptions o;
+        o.max_batch = 1;  // keeps the second request queued at teardown
+        runtime::ServeDeployment d = deploy(o);
+        inflight_h = d.engine->submit(
+            runtime::ServeRequest{.prompt = "mid", .max_new_tokens = 40});
+        queued_h = d.engine->submit(runtime::ServeRequest{
+            .prompt = "still queued at teardown", .max_new_tokens = 40});
+        d.engine->run();
+        while (d.engine->active_sessions() == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        d.engine->stop();  // leaves one active session + one queued request
+    }  // engine destroyed here
+    EXPECT_EQ(inflight_h->get().finish_reason, FinishReason::kShardFailure);
+    EXPECT_EQ(queued_h->get().finish_reason, FinishReason::kShardFailure);
+    EXPECT_TRUE(queued_h->get().tokens.empty());
+    inflight_h->cancel();  // writes shared state the handle co-owns; no UAF
+    EXPECT_TRUE(inflight_h->done());
 }
 
 }  // namespace
