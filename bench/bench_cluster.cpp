@@ -9,9 +9,10 @@
 // StepCost wall time for the host backend, modeled device time for accel).
 // That metric is what the scaling gate uses — it measures placement balance
 // and is independent of how many host cores this machine happens to have.
-// Measured wall-clock throughput and first-token waits (p50/p99) are
-// reported alongside: on a machine with >= shards cores the wall numbers
-// follow the isolated ones.
+// Measured wall-clock throughput and first-token waits (p50/p95/p99 from an
+// obs::LatencyHistogram — the same log-bucket summaries the serving layer
+// exports) are reported alongside: on a machine with >= shards cores the
+// wall numbers follow the isolated ones.
 //
 // Phase A — scaling: policies x shard counts {1, 2, 4} over a uniform
 // request load. Placement runs before the drivers start, so routing is a
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/latency_histogram.hpp"
 #include "runtime/serve.hpp"
 
 using namespace efld;
@@ -58,8 +60,7 @@ struct ScalingResult {
     std::size_t shards = 0;
     double wall_tok_s = 0.0;      // measured on this machine
     double isolated_tok_s = 0.0;  // tokens / slowest-shard busy time
-    double p50_wait_ms = 0.0;     // submit-burst start -> first token
-    double p99_wait_ms = 0.0;
+    obs::LatencySummary wait;     // submit-burst start -> first token (ns)
     std::vector<std::vector<std::int32_t>> tokens;  // parity fingerprint
 };
 
@@ -67,13 +68,7 @@ std::string prompt_of(std::size_t r) {
     return "cluster request " + std::to_string(r);
 }
 
-double percentile(std::vector<double> v, double p) {
-    if (v.empty()) return 0.0;
-    std::sort(v.begin(), v.end());
-    const std::size_t i =
-        std::min(v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
-    return v[i];
-}
+double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
 // Phase A runner: submit everything (deterministic placement over queue
 // state), then start the drivers and drain.
@@ -123,14 +118,17 @@ ScalingResult run_scaling(const model::QuantizedModelWeights& qw,
     res.isolated_tok_s = backend == engine::BackendKind::kAccel
                              ? cs.simulated_cluster_tokens_per_s()
                              : cs.isolated_tokens_per_s();
-    std::vector<double> wait_ms;
+    // First-token waits go through the same log-bucket histogram the serving
+    // layer exports — one summary type from bench tables to wire scrapes.
+    obs::LatencyHistogram wait_hist;
     const std::int64_t start_ns = t0.time_since_epoch().count();
     for (const auto& w : waits) {
         const std::int64_t f = w->first_ns.load();
-        if (f >= 0) wait_ms.push_back(static_cast<double>(f - start_ns) / 1e6);
+        if (f >= start_ns) {
+            wait_hist.record(static_cast<std::uint64_t>(f - start_ns));
+        }
     }
-    res.p50_wait_ms = percentile(wait_ms, 0.50);
-    res.p99_wait_ms = percentile(wait_ms, 0.99);
+    res.wait = obs::LatencySummary::from(wait_hist.snapshot());
     for (auto& h : handles) res.tokens.push_back(h.get().tokens);
     return res;
 }
@@ -271,10 +269,12 @@ int main(int argc, char** argv) {
                     cluster::PlacementPolicy::kLeastLoaded,
                     cluster::PlacementPolicy::kBestFitPages};
 
-    std::printf("%-14s | %6s | %12s | %12s | %9s | %9s\n", "policy", "shards",
-                "wall tok/s", "isol. tok/s", "p50 wait", "p99 wait");
+    std::printf("%-14s | %6s | %12s | %12s | %9s | %9s | %9s\n", "policy",
+                "shards", "wall tok/s", "isol. tok/s", "p50 wait", "p95 wait",
+                "p99 wait");
     std::printf(
-        "--------------------------------------------------------------------------\n");
+        "------------------------------------------------------------------------"
+        "--------------\n");
     std::vector<ScalingResult> scaling;
     bool parity = true;
     for (const cluster::PlacementPolicy policy : policies) {
@@ -282,9 +282,11 @@ int main(int argc, char** argv) {
             scaling.push_back(
                 run_scaling(qw, backend, policy, shards, requests, max_new));
             const ScalingResult& r = scaling.back();
-            std::printf("%-14s | %6zu | %12.1f | %12.1f | %7.1fms | %7.1fms\n",
-                        r.policy.c_str(), r.shards, r.wall_tok_s,
-                        r.isolated_tok_s, r.p50_wait_ms, r.p99_wait_ms);
+            std::printf(
+                "%-14s | %6zu | %12.1f | %12.1f | %7.1fms | %7.1fms | %7.1fms\n",
+                r.policy.c_str(), r.shards, r.wall_tok_s, r.isolated_tok_s,
+                ns_to_ms(r.wait.p50_ns), ns_to_ms(r.wait.p95_ns),
+                ns_to_ms(r.wait.p99_ns));
             if (r.tokens != baseline) parity = false;
         }
     }
@@ -360,8 +362,11 @@ int main(int argc, char** argv) {
             out << "    {\"policy\": \"" << r.policy << "\", \"shards\": "
                 << r.shards << ", \"wall_tok_s\": " << r.wall_tok_s
                 << ", \"isolated_tok_s\": " << r.isolated_tok_s
-                << ", \"p50_wait_ms\": " << r.p50_wait_ms
-                << ", \"p99_wait_ms\": " << r.p99_wait_ms << "}"
+                << ", \"latency\": {\"count\": " << r.wait.count
+                << ", \"p50_wait_ms\": " << ns_to_ms(r.wait.p50_ns)
+                << ", \"p95_wait_ms\": " << ns_to_ms(r.wait.p95_ns)
+                << ", \"p99_wait_ms\": " << ns_to_ms(r.wait.p99_ns)
+                << ", \"max_wait_ms\": " << ns_to_ms(r.wait.max_ns) << "}}"
                 << (i + 1 < scaling.size() ? "," : "") << "\n";
         }
         out << "  ],\n";

@@ -4,9 +4,10 @@
 // Decode is weight-bound — one full weight walk per token per stream — so a
 // single stream is capped by bandwidth / weight-bytes. The serve engine
 // amortizes each walk across every active session; this bench sweeps
-// max_batch {1, 2, 4, 8} over the same request load and reports tokens/s and
+// max_batch {1, 2, 4, 8} over the same request load and reports tokens/s,
 // weight-walks-per-token (1.0+ single-stream, → 1/batch when fully
-// overlapped).
+// overlapped), and time-to-first-token p50/p99 straight from the engine's
+// serve_ttft_ns histogram (obs/latency_histogram.hpp).
 //
 //   --backend host   (default) wall-clock throughput of the skinny-GEMM host
 //                    fast path.
@@ -33,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
 #include "runtime/serve.hpp"
 
 using namespace efld;
@@ -47,6 +49,9 @@ struct BatchResult {
     double occupancy = 0.0;
     std::size_t peak_batch = 0;
     std::size_t deferrals = 0;  // governor refusals (paging only)
+    // Time-to-first-token summary from the engine's own serve_ttft_ns
+    // histogram — the same numbers a kMetrics wire scrape would report.
+    obs::LatencySummary ttft;
     std::vector<std::vector<std::int32_t>> tokens;  // parity fingerprint
 };
 
@@ -75,6 +80,11 @@ BatchResult run_serve_opts(const model::QuantizedModelWeights& qw,
     res.occupancy = eng.stats().mean_batch_occupancy();
     res.peak_batch = eng.stats().peak_batch;
     res.deferrals = eng.stats().capacity_deferrals;
+    const obs::MetricsSnapshot snap = eng.metrics().snapshot();
+    const auto ttft_it = snap.histograms.find("serve_ttft_ns");
+    if (ttft_it != snap.histograms.end()) {
+        res.ttft = obs::LatencySummary::from(ttft_it->second);
+    }
     for (auto& f : futs) res.tokens.push_back(f.get().tokens);
     return res;
 }
@@ -197,9 +207,12 @@ int main(int argc, char** argv) {
     const model::QuantizedModelWeights qw =
         model::QuantizedModelWeights::quantize(fw, quant::GroupQuantConfig{});
 
-    std::printf("%-10s | %10s | %10s | %8s | %12s | %10s\n", "max_batch", "token/s",
-                "sim tok/s", "speedup", "walks/token", "occupancy");
-    std::printf("-------------------------------------------------------------------------\n");
+    std::printf("%-10s | %10s | %10s | %8s | %12s | %10s | %9s | %9s\n",
+                "max_batch", "token/s", "sim tok/s", "speedup", "walks/token",
+                "occupancy", "ttft p50", "ttft p99");
+    std::printf(
+        "----------------------------------------------------------------------"
+        "-----------------------------\n");
     std::vector<BatchResult> results;
     bool monotonic = true;
     bool parity = true;
@@ -209,9 +222,13 @@ int main(int argc, char** argv) {
     for (const std::size_t b : {1u, 2u, 4u, 8u}) {
         results.push_back(run_serve(qw, backend, b, requests, max_new, threads));
         const BatchResult& r = results.back();
-        std::printf("%-10zu | %10.2f | %10.2f | %7.2fx | %12.3f | %10.2f\n", r.max_batch,
-                    r.tok_s, r.sim_tok_s, metric(r) / metric(results.front()),
-                    r.walks_per_token, r.occupancy);
+        std::printf(
+            "%-10zu | %10.2f | %10.2f | %7.2fx | %12.3f | %10.2f | %7.2fms | "
+            "%7.2fms\n",
+            r.max_batch, r.tok_s, r.sim_tok_s, metric(r) / metric(results.front()),
+            r.walks_per_token, r.occupancy,
+            static_cast<double>(r.ttft.p50_ns) / 1e6,
+            static_cast<double>(r.ttft.p99_ns) / 1e6);
         if (results.size() >= 2 && metric(r) < metric(results[results.size() - 2])) {
             monotonic = false;
         }
@@ -282,8 +299,13 @@ int main(int argc, char** argv) {
             out << "    {\"max_batch\": " << r.max_batch << ", \"tok_s\": " << r.tok_s
                 << ", \"simulated_tok_s\": " << r.sim_tok_s
                 << ", \"weight_walks_per_token\": " << r.walks_per_token
-                << ", \"mean_batch_occupancy\": " << r.occupancy << "}"
-                << (i + 1 < results.size() ? "," : "") << "\n";
+                << ", \"mean_batch_occupancy\": " << r.occupancy
+                << ", \"latency\": {\"count\": " << r.ttft.count
+                << ", \"ttft_p50_ms\": " << static_cast<double>(r.ttft.p50_ns) / 1e6
+                << ", \"ttft_p95_ms\": " << static_cast<double>(r.ttft.p95_ns) / 1e6
+                << ", \"ttft_p99_ms\": " << static_cast<double>(r.ttft.p99_ns) / 1e6
+                << ", \"ttft_max_ms\": " << static_cast<double>(r.ttft.max_ns) / 1e6
+                << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
         }
         out << "  ]";
         if (paging) {

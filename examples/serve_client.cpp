@@ -4,6 +4,8 @@
 //
 //   $ ./serve_client --port 9177 --prompt "hello cluster" --tokens 16
 //   $ ./serve_client --port 9177 --count 8     # a burst of requests
+//   $ ./serve_client --port 9177 --metrics     # scrape Prometheus metrics
+//   $ ./serve_client --port 9177 --metrics-json
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +25,8 @@ int main(int argc, char** argv) {
     std::size_t tokens = 16;
     std::size_t count = 1;
     std::uint32_t deadline_ms = 0;
+    bool metrics = false;
+    wire::MetricsFormat metrics_format = wire::MetricsFormat::kPrometheus;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
             host = argv[++i];
@@ -36,10 +40,16 @@ int main(int argc, char** argv) {
             count = std::max<std::size_t>(1, std::stoul(argv[++i]));
         } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
             deadline_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            metrics = true;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            metrics = true;
+            metrics_format = wire::MetricsFormat::kJson;
         } else {
             std::fprintf(stderr,
                          "usage: %s --port P [--host H] [--prompt S] [--tokens N] "
-                         "[--count C] [--deadline-ms D]\n",
+                         "[--count C] [--deadline-ms D] "
+                         "[--metrics | --metrics-json]\n",
                          argv[0]);
             return 2;
         }
@@ -50,6 +60,11 @@ int main(int argc, char** argv) {
     }
 
     cluster::SocketClient client(host, port);
+    if (metrics) {
+        const std::string body = client.metrics(metrics_format);
+        std::fputs(body.c_str(), stdout);
+        return 0;
+    }
     for (std::size_t r = 0; r < count; ++r) {
         wire::WireRequest req;
         req.prompt = count > 1 ? prompt + " " + std::to_string(r) : prompt;

@@ -14,13 +14,20 @@
 //   --model M           micro | tiny (micro)
 //   --paging            per-shard KV page pools + governor admission
 //   --serve-seconds S   serve for S seconds instead of until stdin EOF
+//   --metrics-dump S    print the cluster's Prometheus snapshot every S
+//                       seconds while serving (same body a kMetrics wire
+//                       scrape returns)
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "cluster/socket_frontend.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/serve.hpp"
 
 using namespace efld;
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
     std::uint16_t port = 0;
     bool paging = false;
     long serve_seconds = -1;
+    long metrics_dump_seconds = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::max<std::size_t>(1, std::stoul(argv[++i]));
@@ -45,11 +53,13 @@ int main(int argc, char** argv) {
             paging = true;
         } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
             serve_seconds = std::stol(argv[++i]);
+        } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
+            metrics_dump_seconds = std::max(1L, std::stol(argv[++i]));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--shards N] [--policy round-robin|least-"
                          "loaded|best-fit] [--port P] [--model micro|tiny] "
-                         "[--paging] [--serve-seconds S]\n",
+                         "[--paging] [--serve-seconds S] [--metrics-dump S]\n",
                          argv[0]);
             return 2;
         }
@@ -76,12 +86,43 @@ int main(int argc, char** argv) {
                 cfg.name.c_str(), paging ? ", paging" : "");
     std::fflush(stdout);
 
+    // Periodic observability dump: the same Prometheus body a kMetrics wire
+    // scrape returns, printed on an interval. Interval waits go through a
+    // condition variable so shutdown never blocks on a sleeping dumper.
+    std::mutex dump_mu;
+    std::condition_variable dump_cv;
+    bool dump_stop = false;
+    std::thread dumper;
+    if (metrics_dump_seconds > 0) {
+        dumper = std::thread([&] {
+            std::unique_lock<std::mutex> lk(dump_mu);
+            while (!dump_cv.wait_for(lk,
+                                     std::chrono::seconds(metrics_dump_seconds),
+                                     [&] { return dump_stop; })) {
+                lk.unlock();
+                const std::string text =
+                    obs::to_prometheus(d.router->metrics_snapshot());
+                std::printf("--- metrics dump ---\n%s", text.c_str());
+                std::fflush(stdout);
+                lk.lock();
+            }
+        });
+    }
+
     if (serve_seconds >= 0) {
         std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
     } else {
         while (std::fgetc(stdin) != EOF) {}
     }
 
+    if (dumper.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lk(dump_mu);
+            dump_stop = true;
+        }
+        dump_cv.notify_one();
+        dumper.join();
+    }
     server.stop();
     d.router->drain();
     d.router->stop();

@@ -1,0 +1,85 @@
+#!/bin/sh
+# End-to-end metrics smoke gate: boot a serve_server, drive real generate
+# requests through serve_client, scrape the kMetrics wire endpoint, and
+# assert (1) the Prometheus body parses and (2) serve_requests_completed
+# matches the number of requests actually served.
+#
+#   scripts/metrics_smoke.sh [build_dir]     # default: ./build
+set -eu
+
+build=${1:-build}
+server="$build/examples/serve_server"
+client="$build/examples/serve_client"
+for bin in "$server" "$client"; do
+    if [ ! -x "$bin" ]; then
+        echo "metrics_smoke: missing $bin (build the examples first)" >&2
+        exit 2
+    fi
+done
+
+requests=5
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# Ephemeral port: the server prints the one it bound.
+"$server" --shards 2 --port 0 --serve-seconds 60 >"$workdir/server.out" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$workdir/server.out")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "metrics_smoke: server died during startup:" >&2
+        cat "$workdir/server.out" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "metrics_smoke: server never reported its port" >&2
+    exit 1
+fi
+echo "metrics_smoke: server up on port $port"
+
+"$client" --port "$port" --count "$requests" --tokens 4 >"$workdir/client.out"
+
+"$client" --port "$port" --metrics >"$workdir/metrics.prom"
+"$client" --port "$port" --metrics-json >"$workdir/metrics.json"
+
+# Prometheus validity: every sample line is "<name> <number>", every # line
+# is a TYPE comment. A malformed line fails the gate.
+awk '
+    /^#/ { if ($2 != "TYPE") { print "bad comment: " $0; bad = 1 }; next }
+    /^$/ { next }
+    NF != 2 || $2 !~ /^[0-9.eE+-]+$/ { print "bad sample: " $0; bad = 1 }
+    END { exit bad }
+' "$workdir/metrics.prom" || {
+    echo "metrics_smoke: Prometheus body failed to parse" >&2
+    exit 1
+}
+
+completed=$(awk '$1 == "serve_requests_completed" { print $2 }' \
+    "$workdir/metrics.prom")
+if [ "$completed" != "$requests" ]; then
+    echo "metrics_smoke: serve_requests_completed=$completed, want $requests" >&2
+    cat "$workdir/metrics.prom" >&2
+    exit 1
+fi
+
+# The same count must appear in the JSON body, and TTFT must have samples.
+grep -q "\"serve_requests_completed\":$requests" "$workdir/metrics.json" || {
+    echo "metrics_smoke: JSON body disagrees with Prometheus body" >&2
+    exit 1
+}
+ttft_count=$(awk '$1 == "serve_ttft_ns_count" { print $2 }' \
+    "$workdir/metrics.prom")
+if [ "$ttft_count" != "$requests" ]; then
+    echo "metrics_smoke: serve_ttft_ns_count=$ttft_count, want $requests" >&2
+    exit 1
+fi
+
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+echo "metrics_smoke: ok ($requests requests, counters match, body parses)"

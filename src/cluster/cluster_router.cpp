@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
+#include "obs/exposition.hpp"
 
 namespace efld::cluster {
 
@@ -69,6 +71,14 @@ ClusterRouter::ClusterRouter(const model::QuantizedModelWeights& weights,
     for (std::size_t i = 0; i < opts_.shards; ++i) {
         serve::ServeOptions shard_opts = opts_.shard;
         shard_opts.fault_spec = fault_spec_for(i);
+        // Shards share the cluster's trace ring and clock (whatever the
+        // caller put in opts_.shard — shared_ptr copies); the shard id tags
+        // each engine's trace events so cross-shard failover reads cleanly.
+        shard_opts.shard_id = static_cast<std::uint32_t>(i);
+        // Disjoint id namespaces (shard index in the top 16 bits): a request
+        // id identifies ONE request cluster-wide, which the shared trace
+        // ring and failover resubmission both depend on.
+        shard_opts.id_base = static_cast<std::uint64_t>(i) << 48;
         shards_.push_back(
             std::make_unique<serve::ServeEngine>(weights, shard_opts));
         wire_failure_callback(i);
@@ -95,6 +105,16 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
         shard_errors_[i] = e;
         ++shard_failures_;
     }
+    std::string why = "unknown fault";
+    if (e != nullptr) {
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception& ex) {
+            why = ex.what();
+        } catch (...) {
+        }
+    }
+    log_warn("shard ", i, " failed: ", why);
     // Harvest outside the lock (the engine marked itself failed before
     // invoking this callback, so nothing new lands on it). restart_shard()
     // cannot swap this slot underneath us: it joins the failed driver — the
@@ -107,6 +127,10 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
     // resubmit declines) is lost — resolved here so its handle still returns.
     const std::lock_guard<std::mutex> lock(place_mu_);
     for (serve::PendingRequest& req : displaced) {
+        // resubmit() consumes req on success — capture what the log needs
+        // before placement runs.
+        const std::uint64_t req_id = req.id;
+        const std::size_t resumed_tokens = req.resumed.size();
         const std::size_t demand =
             opts_.shard.paging
                 ? shards_[i]->governor()->predict_pages(req.prompt.size(),
@@ -130,10 +154,18 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
                 placed = shards_[j]->resubmit(req);
             }
         }
+        // LogScope tags these lines with the displaced request's id — the
+        // same id the trace ring carries, so a failover reads end-to-end
+        // across logs and trace dumps.
+        const LogScope scope(req_id);
         if (placed) {
             ++requests_failed_over_;
+            log_info("failed over request from shard ", i, " (",
+                     resumed_tokens, " tokens resumed)");
         } else {
             ++requests_lost_;
+            log_warn("request lost with shard ", i,
+                     ": no survivor could take it");
             resolve_lost_request(std::move(req), shards_[i]->tokenizer());
         }
     }
@@ -200,6 +232,15 @@ void ClusterRouter::restart_shard(std::size_t i) {
     // surviving shards keep serving through it.
     serve::ServeOptions shard_opts = opts_.shard;
     shard_opts.fault_spec.clear();  // the script killed the device, not its heirs
+    shard_opts.shard_id = static_cast<std::uint32_t>(i);
+    // Fresh id sub-namespace (restart generation in bits 32..47): the
+    // replacement must not reuse ids its dead predecessor already issued, or
+    // the shared trace ring would merge two requests' stories.
+    {
+        const std::lock_guard<std::mutex> lock(place_mu_);
+        shard_opts.id_base = (static_cast<std::uint64_t>(i) << 48) |
+                             (static_cast<std::uint64_t>(shard_restarts_ + 1) << 32);
+    }
     auto fresh = std::make_unique<serve::ServeEngine>(*weights_, shard_opts);
     // Quiesce the corpse. Its driver exited when the backend faulted; the
     // join also barriers against the failure handler still running on that
@@ -334,7 +375,43 @@ ClusterStats ClusterRouter::stats() const {
     cs.shard_restarts = shard_restarts_;
     cs.requests_failed_over = requests_failed_over_;
     cs.requests_lost = requests_lost_;
+    // Cluster percentiles: merge the shard HISTOGRAMS, then summarize — the
+    // only way p50/p95/p99 compose across shards.
+    obs::HistogramSnapshot queue_wait;
+    obs::HistogramSnapshot ttft;
+    obs::HistogramSnapshot e2e;
+    for (const auto& s : shards_) {
+        const obs::MetricsSnapshot m = s->metrics().snapshot();
+        if (auto it = m.histograms.find("serve_queue_wait_ns");
+            it != m.histograms.end()) {
+            queue_wait.merge(it->second);
+        }
+        if (auto it = m.histograms.find("serve_ttft_ns"); it != m.histograms.end()) {
+            ttft.merge(it->second);
+        }
+        if (auto it = m.histograms.find("serve_e2e_ns"); it != m.histograms.end()) {
+            e2e.merge(it->second);
+        }
+    }
+    cs.queue_wait = obs::LatencySummary::from(queue_wait);
+    cs.ttft = obs::LatencySummary::from(ttft);
+    cs.e2e = obs::LatencySummary::from(e2e);
     return cs;
+}
+
+obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    obs::MetricsSnapshot out;
+    for (const auto& s : shards_) out.merge(s->metrics_snapshot());
+    std::size_t healthy = 0;
+    for (const ShardHealth h : health_) healthy += h != ShardHealth::kFailed;
+    out.set_counter("cluster_shard_failures", shard_failures_);
+    out.set_counter("cluster_shard_restarts", shard_restarts_);
+    out.set_counter("cluster_requests_failed_over", requests_failed_over_);
+    out.set_counter("cluster_requests_lost", requests_lost_);
+    out.set_gauge("cluster_shards", static_cast<double>(shards_.size()));
+    out.set_gauge("cluster_healthy_shards", static_cast<double>(healthy));
+    return out;
 }
 
 }  // namespace efld::cluster

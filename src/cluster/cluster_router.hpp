@@ -57,6 +57,7 @@
 
 #include "cluster/placement.hpp"
 #include "model/weights.hpp"
+#include "obs/metrics_registry.hpp"
 #include "serve/serve_engine.hpp"
 
 namespace efld::cluster {
@@ -109,6 +110,13 @@ struct ClusterStats {
     std::size_t shard_restarts = 0;
     std::size_t requests_failed_over = 0;
     std::size_t requests_lost = 0;
+    // Cluster-wide latency digests, derived by merging every shard's latency
+    // HISTOGRAMS before summarizing (per-shard percentiles cannot be
+    // averaged; bucket merges can). Per-shard digests stay available in
+    // shards[i].queue_wait/ttft/e2e.
+    obs::LatencySummary queue_wait;
+    obs::LatencySummary ttft;
+    obs::LatencySummary e2e;
 
     [[nodiscard]] std::size_t healthy_shards() const noexcept {
         std::size_t n = 0;
@@ -258,6 +266,13 @@ public:
 
     // One load snapshot per shard, taken live (safe while drivers run).
     [[nodiscard]] ClusterStats stats() const;
+
+    // Cluster metrics for exposition (the kMetrics wire frame): every
+    // shard's metrics_snapshot() merged — counters and histogram buckets
+    // sum across shards — plus the router's own placement/failover/health
+    // series (cluster_shard_failures, cluster_requests_failed_over,
+    // cluster_healthy_shards, ...). Safe from any thread.
+    [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
     [[nodiscard]] std::size_t shard_count() const noexcept {
         return shards_.size();

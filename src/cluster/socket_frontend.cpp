@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/exposition.hpp"
 #include "serve/serve_types.hpp"
 
 namespace efld::cluster {
@@ -257,6 +258,23 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
         bool respond = true;
         try {
             const wire::WireRequest wreq = wire::decode_request(*frame);
+            if (wreq.kind == wire::RequestKind::kMetrics) {
+                // Metrics scrape: render the cluster snapshot and reply on
+                // this connection. Observability reads are not "requests
+                // served" — requests_served() keeps counting generate
+                // traffic only, so it stays comparable with the cluster's
+                // requests_completed.
+                const obs::MetricsSnapshot snap = router_.metrics_snapshot();
+                resp.status = wire::Status::kMetrics;
+                resp.metrics = wreq.metrics_format == wire::MetricsFormat::kJson
+                                   ? obs::to_json(snap)
+                                   : obs::to_prometheus(snap);
+                if (!write_frame(fd, wire::encode_response(resp),
+                                 deadline_in(opts_.io_timeout_ms))) {
+                    break;
+                }
+                continue;
+            }
             serve::Request req;
             req.prompt = wreq.prompt;
             req.max_new_tokens = wreq.max_new_tokens;
@@ -379,6 +397,17 @@ wire::WireResponse SocketClient::request(const wire::WireRequest& req) {
         throw Error("SocketClient: connection lost/timed out while waiting");
     }
     return wire::decode_response(*frame);
+}
+
+std::string SocketClient::metrics(wire::MetricsFormat format) {
+    wire::WireRequest req;
+    req.kind = wire::RequestKind::kMetrics;
+    req.metrics_format = format;
+    wire::WireResponse resp = request(req);
+    check(resp.status == wire::Status::kMetrics,
+          "SocketClient: server replied to a metrics request with a "
+          "non-metrics response");
+    return std::move(resp.metrics);
 }
 
 std::chrono::milliseconds SocketClient::backoff_delay(std::size_t attempt,

@@ -12,6 +12,11 @@
 //   error    — the request itself is unservable (empty prompt, context
 //              overflow, demand past every pool). The connection survives —
 //              a bad request is the client's problem, not the transport's.
+//   metrics  — the reply to a kind-1 (metrics) request: the cluster's
+//              merged metrics snapshot as Prometheus text or JSON
+//              (ClusterRouter::metrics_snapshot → obs exposition). Served
+//              inline on the same connection; scrapes interleave with
+//              generate traffic from other connections.
 //
 // Threading: one acceptor thread plus one handler thread per connection. A
 // handler blocks on its request's future, so concurrency across clients
@@ -87,6 +92,9 @@ public:
     [[nodiscard]] bool running() const noexcept {
         return running_.load(std::memory_order_acquire);
     }
+    // Generate-kind responses written (ok/rejected/error). Metrics scrapes
+    // are not counted — the counter stays comparable with the cluster's
+    // requests_completed.
     [[nodiscard]] std::size_t requests_served() const noexcept {
         return served_.load(std::memory_order_acquire);
     }
@@ -157,6 +165,12 @@ public:
     // Throws efld::Error when every attempt failed; returns the last
     // kRejected response when the budget ran out waiting on backpressure.
     [[nodiscard]] wire::WireResponse request_with_retry(const wire::WireRequest& req);
+
+    // Metrics scrape: one kMetrics round trip, returning the exposition body
+    // (Prometheus text by default, JSON on request). Throws efld::Error on
+    // transport failure or a non-metrics response.
+    [[nodiscard]] std::string metrics(
+        wire::MetricsFormat format = wire::MetricsFormat::kPrometheus);
 
     [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 

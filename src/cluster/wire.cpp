@@ -74,11 +74,19 @@ private:
 
 std::vector<std::uint8_t> encode_request(const WireRequest& req) {
     std::vector<std::uint8_t> out;
-    out.reserve(1 + 4 + 4 + 4 + req.prompt.size());
+    out.reserve(2 + 4 + 4 + 4 + req.prompt.size());
     put_u8(out, kVersion);
-    put_u32(out, req.max_new_tokens);
-    put_u32(out, req.deadline_ms);
-    put_bytes(out, req.prompt);
+    put_u8(out, static_cast<std::uint8_t>(req.kind));
+    switch (req.kind) {
+        case RequestKind::kGenerate:
+            put_u32(out, req.max_new_tokens);
+            put_u32(out, req.deadline_ms);
+            put_bytes(out, req.prompt);
+            break;
+        case RequestKind::kMetrics:
+            put_u8(out, static_cast<std::uint8_t>(req.metrics_format));
+            break;
+    }
     return out;
 }
 
@@ -86,9 +94,24 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
     Cursor c(payload);
     check(c.u8() == kVersion, "wire: unknown request version");
     WireRequest req;
-    req.max_new_tokens = c.u32();
-    req.deadline_ms = c.u32();
-    req.prompt = c.str();
+    const std::uint8_t kind = c.u8();
+    check(kind <= static_cast<std::uint8_t>(RequestKind::kMetrics),
+          "wire: unknown request kind");
+    req.kind = static_cast<RequestKind>(kind);
+    switch (req.kind) {
+        case RequestKind::kGenerate:
+            req.max_new_tokens = c.u32();
+            req.deadline_ms = c.u32();
+            req.prompt = c.str();
+            break;
+        case RequestKind::kMetrics: {
+            const std::uint8_t format = c.u8();
+            check(format <= static_cast<std::uint8_t>(MetricsFormat::kJson),
+                  "wire: unknown metrics format");
+            req.metrics_format = static_cast<MetricsFormat>(format);
+            break;
+        }
+    }
     c.finish();
     return req;
 }
@@ -115,6 +138,9 @@ std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
         case Status::kError:
             put_bytes(out, resp.error);
             break;
+        case Status::kMetrics:
+            put_bytes(out, resp.metrics);
+            break;
     }
     return out;
 }
@@ -124,7 +150,7 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
     check(c.u8() == kVersion, "wire: unknown response version");
     WireResponse resp;
     const std::uint8_t status = c.u8();
-    check(status <= static_cast<std::uint8_t>(Status::kError),
+    check(status <= static_cast<std::uint8_t>(Status::kMetrics),
           "wire: unknown response status");
     resp.status = static_cast<Status>(status);
     switch (resp.status) {
@@ -146,6 +172,9 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
             break;
         case Status::kError:
             resp.error = c.str();
+            break;
+        case Status::kMetrics:
+            resp.metrics = c.str();
             break;
     }
     c.finish();

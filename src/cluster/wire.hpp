@@ -2,9 +2,11 @@
 // little-endian fixed-width fields.
 //
 //   frame    := u32 payload_length, payload
-//   request  := u8 version(=1), u32 max_new_tokens, u32 deadline_ms,
-//               u32 prompt_length, prompt bytes
-//   response := u8 version(=1), u8 status, body
+//   request  := u8 version(=2), u8 kind, body
+//     kind 0 (generate) : u32 max_new_tokens, u32 deadline_ms,
+//                         u32 prompt_length, prompt bytes
+//     kind 1 (metrics)  : u8 format — 0 Prometheus text, 1 JSON
+//   response := u8 version(=2), u8 status, body
 //     status 0 (ok)       : u64 id, u8 finish_reason, u32 times_deferred,
 //                           u32 failovers, u32 token_count,
 //                           i32 tokens[token_count], u32 text_length,
@@ -14,9 +16,17 @@
 //     status 2 (error)    : u32 message_length, message bytes — the request
 //                           itself was unservable (empty prompt, context
 //                           overflow, demand past every pool)
+//     status 3 (metrics)  : u32 body_length, body bytes — the cluster metrics
+//                           snapshot in the requested format (the reply to a
+//                           kind-1 request; see obs/exposition.hpp)
 //
 // deadline_ms is relative to server receipt (0 = none) — clients and servers
 // share no clock. finish_reason transports serve::FinishReason's enum value.
+//
+// Version 2 added the request kind byte and the metrics frames; version-1
+// peers are not decoded (one embedded deployment upgrades client and server
+// together — a version byte mismatch is a configuration error, not a
+// negotiation).
 //
 // Encode/decode work on byte vectors, independent of any socket, so the
 // format round-trips in unit tests without a network. Decoders throw
@@ -32,17 +42,30 @@
 
 namespace efld::cluster::wire {
 
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 // Upper bound a frame reader enforces BEFORE allocating: a garbage length
 // prefix must not become a multi-gigabyte allocation.
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
-enum class Status : std::uint8_t { kOk = 0, kRejected = 1, kError = 2 };
+enum class Status : std::uint8_t {
+    kOk = 0,
+    kRejected = 1,
+    kError = 2,
+    kMetrics = 3,
+};
+
+enum class RequestKind : std::uint8_t { kGenerate = 0, kMetrics = 1 };
+
+enum class MetricsFormat : std::uint8_t { kPrometheus = 0, kJson = 1 };
 
 struct WireRequest {
+    RequestKind kind = RequestKind::kGenerate;
+    // kGenerate fields
     std::string prompt;
     std::uint32_t max_new_tokens = 0;
     std::uint32_t deadline_ms = 0;  // 0 = no deadline
+    // kMetrics field
+    MetricsFormat metrics_format = MetricsFormat::kPrometheus;
 };
 
 struct WireResponse {
@@ -58,6 +81,8 @@ struct WireResponse {
     std::uint32_t retry_ms = 0;
     // kError field
     std::string error;
+    // kMetrics field: the exposition body (Prometheus text or JSON)
+    std::string metrics;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& req);

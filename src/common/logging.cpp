@@ -1,14 +1,19 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 namespace efld {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+thread_local std::uint64_t t_request_id = 0;
 
 const char* level_name(LogLevel level) noexcept {
     switch (level) {
@@ -20,14 +25,46 @@ const char* level_name(LogLevel level) noexcept {
     }
     return "?";
 }
+
+// Monotonic seconds since the first log call — short enough to eyeball, and
+// differences line up with the nanosecond trace timestamps (same clock).
+double uptime_s() noexcept {
+    static const std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// 4-hex-digit thread tag: stable per thread, compact in the prefix.
+std::uint16_t thread_tag() noexcept {
+    return static_cast<std::uint16_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff);
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::uint64_t current_log_request() noexcept { return t_request_id; }
+
+LogScope::LogScope(std::uint64_t request_id) noexcept : saved_(t_request_id) {
+    t_request_id = request_id;
+}
+
+LogScope::~LogScope() { t_request_id = saved_; }
+
 void log_message(LogLevel level, const std::string& msg) {
+    char prefix[64];
+    if (t_request_id != 0) {
+        std::snprintf(prefix, sizeof(prefix), "[efld:%s +%.6f t:%04x req:%llu] ",
+                      level_name(level), uptime_s(), thread_tag(),
+                      static_cast<unsigned long long>(t_request_id));
+    } else {
+        std::snprintf(prefix, sizeof(prefix), "[efld:%s +%.6f t:%04x] ",
+                      level_name(level), uptime_s(), thread_tag());
+    }
     const std::scoped_lock lock(g_mutex);
-    std::cerr << "[efld:" << level_name(level) << "] " << msg << '\n';
+    std::cerr << prefix << msg << '\n';
 }
 
 }  // namespace efld

@@ -2,8 +2,17 @@
 //
 // The simulator is a library first; logging defaults to warnings-only so
 // benches and tests stay quiet, and examples can turn on info/debug.
+//
+// Every line carries a monotonic timestamp (seconds since process start) and
+// a short thread tag, so interleaved driver/handler/acceptor output is
+// orderable and attributable. A LogScope additionally tags lines with the
+// active request id — fault/failover log lines then correlate directly with
+// the obs::TraceRecorder events for the same request:
+//
+//   [efld:WARN +1.042305 t:3f21 req:17] shard 0 failed: ...
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -15,6 +24,23 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 void log_message(LogLevel level, const std::string& msg);
+
+// The request id log lines on this thread are tagged with (0 = none active).
+[[nodiscard]] std::uint64_t current_log_request() noexcept;
+
+// RAII request-id tag for the current thread's log lines. Nests: an inner
+// scope shadows the outer one and restores it on exit, so helpers can narrow
+// the tag without coordinating with their callers.
+class LogScope {
+public:
+    explicit LogScope(std::uint64_t request_id) noexcept;
+    ~LogScope();
+    LogScope(const LogScope&) = delete;
+    LogScope& operator=(const LogScope&) = delete;
+
+private:
+    std::uint64_t saved_;
+};
 
 namespace detail {
 template <typename... Args>

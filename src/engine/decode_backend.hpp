@@ -44,6 +44,15 @@ struct StepCost {
     double wall_ns = 0.0;       // host wall-clock inside decode_batch
     double simulated_ns = 0.0;  // modeled device time; 0 when not modeled
     double weight_walks = 0.0;  // streaming passes over the quantized weights
+    // Step-phase breakdown of simulated_ns, for backends whose cycle model
+    // prices phases separately (the accel twin's TokenTiming). The paper's
+    // roofline lives here: mem_bound is DDR-stream time (weights + KV),
+    // compute is exposed VPU time not hidden under the streams, overhead is
+    // the per-step fixed cost. Backends without a phase model leave zeros;
+    // the three phases sum to simulated_ns when modeled.
+    double sim_mem_bound_ns = 0.0;
+    double sim_compute_ns = 0.0;
+    double sim_overhead_ns = 0.0;
 };
 
 class DecodeBackend {

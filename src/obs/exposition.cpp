@@ -1,0 +1,116 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/latency_histogram.hpp"
+
+namespace efld::obs {
+
+namespace {
+
+void append_format(std::string& out, const char* fmt, ...) {
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// %g keeps integers clean ("3" not "3.000000") and floats compact.
+void append_double(std::string& out, double v) { append_format(out, "%g", v); }
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+    std::string out;
+    out.reserve(4096);
+    for (const auto& [name, v] : snapshot.counters) {
+        append_format(out, "# TYPE %s counter\n", name.c_str());
+        append_format(out, "%s %" PRIu64 "\n", name.c_str(), v);
+    }
+    for (const auto& [name, v] : snapshot.gauges) {
+        append_format(out, "# TYPE %s gauge\n", name.c_str());
+        append_format(out, "%s ", name.c_str());
+        append_double(out, v);
+        out.push_back('\n');
+    }
+    for (const auto& [name, h] : snapshot.histograms) {
+        append_format(out, "# TYPE %s histogram\n", name.c_str());
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (h.buckets[i] == 0) continue;
+            cumulative += h.buckets[i];
+            append_format(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                          name.c_str(), histogram_detail::bucket_upper(i), cumulative);
+        }
+        append_format(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(), h.count);
+        append_format(out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
+        append_format(out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+    }
+    return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+    std::string out = "{";
+    out += "\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : snapshot.counters) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_format(out, "\"%s\":%" PRIu64, name.c_str(), v);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : snapshot.gauges) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_format(out, "\"%s\":", name.c_str());
+        append_double(out, v);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : snapshot.histograms) {
+        if (!first) out.push_back(',');
+        first = false;
+        const LatencySummary s = LatencySummary::from(h);
+        append_format(out,
+                      "\"%s\":{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+                      ",\"min_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64
+                      ",\"mean_ns\":%" PRIu64 ",\"p50_ns\":%" PRIu64
+                      ",\"p95_ns\":%" PRIu64 ",\"p99_ns\":%" PRIu64 "}",
+                      name.c_str(), h.count, h.sum, h.min, h.max, s.mean_ns,
+                      s.p50_ns, s.p95_ns, s.p99_ns);
+    }
+    out += "}}";
+    return out;
+}
+
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+    std::map<std::string, double> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        // Split on the LAST space: label values may not contain spaces in
+        // our output, but this keeps the rule simple and robust.
+        const std::size_t sep = line.rfind(' ');
+        check(sep != std::string::npos && sep > 0 && sep + 1 < line.size(),
+              "parse_prometheus: malformed sample line: " + line);
+        const std::string name = line.substr(0, sep);
+        const std::string value = line.substr(sep + 1);
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        check(end != nullptr && *end == '\0',
+              "parse_prometheus: bad sample value: " + line);
+        out[name] = v;
+    }
+    return out;
+}
+
+}  // namespace efld::obs

@@ -1,0 +1,32 @@
+// Render a MetricsSnapshot for the wire: Prometheus text exposition format
+// and a JSON variant that additionally carries pre-computed percentiles.
+// parse_prometheus() is the inverse used by tests and the CI smoke gate to
+// assert the snapshot round-trips and counters match ClusterStats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace efld::obs {
+
+// Prometheus text format (version 0.0.4): one `# TYPE` line per metric,
+// histograms as cumulative `<name>_bucket{le="..."}` series (only non-empty
+// buckets plus the mandatory `+Inf`), `<name>_sum`, `<name>_count`. Values
+// are nanoseconds throughout; metric names carry the `_ns` suffix to say so.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {name:
+// {count, sum_ns, min_ns, max_ns, mean_ns, p50_ns, p95_ns, p99_ns}}}.
+// Percentiles are computed here so consumers need no bucket math.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+// Minimal parser for the exposition output above (not a general Prometheus
+// parser): returns sample name -> value for every non-comment line, with
+// label sets kept verbatim in the name (e.g. `x_bucket{le="+Inf"}`).
+// Throws efld::Error on lines that do not scan.
+[[nodiscard]] std::map<std::string, double> parse_prometheus(const std::string& text);
+
+}  // namespace efld::obs

@@ -1,0 +1,41 @@
+#include "obs/metrics_registry.hpp"
+
+namespace efld::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot s;
+    for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+    return s;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+    for (const auto& [name, v] : other.counters) counters[name] += v;
+    for (const auto& [name, v] : other.gauges) gauges[name] += v;
+    for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+}  // namespace efld::obs

@@ -1,0 +1,89 @@
+// Named metrics: counters, gauges, and latency histograms.
+//
+// Lock discipline: the registry mutex is taken only to register (get-or-
+// create) and to snapshot. Registration returns stable references — the
+// instruments live in node-stable unique_ptr slots — so hot paths hold a
+// `Counter&`/`LatencyHistogram&` resolved once at init and never touch the
+// mutex again. All instrument updates are single atomic RMWs.
+//
+// Snapshots are plain value types: merge() them across shards, then hand the
+// result to obs::to_prometheus / obs::to_json for exposition. Snapshots also
+// accept ad-hoc set_counter/set_gauge entries so callers can derive wire
+// counters from an authoritative source (e.g. ServeStats) at snapshot time
+// instead of double-booking them on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+
+namespace efld::obs {
+
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+struct MetricsSnapshot {
+    // Sorted maps so exposition output is deterministic.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    void set_counter(const std::string& name, std::uint64_t v) { counters[name] = v; }
+    void add_counter(const std::string& name, std::uint64_t v) { counters[name] += v; }
+    void set_gauge(const std::string& name, double v) { gauges[name] = v; }
+
+    // Cluster aggregation: counters and histograms add, gauges add too
+    // (shard gauges are occupancy-style quantities where the cluster value
+    // is the sum — queued requests, active sessions, committed pages).
+    void merge(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    // Get-or-create; returned references stay valid for the registry's
+    // lifetime.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LatencyHistogram& histogram(const std::string& name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace efld::obs

@@ -1,0 +1,77 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace efld::obs {
+
+const char* to_string(TraceEvent e) noexcept {
+    switch (e) {
+        case TraceEvent::kSubmitted: return "submitted";
+        case TraceEvent::kAdmitted: return "admitted";
+        case TraceEvent::kDeferred: return "deferred";
+        case TraceEvent::kPrefillDone: return "prefill_done";
+        case TraceEvent::kFirstToken: return "first_token";
+        case TraceEvent::kFailoverHarvest: return "failover_harvest";
+        case TraceEvent::kResubmitted: return "resubmitted";
+        case TraceEvent::kRetired: return "retired";
+    }
+    return "unknown";
+}
+
+void TraceRecorder::record(std::uint64_t request_id, std::uint32_t shard,
+                           TraceEvent event, std::uint64_t arg) {
+    TraceRecord r;
+    r.ts_ns = clock_->now_ns();
+    r.request_id = request_id;
+    r.shard = shard;
+    r.event = event;
+    r.arg = arg;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(r);
+    } else {
+        ring_[next_] = r;
+        next_ = (next_ + 1) % capacity_;
+        ++dropped_;
+    }
+}
+
+std::vector<TraceRecord> TraceRecorder::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    // next_ is the oldest element once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+std::vector<TraceRecord> TraceRecorder::for_request(std::uint64_t request_id) const {
+    std::vector<TraceRecord> all = snapshot();
+    std::vector<TraceRecord> out;
+    for (const TraceRecord& r : all) {
+        if (r.request_id == request_id) out.push_back(r);
+    }
+    return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::size_t TraceRecorder::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+void TraceRecorder::dump_jsonl(std::ostream& out) const {
+    for (const TraceRecord& r : snapshot()) {
+        out << "{\"ts_ns\":" << r.ts_ns << ",\"request\":" << r.request_id
+            << ",\"shard\":" << r.shard << ",\"event\":\"" << to_string(r.event)
+            << "\",\"arg\":" << r.arg << "}\n";
+    }
+}
+
+}  // namespace efld::obs

@@ -1,0 +1,87 @@
+// Per-request lifecycle tracing.
+//
+// A TraceRecorder is a bounded ring of timestamped events shared by every
+// shard of a cluster (ServeOptions::trace). Events follow a request through
+// its whole life — submitted → admitted/deferred → prefill-done →
+// first-token → failover-harvest/resubmit → retired — keyed by the request
+// id that RequestHandle and failover resubmission already carry, so one
+// request's story can be reconstructed even when it hops shards.
+//
+// The recorder is mutex-protected: events fire at control-plane rate (a few
+// per request, not per token), so a lock beats the complexity of a lock-free
+// ring. When full, the oldest events are overwritten and dropped() counts
+// what was lost — tracing must never stall serving.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace efld::obs {
+
+enum class TraceEvent : std::uint8_t {
+    kSubmitted = 0,       // entered the queue (arg: prompt tokens)
+    kAdmitted = 1,        // governor accepted; bound to a slot (arg: slot)
+    kDeferred = 2,        // popped but re-queued for capacity (arg: deferral count)
+    kPrefillDone = 3,     // last prompt token fed (arg: prompt tokens fed)
+    kFirstToken = 4,      // first generated token surfaced (arg: token id)
+    kFailoverHarvest = 5, // unfinished work harvested off a failed shard (arg: tokens done)
+    kResubmitted = 6,     // resumed on a healthy shard (arg: failover count)
+    kRetired = 7,         // finished (arg: FinishReason as integer)
+};
+
+[[nodiscard]] const char* to_string(TraceEvent e) noexcept;
+
+struct TraceRecord {
+    std::uint64_t ts_ns = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t shard = 0;
+    TraceEvent event = TraceEvent::kSubmitted;
+    std::uint64_t arg = 0;  // event-specific, see TraceEvent comments
+};
+
+class TraceRecorder {
+public:
+    explicit TraceRecorder(std::size_t capacity = 4096,
+                           const Clock* clock = nullptr)
+        : capacity_(capacity == 0 ? 1 : capacity),
+          clock_(clock ? clock : &steady_clock()) {
+        ring_.reserve(capacity_);
+    }
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    void record(std::uint64_t request_id, std::uint32_t shard, TraceEvent event,
+                std::uint64_t arg = 0);
+
+    // All retained events, oldest first.
+    [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+    // Retained events for one request, oldest first.
+    [[nodiscard]] std::vector<TraceRecord> for_request(std::uint64_t request_id) const;
+
+    // Events overwritten because the ring was full.
+    [[nodiscard]] std::uint64_t dropped() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    // One JSON object per line:
+    // {"ts_ns":..., "request":..., "shard":..., "event":"...", "arg":...}
+    void dump_jsonl(std::ostream& out) const;
+
+    [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+
+private:
+    const std::size_t capacity_;
+    const Clock* clock_;
+    mutable std::mutex mu_;
+    std::vector<TraceRecord> ring_;  // grows to capacity_, then wraps
+    std::size_t next_ = 0;           // overwrite cursor once full
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace efld::obs

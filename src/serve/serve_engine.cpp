@@ -155,11 +155,22 @@ void ServeEngine::init() {
     check(static_cast<std::uint64_t>(tokenizer_.vocab_size()) <=
               backend_->config().vocab_size,
           "ServeEngine: model vocab too small for the byte tokenizer");
+    clock_ = opts_.clock ? opts_.clock.get() : &obs::steady_clock();
+    next_id_.store(opts_.id_base + 1, std::memory_order_relaxed);
+    hist_queue_wait_ = &metrics_.histogram("serve_queue_wait_ns");
+    hist_ttft_ = &metrics_.histogram("serve_ttft_ns");
+    hist_intertoken_ = &metrics_.histogram("serve_intertoken_gap_ns");
+    hist_e2e_ = &metrics_.histogram("serve_e2e_ns");
     scheduler_ = make_scheduler(opts_.scheduler);
     slots_.resize(backend_->max_batch());
     feed_tokens_.reserve(slots_.size());
     feed_slots_.reserve(slots_.size());
     logits_.resize(slots_.size() * backend_->config().vocab_size);
+}
+
+void ServeEngine::trace(std::uint64_t request_id, obs::TraceEvent event,
+                        std::uint64_t arg) const {
+    if (opts_.trace) opts_.trace->record(request_id, opts_.shard_id, event, arg);
 }
 
 PendingRequest ServeEngine::make_pending(
@@ -183,6 +194,8 @@ PendingRequest ServeEngine::make_pending(
                   governor_->predict_pages(req.prompt.size(), max_new)),
               "ServeEngine: prompt + max_new demand exceeds the whole KV pool");
     }
+    req.submitted_ns = clock_->now_ns();
+    trace(req.id, obs::TraceEvent::kSubmitted, req.prompt.size());
     return req;
 }
 
@@ -208,6 +221,8 @@ void ServeEngine::resolve_unstarted(PendingRequest&& req, Retire why) {
     r.text = tokenizer_.decode(r.tokens);
     r.cancelled = why == Retire::kCancelled;
     r.hit_deadline = why == Retire::kDeadline;
+    trace(req.id, obs::TraceEvent::kRetired,
+          static_cast<std::uint64_t>(r.finish_reason));
     req.promise.set_value(std::move(r));
 }
 
@@ -270,6 +285,7 @@ void ServeEngine::admit() {
                     r.prompt.size(), r.max_new_tokens);
                 if (!governor_->try_admit(need)) {
                     ++r.times_deferred;
+                    trace(r.id, obs::TraceEvent::kDeferred, r.times_deferred);
                     return false;
                 }
                 committed = need;
@@ -315,7 +331,15 @@ void ServeEngine::admit() {
                   !slots_[slot].has_value(),
               "ServeEngine: backend slot bookkeeping diverged");
         slots_[slot].emplace(std::move(*out.req), opts_.sampler, slot);
-        slots_[slot]->committed_pages = committed;
+        SessionState& s = *slots_[slot];
+        s.committed_pages = committed;
+        s.admitted_ns = clock_->now_ns();
+        if (s.admitted_ns > s.submitted_ns) {
+            hist_queue_wait_->record(s.admitted_ns - s.submitted_ns);
+        } else {
+            hist_queue_wait_->record(0);
+        }
+        trace(s.id, obs::TraceEvent::kAdmitted, slot);
         n_active_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -334,6 +358,12 @@ void ServeEngine::retire(SessionState& s, Retire why) {
     r.cancelled = why == Retire::kCancelled;
     r.hit_deadline = why == Retire::kDeadline;
     const std::size_t committed = s.committed_pages;
+    const std::uint64_t now_ns = clock_->now_ns();
+    if (s.submitted_ns != 0) {
+        hist_e2e_->record(now_ns > s.submitted_ns ? now_ns - s.submitted_ns : 0);
+    }
+    trace(s.id, obs::TraceEvent::kRetired,
+          static_cast<std::uint64_t>(finish_reason_of(why)));
     s.promise.set_value(std::move(r));
     const std::size_t slot = s.slot;
     try {
@@ -393,6 +423,8 @@ void ServeEngine::resolve_lost(PendingRequest&& req) {
         ++stats_.requests_completed;
         ++stats_.requests_lost;
     }
+    trace(r.id, obs::TraceEvent::kRetired,
+          static_cast<std::uint64_t>(FinishReason::kShardFailure));
     try {
         req.promise.set_value(std::move(r));
     } catch (const std::future_error&) {
@@ -461,7 +493,9 @@ std::vector<PendingRequest> ServeEngine::take_unfinished() {
         req.control = std::move(s.control);
         req.times_deferred = s.times_deferred;
         req.failovers = s.failovers + 1;
+        req.submitted_ns = s.submitted_ns;
         req.promise = std::move(s.promise);
+        trace(req.id, obs::TraceEvent::kFailoverHarvest, req.resumed.size());
         out.push_back(std::move(req));
         slots_[slot].reset();
     }
@@ -470,12 +504,14 @@ std::vector<PendingRequest> ServeEngine::take_unfinished() {
     // then the still-queued backlog, all displaced once by this failure.
     for (PendingRequest& req : orphans_) {
         ++req.failovers;
+        trace(req.id, obs::TraceEvent::kFailoverHarvest, req.resumed.size());
         out.push_back(std::move(req));
     }
     orphans_.clear();
     for (PendingRequest& req :
          queue_.remove_if([](const PendingRequest&) { return true; })) {
         ++req.failovers;
+        trace(req.id, obs::TraceEvent::kFailoverHarvest, req.resumed.size());
         out.push_back(std::move(req));
     }
     return out;
@@ -492,11 +528,13 @@ bool ServeEngine::resubmit(PendingRequest& req) {
         return false;
     }
     const std::uint64_t id = req.id;
+    const std::size_t failover_count = req.failovers;
     if (!queue_.push(std::move(req))) return false;  // full: req left intact
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
         ++stats_.requests_resumed;
     }
+    trace(id, obs::TraceEvent::kResubmitted, failover_count);
     // Same failure race as submit(): once pushed, the request WILL resolve
     // here — pull it back ourselves if this engine just died, because the
     // failure sweep may already have run.
@@ -600,7 +638,14 @@ bool ServeEngine::step_locked() {
         stats_.peak_batch = std::max(stats_.peak_batch, feed_slots_.size());
         stats_.wall_ns += cost.wall_ns;
         stats_.simulated_ns += cost.simulated_ns;
+        stats_.sim_mem_bound_ns += cost.sim_mem_bound_ns;
+        stats_.sim_compute_ns += cost.sim_compute_ns;
+        stats_.sim_overhead_ns += cost.sim_overhead_ns;
     }
+    // One timestamp per step boundary: every latency observed this step
+    // (TTFT, inter-token gap) shares it, so gaps measure the step cadence
+    // without a clock call per lane.
+    const std::uint64_t step_ns = clock_->now_ns();
 
     // A throwing on_token callback must not corrupt the batch: every lane's
     // bookkeeping still completes, and the first exception is rethrown only
@@ -623,6 +668,9 @@ bool ServeEngine::step_locked() {
             } else {
                 ++step_prompt_tokens;
             }
+            if (s.prefix_fed == s.prefix_len()) {
+                trace(s.id, obs::TraceEvent::kPrefillDone, s.prefix_len());
+            }
         }
         if (!samplable) {
             // Mid-prefill: the logits row is unused — except that a row
@@ -640,6 +688,22 @@ bool ServeEngine::step_locked() {
         const std::int32_t next = s.sampler.sample(row);
         s.generated.push_back(next);
         ++step_generated_tokens;
+        // size() == 1 is the request's genuinely-first token: a failed-over
+        // session arrives with `generated` seeded by the resume record, so
+        // the survivor can never fire this again — exactly-once TTFT.
+        if (s.generated.size() == 1) {
+            if (s.submitted_ns != 0) {
+                hist_ttft_->record(step_ns > s.submitted_ns
+                                       ? step_ns - s.submitted_ns
+                                       : 0);
+            }
+            trace(s.id, obs::TraceEvent::kFirstToken,
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(next)));
+        } else if (s.last_token_ns != 0) {
+            hist_intertoken_->record(
+                step_ns > s.last_token_ns ? step_ns - s.last_token_ns : 0);
+        }
+        s.last_token_ns = step_ns;
         if (s.on_token) {
             try {
                 s.on_token(next, tokenizer_.decode_token(next));
@@ -785,7 +849,53 @@ ServeLoad ServeEngine::load() const {
     });
     l.queued = queued;
     l.queued_pages = queued_pages;
+    l.queue_wait = obs::LatencySummary::from(hist_queue_wait_->snapshot());
+    l.ttft = obs::LatencySummary::from(hist_ttft_->snapshot());
+    l.e2e = obs::LatencySummary::from(hist_e2e_->snapshot());
     return l;
+}
+
+obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
+    // Histograms come straight from the registry; counters and gauges are
+    // DERIVED from the load snapshot (whose counter block is the same
+    // stats_ that stats_snapshot()/ClusterStats report), so the exposed
+    // numbers can never drift from the engine's authoritative bookkeeping.
+    obs::MetricsSnapshot s = metrics_.snapshot();
+    const ServeLoad l = load();
+    s.set_counter("serve_steps", l.stats.steps);
+    s.set_counter("serve_prompt_tokens", l.stats.prompt_tokens);
+    s.set_counter("serve_generated_tokens", l.stats.generated_tokens);
+    s.set_counter("serve_replayed_tokens", l.stats.replayed_tokens);
+    s.set_counter("serve_requests_completed", l.stats.requests_completed);
+    s.set_counter("serve_requests_cancelled", l.stats.requests_cancelled);
+    s.set_counter("serve_requests_expired", l.stats.requests_expired);
+    s.set_counter("serve_requests_resumed", l.stats.requests_resumed);
+    s.set_counter("serve_requests_lost", l.stats.requests_lost);
+    s.set_counter("serve_capacity_deferrals", l.stats.capacity_deferrals);
+    s.set_counter("serve_queue_promotions", l.stats.queue_promotions);
+    s.set_counter("serve_backend_failures", l.stats.backend_failures);
+    s.set_counter("serve_wall_ns", static_cast<std::uint64_t>(l.stats.wall_ns));
+    s.set_counter("serve_simulated_ns",
+                  static_cast<std::uint64_t>(l.stats.simulated_ns));
+    s.set_counter("serve_sim_mem_bound_ns",
+                  static_cast<std::uint64_t>(l.stats.sim_mem_bound_ns));
+    s.set_counter("serve_sim_compute_ns",
+                  static_cast<std::uint64_t>(l.stats.sim_compute_ns));
+    s.set_counter("serve_sim_overhead_ns",
+                  static_cast<std::uint64_t>(l.stats.sim_overhead_ns));
+    s.set_gauge("serve_queued", static_cast<double>(l.queued));
+    s.set_gauge("serve_active_sessions", static_cast<double>(l.active));
+    s.set_gauge("serve_slots", static_cast<double>(l.slots));
+    s.set_gauge("serve_failed", l.failed ? 1.0 : 0.0);
+    s.set_gauge("serve_weight_walks", l.stats.weight_walks);
+    s.set_gauge("serve_peak_batch", static_cast<double>(l.stats.peak_batch));
+    if (l.paging) {
+        s.set_gauge("serve_committed_pages",
+                    static_cast<double>(l.committed_pages));
+        s.set_gauge("serve_queued_pages", static_cast<double>(l.queued_pages));
+        s.set_gauge("serve_total_pages", static_cast<double>(l.total_pages));
+    }
+    return s;
 }
 
 void ServeEngine::wait_until_idle() {

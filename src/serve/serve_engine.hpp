@@ -62,6 +62,9 @@
 #include "kvpool/capacity_governor.hpp"
 #include "model/sampler.hpp"
 #include "model/tokenizer.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/serve_types.hpp"
@@ -97,6 +100,20 @@ struct ServeOptions {
     // stall:K:MS | flaky:P:SEED). Empty = no injection. Tests and chaos
     // benches use this to spawn an engine guaranteed to die at step K.
     std::string fault_spec;
+    // Observability seams. `trace` is a lifecycle-event ring shared across a
+    // cluster's shards (null = tracing off); `clock` overrides the latency/
+    // trace timebase (null = process steady clock — tests inject a
+    // ManualClock); `shard_id` tags this engine's trace events and log lines
+    // (the cluster router assigns it).
+    std::shared_ptr<obs::TraceRecorder> trace;
+    std::shared_ptr<const obs::Clock> clock;
+    std::uint32_t shard_id = 0;
+    // Starting point for this engine's request ids (first id = id_base + 1).
+    // The cluster router gives every shard engine a disjoint namespace so a
+    // request id means ONE request cluster-wide — the shared trace ring and
+    // failover resubmission both key on it. 0 keeps the single-engine
+    // numbering (1, 2, ...).
+    std::uint64_t id_base = 0;
 };
 
 class ServeEngine {
@@ -179,6 +196,17 @@ public:
     // router's placement heuristics — and closing the window would mean
     // locking the whole admission path against readers.
     [[nodiscard]] ServeLoad load() const;
+    // Full metrics snapshot for exposition: the engine's latency histograms
+    // (serve_queue_wait_ns / serve_ttft_ns / serve_intertoken_gap_ns /
+    // serve_e2e_ns) plus counters DERIVED from the same ServeStats that
+    // stats_snapshot() reports and gauges from load() — so wire-exposed
+    // counters always match ClusterStats exactly, with zero extra hot-path
+    // bookkeeping. Safe from any thread.
+    [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+    // The engine's metric instruments (latency histograms live here).
+    [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+        return metrics_;
+    }
     [[nodiscard]] std::size_t active_sessions() const noexcept {
         return n_active_.load(std::memory_order_acquire);
     }
@@ -254,8 +282,21 @@ private:
     // tokens preserved) and counts it lost.
     void resolve_lost(PendingRequest&& req);
 
+    // Trace helper: no-op when ServeOptions::trace is null.
+    void trace(std::uint64_t request_id, obs::TraceEvent event,
+               std::uint64_t arg = 0) const;
+
     ServeOptions opts_;
     model::ByteTokenizer tokenizer_;
+    // Observability: the clock every latency/trace timestamp reads, the
+    // metric instruments, and hot-path handles to the four latency
+    // histograms (resolved once at init — record() is lock-free).
+    const obs::Clock* clock_ = nullptr;
+    obs::MetricsRegistry metrics_;
+    obs::LatencyHistogram* hist_queue_wait_ = nullptr;
+    obs::LatencyHistogram* hist_ttft_ = nullptr;
+    obs::LatencyHistogram* hist_intertoken_ = nullptr;
+    obs::LatencyHistogram* hist_e2e_ = nullptr;
     engine::BackendBundle bundle_;              // owns the backend (+ packed image)
     engine::DecodeBackend* backend_ = nullptr;  // = bundle_.backend.get()
     std::unique_ptr<Scheduler> scheduler_;

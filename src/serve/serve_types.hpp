@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
+
 namespace efld::serve {
 
 // Per-token streaming callback: the sampled token id and its decoded text
@@ -165,6 +167,10 @@ struct PendingRequest {
     std::shared_ptr<RequestControl> control;
     std::size_t times_deferred = 0;       // capacity-governor deferrals so far
     std::size_t failovers = 0;            // shard failures that displaced it
+    // Clock::now_ns() at original submission, preserved across failover
+    // harvest/resubmit so queue-wait/TTFT/e2e latencies span the request's
+    // whole life, not just its stay on the current shard.
+    std::uint64_t submitted_ns = 0;
     std::promise<ServeResult> promise;
 };
 
@@ -197,6 +203,13 @@ struct ServeStats {
     std::size_t replayed_tokens = 0;     // resumed tokens re-fed as prefill
     double wall_ns = 0.0;                // host time inside backend steps
     double simulated_ns = 0.0;           // modeled device time (accel backend)
+    // Simulated step-phase breakdown, accumulated from StepCost (accel
+    // backend only; the host backend reports no phase model, so these stay
+    // zero). mem_bound is DDR-stream time (the paper's roofline), compute is
+    // exposed VPU time not hidden under it, overhead is per-step fixed cost.
+    double sim_mem_bound_ns = 0.0;
+    double sim_compute_ns = 0.0;
+    double sim_overhead_ns = 0.0;
 
     [[nodiscard]] double weight_walks_per_token() const noexcept {
         return generated_tokens > 0
@@ -232,6 +245,13 @@ struct ServeLoad {
     std::size_t committed_pages = 0;  // governor ledger (0 without paging)
     std::size_t queued_pages = 0;     // worst-case demand still in the queue
     std::size_t total_pages = 0;      // pool size (0 without paging)
+    // Latency digests from the engine's metrics histograms (queue admission
+    // wait, time-to-first-token, end-to-end). Placement policies and the
+    // cluster's ClusterStats aggregation read these without touching the
+    // full bucket arrays.
+    obs::LatencySummary queue_wait;
+    obs::LatencySummary ttft;
+    obs::LatencySummary e2e;
 };
 
 }  // namespace efld::serve

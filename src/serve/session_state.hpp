@@ -42,6 +42,7 @@ struct SessionState {
           control(std::move(req.control)),
           times_deferred(req.times_deferred),
           failovers(req.failovers),
+          submitted_ns(req.submitted_ns),
           generated(std::move(req.resumed)),
           sampler(sampler_cfg),
           promise(std::move(req.promise)) {}
@@ -58,6 +59,13 @@ struct SessionState {
     std::size_t times_deferred = 0;      // governor deferrals while queued
     std::size_t failovers = 0;           // shard failures that displaced it
     std::size_t committed_pages = 0;     // governor commitment, released at retire
+    // Latency anchors (obs::Clock nanoseconds). submitted_ns survives
+    // failover with the request; admitted_ns/last_token_ns are per-admission
+    // (a failed-over session restarts its inter-token clock on the new
+    // shard, so cross-shard replay never pollutes the gap histogram).
+    std::uint64_t submitted_ns = 0;
+    std::uint64_t admitted_ns = 0;
+    std::uint64_t last_token_ns = 0;
     std::vector<std::int32_t> generated; // seeded with the resumed tokens
     model::Sampler sampler;              // fresh per request (seeded by config)
     std::promise<ServeResult> promise;

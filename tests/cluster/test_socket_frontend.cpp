@@ -4,11 +4,13 @@
 // connection alive.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/socket_frontend.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/serve.hpp"
 
 namespace efld::cluster {
@@ -149,6 +151,51 @@ TEST(SocketFrontend, UnservableRequestGetsErrorAndConnectionSurvives) {
         wire::WireRequest{.prompt = "still alive", .max_new_tokens = 3});
     EXPECT_EQ(ok.status, wire::Status::kOk);
     EXPECT_EQ(ok.tokens.size(), 3u);
+    server.stop();
+    d.router->stop();
+}
+
+TEST(SocketFrontend, MetricsScrapeMatchesClusterStats) {
+    ClusterOptions opts;
+    opts.shards = 2;
+    runtime::ClusterDeployment d = deploy(opts);
+    d.router->start();
+    SocketServer server(*d.router);
+    server.start();
+
+    SocketClient client("127.0.0.1", server.port());
+    constexpr std::size_t kRequests = 3;
+    for (std::size_t r = 0; r < kRequests; ++r) {
+        const wire::WireResponse resp = client.request(wire::WireRequest{
+            .prompt = "scrape " + std::to_string(r), .max_new_tokens = 4});
+        ASSERT_EQ(resp.status, wire::Status::kOk);
+    }
+    d.router->drain();
+
+    // Same connection, kind-1 frame: the Prometheus body must parse and its
+    // counters must agree with the router's own stats exactly.
+    const std::string body = client.metrics();
+    const std::map<std::string, double> parsed = obs::parse_prometheus(body);
+    const runtime::ClusterStats cs = d.router->stats();
+    EXPECT_DOUBLE_EQ(parsed.at("serve_requests_completed"),
+                     static_cast<double>(cs.requests_completed()));
+    EXPECT_DOUBLE_EQ(parsed.at("serve_generated_tokens"),
+                     static_cast<double>(cs.generated_tokens()));
+    EXPECT_DOUBLE_EQ(parsed.at("cluster_shards"), 2.0);
+    EXPECT_DOUBLE_EQ(parsed.at("cluster_healthy_shards"), 2.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_ttft_ns_count"),
+                     static_cast<double>(kRequests));
+
+    // The JSON format answers on the same connection too.
+    const std::string json = client.metrics(wire::MetricsFormat::kJson);
+    EXPECT_NE(json.find("\"serve_requests_completed\":3"), std::string::npos);
+
+    // Scrapes do not count as served generate requests, and the connection
+    // still serves generate traffic afterwards.
+    EXPECT_EQ(server.requests_served(), kRequests);
+    const wire::WireResponse after = client.request(
+        wire::WireRequest{.prompt = "after scrape", .max_new_tokens = 2});
+    EXPECT_EQ(after.status, wire::Status::kOk);
     server.stop();
     d.router->stop();
 }

@@ -67,6 +67,44 @@ TEST(Wire, ErrorResponseRoundTrip) {
     EXPECT_EQ(back.error, resp.error);
 }
 
+TEST(Wire, MetricsRequestRoundTrip) {
+    WireRequest req;
+    req.kind = RequestKind::kMetrics;
+    req.metrics_format = MetricsFormat::kJson;
+    const WireRequest back = decode_request(encode_request(req));
+    EXPECT_EQ(back.kind, RequestKind::kMetrics);
+    EXPECT_EQ(back.metrics_format, MetricsFormat::kJson);
+
+    req.metrics_format = MetricsFormat::kPrometheus;
+    EXPECT_EQ(decode_request(encode_request(req)).metrics_format,
+              MetricsFormat::kPrometheus);
+}
+
+TEST(Wire, MetricsResponseRoundTrip) {
+    WireResponse resp;
+    resp.status = Status::kMetrics;
+    resp.metrics = "# TYPE serve_steps counter\nserve_steps 42\n";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kMetrics);
+    EXPECT_EQ(back.metrics, resp.metrics);
+}
+
+TEST(Wire, UnknownRequestKindThrows) {
+    WireRequest req;
+    req.kind = RequestKind::kMetrics;
+    std::vector<std::uint8_t> bytes = encode_request(req);
+    bytes[1] = 9;  // kind byte
+    EXPECT_THROW((void)decode_request(bytes), efld::Error);
+}
+
+TEST(Wire, UnknownMetricsFormatThrows) {
+    WireRequest req;
+    req.kind = RequestKind::kMetrics;
+    std::vector<std::uint8_t> bytes = encode_request(req);
+    bytes[2] = 7;  // format byte
+    EXPECT_THROW((void)decode_request(bytes), efld::Error);
+}
+
 TEST(Wire, TruncatedPayloadThrows) {
     std::vector<std::uint8_t> bytes = encode_request(
         WireRequest{.prompt = "truncate me", .max_new_tokens = 4});

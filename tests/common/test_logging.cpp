@@ -40,5 +40,37 @@ TEST_F(LoggingTest, VariadicFormatting) {
     EXPECT_NE(out.find("INFO"), std::string::npos);
 }
 
+TEST_F(LoggingTest, PrefixCarriesUptimeAndThreadTag) {
+    set_log_level(LogLevel::kInfo);
+    testing::internal::CaptureStderr();
+    log_info("tagged line");
+    const std::string out = testing::internal::GetCapturedStderr();
+    // "[efld:INFO +<seconds> t:<tag>] " — monotonic uptime and a stable
+    // per-thread tag, so interleaved multi-shard logs stay attributable.
+    EXPECT_NE(out.find("[efld:INFO +"), std::string::npos);
+    EXPECT_NE(out.find(" t:"), std::string::npos);
+    // No request scope active: the req: field is omitted entirely.
+    EXPECT_EQ(out.find("req:"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogScopeTagsAndRestoresRequestId) {
+    set_log_level(LogLevel::kInfo);
+    EXPECT_EQ(current_log_request(), 0u);
+    {
+        const LogScope outer(17);
+        EXPECT_EQ(current_log_request(), 17u);
+        testing::internal::CaptureStderr();
+        log_info("inside scope");
+        EXPECT_NE(testing::internal::GetCapturedStderr().find("req:17"),
+                  std::string::npos);
+        {
+            const LogScope inner(99);  // nests: innermost id wins
+            EXPECT_EQ(current_log_request(), 99u);
+        }
+        EXPECT_EQ(current_log_request(), 17u);  // restored on exit
+    }
+    EXPECT_EQ(current_log_request(), 0u);
+}
+
 }  // namespace
 }  // namespace efld

@@ -1,0 +1,131 @@
+// MetricsRegistry: get-or-create stability, snapshot/merge semantics, and
+// the Prometheus exposition round trip the wire scrape gate relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace efld::obs {
+namespace {
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableRefs) {
+    MetricsRegistry reg;
+    Counter& c1 = reg.counter("requests");
+    Counter& c2 = reg.counter("requests");
+    EXPECT_EQ(&c1, &c2);
+    c1.add(3);
+    c2.add(4);
+    EXPECT_EQ(c1.value(), 7u);
+
+    Gauge& g = reg.gauge("occupancy");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("occupancy").value(), 2.5);
+
+    LatencyHistogram& h1 = reg.histogram("ttft");
+    LatencyHistogram& h2 = reg.histogram("ttft");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, SnapshotCapturesEverything) {
+    MetricsRegistry reg;
+    reg.counter("steps").add(10);
+    reg.gauge("queued").set(4.0);
+    reg.histogram("lat").record(100);
+    reg.histogram("lat").record(300);
+
+    const MetricsSnapshot s = reg.snapshot();
+    ASSERT_EQ(s.counters.count("steps"), 1u);
+    EXPECT_EQ(s.counters.at("steps"), 10u);
+    ASSERT_EQ(s.gauges.count("queued"), 1u);
+    EXPECT_DOUBLE_EQ(s.gauges.at("queued"), 4.0);
+    ASSERT_EQ(s.histograms.count("lat"), 1u);
+    EXPECT_EQ(s.histograms.at("lat").count, 2u);
+    EXPECT_EQ(s.histograms.at("lat").sum, 400u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+    MetricsRegistry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < 1000; ++i) {
+                reg.counter("shared").add(1);
+                reg.histogram("hist").record(static_cast<std::uint64_t>(i) + 1);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    const MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.counters.at("shared"), 4000u);
+    EXPECT_EQ(s.histograms.at("hist").count, 4000u);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersGaugesAndHistogramBuckets) {
+    MetricsRegistry a;
+    a.counter("requests").add(3);
+    a.gauge("active").set(2.0);
+    a.histogram("lat").record(10);
+
+    MetricsRegistry b;
+    b.counter("requests").add(4);
+    b.counter("only_b").add(1);
+    b.gauge("active").set(5.0);
+    b.histogram("lat").record(30);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counters.at("requests"), 7u);
+    EXPECT_EQ(merged.counters.at("only_b"), 1u);
+    // Shard gauges are occupancy quantities: the cluster value is the sum.
+    EXPECT_DOUBLE_EQ(merged.gauges.at("active"), 7.0);
+    EXPECT_EQ(merged.histograms.at("lat").count, 2u);
+    EXPECT_EQ(merged.histograms.at("lat").min, 10u);
+    EXPECT_EQ(merged.histograms.at("lat").max, 30u);
+}
+
+TEST(Exposition, PrometheusRoundTripsScalars) {
+    MetricsRegistry reg;
+    reg.counter("serve_steps").add(42);
+    reg.counter("serve_requests_completed").add(7);
+    reg.gauge("serve_queued").set(3.0);
+    for (std::uint64_t v = 1; v <= 100; ++v) {
+        reg.histogram("serve_ttft_ns").record(v * 1000);
+    }
+
+    const std::string text = to_prometheus(reg.snapshot());
+    const std::map<std::string, double> parsed = parse_prometheus(text);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_steps"), 42.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_requests_completed"), 7.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_queued"), 3.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_ttft_ns_count"), 100.0);
+    // The cumulative bucket series ends at +Inf == _count.
+    EXPECT_DOUBLE_EQ(parsed.at("serve_ttft_ns_bucket{le=\"+Inf\"}"), 100.0);
+}
+
+TEST(Exposition, ParseRejectsMalformedLines) {
+    EXPECT_THROW((void)parse_prometheus("metric_without_value\n"), efld::Error);
+    EXPECT_THROW((void)parse_prometheus("metric not_a_number\n"), efld::Error);
+    // Comments and blank lines are fine.
+    const std::map<std::string, double> parsed =
+        parse_prometheus("# TYPE x counter\n\nx 1\n");
+    EXPECT_DOUBLE_EQ(parsed.at("x"), 1.0);
+}
+
+TEST(Exposition, JsonContainsHistogramSummaries) {
+    MetricsRegistry reg;
+    reg.counter("serve_steps").add(5);
+    reg.histogram("serve_e2e_ns").record(1000);
+    const std::string json = to_json(reg.snapshot());
+    EXPECT_NE(json.find("\"serve_steps\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve_e2e_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efld::obs

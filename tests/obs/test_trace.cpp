@@ -1,0 +1,100 @@
+// TraceRecorder: deterministic timestamps through ManualClock, ring
+// overwrite accounting, per-request filtering, and the JSONL dump format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+
+namespace efld::obs {
+namespace {
+
+TEST(Trace, EventsKeepManualClockOrder) {
+    ManualClock clock;
+    TraceRecorder rec(16, &clock);
+    clock.set_ns(100);
+    rec.record(1, 0, TraceEvent::kSubmitted, 5);
+    clock.advance_ns(50);
+    rec.record(1, 0, TraceEvent::kAdmitted, 2);
+    clock.advance_ns(50);
+    rec.record(1, 0, TraceEvent::kFirstToken, 42);
+
+    const std::vector<TraceRecord> events = rec.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].ts_ns, 100u);
+    EXPECT_EQ(events[0].event, TraceEvent::kSubmitted);
+    EXPECT_EQ(events[0].arg, 5u);
+    EXPECT_EQ(events[1].ts_ns, 150u);
+    EXPECT_EQ(events[1].event, TraceEvent::kAdmitted);
+    EXPECT_EQ(events[2].ts_ns, 200u);
+    EXPECT_EQ(events[2].event, TraceEvent::kFirstToken);
+    EXPECT_EQ(events[2].arg, 42u);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDrops) {
+    ManualClock clock;
+    TraceRecorder rec(4, &clock);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        clock.set_ns(i);
+        rec.record(i, 0, TraceEvent::kSubmitted);
+    }
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    const std::vector<TraceRecord> events = rec.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first across the wrap point: requests 6, 7, 8, 9 survive.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(events[i].request_id, 6 + i);
+        EXPECT_EQ(events[i].ts_ns, 6 + i);
+    }
+}
+
+TEST(Trace, ForRequestFiltersAndKeepsOrder) {
+    ManualClock clock;
+    TraceRecorder rec(16, &clock);
+    rec.record(7, 0, TraceEvent::kSubmitted);
+    rec.record(8, 0, TraceEvent::kSubmitted);
+    rec.record(7, 0, TraceEvent::kAdmitted);
+    rec.record(7, 1, TraceEvent::kResubmitted, 1);
+    const std::vector<TraceRecord> events = rec.for_request(7);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].event, TraceEvent::kSubmitted);
+    EXPECT_EQ(events[1].event, TraceEvent::kAdmitted);
+    EXPECT_EQ(events[2].event, TraceEvent::kResubmitted);
+    EXPECT_EQ(events[2].shard, 1u);
+    EXPECT_TRUE(rec.for_request(99).empty());
+}
+
+TEST(Trace, EventNames) {
+    EXPECT_STREQ(to_string(TraceEvent::kSubmitted), "submitted");
+    EXPECT_STREQ(to_string(TraceEvent::kRetired), "retired");
+    EXPECT_STREQ(to_string(TraceEvent::kFailoverHarvest), "failover_harvest");
+}
+
+TEST(Trace, DumpJsonl) {
+    ManualClock clock;
+    clock.set_ns(42);
+    TraceRecorder rec(8, &clock);
+    rec.record(3, 1, TraceEvent::kFirstToken, 99);
+    std::ostringstream out;
+    rec.dump_jsonl(out);
+    EXPECT_EQ(out.str(),
+              "{\"ts_ns\":42,\"request\":3,\"shard\":1,"
+              "\"event\":\"first_token\",\"arg\":99}\n");
+}
+
+TEST(Trace, ZeroCapacityClampsToOne) {
+    TraceRecorder rec(0);
+    EXPECT_EQ(rec.capacity(), 1u);
+    rec.record(1, 0, TraceEvent::kSubmitted);
+    rec.record(2, 0, TraceEvent::kSubmitted);
+    EXPECT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.dropped(), 1u);
+    EXPECT_EQ(rec.snapshot()[0].request_id, 2u);
+}
+
+}  // namespace
+}  // namespace efld::obs
