@@ -9,10 +9,14 @@
 // --serve-seconds elapses — both scriptable shapes.
 //
 //   --shards N          engine shards, each with its own backend + driver (2)
-//   --policy P          round-robin | least-loaded | best-fit (least-loaded)
+//   --policy P          round-robin | least-loaded | best-fit |
+//                       prefix-affinity (least-loaded)
 //   --port P            TCP port; 0 picks an ephemeral one (0)
 //   --model M           micro | tiny (micro)
 //   --paging            per-shard KV page pools + governor admission
+//   --prefix-sharing    shared-prefix KV reuse across sessions (implies
+//                       --paging; pair with --policy prefix-affinity so
+//                       sharers co-locate)
 //   --serve-seconds S   serve for S seconds instead of until stdin EOF
 //   --metrics-dump S    print the cluster's Prometheus snapshot every S
 //                       seconds while serving (same body a kMetrics wire
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
     std::string model_name = "micro";
     std::uint16_t port = 0;
     bool paging = false;
+    bool prefix_sharing = false;
     long serve_seconds = -1;
     long metrics_dump_seconds = 0;
     for (int i = 1; i < argc; ++i) {
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
             model_name = argv[++i];
         } else if (std::strcmp(argv[i], "--paging") == 0) {
             paging = true;
+        } else if (std::strcmp(argv[i], "--prefix-sharing") == 0) {
+            prefix_sharing = true;
         } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
             serve_seconds = std::stol(argv[++i]);
         } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
@@ -58,8 +65,9 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--shards N] [--policy round-robin|least-"
-                         "loaded|best-fit] [--port P] [--model micro|tiny] "
-                         "[--paging] [--serve-seconds S] [--metrics-dump S]\n",
+                         "loaded|best-fit|prefix-affinity] [--port P] "
+                         "[--model micro|tiny] [--paging] [--prefix-sharing] "
+                         "[--serve-seconds S] [--metrics-dump S]\n",
                          argv[0]);
             return 2;
         }
@@ -69,7 +77,8 @@ int main(int argc, char** argv) {
     opts.shards = shards;
     opts.placement = cluster::placement_policy_from_string(policy);
     opts.shard.sampler.temperature = 0.0f;  // deterministic demo output
-    opts.shard.paging = paging;
+    opts.shard.paging = paging || prefix_sharing;  // sharing lives in the pool
+    opts.shard.prefix_sharing = prefix_sharing;
     const model::ModelConfig cfg = model_name == "tiny"
                                        ? model::ModelConfig::tiny_512()
                                        : model::ModelConfig::micro_256();
@@ -80,10 +89,11 @@ int main(int argc, char** argv) {
     sopts.port = port;
     cluster::SocketServer server(*d.router, sopts);
     server.start();
-    std::printf("listening on 127.0.0.1:%u (%zu shards, %s, %s%s)\n",
+    std::printf("listening on 127.0.0.1:%u (%zu shards, %s, %s%s%s)\n",
                 server.port(), shards,
                 std::string(d.router->placement_name()).c_str(),
-                cfg.name.c_str(), paging ? ", paging" : "");
+                cfg.name.c_str(), opts.shard.paging ? ", paging" : "",
+                prefix_sharing ? ", prefix-sharing" : "");
     std::fflush(stdout);
 
     // Periodic observability dump: the same Prometheus body a kMetrics wire

@@ -2,7 +2,9 @@
 # End-to-end metrics smoke gate: boot a serve_server, drive real generate
 # requests through serve_client, scrape the kMetrics wire endpoint, and
 # assert (1) the Prometheus body parses and (2) serve_requests_completed
-# matches the number of requests actually served.
+# matches the number of requests actually served. A second phase reruns the
+# loop with --prefix-sharing under shared-prefix traffic and asserts the
+# serve_prefix_* series tell that story (and are absent when sharing is off).
 #
 #   scripts/metrics_smoke.sh [build_dir]     # default: ./build
 set -eu
@@ -19,28 +21,35 @@ done
 
 requests=5
 workdir=$(mktemp -d)
+server_pid=""
 trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-# Ephemeral port: the server prints the one it bound.
-"$server" --shards 2 --port 0 --serve-seconds 60 >"$workdir/server.out" 2>&1 &
-server_pid=$!
-
-port=""
-for _ in $(seq 1 100); do
-    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-        "$workdir/server.out")
-    [ -n "$port" ] && break
-    kill -0 "$server_pid" 2>/dev/null || {
-        echo "metrics_smoke: server died during startup:" >&2
-        cat "$workdir/server.out" >&2
+# Boots $server with the given flags, writes its log to $workdir/$1.out, and
+# sets $port / $server_pid from the line it prints.
+boot_server() {
+    log="$workdir/$1.out"
+    shift
+    "$server" "$@" --port 0 --serve-seconds 60 >"$log" 2>&1 &
+    server_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+        [ -n "$port" ] && break
+        kill -0 "$server_pid" 2>/dev/null || {
+            echo "metrics_smoke: server died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "metrics_smoke: server never reported its port" >&2
         exit 1
-    }
-    sleep 0.1
-done
-if [ -z "$port" ]; then
-    echo "metrics_smoke: server never reported its port" >&2
-    exit 1
-fi
+    fi
+}
+
+# Ephemeral port: the server prints the one it bound.
+boot_server server --shards 2
 echo "metrics_smoke: server up on port $port"
 
 "$client" --port "$port" --count "$requests" --tokens 4 >"$workdir/client.out"
@@ -80,6 +89,50 @@ if [ "$ttft_count" != "$requests" ]; then
     exit 1
 fi
 
+# Sharing off, the serve_prefix_* series must be ABSENT — scrapes stay
+# honest about what the engine is doing.
+if grep -q "serve_prefix" "$workdir/metrics.prom"; then
+    echo "metrics_smoke: serve_prefix_* series present with sharing off" >&2
+    exit 1
+fi
+
 kill "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
-echo "metrics_smoke: ok ($requests requests, counters match, body parses)"
+
+# ---- shared-prefix phase: the serve_prefix_* series under real traffic ----
+# Two identical 47-char prompts (48 tokens: 3 aligned 16-token pages). The
+# first registers the chain; the second fully matches, adopts mid-page
+# (prompt-1 cap), and must copy-on-write its last page. Affinity routes it
+# onto the warm shard, so the cluster scrape shows the hit, the CoW, and the
+# pinned pages.
+boot_server server_prefix --shards 2 --policy prefix-affinity --prefix-sharing
+echo "metrics_smoke: prefix-sharing server up on port $port"
+
+sys_prompt=$(printf '%047d' 0 | tr '0' 's')
+"$client" --port "$port" --prompt "$sys_prompt" --tokens 4 >"$workdir/warm.out"
+"$client" --port "$port" --prompt "$sys_prompt" --tokens 4 >"$workdir/hit.out"
+"$client" --port "$port" --metrics >"$workdir/prefix.prom"
+
+prefix_metric() {
+    awk -v name="$1" '$1 == name { print $2 }' "$workdir/prefix.prom"
+}
+hits=$(prefix_metric serve_prefix_hits_total)
+covered=$(prefix_metric serve_prefix_covered_tokens_total)
+cows=$(prefix_metric serve_prefix_cow_copies_total)
+shared=$(prefix_metric serve_prefix_pages_shared)
+if [ "$hits" != "1" ] || [ "$covered" != "47" ] || [ "$cows" != "1" ]; then
+    echo "metrics_smoke: prefix counters wrong: hits=$hits covered=$covered" \
+        "cow=$cows (want 1/47/1)" >&2
+    cat "$workdir/prefix.prom" >&2
+    exit 1
+fi
+if [ -z "$shared" ] || [ "$(printf '%.0f' "$shared")" -lt 1 ]; then
+    echo "metrics_smoke: serve_prefix_pages_shared=$shared, want >= 1" >&2
+    cat "$workdir/prefix.prom" >&2
+    exit 1
+fi
+
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+echo "metrics_smoke: ok ($requests requests, counters match, body parses," \
+    "prefix series truthful)"

@@ -18,6 +18,10 @@ Accelerator::Accelerator(const PackedModel& m, AcceleratorOptions opts)
     if (opts_.max_batch == 0) {
         throw std::invalid_argument("AcceleratorOptions: max_batch must be >= 1");
     }
+    if (opts_.prefix_sharing && opts_.accel.kv_page_tokens == 0) {
+        throw std::invalid_argument(
+            "AcceleratorOptions: prefix_sharing requires accel.kv_page_tokens > 0");
+    }
     const std::size_t mb = opts_.max_batch;
     sz_fifo_.reserve(mb);
     for (std::size_t s = 0; s < mb; ++s) {
@@ -66,6 +70,118 @@ std::size_t Accelerator::kv_slot(std::size_t session, std::size_t layer,
             token) *
                model_->config.n_kv_heads +
            kv_head;
+}
+
+std::size_t Accelerator::page_entry_idx(std::size_t layer, std::size_t t,
+                                        std::size_t kv_head) const noexcept {
+    return (layer * opts_.accel.kv_page_tokens + t) * model_->config.n_kv_heads +
+           kv_head;
+}
+
+std::size_t Accelerator::matched_pages(
+    const std::vector<std::uint64_t>& hashes) const {
+    std::size_t n = 0;
+    while (n < hashes.size() &&
+           prefix_store_.find(hashes[n]) != prefix_store_.end()) {
+        ++n;
+    }
+    return n;
+}
+
+std::size_t Accelerator::probe_prefix(std::span<const std::int32_t> prompt,
+                                      std::size_t max_cover) const {
+    if (!opts_.prefix_sharing) return 0;
+    const std::size_t pt = opts_.accel.kv_page_tokens;
+    const std::vector<std::uint64_t> hashes = prefix::prefix_chain_hashes(prompt, pt);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    // Full pages only: the scale-zero FIFO replay leaves a prefilled state
+    // only at a flush boundary.
+    std::size_t covered = std::min(matched_pages(hashes) * pt, max_cover);
+    return covered - covered % pt;
+}
+
+std::size_t Accelerator::adopt_prefix(std::size_t slot,
+                                      std::span<const std::int32_t> prompt,
+                                      std::size_t max_cover) {
+    if (!opts_.prefix_sharing) return 0;
+    const model::ModelConfig& cfg = model_->config;
+    check(slot < opts_.max_batch, "adopt_prefix: slot out of range");
+    check(pos_[slot] == 0, "adopt_prefix: slot already holds history");
+    const std::size_t pt = opts_.accel.kv_page_tokens;
+    const std::vector<std::uint64_t> hashes = prefix::prefix_chain_hashes(prompt, pt);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    std::size_t covered = std::min(matched_pages(hashes) * pt, max_cover);
+    covered -= covered % pt;
+    if (covered == 0) return 0;
+    check(covered <= cfg.max_seq_len, "adopt_prefix: prefix exceeds context window");
+    // Deep-copy the stored entries into the slot's caches and replay their
+    // scale-zero packs through the slot's fresh FIFO in prefill order, so the
+    // slot state is bit-for-bit what re-prefilling the covered span produces.
+    for (std::size_t tok = 0; tok < covered; ++tok) {
+        const StoredPage& page = prefix_store_.at(hashes[tok / pt]);
+        for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+            for (std::size_t h = 0; h < cfg.n_kv_heads; ++h) {
+                const std::size_t e = page_entry_idx(layer, tok % pt, h);
+                k_cache_[kv_slot(slot, layer, tok, h)] = page.k[e];
+                v_cache_[kv_slot(slot, layer, tok, h)] = page.v[e];
+                (void)sz_fifo_[slot].append(layer, h, false, tok, page.k[e].params);
+                (void)sz_fifo_[slot].append(layer, h, true, tok, page.v[e].params);
+            }
+        }
+    }
+    pos_[slot] = covered;
+    prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+    prefix_covered_.fetch_add(covered, std::memory_order_relaxed);
+    return covered;
+}
+
+std::size_t Accelerator::register_prefix(std::size_t slot,
+                                         std::span<const std::int32_t> prompt,
+                                         std::size_t max_new_pages) {
+    if (!opts_.prefix_sharing || max_new_pages == 0) return 0;
+    const model::ModelConfig& cfg = model_->config;
+    check(slot < opts_.max_batch, "register_prefix: slot out of range");
+    const std::size_t pt = opts_.accel.kv_page_tokens;
+    const std::vector<std::uint64_t> hashes = prefix::prefix_chain_hashes(prompt, pt);
+    if (pos_[slot] < hashes.size() * pt) return 0;  // prefill incomplete
+    const std::size_t epp = cfg.n_layers * pt * cfg.n_kv_heads;
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    std::size_t added = 0;
+    for (std::size_t p = 0; p < hashes.size() && added < max_new_pages; ++p) {
+        if (prefix_store_.find(hashes[p]) != prefix_store_.end()) continue;
+        StoredPage page;
+        page.k.resize(epp);
+        page.v.resize(epp);
+        for (std::size_t t = 0; t < pt; ++t) {
+            const std::size_t tok = p * pt + t;
+            for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+                for (std::size_t h = 0; h < cfg.n_kv_heads; ++h) {
+                    const std::size_t e = page_entry_idx(layer, t, h);
+                    page.k[e] = k_cache_[kv_slot(slot, layer, tok, h)];
+                    page.v[e] = v_cache_[kv_slot(slot, layer, tok, h)];
+                }
+            }
+        }
+        prefix_store_.emplace(hashes[p], std::move(page));
+        ++added;
+    }
+    return added;
+}
+
+std::size_t Accelerator::drop_prefix_cache() {
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    const std::size_t n = prefix_store_.size();
+    prefix_store_.clear();
+    return n;
+}
+
+engine::PrefixSharingStats Accelerator::prefix_stats() const {
+    engine::PrefixSharingStats s;
+    s.hits = prefix_hits_.load(std::memory_order_relaxed);
+    s.covered_tokens = prefix_covered_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    s.pages_shared = prefix_store_.size();
+    return s;
 }
 
 void Accelerator::attention(std::size_t layer, std::size_t slot, std::vector<Fp16>& x) {

@@ -26,8 +26,11 @@
 // scaffolding, not modeled DDR.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "accel/cycle_model.hpp"
@@ -42,6 +45,7 @@
 #include "accel/vpu.hpp"
 #include "engine/decode_backend.hpp"
 #include "model/sampler.hpp"
+#include "prefix/prefix_index.hpp"
 #include "quant/scale_zero_pack.hpp"
 
 namespace efld::accel {
@@ -53,6 +57,15 @@ struct AcceleratorOptions {
     // Concurrent KV session slots (DecodeBackend). Each slot reserves its own
     // KV cache region, position, and scale-zero FIFO.
     std::size_t max_batch = 1;
+    // Prefix sharing (requires accel.kv_page_tokens > 0): keep a store of
+    // computed KV pages keyed by chained prompt-page hashes, so sessions whose
+    // prompts start with an already-served prefix skip that prefill. The twin
+    // has no shared physical pool — its in-memory caches are per-session
+    // simulation scaffolding — so adoption deep-copies the stored entries
+    // (bit-identical to re-prefilling) and there is no copy-on-write; the DDR
+    // capacity effect is modeled by the serving layer's governor, the latency
+    // effect by DecodeCycleModel::prefill_timing_shared. Off by default.
+    bool prefix_sharing = false;
 };
 
 struct StepResult {
@@ -110,15 +123,44 @@ public:
         return last_cost_;
     }
 
+    // Prefix sharing (active when opts_.prefix_sharing): the contract is in
+    // decode_backend.hpp. Full-page adoption only — the scale-zero FIFO is
+    // replayed from the stored packs, so covered spans must end on a page
+    // boundary to leave it exactly as a real prefill would.
+    [[nodiscard]] std::size_t probe_prefix(std::span<const std::int32_t> prompt,
+                                           std::size_t max_cover) const override;
+    std::size_t adopt_prefix(std::size_t slot, std::span<const std::int32_t> prompt,
+                             std::size_t max_cover) override;
+    std::size_t register_prefix(std::size_t slot,
+                                std::span<const std::int32_t> prompt,
+                                std::size_t max_new_pages) override;
+    std::size_t drop_prefix_cache() override;
+    [[nodiscard]] engine::PrefixSharingStats prefix_stats() const override;
+
 private:
     struct KvEntry {
         std::vector<std::uint8_t> codes;
         quant::KvQuantParams params;
     };
 
+    // One stored prefix page: deep copies of the KV entries for a full
+    // kv_page_tokens span, keyed in prefix_store_ by the span's chain hash.
+    // Entry (layer, t, head) lives at (layer * page_tokens + t) * n_kv_heads
+    // + head.
+    struct StoredPage {
+        std::vector<KvEntry> k;
+        std::vector<KvEntry> v;
+    };
+
     [[nodiscard]] std::size_t kv_slot(std::size_t session, std::size_t layer,
                                       std::size_t token,
                                       std::size_t kv_head) const noexcept;
+    [[nodiscard]] std::size_t page_entry_idx(std::size_t layer, std::size_t t,
+                                             std::size_t kv_head) const noexcept;
+    // Pages of `hashes` present front-to-back in prefix_store_ (first miss
+    // stops the walk). Caller holds prefix_mu_.
+    [[nodiscard]] std::size_t matched_pages(
+        const std::vector<std::uint64_t>& hashes) const;
     void reset_session(std::size_t slot);
 
     // One functional forward pass of `token` through session `slot`, writing
@@ -147,6 +189,13 @@ private:
     std::vector<KvEntry> v_cache_;
     std::vector<std::size_t> ctx_scratch_;   // batch pricing, no per-step alloc
     engine::StepCost last_cost_{};
+
+    // Prefix store + its lock (probe reads cross-thread while the driver
+    // adopts/registers); hit counters are relaxed atomics like the host's.
+    mutable std::mutex prefix_mu_;
+    std::unordered_map<std::uint64_t, StoredPage> prefix_store_;
+    std::atomic<std::size_t> prefix_hits_{0};
+    std::atomic<std::size_t> prefix_covered_{0};
 };
 
 }  // namespace efld::accel

@@ -24,6 +24,7 @@ ShardLoad to_shard_load(const serve::ServeLoad& l) {
     s.committed_pages = l.committed_pages;
     s.queued_pages = l.queued_pages;
     s.total_pages = l.total_pages;
+    s.shared_pages = l.shared_pages;
     return s;
 }
 
@@ -131,16 +132,19 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
         // before placement runs.
         const std::uint64_t req_id = req.id;
         const std::size_t resumed_tokens = req.resumed.size();
-        const std::size_t demand =
-            opts_.shard.paging
-                ? shards_[i]->governor()->predict_pages(req.prompt.size(),
-                                                        req.max_new_tokens)
-                : 0;
+        const std::size_t demand = predict_demand(req.prompt, req.max_new_tokens);
         std::vector<ShardLoad> loads;
         loads.reserve(shards_.size());
         for (std::size_t j = 0; j < shards_.size(); ++j) {
             loads.push_back(to_shard_load(shards_[j]->load()));
             if (health_[j] == ShardHealth::kFailed) loads.back().healthy = false;
+            // Probe survivors for this prompt's prefix so affinity placement
+            // can rebuild the displaced session from a shared index instead
+            // of re-prefilling from scratch.
+            if (opts_.shard.prefix_sharing && loads.back().healthy) {
+                loads.back().prefix_covered_tokens =
+                    shards_[j]->probe_prefix(req.prompt);
+            }
         }
         bool placed = false;
         const std::size_t pick = placement_->pick(loads, demand);
@@ -264,13 +268,12 @@ void ClusterRouter::restart_shard(std::size_t i) {
     if (running()) shards_[i]->run();
 }
 
-std::size_t ClusterRouter::predict_demand(const serve::Request& req) const {
+std::size_t ClusterRouter::predict_demand(std::span<const std::int32_t> prompt_tokens,
+                                          std::size_t max_new_tokens) const {
     if (!opts_.shard.paging) return 0;
     // Shards are uniformly configured, so any governor prices the demand.
     const kvpool::CapacityGovernor* g = shards_.front()->governor();
-    const std::size_t prompt_tokens =
-        shards_.front()->tokenizer().encode(req.prompt).size();
-    return g->predict_pages(prompt_tokens, req.max_new_tokens);
+    return g->predict_pages(prompt_tokens.size(), max_new_tokens);
 }
 
 ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
@@ -281,9 +284,11 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
     // higher-fanout router would keep incremental queued-demand counters and
     // thread the encoded prompt through.
     const std::lock_guard<std::mutex> lock(place_mu_);
-    // Under the lock: predict_demand reads shard 0's governor/tokenizer, and
-    // restart_shard may swap that very engine.
-    const std::size_t demand = predict_demand(req);
+    // Under the lock: the tokenizer and governor reads go through shard 0,
+    // and restart_shard may swap that very engine.
+    const std::vector<std::int32_t> prompt_tokens =
+        shards_.front()->tokenizer().encode(req.prompt);
+    const std::size_t demand = predict_demand(prompt_tokens, req.max_new_tokens);
     std::vector<ShardLoad> loads;
     loads.reserve(shards_.size());
     bool any_healthy = false;
@@ -297,6 +302,13 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
         any_healthy = any_healthy || loads.back().healthy;
         could_ever_fit = could_ever_fit ||
                          (loads.back().healthy && loads.back().ever_fits(demand));
+        // Per-decision affinity signal: how much of THIS prompt the shard's
+        // prefix index already holds. Healthy shards only — a dead shard's
+        // cached prefix is not capacity.
+        if (opts_.shard.prefix_sharing && loads.back().healthy) {
+            loads.back().prefix_covered_tokens =
+                shards_[i]->probe_prefix(prompt_tokens);
+        }
     }
     // A cluster with no surviving shard cannot promise retrying will help —
     // that is an outage, not backpressure.

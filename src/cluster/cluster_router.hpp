@@ -12,8 +12,8 @@
 //         + serve::ServeEngine::run() (own background driver thread)
 //
 // The router owns the shards and routes serve::Requests through a pluggable
-// Placement policy (round-robin, least-loaded, best-fit-by-pages — see
-// placement.hpp). Everything downstream of placement is the single-engine
+// Placement policy (round-robin, least-loaded, best-fit-by-pages,
+// prefix-affinity — see placement.hpp). Everything downstream of placement is the single-engine
 // serve path: per-request streaming callbacks, cancellation, deadlines, and
 // governor admission all work unchanged, and a request's tokens are
 // bit-for-bit identical to a solo run whichever shard it lands on (sessions
@@ -48,9 +48,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -287,9 +289,11 @@ public:
     }
 
 private:
-    // Worst-case page demand of a request on any shard (uniform shard
-    // configuration), 0 without paging.
-    [[nodiscard]] std::size_t predict_demand(const serve::Request& req) const;
+    // Worst-case page demand of a tokenized prompt on any shard (uniform
+    // shard configuration), 0 without paging.
+    [[nodiscard]] std::size_t predict_demand(
+        std::span<const std::int32_t> prompt_tokens,
+        std::size_t max_new_tokens) const;
     // Failure-callback body for shard i: marks it kFailed (idempotent),
     // harvests its unfinished requests, and fails them over to survivors.
     // Runs on the failed shard's driver thread.

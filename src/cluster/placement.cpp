@@ -52,43 +52,74 @@ public:
     std::string_view name() const noexcept override { return "least-loaded"; }
 };
 
+// Tightest headroom that still fits: minimize free_pages - demand.
+// Non-paging shards carry no headroom signal, so a cluster without
+// governors falls through to least-loaded below.
+std::size_t best_fit_pick(std::span<const ShardLoad> shards, std::size_t demand) {
+    std::size_t best = kNoShard;
+    std::size_t best_slack = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardLoad& s = shards[i];
+        if (!eligible(s, demand) || !s.paging) continue;
+        if (s.free_pages() < demand) continue;
+        const std::size_t slack = s.free_pages() - demand;
+        if (slack < best_slack) {
+            best = i;
+            best_slack = slack;
+        }
+    }
+    if (best != kNoShard) return best;
+    // Nothing fits right now (or nothing pages): the request will queue
+    // and defer wherever it lands, so land it where capacity frees
+    // soonest — the most free pages, in-flight count breaking ties.
+    std::size_t fallback = kNoShard;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardLoad& s = shards[i];
+        if (!eligible(s, demand) || !s.paging) continue;
+        if (fallback == kNoShard || s.free_pages() > shards[fallback].free_pages() ||
+            (s.free_pages() == shards[fallback].free_pages() &&
+             s.inflight() < shards[fallback].inflight())) {
+            fallback = i;
+        }
+    }
+    if (fallback != kNoShard) return fallback;
+    return least_loaded_pick(shards, demand);
+}
+
 class BestFitPagesPlacement final : public Placement {
 public:
     std::size_t pick(std::span<const ShardLoad> shards,
                      std::size_t demand) override {
-        // Tightest headroom that still fits: minimize free_pages - demand.
-        // Non-paging shards carry no headroom signal, so a cluster without
-        // governors falls through to least-loaded below.
+        return best_fit_pick(shards, demand);
+    }
+    std::string_view name() const noexcept override { return "best-fit"; }
+};
+
+class PrefixAffinityPlacement final : public Placement {
+public:
+    std::size_t pick(std::span<const ShardLoad> shards,
+                     std::size_t demand) override {
+        // Most covered prompt tokens wins — a shard already holding this
+        // prefix's KV pages serves the request for its unique pages only.
+        // Ties break toward the tighter best-fit slack, then the lower
+        // index, so identical snapshots place identically.
         std::size_t best = kNoShard;
-        std::size_t best_slack = std::numeric_limits<std::size_t>::max();
         for (std::size_t i = 0; i < shards.size(); ++i) {
             const ShardLoad& s = shards[i];
-            if (!eligible(s, demand) || !s.paging) continue;
-            if (s.free_pages() < demand) continue;
-            const std::size_t slack = s.free_pages() - demand;
-            if (slack < best_slack) {
+            if (!eligible(s, demand) || s.prefix_covered_tokens == 0) continue;
+            if (best == kNoShard ||
+                s.prefix_covered_tokens > shards[best].prefix_covered_tokens ||
+                (s.prefix_covered_tokens == shards[best].prefix_covered_tokens &&
+                 s.free_pages() < shards[best].free_pages())) {
                 best = i;
-                best_slack = slack;
             }
         }
         if (best != kNoShard) return best;
-        // Nothing fits right now (or nothing pages): the request will queue
-        // and defer wherever it lands, so land it where capacity frees
-        // soonest — the most free pages, in-flight count breaking ties.
-        std::size_t fallback = kNoShard;
-        for (std::size_t i = 0; i < shards.size(); ++i) {
-            const ShardLoad& s = shards[i];
-            if (!eligible(s, demand) || !s.paging) continue;
-            if (fallback == kNoShard || s.free_pages() > shards[fallback].free_pages() ||
-                (s.free_pages() == shards[fallback].free_pages() &&
-                 s.inflight() < shards[fallback].inflight())) {
-                fallback = i;
-            }
-        }
-        if (fallback != kNoShard) return fallback;
-        return least_loaded_pick(shards, demand);
+        // No shard has seen this prefix: place by capacity as best-fit does
+        // (the landing shard registers the prefix and future sharers stick).
+        return best_fit_pick(shards, demand);
     }
-    std::string_view name() const noexcept override { return "best-fit"; }
+    std::string_view name() const noexcept override { return "prefix-affinity"; }
 };
 
 }  // namespace
@@ -98,6 +129,7 @@ std::string_view to_string(PlacementPolicy p) noexcept {
         case PlacementPolicy::kRoundRobin: return "round-robin";
         case PlacementPolicy::kLeastLoaded: return "least-loaded";
         case PlacementPolicy::kBestFitPages: return "best-fit";
+        case PlacementPolicy::kPrefixAffinity: return "prefix-affinity";
     }
     return "least-loaded";
 }
@@ -110,8 +142,12 @@ PlacementPolicy placement_policy_from_string(std::string_view name) {
     if (name == "best-fit" || name == "bestfit") {
         return PlacementPolicy::kBestFitPages;
     }
-    throw std::invalid_argument("unknown placement policy: " + std::string(name) +
-                                " (round-robin | least-loaded | best-fit)");
+    if (name == "prefix-affinity" || name == "prefix") {
+        return PlacementPolicy::kPrefixAffinity;
+    }
+    throw std::invalid_argument(
+        "unknown placement policy: " + std::string(name) +
+        " (round-robin | least-loaded | best-fit | prefix-affinity)");
 }
 
 std::unique_ptr<Placement> make_placement(PlacementPolicy p) {
@@ -122,6 +158,8 @@ std::unique_ptr<Placement> make_placement(PlacementPolicy p) {
             return std::make_unique<LeastLoadedPlacement>();
         case PlacementPolicy::kBestFitPages:
             return std::make_unique<BestFitPagesPlacement>();
+        case PlacementPolicy::kPrefixAffinity:
+            return std::make_unique<PrefixAffinityPlacement>();
     }
     throw std::invalid_argument("make_placement: unknown policy");
 }

@@ -21,6 +21,13 @@
 //                  preserving whole-pool headroom elsewhere for big requests
 //                  — maximum capacity utilization in the paper's sense.
 //                  Without paging it degenerates to least-loaded.
+//   prefix-affinity — route to the eligible shard whose prefix index covers
+//                  the most of this prompt (the router fills
+//                  prefix_covered_tokens by probing each shard), so sessions
+//                  sharing a system prompt pile onto the shard that already
+//                  holds its KV pages — sharing only pays when sharers
+//                  co-locate. Ties, and prompts no shard has seen, fall back
+//                  to the full best-fit logic.
 //
 // Every policy shares one eligibility rule: a shard whose backend has
 // faulted, whose queue is full, or whose pool could never hold the demand,
@@ -51,6 +58,11 @@ struct ShardLoad {
     std::size_t committed_pages = 0;  // governor ledger (admitted sessions)
     std::size_t queued_pages = 0;     // worst-case demand waiting in the queue
     std::size_t total_pages = 0;      // shard pool size
+    std::size_t shared_pages = 0;     // prefix-index pins (charged once)
+    // Tokens of THIS request's prompt the shard's prefix index would cover —
+    // per-decision, filled by the router's probe (0 when sharing is off or
+    // the shard has not served this prefix).
+    std::size_t prefix_covered_tokens = 0;
 
     [[nodiscard]] std::size_t inflight() const noexcept { return queued + active; }
     [[nodiscard]] bool queue_full() const noexcept {
@@ -67,11 +79,16 @@ struct ShardLoad {
     }
 };
 
-enum class PlacementPolicy { kRoundRobin, kLeastLoaded, kBestFitPages };
+enum class PlacementPolicy {
+    kRoundRobin,
+    kLeastLoaded,
+    kBestFitPages,
+    kPrefixAffinity,
+};
 
 [[nodiscard]] std::string_view to_string(PlacementPolicy p) noexcept;
-// Parses "round-robin" / "least-loaded" / "best-fit"; throws
-// std::invalid_argument otherwise.
+// Parses "round-robin" / "least-loaded" / "best-fit" / "prefix-affinity";
+// throws std::invalid_argument otherwise.
 [[nodiscard]] PlacementPolicy placement_policy_from_string(std::string_view name);
 
 class Placement {

@@ -36,6 +36,7 @@ BackendBundle make_backend(BackendKind kind, const model::QuantizedModelWeights&
         // The accel twin prices paged KV in the cycle model (per-page bursts);
         // its functional KV storage is host-side scaffolding either way.
         accel_opts.accel.kv_page_tokens = host_opts.kv_page_tokens;
+        accel_opts.prefix_sharing = host_opts.prefix_sharing;
         b.backend = std::make_unique<accel::Accelerator>(*b.packed, accel_opts);
     }
     if (!plan.empty()) {

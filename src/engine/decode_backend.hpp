@@ -55,6 +55,17 @@ struct StepCost {
     double sim_overhead_ns = 0.0;
 };
 
+// Counters a prefix-sharing backend exposes (zeros when the backend does not
+// share). hits/covered_tokens count adoptions; pages_shared is the pages the
+// backend's index currently pins resident; cow_copies counts private copies
+// made when a session diverged into a shared page.
+struct PrefixSharingStats {
+    std::size_t hits = 0;
+    std::size_t covered_tokens = 0;
+    std::size_t pages_shared = 0;
+    std::size_t cow_copies = 0;
+};
+
 class DecodeBackend {
 public:
     // Sentinel returned by reserve_slot when every slot is taken.
@@ -87,6 +98,51 @@ public:
 
     // Cost report for the most recent decode_batch call.
     [[nodiscard]] virtual StepCost last_step_cost() const noexcept = 0;
+
+    // ---- prefix sharing (optional; default: no sharing) ----
+    //
+    // A sharing backend keeps a PrefixIndex of full prompt pages it has
+    // already computed KV for. The serving layer probes before admission
+    // (capacity math), adopts after reserving a slot (skipping prefill for
+    // covered tokens), and registers a prompt's pages once its prefill
+    // completes. Tokens covered by adoption are NEVER fed through
+    // decode_batch — the slot's position starts past them — and gathering
+    // from adopted pages is bit-for-bit what re-prefilling would store, so
+    // generated tokens stay identical to a no-sharing run.
+
+    // Tokens of `prompt` an adoption would cover right now, capped at
+    // `max_cover` (full covered pages, plus up to a partial last page).
+    // Pure lookup; no state changes.
+    [[nodiscard]] virtual std::size_t probe_prefix(
+        std::span<const std::int32_t> /*prompt*/,
+        std::size_t /*max_cover*/) const {
+        return 0;
+    }
+
+    // Maps the longest indexed prefix of `prompt` into the freshly reserved
+    // `slot` (position advances past the covered tokens). Returns the tokens
+    // covered, <= max_cover; 0 when nothing matched or sharing is off.
+    virtual std::size_t adopt_prefix(std::size_t /*slot*/,
+                                     std::span<const std::int32_t> /*prompt*/,
+                                     std::size_t /*max_cover*/) {
+        return 0;
+    }
+
+    // Indexes the full pages of `prompt` now resident in `slot` (its prefill
+    // just completed), pinning at most `max_new_pages` additional pages.
+    // Returns how many pages the index newly pinned.
+    virtual std::size_t register_prefix(std::size_t /*slot*/,
+                                        std::span<const std::int32_t> /*prompt*/,
+                                        std::size_t /*max_new_pages*/) {
+        return 0;
+    }
+
+    // Drops the whole prefix index, releasing its page pins. Returns pages
+    // released — the serving layer's escape hatch when pinned prefixes starve
+    // an otherwise-admissible request.
+    virtual std::size_t drop_prefix_cache() { return 0; }
+
+    [[nodiscard]] virtual PrefixSharingStats prefix_stats() const { return {}; }
 };
 
 // Shared reserve/release bookkeeping for backends: which of the max_batch

@@ -112,6 +112,26 @@ public:
         return inner_->last_step_cost();
     }
 
+    // Prefix sharing passes straight through: faults script the decode and
+    // reservation paths; the index lives (and dies) with the inner backend.
+    [[nodiscard]] std::size_t probe_prefix(std::span<const std::int32_t> prompt,
+                                           std::size_t max_cover) const override {
+        return inner_->probe_prefix(prompt, max_cover);
+    }
+    std::size_t adopt_prefix(std::size_t slot, std::span<const std::int32_t> prompt,
+                             std::size_t max_cover) override {
+        return inner_->adopt_prefix(slot, prompt, max_cover);
+    }
+    std::size_t register_prefix(std::size_t slot,
+                                std::span<const std::int32_t> prompt,
+                                std::size_t max_new_pages) override {
+        return inner_->register_prefix(slot, prompt, max_new_pages);
+    }
+    std::size_t drop_prefix_cache() override { return inner_->drop_prefix_cache(); }
+    [[nodiscard]] PrefixSharingStats prefix_stats() const override {
+        return inner_->prefix_stats();
+    }
+
     // Observability for tests/benches: steps attempted (including the fatal
     // one) and whether a scripted fault has fired.
     [[nodiscard]] std::size_t steps_attempted() const noexcept { return steps_; }

@@ -25,7 +25,7 @@ std::size_t CapacityGovernor::predict_pages(std::size_t prompt_tokens,
 }
 
 bool CapacityGovernor::try_admit(std::size_t pages) {
-    if (committed_ + pages > total_pages_) {
+    if (committed_ + shared_ + pages > total_pages_) {
         ++stats_.deferral_events;
         return false;
     }
@@ -38,6 +38,17 @@ bool CapacityGovernor::try_admit(std::size_t pages) {
 void CapacityGovernor::release(std::size_t pages) {
     check(pages <= committed_, "CapacityGovernor: releasing more than committed");
     committed_ -= pages;
+}
+
+void CapacityGovernor::charge_shared(std::size_t pages) {
+    check(committed_ + shared_ + pages <= total_pages_,
+          "CapacityGovernor: shared charge exceeds the pool");
+    shared_ += pages;
+}
+
+void CapacityGovernor::release_shared(std::size_t pages) {
+    check(pages <= shared_, "CapacityGovernor: releasing more shared than charged");
+    shared_ -= pages;
 }
 
 }  // namespace efld::kvpool

@@ -43,12 +43,30 @@ public:
     [[nodiscard]] std::size_t predict_pages(std::size_t prompt_tokens,
                                             std::size_t max_new) const noexcept;
 
-    // Commits `pages` if they fit next to every prior commitment; false (and
-    // a recorded deferral) otherwise. A request that is refused stays queued
-    // and is re-considered when capacity frees.
+    // Commits `pages` if they fit next to every prior commitment (and the
+    // shared-prefix pins); false (and a recorded deferral) otherwise. A
+    // request that is refused stays queued and is re-considered when capacity
+    // frees.
     [[nodiscard]] bool try_admit(std::size_t pages);
     // Returns a retired request's commitment to the budget.
     void release(std::size_t pages);
+
+    // Shared-prefix ledger: pages the backend's prefix index pins resident,
+    // charged ONCE here no matter how many sessions map them — each sharing
+    // session's own commitment is discounted by its covered full pages, which
+    // is exactly what prevents double-charging the same physical page.
+    void charge_shared(std::size_t pages);
+    void release_shared(std::size_t pages);
+    [[nodiscard]] std::size_t shared_pages() const noexcept { return shared_; }
+    // Headroom the serving layer may hand register_prefix as max_new_pages:
+    // pins never take more than half the pool, and never eat into pages
+    // already committed to live sessions.
+    [[nodiscard]] std::size_t shared_budget() const noexcept {
+        const std::size_t cap = total_pages_ / 2;
+        const std::size_t used = committed_ + shared_;
+        const std::size_t headroom = used < total_pages_ ? total_pages_ - used : 0;
+        return std::min(cap > shared_ ? cap - shared_ : 0, headroom);
+    }
 
     // Whether `pages` could EVER be admitted (an empty pool). Requests past
     // this bound must be rejected at submit, or they would defer forever.
@@ -70,6 +88,7 @@ private:
     std::size_t total_pages_ = 0;
     std::size_t page_tokens_ = 0;
     std::size_t committed_ = 0;
+    std::size_t shared_ = 0;  // prefix-index pins, charged once
     GovernorStats stats_;
 };
 

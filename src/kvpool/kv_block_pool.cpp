@@ -35,6 +35,7 @@ KvBlockPool::KvBlockPool(KvPoolConfig cfg) : cfg_(cfg) {
     free_.reserve(cfg_.n_pages);
     // Stack ordered so the lowest page ids are handed out first.
     for (std::size_t p = cfg_.n_pages; p > 0; --p) free_.push_back(p - 1);
+    refcount_.assign(cfg_.n_pages, 0);
 }
 
 std::size_t KvBlockPool::create_sequence() {
@@ -56,7 +57,9 @@ const KvBlockPool::Sequence& KvBlockPool::seq_checked(std::size_t seq) const {
 void KvBlockPool::reset_sequence(std::size_t seq) {
     (void)seq_checked(seq);
     Sequence& s = seqs_[seq];
-    for (auto it = s.pages.rbegin(); it != s.pages.rend(); ++it) free_.push_back(*it);
+    // Reverse order so a lone holder's pages restack lowest-id-first; shared
+    // pages just shed this sequence's reference and stay resident.
+    for (auto it = s.pages.rbegin(); it != s.pages.rend(); ++it) release_page(*it);
     s.pages.clear();
     s.tokens = 0;
 }
@@ -73,6 +76,11 @@ bool KvBlockPool::append_token(std::size_t seq) {
         if (free_.empty()) return false;  // exhausted: sequence unchanged
         s.pages.push_back(free_.back());
         free_.pop_back();
+        refcount_[s.pages.back()] = 1;
+    } else {
+        check(refcount_[write_page(s)] == 1,
+              "KvBlockPool: append into a shared page (resolve with cow_page "
+              "first)");
     }
     ++s.tokens;
     return true;
@@ -90,6 +98,73 @@ KvBlockPool::PageSlot KvBlockPool::locate(std::size_t seq, std::size_t token) co
     const Sequence& s = seq_checked(seq);
     check(token < s.tokens, "KvBlockPool: token beyond sequence length");
     return {s.pages[token / cfg_.page_tokens], token % cfg_.page_tokens};
+}
+
+void KvBlockPool::retain_page(std::size_t page) {
+    check(page < cfg_.n_pages, "KvBlockPool: retain of an unknown page");
+    check(refcount_[page] > 0, "KvBlockPool: retain of a free page");
+    ++refcount_[page];
+}
+
+void KvBlockPool::release_page(std::size_t page) {
+    check(page < cfg_.n_pages, "KvBlockPool: release of an unknown page");
+    check(refcount_[page] > 0, "KvBlockPool: release of a free page");
+    if (--refcount_[page] == 0) free_.push_back(page);
+}
+
+std::uint32_t KvBlockPool::page_refcount(std::size_t page) const {
+    check(page < cfg_.n_pages, "KvBlockPool: refcount of an unknown page");
+    return refcount_[page];
+}
+
+std::uint64_t KvBlockPool::refcount_sum() const {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t rc : refcount_) sum += rc;
+    return sum;
+}
+
+void KvBlockPool::adopt_pages(std::size_t seq, std::span<const std::size_t> pages,
+                              std::size_t tokens) {
+    (void)seq_checked(seq);
+    Sequence& s = seqs_[seq];
+    check(s.tokens == 0 && s.pages.empty(),
+          "KvBlockPool: adopt_pages into a non-empty sequence");
+    check(tokens <= pages.size() * cfg_.page_tokens &&
+              (pages.empty() || tokens > (pages.size() - 1) * cfg_.page_tokens),
+          "KvBlockPool: adopted token count does not match the page chain");
+    for (const std::size_t p : pages) retain_page(p);
+    s.pages.assign(pages.begin(), pages.end());
+    s.tokens = tokens;
+}
+
+std::size_t KvBlockPool::write_page(const Sequence& s) const {
+    if (s.tokens == s.pages.size() * cfg_.page_tokens) return kNoPage;
+    return s.pages[s.tokens / cfg_.page_tokens];
+}
+
+bool KvBlockPool::write_needs_cow(std::size_t seq) const {
+    const Sequence& s = seq_checked(seq);
+    const std::size_t p = write_page(s);
+    return p != kNoPage && refcount_[p] > 1;
+}
+
+KvBlockPool::CowResult KvBlockPool::cow_page(std::size_t seq) {
+    (void)seq_checked(seq);
+    Sequence& s = seqs_[seq];
+    const std::size_t shared = write_page(s);
+    check(shared != kNoPage && refcount_[shared] > 1,
+          "KvBlockPool: cow_page with no shared write target");
+    CowResult r;
+    r.old_page = shared;
+    if (free_.empty()) return r;  // refuse without corruption
+    r.new_page = free_.back();
+    free_.pop_back();
+    refcount_[r.new_page] = 1;
+    s.pages[s.tokens / cfg_.page_tokens] = r.new_page;
+    --refcount_[shared];  // > 1 before, so never frees here
+    r.ok = true;
+    cow_copies_.fetch_add(1, std::memory_order_relaxed);
+    return r;
 }
 
 }  // namespace efld::kvpool

@@ -18,7 +18,9 @@
 // granularity — so a page boundary never splits a pack word.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bitpack.hpp"
@@ -61,8 +63,58 @@ public:
     // Grows `seq` by one token, taking a fresh page when the token crosses a
     // page boundary. Returns false — with the sequence unchanged — when the
     // pool has no free page for it (capacity exhausted; the admission layer
-    // exists to make this unreachable for admitted sequences).
+    // exists to make this unreachable for admitted sequences). Throws when the
+    // write would land in a page shared with another holder: callers must
+    // resolve write_needs_cow() via cow_page() first, so a shared page can
+    // never be silently corrupted.
     [[nodiscard]] bool append_token(std::size_t seq);
+
+    // ---- prefix sharing: refcounted pages + copy-on-write ----
+    //
+    // Pages are refcounted (a freshly appended page holds one reference, its
+    // owner's). The prefix layer takes extra references with retain_page —
+    // from a PrefixIndex pinning a registered prefix resident, or from
+    // adopt_pages mapping a matched prefix into a new sequence — and every
+    // holder releases symmetrically; a page returns to the free list only at
+    // refcount zero. The pool stays pure bookkeeping: *what* the bytes in a
+    // shared page mean is the arenas' business.
+
+    // Takes one extra reference on an in-use page.
+    void retain_page(std::size_t page);
+    // Drops one reference; the page rejoins the free list at zero.
+    void release_page(std::size_t page);
+    [[nodiscard]] std::uint32_t page_refcount(std::size_t page) const;
+    // Sum of refcounts over in-use pages (property-test invariant surface).
+    [[nodiscard]] std::uint64_t refcount_sum() const;
+
+    // Maps `pages` (a matched prefix chain, already resident) into the empty
+    // sequence `seq` at `tokens` logical tokens, retaining each page. tokens
+    // may end mid-last-page — the tail of that page is unreachable history the
+    // sequence overwrites via CoW when it grows into it.
+    void adopt_pages(std::size_t seq, std::span<const std::size_t> pages,
+                     std::size_t tokens);
+
+    // True when the next append_token would write into a page whose refcount
+    // is > 1 (shared) — the caller must cow_page() first.
+    [[nodiscard]] bool write_needs_cow(std::size_t seq) const;
+
+    struct CowResult {
+        bool ok = false;             // false: no free page; seq is unchanged
+        std::size_t old_page = kNoPage;  // the shared page (still valid, for copying)
+        std::size_t new_page = kNoPage;  // seq's private replacement
+    };
+    // Replaces the shared page the next append would write with a private
+    // copy: takes a free page, swaps it into seq's block table, and drops
+    // seq's reference on the shared original. Refuses without corruption
+    // (ok = false, nothing changed) when the pool has no free page. The
+    // caller copies the physical bytes old_page -> new_page.
+    [[nodiscard]] CowResult cow_page(std::size_t seq);
+
+    // CoW copies performed over the pool's lifetime (metrics; readable from
+    // any thread).
+    [[nodiscard]] std::uint64_t cow_copies() const noexcept {
+        return cow_copies_.load(std::memory_order_relaxed);
+    }
 
     [[nodiscard]] std::size_t seq_tokens(std::size_t seq) const;
     // Physical pages backing `seq`, in logical order (the block table).
@@ -95,9 +147,15 @@ private:
 
     [[nodiscard]] const Sequence& seq_checked(std::size_t seq) const;
 
+    // Page the next append_token of `seq` writes into, or kNoPage when the
+    // write opens a fresh page (a fresh page is never shared).
+    [[nodiscard]] std::size_t write_page(const Sequence& s) const;
+
     KvPoolConfig cfg_;
-    std::vector<std::size_t> free_;  // free physical page ids (stack)
-    std::vector<Sequence> seqs_;     // index = sequence id
+    std::vector<std::size_t> free_;      // free physical page ids (stack)
+    std::vector<Sequence> seqs_;         // index = sequence id
+    std::vector<std::uint32_t> refcount_;  // per physical page; 0 = free
+    std::atomic<std::uint64_t> cow_copies_{0};
 };
 
 }  // namespace efld::kvpool

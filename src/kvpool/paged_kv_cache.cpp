@@ -47,6 +47,18 @@ void PagedKvArena::append(std::size_t seq, std::size_t layer, std::span<const fl
           "PagedKvArena: bad vector size");
     std::size_t token = pool_.seq_tokens(seq);
     if (first_layer_of_position(appended_this_pos_, seq)) {
+        if (pool_.write_needs_cow(seq)) {
+            // Writing into a page another holder still maps: give this
+            // sequence a private copy of the slab first.
+            const KvBlockPool::CowResult cow = pool_.cow_page(seq);
+            check(cow.ok,
+                  "PagedKvArena: no free page for a copy-on-write divergence "
+                  "(admission should have reserved it)");
+            std::copy_n(k_.data() + cow.old_page * page_floats_, page_floats_,
+                        k_.data() + cow.new_page * page_floats_);
+            std::copy_n(v_.data() + cow.old_page * page_floats_, page_floats_,
+                        v_.data() + cow.new_page * page_floats_);
+        }
         check(pool_.append_token(seq),
               "PagedKvArena: KV pool exhausted (admission should have deferred "
               "this sequence)");
@@ -87,6 +99,13 @@ std::span<const float> PagedKvArena::gather(const std::vector<float>& store,
     return out.first(len * hd);
 }
 
+void PagedKvArena::adopt_prefix(std::size_t seq, std::span<const std::size_t> pages,
+                                std::size_t tokens) {
+    pool_.adopt_pages(seq, pages, tokens);
+    if (seq >= appended_this_pos_.size()) appended_this_pos_.resize(seq + 1, 0);
+    appended_this_pos_[seq] = 0;  // adoption lands on a position boundary
+}
+
 std::span<const float> PagedKvArena::gather_keys(std::size_t seq, std::size_t layer,
                                                  std::size_t kv_head, std::size_t len,
                                                  std::span<float> out) const {
@@ -125,6 +144,19 @@ void PagedQuantizedKvArena::append(std::size_t seq, std::size_t layer,
           "PagedQuantizedKvArena: bad vector size");
     std::size_t token = pool_.seq_tokens(seq);
     if (first_layer_of_position(appended_this_pos_, seq)) {
+        if (pool_.write_needs_cow(seq)) {
+            const KvBlockPool::CowResult cow = pool_.cow_page(seq);
+            check(cow.ok,
+                  "PagedQuantizedKvArena: no free page for a copy-on-write "
+                  "divergence (admission should have reserved it)");
+            const std::size_t epp =
+                cfg_.n_layers * cfg_.n_kv_heads * pool_.page_tokens();
+            // Deep entry copies: the sharers keep their codes untouched.
+            for (std::size_t i = 0; i < epp; ++i) {
+                k_[cow.new_page * epp + i] = k_[cow.old_page * epp + i];
+                v_[cow.new_page * epp + i] = v_[cow.old_page * epp + i];
+            }
+        }
         check(pool_.append_token(seq),
               "PagedQuantizedKvArena: KV pool exhausted (admission should have "
               "deferred this sequence)");
@@ -144,6 +176,14 @@ void PagedQuantizedKvArena::append(std::size_t seq, std::size_t layer,
         v_[entry_idx(slot.page, layer, h, slot.offset)] = {std::move(qv.codes),
                                                            qv.params};
     }
+}
+
+void PagedQuantizedKvArena::adopt_prefix(std::size_t seq,
+                                         std::span<const std::size_t> pages,
+                                         std::size_t tokens) {
+    pool_.adopt_pages(seq, pages, tokens);
+    if (seq >= appended_this_pos_.size()) appended_this_pos_.resize(seq + 1, 0);
+    appended_this_pos_[seq] = 0;
 }
 
 std::span<const float> PagedQuantizedKvArena::dequant(

@@ -54,10 +54,19 @@ public:
                                          std::size_t kv_head, std::size_t len,
                                          std::span<float> out) const;
 
+    // Maps an already-resident prefix chain into the EMPTY sequence `seq` at
+    // `tokens` logical tokens without recomputing any KV (the pages carry
+    // complete per-layer state, so adoption is cadence-safe at any position).
+    // A subsequent append into a still-shared page copies the page slab
+    // first — copy-on-write, so sharers never see the divergence.
+    void adopt_prefix(std::size_t seq, std::span<const std::size_t> pages,
+                      std::size_t tokens);
+
     [[nodiscard]] std::size_t length(std::size_t seq) const {
         return pool_.seq_tokens(seq);
     }
     [[nodiscard]] const KvBlockPool& pool() const noexcept { return pool_; }
+    [[nodiscard]] KvBlockPool& pool() noexcept { return pool_; }
 
 private:
     // Float offset of (layer, kv_head, token_in_page) inside a page slab.
@@ -102,10 +111,15 @@ public:
                                                std::size_t kv_head, std::size_t len,
                                                std::span<float> out) const;
 
+    // See PagedKvArena::adopt_prefix — same contract over quantized entries.
+    void adopt_prefix(std::size_t seq, std::span<const std::size_t> pages,
+                      std::size_t tokens);
+
     [[nodiscard]] std::size_t length(std::size_t seq) const {
         return pool_.seq_tokens(seq);
     }
     [[nodiscard]] const KvBlockPool& pool() const noexcept { return pool_; }
+    [[nodiscard]] KvBlockPool& pool() noexcept { return pool_; }
 
 private:
     struct Entry {

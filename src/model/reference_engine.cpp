@@ -68,6 +68,11 @@ void validate(const EngineOptions& opts) {
             "EngineOptions: kv_pool_pages needs kv_page_tokens > 0 (a pool of "
             "pages is meaningless for contiguous caches)");
     }
+    if (opts.prefix_sharing && opts.kv_page_tokens == 0) {
+        throw std::invalid_argument(
+            "EngineOptions: prefix_sharing needs kv_page_tokens > 0 (sharing "
+            "is page-granular)");
+    }
     if (opts.threads > 1) {
         // Determinism is thread-count independent, so modest oversubscription
         // (thread-schedule determinism tests) is fine — but a private pool
@@ -426,6 +431,89 @@ std::span<const float> ReferenceEngine::decode_batch(
     proj(0, kLmHead, nb, std::span<const float>(xb_).first(nb * cfg_.dim),
          std::span<float>(logits_).first(nb * cfg_.vocab_size));
     return std::span<const float>(logits_).first(nb * cfg_.vocab_size);
+}
+
+std::size_t ReferenceEngine::probe_prefix(std::span<const std::int32_t> prompt,
+                                          std::size_t max_cover) const {
+    if (!opts_.prefix_sharing) return 0;
+    const std::vector<std::uint64_t> hashes =
+        prefix::prefix_chain_hashes(prompt, opts_.kv_page_tokens);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    const std::size_t matched = prefix_index_.match(hashes).size();
+    return std::min(matched * opts_.kv_page_tokens, max_cover);
+}
+
+std::size_t ReferenceEngine::adopt_prefix(std::size_t slot,
+                                          std::span<const std::int32_t> prompt,
+                                          std::size_t max_cover) {
+    if (!opts_.prefix_sharing) return 0;
+    check(slot < opts_.max_batch, "adopt_prefix: slot out of range");
+    check(pos_[slot] == 0, "adopt_prefix: slot already holds history");
+    const std::size_t pt = opts_.kv_page_tokens;
+    const std::vector<std::uint64_t> hashes = prefix::prefix_chain_hashes(prompt, pt);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    const std::vector<std::size_t> pages = prefix_index_.match(hashes);
+    const std::size_t covered = std::min(pages.size() * pt, max_cover);
+    if (covered == 0) return 0;
+    // Adopt only the pages the covered tokens reach: the cap may stop
+    // mid-page (the last prompt token is always re-fed so the session gets
+    // its logits), in which case the first write CoWs that page.
+    const std::size_t n_pages = (covered + pt - 1) / pt;
+    const std::span<const std::size_t> chain(pages.data(), n_pages);
+    if (paged_quant_ != nullptr) {
+        paged_quant_->adopt_prefix(slot, chain, covered);
+    } else {
+        paged_float_->adopt_prefix(slot, chain, covered);
+    }
+    pos_[slot] = covered;
+    prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+    prefix_covered_.fetch_add(covered, std::memory_order_relaxed);
+    return covered;
+}
+
+std::size_t ReferenceEngine::register_prefix(std::size_t slot,
+                                             std::span<const std::int32_t> prompt,
+                                             std::size_t max_new_pages) {
+    if (!opts_.prefix_sharing || max_new_pages == 0) return 0;
+    check(slot < opts_.max_batch, "register_prefix: slot out of range");
+    const std::size_t pt = opts_.kv_page_tokens;
+    const std::vector<std::uint64_t> hashes = prefix::prefix_chain_hashes(prompt, pt);
+    kvpool::KvBlockPool& pool = pool_ref();
+    // Every full prompt page must already be resident in the slot (its
+    // prefill just completed).
+    if (pool.seq_tokens(slot) < hashes.size() * pt) return 0;
+    const std::vector<std::size_t>& table = pool.block_table(slot);
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    std::size_t pinned = 0;
+    for (std::size_t k = 0; k < hashes.size() && pinned < max_new_pages; ++k) {
+        const std::uint64_t parent = k == 0 ? 0 : hashes[k - 1];
+        if (!prefix_index_.insert(hashes[k], table[k], parent, k)) continue;
+        pool.retain_page(table[k]);  // the index's own reference
+        ++pinned;
+    }
+    return pinned;
+}
+
+std::size_t ReferenceEngine::drop_prefix_cache() {
+    if (!opts_.prefix_sharing) return 0;
+    const std::lock_guard<std::mutex> lock(prefix_mu_);
+    const std::vector<std::size_t> pages = prefix_index_.clear();
+    kvpool::KvBlockPool& pool = pool_ref();
+    for (const std::size_t p : pages) pool.release_page(p);
+    return pages.size();
+}
+
+engine::PrefixSharingStats ReferenceEngine::prefix_stats() const {
+    if (!opts_.prefix_sharing) return {};
+    engine::PrefixSharingStats s;
+    s.hits = prefix_hits_.load(std::memory_order_relaxed);
+    s.covered_tokens = prefix_covered_.load(std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(prefix_mu_);
+        s.pages_shared = prefix_index_.pages_held();
+    }
+    s.cow_copies = static_cast<std::size_t>(pool_ref().cow_copies());
+    return s;
 }
 
 std::size_t ReferenceEngine::reserve_slot() { return slots_.acquire(); }

@@ -37,8 +37,10 @@
 // contiguous path on every option combination.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -48,6 +50,7 @@
 #include "model/kernels.hpp"
 #include "model/kv_cache.hpp"
 #include "model/weights.hpp"
+#include "prefix/prefix_index.hpp"
 
 namespace efld::model {
 
@@ -81,6 +84,13 @@ struct EngineOptions {
     // sessions — paging layout without capacity pressure); an admission layer
     // (serve::ServeEngine's CapacityGovernor) sizes this from the DDR budget.
     std::size_t kv_pool_pages = 0;
+    // Prefix sharing over the paged pool (requires kv_page_tokens > 0): the
+    // engine keeps a PrefixIndex of chained full-page prompt hashes; sessions
+    // whose prompts start with an indexed prefix adopt those pages read-only
+    // (refcounted, copy-on-write on divergence) instead of re-prefilling.
+    // Off by default — sharing changes admission capacity, so the serving
+    // layer opts in explicitly.
+    bool prefix_sharing = false;
 };
 
 // Throws std::invalid_argument on option combinations that would silently
@@ -146,6 +156,20 @@ public:
         return last_cost_;
     }
 
+    // Prefix sharing (active when opts_.prefix_sharing): see decode_backend.hpp
+    // for the contract. probe is safe from any thread (the router's affinity
+    // snapshot); adopt/register/drop run on the driver thread that owns the
+    // pool, with the index itself guarded by prefix_mu_.
+    [[nodiscard]] std::size_t probe_prefix(std::span<const std::int32_t> prompt,
+                                           std::size_t max_cover) const override;
+    std::size_t adopt_prefix(std::size_t slot, std::span<const std::int32_t> prompt,
+                             std::size_t max_cover) override;
+    std::size_t register_prefix(std::size_t slot,
+                                std::span<const std::int32_t> prompt,
+                                std::size_t max_new_pages) override;
+    std::size_t drop_prefix_cache() override;
+    [[nodiscard]] engine::PrefixSharingStats prefix_stats() const override;
+
 private:
     void init_scratch();
     void attention_block(std::size_t layer, std::size_t nb,
@@ -187,6 +211,23 @@ private:
     std::vector<std::size_t> pos_;
     engine::SlotLedger slots_;  // DecodeBackend reservations
     engine::StepCost last_cost_{};
+
+    // The live paged pool behind whichever arena the options selected (only
+    // valid when paged()).
+    [[nodiscard]] kvpool::KvBlockPool& pool_ref() noexcept {
+        return paged_quant_ != nullptr ? paged_quant_->pool() : paged_float_->pool();
+    }
+    [[nodiscard]] const kvpool::KvBlockPool& pool_ref() const noexcept {
+        return paged_quant_ != nullptr ? paged_quant_->pool() : paged_float_->pool();
+    }
+
+    // Prefix index + its lock (probe reads cross-thread while the driver
+    // adopts/registers). Hit counters are relaxed atomics so prefix_stats
+    // stays callable from the stats path without ordering games.
+    mutable std::mutex prefix_mu_;
+    prefix::PrefixIndex prefix_index_;
+    std::atomic<std::size_t> prefix_hits_{0};
+    std::atomic<std::size_t> prefix_covered_{0};
 
     std::unique_ptr<ThreadPool> pool_;  // only when opts_.threads > 1
     RopeTable rope_;                    // per-position sin/cos, built once

@@ -14,6 +14,8 @@ const char* to_string(TraceEvent e) noexcept {
         case TraceEvent::kFailoverHarvest: return "failover_harvest";
         case TraceEvent::kResubmitted: return "resubmitted";
         case TraceEvent::kRetired: return "retired";
+        case TraceEvent::kPrefixHit: return "prefix_hit";
+        case TraceEvent::kCowCopy: return "cow_copy";
     }
     return "unknown";
 }

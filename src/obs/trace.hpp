@@ -32,6 +32,8 @@ enum class TraceEvent : std::uint8_t {
     kFailoverHarvest = 5, // unfinished work harvested off a failed shard (arg: tokens done)
     kResubmitted = 6,     // resumed on a healthy shard (arg: failover count)
     kRetired = 7,         // finished (arg: FinishReason as integer)
+    kPrefixHit = 8,       // adopted a shared prefix (arg: tokens covered)
+    kCowCopy = 9,         // diverged into a shared page (arg: copies this step)
 };
 
 [[nodiscard]] const char* to_string(TraceEvent e) noexcept;

@@ -1,0 +1,66 @@
+#include "prefix/prefix_index.hpp"
+
+namespace efld::prefix {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        h ^= (v >> shift) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> prefix_chain_hashes(std::span<const std::int32_t> tokens,
+                                               std::size_t page_tokens) {
+    std::vector<std::uint64_t> out;
+    if (page_tokens == 0) return out;
+    out.reserve(tokens.size() / page_tokens);
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t k = 0; (k + 1) * page_tokens <= tokens.size(); ++k) {
+        // Fold this page's tokens into the running walk: page k's key commits
+        // to every token in [0, (k+1)*page_tokens).
+        for (std::size_t i = k * page_tokens; i < (k + 1) * page_tokens; ++i) {
+            h = fnv1a_u32(h, static_cast<std::uint32_t>(tokens[i]));
+        }
+        // 0 is the "no parent" sentinel; remap the (vanishingly unlikely)
+        // genuine 0 so a chain key is never ambiguous.
+        out.push_back(h == 0 ? kFnvOffset : h);
+    }
+    return out;
+}
+
+std::vector<std::size_t> PrefixIndex::match(
+    std::span<const std::uint64_t> hashes) const {
+    std::vector<std::size_t> pages;
+    for (const std::uint64_t h : hashes) {
+        const auto it = entries_.find(h);
+        if (it == entries_.end()) break;
+        pages.push_back(it->second.page);
+    }
+    return pages;
+}
+
+bool PrefixIndex::insert(std::uint64_t hash, std::size_t page, std::uint64_t parent,
+                         std::size_t depth) {
+    if (entries_.find(hash) != entries_.end()) return false;
+    if (depth > 0 && entries_.find(parent) == entries_.end()) return false;
+    entries_.emplace(hash, Entry{page, parent, depth});
+    return true;
+}
+
+std::vector<std::size_t> PrefixIndex::clear() {
+    std::vector<std::size_t> pages;
+    pages.reserve(entries_.size());
+    for (const auto& [h, e] : entries_) pages.push_back(e.page);
+    entries_.clear();
+    return pages;
+}
+
+}  // namespace efld::prefix

@@ -42,6 +42,11 @@ void validate(const ServeOptions& o) {
             "ServeOptions: kv_pool_pages/kv_pool_bytes have no effect without "
             "paging (set paging = true)");
     }
+    if (o.prefix_sharing && !o.paging) {
+        throw std::invalid_argument(
+            "ServeOptions: prefix_sharing needs paging (shared pages are "
+            "refcounted pool pages)");
+    }
     if (o.max_deferrals == 0) {
         throw std::invalid_argument(
             "ServeOptions: max_deferrals must be >= 1 (0 would promote every "
@@ -88,6 +93,7 @@ ServeEngine::ServeEngine(const model::QuantizedModelWeights& weights, ServeOptio
         // model (its functional KV storage is host-side scaffolding).
         eo.kv_page_tokens = opts_.kv_page_tokens;
         eo.kv_pool_pages = governor_->total_pages();
+        eo.prefix_sharing = opts_.prefix_sharing;
     }
     bundle_ = engine::make_backend(opts_.backend, weights, eo, accel_opts,
                                    opts_.fault_spec);
@@ -281,8 +287,19 @@ void ServeEngine::admit() {
             *scheduler_,
             [&](PendingRequest& r) {
                 if (governor_ == nullptr) return true;
-                const std::size_t need = governor_->predict_pages(
+                std::size_t need = governor_->predict_pages(
                     r.prompt.size(), r.max_new_tokens);
+                if (opts_.prefix_sharing) {
+                    // Covered FULL pages are already charged once on the
+                    // shared ledger, so this session pays only for its unique
+                    // pages. A partially covered page is never discounted —
+                    // keeping it committed is what funds the copy-on-write
+                    // divergence copy.
+                    const std::size_t covered =
+                        backend_->probe_prefix(r.prompt, r.prompt.size() - 1);
+                    const std::size_t full = covered / opts_.kv_page_tokens;
+                    need = need > full ? need - full : 1;
+                }
                 if (!governor_->try_admit(need)) {
                     ++r.times_deferred;
                     trace(r.id, obs::TraceEvent::kDeferred, r.times_deferred);
@@ -297,6 +314,22 @@ void ServeEngine::admit() {
                                          std::memory_order_release);
         }
         if (out.deferred) {
+            // Deferred with ZERO active sessions: nothing will ever free, so
+            // only pinned prefixes can be in the way. Dump the index (the
+            // pins are the only holders when no session runs, so every page
+            // actually frees) and retry rather than starve admissible work.
+            if (opts_.prefix_sharing &&
+                n_active_.load(std::memory_order_relaxed) == 0) {
+                const std::size_t released = backend_->drop_prefix_cache();
+                if (released > 0) {
+                    governor_->release_shared(released);
+                    shared_pages_cache_.store(governor_->shared_pages(),
+                                              std::memory_order_release);
+                    const std::lock_guard<std::mutex> g(stats_mu_);
+                    ++stats_.prefix_cache_drops;
+                    continue;
+                }
+            }
             // The pick (scheduler's or promoted) does not fit the pool yet.
             // It stays queued in place and admission stops for this boundary —
             // strict policy order, so a big request is delayed, never starved.
@@ -340,6 +373,27 @@ void ServeEngine::admit() {
             hist_queue_wait_->record(0);
         }
         trace(s.id, obs::TraceEvent::kAdmitted, slot);
+        if (opts_.prefix_sharing) {
+            // Adopt the longest indexed prefix, capped at prompt-1: the last
+            // prompt token is always re-fed so the session has logits to
+            // sample from — and when a page-aligned prompt matched fully,
+            // that re-feed is what diverges into the shared tail page and
+            // triggers the copy-on-write. A resumed (failed-over) session
+            // adopts the same cap, so its resumed tokens all replay and the
+            // sampler's draw-and-discard stream stays aligned with the
+            // fault-free run.
+            const std::size_t covered =
+                backend_->adopt_prefix(slot, s.prompt, s.prompt.size() - 1);
+            if (covered > 0) {
+                s.prefix_fed = covered;
+                s.adopted_tokens = covered;
+                s.cow_pending = covered % opts_.kv_page_tokens != 0;
+                trace(s.id, obs::TraceEvent::kPrefixHit, covered);
+                const std::lock_guard<std::mutex> g(stats_mu_);
+                ++stats_.prefix_hits;
+                stats_.prefix_hit_tokens += covered;
+            }
+        }
         n_active_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -447,9 +501,11 @@ void ServeEngine::fail_backend() {
     if (governor_ != nullptr) {
         // Every session commitment back to the pool at once — the sessions
         // are about to be harvested, and the replacement engine starts from
-        // a clean ledger either way.
+        // a clean ledger either way. The prefix pins die with the backend.
         governor_->release(governor_->committed_pages());
+        governor_->release_shared(governor_->shared_pages());
         committed_pages_cache_.store(0, std::memory_order_release);
+        shared_pages_cache_.store(0, std::memory_order_release);
     }
     FailureCallback cb;
     {
@@ -660,6 +716,13 @@ bool ServeEngine::step_locked() {
         SessionState& s = *slots_[feed_slots_[b]];
         const std::span<const float> row(logits_.data() + b * vocab, vocab);
         const bool samplable = s.sampling_after_feed();
+        if (s.cow_pending) {
+            // The feed that just ran was this session's first append after a
+            // mid-page adoption: the arena took its private copy of the
+            // shared page inside decode_batch.
+            s.cow_pending = false;
+            trace(s.id, obs::TraceEvent::kCowCopy, 1);
+        }
         if (s.prefix_fed < s.prefix_len()) {
             const bool replay = s.prefix_fed >= s.prompt.size();
             ++s.prefix_fed;
@@ -670,6 +733,19 @@ bool ServeEngine::step_locked() {
             }
             if (s.prefix_fed == s.prefix_len()) {
                 trace(s.id, obs::TraceEvent::kPrefillDone, s.prefix_len());
+                if (opts_.prefix_sharing && governor_ != nullptr) {
+                    // Its prompt pages are all resident now: index them under
+                    // the shared budget (pins never exceed half the pool or
+                    // eat committed headroom) and charge each pin ONCE —
+                    // future sessions adopting them are discounted instead.
+                    const std::size_t took = backend_->register_prefix(
+                        s.slot, s.prompt, governor_->shared_budget());
+                    if (took > 0) {
+                        governor_->charge_shared(took);
+                        shared_pages_cache_.store(governor_->shared_pages(),
+                                                  std::memory_order_release);
+                    }
+                }
             }
         }
         if (!samplable) {
@@ -835,7 +911,9 @@ ServeLoad ServeEngine::load() const {
     if (governor_ != nullptr) {
         l.total_pages = governor_->total_pages();
         l.committed_pages = committed_pages_cache_.load(std::memory_order_acquire);
+        l.shared_pages = shared_pages_cache_.load(std::memory_order_acquire);
     }
+    if (opts_.prefix_sharing) l.prefix = backend_->prefix_stats();
     // One pass under the queue lock: depth and worst-case page demand of
     // everything still waiting (predict_pages is pure, safe off-thread).
     std::size_t queued = 0;
@@ -894,6 +972,16 @@ obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
                     static_cast<double>(l.committed_pages));
         s.set_gauge("serve_queued_pages", static_cast<double>(l.queued_pages));
         s.set_gauge("serve_total_pages", static_cast<double>(l.total_pages));
+    }
+    if (opts_.prefix_sharing) {
+        s.set_counter("serve_prefix_hits_total", l.prefix.hits);
+        s.set_counter("serve_prefix_covered_tokens_total",
+                      l.prefix.covered_tokens);
+        s.set_counter("serve_prefix_cow_copies_total", l.prefix.cow_copies);
+        s.set_counter("serve_prefix_cache_drops_total",
+                      l.stats.prefix_cache_drops);
+        s.set_gauge("serve_prefix_pages_shared",
+                    static_cast<double>(l.prefix.pages_shared));
     }
     return s;
 }

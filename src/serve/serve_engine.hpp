@@ -90,6 +90,16 @@ struct ServeOptions {
     std::size_t kv_page_tokens = 16;  // page size (16 = pack-word aligned)
     std::size_t kv_pool_pages = 0;    // explicit pool size in pages
     std::uint64_t kv_pool_bytes = 0;  // explicit DDR budget for the pool
+    // Prefix sharing over the paged pool (requires paging). The backend keeps
+    // an index of computed prompt pages: admission probes it to discount a
+    // request's page demand by its covered FULL pages (shared pages are
+    // charged once, to the governor's shared ledger), adoption skips prefill
+    // for the covered span, and completed prefills register their pages under
+    // the governor's shared budget (never more than half the pool, never into
+    // committed headroom). Capacity pressure with zero active sessions drops
+    // the whole index rather than starve an admissible request. Off by
+    // default: sharing changes admission numbers, so callers opt in.
+    bool prefix_sharing = false;
     // Anti-starvation bound: a request passed over (capacity-refused as the
     // pick, or SJF admitting younger, shorter jobs ahead of it) this many
     // times is promoted to the mandatory next admission pick regardless of
@@ -222,6 +232,15 @@ public:
     [[nodiscard]] const model::ByteTokenizer& tokenizer() const noexcept {
         return tokenizer_;
     }
+    // Tokens of `prompt` (already tokenized) the backend's prefix index would
+    // cover if a session adopted right now — the router's affinity signal.
+    // Safe from any thread (the backend's probe locks its index); 0 when
+    // sharing is off.
+    [[nodiscard]] std::size_t probe_prefix(
+        std::span<const std::int32_t> prompt) const {
+        if (!opts_.prefix_sharing || prompt.empty()) return 0;
+        return backend_->probe_prefix(prompt, prompt.size() - 1);
+    }
 
     // --- Failure detection & failover -------------------------------------
     //
@@ -313,6 +332,7 @@ private:
     // Governor ledger mirror for load(): the governor itself is driver-thread
     // only; this publishes its committed count to snapshot readers.
     std::atomic<std::size_t> committed_pages_cache_{0};
+    std::atomic<std::size_t> shared_pages_cache_{0};
 
     // Failure state. backend_error_ is step-thread-only staging: the first
     // backend exception of a step parks here and fail_backend() consumes it

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/decode_backend.hpp"
 #include "obs/latency_histogram.hpp"
 
 namespace efld::serve {
@@ -201,6 +202,13 @@ struct ServeStats {
     std::size_t requests_resumed = 0;    // failover arrivals accepted here
     std::size_t requests_lost = 0;       // resolved kShardFailure (no failover)
     std::size_t replayed_tokens = 0;     // resumed tokens re-fed as prefill
+    // Prefix-sharing counters (zero unless ServeOptions::prefix_sharing).
+    // prefix_hits counts admissions that adopted a shared prefix;
+    // prefix_hit_tokens is the prefill work those adoptions skipped;
+    // prefix_cache_drops counts capacity-pressure index flushes.
+    std::size_t prefix_hits = 0;
+    std::size_t prefix_hit_tokens = 0;
+    std::size_t prefix_cache_drops = 0;
     double wall_ns = 0.0;                // host time inside backend steps
     double simulated_ns = 0.0;           // modeled device time (accel backend)
     // Simulated step-phase breakdown, accumulated from StepCost (accel
@@ -245,6 +253,10 @@ struct ServeLoad {
     std::size_t committed_pages = 0;  // governor ledger (0 without paging)
     std::size_t queued_pages = 0;     // worst-case demand still in the queue
     std::size_t total_pages = 0;      // pool size (0 without paging)
+    std::size_t shared_pages = 0;     // prefix-index pins charged to the pool
+    // Backend prefix-sharing counters (all zero when sharing is off); the
+    // router's prefix-affinity policy reads pages_shared/hits from here.
+    engine::PrefixSharingStats prefix;
     // Latency digests from the engine's metrics histograms (queue admission
     // wait, time-to-first-token, end-to-end). Placement policies and the
     // cluster's ClusterStats aggregation read these without touching the

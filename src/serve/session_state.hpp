@@ -59,6 +59,11 @@ struct SessionState {
     std::size_t times_deferred = 0;      // governor deferrals while queued
     std::size_t failovers = 0;           // shard failures that displaced it
     std::size_t committed_pages = 0;     // governor commitment, released at retire
+    std::size_t adopted_tokens = 0;      // prefix tokens covered by adoption
+    // Adoption ended mid-page in a still-shared page: the session's first
+    // append will take a private copy. Set at admission, cleared (with a
+    // cow_copy trace event) once the first post-adoption feed lands.
+    bool cow_pending = false;
     // Latency anchors (obs::Clock nanoseconds). submitted_ns survives
     // failover with the request; admitted_ns/last_token_ns are per-admission
     // (a failed-over session restarts its inter-token clock on the new

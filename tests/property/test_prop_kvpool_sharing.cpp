@@ -1,0 +1,242 @@
+// Prefix-sharing pool invariants under randomized share / CoW / cancel /
+// release sequences.
+//
+// The model mirrors how the serving layer drives KvBlockPool: one registered
+// prefix chain (index pins, one pool reference per page), sessions that adopt
+// some head of that chain — full-page aligned or mid-page, the latter forcing
+// copy-on-write on their first private append — then grow, retire, or are
+// cancelled at random, with the whole chain occasionally dropped under
+// capacity pressure. After EVERY operation three invariants must hold:
+//
+//   1. refcount conservation: the pool's refcount sum equals the number of
+//      mapped references — every live block-table entry plus every index pin.
+//   2. page conservation: free + used = total, and a page is used iff its
+//      refcount is nonzero.
+//   3. CoW isolation: once a sequence takes a private copy, the new page is
+//      reachable from that sequence alone — never from another sequence's
+//      block table, never from the pinned chain — so diverged histories can
+//      never alias.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "kvpool/kv_block_pool.hpp"
+
+namespace efld::kvpool {
+namespace {
+
+constexpr std::size_t kPageTokens = 4;
+constexpr std::size_t kPages = 24;
+
+class SharingModel {
+public:
+    SharingModel() : pool_({.page_tokens = kPageTokens, .n_pages = kPages}) {}
+
+    KvBlockPool& pool() { return pool_; }
+
+    // A session adopting `k` chain pages, mid-page with probability 1/2 (the
+    // serving layer's prompt.size()-1 cap lands mid-page whenever the prompt
+    // is page-aligned, which is what arms CoW).
+    void create_session(Xoshiro256& rng) {
+        const std::size_t seq = pool_.create_sequence();
+        if (!chain_.empty() && rng.below(2) == 0) {
+            const std::size_t k = 1 + rng.below(chain_.size());
+            std::size_t tokens = k * kPageTokens;
+            if (rng.below(2) == 0) tokens -= 1;  // mid-page: CoW pending
+            pool_.adopt_pages(seq,
+                              std::span<const std::size_t>(chain_.data(), k),
+                              tokens);
+        }
+        live_.push_back(seq);
+    }
+
+    // Grows a random session by one token, resolving CoW exactly as the
+    // engine does: a shared write target takes a private copy first; a dry
+    // pool refuses both paths without corrupting anything.
+    void append(Xoshiro256& rng) {
+        if (live_.empty()) return;
+        const std::size_t seq = live_[rng.below(live_.size())];
+        if (pool_.write_needs_cow(seq)) {
+            const std::size_t before = pool_.seq_tokens(seq);
+            const KvBlockPool::CowResult cow = pool_.cow_page(seq);
+            if (!cow.ok) {
+                ASSERT_EQ(pool_.pages_free(), 0u);  // refusal means dry
+                ASSERT_EQ(pool_.seq_tokens(seq), before);
+                ASSERT_TRUE(pool_.write_needs_cow(seq));  // still unresolved
+                return;
+            }
+            ASSERT_NE(cow.new_page, cow.old_page);
+            ASSERT_EQ(pool_.page_refcount(cow.new_page), 1u);
+            assert_exclusive(cow.new_page, seq);
+            // The copy resolved the divergence: the next write is private,
+            // mid-page, and cannot need a fresh page — it must land.
+            ASSERT_FALSE(pool_.write_needs_cow(seq));
+            ASSERT_TRUE(pool_.append_token(seq));
+            return;
+        }
+        (void)pool_.append_token(seq);  // false = exhausted, sequence unchanged
+    }
+
+    // Registers the next chain page out of a session whose history extends
+    // the chain — one extra pool reference, exactly like a PrefixIndex pin.
+    void register_next(Xoshiro256& rng) {
+        if (live_.empty()) return;
+        const std::size_t seq = live_[rng.below(live_.size())];
+        const auto& table = pool_.block_table(seq);
+        // The session must share the whole current chain (its pages ARE the
+        // chain's head) and own a full page beyond it.
+        if (table.size() <= chain_.size()) return;
+        if (!std::equal(chain_.begin(), chain_.end(), table.begin())) return;
+        if (pool_.seq_tokens(seq) < (chain_.size() + 1) * kPageTokens) return;
+        pool_.retain_page(table[chain_.size()]);
+        chain_.push_back(table[chain_.size()]);
+        ever_chained_.insert(chain_.back());
+    }
+
+    // Cancel/retire: every block-table reference released, adopted or owned.
+    void release_session(Xoshiro256& rng) {
+        if (live_.empty()) return;
+        const std::size_t i = rng.below(live_.size());
+        pool_.free_sequence(live_[i]);
+        live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Capacity-pressure escape: drop every index pin.
+    void drop_chain() {
+        for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+            pool_.release_page(*it);
+        }
+        chain_.clear();
+    }
+
+    void check_invariants() const {
+        // (1) refcount conservation.
+        std::uint64_t mapped = chain_.size();
+        for (const std::size_t seq : live_) {
+            mapped += pool_.block_table(seq).size();
+        }
+        ASSERT_EQ(pool_.refcount_sum(), mapped);
+        // (2) page conservation.
+        ASSERT_EQ(pool_.pages_free() + pool_.pages_used(), pool_.pages_total());
+        std::size_t referenced = 0;
+        for (std::size_t p = 0; p < pool_.pages_total(); ++p) {
+            referenced += pool_.page_refcount(p) > 0 ? 1 : 0;
+        }
+        ASSERT_EQ(referenced, pool_.pages_used());
+        // (3) a page shared by two sessions must be chain history — both
+        // tables hold it at the SAME logical position, so the token paths
+        // into it are identical, never diverged.
+        for (std::size_t a = 0; a < live_.size(); ++a) {
+            const auto& ta = pool_.block_table(live_[a]);
+            for (std::size_t b = a + 1; b < live_.size(); ++b) {
+                const auto& tb = pool_.block_table(live_[b]);
+                for (std::size_t i = 0; i < ta.size(); ++i) {
+                    for (std::size_t j = 0; j < tb.size(); ++j) {
+                        if (ta[i] != tb[j]) continue;
+                        ASSERT_EQ(i, j) << "page " << ta[i]
+                                        << " aliased at diverged positions";
+                        ASSERT_TRUE(was_chain_page(ta[i]))
+                            << "shared page " << ta[i] << " never registered";
+                    }
+                }
+            }
+        }
+    }
+
+    std::size_t live_count() const { return live_.size(); }
+
+private:
+    void assert_exclusive(std::size_t page, std::size_t owner) const {
+        for (const std::size_t seq : live_) {
+            if (seq == owner) continue;
+            const auto& t = pool_.block_table(seq);
+            ASSERT_TRUE(std::find(t.begin(), t.end(), page) == t.end());
+        }
+        ASSERT_TRUE(std::find(chain_.begin(), chain_.end(), page) ==
+                    chain_.end());
+    }
+
+    // Sharing is only ever introduced by adoption from the chain, so any page
+    // two sessions share must have been a chain page at some point.
+    bool was_chain_page(std::size_t page) const {
+        return ever_chained_.count(page) > 0;
+    }
+
+    KvBlockPool pool_;
+    std::vector<std::size_t> live_;
+    std::vector<std::size_t> chain_;
+    std::set<std::size_t> ever_chained_;
+};
+
+TEST(KvPoolSharingProperty, RandomizedShareCowCancelRelease) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SharingModel m;
+        Xoshiro256 rng(seed);
+        for (int step = 0; step < 2000; ++step) {
+            switch (rng.below(100)) {
+                case 0: case 1: case 2: case 3: case 4: case 5:
+                    if (m.live_count() < 8) m.create_session(rng);
+                    break;
+                case 6: case 7: case 8:
+                    m.register_next(rng);
+                    break;
+                case 9: case 10:
+                    m.release_session(rng);
+                    break;
+                case 11:
+                    m.drop_chain();
+                    break;
+                default:
+                    m.append(rng);
+                    break;
+            }
+            m.check_invariants();
+        }
+    }
+}
+
+TEST(KvPoolSharingProperty, CowUnderExhaustionNeverCorrupts) {
+    // Tiny pool, guaranteed to run dry mid-CoW: every refusal must leave the
+    // sequence, the chain, and the free list exactly as they were. Two pages
+    // total and every one of them shared — the copy has nowhere to go.
+    KvBlockPool pool({.page_tokens = 2, .n_pages = 2});
+    const std::size_t donor = pool.create_sequence();
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.append_token(donor));
+    // Pin both donor pages as a registered chain.
+    const std::vector<std::size_t> chain = pool.block_table(donor);
+    for (const std::size_t p : chain) pool.retain_page(p);
+
+    // Adopt mid-page so the first append needs CoW; the pool is full, so the
+    // copy must refuse.
+    const std::size_t adopter = pool.create_sequence();
+    pool.adopt_pages(adopter, chain, 3);
+    ASSERT_TRUE(pool.write_needs_cow(adopter));
+    ASSERT_EQ(pool.pages_free(), 0u);
+    KvBlockPool::CowResult cow = pool.cow_page(adopter);
+    EXPECT_FALSE(cow.ok);
+    EXPECT_EQ(pool.seq_tokens(adopter), 3u);
+    EXPECT_EQ(pool.page_refcount(chain[1]), 3u);  // donor + pin + adopter
+    // A direct append into the shared page is a caller bug and must throw
+    // rather than corrupt the shared history.
+    EXPECT_THROW((void)pool.append_token(adopter), efld::Error);
+
+    // Retiring the donor and dropping both chain pins frees nothing — the
+    // adopter still maps both pages — but it does make the adopter the sole
+    // holder, so the write target is private again and CoW dissolves.
+    pool.free_sequence(donor);
+    pool.release_page(chain[0]);
+    pool.release_page(chain[1]);
+    EXPECT_EQ(pool.pages_free(), 0u);
+    EXPECT_EQ(pool.page_refcount(chain[1]), 1u);
+    EXPECT_FALSE(pool.write_needs_cow(adopter));
+    EXPECT_TRUE(pool.append_token(adopter));
+}
+
+}  // namespace
+}  // namespace efld::kvpool
