@@ -193,6 +193,53 @@ CapacityResult run_capacity(const model::QuantizedModelWeights& qw,
     return res;
 }
 
+// Per-phase cost attribution, cluster-wide: a 2-shard profiled run whose
+// serve_phase_* counters merge across shards in the router's snapshot.
+struct PhaseTotalsRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t sim_ns = 0;
+};
+
+std::vector<PhaseTotalsRow> run_phases(const model::QuantizedModelWeights& qw,
+                                       engine::BackendKind backend,
+                                       std::size_t requests,
+                                       std::size_t max_new) {
+    runtime::ClusterOptions opts;
+    opts.shards = 2;
+    opts.shard.backend = backend;
+    opts.shard.sampler.temperature = 0.0f;
+    opts.shard.max_queue = requests;
+    opts.shard.profile = true;
+    cluster::ClusterRouter router(qw, opts);
+    std::vector<runtime::RequestHandle> handles;
+    for (std::size_t r = 0; r < requests; ++r) {
+        handles.push_back(router.submit(runtime::ServeRequest{
+            .prompt = prompt_of(r), .max_new_tokens = max_new}));
+    }
+    router.start();
+    router.drain();
+    router.stop();
+    for (auto& h : handles) (void)h.get();
+    const obs::MetricsSnapshot snap = router.metrics_snapshot();
+    std::vector<PhaseTotalsRow> rows;
+    for (int p = 0; p < static_cast<int>(obs::Phase::kCount); ++p) {
+        PhaseTotalsRow row;
+        row.name = obs::to_string(static_cast<obs::Phase>(p));
+        const std::string base = "serve_phase_" + row.name;
+        const auto counter = [&](const std::string& n) -> std::uint64_t {
+            const auto it = snap.counters.find(n);
+            return it == snap.counters.end() ? 0 : it->second;
+        };
+        row.count = counter(base + "_count_total");
+        row.wall_ns = counter(base + "_wall_ns_total");
+        row.sim_ns = counter(base + "_sim_ns_total");
+        if (row.count > 0) rows.push_back(row);
+    }
+    return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,6 +393,20 @@ int main(int argc, char** argv) {
         std::printf("WARNING: capacity-workload tokens diverged across policies!\n");
     }
 
+    // ---- per-phase attribution, merged across 2 shards ----
+    const std::vector<PhaseTotalsRow> phases =
+        run_phases(qw, backend, std::min<std::size_t>(requests, 16), max_new);
+    std::printf("\n=== Per-phase cost attribution (2 shards, merged) ===\n");
+    std::printf("%-14s | %10s | %12s | %12s\n", "phase", "count", "wall ms",
+                "sim ms");
+    std::printf("------------------------------------------------------\n");
+    for (const PhaseTotalsRow& row : phases) {
+        std::printf("%-14s | %10llu | %12.3f | %12.3f\n", row.name.c_str(),
+                    static_cast<unsigned long long>(row.count),
+                    static_cast<double>(row.wall_ns) / 1e6,
+                    static_cast<double>(row.sim_ns) / 1e6);
+    }
+
     if (emit_json) {
         std::ofstream out(json_path);
         out << "{\n"
@@ -385,7 +446,17 @@ int main(int argc, char** argv) {
                 << ", \"rounds\": " << r.rounds << "}"
                 << (i + 1 < capacity.size() ? "," : "") << "\n";
         }
-        out << "  }\n}\n";
+        out << "  },\n"
+            << "  \"phases\": [\n";
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const PhaseTotalsRow& row = phases[i];
+            out << "    {\"phase\": \"" << row.name
+                << "\", \"count\": " << row.count
+                << ", \"wall_ns\": " << row.wall_ns
+                << ", \"sim_ns\": " << row.sim_ns << "}"
+                << (i + 1 < phases.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
 

@@ -28,6 +28,7 @@
 // scripts/bench_archive.sh so the serving-throughput trajectory stays
 // visible across PRs.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,7 +54,35 @@ struct BatchResult {
     // histogram — the same numbers a kMetrics wire scrape would report.
     obs::LatencySummary ttft;
     std::vector<std::vector<std::int32_t>> tokens;  // parity fingerprint
+    double simulated_ns = 0.0;       // stats().simulated_ns (accel; 0 host)
+    obs::MetricsSnapshot metrics;    // full snapshot (phase counters, ...)
 };
+
+// One phase row pulled back out of the serve_phase_* metric series.
+struct PhaseRow {
+    const char* name;
+    std::uint64_t count = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t sim_ns = 0;
+};
+
+std::vector<PhaseRow> phase_rows(const obs::MetricsSnapshot& snap) {
+    std::vector<PhaseRow> rows;
+    for (int p = 0; p < static_cast<int>(obs::Phase::kCount); ++p) {
+        PhaseRow row;
+        row.name = obs::to_string(static_cast<obs::Phase>(p));
+        const std::string base = std::string("serve_phase_") + row.name;
+        const auto counter = [&](const std::string& name) -> std::uint64_t {
+            const auto it = snap.counters.find(name);
+            return it == snap.counters.end() ? 0 : it->second;
+        };
+        row.count = counter(base + "_count_total");
+        row.wall_ns = counter(base + "_wall_ns_total");
+        row.sim_ns = counter(base + "_sim_ns_total");
+        if (row.count > 0) rows.push_back(row);
+    }
+    return rows;
+}
 
 BatchResult run_serve_opts(const model::QuantizedModelWeights& qw,
                            serve::ServeOptions opts, std::size_t requests,
@@ -80,9 +109,10 @@ BatchResult run_serve_opts(const model::QuantizedModelWeights& qw,
     res.occupancy = eng.stats().mean_batch_occupancy();
     res.peak_batch = eng.stats().peak_batch;
     res.deferrals = eng.stats().capacity_deferrals;
-    const obs::MetricsSnapshot snap = eng.metrics().snapshot();
-    const auto ttft_it = snap.histograms.find("serve_ttft_ns");
-    if (ttft_it != snap.histograms.end()) {
+    res.simulated_ns = eng.stats().simulated_ns;
+    res.metrics = eng.metrics_snapshot();
+    const auto ttft_it = res.metrics.histograms.find("serve_ttft_ns");
+    if (ttft_it != res.metrics.histograms.end()) {
         res.ttft = obs::LatencySummary::from(ttft_it->second);
     }
     for (auto& f : futs) res.tokens.push_back(f.get().tokens);
@@ -280,6 +310,45 @@ int main(int argc, char** argv) {
         }
     }
 
+    // ---- per-phase cost attribution: where the step time actually goes ----
+    // A profiled run (max_batch 4) whose serve_phase_* counters break the
+    // backend's reported cost down by phase. The sim-ns attribution is exact
+    // by construction (prefill + decode_batch partition each step's
+    // StepCost::simulated_ns), so it must re-sum to stats().simulated_ns —
+    // a 1% drift gate catches any future attribution bug.
+    serve::ServeOptions prof_opts;
+    prof_opts.backend = backend;
+    prof_opts.max_batch = 4;
+    prof_opts.threads = threads;
+    prof_opts.profile = true;
+    const BatchResult prof =
+        run_serve_opts(qw, prof_opts, requests, max_new, "benchmark request ");
+    const std::vector<PhaseRow> phases = phase_rows(prof.metrics);
+    double phase_sim_sum = 0.0;
+    std::printf("\n=== Per-phase cost attribution (profiled, max_batch=4) ===\n");
+    std::printf("%-14s | %10s | %12s | %12s | %9s\n", "phase", "count",
+                "wall ms", "sim ms", "sim share");
+    std::printf("--------------------------------------------------------------------\n");
+    for (const PhaseRow& row : phases) {
+        phase_sim_sum += static_cast<double>(row.sim_ns);
+        std::printf("%-14s | %10llu | %12.3f | %12.3f | %8.1f%%\n", row.name,
+                    static_cast<unsigned long long>(row.count),
+                    static_cast<double>(row.wall_ns) / 1e6,
+                    static_cast<double>(row.sim_ns) / 1e6,
+                    prof.simulated_ns > 0.0
+                        ? 100.0 * static_cast<double>(row.sim_ns) / prof.simulated_ns
+                        : 0.0);
+    }
+    bool phases_ok = true;
+    if (accel && prof.simulated_ns > 0.0) {
+        const double drift =
+            std::abs(phase_sim_sum - prof.simulated_ns) / prof.simulated_ns;
+        phases_ok = drift <= 0.01;
+        std::printf("\nphase sim-ns re-sums to stats().simulated_ns: %s "
+                    "(drift %.4f%%)\n",
+                    phases_ok ? "yes" : "NO (regression!)", drift * 100.0);
+    }
+
     if (emit_json) {
         std::ofstream out(json_path);
         out << "{\n"
@@ -307,7 +376,25 @@ int main(int argc, char** argv) {
                 << ", \"ttft_max_ms\": " << static_cast<double>(r.ttft.max_ns) / 1e6
                 << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
         }
-        out << "  ]";
+        out << "  ],\n"
+            << "  \"phases\": {\n"
+            << "    \"total_simulated_ns\": " << prof.simulated_ns << ",\n"
+            << "    \"phase_sim_ns_sum\": " << phase_sim_sum << ",\n"
+            << "    \"attribution_ok\": " << (phases_ok ? "true" : "false")
+            << ",\n"
+            << "    \"per_phase\": [\n";
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const PhaseRow& row = phases[i];
+            out << "      {\"phase\": \"" << row.name
+                << "\", \"count\": " << row.count
+                << ", \"wall_ns\": " << row.wall_ns
+                << ", \"sim_ns\": " << row.sim_ns << ", \"sim_share\": "
+                << (prof.simulated_ns > 0.0
+                        ? static_cast<double>(row.sim_ns) / prof.simulated_ns
+                        : 0.0)
+                << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
+        }
+        out << "    ]\n  }";
         if (paging) {
             out << ",\n  \"paging\": {\n"
                 << "    \"pool_tokens\": " << pg.pool_tokens << ",\n"
@@ -336,5 +423,5 @@ int main(int argc, char** argv) {
     // deterministic cycle-model metric — host wall-clock can wobble with
     // machine load, which is a report, not a bug.
     const bool paging_ok = !paging || (pg.parity && paged_wins);
-    return (parity && (monotonic || !accel) && paging_ok) ? 0 : 1;
+    return (parity && (monotonic || !accel) && paging_ok && phases_ok) ? 0 : 1;
 }

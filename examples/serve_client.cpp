@@ -6,6 +6,7 @@
 //   $ ./serve_client --port 9177 --count 8     # a burst of requests
 //   $ ./serve_client --port 9177 --metrics     # scrape Prometheus metrics
 //   $ ./serve_client --port 9177 --metrics-json
+//   $ ./serve_client --port 9177 --trace       # dump the Perfetto timeline
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     std::size_t count = 1;
     std::uint32_t deadline_ms = 0;
     bool metrics = false;
+    bool trace = false;
     wire::MetricsFormat metrics_format = wire::MetricsFormat::kPrometheus;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
@@ -45,11 +47,13 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
             metrics = true;
             metrics_format = wire::MetricsFormat::kJson;
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            trace = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s --port P [--host H] [--prompt S] [--tokens N] "
                          "[--count C] [--deadline-ms D] "
-                         "[--metrics | --metrics-json]\n",
+                         "[--metrics | --metrics-json | --trace]\n",
                          argv[0]);
             return 2;
         }
@@ -62,6 +66,11 @@ int main(int argc, char** argv) {
     cluster::SocketClient client(host, port);
     if (metrics) {
         const std::string body = client.metrics(metrics_format);
+        std::fputs(body.c_str(), stdout);
+        return 0;
+    }
+    if (trace) {
+        const std::string body = client.trace_dump();
         std::fputs(body.c_str(), stdout);
         return 0;
     }

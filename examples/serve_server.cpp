@@ -20,18 +20,27 @@
 //   --serve-seconds S   serve for S seconds instead of until stdin EOF
 //   --metrics-dump S    print the cluster's Prometheus snapshot every S
 //                       seconds while serving (same body a kMetrics wire
-//                       scrape returns)
+//                       scrape returns), plus a one-line windowed-rates
+//                       summary (trailing 10s arrivals/tokens per second)
+//   --trace-out PATH    enable the trace ring + per-phase profiler and write
+//                       the Perfetto timeline JSON to PATH at exit (the same
+//                       body a kTraceDump wire request returns live)
+//   --fault-shard0 SPEC scripted fault on shard 0 only (e.g. step:40) —
+//                       failover demos without hand-crafted clients
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "cluster/socket_frontend.hpp"
 #include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 #include "runtime/serve.hpp"
 
 using namespace efld;
@@ -45,6 +54,8 @@ int main(int argc, char** argv) {
     bool prefix_sharing = false;
     long serve_seconds = -1;
     long metrics_dump_seconds = 0;
+    std::string trace_out;
+    std::string fault_shard0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::max<std::size_t>(1, std::stoul(argv[++i]));
@@ -62,12 +73,17 @@ int main(int argc, char** argv) {
             serve_seconds = std::stol(argv[++i]);
         } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
             metrics_dump_seconds = std::max(1L, std::stol(argv[++i]));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--fault-shard0") == 0 && i + 1 < argc) {
+            fault_shard0 = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--shards N] [--policy round-robin|least-"
                          "loaded|best-fit|prefix-affinity] [--port P] "
                          "[--model micro|tiny] [--paging] [--prefix-sharing] "
-                         "[--serve-seconds S] [--metrics-dump S]\n",
+                         "[--serve-seconds S] [--metrics-dump S] "
+                         "[--trace-out PATH] [--fault-shard0 SPEC]\n",
                          argv[0]);
             return 2;
         }
@@ -79,6 +95,14 @@ int main(int argc, char** argv) {
     opts.shard.sampler.temperature = 0.0f;  // deterministic demo output
     opts.shard.paging = paging || prefix_sharing;  // sharing lives in the pool
     opts.shard.prefix_sharing = prefix_sharing;
+    if (!trace_out.empty()) {
+        // One shared ring across shards (cross-shard failover reads as one
+        // story) + the per-phase profiler, so the timeline has both the
+        // request lifecycle and the driver's phase slices.
+        opts.shard.trace = std::make_shared<obs::TraceRecorder>(8192);
+        opts.shard.profile = true;
+    }
+    if (!fault_shard0.empty()) opts.shard_fault_specs = {fault_shard0};
     const model::ModelConfig cfg = model_name == "tiny"
                                        ? model::ModelConfig::tiny_512()
                                        : model::ModelConfig::micro_256();
@@ -110,9 +134,22 @@ int main(int argc, char** argv) {
                                      std::chrono::seconds(metrics_dump_seconds),
                                      [&] { return dump_stop; })) {
                 lk.unlock();
-                const std::string text =
-                    obs::to_prometheus(d.router->metrics_snapshot());
-                std::printf("--- metrics dump ---\n%s", text.c_str());
+                const obs::MetricsSnapshot snap = d.router->metrics_snapshot();
+                std::printf("--- metrics dump ---\n%s",
+                            obs::to_prometheus(snap).c_str());
+                // The windowed view: what the cluster is doing RIGHT NOW,
+                // not since boot (the cumulative counters above).
+                const auto gauge = [&](const char* name) {
+                    const auto it = snap.gauges.find(name);
+                    return it == snap.gauges.end() ? 0.0 : it->second;
+                };
+                std::printf(
+                    "window[10s]: %.1f arrivals/s, %.1f tokens/s, "
+                    "%.1f deferrals/s, %.1f failovers/s\n",
+                    gauge("serve_arrivals_per_s_window_10s"),
+                    gauge("serve_tokens_per_s_window_10s"),
+                    gauge("serve_deferrals_per_s_window_10s"),
+                    gauge("serve_failovers_per_s_window_10s"));
                 std::fflush(stdout);
                 lk.lock();
             }
@@ -135,6 +172,13 @@ int main(int argc, char** argv) {
     }
     server.stop();
     d.router->drain();
+    if (!trace_out.empty()) {
+        // Dump before stop(): a scripted fault may have parked an error that
+        // stop() rethrows, and the timeline is the whole point of the run.
+        std::ofstream out(trace_out);
+        out << d.router->trace_json();
+        std::printf("wrote trace to %s\n", trace_out.c_str());
+    }
     d.router->stop();
     const runtime::ClusterStats cs = d.router->stats();
     std::printf("served %zu requests (%zu tokens) across %zu shards\n",

@@ -5,6 +5,10 @@
 # matches the number of requests actually served. A second phase reruns the
 # loop with --prefix-sharing under shared-prefix traffic and asserts the
 # serve_prefix_* series tell that story (and are absent when sharing is off).
+# A third phase kills shard 0 mid-workload (scripted fault) and pulls the
+# kTraceDump frame over TCP: the body must be valid JSON and must contain a
+# flow-event pair ("s" at the harvest, "f" at the resubmit, same id) linking
+# one request's spans across the two shards.
 #
 #   scripts/metrics_smoke.sh [build_dir]     # default: ./build
 set -eu
@@ -134,5 +138,63 @@ fi
 
 kill "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
+
+# ---- trace phase: the kTraceDump frame after a scripted shard kill ----
+# Shard 0 dies at its 20th decode step; its in-flight requests fail over to
+# shard 1. The live trace dump must parse as JSON and carry the failover as
+# a flow-event pair — "s" (harvest) on the dying shard and "f" (resubmit) on
+# the survivor, joined by the request id — plus exactly one first_token
+# instant per request (exactly-once streaming across the failover).
+boot_server server_trace --shards 2 --fault-shard0 step:20 \
+    --trace-out "$workdir/unused_trace.json"
+echo "metrics_smoke: trace server up on port $port"
+
+client_pids=""
+i=0
+while [ "$i" -lt 4 ]; do
+    "$client" --port "$port" --prompt "trace probe $i" --tokens 16 \
+        >>"$workdir/trace_client.out" 2>&1 &
+    client_pids="$client_pids $!"
+    i=$((i + 1))
+done
+for pid in $client_pids; do
+    wait "$pid" || true
+done
+
+"$client" --port "$port" --trace >"$workdir/trace.json"
+
+python3 -m json.tool "$workdir/trace.json" >/dev/null || {
+    echo "metrics_smoke: trace dump is not valid JSON" >&2
+    exit 1
+}
+python3 - "$workdir/trace.json" <<'EOF' || exit 1
+import collections
+import json
+import sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+starts = [e for e in events if e["ph"] == "s"]
+finishes = [e for e in events if e["ph"] == "f"]
+linked = {e["id"] for e in starts} & {e["id"] for e in finishes}
+assert linked, "no flow pair links a harvest to a resubmit"
+for rid in linked:
+    src = {e["pid"] for e in starts if e["id"] == rid}
+    dst = {e["pid"] for e in finishes if e["id"] == rid}
+    assert src and dst and src != dst, f"flow for request {rid} never crossed shards"
+first = collections.Counter(
+    e["args"]["request"]
+    for e in events
+    if e["ph"] == "i" and e["name"] == "first_token"
+)
+dupes = {r: n for r, n in first.items() if n != 1}
+assert not dupes, f"first_token not exactly-once: {dupes}"
+print(
+    f"metrics_smoke: trace ok ({len(events)} events, "
+    f"{len(linked)} failover flow(s), first_token exactly-once)"
+)
+EOF
+
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
 echo "metrics_smoke: ok ($requests requests, counters match, body parses," \
-    "prefix series truthful)"
+    "prefix series truthful, trace dump linked across failover)"

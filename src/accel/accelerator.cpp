@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "obs/profiler.hpp"
 
 namespace efld::accel {
 
@@ -185,6 +186,7 @@ engine::PrefixSharingStats Accelerator::prefix_stats() const {
 }
 
 void Accelerator::attention(std::size_t layer, std::size_t slot, std::vector<Fp16>& x) {
+    const obs::ScopedPhase phase(profiler_, obs::Phase::kAttention);
     const model::ModelConfig& cfg = model_->config;
     const PackedLayer& lw = model_->layers[layer];
     const std::size_t hd = cfg.head_dim();

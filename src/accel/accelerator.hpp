@@ -122,6 +122,7 @@ public:
     [[nodiscard]] engine::StepCost last_step_cost() const noexcept override {
         return last_cost_;
     }
+    void set_profiler(obs::Profiler* profiler) override { profiler_ = profiler; }
 
     // Prefix sharing (active when opts_.prefix_sharing): the contract is in
     // decode_backend.hpp. Full-page adoption only — the scale-zero FIFO is
@@ -189,6 +190,7 @@ private:
     std::vector<KvEntry> v_cache_;
     std::vector<std::size_t> ctx_scratch_;   // batch pricing, no per-step alloc
     engine::StepCost last_cost_{};
+    obs::Profiler* profiler_ = nullptr;      // serving-layer owned; may be null
 
     // Prefix store + its lock (probe reads cross-thread while the driver
     // adopts/registers); hit counters are relaxed atomics like the host's.

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "obs/exposition.hpp"
+#include "obs/perfetto_export.hpp"
 
 namespace efld::cluster {
 
@@ -423,7 +424,30 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
     out.set_counter("cluster_requests_lost", requests_lost_);
     out.set_gauge("cluster_shards", static_cast<double>(shards_.size()));
     out.set_gauge("cluster_healthy_shards", static_cast<double>(healthy));
+    // The shards SHARE one trace ring, so the per-shard merge above summed
+    // the same drop counter N times — overwrite with the ring's true value.
+    if (opts_.shard.trace) {
+        out.set_counter("serve_trace_dropped_total", opts_.shard.trace->dropped());
+    }
     return out;
+}
+
+std::string ClusterRouter::trace_json() const {
+    std::vector<obs::TraceRecord> lifecycle;
+    if (opts_.shard.trace) lifecycle = opts_.shard.trace->snapshot();
+    std::vector<obs::ShardSpans> spans;
+    {
+        // Under place_mu_: restart_shard may swap an engine mid-walk.
+        const std::lock_guard<std::mutex> lock(place_mu_);
+        spans.reserve(shards_.size());
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            obs::ShardSpans s;
+            s.shard = static_cast<std::uint32_t>(i);
+            s.spans = shards_[i]->profiler().spans();
+            spans.push_back(std::move(s));
+        }
+    }
+    return obs::to_perfetto_json(lifecycle, spans);
 }
 
 }  // namespace efld::cluster

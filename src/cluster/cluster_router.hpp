@@ -276,6 +276,13 @@ public:
     // cluster_healthy_shards, ...). Safe from any thread.
     [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
+    // Cluster timeline as Chrome-trace-event JSON (the kTraceDump wire
+    // frame): the shared trace ring's lifecycle events plus every shard's
+    // profiler spans, stitched into one Perfetto-loadable file — pid = shard,
+    // flow arrows follow a request id across a failover. Empty-but-valid
+    // JSON when no trace ring is configured. Safe from any thread.
+    [[nodiscard]] std::string trace_json() const;
+
     [[nodiscard]] std::size_t shard_count() const noexcept {
         return shards_.size();
     }

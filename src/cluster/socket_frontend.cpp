@@ -275,6 +275,17 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
                 }
                 continue;
             }
+            if (wreq.kind == wire::RequestKind::kTraceDump) {
+                // Trace dump: render the cluster's Perfetto timeline inline.
+                // Like metrics, an observability read — not a served request.
+                resp.status = wire::Status::kTraceDump;
+                resp.trace = router_.trace_json();
+                if (!write_frame(fd, wire::encode_response(resp),
+                                 deadline_in(opts_.io_timeout_ms))) {
+                    break;
+                }
+                continue;
+            }
             serve::Request req;
             req.prompt = wreq.prompt;
             req.max_new_tokens = wreq.max_new_tokens;
@@ -408,6 +419,16 @@ std::string SocketClient::metrics(wire::MetricsFormat format) {
           "SocketClient: server replied to a metrics request with a "
           "non-metrics response");
     return std::move(resp.metrics);
+}
+
+std::string SocketClient::trace_dump() {
+    wire::WireRequest req;
+    req.kind = wire::RequestKind::kTraceDump;
+    wire::WireResponse resp = request(req);
+    check(resp.status == wire::Status::kTraceDump,
+          "SocketClient: server replied to a trace request with a "
+          "non-trace response");
+    return std::move(resp.trace);
 }
 
 std::chrono::milliseconds SocketClient::backoff_delay(std::size_t attempt,

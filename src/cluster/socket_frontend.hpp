@@ -17,6 +17,9 @@
 //              (ClusterRouter::metrics_snapshot → obs exposition). Served
 //              inline on the same connection; scrapes interleave with
 //              generate traffic from other connections.
+//   trace    — the reply to a kind-2 (trace) request: the cluster timeline
+//              as Chrome-trace-event JSON (ClusterRouter::trace_json →
+//              obs/perfetto_export), loadable in ui.perfetto.dev.
 //
 // Threading: one acceptor thread plus one handler thread per connection. A
 // handler blocks on its request's future, so concurrency across clients
@@ -171,6 +174,11 @@ public:
     // transport failure or a non-metrics response.
     [[nodiscard]] std::string metrics(
         wire::MetricsFormat format = wire::MetricsFormat::kPrometheus);
+
+    // Trace dump: one kTraceDump round trip, returning the cluster timeline
+    // as Chrome-trace-event JSON (load it in ui.perfetto.dev). Throws
+    // efld::Error on transport failure or a non-trace response.
+    [[nodiscard]] std::string trace_dump();
 
     [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 

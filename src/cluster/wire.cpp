@@ -86,6 +86,8 @@ std::vector<std::uint8_t> encode_request(const WireRequest& req) {
         case RequestKind::kMetrics:
             put_u8(out, static_cast<std::uint8_t>(req.metrics_format));
             break;
+        case RequestKind::kTraceDump:
+            break;  // no body
     }
     return out;
 }
@@ -95,7 +97,7 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
     check(c.u8() == kVersion, "wire: unknown request version");
     WireRequest req;
     const std::uint8_t kind = c.u8();
-    check(kind <= static_cast<std::uint8_t>(RequestKind::kMetrics),
+    check(kind <= static_cast<std::uint8_t>(RequestKind::kTraceDump),
           "wire: unknown request kind");
     req.kind = static_cast<RequestKind>(kind);
     switch (req.kind) {
@@ -111,6 +113,8 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
             req.metrics_format = static_cast<MetricsFormat>(format);
             break;
         }
+        case RequestKind::kTraceDump:
+            break;  // no body
     }
     c.finish();
     return req;
@@ -141,6 +145,9 @@ std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
         case Status::kMetrics:
             put_bytes(out, resp.metrics);
             break;
+        case Status::kTraceDump:
+            put_bytes(out, resp.trace);
+            break;
     }
     return out;
 }
@@ -150,7 +157,7 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
     check(c.u8() == kVersion, "wire: unknown response version");
     WireResponse resp;
     const std::uint8_t status = c.u8();
-    check(status <= static_cast<std::uint8_t>(Status::kMetrics),
+    check(status <= static_cast<std::uint8_t>(Status::kTraceDump),
           "wire: unknown response status");
     resp.status = static_cast<Status>(status);
     switch (resp.status) {
@@ -175,6 +182,9 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
             break;
         case Status::kMetrics:
             resp.metrics = c.str();
+            break;
+        case Status::kTraceDump:
+            resp.trace = c.str();
             break;
     }
     c.finish();

@@ -6,6 +6,7 @@
 //     kind 0 (generate) : u32 max_new_tokens, u32 deadline_ms,
 //                         u32 prompt_length, prompt bytes
 //     kind 1 (metrics)  : u8 format — 0 Prometheus text, 1 JSON
+//     kind 2 (trace)    : (empty) — dump the cluster trace timeline
 //   response := u8 version(=2), u8 status, body
 //     status 0 (ok)       : u64 id, u8 finish_reason, u32 times_deferred,
 //                           u32 failovers, u32 token_count,
@@ -19,6 +20,10 @@
 //     status 3 (metrics)  : u32 body_length, body bytes — the cluster metrics
 //                           snapshot in the requested format (the reply to a
 //                           kind-1 request; see obs/exposition.hpp)
+//     status 4 (trace)    : u32 body_length, body bytes — the cluster timeline
+//                           as Chrome-trace-event JSON, loadable in
+//                           ui.perfetto.dev (the reply to a kind-2 request;
+//                           see obs/perfetto_export.hpp)
 //
 // deadline_ms is relative to server receipt (0 = none) — clients and servers
 // share no clock. finish_reason transports serve::FinishReason's enum value.
@@ -44,17 +49,23 @@ namespace efld::cluster::wire {
 
 inline constexpr std::uint8_t kVersion = 2;
 // Upper bound a frame reader enforces BEFORE allocating: a garbage length
-// prefix must not become a multi-gigabyte allocation.
-inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+// prefix must not become a multi-gigabyte allocation. Sized for trace dumps —
+// a Perfetto timeline of a long cluster run runs to several MiB of JSON.
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
 
 enum class Status : std::uint8_t {
     kOk = 0,
     kRejected = 1,
     kError = 2,
     kMetrics = 3,
+    kTraceDump = 4,
 };
 
-enum class RequestKind : std::uint8_t { kGenerate = 0, kMetrics = 1 };
+enum class RequestKind : std::uint8_t {
+    kGenerate = 0,
+    kMetrics = 1,
+    kTraceDump = 2,
+};
 
 enum class MetricsFormat : std::uint8_t { kPrometheus = 0, kJson = 1 };
 
@@ -83,6 +94,8 @@ struct WireResponse {
     std::string error;
     // kMetrics field: the exposition body (Prometheus text or JSON)
     std::string metrics;
+    // kTraceDump field: the Chrome-trace-event JSON timeline
+    std::string trace;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& req);

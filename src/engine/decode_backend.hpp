@@ -34,6 +34,10 @@
 
 #include "model/config.hpp"
 
+namespace efld::obs {
+class Profiler;
+}  // namespace efld::obs
+
 namespace efld::engine {
 
 // What one decode_batch step cost, in the three currencies this repo cares
@@ -98,6 +102,12 @@ public:
 
     // Cost report for the most recent decode_batch call.
     [[nodiscard]] virtual StepCost last_step_cost() const noexcept = 0;
+
+    // Hands the backend a phase profiler (owned by the serving layer;
+    // outlives the backend's use of it, nullptr detaches). Backends that
+    // opt in scope their internal phases — attention, for now — so the
+    // profiler can split a decode step's cost. Default: ignore it.
+    virtual void set_profiler(obs::Profiler* /*profiler*/) {}
 
     // ---- prefix sharing (optional; default: no sharing) ----
     //

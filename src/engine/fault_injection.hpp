@@ -112,6 +112,10 @@ public:
         return inner_->last_step_cost();
     }
 
+    void set_profiler(obs::Profiler* profiler) override {
+        inner_->set_profiler(profiler);
+    }
+
     // Prefix sharing passes straight through: faults script the decode and
     // reservation paths; the index lives (and dies) with the inner backend.
     [[nodiscard]] std::size_t probe_prefix(std::span<const std::int32_t> prompt,

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "model/tensor.hpp"
+#include "obs/profiler.hpp"
 
 namespace efld::model {
 
@@ -237,6 +238,7 @@ std::span<const float> ReferenceEngine::mlp_norm(std::size_t layer) const {
 
 void ReferenceEngine::attention_block(std::size_t layer, std::size_t nb,
                                       std::span<const std::size_t> slots) {
+    const obs::ScopedPhase phase(profiler_, obs::Phase::kAttention);
     const std::size_t dim = cfg_.dim;
     const std::size_t kvd = cfg_.kv_dim();
     for (std::size_t b = 0; b < nb; ++b) {

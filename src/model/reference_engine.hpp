@@ -155,6 +155,7 @@ public:
     [[nodiscard]] engine::StepCost last_step_cost() const noexcept override {
         return last_cost_;
     }
+    void set_profiler(obs::Profiler* profiler) override { profiler_ = profiler; }
 
     // Prefix sharing (active when opts_.prefix_sharing): see decode_backend.hpp
     // for the contract. probe is safe from any thread (the router's affinity
@@ -211,6 +212,7 @@ private:
     std::vector<std::size_t> pos_;
     engine::SlotLedger slots_;  // DecodeBackend reservations
     engine::StepCost last_cost_{};
+    obs::Profiler* profiler_ = nullptr;  // serving-layer owned; may be null
 
     // The live paged pool behind whichever arena the options selected (only
     // valid when paged()).

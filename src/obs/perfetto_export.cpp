@@ -1,0 +1,147 @@
+#include "obs/perfetto_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace efld::obs {
+
+namespace {
+
+void append_format(std::string& out, const char* fmt, ...) {
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Trace-event timestamps are microseconds; keep sub-µs precision.
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void append_event(std::string& out, bool& first, const std::string& body) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += body;
+}
+
+constexpr std::uint32_t kDriverTid = 1;
+constexpr std::uint32_t kLifecycleTid = 2;
+constexpr std::uint32_t kRequestTid = 3;
+
+}  // namespace
+
+std::string to_perfetto_json(const std::vector<TraceRecord>& lifecycle,
+                             const std::vector<ShardSpans>& profiler_spans) {
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+
+    // Track metadata: every shard seen in either stream gets a process name
+    // and named threads, so the UI reads "shard 0 / driver" not "pid 0".
+    std::set<std::uint32_t> shards;
+    for (const TraceRecord& r : lifecycle) shards.insert(r.shard);
+    for (const ShardSpans& s : profiler_spans) shards.insert(s.shard);
+    for (const std::uint32_t shard : shards) {
+        std::string body;
+        append_format(body,
+                      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                      "\"tid\":0,\"args\":{\"name\":\"shard %u\"}}",
+                      shard, shard);
+        append_event(out, first, body);
+        static const struct {
+            std::uint32_t tid;
+            const char* name;
+        } kThreads[] = {{kDriverTid, "driver"},
+                        {kLifecycleTid, "lifecycle"},
+                        {kRequestTid, "requests"}};
+        for (const auto& t : kThreads) {
+            body.clear();
+            append_format(body,
+                          "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
+                          "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                          shard, t.tid, t.name);
+            append_event(out, first, body);
+        }
+    }
+
+    // Profiler phases: duration slices on the shard's driver track.
+    for (const ShardSpans& s : profiler_spans) {
+        for (const SpanRecord& span : s.spans) {
+            const std::uint64_t dur =
+                span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0;
+            std::string body;
+            append_format(body,
+                          "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"phase\","
+                          "\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                          to_string(span.phase), s.shard, kDriverTid,
+                          to_us(span.begin_ns), to_us(dur));
+            append_event(out, first, body);
+        }
+    }
+
+    // Lifecycle instants, plus residence bounds per (request, shard).
+    struct Residence {
+        std::uint64_t first_ns = 0;
+        std::uint64_t last_ns = 0;
+    };
+    std::map<std::pair<std::uint64_t, std::uint32_t>, Residence> residence;
+    for (const TraceRecord& r : lifecycle) {
+        std::string body;
+        append_format(body,
+                      "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"lifecycle\","
+                      "\"pid\":%u,\"tid\":%u,\"ts\":%.3f,\"s\":\"t\","
+                      "\"args\":{\"request\":%" PRIu64 ",\"arg\":%" PRIu64
+                      "}}",
+                      to_string(r.event), r.shard, kLifecycleTid,
+                      to_us(r.ts_ns), r.request_id, r.arg);
+        append_event(out, first, body);
+        auto [it, inserted] =
+            residence.try_emplace({r.request_id, r.shard},
+                                  Residence{r.ts_ns, r.ts_ns});
+        if (!inserted) {
+            it->second.first_ns = std::min(it->second.first_ns, r.ts_ns);
+            it->second.last_ns = std::max(it->second.last_ns, r.ts_ns);
+        }
+    }
+    for (const auto& [key, res] : residence) {
+        // Give zero-width residences 1 µs so the slice renders and flow
+        // arrows have something to bind to.
+        const std::uint64_t dur_ns =
+            std::max<std::uint64_t>(res.last_ns - res.first_ns, 1000);
+        std::string body;
+        append_format(body,
+                      "{\"ph\":\"X\",\"name\":\"request %" PRIu64
+                      "\",\"cat\":\"request\",\"pid\":%u,\"tid\":%u,"
+                      "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"request\":%" PRIu64
+                      "}}",
+                      key.first, key.second, kRequestTid, to_us(res.first_ns),
+                      to_us(dur_ns), key.first);
+        append_event(out, first, body);
+    }
+
+    // Failover flow: an arrow from the harvest on the dying shard to the
+    // resubmit on the survivor, keyed by the request id both sides carry.
+    for (const TraceRecord& r : lifecycle) {
+        const bool start = r.event == TraceEvent::kFailoverHarvest;
+        const bool finish = r.event == TraceEvent::kResubmitted;
+        if (!start && !finish) continue;
+        std::string body;
+        append_format(body,
+                      "{\"ph\":\"%s\",\"name\":\"failover\",\"cat\":"
+                      "\"failover\",\"id\":%" PRIu64
+                      ",\"pid\":%u,\"tid\":%u,\"ts\":%.3f%s}",
+                      start ? "s" : "f", r.request_id, r.shard, kRequestTid,
+                      to_us(r.ts_ns), start ? "" : ",\"bp\":\"e\"");
+        append_event(out, first, body);
+    }
+
+    out += "]}";
+    return out;
+}
+
+}  // namespace efld::obs

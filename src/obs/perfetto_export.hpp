@@ -1,0 +1,38 @@
+// Chrome-trace-event (Perfetto-loadable) JSON export of a cluster timeline.
+//
+// Merges two evidence streams into one `{"traceEvents":[...]}` document that
+// ui.perfetto.dev / chrome://tracing open directly:
+//   - TraceRecorder lifecycle events (submitted, admitted, first_token,
+//     failover_harvest, resubmitted, retired, ...) become instant events and
+//     per-(request, shard) residence slices, and
+//   - Profiler spans become duration slices on the shard's driver track.
+// Track mapping: pid = shard, tid 1 = the shard's driver thread (profiler
+// phases), tid 2 = lifecycle instants, tid 3 = request residence slices.
+// A failover emits a flow-event pair ("s" at the harvest on the dying
+// shard, "f" at the resubmit on the survivor, shared id = request id), so
+// the UI draws the arrow that follows one request across shards.
+//
+// Timestamps are the recorder's clock in microseconds (the trace-event
+// unit); only differences are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace efld::obs {
+
+// One shard's profiler timeline, keyed by the shard id used as the pid.
+struct ShardSpans {
+    std::uint32_t shard = 0;
+    std::vector<SpanRecord> spans;
+};
+
+[[nodiscard]] std::string to_perfetto_json(
+    const std::vector<TraceRecord>& lifecycle,
+    const std::vector<ShardSpans>& profiler_spans);
+
+}  // namespace efld::obs

@@ -167,6 +167,20 @@ void ServeEngine::init() {
     hist_ttft_ = &metrics_.histogram("serve_ttft_ns");
     hist_intertoken_ = &metrics_.histogram("serve_intertoken_gap_ns");
     hist_e2e_ = &metrics_.histogram("serve_e2e_ns");
+    // Rolling windows are always on (they cost a mutexed bucket bump at
+    // control-plane rate); the profiler costs are opt-in.
+    obs::RollingWindow::Options wopts;
+    win_arrivals_ = std::make_unique<obs::RollingWindow>(clock_, wopts);
+    win_deferrals_ = std::make_unique<obs::RollingWindow>(clock_, wopts);
+    win_failovers_ = std::make_unique<obs::RollingWindow>(clock_, wopts);
+    win_tokens_ = std::make_unique<obs::RollingWindow>(clock_, wopts);
+    wopts.with_histogram = true;
+    win_ttft_ = std::make_unique<obs::RollingWindow>(clock_, wopts);
+    if (opts_.profile) {
+        prof_.enable(clock_, opts_.shard_id, opts_.profiler_spans);
+        prof_.bind_registry(metrics_);
+        backend_->set_profiler(&prof_);
+    }
     scheduler_ = make_scheduler(opts_.scheduler);
     slots_.resize(backend_->max_batch());
     feed_tokens_.reserve(slots_.size());
@@ -201,6 +215,7 @@ PendingRequest ServeEngine::make_pending(
               "ServeEngine: prompt + max_new demand exceeds the whole KV pool");
     }
     req.submitted_ns = clock_->now_ns();
+    win_arrivals_->add();
     trace(req.id, obs::TraceEvent::kSubmitted, req.prompt.size());
     return req;
 }
@@ -283,6 +298,7 @@ void ServeEngine::admit() {
     // normally and retired at the next boundary's control-plane pass.
     while (n_active_.load(std::memory_order_relaxed) < slots_.size()) {
         std::size_t committed = 0;
+        const std::uint64_t pick_begin = prof_.enabled() ? prof_.now_ns() : 0;
         RequestQueue::PopOutcome out = queue_.pop_if(
             *scheduler_,
             [&](PendingRequest& r) {
@@ -295,6 +311,8 @@ void ServeEngine::admit() {
                     // pages. A partially covered page is never discounted —
                     // keeping it committed is what funds the copy-on-write
                     // divergence copy.
+                    const obs::ScopedPhase probe_span(&prof_,
+                                                      obs::Phase::kPrefixProbe);
                     const std::size_t covered =
                         backend_->probe_prefix(r.prompt, r.prompt.size() - 1);
                     const std::size_t full = covered / opts_.kv_page_tokens;
@@ -309,6 +327,10 @@ void ServeEngine::admit() {
                 return true;
             },
             opts_.max_deferrals);
+        if (prof_.enabled()) {
+            prof_.record_span(obs::Phase::kQueuePick, pick_begin,
+                              prof_.now_ns());
+        }
         if (governor_ != nullptr) {
             committed_pages_cache_.store(governor_->committed_pages(),
                                          std::memory_order_release);
@@ -333,6 +355,7 @@ void ServeEngine::admit() {
             // The pick (scheduler's or promoted) does not fit the pool yet.
             // It stays queued in place and admission stops for this boundary —
             // strict policy order, so a big request is delayed, never starved.
+            win_deferrals_->add();
             const std::lock_guard<std::mutex> g(stats_mu_);
             ++stats_.capacity_deferrals;
             return;
@@ -342,6 +365,8 @@ void ServeEngine::admit() {
             const std::lock_guard<std::mutex> g(stats_mu_);
             ++stats_.queue_promotions;
         }
+        // Admission proper: slot binding + session construction (+ adoption).
+        const obs::ScopedPhase admission_span(&prof_, obs::Phase::kAdmission);
 
         std::size_t slot = engine::DecodeBackend::kNoSlot;
         try {
@@ -382,8 +407,13 @@ void ServeEngine::admit() {
             // adopts the same cap, so its resumed tokens all replay and the
             // sampler's draw-and-discard stream stays aligned with the
             // fault-free run.
-            const std::size_t covered =
-                backend_->adopt_prefix(slot, s.prompt, s.prompt.size() - 1);
+            std::size_t covered = 0;
+            {
+                const obs::ScopedPhase adopt_span(&prof_,
+                                                  obs::Phase::kPrefixAdopt);
+                covered =
+                    backend_->adopt_prefix(slot, s.prompt, s.prompt.size() - 1);
+            }
             if (covered > 0) {
                 s.prefix_fed = covered;
                 s.adopted_tokens = covered;
@@ -399,6 +429,7 @@ void ServeEngine::admit() {
 }
 
 void ServeEngine::retire(SessionState& s, Retire why) {
+    const obs::ScopedPhase retire_span(&prof_, obs::Phase::kRetire);
     ServeResult r;
     r.id = s.id;
     r.tokens = std::move(s.generated);
@@ -586,6 +617,7 @@ bool ServeEngine::resubmit(PendingRequest& req) {
     const std::uint64_t id = req.id;
     const std::size_t failover_count = req.failovers;
     if (!queue_.push(std::move(req))) return false;  // full: req left intact
+    win_failovers_->add();
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
         ++stats_.requests_resumed;
@@ -665,10 +697,14 @@ bool ServeEngine::step_locked() {
 
     feed_tokens_.clear();
     feed_slots_.clear();
+    std::size_t prefill_lanes = 0;
     for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
         if (!slots_[slot].has_value()) continue;
         feed_tokens_.push_back(slots_[slot]->next_feed());
         feed_slots_.push_back(slot);
+        // A lane whose feed does NOT lead to sampling is mid-prefill; the
+        // profiler attributes its share of the step to the prefill phase.
+        if (!slots_[slot]->sampling_after_feed()) ++prefill_lanes;
     }
 
     // ONE weight walk advances every active session by one token.
@@ -686,6 +722,11 @@ bool ServeEngine::step_locked() {
         return false;
     }
     const engine::StepCost cost = backend_->last_step_cost();
+    if (prof_.enabled()) {
+        prof_.attribute_step(static_cast<std::uint64_t>(cost.wall_ns),
+                             cost.simulated_ns, cost.weight_walks,
+                             prefill_lanes, feed_slots_.size());
+    }
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
         ++stats_.steps;
@@ -761,7 +802,12 @@ bool ServeEngine::step_locked() {
             continue;
         }
 
-        const std::int32_t next = s.sampler.sample(row);
+        std::int32_t next;
+        {
+            const obs::ScopedPhase sampling_span(&prof_,
+                                                 obs::Phase::kSampling);
+            next = s.sampler.sample(row);
+        }
         s.generated.push_back(next);
         ++step_generated_tokens;
         // size() == 1 is the request's genuinely-first token: a failed-over
@@ -769,9 +815,10 @@ bool ServeEngine::step_locked() {
         // the survivor can never fire this again — exactly-once TTFT.
         if (s.generated.size() == 1) {
             if (s.submitted_ns != 0) {
-                hist_ttft_->record(step_ns > s.submitted_ns
-                                       ? step_ns - s.submitted_ns
-                                       : 0);
+                const std::uint64_t ttft =
+                    step_ns > s.submitted_ns ? step_ns - s.submitted_ns : 0;
+                hist_ttft_->record(ttft);
+                win_ttft_->record(ttft);
             }
             trace(s.id, obs::TraceEvent::kFirstToken,
                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(next)));
@@ -798,6 +845,7 @@ bool ServeEngine::step_locked() {
             s.pending_token = next;
         }
     }
+    if (step_generated_tokens > 0) win_tokens_->add(step_generated_tokens);
     {
         const std::lock_guard<std::mutex> g(stats_mu_);
         stats_.prompt_tokens += step_prompt_tokens;
@@ -983,6 +1031,36 @@ obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
         s.set_gauge("serve_prefix_pages_shared",
                     static_cast<double>(l.prefix.pages_shared));
     }
+    // The trace ring is shared cluster-wide, so per-shard snapshots would
+    // multiply-count it on merge; ClusterRouter::metrics_snapshot overwrites
+    // this entry with the same authoritative value after merging.
+    if (opts_.trace) {
+        s.set_counter("serve_trace_dropped_total", opts_.trace->dropped());
+    }
+    if (prof_.enabled()) prof_.export_into(s);
+    // Rolling-window series: rates as gauges (gauges ADD on cluster merge,
+    // so the cluster's windowed rate is the sum of shard rates), windowed
+    // TTFT as histograms (buckets merge, quantiles come out the other side).
+    static constexpr struct {
+        const char* suffix;
+        std::uint64_t ns;
+    } kWindows[] = {{"1s", 1'000'000'000ull},
+                    {"10s", 10'000'000'000ull},
+                    {"60s", 60'000'000'000ull}};
+    for (const auto& w : kWindows) {
+        s.set_gauge(std::string("serve_arrivals_per_s_window_") + w.suffix,
+                    win_arrivals_->over(w.ns).rate_per_s());
+        s.set_gauge(std::string("serve_deferrals_per_s_window_") + w.suffix,
+                    win_deferrals_->over(w.ns).rate_per_s());
+        s.set_gauge(std::string("serve_failovers_per_s_window_") + w.suffix,
+                    win_failovers_->over(w.ns).rate_per_s());
+        s.set_gauge(std::string("serve_tokens_per_s_window_") + w.suffix,
+                    win_tokens_->over(w.ns).rate_per_s());
+    }
+    s.histograms["serve_ttft_ns_window_10s"] =
+        win_ttft_->over(10'000'000'000ull).histogram();
+    s.histograms["serve_ttft_ns_window_60s"] =
+        win_ttft_->over(60'000'000'000ull).histogram();
     return s;
 }
 

@@ -64,6 +64,8 @@
 #include "model/tokenizer.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/rolling_window.hpp"
 #include "obs/trace.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -118,6 +120,14 @@ struct ServeOptions {
     std::shared_ptr<obs::TraceRecorder> trace;
     std::shared_ptr<const obs::Clock> clock;
     std::uint32_t shard_id = 0;
+    // Per-phase cost profiler (obs::Profiler): scoped spans through the serve
+    // hot path and the backend's attention blocks, StepCost attribution
+    // between prefill and decode lanes, and serve_phase_* metric series.
+    // Off by default — the gate is ≤3% overhead, not zero.
+    bool profile = false;
+    // Span ring capacity when profiling (the Perfetto timeline keeps the
+    // most recent this-many scopes; 0 = totals only, no timeline).
+    std::size_t profiler_spans = 4096;
     // Starting point for this engine's request ids (first id = id_base + 1).
     // The cluster router gives every shard engine a disjoint namespace so a
     // request id means ONE request cluster-wide — the shared trace ring and
@@ -216,6 +226,11 @@ public:
     // The engine's metric instruments (latency histograms live here).
     [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
         return metrics_;
+    }
+    // The engine's phase profiler (enabled iff ServeOptions::profile). The
+    // cluster router reads spans() off it for the Perfetto export.
+    [[nodiscard]] const obs::Profiler& profiler() const noexcept {
+        return prof_;
     }
     [[nodiscard]] std::size_t active_sessions() const noexcept {
         return n_active_.load(std::memory_order_acquire);
@@ -316,6 +331,15 @@ private:
     obs::LatencyHistogram* hist_ttft_ = nullptr;
     obs::LatencyHistogram* hist_intertoken_ = nullptr;
     obs::LatencyHistogram* hist_e2e_ = nullptr;
+    // Phase profiler (inert unless opts_.profile) and the always-on rolling
+    // windows behind the *_window_* series (constructed at init once the
+    // clock is resolved; 64 one-second buckets each).
+    obs::Profiler prof_;
+    std::unique_ptr<obs::RollingWindow> win_arrivals_;
+    std::unique_ptr<obs::RollingWindow> win_deferrals_;
+    std::unique_ptr<obs::RollingWindow> win_failovers_;
+    std::unique_ptr<obs::RollingWindow> win_tokens_;
+    std::unique_ptr<obs::RollingWindow> win_ttft_;  // value-recording
     engine::BackendBundle bundle_;              // owns the backend (+ packed image)
     engine::DecodeBackend* backend_ = nullptr;  // = bundle_.backend.get()
     std::unique_ptr<Scheduler> scheduler_;

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/socket_frontend.hpp"
 #include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 #include "runtime/serve.hpp"
 
 namespace efld::cluster {
@@ -195,6 +197,41 @@ TEST(SocketFrontend, MetricsScrapeMatchesClusterStats) {
     EXPECT_EQ(server.requests_served(), kRequests);
     const wire::WireResponse after = client.request(
         wire::WireRequest{.prompt = "after scrape", .max_new_tokens = 2});
+    EXPECT_EQ(after.status, wire::Status::kOk);
+    server.stop();
+    d.router->stop();
+}
+
+TEST(SocketFrontend, TraceDumpReturnsPerfettoJsonOverTheWire) {
+    ClusterOptions opts;
+    opts.shards = 2;
+    opts.shard.trace = std::make_shared<obs::TraceRecorder>(1024);
+    opts.shard.profile = true;
+    runtime::ClusterDeployment d = deploy(opts);
+    d.router->start();
+    SocketServer server(*d.router);
+    server.start();
+
+    SocketClient client("127.0.0.1", server.port());
+    const wire::WireResponse resp = client.request(
+        wire::WireRequest{.prompt = "trace me", .max_new_tokens = 4});
+    ASSERT_EQ(resp.status, wire::Status::kOk);
+    d.router->drain();
+
+    // Kind-2 frame: the body is the cluster's merged Perfetto JSON — the
+    // request's lifecycle instants plus the serving shard's phase slices.
+    const std::string json = client.trace_dump();
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"submitted\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"first_token\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"phase\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+
+    // A trace dump is not a served generate request, and the connection
+    // still serves generate traffic afterwards.
+    EXPECT_EQ(server.requests_served(), 1u);
+    const wire::WireResponse after = client.request(
+        wire::WireRequest{.prompt = "after trace", .max_new_tokens = 2});
     EXPECT_EQ(after.status, wire::Status::kOk);
     server.stop();
     d.router->stop();

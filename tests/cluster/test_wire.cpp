@@ -89,6 +89,24 @@ TEST(Wire, MetricsResponseRoundTrip) {
     EXPECT_EQ(back.metrics, resp.metrics);
 }
 
+TEST(Wire, TraceDumpRequestRoundTrip) {
+    // A kind-2 frame carries no body beyond the header.
+    WireRequest req;
+    req.kind = RequestKind::kTraceDump;
+    const std::vector<std::uint8_t> bytes = encode_request(req);
+    EXPECT_EQ(bytes.size(), 2u);  // version + kind
+    EXPECT_EQ(decode_request(bytes).kind, RequestKind::kTraceDump);
+}
+
+TEST(Wire, TraceDumpResponseRoundTrip) {
+    WireResponse resp;
+    resp.status = Status::kTraceDump;
+    resp.trace = "{\"traceEvents\":[{\"ph\":\"s\",\"id\":7}]}";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kTraceDump);
+    EXPECT_EQ(back.trace, resp.trace);
+}
+
 TEST(Wire, UnknownRequestKindThrows) {
     WireRequest req;
     req.kind = RequestKind::kMetrics;

@@ -1,0 +1,142 @@
+// Perfetto/Chrome-trace export: process/thread metadata per shard, phase
+// slices from profiler spans, lifecycle instants, per-(request, shard)
+// residence slices, and the failover flow pair that stitches one request's
+// life across two shards — all asserted on fabricated records so every
+// byte of the JSON is predictable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/perfetto_export.hpp"
+#include "obs/trace.hpp"
+
+namespace efld::obs {
+namespace {
+
+// One request (id 7) that lives on shard 0 until a scripted kill, then
+// finishes on shard 1 — the exact shape ClusterRouter failover produces.
+std::vector<TraceRecord> failover_lifecycle() {
+    return {
+        {1'000, 7, 0, TraceEvent::kSubmitted, 5},
+        {2'000, 7, 0, TraceEvent::kAdmitted, 0},
+        {9'000, 7, 0, TraceEvent::kFailoverHarvest, 3},
+        {11'000, 7, 1, TraceEvent::kResubmitted, 1},
+        {15'000, 7, 1, TraceEvent::kFirstToken, 42},
+        {20'000, 7, 1, TraceEvent::kRetired, 0},
+    };
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+    return hay.find(needle) != std::string::npos;
+}
+
+TEST(PerfettoExport, EmptyInputsStillFormAValidEnvelope) {
+    const std::string json = to_perfetto_json({}, {});
+    EXPECT_EQ(json, "{\"traceEvents\":[]}");
+}
+
+TEST(PerfettoExport, ShardsGetProcessAndThreadMetadata) {
+    const std::string json = to_perfetto_json(failover_lifecycle(), {});
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+                         "\"tid\":0,\"args\":{\"name\":\"shard 0\"}}"));
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+                         "\"tid\":0,\"args\":{\"name\":\"shard 1\"}}"));
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,"
+                         "\"tid\":1,\"args\":{\"name\":\"driver\"}}"));
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                         "\"tid\":3,\"args\":{\"name\":\"requests\"}}"));
+}
+
+TEST(PerfettoExport, ProfilerSpansBecomePhaseSlices) {
+    ShardSpans s;
+    s.shard = 2;
+    SpanRecord span;
+    span.phase = Phase::kDecodeBatch;
+    span.shard = 2;
+    span.begin_ns = 4'000;
+    span.end_ns = 6'500;
+    s.spans.push_back(span);
+    const std::string json = to_perfetto_json({}, {s});
+    // ts/dur are microseconds with sub-µs precision: 4µs start, 2.5µs long.
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"X\",\"name\":\"decode_batch\","
+                         "\"cat\":\"phase\",\"pid\":2,\"tid\":1,"
+                         "\"ts\":4.000,\"dur\":2.500}"));
+    // The shard also got metadata even with no lifecycle events.
+    EXPECT_TRUE(contains(json, "\"args\":{\"name\":\"shard 2\"}"));
+}
+
+TEST(PerfettoExport, LifecycleEventsBecomeInstantsWithRequestArgs) {
+    const std::string json = to_perfetto_json(failover_lifecycle(), {});
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"i\",\"name\":\"submitted\","
+                         "\"cat\":\"lifecycle\",\"pid\":0,\"tid\":2,"
+                         "\"ts\":1.000,\"s\":\"t\","
+                         "\"args\":{\"request\":7,\"arg\":5}}"));
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"i\",\"name\":\"first_token\","
+                         "\"cat\":\"lifecycle\",\"pid\":1,\"tid\":2,"
+                         "\"ts\":15.000,\"s\":\"t\","
+                         "\"args\":{\"request\":7,\"arg\":42}}"));
+}
+
+TEST(PerfettoExport, ResidenceSlicesSpanEachShardsStay) {
+    const std::string json = to_perfetto_json(failover_lifecycle(), {});
+    // Shard 0 hosted the request from submit (1µs) to harvest (9µs).
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"X\",\"name\":\"request 7\","
+                         "\"cat\":\"request\",\"pid\":0,\"tid\":3,"
+                         "\"ts\":1.000,\"dur\":8.000,"
+                         "\"args\":{\"request\":7}}"));
+    // Shard 1 hosted it from resubmit (11µs) to retire (20µs).
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"X\",\"name\":\"request 7\","
+                         "\"cat\":\"request\",\"pid\":1,\"tid\":3,"
+                         "\"ts\":11.000,\"dur\":9.000,"
+                         "\"args\":{\"request\":7}}"));
+}
+
+TEST(PerfettoExport, SingleEventResidenceGetsARenderableFloor) {
+    // One lone event would yield a zero-width slice; the exporter pads it to
+    // 1µs so the UI renders it and flow arrows can bind.
+    const std::vector<TraceRecord> one = {
+        {5'000, 3, 0, TraceEvent::kSubmitted, 1}};
+    const std::string json = to_perfetto_json(one, {});
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"X\",\"name\":\"request 3\","
+                         "\"cat\":\"request\",\"pid\":0,\"tid\":3,"
+                         "\"ts\":5.000,\"dur\":1.000,"
+                         "\"args\":{\"request\":3}}"));
+}
+
+TEST(PerfettoExport, FailoverBecomesAFlowPairSharingTheRequestId) {
+    const std::string json = to_perfetto_json(failover_lifecycle(), {});
+    // "s" on the dying shard at the harvest...
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"s\",\"name\":\"failover\","
+                         "\"cat\":\"failover\",\"id\":7,\"pid\":0,"
+                         "\"tid\":3,\"ts\":9.000}"));
+    // ..."f" (binding to the enclosing slice) on the survivor, same id.
+    EXPECT_TRUE(contains(json,
+                         "{\"ph\":\"f\",\"name\":\"failover\","
+                         "\"cat\":\"failover\",\"id\":7,\"pid\":1,"
+                         "\"tid\":3,\"ts\":11.000,\"bp\":\"e\"}"));
+}
+
+TEST(PerfettoExport, NoFailoverMeansNoFlowEvents) {
+    const std::vector<TraceRecord> plain = {
+        {1'000, 9, 0, TraceEvent::kSubmitted, 2},
+        {3'000, 9, 0, TraceEvent::kRetired, 0},
+    };
+    const std::string json = to_perfetto_json(plain, {});
+    EXPECT_FALSE(contains(json, "\"ph\":\"s\""));
+    EXPECT_FALSE(contains(json, "\"ph\":\"f\""));
+}
+
+}  // namespace
+}  // namespace efld::obs

@@ -1,0 +1,152 @@
+// RollingWindow: bucket wraparound, idle-gap expiry, the trailing-window
+// query, cross-shard snapshot merge, windowed quantiles, and concurrent
+// recording — all under ManualClock so every boundary is exact.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/rolling_window.hpp"
+
+namespace efld::obs {
+namespace {
+
+RollingWindow::Options small_opts(std::uint64_t bucket_ns, std::size_t buckets,
+                                  bool hist = false) {
+    RollingWindow::Options o;
+    o.bucket_ns = bucket_ns;
+    o.buckets = buckets;
+    o.with_histogram = hist;
+    return o;
+}
+
+TEST(RollingWindow, CountsLandInTheCurrentBucketWindow) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 8));
+    clock.set_ns(0);
+    win.add(3);
+    clock.set_ns(150);  // bucket 1
+    win.add(2);
+
+    // 1-bucket window: only the current bucket.
+    EXPECT_EQ(win.over(100).count, 2u);
+    // 2-bucket window: both.
+    EXPECT_EQ(win.over(200).count, 5u);
+    EXPECT_DOUBLE_EQ(win.over(200).rate_per_s(), 5.0 * 1e9 / 200.0);
+}
+
+TEST(RollingWindow, RingWraparoundRecyclesLappedBuckets) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 4));  // ring spans 400ns
+    for (std::uint64_t b = 0; b < 10; ++b) {
+        clock.set_ns(b * 100);
+        win.add(1);
+    }
+    // At t=900 (bucket 9) the ring holds buckets 6, 7, 8, 9 — the earlier
+    // occupants of those slots were recycled, not double counted.
+    EXPECT_EQ(win.over(400).count, 4u);
+    EXPECT_EQ(win.over(100).count, 1u);
+}
+
+TEST(RollingWindow, IdleGapExpiresStaleBuckets) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 8));
+    clock.set_ns(0);
+    win.add(5);
+    // A long idle gap, shorter than the ring's lap: the old bucket still
+    // physically sits in the ring but its index is out of any window.
+    clock.set_ns(650);
+    EXPECT_EQ(win.over(200).count, 0u);
+    EXPECT_EQ(win.over(800).count, 5u);  // clamped to the ring span (8x100)
+    // After a full lap the slot gets recycled on next touch.
+    clock.set_ns(800);
+    win.add(1);
+    EXPECT_EQ(win.over(800).count, 1u);
+}
+
+TEST(RollingWindow, RecordTracksMinMaxSumPerWindow) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 8));
+    clock.set_ns(0);
+    win.record(40);
+    win.record(10);
+    clock.set_ns(100);
+    win.record(70);
+
+    const WindowSnapshot w1 = win.over(100);
+    EXPECT_EQ(w1.count, 1u);
+    EXPECT_EQ(w1.min, 70u);
+    EXPECT_EQ(w1.max, 70u);
+    const WindowSnapshot w2 = win.over(200);
+    EXPECT_EQ(w2.count, 3u);
+    EXPECT_EQ(w2.sum, 120u);
+    EXPECT_EQ(w2.min, 10u);
+    EXPECT_EQ(w2.max, 70u);
+}
+
+TEST(RollingWindow, WindowedHistogramYieldsQuantiles) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(1'000'000'000, 64, /*hist=*/true));
+    clock.set_ns(0);
+    for (std::uint64_t v = 1; v <= 100; ++v) win.record(v * 1'000'000);
+    const HistogramSnapshot h = win.over(10'000'000'000).histogram();
+    EXPECT_EQ(h.count, 100u);
+    // Log-bucket quantiles: p50 lands within a bucket width of 50ms.
+    const std::uint64_t p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 40'000'000u);
+    EXPECT_LE(p50, 70'000'000u);
+}
+
+TEST(RollingWindow, SnapshotsMergeAcrossShards) {
+    ManualClock clock;
+    RollingWindow a(&clock, small_opts(100, 8, true));
+    RollingWindow b(&clock, small_opts(100, 8, true));
+    clock.set_ns(50);
+    a.record(10);
+    a.record(30);
+    b.record(200);
+
+    WindowSnapshot merged = a.over(100);
+    merged.merge(b.over(100));
+    EXPECT_EQ(merged.count, 3u);
+    EXPECT_EQ(merged.sum, 240u);
+    EXPECT_EQ(merged.min, 10u);
+    EXPECT_EQ(merged.max, 200u);
+    EXPECT_DOUBLE_EQ(merged.rate_per_s(), 3.0 * 1e9 / 100.0);
+    EXPECT_EQ(merged.histogram().count, 3u);
+
+    // Merging an empty shard changes nothing.
+    RollingWindow idle(&clock, small_opts(100, 8, true));
+    merged.merge(idle.over(100));
+    EXPECT_EQ(merged.count, 3u);
+    EXPECT_EQ(merged.min, 10u);
+}
+
+TEST(RollingWindow, ConcurrentRecordsAllLand) {
+    ManualClock clock;
+    clock.set_ns(42);
+    RollingWindow win(&clock, small_opts(1'000'000'000, 4));
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) win.add();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(win.over(1'000'000'000).count,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RollingWindow, ZeroOptionsClampSafely) {
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(0, 0));
+    win.add();
+    EXPECT_EQ(win.over(0).count, 1u);
+    EXPECT_GT(win.over(0).window_ns, 0u);
+}
+
+}  // namespace
+}  // namespace efld::obs

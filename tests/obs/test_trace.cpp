@@ -2,12 +2,15 @@
 // overwrite accounting, per-request filtering, and the JSONL dump format.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
+#include "runtime/serve.hpp"
 
 namespace efld::obs {
 namespace {
@@ -84,6 +87,40 @@ TEST(Trace, DumpJsonl) {
     EXPECT_EQ(out.str(),
               "{\"ts_ns\":42,\"request\":3,\"shard\":1,"
               "\"event\":\"first_token\",\"arg\":99}\n");
+}
+
+TEST(Trace, ServeExportsDroppedCounterFromItsRing) {
+    // A deliberately tiny ring under real serve traffic must overflow, and
+    // the engine's scrape must report exactly what the ring says it lost —
+    // dropped trace events are an observability gap worth alerting on.
+    auto trace = std::make_shared<TraceRecorder>(4);
+    serve::ServeOptions opts;
+    opts.max_batch = 2;
+    opts.trace = trace;
+    runtime::ServeDeployment d = runtime::synthetic_serve(
+        model::ModelConfig::micro_256(), 42, opts);
+    std::vector<std::future<serve::ServeResult>> futs;
+    for (int r = 0; r < 4; ++r) {
+        futs.push_back(d.engine->submit("drop probe " + std::to_string(r), 4));
+    }
+    d.engine->run_until_idle();
+    for (auto& f : futs) (void)f.get();
+
+    const MetricsSnapshot snap = d.engine->metrics_snapshot();
+    EXPECT_GT(trace->dropped(), 0u);
+    EXPECT_EQ(snap.counters.at("serve_trace_dropped_total"), trace->dropped());
+
+    // No recorder configured → the counter must be absent, not zero.
+    serve::ServeOptions bare;
+    bare.max_batch = 2;
+    runtime::ServeDeployment d2 = runtime::synthetic_serve(
+        model::ModelConfig::micro_256(), 42, bare);
+    auto fut = d2.engine->submit("no trace", 3);
+    d2.engine->run_until_idle();
+    (void)fut.get();
+    EXPECT_EQ(d2.engine->metrics_snapshot().counters.count(
+                  "serve_trace_dropped_total"),
+              0u);
 }
 
 TEST(Trace, ZeroCapacityClampsToOne) {
