@@ -7,6 +7,8 @@
 //   $ ./serve_client --port 9177 --metrics     # scrape Prometheus metrics
 //   $ ./serve_client --port 9177 --metrics-json
 //   $ ./serve_client --port 9177 --trace       # dump the Perfetto timeline
+//   $ ./serve_client --port 9177 --alerts      # SLO alert rules + timeline
+//   $ ./serve_client --port 9177 --query serve_queued --window 60
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +30,9 @@ int main(int argc, char** argv) {
     std::uint32_t deadline_ms = 0;
     bool metrics = false;
     bool trace = false;
+    bool alerts = false;
+    std::string query_series;
+    std::uint32_t query_window_s = 0;
     wire::MetricsFormat metrics_format = wire::MetricsFormat::kPrometheus;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
@@ -49,11 +54,18 @@ int main(int argc, char** argv) {
             metrics_format = wire::MetricsFormat::kJson;
         } else if (std::strcmp(argv[i], "--trace") == 0) {
             trace = true;
+        } else if (std::strcmp(argv[i], "--alerts") == 0) {
+            alerts = true;
+        } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+            query_series = argv[++i];
+        } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+            query_window_s = static_cast<std::uint32_t>(std::stoul(argv[++i]));
         } else {
             std::fprintf(stderr,
                          "usage: %s --port P [--host H] [--prompt S] [--tokens N] "
                          "[--count C] [--deadline-ms D] "
-                         "[--metrics | --metrics-json | --trace]\n",
+                         "[--metrics | --metrics-json | --trace | --alerts | "
+                         "--query SERIES [--window S]]\n",
                          argv[0]);
             return 2;
         }
@@ -72,6 +84,19 @@ int main(int argc, char** argv) {
     if (trace) {
         const std::string body = client.trace_dump();
         std::fputs(body.c_str(), stdout);
+        return 0;
+    }
+    if (alerts) {
+        const std::string body = client.alerts();
+        std::fputs(body.c_str(), stdout);
+        std::fputc('\n', stdout);
+        return 0;
+    }
+    if (!query_series.empty()) {
+        const std::string body =
+            client.query(query_series, query_window_s * 1000u);
+        std::fputs(body.c_str(), stdout);
+        std::fputc('\n', stdout);
         return 0;
     }
     for (std::size_t r = 0; r < count; ++r) {

@@ -27,6 +27,18 @@
 //                       body a kTraceDump wire request returns live)
 //   --fault-shard0 SPEC scripted fault on shard 0 only (e.g. step:40) —
 //                       failover demos without hand-crafted clients
+//   --slo SPEC          SLO engine: comma-separated alert rules (threshold:
+//                       .../burnrate:... — see obs/alert_engine.hpp) sampled
+//                       every second into the in-process TSDB; firing alerts
+//                       engage overload protection (shedding, stretched
+//                       retry hints, degraded placement) until they resolve,
+//                       and the kAlerts/kQuery wire frames come alive
+//   --slo-interval-ms N sampling cadence for --slo (default 1000; smoke
+//                       tests drop it to catch short bursts)
+//   --flight-dir DIR    write flight-recorder bundles (black-box JSON) to
+//                       DIR on shard failure or alert firing (works alone
+//                       for shard-failure capture; pair with --slo for
+//                       alert-triggered bundles)
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -56,6 +68,9 @@ int main(int argc, char** argv) {
     long metrics_dump_seconds = 0;
     std::string trace_out;
     std::string fault_shard0;
+    std::string slo_rules;
+    std::string flight_dir;
+    long slo_interval_ms = 1000;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::max<std::size_t>(1, std::stoul(argv[++i]));
@@ -77,13 +92,22 @@ int main(int argc, char** argv) {
             trace_out = argv[++i];
         } else if (std::strcmp(argv[i], "--fault-shard0") == 0 && i + 1 < argc) {
             fault_shard0 = argv[++i];
+        } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+            slo_rules = argv[++i];
+        } else if (std::strcmp(argv[i], "--slo-interval-ms") == 0 &&
+                   i + 1 < argc) {
+            slo_interval_ms = std::max(1L, std::stol(argv[++i]));
+        } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+            flight_dir = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--shards N] [--policy round-robin|least-"
                          "loaded|best-fit|prefix-affinity] [--port P] "
                          "[--model micro|tiny] [--paging] [--prefix-sharing] "
                          "[--serve-seconds S] [--metrics-dump S] "
-                         "[--trace-out PATH] [--fault-shard0 SPEC]\n",
+                         "[--trace-out PATH] [--fault-shard0 SPEC] "
+                         "[--slo RULES] [--slo-interval-ms N] "
+                         "[--flight-dir DIR]\n",
                          argv[0]);
             return 2;
         }
@@ -95,23 +119,44 @@ int main(int argc, char** argv) {
     opts.shard.sampler.temperature = 0.0f;  // deterministic demo output
     opts.shard.paging = paging || prefix_sharing;  // sharing lives in the pool
     opts.shard.prefix_sharing = prefix_sharing;
-    if (!trace_out.empty()) {
+    if (!trace_out.empty() || !slo_rules.empty() || !flight_dir.empty()) {
         // One shared ring across shards (cross-shard failover reads as one
         // story) + the per-phase profiler, so the timeline has both the
-        // request lifecycle and the driver's phase slices.
+        // request lifecycle and the driver's phase slices. The SLO engine
+        // wants the same ring for its alert-transition events and flight
+        // bundles.
         opts.shard.trace = std::make_shared<obs::TraceRecorder>(8192);
         opts.shard.profile = true;
+    }
+    std::shared_ptr<serve::OverloadGovernor> governor;
+    if (!slo_rules.empty()) {
+        // The actuator half of the SLO loop, shared by every shard's shed
+        // sweep and the router's admission/placement paths.
+        governor = std::make_shared<serve::OverloadGovernor>();
+        opts.shard.overload = governor;
     }
     if (!fault_shard0.empty()) opts.shard_fault_specs = {fault_shard0};
     const model::ModelConfig cfg = model_name == "tiny"
                                        ? model::ModelConfig::tiny_512()
                                        : model::ModelConfig::micro_256();
     runtime::ClusterDeployment d = runtime::synthetic_cluster(cfg, 42, opts);
+    std::unique_ptr<cluster::SloController> slo;
+    if (!slo_rules.empty() || !flight_dir.empty()) {
+        cluster::SloController::Options so;
+        so.rules = slo_rules;
+        so.flight_dir = flight_dir;
+        so.governor = governor;
+        so.sample_interval_ns =
+            static_cast<std::uint64_t>(slo_interval_ms) * 1'000'000ull;
+        slo = std::make_unique<cluster::SloController>(*d.router, so);
+    }
     d.router->start();
+    if (slo) slo->start();
 
     cluster::SocketServer::Options sopts;
     sopts.port = port;
     cluster::SocketServer server(*d.router, sopts);
+    server.set_slo(slo.get());
     server.start();
     std::printf("listening on 127.0.0.1:%u (%zu shards, %s, %s%s%s)\n",
                 server.port(), shards,
@@ -171,6 +216,7 @@ int main(int argc, char** argv) {
         dumper.join();
     }
     server.stop();
+    if (slo) slo->stop();
     d.router->drain();
     if (!trace_out.empty()) {
         // Dump before stop(): a scripted fault may have parked an error that

@@ -62,11 +62,22 @@ echo "metrics_smoke: server up on port $port"
 "$client" --port "$port" --metrics-json >"$workdir/metrics.json"
 
 # Prometheus validity: every sample line is "<name> <number>", every # line
-# is a TYPE comment. A malformed line fails the gate.
+# is a HELP or TYPE comment, and every family announces both before its
+# samples. A malformed line fails the gate.
 awk '
-    /^#/ { if ($2 != "TYPE") { print "bad comment: " $0; bad = 1 }; next }
+    /^# HELP / { help[$3] = 1; next }
+    /^# TYPE / { type[$3] = 1; next }
+    /^#/ { print "bad comment: " $0; bad = 1; next }
     /^$/ { next }
-    NF != 2 || $2 !~ /^[0-9.eE+-]+$/ { print "bad sample: " $0; bad = 1 }
+    NF != 2 || $2 !~ /^[0-9.eE+-]+$/ { print "bad sample: " $0; bad = 1; next }
+    {
+        fam = $1
+        sub(/[{][^}]*[}]$/, "", fam)
+        sub(/_(bucket|sum|count)$/, "", fam)
+        if (!(fam in help) || !(fam in type)) {
+            print "sample without HELP/TYPE: " $0; bad = 1
+        }
+    }
     END { exit bad }
 ' "$workdir/metrics.prom" || {
     echo "metrics_smoke: Prometheus body failed to parse" >&2
@@ -196,5 +207,107 @@ EOF
 
 kill "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
+
+# ---- alert phase: the SLO loop end to end over the wire ----
+# A queue-depth alert with a 25ms sampling cadence, overload protection and
+# the flight recorder armed. A burst of slow requests drives the queue past
+# the threshold: the alert must FIRE (fired_total in the scrape), requests
+# submitted with hopeless deadlines while engaged must be SHED, a flight
+# bundle must land on disk as valid JSON, the kQuery frame must return the
+# TSDB tail, and once the burst drains the alert must RESOLVE.
+# One shard (4 slots) against 10 sustained clients keeps ~6 requests queued
+# for the whole burst — comfortably past the gt:3 threshold at every sample.
+mkdir -p "$workdir/flight"
+boot_server server_slo --shards 1 \
+    --slo "overload=threshold:serve_queued:gt:3:0" \
+    --slo-interval-ms 25 --flight-dir "$workdir/flight"
+echo "metrics_smoke: slo server up on port $port"
+
+# Warm TTFT so the shed sweep has an estimate to judge hopelessness by.
+"$client" --port "$port" --prompt "slo warm" --tokens 4 >"$workdir/slo.out"
+
+burst_pids=""
+i=0
+while [ "$i" -lt 10 ]; do
+    "$client" --port "$port" --prompt "slo burst $i" --count 6 --tokens 64 \
+        >>"$workdir/slo.out" 2>&1 &
+    burst_pids="$burst_pids $!"
+    i=$((i + 1))
+done
+sleep 0.4  # a few samples with the queue deep: the alert fires, bundle drops
+
+# Hopeless by construction: 50ms of budget is more than a couple of decode
+# steps (the deadline sweep won't expire it first) but far less than the
+# observed TTFT behind a 6-deep queue. The engaged governor's shed sweep
+# must retire these without burning a batch slot.
+i=0
+while [ "$i" -lt 3 ]; do
+    "$client" --port "$port" --prompt "doomed $i" --tokens 32 \
+        --deadline-ms 50 >>"$workdir/slo.out" 2>&1 || true
+    i=$((i + 1))
+done
+
+for pid in $burst_pids; do
+    wait "$pid" || true
+done
+sleep 0.2  # two clear samples: resolve hysteresis for a for=0 rule is zero
+
+"$client" --port "$port" --alerts >"$workdir/alerts.json"
+"$client" --port "$port" --query serve_queued --window 60 >"$workdir/query.json"
+"$client" --port "$port" --metrics >"$workdir/slo_end.prom"
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+
+slo_metric() {
+    awk -v name="$1" '$1 == name { print $2 }' "$workdir/$2"
+}
+fired=$(slo_metric serve_alerts_fired_total slo_end.prom)
+if [ -z "$fired" ] || [ "$fired" -lt 1 ]; then
+    echo "metrics_smoke: alert never fired (serve_alerts_fired_total=$fired)" >&2
+    cat "$workdir/slo_end.prom" >&2
+    exit 1
+fi
+shed=$(slo_metric serve_requests_shed slo_end.prom)
+if [ -z "$shed" ] || [ "$shed" -lt 1 ]; then
+    echo "metrics_smoke: no requests shed under overload (shed=$shed)" >&2
+    cat "$workdir/slo_end.prom" >&2
+    exit 1
+fi
+resolved=$(slo_metric serve_alerts_resolved_total slo_end.prom)
+firing_now=$(slo_metric serve_alerts_firing slo_end.prom)
+if [ -z "$resolved" ] || [ "$resolved" -lt 1 ] || [ "$firing_now" != "0" ]; then
+    echo "metrics_smoke: alert never resolved (resolved=$resolved," \
+        "firing=$firing_now)" >&2
+    cat "$workdir/slo_end.prom" >&2
+    exit 1
+fi
+grep -q '"name":"overload"' "$workdir/alerts.json" || {
+    echo "metrics_smoke: kAlerts body missing the rule" >&2
+    cat "$workdir/alerts.json" >&2
+    exit 1
+}
+grep -q '"serve_queued"' "$workdir/query.json" || {
+    echo "metrics_smoke: kQuery body missing the series" >&2
+    cat "$workdir/query.json" >&2
+    exit 1
+}
+bundle=$(ls "$workdir/flight"/flight_*.json 2>/dev/null | head -n 1)
+if [ -z "$bundle" ]; then
+    echo "metrics_smoke: no flight bundle written on alert firing" >&2
+    ls -la "$workdir/flight" >&2 || true
+    exit 1
+fi
+python3 -m json.tool "$bundle" >/dev/null || {
+    echo "metrics_smoke: flight bundle is not valid JSON: $bundle" >&2
+    exit 1
+}
+grep -q '"reason"' "$bundle" && grep -q '"tsdb"' "$bundle" || {
+    echo "metrics_smoke: flight bundle missing reason/tsdb sections" >&2
+    exit 1
+}
+echo "metrics_smoke: slo ok (alert fired=$fired resolved=$resolved," \
+    "shed=$shed, flight bundle $(basename "$bundle") parses)"
+
 echo "metrics_smoke: ok ($requests requests, counters match, body parses," \
-    "prefix series truthful, trace dump linked across failover)"
+    "prefix series truthful, trace dump linked across failover," \
+    "slo loop fired/shed/resolved with a flight bundle)"

@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "obs/exposition.hpp"
 #include "obs/perfetto_export.hpp"
+#include "obs/process_metrics.hpp"
 
 namespace efld::cluster {
 
@@ -98,14 +99,21 @@ void ClusterRouter::wire_failure_callback(std::size_t i) {
     });
 }
 
+void ClusterRouter::set_failure_observer(FailureObserver cb) {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    failure_observer_ = std::move(cb);
+}
+
 void ClusterRouter::handle_shard_failure(std::size_t i,
                                          const std::exception_ptr& e) {
+    FailureObserver observer;
     {
         const std::lock_guard<std::mutex> lock(place_mu_);
         if (health_[i] == ShardHealth::kFailed) return;  // already handled
         health_[i] = ShardHealth::kFailed;
         shard_errors_[i] = e;
         ++shard_failures_;
+        observer = failure_observer_;
     }
     std::string why = "unknown fault";
     if (e != nullptr) {
@@ -122,12 +130,17 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
     // cannot swap this slot underneath us: it joins the failed driver — the
     // thread running THIS handler — before touching the pointer.
     std::vector<serve::PendingRequest> displaced = shards_[i]->take_unfinished();
-    if (displaced.empty()) return;
+    if (displaced.empty()) {
+        // The black-box capture happens after failover settles — here that
+        // is immediately, there was nothing to displace.
+        if (observer) observer(i);
+        return;
+    }
 
     // Fail each request over through the normal placement policy, restricted
     // to surviving shards. A request placement refuses (or every survivor's
     // resubmit declines) is lost — resolved here so its handle still returns.
-    const std::lock_guard<std::mutex> lock(place_mu_);
+    std::unique_lock<std::mutex> lock(place_mu_);
     for (serve::PendingRequest& req : displaced) {
         // resubmit() consumes req on success — capture what the log needs
         // before placement runs.
@@ -174,6 +187,10 @@ void ClusterRouter::handle_shard_failure(std::size_t i,
             resolve_lost_request(std::move(req), shards_[i]->tokenizer());
         }
     }
+    lock.unlock();
+    // Outside place_mu_: the observer snapshots cluster metrics (which takes
+    // the same lock) for its flight bundle.
+    if (observer) observer(i);
 }
 
 ClusterRouter::~ClusterRouter() {
@@ -305,8 +322,13 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
                          (loads.back().healthy && loads.back().ever_fits(demand));
         // Per-decision affinity signal: how much of THIS prompt the shard's
         // prefix index already holds. Healthy shards only — a dead shard's
-        // cached prefix is not capacity.
-        if (opts_.shard.prefix_sharing && loads.back().healthy) {
+        // cached prefix is not capacity. Under an engaged overload governor
+        // the probe is skipped (degraded placement): per-shard prefix probes
+        // are the expensive part of placement, and an overloaded cluster
+        // trades affinity for admission latency.
+        const bool degrade = opts_.shard.overload != nullptr &&
+                             opts_.shard.overload->degraded_placement();
+        if (opts_.shard.prefix_sharing && !degrade && loads.back().healthy) {
             loads.back().prefix_covered_tokens =
                 shards_[i]->probe_prefix(prompt_tokens);
         }
@@ -329,8 +351,16 @@ ClusterRouter::SubmitOutcome ClusterRouter::try_submit(serve::Request req) {
             if (!l.healthy) continue;
             min_inflight = l.inflight() < min_inflight ? l.inflight() : min_inflight;
         }
+        double hint_ms =
+            static_cast<double>(opts_.retry_hint_ms * (1 + min_inflight));
+        // An engaged governor stretches the hint: rejected callers back off
+        // harder while the cluster is shedding, which drains the overload
+        // faster than optimistic retries would.
+        if (opts_.shard.overload != nullptr) {
+            hint_ms *= opts_.shard.overload->retry_hint_scale();
+        }
         out.retry_hint =
-            std::chrono::milliseconds(opts_.retry_hint_ms * (1 + min_inflight));
+            std::chrono::milliseconds(static_cast<std::int64_t>(hint_ms));
         return out;
     }
     check(idx < shards_.size(), "ClusterRouter: placement pick out of range");
@@ -428,6 +458,25 @@ obs::MetricsSnapshot ClusterRouter::metrics_snapshot() const {
     // the same drop counter N times — overwrite with the ring's true value.
     if (opts_.shard.trace) {
         out.set_counter("serve_trace_dropped_total", opts_.shard.trace->dropped());
+    }
+    // Process-level gauges live here, not in the shards: gauges ADD on merge,
+    // and there is one process no matter how many shards it hosts.
+    obs::export_process_metrics(out);
+    if (opts_.shard.overload != nullptr) {
+        const serve::OverloadGovernor& g = *opts_.shard.overload;
+        out.set_gauge("cluster_overload_engaged", g.engaged() ? 1.0 : 0.0);
+        out.set_counter("cluster_overload_engagements_total", g.engagements());
+        out.set_counter("cluster_overload_shed_total", g.shed_total());
+    }
+    return out;
+}
+
+std::vector<obs::SpanRecord> ClusterRouter::profiler_spans() const {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    std::vector<obs::SpanRecord> out;
+    for (const auto& s : shards_) {
+        const std::vector<obs::SpanRecord> spans = s->profiler().spans();
+        out.insert(out.end(), spans.begin(), spans.end());
     }
     return out;
 }

@@ -79,7 +79,12 @@ enum class ShardHealth { kHealthy, kFailed, kRestarted };
 }
 
 struct ClusterOptions {
-    serve::ServeOptions shard;  // every shard serves with this configuration
+    // Every shard serves with this configuration. `shard.overload` (the
+    // alert-driven OverloadGovernor, when set) is shared by all shards AND
+    // read by the router itself: engaged, it stretches try_submit retry
+    // hints by its scale and drops placement to the degraded mode (no
+    // prefix-affinity probing) until the firing alert resolves.
+    serve::ServeOptions shard;
     std::size_t shards = 2;
     PlacementPolicy placement = PlacementPolicy::kLeastLoaded;
     // Base unit of try_submit's retry hint: the hint scales with the least
@@ -260,6 +265,13 @@ public:
     // work), std::out_of_range on a bad index. Controlling-thread only, like
     // start()/stop().
     void restart_shard(std::size_t i);
+    // Post-failure observer (the flight recorder's shard-kill trigger):
+    // invoked once per shard failure, AFTER the failover sweep has resolved
+    // or re-placed every displaced request — so a capture taken inside the
+    // callback sees the harvest/resubmit trace events. Runs on the dying
+    // shard's driver thread; register before start().
+    using FailureObserver = std::function<void(std::size_t shard)>;
+    void set_failure_observer(FailureObserver cb);
     // The slot's health, and the backend fault that killed it (null unless a
     // failure was recorded; cleared again by restart_shard — the fault
     // belonged to the corpse, not the replacement). Safe from any thread.
@@ -275,6 +287,12 @@ public:
     // series (cluster_shard_failures, cluster_requests_failed_over,
     // cluster_healthy_shards, ...). Safe from any thread.
     [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+    // Every shard's retained profiler spans in one flat vector (each span
+    // already carries its shard id) — the flight recorder's timeline feed.
+    // Taken under the placement lock so a restart cannot swap an engine
+    // mid-walk. Safe from any thread.
+    [[nodiscard]] std::vector<obs::SpanRecord> profiler_spans() const;
 
     // Cluster timeline as Chrome-trace-event JSON (the kTraceDump wire
     // frame): the shared trace ring's lifecycle events plus every shard's
@@ -321,6 +339,7 @@ private:
     std::size_t shard_restarts_ = 0;
     std::size_t requests_failed_over_ = 0;
     std::size_t requests_lost_ = 0;
+    FailureObserver failure_observer_;  // guarded by place_mu_
     std::atomic<bool> running_{false};
 };
 

@@ -263,8 +263,11 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
                 // this connection. Observability reads are not "requests
                 // served" — requests_served() keeps counting generate
                 // traffic only, so it stays comparable with the cluster's
-                // requests_completed.
-                const obs::MetricsSnapshot snap = router_.metrics_snapshot();
+                // requests_completed. An attached SLO controller augments
+                // the scrape with the serve_alert_*/slo_* series.
+                const obs::MetricsSnapshot snap = slo_ != nullptr
+                                                      ? slo_->metrics_snapshot()
+                                                      : router_.metrics_snapshot();
                 resp.status = wire::Status::kMetrics;
                 resp.metrics = wreq.metrics_format == wire::MetricsFormat::kJson
                                    ? obs::to_json(snap)
@@ -280,6 +283,29 @@ void SocketServer::serve_connection(std::size_t conn_index, int fd) {
                 // Like metrics, an observability read — not a served request.
                 resp.status = wire::Status::kTraceDump;
                 resp.trace = router_.trace_json();
+                if (!write_frame(fd, wire::encode_response(resp),
+                                 deadline_in(opts_.io_timeout_ms))) {
+                    break;
+                }
+                continue;
+            }
+            if (wreq.kind == wire::RequestKind::kAlerts ||
+                wreq.kind == wire::RequestKind::kQuery) {
+                // SLO reads need the controller; without one the frames are
+                // a configuration error, not a dropped connection.
+                check(slo_ != nullptr,
+                      "socket: server has no SLO controller (--slo)");
+                if (wreq.kind == wire::RequestKind::kAlerts) {
+                    resp.status = wire::Status::kAlerts;
+                    resp.alerts = slo_->alerts_json();
+                } else {
+                    resp.status = wire::Status::kQuery;
+                    const std::uint64_t window_ns =
+                        wreq.query_window_ms > 0
+                            ? wreq.query_window_ms * 1'000'000ull
+                            : 120'000'000'000ull;
+                    resp.query = slo_->query_json(wreq.query_series, window_ns);
+                }
                 if (!write_frame(fd, wire::encode_response(resp),
                                  deadline_in(opts_.io_timeout_ms))) {
                     break;
@@ -429,6 +455,33 @@ std::string SocketClient::trace_dump() {
           "SocketClient: server replied to a trace request with a "
           "non-trace response");
     return std::move(resp.trace);
+}
+
+std::string SocketClient::alerts() {
+    wire::WireRequest req;
+    req.kind = wire::RequestKind::kAlerts;
+    wire::WireResponse resp = request(req);
+    check(resp.status != wire::Status::kError,
+          "SocketClient: alerts request failed: " + resp.error);
+    check(resp.status == wire::Status::kAlerts,
+          "SocketClient: server replied to an alerts request with a "
+          "non-alerts response");
+    return std::move(resp.alerts);
+}
+
+std::string SocketClient::query(const std::string& series,
+                                std::uint32_t window_ms) {
+    wire::WireRequest req;
+    req.kind = wire::RequestKind::kQuery;
+    req.query_series = series;
+    req.query_window_ms = window_ms;
+    wire::WireResponse resp = request(req);
+    check(resp.status != wire::Status::kError,
+          "SocketClient: query request failed: " + resp.error);
+    check(resp.status == wire::Status::kQuery,
+          "SocketClient: server replied to a query request with a "
+          "non-query response");
+    return std::move(resp.query);
 }
 
 std::chrono::milliseconds SocketClient::backoff_delay(std::size_t attempt,

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "cluster/cluster_router.hpp"
+#include "cluster/slo_controller.hpp"
 #include "cluster/wire.hpp"
 #include "common/rng.hpp"
 
@@ -79,6 +80,12 @@ public:
     SocketServer(ClusterRouter& router, Options opts);
     ~SocketServer();
 
+    // Attaches the SLO control plane (non-owning; must outlive the server).
+    // With a controller set, kMetrics scrapes include the serve_alert_*/slo_*
+    // series and the kAlerts/kQuery frames are answered; without one those
+    // frames get a status-2 error. Set before start().
+    void set_slo(SloController* slo) noexcept { slo_ = slo; }
+
     SocketServer(const SocketServer&) = delete;
     SocketServer& operator=(const SocketServer&) = delete;
 
@@ -108,6 +115,7 @@ private:
 
     ClusterRouter& router_;
     Options opts_;
+    SloController* slo_ = nullptr;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::thread acceptor_;
@@ -179,6 +187,18 @@ public:
     // as Chrome-trace-event JSON (load it in ui.perfetto.dev). Throws
     // efld::Error on transport failure or a non-trace response.
     [[nodiscard]] std::string trace_dump();
+
+    // Alert state: one kAlerts round trip, returning the SLO engine's rules
+    // + transition timeline as JSON. Throws efld::Error on transport failure
+    // or when the server has no SLO controller (status-2 error).
+    [[nodiscard]] std::string alerts();
+
+    // Time-series query: one kQuery round trip, returning `series`' TSDB
+    // tail over the trailing `window_ms` (0 = server default) as JSON.
+    // Throws like alerts(); an UNKNOWN series is not an error — the server
+    // answers with an empty point list.
+    [[nodiscard]] std::string query(const std::string& series,
+                                    std::uint32_t window_ms = 0);
 
     [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 

@@ -87,7 +87,12 @@ std::vector<std::uint8_t> encode_request(const WireRequest& req) {
             put_u8(out, static_cast<std::uint8_t>(req.metrics_format));
             break;
         case RequestKind::kTraceDump:
+        case RequestKind::kAlerts:
             break;  // no body
+        case RequestKind::kQuery:
+            put_u32(out, req.query_window_ms);
+            put_bytes(out, req.query_series);
+            break;
     }
     return out;
 }
@@ -97,7 +102,7 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
     check(c.u8() == kVersion, "wire: unknown request version");
     WireRequest req;
     const std::uint8_t kind = c.u8();
-    check(kind <= static_cast<std::uint8_t>(RequestKind::kTraceDump),
+    check(kind <= static_cast<std::uint8_t>(RequestKind::kQuery),
           "wire: unknown request kind");
     req.kind = static_cast<RequestKind>(kind);
     switch (req.kind) {
@@ -114,7 +119,12 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
             break;
         }
         case RequestKind::kTraceDump:
+        case RequestKind::kAlerts:
             break;  // no body
+        case RequestKind::kQuery:
+            req.query_window_ms = c.u32();
+            req.query_series = c.str();
+            break;
     }
     c.finish();
     return req;
@@ -148,6 +158,12 @@ std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
         case Status::kTraceDump:
             put_bytes(out, resp.trace);
             break;
+        case Status::kAlerts:
+            put_bytes(out, resp.alerts);
+            break;
+        case Status::kQuery:
+            put_bytes(out, resp.query);
+            break;
     }
     return out;
 }
@@ -157,7 +173,7 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
     check(c.u8() == kVersion, "wire: unknown response version");
     WireResponse resp;
     const std::uint8_t status = c.u8();
-    check(status <= static_cast<std::uint8_t>(Status::kTraceDump),
+    check(status <= static_cast<std::uint8_t>(Status::kQuery),
           "wire: unknown response status");
     resp.status = static_cast<Status>(status);
     switch (resp.status) {
@@ -185,6 +201,12 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
             break;
         case Status::kTraceDump:
             resp.trace = c.str();
+            break;
+        case Status::kAlerts:
+            resp.alerts = c.str();
+            break;
+        case Status::kQuery:
+            resp.query = c.str();
             break;
     }
     c.finish();

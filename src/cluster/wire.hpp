@@ -2,12 +2,16 @@
 // little-endian fixed-width fields.
 //
 //   frame    := u32 payload_length, payload
-//   request  := u8 version(=2), u8 kind, body
+//   request  := u8 version(=3), u8 kind, body
 //     kind 0 (generate) : u32 max_new_tokens, u32 deadline_ms,
 //                         u32 prompt_length, prompt bytes
 //     kind 1 (metrics)  : u8 format — 0 Prometheus text, 1 JSON
 //     kind 2 (trace)    : (empty) — dump the cluster trace timeline
-//   response := u8 version(=2), u8 status, body
+//     kind 3 (alerts)   : (empty) — the SLO engine's rules + transition
+//                         timeline
+//     kind 4 (query)    : u32 window_ms, u32 series_length, series bytes —
+//                         one time-series' tail over the trailing window
+//   response := u8 version(=3), u8 status, body
 //     status 0 (ok)       : u64 id, u8 finish_reason, u32 times_deferred,
 //                           u32 failovers, u32 token_count,
 //                           i32 tokens[token_count], u32 text_length,
@@ -24,14 +28,20 @@
 //                           as Chrome-trace-event JSON, loadable in
 //                           ui.perfetto.dev (the reply to a kind-2 request;
 //                           see obs/perfetto_export.hpp)
+//     status 5 (alerts)   : u32 body_length, body bytes — AlertEngine::to_json
+//                           (the reply to a kind-3 request; a server without
+//                           an SLO controller answers status 2 instead)
+//     status 6 (query)    : u32 body_length, body bytes — the
+//                           TimeSeriesStore::query_json tail of one series
+//                           (the reply to a kind-4 request)
 //
 // deadline_ms is relative to server receipt (0 = none) — clients and servers
 // share no clock. finish_reason transports serve::FinishReason's enum value.
 //
-// Version 2 added the request kind byte and the metrics frames; version-1
-// peers are not decoded (one embedded deployment upgrades client and server
-// together — a version byte mismatch is a configuration error, not a
-// negotiation).
+// Version 2 added the request kind byte and the metrics frames; version 3 the
+// alerts and time-series-query frames. Older peers are not decoded (one
+// embedded deployment upgrades client and server together — a version byte
+// mismatch is a configuration error, not a negotiation).
 //
 // Encode/decode work on byte vectors, independent of any socket, so the
 // format round-trips in unit tests without a network. Decoders throw
@@ -47,7 +57,7 @@
 
 namespace efld::cluster::wire {
 
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
 // Upper bound a frame reader enforces BEFORE allocating: a garbage length
 // prefix must not become a multi-gigabyte allocation. Sized for trace dumps —
 // a Perfetto timeline of a long cluster run runs to several MiB of JSON.
@@ -59,12 +69,16 @@ enum class Status : std::uint8_t {
     kError = 2,
     kMetrics = 3,
     kTraceDump = 4,
+    kAlerts = 5,
+    kQuery = 6,
 };
 
 enum class RequestKind : std::uint8_t {
     kGenerate = 0,
     kMetrics = 1,
     kTraceDump = 2,
+    kAlerts = 3,
+    kQuery = 4,
 };
 
 enum class MetricsFormat : std::uint8_t { kPrometheus = 0, kJson = 1 };
@@ -77,6 +91,9 @@ struct WireRequest {
     std::uint32_t deadline_ms = 0;  // 0 = no deadline
     // kMetrics field
     MetricsFormat metrics_format = MetricsFormat::kPrometheus;
+    // kQuery fields
+    std::string query_series;
+    std::uint32_t query_window_ms = 0;  // 0 = server default (2 min)
 };
 
 struct WireResponse {
@@ -96,6 +113,10 @@ struct WireResponse {
     std::string metrics;
     // kTraceDump field: the Chrome-trace-event JSON timeline
     std::string trace;
+    // kAlerts field: the alert engine's rules + timeline JSON
+    std::string alerts;
+    // kQuery field: one time-series tail as JSON
+    std::string query;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& req);

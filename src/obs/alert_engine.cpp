@@ -1,0 +1,333 @@
+#include "obs/alert_engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace efld::obs {
+
+namespace {
+
+void append_num(std::string& out, double v) {
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "%g", v);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+    throw std::invalid_argument("alert rule \"" + std::string(spec) +
+                                "\": " + why);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t end = s.find(sep, start);
+        if (end == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+double parse_number(std::string_view spec, const std::string& field) {
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == nullptr || *end != '\0' || field.empty()) {
+        bad_spec(spec, "bad number \"" + field + "\"");
+    }
+    return v;
+}
+
+// "2s" / "500ms" / "1500" (bare = milliseconds, the wire flag convention).
+std::uint64_t parse_duration_ns(std::string_view spec, const std::string& field) {
+    if (field.empty()) bad_spec(spec, "empty duration");
+    std::uint64_t scale = 1'000'000;  // ms
+    std::string digits = field;
+    if (field.size() > 2 && field.compare(field.size() - 2, 2, "ms") == 0) {
+        digits = field.substr(0, field.size() - 2);
+    } else if (field.back() == 's') {
+        scale = 1'000'000'000;
+        digits = field.substr(0, field.size() - 1);
+    }
+    char* end = nullptr;
+    const double v = std::strtod(digits.c_str(), &end);
+    if (end == nullptr || *end != '\0' || digits.empty() || v < 0) {
+        bad_spec(spec, "bad duration \"" + field + "\"");
+    }
+    return static_cast<std::uint64_t>(v * static_cast<double>(scale));
+}
+
+AlertOp parse_op(std::string_view spec, const std::string& field) {
+    if (field == "gt") return AlertOp::kGt;
+    if (field == "ge") return AlertOp::kGe;
+    if (field == "lt") return AlertOp::kLt;
+    if (field == "le") return AlertOp::kLe;
+    bad_spec(spec, "bad op \"" + field + "\" (gt|ge|lt|le)");
+}
+
+bool compare(AlertOp op, double lhs, double rhs) noexcept {
+    switch (op) {
+        case AlertOp::kGt: return lhs > rhs;
+        case AlertOp::kGe: return lhs >= rhs;
+        case AlertOp::kLt: return lhs < rhs;
+        case AlertOp::kLe: return lhs <= rhs;
+    }
+    return false;
+}
+
+}  // namespace
+
+AlertRule parse_alert_rule(std::string_view spec) {
+    AlertRule rule;
+    std::string_view body = spec;
+    // Optional `name=` prefix; the body's fields use ':' so '=' is
+    // unambiguous.
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos && body.find(':') > eq) {
+        rule.name = std::string(body.substr(0, eq));
+        body = body.substr(eq + 1);
+    }
+    const std::vector<std::string> f = split(body, ':');
+    if (f.empty()) bad_spec(spec, "empty rule");
+    if (f[0] == "threshold") {
+        if (f.size() != 5) {
+            bad_spec(spec, "want threshold:<metric>:<op>:<value>:<for>");
+        }
+        rule.kind = AlertRule::Kind::kThreshold;
+        rule.metric = f[1];
+        rule.op = parse_op(spec, f[2]);
+        rule.value = parse_number(spec, f[3]);
+        rule.for_ns = parse_duration_ns(spec, f[4]);
+        rule.resolve_ns = rule.for_ns;
+    } else if (f[0] == "burnrate") {
+        if (f.size() != 7) {
+            bad_spec(spec,
+                     "want burnrate:<hist>:<slo_ms>:<objective>:<factor>:"
+                     "<long>:<short>");
+        }
+        rule.kind = AlertRule::Kind::kBurnRate;
+        rule.metric = f[1];
+        rule.slo_threshold_ns = parse_duration_ns(spec, f[2]);
+        rule.objective = parse_number(spec, f[3]);
+        if (rule.objective > 1.0) rule.objective /= 100.0;  // "99" == 0.99
+        if (rule.objective <= 0.0 || rule.objective >= 1.0) {
+            bad_spec(spec, "objective must be in (0, 1) or (0, 100)");
+        }
+        rule.factor = parse_number(spec, f[4]);
+        if (rule.factor <= 0.0) bad_spec(spec, "factor must be > 0");
+        rule.long_window_ns = parse_duration_ns(spec, f[5]);
+        rule.short_window_ns = parse_duration_ns(spec, f[6]);
+        if (rule.short_window_ns == 0 ||
+            rule.short_window_ns > rule.long_window_ns) {
+            bad_spec(spec, "want 0 < short <= long window");
+        }
+        rule.resolve_ns = rule.short_window_ns;
+    } else {
+        bad_spec(spec, "unknown kind \"" + f[0] + "\" (threshold|burnrate)");
+    }
+    if (rule.metric.empty()) bad_spec(spec, "empty metric");
+    return rule;
+}
+
+std::vector<AlertRule> parse_alert_rules(std::string_view specs) {
+    std::vector<AlertRule> out;
+    for (const std::string& one : split(specs, ',')) {
+        if (one.empty()) continue;
+        out.push_back(parse_alert_rule(one));
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i].name.empty()) out[i].name = "rule" + std::to_string(i);
+    }
+    return out;
+}
+
+AlertEngine::AlertEngine(const TimeSeriesStore* store) : store_(store) {
+    check(store_ != nullptr, "AlertEngine: null store");
+}
+
+std::size_t AlertEngine::add_rule(AlertRule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rule.name.empty()) rule.name = "rule" + std::to_string(rules_.size());
+    rules_.push_back(std::move(rule));
+    states_.emplace_back();
+    return rules_.size() - 1;
+}
+
+void AlertEngine::subscribe(Subscriber cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.push_back(std::move(cb));
+}
+
+bool AlertEngine::condition(const AlertRule& rule, std::uint64_t now_ns,
+                            double& value) const {
+    if (rule.kind == AlertRule::Kind::kThreshold) {
+        const std::optional<SeriesPoint> p = store_->latest(rule.metric);
+        if (!p.has_value()) {
+            value = 0.0;
+            return false;  // no data is never a violation
+        }
+        value = p->value;
+        return compare(rule.op, value, rule.value);
+    }
+    const double budget = 1.0 - rule.objective;
+    const double long_burn =
+        store_->bad_fraction(rule.metric, rule.slo_threshold_ns,
+                             rule.long_window_ns, now_ns) /
+        budget;
+    const double short_burn =
+        store_->bad_fraction(rule.metric, rule.slo_threshold_ns,
+                             rule.short_window_ns, now_ns) /
+        budget;
+    value = long_burn;
+    return long_burn > rule.factor && short_burn > rule.factor;
+}
+
+void AlertEngine::set_state(std::size_t i, AlertState to, std::uint64_t now_ns,
+                            double value, std::vector<Transition>& fired) {
+    RuleState& rs = states_[i];
+    if (rs.state == to) return;
+    Transition t;
+    t.ts_ns = now_ns;
+    t.rule = static_cast<std::uint32_t>(i);
+    t.from = rs.state;
+    t.to = to;
+    t.value = value;
+    rs.state = to;
+    if (to == AlertState::kFiring) ++rs.fired_total;
+    if (t.from == AlertState::kFiring && to == AlertState::kInactive) {
+        ++rs.resolved_total;
+    }
+    if (timeline_.size() >= timeline_cap_) {
+        timeline_.erase(timeline_.begin());
+    }
+    timeline_.push_back(t);
+    fired.push_back(t);
+}
+
+void AlertEngine::evaluate(std::uint64_t now_ns) {
+    std::vector<Transition> fired;
+    std::vector<Subscriber> subs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < rules_.size(); ++i) {
+            const AlertRule& rule = rules_[i];
+            RuleState& rs = states_[i];
+            double value = 0.0;
+            const bool cond = condition(rule, now_ns, value);
+            rs.last_value = value;
+            if (cond) {
+                rs.clear_since = kNever;
+                if (rs.cond_since == kNever) rs.cond_since = now_ns;
+                if (rs.state == AlertState::kInactive) {
+                    set_state(i, AlertState::kPending, now_ns, value, fired);
+                }
+                if (rs.state == AlertState::kPending &&
+                    now_ns - rs.cond_since >= rule.for_ns) {
+                    set_state(i, AlertState::kFiring, now_ns, value, fired);
+                }
+            } else {
+                rs.cond_since = kNever;
+                if (rs.state == AlertState::kPending) {
+                    // A pending alert never fired; cancelling it needs no
+                    // hysteresis.
+                    set_state(i, AlertState::kInactive, now_ns, value, fired);
+                } else if (rs.state == AlertState::kFiring) {
+                    if (rs.clear_since == kNever) rs.clear_since = now_ns;
+                    if (now_ns - rs.clear_since >= rule.resolve_ns) {
+                        set_state(i, AlertState::kInactive, now_ns, value, fired);
+                        rs.clear_since = kNever;
+                    }
+                }
+            }
+        }
+        subs = subscribers_;
+    }
+    // Subscribers run outside the lock: they call back into router/recorder
+    // code that may itself snapshot metrics (which reads this engine).
+    for (const Transition& t : fired) {
+        for (const Subscriber& cb : subs) cb(rules_[t.rule], t);
+    }
+}
+
+AlertState AlertEngine::state(std::size_t rule) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return states_.at(rule).state;
+}
+
+std::size_t AlertEngine::firing_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const RuleState& rs : states_) {
+        n += rs.state == AlertState::kFiring ? 1 : 0;
+    }
+    return n;
+}
+
+std::vector<AlertEngine::Transition> AlertEngine::timeline() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timeline_;
+}
+
+void AlertEngine::export_into(MetricsSnapshot& snapshot) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t firing = 0;
+    std::size_t pending = 0;
+    std::uint64_t fired_total = 0;
+    std::uint64_t resolved_total = 0;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const RuleState& rs = states_[i];
+        firing += rs.state == AlertState::kFiring ? 1 : 0;
+        pending += rs.state == AlertState::kPending ? 1 : 0;
+        fired_total += rs.fired_total;
+        resolved_total += rs.resolved_total;
+        snapshot.set_gauge("serve_alert_state_" + rules_[i].name,
+                           static_cast<double>(static_cast<int>(rs.state)));
+        snapshot.set_gauge("serve_alert_value_" + rules_[i].name, rs.last_value);
+    }
+    snapshot.set_gauge("serve_alerts_firing", static_cast<double>(firing));
+    snapshot.set_gauge("serve_alerts_pending", static_cast<double>(pending));
+    snapshot.set_counter("serve_alerts_fired_total", fired_total);
+    snapshot.set_counter("serve_alerts_resolved_total", resolved_total);
+}
+
+std::string AlertEngine::to_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"rules\":[";
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        const AlertRule& r = rules_[i];
+        const RuleState& rs = states_[i];
+        out += "{\"name\":\"" + r.name + "\",\"kind\":\"";
+        out += r.kind == AlertRule::Kind::kThreshold ? "threshold" : "burnrate";
+        out += "\",\"metric\":\"" + r.metric + "\",\"state\":\"";
+        out += to_string(rs.state);
+        out += "\",\"value\":";
+        append_num(out, rs.last_value);
+        out += ",\"fired_total\":" + std::to_string(rs.fired_total);
+        out += ",\"resolved_total\":" + std::to_string(rs.resolved_total) + "}";
+    }
+    out += "],\"timeline\":[";
+    for (std::size_t i = 0; i < timeline_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        const Transition& t = timeline_[i];
+        out += "{\"ts_ns\":" + std::to_string(t.ts_ns);
+        out += ",\"rule\":\"" + rules_[t.rule].name + "\"";
+        out += ",\"from\":\"" + std::string(to_string(t.from)) + "\"";
+        out += ",\"to\":\"" + std::string(to_string(t.to)) + "\"";
+        out += ",\"value\":";
+        append_num(out, t.value);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace efld::obs

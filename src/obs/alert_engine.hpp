@@ -1,0 +1,151 @@
+// Declarative SLO alerting over the TimeSeriesStore.
+//
+// Two rule kinds, parsed from compact colon-separated specs (rules separated
+// by commas, an optional `name=` prefix on each):
+//
+//   threshold:<metric>:<op>:<value>:<for>
+//       Fires when the metric's LATEST sample satisfies `op value`
+//       continuously for `for` (e.g. threshold:serve_queued:gt:8:2s).
+//       Counter series compare against their per-second rate (that is what
+//       the store retains); gauges against the value.
+//
+//   burnrate:<hist>:<slo_ms>:<objective>:<factor>:<long>:<short>
+//       SRE multi-window burn-rate over an SLO objective like "TTFT p99
+//       <= 250 ms for 99% of requests" (objective 0.99 or 99). The error
+//       budget is the allowed bad fraction (1 - objective); the burn rate in
+//       a window is (fraction of that window's histogram samples above
+//       slo_ms) / budget. Fires when BOTH the long and the short window burn
+//       faster than `factor` — the long window gives significance, the short
+//       one proves the burn is still happening, so the alert neither flaps on
+//       a blip nor keeps firing after recovery.
+//
+// State machine per rule: kInactive → kPending (condition true, not yet held
+// for `for`) → kFiring → back to kInactive once the condition has been clear
+// for the resolve hold (hysteresis; defaults to `for`, or the short window
+// for burn-rate rules). Every transition lands in a bounded timeline ring,
+// is pushed to subscribers (the SLO controller turns them into trace events,
+// flight-recorder captures, and overload-governor engagement), and the
+// current states export as serve_alert_* gauges/counters.
+//
+// Determinism: evaluate(now_ns) reads ONLY the store and its own state — no
+// wall-clock, no randomness — so a scripted ManualClock run reproduces the
+// full lifecycle bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/time_series.hpp"
+
+namespace efld::obs {
+
+enum class AlertState { kInactive = 0, kPending = 1, kFiring = 2 };
+
+[[nodiscard]] constexpr std::string_view to_string(AlertState s) noexcept {
+    switch (s) {
+        case AlertState::kInactive: return "inactive";
+        case AlertState::kPending: return "pending";
+        case AlertState::kFiring: return "firing";
+    }
+    return "inactive";
+}
+
+enum class AlertOp { kGt, kGe, kLt, kLe };
+
+struct AlertRule {
+    enum class Kind { kThreshold, kBurnRate };
+
+    std::string name;    // export suffix; parse assigns "rule<i>" if empty
+    Kind kind = Kind::kThreshold;
+    std::string metric;  // scalar series (threshold) / histogram (burnrate)
+
+    // Threshold fields.
+    AlertOp op = AlertOp::kGt;
+    double value = 0.0;
+    std::uint64_t for_ns = 0;
+
+    // Burn-rate fields (metric values and the SLO threshold are nanoseconds).
+    std::uint64_t slo_threshold_ns = 0;
+    double objective = 0.0;  // e.g. 0.99
+    double factor = 1.0;     // burn-rate multiple that fires
+    std::uint64_t long_window_ns = 0;
+    std::uint64_t short_window_ns = 0;
+
+    // Hysteresis: the condition must stay clear this long before a firing
+    // alert resolves. 0 = parse default (`for`, or the short window).
+    std::uint64_t resolve_ns = 0;
+};
+
+// Parses one rule spec / a comma-separated list. Throws std::invalid_argument
+// with the offending spec on any grammar error.
+[[nodiscard]] AlertRule parse_alert_rule(std::string_view spec);
+[[nodiscard]] std::vector<AlertRule> parse_alert_rules(std::string_view specs);
+
+class AlertEngine {
+public:
+    struct Transition {
+        std::uint64_t ts_ns = 0;
+        std::uint32_t rule = 0;
+        AlertState from = AlertState::kInactive;
+        AlertState to = AlertState::kInactive;
+        double value = 0.0;  // the evaluation that caused the transition
+    };
+    using Subscriber = std::function<void(const AlertRule&, const Transition&)>;
+
+    explicit AlertEngine(const TimeSeriesStore* store);
+
+    std::size_t add_rule(AlertRule rule);
+    void subscribe(Subscriber cb);  // called inline from evaluate()
+
+    // One evaluation pass over every rule at `now_ns` (the sampler calls
+    // this right after each ingest). Deterministic: store + state only.
+    void evaluate(std::uint64_t now_ns);
+
+    [[nodiscard]] AlertState state(std::size_t rule) const;
+    [[nodiscard]] std::size_t firing_count() const;
+    [[nodiscard]] std::vector<Transition> timeline() const;  // oldest first
+    [[nodiscard]] const std::vector<AlertRule>& rules() const noexcept {
+        return rules_;
+    }
+
+    // serve_alerts_{firing,pending} gauges, serve_alerts_{fired,resolved}_total
+    // counters, and per-rule serve_alert_state_<name> / serve_alert_value_<name>
+    // gauges.
+    void export_into(MetricsSnapshot& snapshot) const;
+
+    // {"rules":[{name,kind,state,value,fired_total},...],
+    //  "timeline":[{ts_ns,rule,from,to,value},...]} — the kAlerts wire body.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+    struct RuleState {
+        AlertState state = AlertState::kInactive;
+        std::uint64_t cond_since = kNever;
+        std::uint64_t clear_since = kNever;
+        double last_value = 0.0;
+        std::uint64_t fired_total = 0;
+        std::uint64_t resolved_total = 0;
+    };
+
+    // Evaluates one rule's condition; fills `value` with the comparable.
+    [[nodiscard]] bool condition(const AlertRule& rule, std::uint64_t now_ns,
+                                 double& value) const;
+    void set_state(std::size_t i, AlertState to, std::uint64_t now_ns,
+                   double value, std::vector<Transition>& fired);
+
+    const TimeSeriesStore* store_;
+    mutable std::mutex mu_;
+    std::vector<AlertRule> rules_;
+    std::vector<RuleState> states_;
+    std::vector<Transition> timeline_;  // bounded ring, oldest first
+    std::size_t timeline_cap_ = 256;
+    std::vector<Subscriber> subscribers_;
+};
+
+}  // namespace efld::obs

@@ -25,23 +25,80 @@ void append_format(std::string& out, const char* fmt, ...) {
 // %g keeps integers clean ("3" not "3.000000") and floats compact.
 void append_double(std::string& out, double v) { append_format(out, "%g", v); }
 
+// HELP text for the well-known series; everything else gets a generic line
+// (scrapers only require that HELP precede the samples, not that it be
+// poetry). Kept to the stable top-level series — per-rule alert gauges and
+// per-phase profiler series are named after their subject and self-describe.
+const char* help_for(const std::string& name) {
+    struct Entry {
+        const char* name;
+        const char* help;
+    };
+    static constexpr Entry kTable[] = {
+        {"serve_requests_completed", "Requests retired, any finish reason."},
+        {"serve_requests_shed", "Queued requests shed by overload protection."},
+        {"serve_requests_expired", "Requests retired past their deadline."},
+        {"serve_generated_tokens", "Tokens generated across all requests."},
+        {"serve_queued", "Requests waiting in the admission queue."},
+        {"serve_active_sessions", "Requests currently decoding."},
+        {"serve_queue_wait_ns", "Queue wait per request."},
+        {"serve_ttft_ns", "Time to first token per request."},
+        {"serve_e2e_ns", "End-to-end latency per request."},
+        {"serve_alerts_firing", "Alert rules currently firing."},
+        {"serve_alerts_pending", "Alert rules currently pending."},
+        {"serve_alerts_fired_total", "Alert firing transitions."},
+        {"serve_alerts_resolved_total", "Alert resolve transitions."},
+        {"cluster_shards", "Configured shard count."},
+        {"cluster_healthy_shards", "Shards currently serving."},
+        {"cluster_shard_failures", "Shard failures observed."},
+        {"cluster_requests_failed_over", "Requests re-placed after a shard failure."},
+        {"cluster_overload_engaged", "1 while the overload governor is engaged."},
+        {"cluster_overload_shed_total", "Requests shed while engaged."},
+        {"process_uptime_seconds", "Seconds since process start."},
+        {"process_rss_bytes", "Resident set size."},
+        {"process_threads", "OS threads in the process."},
+        {"process_build_info", "Always 1; build metadata."},
+        {"slo_tsdb_ingests_total", "Snapshots ingested into the time-series store."},
+        {"slo_tsdb_dropped_ingests_total", "Ingests dropped for non-monotonic time."},
+        {"slo_flight_captures_total", "Flight-recorder bundles written."},
+    };
+    for (const Entry& e : kTable) {
+        if (name == e.name) return e.help;
+    }
+    return nullptr;
+}
+
+void append_help_type(std::string& out, const std::string& name,
+                      const char* type) {
+    const char* help = help_for(name);
+    if (help != nullptr) {
+        append_format(out, "# HELP %s %s\n", name.c_str(), help);
+    } else {
+        // Generic but present: Prometheus tooling treats a missing HELP as a
+        // lint warning, and the smoke script's validator requires the pair.
+        append_format(out, "# HELP %s %s %s.\n", name.c_str(), type,
+                      name.c_str());
+    }
+    append_format(out, "# TYPE %s %s\n", name.c_str(), type);
+}
+
 }  // namespace
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
     std::string out;
     out.reserve(4096);
     for (const auto& [name, v] : snapshot.counters) {
-        append_format(out, "# TYPE %s counter\n", name.c_str());
+        append_help_type(out, name, "counter");
         append_format(out, "%s %" PRIu64 "\n", name.c_str(), v);
     }
     for (const auto& [name, v] : snapshot.gauges) {
-        append_format(out, "# TYPE %s gauge\n", name.c_str());
+        append_help_type(out, name, "gauge");
         append_format(out, "%s ", name.c_str());
         append_double(out, v);
         out.push_back('\n');
     }
     for (const auto& [name, h] : snapshot.histograms) {
-        append_format(out, "# TYPE %s histogram\n", name.c_str());
+        append_help_type(out, name, "histogram");
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.buckets.size(); ++i) {
             if (h.buckets[i] == 0) continue;

@@ -1,0 +1,57 @@
+#include "obs/process_metrics.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/clock.hpp"
+
+namespace efld::obs {
+
+namespace {
+
+// Uptime anchor: the steady-clock instant of the first read in this process.
+std::uint64_t process_start_ns() {
+    static const std::uint64_t start = steady_clock().now_ns();
+    return start;
+}
+
+#ifdef __linux__
+void read_proc_status(std::uint64_t& rss_bytes, std::uint64_t& threads) {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        unsigned long long v = 0;
+        if (std::sscanf(line, "VmRSS: %llu kB", &v) == 1) {
+            rss_bytes = static_cast<std::uint64_t>(v) * 1024;
+        } else if (std::sscanf(line, "Threads: %llu", &v) == 1) {
+            threads = static_cast<std::uint64_t>(v);
+        }
+    }
+    std::fclose(f);
+}
+#else
+void read_proc_status(std::uint64_t&, std::uint64_t&) {}
+#endif
+
+}  // namespace
+
+ProcessStats read_process_stats() {
+    ProcessStats s;
+    const std::uint64_t now = steady_clock().now_ns();
+    const std::uint64_t start = process_start_ns();
+    s.uptime_seconds =
+        now > start ? static_cast<double>(now - start) * 1e-9 : 0.0;
+    read_proc_status(s.rss_bytes, s.threads);
+    return s;
+}
+
+void export_process_metrics(MetricsSnapshot& snapshot) {
+    const ProcessStats s = read_process_stats();
+    snapshot.set_gauge("process_uptime_seconds", s.uptime_seconds);
+    snapshot.set_gauge("process_rss_bytes", static_cast<double>(s.rss_bytes));
+    snapshot.set_gauge("process_threads", static_cast<double>(s.threads));
+    snapshot.set_gauge("process_build_info", 1.0);
+}
+
+}  // namespace efld::obs

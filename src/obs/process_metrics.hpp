@@ -1,0 +1,36 @@
+// Process-level liveness gauges: the baseline every dashboard and the TSDB
+// sample regardless of serving traffic.
+//
+//   process_uptime_seconds — steady-clock seconds since the first export in
+//                            this process (monotonic, restart-visible).
+//   process_rss_bytes      — resident set size from /proc/self/status
+//                            (VmRSS; 0 on platforms without procfs).
+//   process_threads        — live thread count (Threads:; 0 without procfs).
+//   process_build_info     — constant 1; its presence/absence is the signal
+//                            (the standard Prometheus build_info idiom).
+//
+// Exported at the CLUSTER level (ClusterRouter::metrics_snapshot applies
+// them after the shard merge) so a 4-shard scrape reports the process once,
+// not four times — snapshot gauges ADD on merge.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics_registry.hpp"
+
+namespace efld::obs {
+
+struct ProcessStats {
+    double uptime_seconds = 0.0;
+    std::uint64_t rss_bytes = 0;
+    std::uint64_t threads = 0;
+};
+
+// Reads /proc/self/status (Linux; zeros elsewhere) and the process-start
+// anchor. The first call anchors uptime at 0.
+[[nodiscard]] ProcessStats read_process_stats();
+
+// set_gauge()s the process_* series into `snapshot`.
+void export_process_metrics(MetricsSnapshot& snapshot);
+
+}  // namespace efld::obs

@@ -16,6 +16,10 @@ const char* to_string(TraceEvent e) noexcept {
         case TraceEvent::kRetired: return "retired";
         case TraceEvent::kPrefixHit: return "prefix_hit";
         case TraceEvent::kCowCopy: return "cow_copy";
+        case TraceEvent::kAlertPending: return "alert_pending";
+        case TraceEvent::kAlertFiring: return "alert_firing";
+        case TraceEvent::kAlertResolved: return "alert_resolved";
+        case TraceEvent::kShed: return "shed";
     }
     return "unknown";
 }

@@ -34,6 +34,12 @@ enum class TraceEvent : std::uint8_t {
     kRetired = 7,         // finished (arg: FinishReason as integer)
     kPrefixHit = 8,       // adopted a shared prefix (arg: tokens covered)
     kCowCopy = 9,         // diverged into a shared page (arg: copies this step)
+    // Alert-engine transitions: request_id carries the RULE index (alerts are
+    // cluster-scoped, not per-request), arg the evaluated value ×1000.
+    kAlertPending = 10,   // condition first observed true
+    kAlertFiring = 11,    // condition held for the rule's `for` window
+    kAlertResolved = 12,  // condition clear past the resolve hysteresis
+    kShed = 13,           // overload governor shed a queued request (arg: ns left to deadline)
 };
 
 [[nodiscard]] const char* to_string(TraceEvent e) noexcept;

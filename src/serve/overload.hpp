@@ -1,0 +1,94 @@
+// Alert-driven overload protection: the actuator half of the SLO loop.
+//
+// The alert engine DETECTS overload (TTFT burn, queue depth); this governor
+// is what the serving layer does about it. It is a tiny shared atomic state
+// block: the SLO controller flips it on alert transitions, and the hot paths
+// read it with relaxed loads —
+//
+//   ServeEngine      — while engaged, the queue sweep sheds deadline-HOPELESS
+//                      requests (ones whose remaining budget cannot cover the
+//                      currently observed TTFT) with FinishReason::
+//                      kShedOverload before they ever take a slot, so the
+//                      slots go to requests that can still meet their SLO.
+//   ClusterRouter    — while engaged, try_submit's retry hints stretch by
+//                      retry_hint_scale (callers back off harder), and
+//                      placement drops to the degraded mode: skip the
+//                      per-shard prefix-affinity probe (a per-submission
+//                      cross-shard scan) and fall back to cheap load-only
+//                      placement until the alert resolves.
+//
+// Engagement is a count of currently-firing subscribed alerts, so two
+// overlapping alerts disengage only when BOTH resolve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace efld::serve {
+
+class OverloadGovernor {
+public:
+    struct Options {
+        // Multiplier on try_submit retry hints while engaged.
+        double retry_hint_scale = 4.0;
+        // Shed deadline-hopeless queued requests while engaged.
+        bool shed_hopeless = true;
+        // Skip prefix-affinity probing while engaged.
+        bool degrade_placement = true;
+        // Hopelessness margin: hopeless when
+        // now + observed_ttft * margin > deadline.
+        double hopeless_margin = 1.0;
+    };
+
+    OverloadGovernor() = default;
+    explicit OverloadGovernor(Options opts) : opts_(opts) {}
+    OverloadGovernor(const OverloadGovernor&) = delete;
+    OverloadGovernor& operator=(const OverloadGovernor&) = delete;
+
+    // Alert-transition wiring (the SLO controller's subscriber calls these).
+    void on_alert_firing() noexcept {
+        firing_.fetch_add(1, std::memory_order_acq_rel);
+        engagements_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_alert_resolved() noexcept {
+        // Clamp at zero: a resolve without a matched firing (subscriber
+        // attached mid-incident) must not wedge the count negative.
+        int cur = firing_.load(std::memory_order_acquire);
+        while (cur > 0 && !firing_.compare_exchange_weak(
+                              cur, cur - 1, std::memory_order_acq_rel)) {
+        }
+    }
+
+    [[nodiscard]] bool engaged() const noexcept {
+        return firing_.load(std::memory_order_acquire) > 0;
+    }
+    [[nodiscard]] double retry_hint_scale() const noexcept {
+        return engaged() ? opts_.retry_hint_scale : 1.0;
+    }
+    [[nodiscard]] bool shed_hopeless() const noexcept {
+        return opts_.shed_hopeless && engaged();
+    }
+    [[nodiscard]] bool degraded_placement() const noexcept {
+        return opts_.degrade_placement && engaged();
+    }
+
+    // Bookkeeping read back by metrics exposition.
+    void count_shed() noexcept {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t shed_total() const noexcept {
+        return shed_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t engagements() const noexcept {
+        return engagements_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+    std::atomic<int> firing_{0};
+    std::atomic<std::uint64_t> engagements_{0};
+    std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace efld::serve

@@ -227,6 +227,7 @@ FinishReason ServeEngine::finish_reason_of(Retire why) noexcept {
         case Retire::kContext: return FinishReason::kContextOverflow;
         case Retire::kCancelled: return FinishReason::kCancelled;
         case Retire::kDeadline: return FinishReason::kDeadline;
+        case Retire::kShed: return FinishReason::kShedOverload;
     }
     return FinishReason::kNone;
 }
@@ -674,6 +675,38 @@ bool ServeEngine::step_locked() {
         }
     }
 
+    // Overload shedding: while an SLO alert has the governor engaged, shed
+    // queued requests whose deadline the engine can no longer plausibly meet
+    // — remaining budget below the TTFT observed over the last 10s — so free
+    // slots go to requests that can still land inside their SLO. Resolved
+    // with kShedOverload (not kDeadline: the deadline has NOT passed yet;
+    // the caller learns it was load-shed, the HTTP-503 of admission).
+    if (opts_.overload != nullptr && opts_.overload->shed_hopeless()) {
+        const obs::WindowSnapshot w = win_ttft_->over(10'000'000'000ull);
+        if (w.count > 0) {
+            const double est_ns = static_cast<double>(w.sum) /
+                                  static_cast<double>(w.count) *
+                                  opts_.overload->options().hopeless_margin;
+            const auto est = std::chrono::nanoseconds(
+                static_cast<std::int64_t>(est_ns));
+            for (PendingRequest& doomed :
+                 queue_.remove_if([now, est](const PendingRequest& r) {
+                     return r.deadline.has_value() && now + est >= *r.deadline;
+                 })) {
+                const auto left = std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(*doomed.deadline - now);
+                trace(doomed.id, obs::TraceEvent::kShed,
+                      left.count() > 0 ? static_cast<std::uint64_t>(left.count())
+                                       : 0);
+                resolve_unstarted(std::move(doomed), Retire::kShed);
+                opts_.overload->count_shed();
+                const std::lock_guard<std::mutex> g(stats_mu_);
+                ++stats_.requests_completed;
+                ++stats_.requests_shed;
+            }
+        }
+    }
+
     // Fault checkpoints: a backend exception staged by retire()/admit() is
     // consumed here, between phases, so no retirement or admission is ever
     // torn mid-flight by failure handling.
@@ -995,6 +1028,7 @@ obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
     s.set_counter("serve_requests_completed", l.stats.requests_completed);
     s.set_counter("serve_requests_cancelled", l.stats.requests_cancelled);
     s.set_counter("serve_requests_expired", l.stats.requests_expired);
+    s.set_counter("serve_requests_shed", l.stats.requests_shed);
     s.set_counter("serve_requests_resumed", l.stats.requests_resumed);
     s.set_counter("serve_requests_lost", l.stats.requests_lost);
     s.set_counter("serve_capacity_deferrals", l.stats.capacity_deferrals);

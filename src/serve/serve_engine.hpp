@@ -67,6 +67,7 @@
 #include "obs/profiler.hpp"
 #include "obs/rolling_window.hpp"
 #include "obs/trace.hpp"
+#include "serve/overload.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/serve_types.hpp"
@@ -128,6 +129,13 @@ struct ServeOptions {
     // Span ring capacity when profiling (the Perfetto timeline keeps the
     // most recent this-many scopes; 0 = totals only, no timeline).
     std::size_t profiler_spans = 4096;
+    // Alert-driven overload protection (null = off). Shared across a
+    // cluster's shards and flipped by the SLO controller on alert
+    // transitions: while engaged, the queue sweep sheds deadline-hopeless
+    // requests with FinishReason::kShedOverload (requests whose remaining
+    // deadline budget cannot cover the TTFT currently observed in the 10s
+    // window), so slots go to work that can still meet its SLO.
+    std::shared_ptr<OverloadGovernor> overload;
     // Starting point for this engine's request ids (first id = id_base + 1).
     // The cluster router gives every shard engine a disjoint namespace so a
     // request id means ONE request cluster-wide — the shared trace ring and
@@ -291,7 +299,7 @@ public:
     bool resubmit(PendingRequest& req);
 
 private:
-    enum class Retire { kEos, kBudget, kContext, kCancelled, kDeadline };
+    enum class Retire { kEos, kBudget, kContext, kCancelled, kDeadline, kShed };
 
     void init();
     void init_governor(const model::ModelConfig& cfg);

@@ -54,6 +54,11 @@ enum class FinishReason {
     kShardFailure,     // the serving engine died (backend fault / teardown)
                        // and the request could not be failed over; tokens
                        // holds whatever was streamed before the failure
+    kShedOverload,     // the overload governor shed it from the queue: a
+                       // firing SLO alert engaged shedding and the request's
+                       // remaining deadline budget could not cover the
+                       // observed TTFT — resolved early so its slot goes to
+                       // a request that can still meet its deadline
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FinishReason r) noexcept {
@@ -65,6 +70,7 @@ enum class FinishReason {
         case FinishReason::kCancelled: return "cancelled";
         case FinishReason::kDeadline: return "deadline";
         case FinishReason::kShardFailure: return "shard_failure";
+        case FinishReason::kShedOverload: return "shed_overload";
     }
     return "none";
 }
@@ -192,6 +198,7 @@ struct ServeStats {
     std::size_t requests_completed = 0;  // every retirement, any reason
     std::size_t requests_cancelled = 0;
     std::size_t requests_expired = 0;    // deadline retirements
+    std::size_t requests_shed = 0;       // overload-governor queue sheds
     std::size_t capacity_deferrals = 0;  // admissions refused by the governor
     std::size_t queue_promotions = 0;    // anti-starvation picks (max_deferrals)
     std::size_t peak_batch = 0;          // peak concurrent sessions in a step

@@ -1,0 +1,232 @@
+// SloController over a live synthetic cluster: the closed loop from sampled
+// metrics through alert transitions to governor actuation and flight-recorder
+// bundles, driven deterministically by a ManualClock (sample_now(), no
+// background sampler thread).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/slo_controller.hpp"
+#include "common/check.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+#include "runtime/serve.hpp"
+#include "serve/overload.hpp"
+
+namespace efld::cluster {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+std::string tmp_dir(const char* tag) {
+    std::string tmpl = std::string("/tmp/efld_slo_") + tag + "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* d = ::mkdtemp(buf.data());
+    check(d != nullptr, "mkdtemp failed");
+    return d;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct SloCluster {
+    std::shared_ptr<obs::ManualClock> clock;
+    std::shared_ptr<serve::OverloadGovernor> governor;
+    runtime::ClusterDeployment d;
+};
+
+SloCluster deploy(std::size_t shards, ClusterOptions opts = {}) {
+    SloCluster c;
+    c.clock = std::make_shared<obs::ManualClock>(1 * kSec);
+    c.governor = std::make_shared<serve::OverloadGovernor>();
+    opts.shards = shards;
+    opts.shard.sampler.temperature = 0.0f;
+    opts.shard.clock = c.clock;
+    opts.shard.trace = std::make_shared<obs::TraceRecorder>(4096);
+    opts.shard.overload = c.governor;
+    c.d = runtime::synthetic_cluster(model::ModelConfig::micro_256(), 42, opts);
+    return c;
+}
+
+void run_burst(ClusterRouter& router, std::size_t n, const std::string& tag) {
+    std::vector<runtime::RequestHandle> handles;
+    for (std::size_t i = 0; i < n; ++i) {
+        handles.push_back(router.submit(runtime::ServeRequest{
+            .prompt = tag + " " + std::to_string(i), .max_new_tokens = 4}));
+    }
+    for (auto& h : handles) (void)h.get();
+}
+
+}  // namespace
+
+TEST(ClusterSlo, ClosedLoopLifecycleFromTrafficToGovernorAndBack) {
+    SloCluster c = deploy(2);
+    c.d.router->start();
+
+    const std::string dir = tmp_dir("alert");
+    SloController::Options so;
+    // Completion RATE above 0.5/s: active traffic trips it, idleness clears
+    // it — a lifecycle the test can script via bursts and clock steps.
+    so.rules = "busy=threshold:serve_requests_completed:gt:0.5:0";
+    so.flight_dir = dir;
+    so.governor = c.governor;
+    SloController slo(*c.d.router, so);
+
+    // t=1s: first sample only baselines the counter — no rate yet, no alert.
+    slo.sample_now();
+    EXPECT_EQ(slo.engine().state(0), obs::AlertState::kInactive);
+    EXPECT_FALSE(c.governor->engaged());
+
+    // t=2s: a burst completed inside the second → rate > 0.5 → the rule
+    // fires (for=0) and the governor engages.
+    run_burst(*c.d.router, 4, "busy");
+    c.clock->advance_ns(1 * kSec);
+    slo.sample_now();
+    EXPECT_EQ(slo.engine().state(0), obs::AlertState::kFiring);
+    EXPECT_TRUE(c.governor->engaged());
+    EXPECT_EQ(c.governor->engagements(), 1u);
+
+    // The firing wrote a flight bundle named after the alert.
+    const obs::MetricsSnapshot fired = slo.metrics_snapshot();
+    EXPECT_EQ(fired.counters.at("slo_flight_captures_total"), 1u);
+    EXPECT_DOUBLE_EQ(fired.gauges.at("serve_alerts_firing"), 1.0);
+    EXPECT_DOUBLE_EQ(fired.gauges.at("serve_alert_state_busy"), 2.0);
+    EXPECT_DOUBLE_EQ(fired.gauges.at("cluster_overload_engaged"), 1.0);
+    EXPECT_GT(fired.gauges.at("process_uptime_seconds"), 0.0);
+    EXPECT_GT(fired.counters.at("slo_tsdb_ingests_total"), 0u);
+
+    // t=3s: no completions this second → rate 0 → resolves (resolve=for=0)
+    // and the governor disengages.
+    c.clock->advance_ns(1 * kSec);
+    slo.sample_now();
+    EXPECT_EQ(slo.engine().state(0), obs::AlertState::kInactive);
+    EXPECT_FALSE(c.governor->engaged());
+
+    // The shared trace ring holds the full incident: pending+firing at the
+    // same evaluation (for=0), then the resolve.
+    std::size_t pending = 0, firing = 0, resolved = 0;
+    for (const obs::TraceRecord& e : c.d.router->options().shard.trace->snapshot()) {
+        pending += e.event == obs::TraceEvent::kAlertPending ? 1 : 0;
+        firing += e.event == obs::TraceEvent::kAlertFiring ? 1 : 0;
+        resolved += e.event == obs::TraceEvent::kAlertResolved ? 1 : 0;
+    }
+    EXPECT_EQ(pending, 1u);
+    EXPECT_EQ(firing, 1u);
+    EXPECT_EQ(resolved, 1u);
+
+    // Wire bodies: the alert timeline and a queryable TSDB series.
+    const std::string alerts = slo.alerts_json();
+    EXPECT_NE(alerts.find("\"name\":\"busy\""), std::string::npos);
+    EXPECT_NE(alerts.find("\"to\":\"firing\""), std::string::npos);
+    const std::string q =
+        slo.query_json("serve_requests_completed", 60 * kSec);
+    EXPECT_NE(q.find("\"series\":\"serve_requests_completed\""),
+              std::string::npos);
+    EXPECT_NE(q.find("\"points\":[["), std::string::npos);
+
+    c.d.router->drain();
+    c.d.router->stop();
+}
+
+TEST(ClusterSlo, ShardFailureTriggersFlightBundleWithFailoverEvidence) {
+    ClusterOptions opts;
+    opts.shard_fault_specs = {"step:8"};  // shard 0 dies mid-workload
+    SloCluster c = deploy(2, opts);
+
+    const std::string dir = tmp_dir("failure");
+    SloController::Options so;
+    so.flight_dir = dir;  // no rules: flight capture alone
+    SloController slo(*c.d.router, so);
+
+    // Ingest one pre-incident sample so the bundle's TSDB tail has data.
+    slo.sample_now();
+    c.clock->advance_ns(1 * kSec);
+
+    std::vector<runtime::RequestHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+        // Submit before start: least-loaded placement gives shard 0 victims.
+        handles.push_back(c.d.router->submit(runtime::ServeRequest{
+            .prompt = "fo " + std::to_string(i), .max_new_tokens = 6}));
+    }
+    c.d.router->start();
+    for (auto& h : handles) {
+        EXPECT_EQ(h.get().finish_reason, runtime::FinishReason::kBudget);
+    }
+    EXPECT_EQ(c.d.router->stats().shard_failures, 1u);
+
+    // The observer runs on the dying shard's driver thread after the failover
+    // sweep; displaced requests can finish on the survivor first. Wait for
+    // the bundle, bounded.
+    ASSERT_NE(slo.recorder(), nullptr);
+    for (int i = 0; i < 2000 && slo.recorder()->captures() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(slo.recorder()->captures(), 1u);
+    const obs::MetricsSnapshot snap = slo.metrics_snapshot();
+    EXPECT_EQ(snap.counters.at("slo_flight_captures_total"), 1u);
+
+    const std::string bundle =
+        slurp(dir + "/flight_0_shard_failure_0.json");
+    ASSERT_FALSE(bundle.empty());
+    EXPECT_EQ(bundle.front(), '{');
+    EXPECT_NE(bundle.find("\"reason\":\"shard_failure_0\""), std::string::npos);
+    EXPECT_NE(bundle.find("failover_harvest"), std::string::npos);
+    EXPECT_NE(bundle.find("resubmitted"), std::string::npos);
+    EXPECT_NE(bundle.find("\"tsdb\":{"), std::string::npos);
+    EXPECT_NE(bundle.find("cluster_shard_failures"), std::string::npos);
+
+    EXPECT_NO_THROW(c.d.router->stop());
+}
+
+TEST(ClusterSlo, BackgroundSamplerDrivesTheLoopWithoutManualTicks) {
+    // Production shape: start() runs the sampler thread on a short interval
+    // against the real steady clock; the TSDB fills with router series.
+    SloCluster c = deploy(2);
+    c.d.router->start();
+    SloController::Options so;
+    so.sample_interval_ns = 2'000'000;  // 2ms
+    so.clock = &obs::steady_clock();  // override the shards' ManualClock
+    SloController slo(*c.d.router, so);
+    slo.start();
+    EXPECT_TRUE(slo.running());
+    run_burst(*c.d.router, 4, "bg");
+    while (slo.samples() < 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    slo.stop();
+    EXPECT_FALSE(slo.running());
+    const std::uint64_t n = slo.samples();
+    EXPECT_GE(n, 5u);
+
+    // The store retained real series from the router snapshot.
+    bool saw_completed = false;
+    for (const std::string& name : slo.store().series_names()) {
+        saw_completed |= name == "serve_requests_completed";
+    }
+    EXPECT_TRUE(saw_completed);
+
+    c.d.router->drain();
+    c.d.router->stop();
+}
+
+TEST(ClusterSlo, RejectsBadRuleSpecEagerly) {
+    SloCluster c = deploy(1);
+    SloController::Options so;
+    so.rules = "threshold:oops";
+    EXPECT_THROW(SloController(*c.d.router, so), std::invalid_argument);
+}
+
+}  // namespace efld::cluster

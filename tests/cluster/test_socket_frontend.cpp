@@ -10,7 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/slo_controller.hpp"
 #include "cluster/socket_frontend.hpp"
+#include "common/check.hpp"
 #include "obs/exposition.hpp"
 #include "obs/trace.hpp"
 #include "runtime/serve.hpp"
@@ -232,6 +234,72 @@ TEST(SocketFrontend, TraceDumpReturnsPerfettoJsonOverTheWire) {
     EXPECT_EQ(server.requests_served(), 1u);
     const wire::WireResponse after = client.request(
         wire::WireRequest{.prompt = "after trace", .max_new_tokens = 2});
+    EXPECT_EQ(after.status, wire::Status::kOk);
+    server.stop();
+    d.router->stop();
+}
+
+TEST(SocketFrontend, AlertsAndQueryAnswerWhenSloControllerAttached) {
+    ClusterOptions opts;
+    opts.shards = 2;
+    opts.shard.trace = std::make_shared<obs::TraceRecorder>(1024);
+    runtime::ClusterDeployment d = deploy(opts);
+    d.router->start();
+
+    SloController::Options so;
+    so.rules = "deep=threshold:cluster_shards:gt:1:0";  // true for 2 shards
+    SloController slo(*d.router, so);
+    slo.sample_now();  // gauges store immediately: the rule fires now
+
+    SocketServer server(*d.router);
+    server.set_slo(&slo);
+    server.start();
+    SocketClient client("127.0.0.1", server.port());
+
+    // kind-3: the alert engine's rules + timeline.
+    const std::string alerts = client.alerts();
+    EXPECT_NE(alerts.find("\"name\":\"deep\""), std::string::npos);
+    EXPECT_NE(alerts.find("\"state\":\"firing\""), std::string::npos);
+
+    // kind-4: one TSDB series' tail, default window.
+    const std::string q = client.query("cluster_shards");
+    EXPECT_NE(q.find("\"series\":\"cluster_shards\""), std::string::npos);
+    EXPECT_NE(q.find("\"points\":[["), std::string::npos);
+    const std::string windowed = client.query("cluster_shards", 60'000);
+    EXPECT_NE(windowed.find("\"points\":[["), std::string::npos);
+
+    // With a controller attached, the kMetrics scrape body grows the alert
+    // and TSDB series — still valid Prometheus.
+    const std::map<std::string, double> parsed =
+        obs::parse_prometheus(client.metrics());
+    EXPECT_DOUBLE_EQ(parsed.at("serve_alerts_firing"), 1.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_alert_state_deep"), 2.0);
+    EXPECT_GE(parsed.at("slo_tsdb_ingests_total"), 1.0);
+
+    // Observability frames are not generate requests; the connection still
+    // serves traffic afterwards.
+    EXPECT_EQ(server.requests_served(), 0u);
+    const wire::WireResponse after = client.request(
+        wire::WireRequest{.prompt = "after alerts", .max_new_tokens = 2});
+    EXPECT_EQ(after.status, wire::Status::kOk);
+    server.stop();
+    d.router->stop();
+}
+
+TEST(SocketFrontend, AlertsWithoutSloControllerIsRequestError) {
+    ClusterOptions opts;
+    opts.shards = 1;
+    runtime::ClusterDeployment d = deploy(opts);
+    d.router->start();
+    SocketServer server(*d.router);  // no set_slo
+    server.start();
+    SocketClient client("127.0.0.1", server.port());
+
+    // A config error answers status-2 on that frame; the link survives.
+    EXPECT_THROW((void)client.alerts(), efld::Error);
+    EXPECT_THROW((void)client.query("serve_queue_depth"), efld::Error);
+    const wire::WireResponse after = client.request(
+        wire::WireRequest{.prompt = "still alive", .max_new_tokens = 2});
     EXPECT_EQ(after.status, wire::Status::kOk);
     server.stop();
     d.router->stop();

@@ -151,6 +151,54 @@ TEST(Wire, UnknownVersionOrStatusThrows) {
     EXPECT_THROW((void)decode_response(resp), efld::Error);
 }
 
+TEST(Wire, AlertsRequestAndResponseRoundTrip) {
+    WireRequest req;
+    req.kind = RequestKind::kAlerts;
+    const std::vector<std::uint8_t> bytes = encode_request(req);
+    EXPECT_EQ(bytes.size(), 2u);  // header-only, like kTraceDump
+    EXPECT_EQ(decode_request(bytes).kind, RequestKind::kAlerts);
+
+    WireResponse resp;
+    resp.status = Status::kAlerts;
+    resp.alerts = "{\"rules\":[{\"name\":\"hot\",\"state\":\"firing\"}]}";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kAlerts);
+    EXPECT_EQ(back.alerts, resp.alerts);
+}
+
+TEST(Wire, QueryRequestAndResponseRoundTrip) {
+    WireRequest req;
+    req.kind = RequestKind::kQuery;
+    req.query_series = "serve_queue_depth";
+    req.query_window_ms = 60'000;
+    const WireRequest rback = decode_request(encode_request(req));
+    EXPECT_EQ(rback.kind, RequestKind::kQuery);
+    EXPECT_EQ(rback.query_series, "serve_queue_depth");
+    EXPECT_EQ(rback.query_window_ms, 60'000u);
+
+    // An empty series name survives the trip (the server rejects it, but the
+    // codec must not).
+    WireRequest empty;
+    empty.kind = RequestKind::kQuery;
+    EXPECT_EQ(decode_request(encode_request(empty)).query_series, "");
+
+    WireResponse resp;
+    resp.status = Status::kQuery;
+    resp.query = "{\"series\":\"serve_queue_depth\",\"points\":[[1,2]]}";
+    const WireResponse back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.status, Status::kQuery);
+    EXPECT_EQ(back.query, resp.query);
+}
+
+TEST(Wire, QueryTruncatedSeriesThrows) {
+    WireRequest req;
+    req.kind = RequestKind::kQuery;
+    req.query_series = "serve_queue_depth";
+    std::vector<std::uint8_t> bytes = encode_request(req);
+    bytes.resize(bytes.size() - 5);  // cut into the series string
+    EXPECT_THROW((void)decode_request(bytes), efld::Error);
+}
+
 TEST(Wire, TokenCountCannotExceedFrameBound) {
     // A hostile count field must be rejected before the decoder loops on it.
     WireResponse resp;

@@ -1,0 +1,315 @@
+// AlertEngine: spec grammar, the pending→firing→resolved state machine, and
+// the determinism contract — a scripted evaluation sequence reproduces its
+// transition timeline bit-identically.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/alert_engine.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/time_series.hpp"
+
+using namespace efld::obs;
+
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TimeSeriesStore::Options small_opts() {
+    TimeSeriesStore::Options o;
+    o.levels = {{1 * kSec, 16}, {4 * kSec, 16}};
+    return o;
+}
+
+MetricsSnapshot gauge_snap(const std::string& name, double v) {
+    MetricsSnapshot s;
+    s.set_gauge(name, v);
+    return s;
+}
+
+}  // namespace
+
+TEST(AlertRuleParse, ThresholdSpecFillsEveryField) {
+    const AlertRule r =
+        parse_alert_rule("hot=threshold:serve_queue_depth:gt:8:2s");
+    EXPECT_EQ(r.name, "hot");
+    EXPECT_EQ(r.kind, AlertRule::Kind::kThreshold);
+    EXPECT_EQ(r.metric, "serve_queue_depth");
+    EXPECT_EQ(r.op, AlertOp::kGt);
+    EXPECT_DOUBLE_EQ(r.value, 8.0);
+    EXPECT_EQ(r.for_ns, 2 * kSec);
+    EXPECT_EQ(r.resolve_ns, 2 * kSec);  // hysteresis defaults to `for`
+
+    // Bare durations are milliseconds; "ms" is explicit.
+    EXPECT_EQ(parse_alert_rule("threshold:m:ge:1:1500").for_ns,
+              1'500'000'000ull);
+    EXPECT_EQ(parse_alert_rule("threshold:m:lt:1:250ms").for_ns,
+              250'000'000ull);
+    EXPECT_EQ(parse_alert_rule("threshold:m:le:1:0").for_ns, 0ull);
+}
+
+TEST(AlertRuleParse, BurnRateSpecFillsEveryField) {
+    const AlertRule r =
+        parse_alert_rule("slow=burnrate:serve_ttft_ns:250:99:14.4:1s:250ms");
+    EXPECT_EQ(r.name, "slow");
+    EXPECT_EQ(r.kind, AlertRule::Kind::kBurnRate);
+    EXPECT_EQ(r.metric, "serve_ttft_ns");
+    EXPECT_EQ(r.slo_threshold_ns, 250'000'000ull);
+    EXPECT_DOUBLE_EQ(r.objective, 0.99);  // "99" normalizes to 0.99
+    EXPECT_DOUBLE_EQ(r.factor, 14.4);
+    EXPECT_EQ(r.long_window_ns, 1 * kSec);
+    EXPECT_EQ(r.short_window_ns, 250'000'000ull);
+    EXPECT_EQ(r.resolve_ns, r.short_window_ns);
+
+    const AlertRule frac = parse_alert_rule("burnrate:h:50:0.9:2:4s:2s");
+    EXPECT_DOUBLE_EQ(frac.objective, 0.9);
+}
+
+TEST(AlertRuleParse, ListSplitsOnCommasAndNamesTheAnonymous) {
+    const std::vector<AlertRule> rules = parse_alert_rules(
+        "threshold:a:gt:1:1s,,deep=threshold:b:gt:2:1s,burnrate:h:50:99:2:4s:1s");
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].name, "rule0");
+    EXPECT_EQ(rules[1].name, "deep");
+    EXPECT_EQ(rules[2].name, "rule2");
+}
+
+TEST(AlertRuleParse, RejectsMalformedSpecs) {
+    EXPECT_THROW(parse_alert_rule(""), std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("gauge:a:gt:1:1s"), std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("threshold:a:gt:1"), std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("threshold:a:between:1:1s"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("threshold:a:gt:eight:1s"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("threshold:a:gt:1:soon"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("threshold::gt:1:1s"), std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("burnrate:h:50:99:2:4s"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("burnrate:h:50:0:2:4s:1s"),
+                 std::invalid_argument);  // objective out of (0,1)
+    EXPECT_THROW(parse_alert_rule("burnrate:h:50:200:2:4s:1s"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_alert_rule("burnrate:h:50:99:0:4s:1s"),
+                 std::invalid_argument);  // factor must be positive
+    EXPECT_THROW(parse_alert_rule("burnrate:h:50:99:2:1s:4s"),
+                 std::invalid_argument);  // short window exceeds long
+}
+
+TEST(AlertEngine, ThresholdLifecycleWithHysteresis) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    engine.add_rule(parse_alert_rule("hot=threshold:depth:gt:8:2s"));
+
+    store.ingest(gauge_snap("depth", 10.0), 1 * kSec);
+    engine.evaluate(1 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kPending);  // true, not held yet
+    engine.evaluate(2 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kPending);  // held 1s of 2s
+    engine.evaluate(3 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kFiring);  // held the full `for`
+    EXPECT_EQ(engine.firing_count(), 1u);
+
+    // Clearing the condition does not resolve until it stays clear for the
+    // hysteresis hold.
+    store.ingest(gauge_snap("depth", 0.0), 4 * kSec);
+    engine.evaluate(4 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kFiring);
+    engine.evaluate(5 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kFiring);
+    engine.evaluate(6 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kInactive);
+    EXPECT_EQ(engine.firing_count(), 0u);
+
+    const std::vector<AlertEngine::Transition> tl = engine.timeline();
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl[0].ts_ns, 1 * kSec);
+    EXPECT_EQ(tl[0].to, AlertState::kPending);
+    EXPECT_DOUBLE_EQ(tl[0].value, 10.0);
+    EXPECT_EQ(tl[1].ts_ns, 3 * kSec);
+    EXPECT_EQ(tl[1].from, AlertState::kPending);
+    EXPECT_EQ(tl[1].to, AlertState::kFiring);
+    EXPECT_EQ(tl[2].ts_ns, 6 * kSec);
+    EXPECT_EQ(tl[2].from, AlertState::kFiring);
+    EXPECT_EQ(tl[2].to, AlertState::kInactive);
+    EXPECT_DOUBLE_EQ(tl[2].value, 0.0);
+}
+
+TEST(AlertEngine, PendingCancelsWithoutFiring) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    engine.add_rule(parse_alert_rule("threshold:depth:gt:8:5s"));
+
+    store.ingest(gauge_snap("depth", 10.0), 1 * kSec);
+    engine.evaluate(1 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kPending);
+    store.ingest(gauge_snap("depth", 1.0), 2 * kSec);
+    engine.evaluate(2 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kInactive);
+
+    // A pending→inactive cancel is not a firing: the counters stay zero.
+    MetricsSnapshot snap;
+    engine.export_into(snap);
+    EXPECT_EQ(snap.counters.at("serve_alerts_fired_total"), 0u);
+    EXPECT_EQ(snap.counters.at("serve_alerts_resolved_total"), 0u);
+
+    // A series with no data is never a violation.
+    AlertEngine empty(&store);
+    empty.add_rule(parse_alert_rule("threshold:nope:gt:0:0"));
+    empty.evaluate(3 * kSec);
+    EXPECT_EQ(empty.state(0), AlertState::kInactive);
+}
+
+TEST(AlertEngine, BurnRateFiresOnBothWindowsAndResolvesAfterRecovery) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    // 50ms SLO at 90%: the error budget is 0.1, so an all-bad window burns at
+    // 10x — past the 2x factor. `for` is implicitly 0 for burn-rate rules:
+    // the windows themselves provide the significance hold.
+    engine.add_rule(parse_alert_rule("slow=burnrate:lat:50:0.9:2:4s:2s"));
+
+    LatencyHistogram h;
+    MetricsSnapshot s;
+    h.record(1'000'000);  // good 1ms baseline sample
+    s.histograms["lat"] = h.snapshot();
+    store.ingest(s, 1 * kSec);
+    engine.evaluate(1 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kInactive);  // baseline, no deltas
+
+    for (std::uint64_t t = 2; t <= 4; ++t) {
+        h.record(100'000'000);  // 100ms: every post-baseline sample is bad
+        s.histograms["lat"] = h.snapshot();
+        store.ingest(s, t * kSec);
+        engine.evaluate(t * kSec);
+        EXPECT_EQ(engine.state(0), AlertState::kFiring) << "t=" << t;
+    }
+
+    // Recovery: only good samples from t=5 on. The short window goes clean
+    // two seconds before the long one — and that is exactly when the clear
+    // clock starts.
+    for (std::uint64_t t = 5; t <= 8; ++t) {
+        h.record(1'000'000);
+        s.histograms["lat"] = h.snapshot();
+        store.ingest(s, t * kSec);
+        engine.evaluate(t * kSec);
+    }
+    EXPECT_EQ(engine.state(0), AlertState::kFiring);  // hysteresis holds
+    h.record(1'000'000);
+    s.histograms["lat"] = h.snapshot();
+    store.ingest(s, 9 * kSec);
+    engine.evaluate(9 * kSec);
+    EXPECT_EQ(engine.state(0), AlertState::kInactive);
+
+    MetricsSnapshot snap;
+    engine.export_into(snap);
+    EXPECT_EQ(snap.counters.at("serve_alerts_fired_total"), 1u);
+    EXPECT_EQ(snap.counters.at("serve_alerts_resolved_total"), 1u);
+}
+
+TEST(AlertEngine, SubscribersSeeEveryTransitionInOrder) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    engine.add_rule(parse_alert_rule("hot=threshold:depth:gt:8:1s"));
+
+    std::vector<std::string> log;
+    engine.subscribe([&](const AlertRule& rule,
+                         const AlertEngine::Transition& t) {
+        log.push_back(rule.name + ":" + std::string(to_string(t.from)) + ">" +
+                      std::string(to_string(t.to)));
+    });
+
+    store.ingest(gauge_snap("depth", 10.0), 1 * kSec);
+    engine.evaluate(1 * kSec);
+    engine.evaluate(2 * kSec);
+    store.ingest(gauge_snap("depth", 0.0), 3 * kSec);
+    engine.evaluate(3 * kSec);
+    engine.evaluate(4 * kSec);
+
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], "hot:inactive>pending");
+    EXPECT_EQ(log[1], "hot:pending>firing");
+    EXPECT_EQ(log[2], "hot:firing>inactive");
+}
+
+TEST(AlertEngine, ExportAndJsonCarryPerRuleState) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    engine.add_rule(parse_alert_rule("hot=threshold:depth:gt:8:0"));
+    engine.add_rule(parse_alert_rule("cold=threshold:depth:lt:-1:10s"));
+
+    store.ingest(gauge_snap("depth", 10.0), 1 * kSec);
+    engine.evaluate(1 * kSec);  // for=0: pending and firing in one pass
+    EXPECT_EQ(engine.state(0), AlertState::kFiring);
+
+    MetricsSnapshot snap;
+    engine.export_into(snap);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("serve_alerts_firing"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("serve_alerts_pending"), 0.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("serve_alert_state_hot"), 2.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("serve_alert_state_cold"), 0.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("serve_alert_value_hot"), 10.0);
+    EXPECT_EQ(snap.counters.at("serve_alerts_fired_total"), 1u);
+
+    const std::string json = engine.to_json();
+    EXPECT_NE(json.find("\"name\":\"hot\""), std::string::npos);
+    EXPECT_NE(json.find("\"state\":\"firing\""), std::string::npos);
+    EXPECT_NE(json.find("\"from\":\"pending\""), std::string::npos);
+    EXPECT_NE(json.find("\"to\":\"firing\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(AlertEngine, TimelineRingStaysBounded) {
+    TimeSeriesStore store(small_opts());
+    AlertEngine engine(&store);
+    // for=0 and resolve=0: a value flip produces transitions every pass.
+    engine.add_rule(parse_alert_rule("flap=threshold:depth:gt:8:0"));
+    for (std::uint64_t t = 1; t <= 400; ++t) {
+        store.ingest(gauge_snap("depth", t % 2 == 0 ? 10.0 : 0.0), t * kSec);
+        engine.evaluate(t * kSec);
+    }
+    const std::vector<AlertEngine::Transition> tl = engine.timeline();
+    EXPECT_EQ(tl.size(), 256u);  // the documented cap
+    for (std::size_t i = 1; i < tl.size(); ++i) {
+        EXPECT_LE(tl[i - 1].ts_ns, tl[i].ts_ns);  // oldest first, ordered
+    }
+}
+
+TEST(AlertEngine, ScriptedRunReproducesBitIdentically) {
+    // The acceptance bar for the whole subsystem: identical scripted inputs
+    // produce an identical transition timeline and identical JSON, bit for
+    // bit — no wall-clock, no randomness anywhere in the evaluate path.
+    const auto run = [] {
+        TimeSeriesStore store(small_opts());
+        AlertEngine engine(&store);
+        engine.add_rule(parse_alert_rule("hot=threshold:depth:gt:4:2s"));
+        engine.add_rule(parse_alert_rule("slow=burnrate:lat:50:0.9:2:4s:2s"));
+        LatencyHistogram h;
+        for (std::uint64_t t = 1; t <= 12; ++t) {
+            MetricsSnapshot s;
+            s.set_gauge("depth", t >= 3 && t <= 7 ? 9.0 : 1.0);
+            h.record(t >= 4 && t <= 6 ? 100'000'000 : 1'000'000);
+            s.histograms["lat"] = h.snapshot();
+            store.ingest(s, t * kSec);
+            engine.evaluate(t * kSec);
+        }
+        return std::make_pair(engine.timeline(), engine.to_json());
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.second, b.second);
+    ASSERT_EQ(a.first.size(), b.first.size());
+    ASSERT_GE(a.first.size(), 4u);  // both rules fired and resolved
+    for (std::size_t i = 0; i < a.first.size(); ++i) {
+        EXPECT_EQ(a.first[i].ts_ns, b.first[i].ts_ns);
+        EXPECT_EQ(a.first[i].rule, b.first[i].rule);
+        EXPECT_EQ(a.first[i].from, b.first[i].from);
+        EXPECT_EQ(a.first[i].to, b.first[i].to);
+        EXPECT_EQ(a.first[i].value, b.first[i].value);  // bit-identical
+    }
+}

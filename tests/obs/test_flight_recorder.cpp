@@ -1,0 +1,188 @@
+// FlightRecorder: black-box bundles must land on disk as one JSON object per
+// incident, coalesce storms, respect the bundle cap, and never write a
+// filename a reason string can weaponize.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/alert_engine.hpp"
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/time_series.hpp"
+#include "obs/trace.hpp"
+
+using namespace efld::obs;
+
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+std::string tmp_dir(const char* tag) {
+    std::string tmpl = std::string("/tmp/efld_flight_") + tag + "_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* d = ::mkdtemp(buf.data());
+    efld::check(d != nullptr, "mkdtemp failed");
+    return d;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+TEST(FlightRecorder, CaptureWritesACompleteBundle) {
+    const std::string dir = tmp_dir("bundle");
+    ManualClock clock;
+    clock.set_ns(42 * kSec);
+    FlightRecorder::Options fo;
+    fo.dir = dir;
+    fo.clock = &clock;
+    FlightRecorder rec(fo);
+
+    MetricsSnapshot metrics;
+    metrics.set_gauge("cluster_healthy_shards", 1.0);
+    metrics.set_counter("serve_requests_completed", 7);
+
+    std::vector<TraceRecord> trace(1);
+    trace[0].ts_ns = 41 * kSec;
+    trace[0].request_id = 5;
+    trace[0].event = TraceEvent::kShed;
+    trace[0].arg = 123;
+
+    std::vector<SpanRecord> spans(1);
+    spans[0].shard = 0;
+    spans[0].begin_ns = 40 * kSec;
+    spans[0].end_ns = 41 * kSec;
+
+    TimeSeriesStore::Options so;
+    so.levels = {{1 * kSec, 64}};
+    TimeSeriesStore store(so);
+    MetricsSnapshot s;
+    s.set_gauge("serve_queue_depth", 9.0);
+    store.ingest(s, 41 * kSec);
+
+    AlertEngine alerts(&store);
+    alerts.add_rule(parse_alert_rule("hot=threshold:serve_queue_depth:gt:8:0"));
+    alerts.evaluate(41 * kSec);
+
+    const std::string path =
+        rec.capture("alert:hot", metrics, trace, spans, &alerts, &store);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(rec.captures(), 1u);
+    EXPECT_EQ(rec.suppressed(), 0u);
+
+    const std::string body = slurp(path);
+    EXPECT_EQ(body.front(), '{');
+    EXPECT_NE(body.find("\"reason\":\"alert_hot\""), std::string::npos);
+    EXPECT_NE(body.find("\"ts_ns\":42000000000"), std::string::npos);
+    EXPECT_NE(body.find("\"seq\":0"), std::string::npos);
+    EXPECT_NE(body.find("serve_requests_completed\":7"), std::string::npos);
+    EXPECT_NE(body.find("\"event\":\"shed\""), std::string::npos);
+    EXPECT_NE(body.find("\"profiler_spans\":[{"), std::string::npos);
+    EXPECT_NE(body.find("\"name\":\"hot\""), std::string::npos);  // alert json
+    EXPECT_NE(body.find("serve_queue_depth"), std::string::npos);  // tsdb tail
+}
+
+TEST(FlightRecorder, NullSourcesSerializeAsNull) {
+    const std::string dir = tmp_dir("nulls");
+    ManualClock clock;
+    clock.set_ns(1 * kSec);
+    FlightRecorder::Options fo;
+    fo.dir = dir;
+    fo.clock = &clock;
+    FlightRecorder rec(fo);
+    const std::string path = rec.capture("shard_failure:0", MetricsSnapshot{},
+                                         {}, {}, nullptr, nullptr);
+    ASSERT_FALSE(path.empty());
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("\"alerts\":null"), std::string::npos);
+    EXPECT_NE(body.find("\"tsdb\":null"), std::string::npos);
+    EXPECT_NE(body.find("\"trace\":[]"), std::string::npos);
+}
+
+TEST(FlightRecorder, CoalescesCapturesWithinMinInterval) {
+    const std::string dir = tmp_dir("coalesce");
+    ManualClock clock;
+    clock.set_ns(10 * kSec);
+    FlightRecorder::Options fo;
+    fo.dir = dir;
+    fo.clock = &clock;
+    fo.min_interval_ns = 2 * kSec;
+    FlightRecorder rec(fo);
+
+    EXPECT_FALSE(
+        rec.capture("a", MetricsSnapshot{}, {}, {}, nullptr, nullptr).empty());
+    // A storm inside the interval coalesces into the first bundle.
+    clock.advance_ns(kSec / 2);
+    EXPECT_TRUE(
+        rec.capture("b", MetricsSnapshot{}, {}, {}, nullptr, nullptr).empty());
+    clock.advance_ns(kSec / 2);
+    EXPECT_TRUE(
+        rec.capture("c", MetricsSnapshot{}, {}, {}, nullptr, nullptr).empty());
+    EXPECT_EQ(rec.captures(), 1u);
+    EXPECT_EQ(rec.suppressed(), 2u);
+    // Past the interval the next incident records again.
+    clock.advance_ns(2 * kSec);
+    EXPECT_FALSE(
+        rec.capture("d", MetricsSnapshot{}, {}, {}, nullptr, nullptr).empty());
+    EXPECT_EQ(rec.captures(), 2u);
+}
+
+TEST(FlightRecorder, BundleCapStopsDiskFill) {
+    const std::string dir = tmp_dir("cap");
+    ManualClock clock;
+    clock.set_ns(1 * kSec);
+    FlightRecorder::Options fo;
+    fo.dir = dir;
+    fo.clock = &clock;
+    fo.max_bundles = 3;
+    fo.min_interval_ns = 0;
+    FlightRecorder rec(fo);
+    for (int i = 0; i < 10; ++i) {
+        clock.advance_ns(kSec);
+        (void)rec.capture("flap", MetricsSnapshot{}, {}, {}, nullptr, nullptr);
+    }
+    EXPECT_EQ(rec.captures(), 3u);
+    EXPECT_EQ(rec.suppressed(), 7u);
+}
+
+TEST(FlightRecorder, ReasonIsSanitizedInFilenameAndBody) {
+    const std::string dir = tmp_dir("sanitize");
+    ManualClock clock;
+    clock.set_ns(1 * kSec);
+    FlightRecorder::Options fo;
+    fo.dir = dir;
+    fo.clock = &clock;
+    FlightRecorder rec(fo);
+    const std::string path = rec.capture("alert:../../etc; rm -rf \"x\"",
+                                         MetricsSnapshot{}, {}, {}, nullptr,
+                                         nullptr);
+    ASSERT_FALSE(path.empty());
+    // Everything outside [A-Za-z0-9_-] flattens to '_': no path traversal,
+    // no quotes able to escape the JSON string.
+    EXPECT_EQ(path.find("..", dir.size()), std::string::npos);
+    EXPECT_EQ(path.find(';'), std::string::npos);
+    EXPECT_EQ(path.find(' '), std::string::npos);
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("\"reason\":\"alert_______etc__rm_-rf__x_\""),
+              std::string::npos);
+}
+
+TEST(FlightRecorder, RejectsEmptyDirectory) {
+    FlightRecorder::Options fo;
+    EXPECT_THROW(FlightRecorder{fo}, efld::Error);
+}

@@ -117,6 +117,37 @@ TEST(Exposition, ParseRejectsMalformedLines) {
     EXPECT_DOUBLE_EQ(parsed.at("x"), 1.0);
 }
 
+TEST(Exposition, EverySampleFamilyCarriesHelpAndType) {
+    MetricsRegistry reg;
+    reg.counter("serve_requests_completed").add(7);  // well-known help text
+    reg.counter("custom_widgets_total").add(1);      // generic fallback
+    reg.gauge("serve_queued").set(3.0);
+    reg.histogram("serve_ttft_ns").record(1000);
+    const std::string text = to_prometheus(reg.snapshot());
+
+    // Each family gets a # HELP/# TYPE pair, HELP first, before its samples.
+    for (const char* pair :
+         {"# HELP serve_requests_completed Requests retired, any finish "
+          "reason.\n# TYPE serve_requests_completed counter\n"
+          "serve_requests_completed 7\n",
+          "# HELP custom_widgets_total counter custom_widgets_total.\n"
+          "# TYPE custom_widgets_total counter\ncustom_widgets_total 1\n",
+          "# HELP serve_queued Requests waiting in the admission queue."
+          "\n# TYPE serve_queued gauge\nserve_queued 3\n",
+          "# HELP serve_ttft_ns Time to first token per request.\n"
+          "# TYPE serve_ttft_ns histogram\n"}) {
+        EXPECT_NE(text.find(pair), std::string::npos) << pair;
+    }
+
+    // The annotated body still round-trips through our own parser (comment
+    // tolerance), values intact.
+    const std::map<std::string, double> parsed = parse_prometheus(text);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_requests_completed"), 7.0);
+    EXPECT_DOUBLE_EQ(parsed.at("custom_widgets_total"), 1.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_queued"), 3.0);
+    EXPECT_DOUBLE_EQ(parsed.at("serve_ttft_ns_count"), 1.0);
+}
+
 TEST(Exposition, JsonContainsHistogramSummaries) {
     MetricsRegistry reg;
     reg.counter("serve_steps").add(5);

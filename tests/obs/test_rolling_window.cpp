@@ -140,6 +140,45 @@ TEST(RollingWindow, ConcurrentRecordsAllLand) {
               static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
+TEST(RollingWindow, BackwardsClockStepExcludesFutureBuckets) {
+    // A clock that steps backwards (ManualClock rewound; ntp-ish slews on a
+    // misconfigured timebase) leaves buckets stamped with FUTURE indices.
+    // over() must not count them toward the now-earlier window.
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 8));
+    clock.set_ns(900);
+    win.add(5);  // bucket index 9
+    clock.set_ns(300);  // rewind: current bucket is now 3
+    EXPECT_EQ(win.over(400).count, 0u);  // the future bucket is invisible
+    win.add(2);  // lands in bucket 3, recycling nothing
+    EXPECT_EQ(win.over(400).count, 2u);
+    // Once the clock re-advances past the stale stamp, new traffic lands in
+    // fresh buckets and the 1-bucket window sees exactly it.
+    clock.set_ns(1000);
+    win.add(1);
+    EXPECT_EQ(win.over(100).count, 1u);
+}
+
+TEST(RollingWindow, PauseLongerThanRingSpanDropsEverything) {
+    // Ring spans 800ns; a pause far past that must expire every bucket, even
+    // the ones whose slots no new traffic has recycled.
+    ManualClock clock;
+    RollingWindow win(&clock, small_opts(100, 8));
+    for (std::uint64_t b = 0; b < 8; ++b) {
+        clock.set_ns(b * 100);
+        win.add(1);
+    }
+    EXPECT_EQ(win.over(800).count, 8u);
+    clock.set_ns(100'000);  // long pause, no touches
+    EXPECT_EQ(win.over(800).count, 0u);
+    // The window clamps to the ring span: asking for more history than the
+    // ring retains cannot resurrect recycled slots either.
+    EXPECT_EQ(win.over(1'000'000).count, 0u);
+    // Traffic resumes cleanly after the gap.
+    win.add(3);
+    EXPECT_EQ(win.over(800).count, 3u);
+}
+
 TEST(RollingWindow, ZeroOptionsClampSafely) {
     ManualClock clock;
     RollingWindow win(&clock, small_opts(0, 0));

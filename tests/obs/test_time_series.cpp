@@ -1,0 +1,263 @@
+// TimeSeriesStore + MetricsSampler: multi-resolution retention, counter→rate
+// conversion, histogram deltas, lap-boundary downsampling, and the clock
+// edge cases (backwards reads, pauses longer than retention) — all under
+// ManualClock so every boundary is exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/clock.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/time_series.hpp"
+
+namespace efld::obs {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+// A small store: 1s x 8 / 4s x 8 — laps arrive fast enough to test.
+TimeSeriesStore::Options small_opts() {
+    TimeSeriesStore::Options o;
+    o.levels = {{kSec, 8}, {4 * kSec, 8}};
+    return o;
+}
+
+MetricsSnapshot gauge_snap(const std::string& name, double v) {
+    MetricsSnapshot s;
+    s.set_gauge(name, v);
+    return s;
+}
+
+TEST(TimeSeries, GaugesStoreAndQueryInOrder) {
+    TimeSeriesStore store(small_opts());
+    for (std::uint64_t t = 1; t <= 5; ++t) {
+        EXPECT_TRUE(store.ingest(gauge_snap("g", static_cast<double>(t)), t * kSec));
+    }
+    const std::vector<SeriesPoint> pts = store.query("g", 0, 10 * kSec);
+    ASSERT_EQ(pts.size(), 5u);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(pts[i].t_ns, (i + 1) * kSec);
+        EXPECT_DOUBLE_EQ(pts[i].value, static_cast<double>(i + 1));
+    }
+    const auto last = store.latest("g");
+    ASSERT_TRUE(last.has_value());
+    EXPECT_DOUBLE_EQ(last->value, 5.0);
+    EXPECT_TRUE(store.query("unknown", 0, 10 * kSec).empty());
+    EXPECT_FALSE(store.latest("unknown").has_value());
+}
+
+TEST(TimeSeries, CountersBecomePerSecondRates) {
+    TimeSeriesStore store(small_opts());
+    MetricsSnapshot s;
+    s.set_counter("c", 100);
+    store.ingest(s, 1 * kSec);  // baseline: no rate point yet
+    EXPECT_TRUE(store.query("c", 0, 10 * kSec).empty());
+
+    s.set_counter("c", 150);
+    store.ingest(s, 2 * kSec);  // +50 over 1s = 50/s
+    s.set_counter("c", 150);
+    store.ingest(s, 3 * kSec);  // idle second = 0/s
+
+    const std::vector<SeriesPoint> pts = store.query("c", 0, 10 * kSec);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_DOUBLE_EQ(pts[0].value, 50.0);
+    EXPECT_DOUBLE_EQ(pts[1].value, 0.0);
+}
+
+TEST(TimeSeries, CounterResetRestartsCleanly) {
+    TimeSeriesStore store(small_opts());
+    MetricsSnapshot s;
+    s.set_counter("c", 1000);
+    store.ingest(s, 1 * kSec);
+    s.set_counter("c", 30);  // process restarted: counter went backwards
+    store.ingest(s, 2 * kSec);
+    const std::vector<SeriesPoint> pts = store.query("c", 0, 10 * kSec);
+    ASSERT_EQ(pts.size(), 1u);
+    // Reset-safe: the delta is the NEW value, not a huge unsigned wrap.
+    EXPECT_DOUBLE_EQ(pts[0].value, 30.0);
+}
+
+TEST(TimeSeries, BackwardsAndFrozenClockDropsIngest) {
+    TimeSeriesStore store(small_opts());
+    EXPECT_TRUE(store.ingest(gauge_snap("g", 1.0), 5 * kSec));
+    EXPECT_FALSE(store.ingest(gauge_snap("g", 2.0), 5 * kSec));  // frozen
+    EXPECT_FALSE(store.ingest(gauge_snap("g", 3.0), 3 * kSec));  // backwards
+    EXPECT_EQ(store.dropped_ingests(), 2u);
+    EXPECT_EQ(store.ingests(), 1u);
+    // The stored history is exactly the one accepted ingest.
+    const std::vector<SeriesPoint> pts = store.query("g", 0, 10 * kSec);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_DOUBLE_EQ(pts[0].value, 1.0);
+}
+
+TEST(TimeSeries, PauseLongerThanRetentionServesFromCoarseLevel) {
+    TimeSeriesStore store(small_opts());
+    store.ingest(gauge_snap("g", 1.0), 1 * kSec);
+    // A pause far past the fine ring's 8s retention; the next ingest must
+    // not resurrect stale fine buckets into the query.
+    store.ingest(gauge_snap("g", 9.0), 100 * kSec);
+    const std::vector<SeriesPoint> recent =
+        store.query("g", 95 * kSec, 101 * kSec);
+    ASSERT_EQ(recent.size(), 1u);
+    EXPECT_DOUBLE_EQ(recent[0].value, 9.0);
+    // Asking for the full span falls to the coarse level, which has also
+    // lapped (100s > 4s x 8): only the fresh point survives anywhere.
+    const std::vector<SeriesPoint> all = store.query("g", 0, 101 * kSec);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_DOUBLE_EQ(all[0].value, 9.0);
+}
+
+TEST(TimeSeries, LapBoundaryDownsamplesIntoCoarseLevel) {
+    TimeSeriesStore store(small_opts());
+    // 20 ingests of value t at t=1..20s: the 1s ring (8 slots) laps twice;
+    // the 4s ring (8 slots, 32s span) holds everything.
+    for (std::uint64_t t = 1; t <= 20; ++t) {
+        store.ingest(gauge_snap("g", static_cast<double>(t)), t * kSec);
+    }
+    // A query inside the fine retention is served at 1s grain.
+    const std::vector<SeriesPoint> fine = store.query("g", 14 * kSec, 20 * kSec);
+    ASSERT_EQ(fine.size(), 7u);
+    EXPECT_DOUBLE_EQ(fine.front().value, 14.0);
+    // A query past it falls back to the 4s level, where each bucket is the
+    // MEAN of its ingests — eager downsampling preserved the lapped seconds.
+    const std::vector<SeriesPoint> coarse = store.query("g", 0, 20 * kSec);
+    ASSERT_FALSE(coarse.empty());
+    // t=4..7s live in 4s-bucket index 1: mean of 4,5,6,7 = 5.5 — data the
+    // fine ring lost to its second lap.
+    bool found = false;
+    for (const SeriesPoint& p : coarse) {
+        if (p.t_ns == 4 * kSec) {
+            EXPECT_DOUBLE_EQ(p.value, 5.5);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TimeSeries, HistogramDeltasRebuildWindowedDistribution) {
+    TimeSeriesStore store(small_opts());
+    LatencyHistogram h;
+    MetricsSnapshot s;
+
+    h.record(1'000'000);  // 1ms
+    s.histograms["lat"] = h.snapshot();
+    store.ingest(s, 1 * kSec);  // baseline
+
+    h.record(100'000'000);  // 100ms, landing in the 1..2s interval
+    s.histograms["lat"] = h.snapshot();
+    store.ingest(s, 2 * kSec);
+
+    h.record(200'000'000);  // 200ms in the 5..6s interval
+    s.histograms["lat"] = h.snapshot();
+    store.ingest(s, 6 * kSec);
+
+    // A trailing-2s window sees ONLY the 200ms sample: the 100ms delta sits
+    // in the [2s,3s) bucket, wholly before from=4s.
+    const HistogramSnapshot w1 = store.histogram_over("lat", 2 * kSec, 6 * kSec);
+    EXPECT_EQ(w1.count, 1u);
+    EXPECT_GE(w1.max, 200'000'000u * 7 / 8);
+    // The whole-history window sees both post-baseline samples.
+    const HistogramSnapshot w2 = store.histogram_over("lat", 6 * kSec, 6 * kSec);
+    EXPECT_EQ(w2.count, 2u);
+
+    // bad_fraction over 50ms: both windowed samples exceed it.
+    EXPECT_DOUBLE_EQ(store.bad_fraction("lat", 50'000'000, 6 * kSec, 6 * kSec),
+                     1.0);
+    // Over 500ms nothing does.
+    EXPECT_DOUBLE_EQ(store.bad_fraction("lat", 500'000'000, 6 * kSec, 6 * kSec),
+                     0.0);
+    EXPECT_DOUBLE_EQ(store.bad_fraction("nope", 1, kSec, 6 * kSec), 0.0);
+}
+
+TEST(TimeSeries, QueryJsonAndDumpJsonAreWellFormed) {
+    TimeSeriesStore store(small_opts());
+    store.ingest(gauge_snap("queue_depth", 3.0), 1 * kSec);
+    store.ingest(gauge_snap("queue_depth", 5.0), 2 * kSec);
+    const std::string one = store.query_json("queue_depth", 10 * kSec, 2 * kSec);
+    EXPECT_NE(one.find("\"series\":\"queue_depth\""), std::string::npos);
+    EXPECT_NE(one.find("[1000000000,3]"), std::string::npos);
+    EXPECT_NE(one.find("[2000000000,5]"), std::string::npos);
+    const std::string unknown = store.query_json("nope", 10 * kSec, 2 * kSec);
+    EXPECT_NE(unknown.find("\"points\":[]"), std::string::npos);
+    const std::string dump = store.dump_json(10 * kSec, 2 * kSec);
+    EXPECT_EQ(dump.front(), '{');
+    EXPECT_EQ(dump.back(), '}');
+    EXPECT_NE(dump.find("\"queue_depth\""), std::string::npos);
+}
+
+TEST(TimeSeries, SamplerSampleOnceIngestsAndNotifies) {
+    ManualClock clock;
+    TimeSeriesStore store(small_opts());
+    MetricsSampler::Options so;
+    so.clock = &clock;
+    double gauge_value = 7.0;
+    MetricsSampler sampler(
+        [&] { return gauge_snap("g", gauge_value); }, &store, so);
+    std::vector<std::uint64_t> evals;
+    sampler.set_on_sample([&](std::uint64_t now) { evals.push_back(now); });
+
+    clock.set_ns(1 * kSec);
+    sampler.sample_once();
+    clock.set_ns(2 * kSec);
+    gauge_value = 9.0;
+    sampler.sample_once();
+
+    EXPECT_EQ(sampler.samples(), 2u);
+    ASSERT_EQ(evals.size(), 2u);
+    EXPECT_EQ(evals[0], 1 * kSec);
+    EXPECT_EQ(evals[1], 2 * kSec);
+    const auto last = store.latest("g");
+    ASSERT_TRUE(last.has_value());
+    EXPECT_DOUBLE_EQ(last->value, 9.0);
+}
+
+// The background thread against concurrent queries — the TSan target's meat.
+TEST(TimeSeries, SamplerThreadRunsConcurrentWithQueries) {
+    TimeSeriesStore store;  // default levels, steady clock timestamps
+    std::atomic<int> calls{0};
+    MetricsSampler::Options so;
+    so.interval_ns = 1'000'000;  // 1ms: plenty of ticks in the test window
+    MetricsSampler sampler(
+        [&] {
+            calls.fetch_add(1, std::memory_order_relaxed);
+            MetricsSnapshot s;
+            s.set_gauge("g", static_cast<double>(calls.load()));
+            s.set_counter("c", static_cast<std::uint64_t>(calls.load()) * 10);
+            return s;
+        },
+        &store, so);
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+    for (int i = 0; i < 50; ++i) {
+        (void)store.latest("g");
+        (void)store.query("c", 0, ~std::uint64_t{0} / 2);
+        (void)store.series_names();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_GE(sampler.samples(), 1u);
+    const std::uint64_t after = sampler.samples();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(sampler.samples(), after);  // really stopped
+    sampler.start();  // restartable
+    sampler.stop();
+}
+
+TEST(TimeSeries, RejectsDegenerateOptions) {
+    TimeSeriesStore::Options o;
+    o.levels.clear();
+    EXPECT_THROW(TimeSeriesStore{o}, Error);
+    o.levels = {{0, 4}};
+    EXPECT_THROW(TimeSeriesStore{o}, Error);
+}
+
+}  // namespace
+}  // namespace efld::obs
